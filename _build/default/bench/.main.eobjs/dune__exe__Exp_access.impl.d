@@ -1,0 +1,1 @@
+bench/exp_access.ml: Access Bench_util Expirel_core Expirel_storage Float Format List Predicate Printf Random Table Time Tuple Value

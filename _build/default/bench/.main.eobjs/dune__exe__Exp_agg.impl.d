@@ -1,0 +1,1 @@
+bench/exp_agg.ml: Aggregate Algebra Bench_util Eval Expirel_core Expirel_workload Float Gen List Time Value

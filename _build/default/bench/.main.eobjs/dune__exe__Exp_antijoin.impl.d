@@ -1,0 +1,1 @@
+bench/exp_antijoin.ml: Antijoin Bench_util Expirel_core Expirel_workload Gen List Printf Relation Time

@@ -1,0 +1,1 @@
+bench/exp_dist.ml: Algebra Bench_util Eval Expirel_core Expirel_dist Expirel_workload Gen List Metrics Predicate Printf Random Sim Sim_update Time Tuple Value

@@ -1,0 +1,1 @@
+bench/exp_durable.ml: Array Bench_util Database Durable Expirel_core Expirel_storage Expirel_workload Filename Fun List Relation Sessions Sys Time

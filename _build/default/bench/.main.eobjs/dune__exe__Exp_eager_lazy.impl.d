@@ -1,0 +1,1 @@
+bench/exp_eager_lazy.ml: Bench_util Database Expirel_core Expirel_storage Expirel_workload List Sessions Table Time Trigger

@@ -1,0 +1,1 @@
+bench/exp_index.ml: Bench_util Expiration_index Expirel_core Expirel_index Expirel_workload Gen List Printf Time

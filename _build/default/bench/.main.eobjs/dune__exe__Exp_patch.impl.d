@@ -1,0 +1,1 @@
+bench/exp_patch.ml: Algebra Bench_util Eval Expirel_core Expirel_dist Expirel_workload Gen List Patch Time View

@@ -1,0 +1,1 @@
+bench/exp_qos.ml: Aggregate Algebra Bench_util Eval Expirel_core Expirel_workload Gen List Predicate Printf Qos Time Value

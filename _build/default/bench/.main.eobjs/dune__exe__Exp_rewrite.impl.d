@@ -1,0 +1,1 @@
+bench/exp_rewrite.ml: Algebra Bench_util Cost Eval Expirel_core Expirel_workload Gen List Predicate Relation Rewrite Time Value View

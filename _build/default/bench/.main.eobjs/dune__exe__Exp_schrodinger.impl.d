@@ -1,0 +1,1 @@
+bench/exp_schrodinger.ml: Aggregate Algebra Bench_util Eval Expirel_core Expirel_workload Gen List Relation Schrodinger_view Time Validity View

@@ -1,0 +1,1 @@
+bench/exp_ttl.ml: Bench_util Expirel_workload List Web

@@ -1,0 +1,1 @@
+bench/exp_unreliable.ml: Algebra Bench_util Eval Expirel_core Expirel_dist Expirel_workload Gen List Metrics Predicate Sim Sim_unreliable Time Value

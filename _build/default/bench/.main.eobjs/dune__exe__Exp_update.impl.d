@@ -1,0 +1,1 @@
+bench/exp_update.ml: Aggregate Algebra Bench_util Eval Expirel_core Expirel_workload List Maintained Predicate Printf Relation Sessions String Time Tuple

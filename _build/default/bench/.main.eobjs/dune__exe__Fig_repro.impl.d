@@ -1,0 +1,1 @@
+bench/fig_repro.ml: Aggregate Algebra Bench_util Eval Expirel_core Expirel_workload Explain List News Predicate Printf Relation String Time Tuple

@@ -1,0 +1,1 @@
+bench/thm_repro.ml: Aggregate Algebra Bench_util Eval Expirel_core Expirel_workload Gen List Patch Predicate Printf Relation Time Value

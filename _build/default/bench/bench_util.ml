@@ -1,0 +1,36 @@
+(* Shared helpers for the benchmark/reproduction harness. *)
+
+let section title =
+  let line = String.make (String.length title + 8) '=' in
+  Printf.printf "\n%s\n=== %s ===\n%s\n" line title line
+
+let subsection title = Printf.printf "\n--- %s ---\n" title
+
+(* Wall-clock timing of a thunk, in seconds, via the monotonic clock. *)
+let time_it f =
+  let t0 = Monotonic_clock.now () in
+  let result = f () in
+  let t1 = Monotonic_clock.now () in
+  result, Int64.to_float (Int64.sub t1 t0) /. 1e9
+
+(* Fixed-width text table: header row plus data rows. *)
+let table ~headers rows =
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left (fun w row -> max w (String.length (List.nth row i)))
+          (String.length h) rows)
+      headers
+  in
+  let render cells =
+    String.concat "  "
+      (List.map2 (fun w c -> Printf.sprintf "%-*s" w c) widths cells)
+  in
+  print_endline (render headers);
+  print_endline (render (List.map (fun w -> String.make w '-') widths));
+  List.iter (fun row -> print_endline (render row)) rows
+
+let f1 x = Printf.sprintf "%.1f" x
+let f2 x = Printf.sprintf "%.2f" x
+
+let rng seed = Random.State.make [| seed; 2006 |]

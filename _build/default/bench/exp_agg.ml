@@ -1,0 +1,137 @@
+(* Experiment agg-lifetime (Section 2.6 claim): how much aggregate-tuple
+   lifetime and view lifetime do the neutral-set (Table 1) and exact
+   change-point (Eq 9) strategies buy over the conservative rule (Eq 8)?
+
+   Sweeps partition size, TTL spread and value skew.  Expected shape:
+   Conservative <= Neutral <= Exact everywhere; the gap grows with
+   duplicate values (min/max) and with zeros (sum); count never
+   improves. *)
+
+open Expirel_core
+open Expirel_workload
+
+let strategies =
+  [ "conservative", Aggregate.Conservative;
+    "neutral", Aggregate.Neutral;
+    "exact", Aggregate.Exact ]
+
+let mean_result_lifetime ~strategy ~f relation =
+  let parts = Aggregate.partitions ~group:[ 1 ] relation in
+  let total, n =
+    List.fold_left
+      (fun (total, n) (_key, members) ->
+        match Aggregate.result_texp strategy ~tau:Time.zero f members with
+        | Time.Fin e -> total + e, n + 1
+        | Time.Inf -> total, n)
+      (0, 0) parts
+  in
+  if n = 0 then 0. else float_of_int total /. float_of_int n
+
+let view_texp ~strategy ~f relation =
+  let env = Eval.env_of_list [ "R", relation ] in
+  (Eval.run ~strategy ~env ~tau:Time.zero Algebra.(aggregate [ 1 ] f (base "R")))
+    .Eval.texp
+
+let sweep () =
+  Bench_util.section
+    "Experiment agg-lifetime: expiration strategies for aggregation";
+  let rng = Bench_util.rng 10 in
+  let funcs =
+    [ "count", Aggregate.Count;
+      "sum_2", Aggregate.Sum 2;
+      "min_2", Aggregate.Min 2;
+      "max_2", Aggregate.Max 2;
+      "avg_2", Aggregate.Avg 2 ]
+  in
+  let value_configs =
+    [ "ties-heavy (values 0..3)", Gen.Uniform_value 4;
+      "zero-sum-heavy (values -2..2)", Gen.Centered_value 2;
+      "skewed (zipf 20, s=1.3)", Gen.Zipf_value (20, 1.3);
+      "ties-light (values 0..999)", Gen.Uniform_value 1000 ]
+  in
+  List.iter
+    (fun (config_name, values) ->
+      Bench_util.subsection config_name;
+      let relation =
+        Gen.relation ~rng ~arity:2 ~cardinality:400 ~values
+          ~ttl:(Gen.Uniform_ttl (1, 50)) ~now:Time.zero
+      in
+      let rows =
+        List.map
+          (fun (fname, f) ->
+            fname
+            :: List.concat_map
+                 (fun (_sname, strategy) ->
+                   [ Bench_util.f1 (mean_result_lifetime ~strategy ~f relation);
+                     Time.to_string (view_texp ~strategy ~f relation) ])
+                 strategies)
+          funcs
+      in
+      Bench_util.table
+        ~headers:[ "aggregate";
+                   "cons. life"; "cons. texp(e)";
+                   "neut. life"; "neut. texp(e)";
+                   "exact life"; "exact texp(e)" ]
+        rows)
+    value_configs;
+  print_endline
+    "\nShape check: lifetimes never decrease left to right; count is\n\
+     identical across strategies (\"improves ... all aggregates except\n\
+     count\"); ties-heavy and zero-heavy data benefit most."
+
+(* The future-work extension: error-bounded expiration.  Sweep the
+   tolerance and report lifetime gained vs worst value drift actually
+   incurred while the result tuples were live. *)
+let approx_sweep () =
+  Bench_util.subsection
+    "approximate aggregates: lifetime vs error bound (Within strategy)";
+  let rng = Bench_util.rng 11 in
+  let relation =
+    Gen.relation ~rng ~arity:2 ~cardinality:400 ~values:(Gen.Centered_value 5)
+      ~ttl:(Gen.Uniform_ttl (1, 50)) ~now:Time.zero
+  in
+  let parts = Aggregate.partitions ~group:[ 1 ] relation in
+  let funcs = [ "sum_2", Aggregate.Sum 2; "avg_2", Aggregate.Avg 2 ] in
+  let rows =
+    List.concat_map
+      (fun (fname, f) ->
+        List.map
+          (fun tolerance ->
+            let lifetime = ref 0 and n = ref 0 and worst = ref 0. in
+            List.iter
+              (fun (_key, members) ->
+                let bound = Aggregate.nu_within ~tolerance ~tau:Time.zero f members in
+                let v0 = Aggregate.apply f members in
+                (match bound with
+                 | Time.Fin e ->
+                   lifetime := !lifetime + e;
+                   incr n
+                 | Time.Inf -> ());
+                (* Largest drift observed while the tuples were live. *)
+                List.iter
+                  (fun (start, value) ->
+                    match value, Value.to_float v0 with
+                    | Some v, Some x when Time.(start < bound) ->
+                      (match Value.to_float v with
+                       | Some y -> worst := Float.max !worst (Float.abs (y -. x))
+                       | None -> ())
+                    | _ -> ())
+                  (Aggregate.timeline ~tau:Time.zero f members))
+              parts;
+            [ fname;
+              Bench_util.f1 tolerance;
+              Bench_util.f1 (float_of_int !lifetime /. float_of_int (max 1 !n));
+              Bench_util.f1 !worst ])
+          [ 0.; 1.; 2.; 5.; 10. ])
+      funcs
+  in
+  Bench_util.table
+    ~headers:[ "aggregate"; "tolerance"; "mean lifetime"; "worst live drift" ]
+    rows;
+  print_endline
+    "\nShape check: lifetimes grow with the tolerance while the observed\n\
+     drift never exceeds it — bounded-error maintenance for free."
+
+let run_all () =
+  sweep ();
+  approx_sweep ()

@@ -1,0 +1,78 @@
+(* Experiment exp-eager-lazy (Section 3.2): eager removal pays per-tuple
+   work at expiration time (and fires triggers punctually); lazy removal
+   defers physical work to vacuum, trading trigger punctuality and
+   residual garbage for cheaper clock advances.
+
+   Expected shape: identical logical states; lazy advances are near-free
+   while its vacuum pays the bill; eager trigger latency is zero, lazy
+   latency equals the vacuum delay. *)
+
+open Expirel_core
+open Expirel_storage
+open Expirel_workload
+
+let load_and_run policy ~sessions ~horizon ~vacuum_every =
+  let db = Database.create ~policy () in
+  let (_ : Table.t) = Database.create_table db ~name:"s" ~columns:Sessions.columns in
+  let latency_total = ref 0 and fired = ref 0 in
+  Trigger.register (Database.triggers db) ~name:"lat" ~table:"s" (fun e ->
+      incr fired;
+      match e.Trigger.fired_at, e.Trigger.texp with
+      | Time.Fin fa, Time.Fin te -> latency_total := !latency_total + (fa - te)
+      | _ -> ());
+  let rng = Bench_util.rng 30 in
+  let events =
+    Sessions.timeline ~rng ~users:200 ~logins:sessions ~horizon ~activity_rate:2.0
+  in
+  let (), seconds =
+    Bench_util.time_it (fun () ->
+        List.iter
+          (fun event ->
+            let at = Sessions.event_time event in
+            if Time.(Time.of_int at > Database.now db) then
+              Database.advance_to db (Time.of_int at);
+            (match policy with
+             | Database.Lazy when at mod vacuum_every = 0 ->
+               ignore (Database.vacuum db)
+             | Database.Lazy | Database.Eager -> ());
+            Sessions.apply_event ~timeout:25
+              ~insert:(fun tuple ~texp -> Database.insert db "s" tuple ~texp)
+              event)
+          events;
+        Database.advance_to db (Time.of_int (horizon + 100));
+        ignore (Database.vacuum db))
+  in
+  let mean_latency =
+    if !fired = 0 then 0. else float_of_int !latency_total /. float_of_int !fired
+  in
+  seconds, !fired, mean_latency
+
+let sweep () =
+  Bench_util.section "Experiment exp-eager-lazy: removal policies (Section 3.2)";
+  let rows =
+    List.concat_map
+      (fun sessions ->
+        let eager_s, eager_fired, eager_lat =
+          load_and_run Database.Eager ~sessions ~horizon:1000 ~vacuum_every:50
+        in
+        let lazy_s, lazy_fired, lazy_lat =
+          load_and_run Database.Lazy ~sessions ~horizon:1000 ~vacuum_every:50
+        in
+        [ [ string_of_int sessions; "eager"; Bench_util.f2 (eager_s *. 1e3);
+            string_of_int eager_fired; Bench_util.f1 eager_lat ];
+          [ string_of_int sessions; "lazy(50)"; Bench_util.f2 (lazy_s *. 1e3);
+            string_of_int lazy_fired; Bench_util.f1 lazy_lat ] ])
+      [ 500; 2_000; 8_000 ]
+  in
+  Bench_util.table
+    ~headers:[ "sessions"; "policy"; "total ms"; "triggers fired";
+               "mean trigger latency" ]
+    rows;
+  print_endline
+    "\nShape check: eager trigger latency is 0 (fired exactly at texp);\n\
+     lazy latency is about half the vacuum period.  Lazy also fires fewer\n\
+     triggers: a session renewed after expiring but before the next\n\
+     vacuum is resurrected in place, so its timeout is never observed —\n\
+     the punctuality/efficiency trade-off of Section 3.2 made concrete."
+
+let run_all () = sweep ()

@@ -1,0 +1,58 @@
+(* Experiment exp-index (substrate claim, citation [24]): expiration
+   indexes make expiration processing cheap.  Loads n registrations and
+   advances time in steps, measuring wall-clock per backend.
+
+   Expected shape: heap and wheel scale near-linearly and beat the naive
+   scan by orders of magnitude at large n, because the scan pays O(n)
+   per advance regardless of how few tuples expire. *)
+
+open Expirel_core
+open Expirel_index
+open Expirel_workload
+
+let backends = [ "scan", `Scan; "heap", `Heap; "wheel", `Wheel ]
+
+let run_one backend ~n ~steps =
+  let rng = Bench_util.rng 20 in
+  let entries = Gen.expiry_stream ~rng ~n ~ttl:(Gen.Uniform_ttl (1, 10 * steps)) ~now:0 in
+  let idx = Expiration_index.create backend in
+  let (), load_s =
+    Bench_util.time_it (fun () ->
+        List.iter (fun (id, at) -> Expiration_index.add idx ~id ~texp:(Time.of_int at)) entries)
+  in
+  let expired = ref 0 in
+  let (), expire_s =
+    Bench_util.time_it (fun () ->
+        for step = 1 to steps do
+          expired :=
+            !expired
+            + List.length (Expiration_index.expire_upto idx (Time.of_int (step * 10)))
+        done)
+  in
+  load_s, expire_s, !expired
+
+let sweep () =
+  Bench_util.section "Experiment exp-index: expiration index backends";
+  List.iter
+    (fun n ->
+      Bench_util.subsection (Printf.sprintf "n = %d registrations, 100 advances" n);
+      let rows =
+        List.map
+          (fun (name, backend) ->
+            let load_s, expire_s, expired = run_one backend ~n ~steps:100 in
+            [ name;
+              Bench_util.f2 (load_s *. 1e3);
+              Bench_util.f2 (expire_s *. 1e3);
+              string_of_int expired;
+              Bench_util.f2 (expire_s *. 1e9 /. float_of_int (max 1 expired)) ])
+          backends
+      in
+      Bench_util.table
+        ~headers:[ "backend"; "load ms"; "expire ms"; "expired"; "ns/expiration" ]
+        rows)
+    [ 1_000; 10_000; 100_000 ];
+  print_endline
+    "\nShape check: scan's expire cost explodes with n (O(n) per advance);\n\
+     heap and wheel stay near-constant per expiration."
+
+let run_all () = sweep ()

@@ -1,0 +1,61 @@
+(* Experiment exp-ttl: where do the expiration times come from?  For web
+   data the paper's related work ([7], [13]) models the traffic/recency
+   trade-off of TTL choice.  A fixed TTL is compared against a
+   per-source proportional one over a mixed population of fast- and
+   slow-changing pages.
+
+   Expected shape (the classic — and initially surprising — crawler-
+   freshness result): neither policy dominates on aggregate staleness at
+   matched traffic; what the per-source TTL buys is *fairness* — it
+   equalises staleness across sources, where a fixed TTL lets the
+   fast-changing pages rot (their copies are outdated most of the time)
+   while over-refreshing the slow ones. *)
+
+open Expirel_workload
+
+let sweep () =
+  Bench_util.section "Experiment exp-ttl: choosing expiration times for caches";
+  let rng = Bench_util.rng 88 in
+  let horizon = 600 in
+  let pages = Web.pages ~rng ~count:200 ~period_range:(5, 200) ~horizon in
+  let fast, slow = List.partition (fun p -> p.Web.change_period < 50) pages in
+  let stale_pct r =
+    if r.Web.accesses = 0 then 0.
+    else 100. *. float_of_int r.Web.stale_serves /. float_of_int r.Web.accesses
+  in
+  (* Operating points chosen to put fixed and proportional at comparable
+     traffic, pairwise. *)
+  let policies =
+    [ "fixed 5", Web.Fixed_ttl 5;
+      "proportional 0.10", Web.Proportional_ttl 0.10;
+      "fixed 10", Web.Fixed_ttl 10;
+      "proportional 0.20", Web.Proportional_ttl 0.20;
+      "fixed 20", Web.Fixed_ttl 20;
+      "proportional 0.40", Web.Proportional_ttl 0.40 ]
+  in
+  let rows =
+    List.map
+      (fun (name, policy) ->
+        let all = Web.simulate ~pages ~horizon ~policy in
+        let on subset = Web.simulate ~pages:subset ~horizon ~policy in
+        [ name;
+          string_of_int all.Web.fetches;
+          Bench_util.f2 (stale_pct all);
+          Bench_util.f2 (stale_pct (on fast));
+          Bench_util.f2 (stale_pct (on slow)) ])
+      policies
+  in
+  Bench_util.table
+    ~headers:[ "TTL policy"; "fetches (traffic)"; "stale % (all)";
+               "stale % fast pages"; "stale % slow pages" ]
+    rows;
+  print_endline
+    "\nShape check: at matched traffic the aggregate staleness of the two\n\
+     policies is close (neither dominates — the classic crawler-freshness\n\
+     result), but their distributions differ sharply: fixed TTLs let\n\
+     fast-changing pages serve stale data several times more often than\n\
+     slow ones, while the per-source TTL equalises staleness across\n\
+     sources.  Good expiration times need per-source knowledge — exactly\n\
+     what the paper assumes the data source provides."
+
+let run_all () = sweep ()

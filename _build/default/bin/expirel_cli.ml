@@ -1,0 +1,97 @@
+(* expirel: an interactive shell (and script runner) for the
+   expiration-time-enabled database.
+
+   Usage:
+     expirel_cli                 # REPL on stdin
+     expirel_cli -e "SELECT ..." # run one script string
+     expirel_cli -f script.sqlx  # run a script file
+     expirel_cli --lazy          # lazy removal policy (Section 3.2)
+     expirel_cli --index wheel   # expiration-index backend *)
+
+open Expirel_sqlx
+
+let print_result = function
+  | Ok outcome -> print_endline (Interp.render outcome)
+  | Error msg -> Printf.printf "error: %s\n" msg
+
+let run_script t text = List.iter print_result (Interp.exec_script t text)
+
+let banner =
+  "expirel — expiration times for data management (ICDE 2006)\n\
+   statements end with ';'.  Try:\n\
+  \  CREATE TABLE pol (uid, deg);\n\
+  \  INSERT INTO pol VALUES (1, 25) EXPIRES 10;\n\
+  \  CREATE VIEW v AS SELECT deg, COUNT(*) FROM pol GROUP BY deg;\n\
+  \  ADVANCE TO 12; SHOW VIEW v;\n\
+   ^D to quit."
+
+let repl t =
+  print_endline banner;
+  let buffer = Buffer.create 256 in
+  let rec loop () =
+    if Buffer.length buffer = 0 then print_string "expirel> "
+    else print_string "......> ";
+    flush stdout;
+    match input_line stdin with
+    | exception End_of_file -> print_newline ()
+    | line ->
+      Buffer.add_string buffer line;
+      Buffer.add_char buffer '\n';
+      let text = Buffer.contents buffer in
+      if String.contains line ';' then begin
+        Buffer.clear buffer;
+        run_script t text
+      end;
+      loop ()
+  in
+  loop ()
+
+let main policy backend script file =
+  let policy =
+    if policy then Expirel_storage.Database.Lazy else Expirel_storage.Database.Eager
+  in
+  let backend =
+    match backend with
+    | "scan" -> `Scan
+    | "wheel" -> `Wheel
+    | "heap" -> `Heap
+    | other ->
+      Printf.eprintf "unknown index backend %S (scan|heap|wheel)\n" other;
+      exit 2
+  in
+  let t = Interp.create ~policy ~backend () in
+  match script, file with
+  | Some text, _ -> run_script t text
+  | None, Some path ->
+    let ic = open_in path in
+    let len = in_channel_length ic in
+    let text = really_input_string ic len in
+    close_in ic;
+    run_script t text
+  | None, None -> repl t
+
+open Cmdliner
+
+let lazy_flag =
+  Arg.(value & flag & info [ "lazy" ] ~doc:"Use lazy removal of expired tuples.")
+
+let backend_arg =
+  Arg.(value & opt string "heap"
+       & info [ "index" ] ~docv:"BACKEND"
+           ~doc:"Expiration index backend: scan, heap or wheel.")
+
+let script_arg =
+  Arg.(value & opt (some string) None
+       & info [ "e" ] ~docv:"SCRIPT" ~doc:"Execute the given statements and exit.")
+
+let file_arg =
+  Arg.(value & opt (some string) None
+       & info [ "f" ] ~docv:"FILE" ~doc:"Execute the statements in FILE and exit.")
+
+let cmd =
+  let doc = "interactive shell for the expiration-time-enabled database" in
+  Cmd.v
+    (Cmd.info "expirel_cli" ~doc)
+    Term.(const main $ lazy_flag $ backend_arg $ script_arg $ file_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/ops_center.ml: Algebra Array Database Durable Expirel_core Expirel_storage Filename Fun Invariant List Predicate Printf Relation Subscription Sys Time Tuple Value

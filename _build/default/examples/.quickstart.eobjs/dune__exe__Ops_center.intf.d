@@ -1,0 +1,1 @@
+examples/ops_center.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Aggregate Algebra Eval Expirel_core Expirel_workload Explain Interval_set List News Patch Predicate Printf Relation Time Validity

@@ -1,0 +1,1 @@
+examples/replication_demo.ml: Algebra Eval Expirel_core Expirel_dist Expirel_workload Gen List Metrics Predicate Printf Random Sim Time Value

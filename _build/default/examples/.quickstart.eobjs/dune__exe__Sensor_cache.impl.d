@@ -1,0 +1,1 @@
+examples/sensor_cache.ml: Aggregate Algebra Database Eval Expirel_core Expirel_dist Expirel_storage Expirel_workload Format List Printf Random Relation Sensors Table Time

@@ -1,0 +1,1 @@
+examples/session_manager.ml: Aggregate Algebra Database Eval Expirel_core Expirel_storage Expirel_workload List Printf Random Relation Sessions Table Time Trigger Tuple

@@ -1,0 +1,54 @@
+(* Loosely-coupled replication (Section 1): remote devices hold
+   materialised query results and cannot cheaply reach the base data.
+   Compares the traffic and staleness of a traditional TTL-less poller
+   against expiration-aware and patched views, across query shapes.
+
+   Run with: dune exec examples/replication_demo.exe *)
+
+open Expirel_core
+open Expirel_dist
+open Expirel_workload
+
+let () =
+  let rng = Random.State.make [| 11 |] in
+  let r, s =
+    Gen.overlapping_pair ~rng ~arity:2 ~cardinality:300 ~overlap:0.4
+      ~values:(Gen.Uniform_value 500) ~ttl:(Gen.Uniform_ttl (5, 120))
+      ~now:Time.zero
+  in
+  let env = Eval.env_of_list [ "R", r; "S", s ] in
+  let horizon = 150 in
+
+  let monotonic_view =
+    Algebra.(
+      select
+        (Predicate.Cmp (Predicate.Lt, Predicate.Col 2, Predicate.Const (Value.int 250)))
+        (base "R"))
+  in
+  let experiments =
+    [ "monotonic view: sigma(R)", monotonic_view,
+      [ Sim.Poll 5; Sim.Poll 20; Sim.Expiration_aware ];
+      "non-monotonic view: R - S", Algebra.(diff (base "R") (base "S")),
+      [ Sim.Poll 5; Sim.Poll 20; Sim.Expiration_aware; Sim.Patched ] ]
+  in
+  List.iter
+    (fun (title, expr, strategies) ->
+      Printf.printf "\n=== %s (horizon %d, latency 1) ===\n" title horizon;
+      Printf.printf "  %-18s %10s %10s %10s %12s\n" "strategy" "messages"
+        "bytes" "refetches" "stale ticks";
+      List.iter
+        (fun strategy ->
+          let { Sim.metrics; _ } =
+            Sim.run ~env ~expr { Sim.horizon; latency = 1; strategy }
+          in
+          Printf.printf "  %-18s %10d %10d %10d %12d\n"
+            (Sim.strategy_label strategy)
+            metrics.Metrics.messages metrics.Metrics.bytes
+            metrics.Metrics.refetches metrics.Metrics.stale_ticks)
+        strategies)
+    experiments;
+
+  print_endline
+    "\nReading: polling either pays constant traffic or serves stale data;\n\
+     the expiration-aware client is never stale and only refetches when\n\
+     texp(e) passes; the patched difference never contacts the server again."

@@ -1,0 +1,1 @@
+lib/core/aggregate.ml: Float Format Interval Interval_set List Map Option Relation Set Time Tuple Value

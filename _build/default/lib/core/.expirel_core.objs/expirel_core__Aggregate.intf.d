@@ -1,0 +1,1 @@
+lib/core/aggregate.mli: Format Interval_set Relation Time Tuple Value

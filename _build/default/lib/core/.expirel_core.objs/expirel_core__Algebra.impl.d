@@ -1,0 +1,1 @@
+lib/core/algebra.ml: Aggregate Errors Format List Predicate Printf String

@@ -1,0 +1,1 @@
+lib/core/antijoin.ml: Errors Hashtbl List Relation Time Tuple

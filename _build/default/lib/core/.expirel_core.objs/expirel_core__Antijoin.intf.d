@@ -1,0 +1,1 @@
+lib/core/antijoin.mli: Relation Time Tuple

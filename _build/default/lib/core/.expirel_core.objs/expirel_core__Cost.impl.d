@@ -1,0 +1,1 @@
+lib/core/cost.ml: Aggregate Algebra Errors Format List Ops Relation View

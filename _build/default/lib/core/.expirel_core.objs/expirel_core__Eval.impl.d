@@ -1,0 +1,1 @@
+lib/core/eval.ml: Aggregate Algebra Errors List Ops Option Relation Time

@@ -1,0 +1,1 @@
+lib/core/explain.ml: Aggregate Algebra Buffer Eval List Option Predicate Printf Relation String Time Tuple Value

@@ -1,0 +1,1 @@
+lib/core/explain.mli: Aggregate Algebra Eval Relation Time Tuple

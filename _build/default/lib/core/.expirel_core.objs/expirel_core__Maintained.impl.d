@@ -1,0 +1,1 @@
+lib/core/maintained.ml: Aggregate Algebra Either Errors Fun List Ops Option Predicate Relation String Time Tuple

@@ -1,0 +1,1 @@
+lib/core/maintained.mli: Aggregate Algebra Eval Relation Time Tuple

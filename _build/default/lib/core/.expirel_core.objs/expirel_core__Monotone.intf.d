@@ -1,0 +1,1 @@
+lib/core/monotone.mli: Algebra

@@ -1,0 +1,1 @@
+lib/core/ops.ml: Aggregate List Predicate Relation Time Tuple

@@ -1,0 +1,1 @@
+lib/core/ops.mli: Aggregate Predicate Relation Time

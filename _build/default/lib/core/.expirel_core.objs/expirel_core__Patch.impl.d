@@ -1,0 +1,1 @@
+lib/core/patch.ml: Errors Eval Heap List Option Relation Time Tuple

@@ -1,0 +1,1 @@
+lib/core/predicate.ml: Format List Option Tuple Value

@@ -1,0 +1,1 @@
+lib/core/qos.ml: Algebra Errors List Relation Time

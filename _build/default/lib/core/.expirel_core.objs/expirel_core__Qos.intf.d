@@ -1,0 +1,1 @@
+lib/core/qos.mli: Algebra Eval Time

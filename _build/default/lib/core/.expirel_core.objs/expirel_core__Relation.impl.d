@@ -1,0 +1,1 @@
+lib/core/relation.ml: Format List Map Printf Set Time Tuple

@@ -1,0 +1,1 @@
+lib/core/rewrite.ml: Algebra Array Hashtbl List Option Predicate

@@ -1,0 +1,1 @@
+lib/core/schrodinger_view.ml: Aggregate Algebra Eval Format Interval List Option Relation Time Tuple

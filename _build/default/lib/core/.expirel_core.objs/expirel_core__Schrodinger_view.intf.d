@@ -1,0 +1,1 @@
+lib/core/schrodinger_view.mli: Algebra Eval Format Relation Time

@@ -1,0 +1,1 @@
+lib/core/time.ml: Format Int List Stdlib

@@ -1,0 +1,1 @@
+lib/core/tuple.ml: Array Format Int List Printf Value

@@ -1,0 +1,1 @@
+lib/core/validity.ml: Aggregate Algebra Eval Interval Interval_set List Option Relation Time

@@ -1,0 +1,1 @@
+lib/core/validity.mli: Aggregate Algebra Eval Interval_set Time

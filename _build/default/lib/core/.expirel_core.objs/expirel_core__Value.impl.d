@@ -1,0 +1,1 @@
+lib/core/value.ml: Bool Float Format Hashtbl Int String

@@ -1,0 +1,1 @@
+lib/core/view.ml: Aggregate Algebra Eval Format Interval_set List Relation Time Validity

@@ -1,0 +1,1 @@
+lib/core/view.mli: Aggregate Algebra Eval Format Interval_set Relation Time Validity

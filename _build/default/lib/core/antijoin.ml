@@ -1,0 +1,88 @@
+type algorithm =
+  | Hash
+  | Sort_merge
+  | Nested_loop
+
+let check r s =
+  if Relation.arity r <> Relation.arity s then
+    Errors.arity_mismatch "Antijoin: %d vs %d" (Relation.arity r)
+      (Relation.arity s)
+
+module Tuple_tbl = Hashtbl.Make (struct
+    type t = Tuple.t
+
+    let equal = Tuple.equal
+    let hash = Tuple.hash
+  end)
+
+(* Each algorithm folds over R, deciding membership in S its own way,
+   and emits both the difference and the matching (t, texp_S) pairs. *)
+
+let hash_pass r s =
+  let table = Tuple_tbl.create (max 16 (Relation.cardinal s)) in
+  Relation.iter (fun t texp -> Tuple_tbl.replace table t texp) s;
+  let out = ref (Relation.empty ~arity:(Relation.arity r)) in
+  let matches = ref [] in
+  Relation.iter
+    (fun t texp_r ->
+      match Tuple_tbl.find_opt table t with
+      | None -> out := Relation.add t ~texp:texp_r !out
+      | Some texp_s -> matches := (t, texp_s, texp_r) :: !matches)
+    r;
+  !out, !matches
+
+let sort_merge_pass r s =
+  (* Relation.to_list is already sorted by tuple order. *)
+  let out = ref (Relation.empty ~arity:(Relation.arity r)) in
+  let matches = ref [] in
+  let rec merge rs ss =
+    match rs, ss with
+    | [], _ -> ()
+    | (t, texp_r) :: rest, [] ->
+      out := Relation.add t ~texp:texp_r !out;
+      merge rest []
+    | (t, texp_r) :: r_rest, (u, texp_s) :: s_rest ->
+      let c = Tuple.compare t u in
+      if c < 0 then begin
+        out := Relation.add t ~texp:texp_r !out;
+        merge r_rest ss
+      end
+      else if c = 0 then begin
+        matches := (t, texp_s, texp_r) :: !matches;
+        merge r_rest s_rest
+      end
+      else merge rs s_rest
+  in
+  merge (Relation.to_list r) (Relation.to_list s);
+  !out, !matches
+
+let nested_loop_pass r s =
+  let s_rows = Relation.to_list s in
+  let out = ref (Relation.empty ~arity:(Relation.arity r)) in
+  let matches = ref [] in
+  Relation.iter
+    (fun t texp_r ->
+      match List.find_opt (fun (u, _) -> Tuple.equal t u) s_rows with
+      | None -> out := Relation.add t ~texp:texp_r !out
+      | Some (_, texp_s) -> matches := (t, texp_s, texp_r) :: !matches)
+    r;
+  !out, !matches
+
+let pass = function
+  | Hash -> hash_pass
+  | Sort_merge -> sort_merge_pass
+  | Nested_loop -> nested_loop_pass
+
+let diff alg r s =
+  check r s;
+  fst (pass alg r s)
+
+let critical_tuples alg r s =
+  check r s;
+  let _, matches = pass alg r s in
+  matches
+  |> List.filter (fun (_, texp_s, texp_r) -> Time.(texp_r > texp_s))
+  |> List.sort (fun (t1, e1, _) (t2, e2, _) ->
+      match Time.compare e1 e2 with
+      | 0 -> Tuple.compare t1 t2
+      | c -> c)

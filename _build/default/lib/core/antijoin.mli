@@ -1,0 +1,27 @@
+(** Physical implementations of the difference operator.
+
+    Section 3.4.2: "The difference operator can be implemented in a
+    variety of ways, most notably as a left outer anti-semijoin, which
+    may be executed as a hash join, a nested-loop join, or a sort-merge
+    join."  All three produce exactly the relation of Equation (10);
+    they differ only in cost.  {!critical_tuples} additionally extracts,
+    in the same pass, the information needed to build the Section 3.4.2
+    helper priority queue "to reduce the additional overhead". *)
+
+type algorithm =
+  | Hash  (** build a hash table on [S], probe with [R] *)
+  | Sort_merge  (** merge the two sorted tuple streams *)
+  | Nested_loop  (** probe [S] linearly for every [R] tuple *)
+
+val diff : algorithm -> Relation.t -> Relation.t -> Relation.t
+(** [diff alg r s] is [r -exp s] (Equation (10)): the tuples of [r] not
+    in [s], keeping their [r] expiration times.  All algorithms agree
+    with each other.
+    @raise Errors.Arity_mismatch unless union-compatible *)
+
+val critical_tuples :
+  algorithm -> Relation.t -> Relation.t -> (Tuple.t * Time.t * Time.t) list
+(** [critical_tuples alg r s] is
+    [{ (t, texp_S t, texp_R t) | t in r, t in s, texp_R t > texp_S t }]
+    — the future patches — gathered during the same anti-semijoin pass,
+    sorted by [(texp_S, tuple)]. *)

@@ -1,0 +1,80 @@
+type estimate = {
+  eval_cost : float;
+  recomputations : int;
+  total : float;
+}
+
+(* One instrumented evaluation: every operator is charged the
+   cardinality it processes. *)
+let eval_cost ~env ~tau expr =
+  let cost = ref 0. in
+  let charge n = cost := !cost +. float_of_int n in
+  let rec go e =
+    match e with
+    | Algebra.Base name ->
+      (match env name with
+       | Some r ->
+         let live = Relation.exp tau r in
+         charge (Relation.cardinal live);
+         live
+       | None -> raise (Errors.Unknown_relation name))
+    | Algebra.Select (p, e1) ->
+      let c = go e1 in
+      charge (Relation.cardinal c);
+      Ops.select p c
+    | Algebra.Project (js, e1) ->
+      let c = go e1 in
+      charge (Relation.cardinal c);
+      Ops.project js c
+    | Algebra.Product (l, r) ->
+      let cl = go l and cr = go r in
+      charge (Relation.cardinal cl * Relation.cardinal cr);
+      Ops.product cl cr
+    | Algebra.Join (p, l, r) ->
+      let cl = go l and cr = go r in
+      charge (Relation.cardinal cl * Relation.cardinal cr);
+      Ops.join p cl cr
+    | Algebra.Union (l, r) ->
+      let cl = go l and cr = go r in
+      charge (Relation.cardinal cl + Relation.cardinal cr);
+      Ops.union cl cr
+    | Algebra.Intersect (l, r) ->
+      let cl = go l and cr = go r in
+      charge (Relation.cardinal cl + Relation.cardinal cr);
+      Ops.intersect cl cr
+    | Algebra.Diff (l, r) ->
+      let cl = go l and cr = go r in
+      charge (Relation.cardinal cl + Relation.cardinal cr);
+      Ops.diff cl cr
+    | Algebra.Aggregate (group, f, e1) ->
+      let c = go e1 in
+      charge (Relation.cardinal c);
+      fst (Ops.aggregate Aggregate.Exact ~tau ~group f c)
+  in
+  let (_ : Relation.t) = go expr in
+  !cost
+
+let estimate ~env ~tau ~horizon expr =
+  let eval_cost = eval_cost ~env ~tau expr in
+  let recomputations =
+    List.length (View.maintenance_times ~env ~from:tau ~horizon expr)
+  in
+  { eval_cost;
+    recomputations;
+    total = eval_cost *. float_of_int (recomputations + 1)
+  }
+
+let choose ~env ~tau ~horizon candidates =
+  match candidates with
+  | [] -> invalid_arg "Cost.choose: no candidates"
+  | first :: rest ->
+    List.fold_left
+      (fun (best, best_est) candidate ->
+        let est = estimate ~env ~tau ~horizon candidate in
+        if est.total < best_est.total then candidate, est else best, best_est)
+      (first, estimate ~env ~tau ~horizon first)
+      rest
+
+let pp ppf { eval_cost; recomputations; total } =
+  Format.fprintf ppf "eval %.0f x (1 + %d recomputations) = %.0f" eval_cost
+    recomputations total

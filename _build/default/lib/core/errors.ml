@@ -1,0 +1,5 @@
+exception Arity_mismatch of string
+exception Unknown_relation of string
+
+let arity_mismatch fmt =
+  Format.kasprintf (fun msg -> raise (Arity_mismatch msg)) fmt

@@ -1,0 +1,12 @@
+(** Errors shared across the core library. *)
+
+exception Arity_mismatch of string
+(** An operator was applied to relations whose arities violate its
+    requirements (e.g. union compatibility, Equation (4)). *)
+
+exception Unknown_relation of string
+(** An algebra expression referenced a base relation absent from the
+    evaluation environment. *)
+
+val arity_mismatch : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Raise {!Arity_mismatch} with a formatted message. *)

@@ -1,0 +1,60 @@
+type env = string -> Relation.t option
+
+let env_of_list bindings name = List.assoc_opt name bindings
+
+type result = {
+  relation : Relation.t;
+  texp : Time.t;
+}
+
+let run ?(strategy = Aggregate.Exact) ~env ~tau expr =
+  let arity_env name = Option.map Relation.arity (env name) in
+  let (_ : int) = Algebra.arity ~env:arity_env expr in
+  let rec go = function
+    | Algebra.Base name ->
+      (match env name with
+       | Some r -> { relation = Relation.exp tau r; texp = Time.Inf }
+       | None -> raise (Errors.Unknown_relation name))
+    | Algebra.Select (p, e) ->
+      let child = go e in
+      { child with relation = Ops.select p child.relation }
+    | Algebra.Project (js, e) ->
+      let child = go e in
+      { child with relation = Ops.project js child.relation }
+    | Algebra.Product (l, r) ->
+      let lr = go l and rr = go r in
+      { relation = Ops.product lr.relation rr.relation;
+        texp = Time.min lr.texp rr.texp
+      }
+    | Algebra.Union (l, r) ->
+      let lr = go l and rr = go r in
+      { relation = Ops.union lr.relation rr.relation;
+        texp = Time.min lr.texp rr.texp
+      }
+    | Algebra.Join (p, l, r) ->
+      let lr = go l and rr = go r in
+      { relation = Ops.join p lr.relation rr.relation;
+        texp = Time.min lr.texp rr.texp
+      }
+    | Algebra.Intersect (l, r) ->
+      let lr = go l and rr = go r in
+      { relation = Ops.intersect lr.relation rr.relation;
+        texp = Time.min lr.texp rr.texp
+      }
+    | Algebra.Diff (l, r) ->
+      let lr = go l and rr = go r in
+      let reappearance = Ops.first_reappearance lr.relation rr.relation in
+      { relation = Ops.diff lr.relation rr.relation;
+        texp = Time.min (Time.min lr.texp rr.texp) reappearance
+      }
+    | Algebra.Aggregate (group, f, e) ->
+      let child = go e in
+      let relation, invalidation =
+        Ops.aggregate strategy ~tau ~group f child.relation
+      in
+      { relation; texp = Time.min child.texp invalidation }
+  in
+  go expr
+
+let relation_at ?strategy ~env ~tau expr = (run ?strategy ~env ~tau expr).relation
+let expression_texp ~env ~tau expr = (run ~env ~tau expr).texp

@@ -1,0 +1,60 @@
+(** Evaluation of algebra expressions at a time [tau].
+
+    Every operator first passes its arguments through [exp_tau] (Section
+    2.3's chosen approach), assigns expiration times to result tuples
+    (tuple-level closure, Equations (1)–(8), (10)), and the evaluator
+    computes [texp(e)] for the whole expression (expression-level closure)
+    — the lower bound on the time at which the materialised result stops
+    being maintainable by local expiration alone.
+
+    For the data-dependent cases:
+    - difference (Equation (11) with the paper's Section 2.6.2 text):
+      the materialisation expires at
+      [min { texp_S(t) | t in R /\ t in S /\ texp_R(t) > texp_S(t) }]
+      (the first time a tuple should {e reappear} in the result), combined
+      with the children's expiration times.  (Equation (11) as printed
+      reads [texp_R(t)] in the inner minimum; the surrounding text, the
+      definition of [tau_R] and Case (3a) of Table 2 all give [texp_S(t)],
+      so we follow those.)
+    - aggregation: the materialisation expires at the earliest change
+      point [nu(tau, P, f)] among partitions that change value {e before}
+      they empty; partitions whose only change is their own complete
+      expiration do not invalidate the result (Section 2.6.1). *)
+
+type env = string -> Relation.t option
+(** Maps base relation names to their current contents. *)
+
+val env_of_list : (string * Relation.t) list -> env
+
+type result = {
+  relation : Relation.t;  (** result tuples with their expiration times *)
+  texp : Time.t;  (** the paper's [texp(e)] for this materialisation *)
+}
+
+val run :
+  ?strategy:Aggregate.strategy ->
+  env:env ->
+  tau:Time.t ->
+  Algebra.t ->
+  result
+(** [run ~env ~tau e] materialises [e] at time [tau].
+    [strategy] (default {!Aggregate.Exact}) selects how aggregation
+    result tuples get their expiration times; each result row is further
+    capped by its originating member's expiration time so that rows never
+    outlive their base tuples (keeping Theorem 2 an equality; Equation
+    (9) read literally would let them).  [texp(e)] uses the same
+    strategy, so less precise strategies also yield earlier
+    recomputation.
+    @raise Errors.Unknown_relation on an unbound base name
+    @raise Errors.Arity_mismatch on ill-formed expressions *)
+
+val relation_at :
+  ?strategy:Aggregate.strategy ->
+  env:env ->
+  tau:Time.t ->
+  Algebra.t ->
+  Relation.t
+(** Just the relation component of {!run}. *)
+
+val expression_texp : env:env -> tau:Time.t -> Algebra.t -> Time.t
+(** Just the [texp(e)] component of {!run}. *)

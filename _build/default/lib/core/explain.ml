@@ -1,0 +1,103 @@
+let rows_table ?title ?columns ~arity listing =
+  let buf = Buffer.create 256 in
+  let headers =
+    "texp"
+    :: (match columns with
+        | Some cs -> cs
+        | None -> List.init arity (fun i -> Printf.sprintf "a%d" (i + 1)))
+  in
+  let rows =
+    List.map
+      (fun (t, e) ->
+        Time.to_string e :: List.map Value.to_string (Tuple.to_list t))
+      listing
+  in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun w row -> max w (String.length (List.nth row i)))
+          (String.length h) rows)
+      headers
+  in
+  let render_row cells =
+    let padded =
+      List.map2 (fun w c -> Printf.sprintf " %-*s " w c) widths cells
+    in
+    "|" ^ String.concat "|" padded ^ "|"
+  in
+  let rule =
+    "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "+"
+  in
+  Option.iter (fun t -> Buffer.add_string buf (t ^ "\n")) title;
+  Buffer.add_string buf (rule ^ "\n");
+  Buffer.add_string buf (render_row headers ^ "\n");
+  Buffer.add_string buf (rule ^ "\n");
+  if rows = [] then Buffer.add_string buf "| (empty)\n"
+  else List.iter (fun row -> Buffer.add_string buf (render_row row ^ "\n")) rows;
+  Buffer.add_string buf rule;
+  Buffer.contents buf
+
+let relation_table ?title ?columns r =
+  rows_table ?title ?columns ~arity:(Relation.arity r) (Relation.to_list r)
+
+let expr_tree e =
+  let buf = Buffer.create 128 in
+  let line depth s =
+    Buffer.add_string buf (String.make (2 * depth) ' ');
+    Buffer.add_string buf s;
+    Buffer.add_char buf '\n'
+  in
+  let positions js = String.concat "," (List.map string_of_int js) in
+  let rec go depth = function
+    | Algebra.Base name -> line depth (Printf.sprintf "base %s" name)
+    | Algebra.Select (p, e1) ->
+      line depth (Printf.sprintf "select [%s]" (Predicate.to_string p));
+      go (depth + 1) e1
+    | Algebra.Project (js, e1) ->
+      line depth (Printf.sprintf "project [%s]" (positions js));
+      go (depth + 1) e1
+    | Algebra.Product (l, r) ->
+      line depth "product";
+      go (depth + 1) l;
+      go (depth + 1) r
+    | Algebra.Union (l, r) ->
+      line depth "union";
+      go (depth + 1) l;
+      go (depth + 1) r
+    | Algebra.Join (p, l, r) ->
+      line depth (Printf.sprintf "join [%s]" (Predicate.to_string p));
+      go (depth + 1) l;
+      go (depth + 1) r
+    | Algebra.Intersect (l, r) ->
+      line depth "intersect";
+      go (depth + 1) l;
+      go (depth + 1) r
+    | Algebra.Diff (l, r) ->
+      line depth "difference";
+      go (depth + 1) l;
+      go (depth + 1) r
+    | Algebra.Aggregate (g, f, e1) ->
+      line depth
+        (Printf.sprintf "aggregate [group {%s}, %s]" (positions g)
+           (Aggregate.func_to_string f));
+      go (depth + 1) e1
+  in
+  go 0 e;
+  Buffer.contents buf
+
+let snapshots ?strategy ~env ~times expr =
+  match times with
+  | [] -> ""
+  | first :: _ ->
+    let materialised = Eval.relation_at ?strategy ~env ~tau:first expr in
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf (Printf.sprintf "%s\n" (Algebra.to_string expr));
+    List.iter
+      (fun tau ->
+        let snapshot = Relation.exp tau materialised in
+        Buffer.add_string buf
+          (Printf.sprintf "at time %s:\n%s\n" (Time.to_string tau)
+             (relation_table snapshot)))
+      times;
+    Buffer.contents buf

@@ -1,0 +1,26 @@
+(** Rendering helpers for expressions, relations and timelines, in the
+    visual style of the paper's Figures 1–3. *)
+
+val relation_table :
+  ?title:string -> ?columns:string list -> Relation.t -> string
+(** A bordered table with a [texp] column followed by the attributes, as
+    in Figure 1.  Rows appear in tuple order. *)
+
+val rows_table :
+  ?title:string -> ?columns:string list -> arity:int ->
+  (Tuple.t * Time.t) list -> string
+(** Like {!relation_table} but over an explicitly ordered listing (used
+    by the query language's ORDER BY / LIMIT). *)
+
+val expr_tree : Algebra.t -> string
+(** Indented operator tree. *)
+
+val snapshots :
+  ?strategy:Aggregate.strategy ->
+  env:Eval.env ->
+  times:Time.t list ->
+  Algebra.t ->
+  string
+(** Renders the materialised expression properly expired at each of the
+    given times, Figure 2/3-style: materialise once at the first time,
+    then show [exp_tau] of the materialisation at each subsequent time. *)

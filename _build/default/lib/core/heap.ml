@@ -1,0 +1,67 @@
+(* Leftist heap: merge in O(log n), which gives O(log n) insert and pop. *)
+type 'a t =
+  | Leaf
+  | Node of int * Time.t * 'a * 'a t * 'a t  (* rank, key, value, l, r *)
+
+let empty = Leaf
+
+let is_empty = function
+  | Leaf -> true
+  | Node _ -> false
+
+let rank = function
+  | Leaf -> 0
+  | Node (r, _, _, _, _) -> r
+
+let node k v l r =
+  if rank l >= rank r then Node (rank r + 1, k, v, l, r)
+  else Node (rank l + 1, k, v, r, l)
+
+let rec merge a b =
+  match a, b with
+  | Leaf, h | h, Leaf -> h
+  | Node (_, ka, va, la, ra), Node (_, kb, vb, lb, rb) ->
+    if Time.(ka <= kb) then node ka va la (merge ra b)
+    else node kb vb lb (merge rb a)
+
+let insert k v h = merge (Node (1, k, v, Leaf, Leaf)) h
+
+let min_opt = function
+  | Leaf -> None
+  | Node (_, k, v, _, _) -> Some (k, v)
+
+let pop = function
+  | Leaf -> None
+  | Node (_, k, v, l, r) -> Some ((k, v), merge l r)
+
+let pop_until tau h =
+  let rec go acc h =
+    match h with
+    | Leaf -> List.rev acc, h
+    | Node (_, k, v, l, r) ->
+      if Time.(k <= tau) then go ((k, v) :: acc) (merge l r)
+      else List.rev acc, h
+  in
+  go [] h
+
+let of_list entries =
+  List.fold_left (fun h (k, v) -> insert k v h) empty entries
+
+let rec cardinal = function
+  | Leaf -> 0
+  | Node (_, _, _, l, r) -> 1 + cardinal l + cardinal r
+
+let to_sorted_list h =
+  let rec go acc h =
+    match pop h with
+    | None -> List.rev acc
+    | Some (entry, h') -> go (entry :: acc) h'
+  in
+  go [] h
+
+let fold f h acc =
+  let rec go acc = function
+    | Leaf -> acc
+    | Node (_, k, v, l, r) -> go (go (f k v acc) l) r
+  in
+  go acc h

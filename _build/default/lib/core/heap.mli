@@ -1,0 +1,26 @@
+(** A purely functional min-heap (leftist heap) keyed by {!Time.t}.
+
+    Used as the priority queue of Section 3.4.2 — "by keeping a priority
+    queue of those r in R that are to be added at a certain point in time
+    to e = R -exp S" — and by the recomputation scheduler. *)
+
+type 'a t
+
+val empty : 'a t
+val is_empty : 'a t -> bool
+val cardinal : 'a t -> int
+
+val insert : Time.t -> 'a -> 'a t -> 'a t
+
+val min_opt : 'a t -> (Time.t * 'a) option
+(** Smallest key, ties broken arbitrarily. *)
+
+val pop : 'a t -> ((Time.t * 'a) * 'a t) option
+
+val pop_until : Time.t -> 'a t -> (Time.t * 'a) list * 'a t
+(** [pop_until tau h] removes and returns (in key order) every entry with
+    key [<= tau]. *)
+
+val of_list : (Time.t * 'a) list -> 'a t
+val to_sorted_list : 'a t -> (Time.t * 'a) list
+val fold : (Time.t -> 'a -> 'b -> 'b) -> 'a t -> 'b -> 'b

@@ -1,0 +1,420 @@
+type node = {
+  expr : Algebra.t;
+  relation : Relation.t;
+  kids : node list;
+  has_non_monotonic : bool;  (* this node or any descendant *)
+}
+
+type counters = {
+  upserts : int;
+  deletes : int;
+  refreshes : int;
+}
+
+type t = {
+  strategy : Aggregate.strategy;
+  now : Time.t;
+  root : node;
+  counters : counters;
+}
+
+(* A delta flowing up the tree: tuples whose expiration time is now
+   [texp] (upserts) and tuples no longer present. *)
+type delta = {
+  ups : (Tuple.t * Time.t) list;
+  dels : Tuple.t list;
+}
+
+let empty_delta = { ups = []; dels = [] }
+let is_empty_delta d = d.ups = [] && d.dels = []
+
+let apply_delta relation d =
+  let relation = List.fold_left (fun r t -> Relation.remove t r) relation d.dels in
+  List.fold_left (fun r (t, texp) -> Relation.replace t ~texp r) relation d.ups
+
+(* Exact difference between two materialisations of the same node — the
+   fallback delta when both children of a binary node changed at once. *)
+let relation_delta ~old_rel ~new_rel =
+  let ups =
+    Relation.fold
+      (fun t texp acc ->
+        match Relation.texp_opt old_rel t with
+        | Some old_texp when Time.equal old_texp texp -> acc
+        | Some _ | None -> (t, texp) :: acc)
+      new_rel []
+  in
+  let dels =
+    Relation.fold
+      (fun t _ acc -> if Relation.mem t new_rel then acc else t :: acc)
+      old_rel []
+  in
+  { ups; dels }
+
+(* --- building --- *)
+
+let rec build ~strategy ~env ~tau expr =
+  let mk relation kids =
+    { expr;
+      relation;
+      kids;
+      has_non_monotonic =
+        (match expr with
+         | Algebra.Diff _ | Algebra.Aggregate _ -> true
+         | Algebra.Base _ | Algebra.Select _ | Algebra.Project _
+         | Algebra.Product _ | Algebra.Union _ | Algebra.Join _
+         | Algebra.Intersect _ ->
+           List.exists (fun k -> k.has_non_monotonic) kids)
+    }
+  in
+  match expr with
+  | Algebra.Base name ->
+    (match env name with
+     | Some r -> mk (Relation.exp tau r) []
+     | None -> raise (Errors.Unknown_relation name))
+  | Algebra.Select (p, e) ->
+    let c = build ~strategy ~env ~tau e in
+    mk (Ops.select p c.relation) [ c ]
+  | Algebra.Project (js, e) ->
+    let c = build ~strategy ~env ~tau e in
+    mk (Ops.project js c.relation) [ c ]
+  | Algebra.Product (l, r) ->
+    let cl = build ~strategy ~env ~tau l and cr = build ~strategy ~env ~tau r in
+    mk (Ops.product cl.relation cr.relation) [ cl; cr ]
+  | Algebra.Union (l, r) ->
+    let cl = build ~strategy ~env ~tau l and cr = build ~strategy ~env ~tau r in
+    mk (Ops.union cl.relation cr.relation) [ cl; cr ]
+  | Algebra.Join (p, l, r) ->
+    let cl = build ~strategy ~env ~tau l and cr = build ~strategy ~env ~tau r in
+    mk (Ops.join p cl.relation cr.relation) [ cl; cr ]
+  | Algebra.Intersect (l, r) ->
+    let cl = build ~strategy ~env ~tau l and cr = build ~strategy ~env ~tau r in
+    mk (Ops.intersect cl.relation cr.relation) [ cl; cr ]
+  | Algebra.Diff (l, r) ->
+    let cl = build ~strategy ~env ~tau l and cr = build ~strategy ~env ~tau r in
+    mk (Ops.diff cl.relation cr.relation) [ cl; cr ]
+  | Algebra.Aggregate (group, f, e) ->
+    let c = build ~strategy ~env ~tau e in
+    mk (fst (Ops.aggregate strategy ~tau ~group f c.relation)) [ c ]
+
+let materialise ?(strategy = Aggregate.Exact) ~env ~tau expr =
+  let arity_env name = Option.map Relation.arity (env name) in
+  let (_ : int) = Algebra.arity ~env:arity_env expr in
+  { strategy;
+    now = tau;
+    root = build ~strategy ~env ~tau expr;
+    counters = { upserts = 0; deletes = 0; refreshes = 0 }
+  }
+
+let expr t = t.root.expr
+let now t = t.now
+let read t = t.root.relation
+
+(* --- delta propagation --- *)
+
+(* Tuples touched by a delta, as seen through a projection. *)
+let affected_keys js d =
+  let keys =
+    List.map (fun (t, _) -> Tuple.project js t) d.ups
+    @ List.map (Tuple.project js) d.dels
+  in
+  List.sort_uniq Tuple.compare keys
+
+let module_key_mem key keys = List.exists (Tuple.equal key) keys
+
+(* Recompute the rows of [node_rel] whose [js]-projection falls in
+   [keys], from the child's new relation; used by project and aggregate,
+   which merge over groups of source tuples. *)
+let regroup ~old_node_rel ~keys ~project_out ~recomputed =
+  let dels =
+    Relation.fold
+      (fun t _ acc -> if module_key_mem (project_out t) keys then t :: acc else acc)
+      old_node_rel []
+  in
+  let survivors =
+    List.filter (fun t -> not (Relation.mem t recomputed)) dels
+  in
+  let ups =
+    Relation.fold
+      (fun t texp acc ->
+        match Relation.texp_opt old_node_rel t with
+        | Some old_texp when Time.equal old_texp texp -> acc
+        | Some _ | None -> (t, texp) :: acc)
+      recomputed []
+  in
+  { ups; dels = survivors }
+
+type base_change =
+  | Upsert of Tuple.t * Time.t
+  | Remove of Tuple.t
+
+(* Propagates one base-relation change through the tree, returning the
+   updated node and the delta it exposes to its parent. *)
+let rec propagate ~strategy ~tau ~target change node =
+  match node.expr, node.kids with
+  | Algebra.Base name, [] ->
+    if not (String.equal name target) then node, empty_delta
+    else
+      let delta =
+        match change with
+        | Upsert (t, texp) -> { ups = [ t, texp ]; dels = [] }
+        | Remove t ->
+          if Relation.mem t node.relation then { ups = []; dels = [ t ] }
+          else empty_delta
+      in
+      { node with relation = apply_delta node.relation delta }, delta
+  | Algebra.Select (p, _), [ c ] ->
+    let c', d = propagate ~strategy ~tau ~target change c in
+    let delta =
+      { ups = List.filter (fun (t, _) -> Predicate.eval p t) d.ups;
+        dels = List.filter (Predicate.eval p) d.dels
+      }
+    in
+    { node with relation = apply_delta node.relation delta; kids = [ c' ] }, delta
+  | Algebra.Project (js, _), [ c ] ->
+    let c', d = propagate ~strategy ~tau ~target change c in
+    if is_empty_delta d then { node with kids = [ c' ] }, empty_delta
+    else begin
+      let keys = affected_keys js d in
+      (* One pass over the child: rebuild exactly the affected keys. *)
+      let recomputed =
+        Relation.fold
+          (fun t texp acc ->
+            let k = Tuple.project js t in
+            if module_key_mem k keys then Relation.add k ~texp acc else acc)
+          c'.relation
+          (Relation.empty ~arity:(List.length js))
+      in
+      let delta =
+        (* The node's rows are the projected tuples themselves. *)
+        regroup ~old_node_rel:node.relation ~keys ~project_out:Fun.id
+          ~recomputed
+      in
+      ( { node with relation = apply_delta node.relation delta; kids = [ c' ] },
+        delta )
+    end
+  | Algebra.Aggregate (group, f, _), [ c ] ->
+    let c', d = propagate ~strategy ~tau ~target change c in
+    if is_empty_delta d then { node with kids = [ c' ] }, empty_delta
+    else begin
+      let keys = affected_keys group d in
+      let members_of_affected =
+        Relation.fold
+          (fun t texp acc ->
+            if module_key_mem (Tuple.project group t) keys then
+              Relation.add t ~texp acc
+            else acc)
+          c'.relation
+          (Relation.empty ~arity:(Relation.arity c'.relation))
+      in
+      let recomputed, _ =
+        Ops.aggregate strategy ~tau ~group f members_of_affected
+      in
+      (* Node rows belong to a key via their first arity(child) attrs. *)
+      let project_out t =
+        Tuple.project group (fst (Tuple.split ~left_arity:(Relation.arity c'.relation) t))
+      in
+      let delta =
+        regroup ~old_node_rel:node.relation ~keys ~project_out
+          ~recomputed
+      in
+      ( { node with relation = apply_delta node.relation delta; kids = [ c' ] },
+        delta )
+    end
+  | _, [ l; r ] ->
+    let l', dl = propagate ~strategy ~tau ~target change l in
+    let r', dr = propagate ~strategy ~tau ~target change r in
+    let node = { node with kids = [ l'; r' ] } in
+    if is_empty_delta dl && is_empty_delta dr then node, empty_delta
+    else if not (is_empty_delta dl) && not (is_empty_delta dr) then begin
+      (* Both operands changed (the base occurs on both sides): refresh
+         this node locally from its children. *)
+      let new_rel = reapply ~strategy ~tau node.expr l'.relation r'.relation in
+      let delta = relation_delta ~old_rel:node.relation ~new_rel in
+      { node with relation = new_rel }, delta
+    end
+    else begin
+      let delta = binary_delta ~node ~left:l' ~right:r' ~dl ~dr in
+      { node with relation = apply_delta node.relation delta }, delta
+    end
+  | (Algebra.Base _ | Algebra.Select _ | Algebra.Project _ | Algebra.Product _
+    | Algebra.Union _ | Algebra.Join _ | Algebra.Intersect _ | Algebra.Diff _
+    | Algebra.Aggregate _), _ ->
+    assert false (* tree shape fixed at build time *)
+
+and reapply ~strategy ~tau expr l_rel r_rel =
+  match expr with
+  | Algebra.Product _ -> Ops.product l_rel r_rel
+  | Algebra.Union _ -> Ops.union l_rel r_rel
+  | Algebra.Join (p, _, _) -> Ops.join p l_rel r_rel
+  | Algebra.Intersect _ -> Ops.intersect l_rel r_rel
+  | Algebra.Diff _ -> Ops.diff l_rel r_rel
+  | Algebra.Base _ | Algebra.Select _ | Algebra.Project _ | Algebra.Aggregate _ ->
+    ignore (strategy, tau);
+    assert false
+
+(* Single-side delta rules for the binary operators. *)
+and binary_delta ~node ~left ~right ~dl ~dr =
+  let pairs_with side_rel make (t, texp) =
+    Relation.fold
+      (fun u texp_u acc -> (make t u, Time.min texp texp_u) :: acc)
+      side_rel []
+  in
+  let pairs_tuples side_rel make t =
+    Relation.fold (fun u _ acc -> make t u :: acc) side_rel []
+  in
+  let product_delta () =
+    if not (is_empty_delta dl) then
+      { ups = List.concat_map (pairs_with right.relation Tuple.concat) dl.ups;
+        dels = List.concat_map (pairs_tuples right.relation Tuple.concat) dl.dels
+      }
+    else
+      { ups =
+          List.concat_map
+            (pairs_with left.relation (fun t u -> Tuple.concat u t))
+            dr.ups;
+        dels =
+          List.concat_map
+            (pairs_tuples left.relation (fun t u -> Tuple.concat u t))
+            dr.dels
+      }
+  in
+  match node.expr with
+  | Algebra.Product _ -> product_delta ()
+  | Algebra.Join (p, _, _) ->
+    let d = product_delta () in
+    { ups = List.filter (fun (t, _) -> Predicate.eval p t) d.ups;
+      dels = List.filter (Predicate.eval p) d.dels
+    }
+  | Algebra.Union _ ->
+    let other, d =
+      if not (is_empty_delta dl) then right.relation, dl else left.relation, dr
+    in
+    let ups =
+      List.map
+        (fun (t, texp) ->
+          match Relation.texp_opt other t with
+          | Some texp_other -> t, Time.max texp texp_other
+          | None -> t, texp)
+        d.ups
+    in
+    let reinstated, gone =
+      List.partition_map
+        (fun t ->
+          match Relation.texp_opt other t with
+          | Some texp_other -> Either.Left (t, texp_other)
+          | None -> Either.Right t)
+        d.dels
+    in
+    { ups = ups @ reinstated; dels = gone }
+  | Algebra.Intersect _ ->
+    let other, d =
+      if not (is_empty_delta dl) then right.relation, dl else left.relation, dr
+    in
+    let ups =
+      List.filter_map
+        (fun (t, texp) ->
+          match Relation.texp_opt other t with
+          | Some texp_other -> Some (t, Time.min texp texp_other)
+          | None -> None)
+        d.ups
+    in
+    { ups; dels = d.dels }
+  | Algebra.Diff _ ->
+    if not (is_empty_delta dl) then
+      (* Left operand changed. *)
+      let masked, visible =
+        List.partition (fun (t, _) -> Relation.mem t right.relation) dl.ups
+      in
+      { ups = visible; dels = dl.dels @ List.map fst masked }
+    else
+      (* Right operand changed: upserts there hide tuples, deletions
+         reveal the left copy. *)
+      let hidden =
+        List.filter_map
+          (fun (t, _) ->
+            if Relation.mem t left.relation then Some t else None)
+          dr.ups
+      in
+      let revealed =
+        List.filter_map
+          (fun t ->
+            match Relation.texp_opt left.relation t with
+            | Some texp_l -> Some (t, texp_l)
+            | None -> None)
+          dr.dels
+      in
+      { ups = revealed; dels = hidden }
+  | Algebra.Base _ | Algebra.Select _ | Algebra.Project _ | Algebra.Aggregate _ ->
+    assert false
+
+(* --- public update operations --- *)
+
+let count_delta counters d =
+  { counters with
+    upserts = counters.upserts + List.length d.ups;
+    deletes = counters.deletes + List.length d.dels
+  }
+
+let apply_change t change =
+  let target, change' = change in
+  let root, delta =
+    propagate ~strategy:t.strategy ~tau:t.now ~target change' t.root
+  in
+  { t with root; counters = count_delta t.counters delta }
+
+let insert t ~relation tuple ~texp =
+  if Time.(texp <= t.now) then
+    invalid_arg "Maintained.insert: texp <= now"
+  else apply_change t (relation, Upsert (tuple, texp))
+
+let delete t ~relation tuple = apply_change t (relation, Remove tuple)
+
+(* --- time --- *)
+
+let advance t ~to_ =
+  if Time.(to_ < t.now) then invalid_arg "Maintained.advance: moving backwards"
+  else begin
+    let refreshes = ref 0 in
+    let rec adv node =
+      if not node.has_non_monotonic then
+        (* Theorem 1: the whole subtree just expires in place — children
+           included, so later delta rules see live sibling relations. *)
+        { node with
+          relation = Relation.exp to_ node.relation;
+          kids = List.map adv node.kids
+        }
+      else begin
+        let kids = List.map adv node.kids in
+        let relation =
+          match node.expr, kids with
+          | Algebra.Select (p, _), [ c ] -> Ops.select p c.relation
+          | Algebra.Project (js, _), [ c ] -> Ops.project js c.relation
+          | Algebra.Aggregate (group, f, _), [ c ] ->
+            incr refreshes;
+            fst (Ops.aggregate t.strategy ~tau:to_ ~group f c.relation)
+          | Algebra.Diff _, [ l; r ] ->
+            incr refreshes;
+            Ops.diff l.relation r.relation
+          | (Algebra.Product _ | Algebra.Union _ | Algebra.Join _
+            | Algebra.Intersect _), [ l; r ] ->
+            reapply ~strategy:t.strategy ~tau:to_ node.expr l.relation r.relation
+          | (Algebra.Base _ | Algebra.Select _ | Algebra.Project _
+            | Algebra.Product _ | Algebra.Union _ | Algebra.Join _
+            | Algebra.Intersect _ | Algebra.Diff _ | Algebra.Aggregate _), _ ->
+            assert false
+        in
+        { node with kids; relation }
+      end
+    in
+    let root = adv t.root in
+    { t with
+      now = to_;
+      root;
+      counters = { t.counters with refreshes = t.counters.refreshes + !refreshes }
+    }
+  end
+
+let stats t =
+  [ "delta-upserts", t.counters.upserts;
+    "delta-deletes", t.counters.deletes;
+    "local-refreshes", t.counters.refreshes ]

@@ -1,0 +1,29 @@
+let rec is_monotonic = function
+  | Algebra.Base _ -> true
+  | Algebra.Select (_, e) | Algebra.Project (_, e) -> is_monotonic e
+  | Algebra.Product (l, r)
+  | Algebra.Union (l, r)
+  | Algebra.Join (_, l, r)
+  | Algebra.Intersect (l, r) ->
+    is_monotonic l && is_monotonic r
+  | Algebra.Diff _ | Algebra.Aggregate _ -> false
+
+let non_monotonic_nodes e =
+  let rec collect acc = function
+    | Algebra.Base _ -> acc
+    | Algebra.Select (_, e') | Algebra.Project (_, e') -> collect acc e'
+    | Algebra.Product (l, r)
+    | Algebra.Union (l, r)
+    | Algebra.Join (_, l, r)
+    | Algebra.Intersect (l, r) ->
+      collect (collect acc l) r
+    | Algebra.Diff (l, r) as node ->
+      collect (collect (node :: acc) l) r
+    | Algebra.Aggregate (_, _, e') as node -> collect (node :: acc) e'
+  in
+  List.rev (collect [] e)
+
+let classify e =
+  match non_monotonic_nodes e with
+  | [] -> `Monotonic
+  | nodes -> `Non_monotonic (List.length nodes)

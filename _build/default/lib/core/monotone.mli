@@ -1,0 +1,18 @@
+(** Classification of expressions into monotonic and non-monotonic
+    (Sections 2.5 and 2.6).
+
+    Selection, projection, Cartesian product and union — and the operators
+    derived from them, join and intersection — are monotonic; materialised
+    results of expressions built only from them remain valid forever under
+    expiration alone (Theorem 1).  Aggregation and difference are
+    non-monotonic: their materialisations may acquire a finite expiration
+    time and require recomputation (Theorem 2). *)
+
+val is_monotonic : Algebra.t -> bool
+(** No [Diff] or [Aggregate] node occurs in the expression. *)
+
+val non_monotonic_nodes : Algebra.t -> Algebra.t list
+(** The [Diff] and [Aggregate] subexpressions, outermost first. *)
+
+val classify : Algebra.t -> [ `Monotonic | `Non_monotonic of int ]
+(** [`Non_monotonic k] carries the number of non-monotonic nodes. *)

@@ -1,0 +1,74 @@
+let select p r = Relation.filter (fun t _ -> Predicate.eval p t) r
+
+let project js r =
+  Relation.map_tuples ~arity:(List.length js) (Tuple.project js) r
+
+let product a b =
+  let arity = Relation.arity a + Relation.arity b in
+  Relation.fold
+    (fun r e_r acc ->
+      Relation.fold
+        (fun s e_s acc ->
+          Relation.add (Tuple.concat r s) ~texp:(Time.min e_r e_s) acc)
+        b acc)
+    a
+    (Relation.empty ~arity)
+
+let union a b = Relation.union_max a b
+let join p a b = select p (product a b)
+
+let intersect a b =
+  Relation.fold
+    (fun t e_a acc ->
+      match Relation.texp_opt b t with
+      | Some e_b -> Relation.add t ~texp:(Time.min e_a e_b) acc
+      | None -> acc)
+    a
+    (Relation.empty ~arity:(Relation.arity a))
+
+let diff a b = Relation.filter (fun t _ -> not (Relation.mem t b)) a
+
+let first_reappearance r s =
+  Relation.fold
+    (fun t e_r acc ->
+      match Relation.texp_opt s t with
+      | Some e_s when Time.(e_r > e_s) -> Time.min acc e_s
+      | Some _ | None -> acc)
+    r Time.Inf
+
+let aggregate strategy ~tau ~group f child =
+  let parts = Aggregate.partitions ~group child in
+  let out_arity = Relation.arity child + 1 in
+  let add_partition acc (_key, members) =
+    let value = Aggregate.apply f members in
+    let partition_texp = Aggregate.result_texp strategy ~tau f members in
+    List.fold_left
+      (fun acc (t, member_texp) ->
+        (* Cap by the member's own expiration: a result row must not
+           outlive the base tuple whose attributes it extends, or the
+           materialisation would keep rows a recomputation lacks,
+           violating Theorem 2.  (Equation (9) read literally assigns the
+           partition's change point to every row; the cap agrees with all
+           of the paper's worked examples.) *)
+        let texp = Time.min partition_texp member_texp in
+        Relation.add (Tuple.concat t (Tuple.of_list [ value ])) ~texp acc)
+      acc members
+  in
+  let relation =
+    List.fold_left add_partition (Relation.empty ~arity:out_arity) parts
+  in
+  (* A partition invalidates the materialisation when its rows are due to
+     vanish (at the strategy's partition expiration time) while members
+     outlive them; if the partition time coincides with the partition's
+     complete expiration, rows track their members and nothing is ever
+     missing (Section 2.6.1's two cases for chi). *)
+  let invalidation =
+    List.fold_left
+      (fun acc (_key, members) ->
+        let partition_texp = Aggregate.result_texp strategy ~tau f members in
+        if Time.(partition_texp < Aggregate.empties_at members) then
+          Time.min acc partition_texp
+        else acc)
+      Time.Inf parts
+  in
+  relation, invalidation

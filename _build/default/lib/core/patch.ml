@@ -1,0 +1,58 @@
+type entry = {
+  tuple : Tuple.t;
+  expire_at : Time.t;  (* texp_R(t): expiration once patched in *)
+}
+
+type t = {
+  contents : Relation.t;
+  queue : entry Heap.t;
+  now : Time.t;
+}
+
+let create ~env ~tau ~left ~right =
+  let l_rel = Eval.relation_at ~env ~tau left in
+  let r_rel = Eval.relation_at ~env ~tau right in
+  if Relation.arity l_rel <> Relation.arity r_rel then
+    Errors.arity_mismatch "Patch.create: %d vs %d" (Relation.arity l_rel)
+      (Relation.arity r_rel);
+  let contents =
+    Relation.filter (fun t _ -> not (Relation.mem t r_rel)) l_rel
+  in
+  (* Helper relation Rq: every tuple in both operands, queued under its
+     appearance time texp_S(t).  Tuples with texp_R <= texp_S can never
+     reappear (Case (3b) of Table 2) but queueing them is harmless: they
+     arrive already expired and exp_tau filters them out.  We queue only
+     the critical ones to keep the queue at its minimum size. *)
+  let queue =
+    Relation.fold
+      (fun t e_l acc ->
+        match Relation.texp_opt r_rel t with
+        | Some e_s when Time.(e_l > e_s) ->
+          Heap.insert e_s { tuple = t; expire_at = e_l } acc
+        | Some _ | None -> acc)
+      l_rel Heap.empty
+  in
+  { contents; queue; now = tau }
+
+let now v = v.now
+let pending v = Heap.cardinal v.queue
+
+let advance v ~to_ =
+  if Time.(to_ < v.now) then invalid_arg "Patch.advance: moving backwards"
+  else
+    let due, queue = Heap.pop_until to_ v.queue in
+    let contents =
+      List.fold_left
+        (fun acc (_appear, { tuple; expire_at }) ->
+          Relation.add tuple ~texp:expire_at acc)
+        v.contents due
+    in
+    { contents; queue; now = to_ }
+
+let read v ~tau =
+  let v = advance v ~to_:tau in
+  Relation.exp tau v.contents, v
+
+let peek v ~tau = fst (read v ~tau)
+
+let next_patch_at v = Option.map fst (Heap.min_opt v.queue)

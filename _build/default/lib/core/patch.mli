@@ -1,0 +1,44 @@
+(** Patched difference views (Section 3.4.2, Theorem 3).
+
+    A materialised difference [R -exp S] normally expires when the first
+    critical tuple (in both operands, outliving its [S] copy) should
+    reappear.  Keeping the helper relation
+
+    [Rq(R -exp S) = { r | r in exp_tau(R) /\ r in exp_tau(S) }]
+    with [texp(t) = texp_S(t)]
+
+    as a priority queue and inserting its tuples into the materialisation
+    as they "expire" from the queue removes recomputation entirely: the
+    patched view's expiration time is infinity (Theorem 3).  The queue
+    holds at most [|R n S|] entries. *)
+
+type t
+
+val create :
+  env:Eval.env -> tau:Time.t -> left:Algebra.t -> right:Algebra.t -> t
+(** Materialises [left -exp right] at [tau] and builds the helper queue.
+    [left] and [right] may be arbitrary (sub)expressions; their
+    materialisations at [tau] play the roles of [R] and [S].
+    @raise Errors.Arity_mismatch unless union-compatible *)
+
+val now : t -> Time.t
+val pending : t -> int
+(** Patches not yet applied ([<= |R n S|]). *)
+
+val advance : t -> to_:Time.t -> t
+(** Applies every patch whose appearance time ([texp_S(t)]) has passed,
+    inserting the tuple with expiration time [texp_R(t)].
+    @raise Invalid_argument when moving backwards in time *)
+
+val read : t -> tau:Time.t -> Relation.t * t
+(** [read v ~tau] advances to [tau] and returns the properly expired
+    contents — by Theorem 3 equal to a fresh evaluation of
+    [left -exp right] at [tau], for every [tau >= creation time], with no
+    access to the base relations. *)
+
+val peek : t -> tau:Time.t -> Relation.t
+(** Like {!read} without threading the advanced state (recomputes the
+    patch application; use {!read} in loops). *)
+
+val next_patch_at : t -> Time.t option
+(** Appearance time of the earliest pending patch. *)

@@ -1,0 +1,64 @@
+(** Selection predicates (Equation (1)).
+
+    The paper's selection predicate [p] is of the form [j = k] (correlated:
+    two attribute positions) or [j = a] (uncorrelated: position vs
+    constant), closed under [/\ ] and [\/].  We additionally provide the
+    other comparison operators and negation, which the formal development
+    accommodates unchanged.  Attribute positions are 1-based. *)
+
+type operand =
+  | Col of int  (** attribute position, 1-based *)
+  | Const of Value.t
+
+type cmp =
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+type t =
+  | True
+  | False
+  | Cmp of cmp * operand * operand
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+val eq_cols : int -> int -> t
+(** [eq_cols j k] is the paper's correlated predicate [j = k]. *)
+
+val eq_const : int -> Value.t -> t
+(** [eq_const j a] is the paper's uncorrelated predicate [j = a]. *)
+
+val conj : t list -> t
+val disj : t list -> t
+
+val eval : t -> Tuple.t -> bool
+(** Comparisons touching [Null] or incomparable types are false (and their
+    negation true of the comparison, i.e. [Not] is logical negation of the
+    three-valued-collapsed boolean).
+    @raise Invalid_argument when a column position exceeds the arity. *)
+
+val max_col : t -> int
+(** Largest attribute position mentioned; 0 when none. *)
+
+val shift : int -> t -> t
+(** [shift n p] adds [n] to every column position — used to move a
+    predicate across a product boundary ([p'] in Equation (5)). *)
+
+val columns_within : int -> t -> bool
+(** [columns_within n p] holds when every column mentioned is [<= n]. *)
+
+val columns_between : int -> int -> t -> bool
+(** [columns_between lo hi p] holds when every column [c] mentioned
+    satisfies [lo <= c && c <= hi]. *)
+
+val rename : (int -> int option) -> t -> t option
+(** [rename f p] rewrites every column [c] to [f c]; [None] when some
+    column has no image (the predicate cannot be expressed after a
+    projection). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,44 @@
+let remaining_of ~env ~tau name =
+  match env name with
+  | None -> raise (Errors.Unknown_relation name)
+  | Some r ->
+    let live = Relation.exp tau r in
+    (match Relation.min_texp live with
+     | Time.Inf -> Time.Inf
+     | Time.Fin e ->
+       (match tau with
+        | Time.Fin now -> Time.Fin (e - now)
+        | Time.Inf -> Time.Inf))
+
+(* Lower bound on the remaining lifetime of any result tuple of a
+   subexpression: the tuple-level rules only combine base expiration
+   times with min and max, so the minimum over the mentioned bases is a
+   floor. *)
+let tuple_floor ~remaining e =
+  Time.min_list (List.map remaining (Algebra.base_names e))
+
+let rec validity_floor ~remaining = function
+  | Algebra.Base _ -> Time.Inf
+  | Algebra.Select (_, e) | Algebra.Project (_, e) -> validity_floor ~remaining e
+  | Algebra.Product (l, r)
+  | Algebra.Union (l, r)
+  | Algebra.Join (_, l, r)
+  | Algebra.Intersect (l, r) ->
+    Time.min (validity_floor ~remaining l) (validity_floor ~remaining r)
+  | Algebra.Diff (l, r) ->
+    (* Case (3a): the first reappearance happens when a right-side copy
+       expires — no sooner than the right subtree's tuple floor. *)
+    Time.min_list
+      [ validity_floor ~remaining l;
+        validity_floor ~remaining r;
+        tuple_floor ~remaining r ]
+  | Algebra.Aggregate (_, _, e) ->
+    (* A value first changes when a member expires. *)
+    Time.min (validity_floor ~remaining e) (tuple_floor ~remaining e)
+
+let admit ~env ~tau ~required expr =
+  if required < 0 then invalid_arg "Qos.admit: negative requirement"
+  else
+    let remaining = remaining_of ~env ~tau in
+    let floor = validity_floor ~remaining expr in
+    if Time.(floor >= Time.of_int required) then `Guaranteed else `Must_evaluate

@@ -1,0 +1,42 @@
+(** Quality-of-service guarantees for materialised results — the
+    paper's closing direction ("we plan to incorporate expiration into
+    query processing with (approximate) quality of service guarantees").
+
+    Expiration metadata makes one guarantee {e statically} computable:
+    if every live tuple of base relation [B] still has at least [r_B]
+    ticks to live, then a result materialised now is guaranteed valid
+    for at least {!validity_floor} ticks — with {e no} evaluation of the
+    expression.  Monotonic expressions get an infinite floor
+    (Theorem 1); non-monotonic operators bound their data-dependent
+    expiration times from below:
+
+    - every result tuple of a monotonic subexpression outlives
+      [min over its bases of r_B] (the tuple-level rules (1)–(6) only
+      take minima and maxima of base expiration times);
+    - a difference can first be invalidated when a right-operand tuple
+      expires (Case (3a)), hence no sooner than the right subtree's
+      floor;
+    - an aggregation can first change value when a member expires
+      (chi/nu), hence no sooner than its child's floor.
+
+    The floor is sound but not tight: the actual [texp(e)] is always at
+    least as late (property-tested), often much later. *)
+
+val remaining_of : env:Eval.env -> tau:Time.t -> string -> Time.t
+(** The base relation's guaranteed remaining lifetime at [tau]:
+    [min_texp (exp_tau B) - tau] ([Inf] when empty or all-immortal).
+    @raise Errors.Unknown_relation on unbound names *)
+
+val validity_floor : remaining:(string -> Time.t) -> Algebra.t -> Time.t
+(** [validity_floor ~remaining e]: a duration [d] such that a
+    materialisation of [e] computed now satisfies [texp(e) >= now + d],
+    whatever the data, provided every base [B]'s live tuples survive at
+    least [remaining B] more ticks.  [Inf] for monotonic expressions. *)
+
+val admit :
+  env:Eval.env -> tau:Time.t -> required:int -> Algebra.t ->
+  [ `Guaranteed | `Must_evaluate ]
+(** QoS admission for "serve this result for [required] ticks without
+    recomputation": [`Guaranteed] when the static floor (with the bases'
+    actual remaining lifetimes) already covers it; [`Must_evaluate] when
+    only a full evaluation can tell. *)

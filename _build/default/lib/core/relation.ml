@@ -1,0 +1,91 @@
+module Tuple_map = Map.Make (Tuple)
+
+type t = {
+  arity : int;
+  rows : Time.t Tuple_map.t;
+}
+
+let empty ~arity =
+  if arity < 0 then invalid_arg "Relation.empty: negative arity"
+  else { arity; rows = Tuple_map.empty }
+
+let arity r = r.arity
+let cardinal r = Tuple_map.cardinal r.rows
+let is_empty r = Tuple_map.is_empty r.rows
+
+let check_arity r t =
+  if Tuple.arity t <> r.arity then
+    invalid_arg
+      (Printf.sprintf "Relation: tuple arity %d, relation arity %d"
+         (Tuple.arity t) r.arity)
+
+let add_merge merge t ~texp r =
+  check_arity r t;
+  let rows =
+    Tuple_map.update t
+      (function
+        | None -> Some texp
+        | Some old -> Some (merge old texp))
+      r.rows
+  in
+  { r with rows }
+
+let add t ~texp r = add_merge Time.max t ~texp r
+let add_min t ~texp r = add_merge Time.min t ~texp r
+
+let replace t ~texp r =
+  check_arity r t;
+  { r with rows = Tuple_map.add t texp r.rows }
+
+let remove t r = { r with rows = Tuple_map.remove t r.rows }
+let mem t r = Tuple_map.mem t r.rows
+let texp r t = Tuple_map.find t r.rows
+let texp_opt r t = Tuple_map.find_opt t r.rows
+let exp tau r = { r with rows = Tuple_map.filter (fun _ e -> Time.(e > tau)) r.rows }
+
+let of_list ~arity rows =
+  List.fold_left (fun r (t, texp) -> add t ~texp r) (empty ~arity) rows
+
+let to_list r = Tuple_map.bindings r.rows
+let tuples r = List.map fst (to_list r)
+let iter f r = Tuple_map.iter f r.rows
+let fold f r acc = Tuple_map.fold f r.rows acc
+let filter f r = { r with rows = Tuple_map.filter f r.rows }
+
+let map_tuples ~arity f r =
+  fold (fun t texp acc -> add (f t) ~texp acc) r (empty ~arity)
+
+let union_max a b =
+  if a.arity <> b.arity then
+    invalid_arg "Relation.union_max: arity mismatch (union compatibility)"
+  else fold (fun t texp acc -> add t ~texp acc) b a
+
+let equal a b = a.arity = b.arity && Tuple_map.equal Time.equal a.rows b.rows
+
+let equal_tuples a b =
+  a.arity = b.arity && Tuple_map.equal (fun _ _ -> true) a.rows b.rows
+
+let min_texp r = fold (fun _ e acc -> Time.min e acc) r Time.Inf
+
+let max_texp r =
+  if is_empty r then Time.Inf
+  else fold (fun _ e acc -> Time.max e acc) r (min_texp r)
+
+let expiry_times r =
+  let module Time_set = Set.Make (Time) in
+  let times =
+    fold
+      (fun _ e acc -> if Time.is_finite e then Time_set.add e acc else acc)
+      r Time_set.empty
+  in
+  Time_set.elements times
+
+let pp ppf r =
+  if is_empty r then Format.pp_print_string ppf "(empty)"
+  else
+    Format.pp_print_list
+      ~pp_sep:Format.pp_print_newline
+      (fun ppf (t, e) -> Format.fprintf ppf "%4s | %a" (Time.to_string e) Tuple.pp t)
+      ppf (to_list r)
+
+let to_string r = Format.asprintf "%a" pp r

@@ -1,0 +1,56 @@
+type t =
+  | Fin of int
+  | Inf
+
+let zero = Fin 0
+let infinity = Inf
+let of_int n = Fin n
+
+let to_int_opt = function
+  | Fin n -> Some n
+  | Inf -> None
+
+let is_finite = function
+  | Fin _ -> true
+  | Inf -> false
+
+let is_infinite t = not (is_finite t)
+
+let compare a b =
+  match a, b with
+  | Fin x, Fin y -> Int.compare x y
+  | Fin _, Inf -> -1
+  | Inf, Fin _ -> 1
+  | Inf, Inf -> 0
+
+let equal a b = compare a b = 0
+let ( < ) a b = compare a b < 0
+let ( <= ) a b = compare a b <= 0
+let ( > ) a b = compare a b > 0
+let ( >= ) a b = compare a b >= 0
+let min a b = if a <= b then a else b
+let max a b = if a >= b then a else b
+let min_list ts = List.fold_left min Inf ts
+
+let max_list = function
+  | [] -> Inf
+  | t :: ts -> List.fold_left max t ts
+
+let succ = function
+  | Fin n -> Fin (Stdlib.( + ) n 1)
+  | Inf -> Inf
+
+let pred = function
+  | Fin n -> Fin (Stdlib.( - ) n 1)
+  | Inf -> Inf
+
+let add a b =
+  match a, b with
+  | Fin x, Fin y -> Fin (Stdlib.( + ) x y)
+  | Inf, _ | _, Inf -> Inf
+
+let pp ppf = function
+  | Fin n -> Format.fprintf ppf "%d" n
+  | Inf -> Format.pp_print_string ppf "inf"
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,57 @@
+(** The totally ordered time domain of the paper (Section 2.2).
+
+    Finite times are identified with the integers (the paper uses the
+    non-negative integers; we accept any [int] and leave range policy to
+    callers), extended with the symbol [infinity], which is larger than any
+    finite time.  Expiration time [infinity] marks a tuple that never
+    expires, recovering textbook relational semantics. *)
+
+type t =
+  | Fin of int  (** a finite timestamp *)
+  | Inf  (** the symbol [infinity] *)
+
+val zero : t
+val infinity : t
+
+val of_int : int -> t
+(** [of_int n] is [Fin n]. *)
+
+val to_int_opt : t -> int option
+(** [to_int_opt t] is [Some n] for [Fin n] and [None] for [Inf]. *)
+
+val is_finite : t -> bool
+val is_infinite : t -> bool
+
+val compare : t -> t -> int
+(** Total order with [Inf] as the greatest element. *)
+
+val equal : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+
+val min : t -> t -> t
+val max : t -> t -> t
+
+val min_list : t list -> t
+(** [min_list ts] is the minimum of [ts], or [Inf] when [ts] is empty —
+    matching the paper's convention that [texp] of an expression with no
+    constraining tuple is [infinity]. *)
+
+val max_list : t list -> t
+(** [max_list ts] is the maximum of [ts], or [Inf] when [ts] is empty.
+    The empty case never arises in the paper's formulas (maxima are taken
+    over non-empty partitions); we pick [Inf] and callers guard emptiness. *)
+
+val succ : t -> t
+(** [succ (Fin n)] is [Fin (n + 1)]; [succ Inf] is [Inf]. *)
+
+val pred : t -> t
+(** [pred (Fin n)] is [Fin (n - 1)]; [pred Inf] is [Inf]. *)
+
+val add : t -> t -> t
+(** Saturating addition: [Inf] absorbs. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

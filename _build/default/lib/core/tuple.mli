@@ -1,0 +1,38 @@
+(** Tuples: elements of [D^alpha(R)] (Section 2.2).
+
+    Attribute positions are 1-based throughout the public API, following
+    the paper's numbering [{1, ..., alpha(R)}]. *)
+
+type t
+
+val of_list : Value.t list -> t
+val of_array : Value.t array -> t
+(** The array is copied. *)
+
+val to_list : t -> Value.t list
+val arity : t -> int
+
+val attr : t -> int -> Value.t
+(** [attr t i] is the paper's [t(i)], 1-based.
+    @raise Invalid_argument when [i] is out of [1..arity t]. *)
+
+val project : int list -> t -> t
+(** [project [j1; ...; jn] t] is [<t(j1), ..., t(jn)>] (1-based). *)
+
+val concat : t -> t -> t
+(** [concat r s] is [<r(1), ..., r(alpha R), s(1), ..., s(alpha S)>]. *)
+
+val split : left_arity:int -> t -> t * t
+(** Inverse of {!concat}: splits after attribute [left_arity]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val ints : int list -> t
+(** Convenience: a tuple of integer values. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints in the paper's angle-bracket style: [<1, 25>]. *)
+
+val to_string : t -> string

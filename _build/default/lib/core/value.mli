@@ -1,0 +1,45 @@
+(** Attribute values.  The paper works over an abstract attribute domain
+    [D]; we provide integers, strings, floats, booleans and [Null].
+
+    [Null] is included for completeness of the substrates (outer-join-like
+    operators are out of the paper's scope, Section 2.4); comparisons
+    involving [Null] follow SQL's unknown-is-false convention at the
+    predicate level (see {!Predicate}). *)
+
+type t =
+  | Int of int
+  | Str of string
+  | Float of float
+  | Bool of bool
+  | Null
+
+val int : int -> t
+val str : string -> t
+val float : float -> t
+val bool : bool -> t
+
+val compare : t -> t -> int
+(** Total order: within a constructor the natural order, across
+    constructors ordered by tag ([Null < Bool < Int < Float < Str]).
+    Used for set semantics of relations; query-level comparisons go
+    through {!cmp}. *)
+
+val equal : t -> t -> bool
+
+val is_null : t -> bool
+
+val cmp : t -> t -> int option
+(** SQL-style comparison: [None] when either side is [Null] or the types
+    are incomparable (e.g. [Int] vs [Str]); [Int]/[Float] compare
+    numerically. *)
+
+val add : t -> t -> t
+(** Numeric addition for aggregate sums; [Null] absorbs.
+    @raise Invalid_argument on non-numeric operands. *)
+
+val to_float : t -> float option
+(** Numeric view of [Int]/[Float]; [None] otherwise. *)
+
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/dist/metrics.ml: Expirel_core Format Relation

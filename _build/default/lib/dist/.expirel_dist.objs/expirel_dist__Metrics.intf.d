@@ -1,0 +1,1 @@
+lib/dist/metrics.mli: Expirel_core Format Relation

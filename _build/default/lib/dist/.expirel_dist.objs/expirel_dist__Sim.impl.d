@@ -1,0 +1,1 @@
+lib/dist/sim.ml: Algebra Eval Expirel_core List Metrics Patch Printf Relation Time

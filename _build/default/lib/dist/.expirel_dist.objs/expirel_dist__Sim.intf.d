@@ -1,0 +1,1 @@
+lib/dist/sim.mli: Algebra Eval Expirel_core Metrics

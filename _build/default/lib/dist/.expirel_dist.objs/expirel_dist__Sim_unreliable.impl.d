@@ -1,0 +1,1 @@
+lib/dist/sim_unreliable.ml: Algebra Antijoin Eval Expirel_core Heap List Metrics Ops Relation Sim Time Tuple

@@ -1,0 +1,1 @@
+lib/dist/sim_unreliable.mli: Algebra Eval Expirel_core Metrics Sim

@@ -1,0 +1,1 @@
+lib/dist/sim_update.ml: Algebra Eval Expirel_core List Maintained Metrics Printf Relation String Time Tuple

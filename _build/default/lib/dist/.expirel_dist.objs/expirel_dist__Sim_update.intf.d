@@ -1,0 +1,1 @@
+lib/dist/sim_update.mli: Algebra Expirel_core Metrics Relation Time Tuple

@@ -1,0 +1,35 @@
+open Expirel_core
+
+type t = {
+  mutable messages : int;
+  mutable bytes : int;
+  mutable refetches : int;
+  mutable stale_ticks : int;
+  mutable served_ticks : int;
+}
+
+let create () =
+  { messages = 0; bytes = 0; refetches = 0; stale_ticks = 0; served_ticks = 0 }
+
+let tuple_bytes = 16
+let message_overhead = 32
+let relation_bytes r = Relation.cardinal r * tuple_bytes
+
+let record_message m ~payload_bytes =
+  m.messages <- m.messages + 1;
+  m.bytes <- m.bytes + message_overhead + payload_bytes
+
+let record_refetch m = m.refetches <- m.refetches + 1
+
+let record_tick m ~stale =
+  m.served_ticks <- m.served_ticks + 1;
+  if stale then m.stale_ticks <- m.stale_ticks + 1
+
+let staleness_ratio m =
+  if m.served_ticks = 0 then 0.
+  else float_of_int m.stale_ticks /. float_of_int m.served_ticks
+
+let pp ppf m =
+  Format.fprintf ppf
+    "messages=%d bytes=%d refetches=%d stale=%d/%d (%.1f%%)" m.messages m.bytes
+    m.refetches m.stale_ticks m.served_ticks (100. *. staleness_ratio m)

@@ -1,0 +1,31 @@
+(** Cost accounting for the loosely-coupled-system simulation: the
+    paper's target cost factors are "network traffic and latency"
+    (Section 1). *)
+
+open Expirel_core
+
+type t = {
+  mutable messages : int;  (** request/response/push messages sent *)
+  mutable bytes : int;  (** payload bytes on the wire *)
+  mutable refetches : int;  (** full result re-transmissions after t = 0 *)
+  mutable stale_ticks : int;  (** ticks the client served a wrong result *)
+  mutable served_ticks : int;  (** ticks observed in total *)
+}
+
+val create : unit -> t
+
+val tuple_bytes : int
+(** Accounted wire size per tuple (a constant model; only ratios between
+    strategies matter). *)
+
+val message_overhead : int
+(** Accounted fixed bytes per message. *)
+
+val relation_bytes : Relation.t -> int
+
+val record_message : t -> payload_bytes:int -> unit
+val record_refetch : t -> unit
+val record_tick : t -> stale:bool -> unit
+
+val staleness_ratio : t -> float
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,101 @@
+open Expirel_core
+
+type strategy =
+  | Poll of int
+  | Expiration_aware
+  | Patched
+
+type config = {
+  horizon : int;
+  latency : int;
+  strategy : strategy;
+}
+
+type report = {
+  strategy : strategy;
+  metrics : Metrics.t;
+}
+
+let strategy_label = function
+  | Poll p -> Printf.sprintf "poll(%d)" p
+  | Expiration_aware -> "expiration-aware"
+  | Patched -> "patched"
+
+let validate config =
+  if config.horizon <= 0 then invalid_arg "Sim.run: horizon <= 0";
+  if config.latency < 0 then invalid_arg "Sim.run: negative latency";
+  match config.strategy with
+  | Poll p when p < 1 -> invalid_arg "Sim.run: poll period < 1"
+  | Poll _ | Expiration_aware | Patched -> ()
+
+(* Request plus response carrying the payload. *)
+let fetch metrics payload =
+  Metrics.record_message metrics ~payload_bytes:0;
+  Metrics.record_message metrics ~payload_bytes:(Metrics.relation_bytes payload)
+
+let run_poll ~env ~expr ~config metrics period =
+  let truth tau = Eval.relation_at ~env ~tau:(Time.of_int tau) expr in
+  let arity = Relation.arity (truth 0) in
+  let copy = ref (Relation.empty ~arity) in
+  let in_flight = ref [] in
+  for tau = 0 to config.horizon - 1 do
+    if tau mod period = 0 then begin
+      let payload = truth tau in
+      fetch metrics payload;
+      if tau > 0 then Metrics.record_refetch metrics;
+      in_flight := !in_flight @ [ tau + config.latency, payload ]
+    end;
+    let arrived, still = List.partition (fun (at, _) -> at <= tau) !in_flight in
+    in_flight := still;
+    List.iter (fun (_, payload) -> copy := payload) arrived;
+    (* A TTL-less client serves its whole copy, expired tuples included. *)
+    let stale = not (Relation.equal_tuples !copy (truth tau)) in
+    Metrics.record_tick metrics ~stale
+  done
+
+let run_expiration_aware ~env ~expr ~config metrics =
+  let materialise tau = Eval.run ~env ~tau:(Time.of_int tau) expr in
+  let state = ref (materialise 0) in
+  fetch metrics !state.Eval.relation;
+  for tau = 0 to config.horizon - 1 do
+    (* The client knows texp(e) in advance, so it prefetches early enough
+       for the replacement to arrive exactly when the old copy dies. *)
+    if Time.(!state.Eval.texp <= Time.of_int tau) then begin
+      state := materialise tau;
+      fetch metrics !state.Eval.relation;
+      Metrics.record_refetch metrics
+    end;
+    let serving = Relation.exp (Time.of_int tau) !state.Eval.relation in
+    let truth = Eval.relation_at ~env ~tau:(Time.of_int tau) expr in
+    Metrics.record_tick metrics ~stale:(not (Relation.equal_tuples serving truth))
+  done
+
+let run_patched ~env ~expr ~config metrics =
+  match expr with
+  | Algebra.Diff (left, right) ->
+    let state = ref (Patch.create ~env ~tau:Time.zero ~left ~right) in
+    let initial, _ = Patch.read !state ~tau:Time.zero in
+    let payload_bytes =
+      Metrics.relation_bytes initial + (Patch.pending !state * Metrics.tuple_bytes)
+    in
+    Metrics.record_message metrics ~payload_bytes:0;
+    Metrics.record_message metrics ~payload_bytes;
+    for tau = 0 to config.horizon - 1 do
+      let serving, next = Patch.read !state ~tau:(Time.of_int tau) in
+      state := next;
+      let truth = Eval.relation_at ~env ~tau:(Time.of_int tau) expr in
+      Metrics.record_tick metrics ~stale:(not (Relation.equal_tuples serving truth))
+    done
+  | Algebra.Base _ | Algebra.Select _ | Algebra.Project _ | Algebra.Product _
+  | Algebra.Union _ | Algebra.Join _ | Algebra.Intersect _ | Algebra.Aggregate _
+    ->
+    invalid_arg "Sim.run: Patched requires a difference at the root"
+
+let run ~env ~expr config =
+  validate config;
+  let metrics = Metrics.create () in
+  (match config.strategy with
+   | Poll period -> run_poll ~env ~expr ~config metrics period
+   | Expiration_aware -> run_expiration_aware ~env ~expr ~config metrics
+   | Patched -> run_patched ~env ~expr ~config metrics);
+  { strategy = config.strategy; metrics }

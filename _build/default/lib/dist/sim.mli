@@ -1,0 +1,47 @@
+(** A deterministic discrete-time simulation of one server holding
+    expiring base relations and one remote client holding a materialised
+    query result — the loosely-coupled setting that motivates the paper
+    (Section 1: intermittent connectivity, traffic and latency as the
+    cost factors).
+
+    The base data only expires (the paper's standing assumption: no
+    updates to the source data), so the server-side truth at tick [tau]
+    is the expression evaluated at [tau].  Three client maintenance
+    strategies are compared:
+
+    - {!strategy.Poll}: a traditional TTL-less client refetching the
+      whole result every [period] ticks; between polls its copy does not
+      self-expire, so it serves stale tuples.
+    - {!strategy.Expiration_aware}: the paper's scheme — fetch once with
+      expiration times, expire locally, and refetch only when the
+      expression expiration time [texp(e)] passes (never, for monotonic
+      expressions: Theorem 1).  Knowing [texp(e)] in advance, the client
+      prefetches [latency] ticks early, so it is never stale.
+    - {!strategy.Patched}: for difference expressions, ship the helper
+      priority queue with the initial fetch (Theorem 3); no further
+      traffic at all. *)
+
+open Expirel_core
+
+type strategy =
+  | Poll of int  (** refetch period in ticks, [>= 1] *)
+  | Expiration_aware
+  | Patched
+
+type config = {
+  horizon : int;  (** simulate ticks [0 .. horizon - 1] *)
+  latency : int;  (** one-way message latency in ticks, [>= 0] *)
+  strategy : strategy;
+}
+
+type report = {
+  strategy : strategy;
+  metrics : Metrics.t;
+}
+
+val run : env:Eval.env -> expr:Algebra.t -> config -> report
+(** @raise Invalid_argument on a non-positive horizon or poll period, a
+    negative latency, or [Patched] applied to an expression whose root is
+    not a difference. *)
+
+val strategy_label : strategy -> string

@@ -1,0 +1,171 @@
+open Expirel_core
+
+type config = {
+  horizon : int;
+  strategy : Sim.strategy;
+  offline : (int * int) list;
+  skew : int;
+  margin : int;
+  patch_delay : int;
+}
+
+type report = {
+  metrics : Metrics.t;
+  expired_served : int;
+  valid_dropped : int;
+  blocked_fetches : int;
+}
+
+let validate config =
+  if config.horizon <= 0 then invalid_arg "Sim_unreliable.run: horizon <= 0";
+  if config.margin < 0 then invalid_arg "Sim_unreliable.run: negative margin";
+  if config.patch_delay < 0 then
+    invalid_arg "Sim_unreliable.run: negative patch_delay";
+  (match config.strategy with
+   | Sim.Poll p when p < 1 -> invalid_arg "Sim_unreliable.run: poll period < 1"
+   | Sim.Poll _ | Sim.Expiration_aware | Sim.Patched -> ());
+  let rec windows_ok = function
+    | [] -> true
+    | [ (a, b) ] -> a < b
+    | (a, b) :: ((c, _) :: _ as rest) -> a < b && b <= c && windows_ok rest
+  in
+  if not (windows_ok config.offline) then
+    invalid_arg "Sim_unreliable.run: offline windows unsorted or overlapping";
+  if List.exists (fun (a, b) -> a <= 0 && 0 < b) config.offline then
+    invalid_arg "Sim_unreliable.run: link must be up at tick 0"
+
+let online config tau =
+  not (List.exists (fun (a, b) -> a <= tau && tau < b) config.offline)
+
+let shift_texp delta texp =
+  match texp with
+  | Time.Fin n -> Time.Fin (n + delta)
+  | Time.Inf -> Time.Inf
+
+(* The server ships expiration times shortened by the safety margin. *)
+let ship ~margin relation =
+  Relation.fold
+    (fun t texp acc -> Relation.replace t ~texp:(shift_texp (-margin) texp) acc)
+    relation
+    (Relation.empty ~arity:(Relation.arity relation))
+
+type patched_state = {
+  mutable contents : Relation.t;
+  mutable queue : (Tuple.t * Time.t) Heap.t;  (* appear -> (tuple, expire) *)
+}
+
+let run ~env ~expr config =
+  validate config;
+  let metrics = Metrics.create () in
+  let expired_served = ref 0 in
+  let valid_dropped = ref 0 in
+  let blocked = ref 0 in
+  let truth tau = Eval.relation_at ~env ~tau:(Time.of_int tau) expr in
+  let fetch payload =
+    Metrics.record_message metrics ~payload_bytes:0;
+    Metrics.record_message metrics ~payload_bytes:(Metrics.relation_bytes payload)
+  in
+  (* Client state. *)
+  let copy = ref (Relation.empty ~arity:(Relation.arity (truth 0))) in
+  let deadline = ref Time.Inf in  (* exp-aware refetch time, client clock *)
+  let patched =
+    { contents = Relation.empty ~arity:(Relation.arity (truth 0)); queue = Heap.empty }
+  in
+  (* Initial shipment at tick 0 (the link is up). *)
+  (match config.strategy with
+   | Sim.Poll _ ->
+     let payload = ship ~margin:config.margin (truth 0) in
+     fetch payload;
+     copy := payload
+   | Sim.Expiration_aware ->
+     let { Eval.relation; texp } = Eval.run ~env ~tau:Time.zero expr in
+     let payload = ship ~margin:config.margin relation in
+     fetch payload;
+     copy := payload;
+     deadline := shift_texp (-config.margin) texp
+   | Sim.Patched ->
+     (match expr with
+      | Algebra.Diff (left, right) ->
+        let l_rel = Eval.relation_at ~env ~tau:Time.zero left in
+        let r_rel = Eval.relation_at ~env ~tau:Time.zero right in
+        patched.contents <-
+          ship ~margin:config.margin (Ops.diff l_rel r_rel);
+        List.iter
+          (fun (tuple, texp_s, texp_r) ->
+            patched.queue <-
+              Heap.insert
+                (shift_texp config.patch_delay texp_s)
+                (tuple, shift_texp (-config.margin) texp_r)
+                patched.queue)
+          (Antijoin.critical_tuples Antijoin.Hash l_rel r_rel);
+        let payload_bytes =
+          Metrics.relation_bytes patched.contents
+          + (Heap.cardinal patched.queue * Metrics.tuple_bytes)
+        in
+        Metrics.record_message metrics ~payload_bytes:0;
+        Metrics.record_message metrics ~payload_bytes
+      | Algebra.Base _ | Algebra.Select _ | Algebra.Project _
+      | Algebra.Product _ | Algebra.Union _ | Algebra.Join _
+      | Algebra.Intersect _ | Algebra.Aggregate _ ->
+        invalid_arg "Sim_unreliable.run: Patched requires a difference root"));
+  for tau = 0 to config.horizon - 1 do
+    let client_time = Time.of_int (tau + config.skew) in
+    (* Fetch attempts. *)
+    (match config.strategy with
+     | Sim.Poll period ->
+       if tau > 0 && tau mod period = 0 then begin
+         if online config tau then begin
+           let payload = ship ~margin:config.margin (truth tau) in
+           fetch payload;
+           Metrics.record_refetch metrics;
+           copy := payload
+         end
+         else incr blocked
+       end
+     | Sim.Expiration_aware ->
+       if Time.(!deadline <= client_time) then begin
+         if online config tau then begin
+           let { Eval.relation; texp } =
+             Eval.run ~env ~tau:(Time.of_int tau) expr
+           in
+           let payload = ship ~margin:config.margin relation in
+           fetch payload;
+           Metrics.record_refetch metrics;
+           copy := payload;
+           deadline := shift_texp (-config.margin) texp
+         end
+         else incr blocked (* retries every tick until the link returns *)
+       end
+     | Sim.Patched ->
+       let due, rest = Heap.pop_until client_time patched.queue in
+       patched.queue <- rest;
+       List.iter
+         (fun (_appear, (tuple, expire)) ->
+           patched.contents <- Relation.add tuple ~texp:expire patched.contents)
+         due);
+    (* Serve and account. *)
+    let serving =
+      match config.strategy with
+      | Sim.Poll _ | Sim.Expiration_aware -> Relation.exp client_time !copy
+      | Sim.Patched -> Relation.exp client_time patched.contents
+    in
+    let t = truth tau in
+    let wrong =
+      Relation.fold
+        (fun tuple _ n -> if Relation.mem tuple t then n else n + 1)
+        serving 0
+    in
+    let missing =
+      Relation.fold
+        (fun tuple _ n -> if Relation.mem tuple serving then n else n + 1)
+        t 0
+    in
+    expired_served := !expired_served + wrong;
+    valid_dropped := !valid_dropped + missing;
+    Metrics.record_tick metrics ~stale:(wrong + missing > 0)
+  done;
+  { metrics;
+    expired_served = !expired_served;
+    valid_dropped = !valid_dropped;
+    blocked_fetches = !blocked
+  }

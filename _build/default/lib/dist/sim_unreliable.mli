@@ -1,0 +1,53 @@
+(** The loosely-coupled simulation under the failure modes the paper
+    opens with (Section 1): "connectivity might be intermittent or ...
+    the clocks of different sub-systems are not synchronised".
+
+    All clients here are TTL-aware caches: they hold the shipped
+    expiration times and expire locally.  The simulation adds
+
+    - {b link outages}: during an offline window no fetch or refetch
+      succeeds; clients serve whatever their local expiration machinery
+      still justifies — which is exactly correct for monotonic views
+      (Theorem 1) and correct until [texp(e)] for the rest;
+    - {b clock skew}: the client's clock runs [skew] ticks ahead (+) or
+      behind (−) of the server's.  A slow clock holds tuples past their
+      true expiration — the dangerous direction;
+    - {b safety margin}: the mitigation — the server ships
+      [texp − margin], trading availability for safety.  With
+      [margin >= max 0 (-skew)] a client {e never} serves an expired
+      tuple (property-tested). *)
+
+open Expirel_core
+
+type config = {
+  horizon : int;
+  strategy : Sim.strategy;
+  offline : (int * int) list;
+      (** half-open link-down windows in server time, sorted, disjoint *)
+  skew : int;  (** client clock minus server clock *)
+  margin : int;  (** shipped expiration times are reduced by this, [>= 0] *)
+  patch_delay : int;
+      (** appearance times of shipped difference patches are pushed this
+          much later, [>= 0] — guards {!Sim.strategy.Patched} against
+          fast client clocks the way [margin] guards expirations against
+          slow ones *)
+}
+
+type report = {
+  metrics : Metrics.t;  (** [stale_ticks] counts any divergence *)
+  expired_served : int;
+      (** (tick, tuple) pairs the client served although absent from the
+          true result (already expired, or patched in too early) —
+          wrong-data violations.  Zero whenever
+          [margin >= max 0 (-skew)] and [patch_delay >= max 0 skew]
+          (property-tested). *)
+  valid_dropped : int;
+      (** (tick, tuple) pairs the client withheld although still valid —
+          the availability price of margins, skew and outages *)
+  blocked_fetches : int;  (** fetch attempts that hit an offline window *)
+}
+
+val run : env:Eval.env -> expr:Algebra.t -> config -> report
+(** @raise Invalid_argument on bad horizon/period/margin, overlapping or
+    unsorted offline windows, or [Patched] over a non-difference (as in
+    {!Sim.run}).  The link must be up at tick 0 (the initial shipment). *)

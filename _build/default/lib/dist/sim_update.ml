@@ -1,0 +1,132 @@
+open Expirel_core
+
+type base_change = {
+  at : int;
+  relation : string;
+  change : [ `Upsert of Tuple.t * Time.t | `Delete of Tuple.t ];
+}
+
+type strategy =
+  | Poll of int
+  | Expiration_aware
+  | Refetch_on_change
+  | Delta_push
+
+type config = {
+  horizon : int;
+  strategy : strategy;
+}
+
+type report = {
+  strategy : strategy;
+  metrics : Metrics.t;
+}
+
+let strategy_label = function
+  | Poll p -> Printf.sprintf "poll(%d)" p
+  | Expiration_aware -> "expiration-aware"
+  | Refetch_on_change -> "refetch-on-change"
+  | Delta_push -> "delta-push"
+
+let validate config updates =
+  if config.horizon <= 0 then invalid_arg "Sim_update.run: horizon <= 0";
+  (match config.strategy with
+   | Poll p when p < 1 -> invalid_arg "Sim_update.run: poll period < 1"
+   | Poll _ | Expiration_aware | Refetch_on_change | Delta_push -> ());
+  let rec sorted = function
+    | [] | [ _ ] -> true
+    | a :: (b :: _ as rest) -> a.at <= b.at && sorted rest
+  in
+  if not (sorted updates) then invalid_arg "Sim_update.run: updates unsorted"
+
+let fetch metrics payload =
+  Metrics.record_message metrics ~payload_bytes:0;
+  Metrics.record_message metrics ~payload_bytes:(Metrics.relation_bytes payload)
+
+let apply_to_bindings bindings { relation; change; _ } =
+  List.map
+    (fun (name, r) ->
+      if not (String.equal name relation) then name, r
+      else
+        match change with
+        | `Upsert (t, texp) -> name, Relation.replace t ~texp r
+        | `Delete t -> name, Relation.remove t r)
+    bindings
+
+let run ~bindings ~expr ~updates config =
+  validate config updates;
+  let metrics = Metrics.create () in
+  let state = ref bindings in
+  let env name = List.assoc_opt name !state in
+  let truth tau = Eval.relation_at ~env ~tau:(Time.of_int tau) expr in
+  let relevant = Algebra.base_names expr in
+  let pending = ref updates in
+  (* Client state per strategy. *)
+  let poll_copy = ref (Relation.empty ~arity:(Relation.arity (truth 0))) in
+  let fetched = ref (Eval.run ~env ~tau:Time.zero expr) in
+  let replica =
+    ref (Maintained.materialise ~env ~tau:Time.zero expr)
+  in
+  (match config.strategy with
+   | Poll _ -> ()
+   | Expiration_aware | Refetch_on_change -> fetch metrics !fetched.Eval.relation
+   | Delta_push -> fetch metrics (Maintained.read !replica));
+  for tau = 0 to config.horizon - 1 do
+    (* 1. Apply this tick's updates at the server; update-aware
+       strategies react to the relevant ones. *)
+    let dirty = ref false in
+    let rec drain () =
+      match !pending with
+      | u :: rest when u.at <= tau ->
+        pending := rest;
+        state := apply_to_bindings !state u;
+        if List.mem u.relation relevant then begin
+          dirty := true;
+          match config.strategy with
+          | Delta_push ->
+            (* One tuple-sized push keeps the replica exact. *)
+            Metrics.record_message metrics ~payload_bytes:Metrics.tuple_bytes;
+            (match u.change with
+             | `Upsert (t, texp) ->
+               replica := Maintained.insert !replica ~relation:u.relation t ~texp
+             | `Delete t ->
+               replica := Maintained.delete !replica ~relation:u.relation t)
+          | Poll _ | Expiration_aware | Refetch_on_change -> ()
+        end;
+        drain ()
+      | _ -> ()
+    in
+    drain ();
+    (* 2. The client serves. *)
+    let serving =
+      match config.strategy with
+      | Poll period ->
+        if tau mod period = 0 then begin
+          let payload = truth tau in
+          fetch metrics payload;
+          if tau > 0 then Metrics.record_refetch metrics;
+          poll_copy := payload
+        end;
+        !poll_copy
+      | Expiration_aware ->
+        if Time.(!fetched.Eval.texp <= Time.of_int tau) then begin
+          fetched := Eval.run ~env ~tau:(Time.of_int tau) expr;
+          fetch metrics !fetched.Eval.relation;
+          Metrics.record_refetch metrics
+        end;
+        Relation.exp (Time.of_int tau) !fetched.Eval.relation
+      | Refetch_on_change ->
+        if !dirty || Time.(!fetched.Eval.texp <= Time.of_int tau) then begin
+          fetched := Eval.run ~env ~tau:(Time.of_int tau) expr;
+          fetch metrics !fetched.Eval.relation;
+          Metrics.record_refetch metrics
+        end;
+        Relation.exp (Time.of_int tau) !fetched.Eval.relation
+      | Delta_push ->
+        replica := Maintained.advance !replica ~to_:(Time.of_int tau);
+        Maintained.read !replica
+    in
+    Metrics.record_tick metrics
+      ~stale:(not (Relation.equal_tuples serving (truth tau)))
+  done;
+  { strategy = config.strategy; metrics }

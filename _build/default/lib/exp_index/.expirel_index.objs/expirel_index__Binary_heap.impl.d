@@ -1,0 +1,1 @@
+lib/exp_index/binary_heap.ml: Array List

@@ -1,0 +1,1 @@
+lib/exp_index/expiration_index.ml: Binary_heap Expirel_core Hashtbl Int List Time Timer_wheel

@@ -1,0 +1,1 @@
+lib/exp_index/expiration_index.mli: Expirel_core Time

@@ -1,0 +1,1 @@
+lib/exp_index/timer_wheel.ml: Array List

@@ -1,0 +1,86 @@
+type t = {
+  mutable times : int array;
+  mutable ids : int array;
+  mutable size : int;
+}
+
+let create ?(capacity = 16) () =
+  let capacity = max capacity 1 in
+  { times = Array.make capacity 0; ids = Array.make capacity 0; size = 0 }
+
+let size h = h.size
+let is_empty h = h.size = 0
+
+let less h i j =
+  h.times.(i) < h.times.(j)
+  || (h.times.(i) = h.times.(j) && h.ids.(i) < h.ids.(j))
+
+let swap h i j =
+  let t = h.times.(i) in
+  h.times.(i) <- h.times.(j);
+  h.times.(j) <- t;
+  let d = h.ids.(i) in
+  h.ids.(i) <- h.ids.(j);
+  h.ids.(j) <- d
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less h i parent then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.size && less h l !smallest then smallest := l;
+  if r < h.size && less h r !smallest then smallest := r;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let grow h =
+  let capacity = 2 * Array.length h.times in
+  let times = Array.make capacity 0 and ids = Array.make capacity 0 in
+  Array.blit h.times 0 times 0 h.size;
+  Array.blit h.ids 0 ids 0 h.size;
+  h.times <- times;
+  h.ids <- ids
+
+let push h time id =
+  if h.size = Array.length h.times then grow h;
+  h.times.(h.size) <- time;
+  h.ids.(h.size) <- id;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let peek h = if h.size = 0 then None else Some (h.times.(0), h.ids.(0))
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.times.(0), h.ids.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.times.(0) <- h.times.(h.size);
+      h.ids.(0) <- h.ids.(h.size);
+      sift_down h 0
+    end;
+    Some top
+  end
+
+let pop_until h bound =
+  let rec go acc =
+    match peek h with
+    | Some (time, _) when time <= bound ->
+      (match pop h with
+       | Some entry -> go (entry :: acc)
+       | None -> List.rev acc)
+    | Some _ | None -> List.rev acc
+  in
+  go []
+
+let clear h = h.size <- 0

@@ -1,0 +1,23 @@
+(** Mutable array-based binary min-heap of [(time, id)] pairs, ordered by
+    time (ties by id for determinism).  One of the expiration-index
+    backends offering the real-time guarantees the paper relies on
+    (Section 1, citation [24]). *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val size : t -> int
+val is_empty : t -> bool
+
+val push : t -> int -> int -> unit
+(** [push h time id]. *)
+
+val peek : t -> (int * int) option
+(** Smallest [(time, id)] without removing it. *)
+
+val pop : t -> (int * int) option
+
+val pop_until : t -> int -> (int * int) list
+(** Removes and returns, in order, every entry with time [<= bound]. *)
+
+val clear : t -> unit

@@ -1,0 +1,115 @@
+type entry = {
+  at : int;
+  id : int;
+}
+
+type t = {
+  wheel_size : int;
+  levels : int;
+  slots : entry list array array;  (* slots.(level).(index) *)
+  mutable now : int;
+  mutable size : int;
+  mutable overdue : entry list;
+  mutable overflow : entry list;
+}
+
+let create ?(wheel_size = 64) ?(levels = 4) ~start () =
+  if wheel_size < 2 then invalid_arg "Timer_wheel.create: wheel_size < 2";
+  if levels < 1 then invalid_arg "Timer_wheel.create: levels < 1";
+  { wheel_size;
+    levels;
+    slots = Array.init levels (fun _ -> Array.make wheel_size []);
+    now = start;
+    size = 0;
+    overdue = [];
+    overflow = []
+  }
+
+let now w = w.now
+let size w = w.size
+
+(* span l = wheel_size^(l+1): the furthest delta level l can hold. *)
+let span w l =
+  let rec pow acc n = if n = 0 then acc else pow (acc * w.wheel_size) (n - 1) in
+  pow 1 (l + 1)
+
+let place w e =
+  let delta = e.at - w.now in
+  if delta <= 0 then w.overdue <- e :: w.overdue
+  else begin
+    let rec find l = if l >= w.levels || delta < span w l then l else find (l + 1) in
+    let l = find 0 in
+    if l >= w.levels then w.overflow <- e :: w.overflow
+    else
+      let unit = if l = 0 then 1 else span w (l - 1) in
+      let idx = e.at / unit mod w.wheel_size in
+      w.slots.(l).(idx) <- e :: w.slots.(l).(idx)
+  end
+
+let add w ~at id =
+  w.size <- w.size + 1;
+  place w { at; id }
+
+(* Pull a higher-level slot (or the overflow) down, re-placing entries
+   relative to the new [now]. *)
+let cascade w l =
+  if l < w.levels then begin
+    let unit = span w (l - 1) in
+    let idx = w.now / unit mod w.wheel_size in
+    let entries = w.slots.(l).(idx) in
+    w.slots.(l).(idx) <- [];
+    List.iter (place w) entries
+  end
+  else begin
+    let entries = w.overflow in
+    w.overflow <- [];
+    List.iter (place w) entries
+  end
+
+let advance w ~to_ =
+  if to_ < w.now then invalid_arg "Timer_wheel.advance: moving backwards";
+  let due = ref (List.map (fun e -> e.at, e.id) w.overdue) in
+  w.overdue <- [];
+  while w.now < to_ do
+    w.now <- w.now + 1;
+    (* When crossing a span boundary, pull the next higher-level slot. *)
+    let rec maybe_cascade l =
+      if l <= w.levels && w.now mod span w (l - 1) = 0 then begin
+        cascade w l;
+        maybe_cascade (l + 1)
+      end
+    in
+    maybe_cascade 1;
+    (* Cascading can re-place an entry whose time is exactly the current
+       tick; it lands in [overdue] and must be delivered now. *)
+    if w.overdue <> [] then begin
+      due := List.rev_append (List.map (fun e -> e.at, e.id) w.overdue) !due;
+      w.overdue <- []
+    end;
+    let idx = w.now mod w.wheel_size in
+    let slot = w.slots.(0).(idx) in
+    if slot <> [] then begin
+      let ready, later = List.partition (fun e -> e.at <= w.now) slot in
+      w.slots.(0).(idx) <- later;
+      due := List.rev_append (List.map (fun e -> e.at, e.id) ready) !due
+    end
+  done;
+  let due = List.sort compare !due in
+  w.size <- w.size - List.length due;
+  due
+
+let next_expiry w =
+  if w.size = 0 then None
+  else begin
+    (* Scan everything; fine for idle-time use. *)
+    let best = ref None in
+    let consider e =
+      match !best with
+      | None -> best := Some e.at
+      | Some b -> if e.at < b then best := Some e.at
+    in
+    List.iter consider w.overdue;
+    Array.iter (fun level -> Array.iter (List.iter consider) level) w.slots;
+    List.iter consider w.overflow;
+    !best
+  end

@@ -1,0 +1,31 @@
+(** Hierarchical timing wheel over discrete ticks.
+
+    Level [l] consists of [wheel_size] slots each spanning
+    [wheel_size^l] ticks, so [levels] levels cover [wheel_size^levels]
+    ticks ahead of the current time; entries beyond that horizon go to an
+    overflow list that is redistributed as the top level turns.  Insertion
+    and expiration are O(1) amortised — the constant-time behaviour that
+    motivates using expiration indexes for real-time guarantees. *)
+
+type t
+
+val create : ?wheel_size:int -> ?levels:int -> start:int -> unit -> t
+(** [create ~start ()] begins at tick [start].  Defaults: [wheel_size]
+    64, [levels] 4 (horizon 16.7M ticks). *)
+
+val now : t -> int
+val size : t -> int
+
+val add : t -> at:int -> int -> unit
+(** [add w ~at id] schedules [id] at tick [at].  Entries with
+    [at <= now w] are delivered by the next {!advance}. *)
+
+val advance : t -> to_:int -> (int * int) list
+(** [advance w ~to_] moves the clock to [to_] and returns all due
+    [(time, id)] entries in nondecreasing time order (ties by id).
+    @raise Invalid_argument when [to_ < now w] *)
+
+val next_expiry : t -> int option
+(** Earliest scheduled tick [> now], scanning forward; [None] when the
+    wheel is empty.  O(slots scanned); intended for idle-time queries,
+    not hot loops. *)

@@ -1,0 +1,1 @@
+lib/sqlx/ast.ml: Expirel_core Format List Printf String Value

@@ -1,0 +1,1 @@
+lib/sqlx/ast.mli: Expirel_core Format Value

@@ -1,0 +1,1 @@
+lib/sqlx/interp.mli: Ast Database Expirel_core Expirel_index Expirel_storage Relation Time Tuple

@@ -1,0 +1,1 @@
+lib/sqlx/lower.ml: Aggregate Algebra Ast Expirel_core List Predicate Printf String

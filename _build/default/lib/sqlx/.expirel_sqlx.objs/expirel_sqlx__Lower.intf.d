@@ -1,0 +1,1 @@
+lib/sqlx/lower.mli: Algebra Ast Expirel_core Predicate

@@ -1,0 +1,1 @@
+lib/sqlx/parser.ml: Ast Expirel_core Lexer List Printf Token Value

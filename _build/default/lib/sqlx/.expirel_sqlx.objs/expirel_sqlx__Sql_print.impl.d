@@ -1,0 +1,1 @@
+lib/sqlx/sql_print.ml: Ast Buffer Expirel_core List Printf String Value

@@ -1,0 +1,1 @@
+lib/sqlx/sql_print.mli: Ast Expirel_core

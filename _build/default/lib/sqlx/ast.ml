@@ -1,0 +1,191 @@
+open Expirel_core
+
+type column_ref = {
+  qualifier : string option;
+  column : string;
+}
+
+type agg_name =
+  | Count_star
+  | Sum_of of column_ref
+  | Min_of of column_ref
+  | Max_of of column_ref
+  | Avg_of of column_ref
+
+type operand =
+  | Col_ref of column_ref
+  | Lit of Value.t
+  | Agg_ref of agg_name
+      (** only meaningful inside HAVING conditions *)
+
+type cmp =
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+type cond =
+  | Cmp of cmp * operand * operand
+  | And of cond * cond
+  | Or of cond * cond
+  | Not of cond
+
+type select_item =
+  | Star
+  | Column of column_ref
+  | Agg of agg_name
+
+type source =
+  | From_table of string
+  | From_join of string * string * cond
+
+type direction =
+  | Asc
+  | Desc
+
+type select = {
+  items : select_item list;
+  source : source;
+  where : cond option;
+  group_by : column_ref list;
+  having : cond option;
+      (** filters groups; may reference the select list's aggregate *)
+}
+
+type query =
+  | Select of select
+  | Union of query * query
+  | Except of query * query
+  | Intersect of query * query
+
+type query_stmt = {
+  q : query;
+  at : int option;
+  order_by : (column_ref * direction) list;
+  limit : int option;
+}
+
+type expires_clause =
+  | At of int
+  | Never
+  | Ttl of int
+
+type statement =
+  | Create_table of string * string list
+  | Drop_table of string
+  | Insert of {
+      table : string;
+      values : Value.t list;
+      expires : expires_clause;
+    }
+  | Delete of string * cond option
+  | Advance_to of int
+  | Tick of int
+  | Vacuum
+  | Query of query_stmt
+  | Create_view of {
+      name : string;
+      query : query;
+      maintained : bool;
+    }
+  | Show_view of string
+  | Create_trigger of {
+      name : string;
+      table : string;
+    }
+  | Drop_trigger of string
+  | Show_triggers
+  | Create_constraint of {
+      name : string;
+      query : query;
+      min_rows : int option;
+      max_rows : int option;
+    }
+  | Drop_constraint of string
+  | Show_constraints
+  | Refresh_view of string
+  | Show_tables
+  | Show_views
+  | Show_time
+  | Explain of query
+
+let pp_column_ref ppf { qualifier; column } =
+  match qualifier with
+  | Some q -> Format.fprintf ppf "%s.%s" q column
+  | None -> Format.pp_print_string ppf column
+
+let pp_agg ppf = function
+  | Count_star -> Format.pp_print_string ppf "COUNT(*)"
+  | Sum_of r -> Format.fprintf ppf "SUM(%a)" pp_column_ref r
+  | Min_of r -> Format.fprintf ppf "MIN(%a)" pp_column_ref r
+  | Max_of r -> Format.fprintf ppf "MAX(%a)" pp_column_ref r
+  | Avg_of r -> Format.fprintf ppf "AVG(%a)" pp_column_ref r
+
+let pp_operand ppf = function
+  | Col_ref c -> pp_column_ref ppf c
+  | Lit v -> Value.pp ppf v
+  | Agg_ref a -> pp_agg ppf a
+
+let cmp_text = function
+  | Eq -> "="
+  | Neq -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let rec pp_cond ppf = function
+  | Cmp (op, a, b) ->
+    Format.fprintf ppf "%a %s %a" pp_operand a (cmp_text op) pp_operand b
+  | And (a, b) -> Format.fprintf ppf "(%a AND %a)" pp_cond a pp_cond b
+  | Or (a, b) -> Format.fprintf ppf "(%a OR %a)" pp_cond a pp_cond b
+  | Not a -> Format.fprintf ppf "NOT %a" pp_cond a
+
+let pp_statement ppf = function
+  | Create_table (name, cols) ->
+    Format.fprintf ppf "CREATE TABLE %s (%s)" name (String.concat ", " cols)
+  | Drop_table name -> Format.fprintf ppf "DROP TABLE %s" name
+  | Insert { table; values; expires } ->
+    let expires_text =
+      match expires with
+      | At t -> Printf.sprintf " EXPIRES %d" t
+      | Never -> " EXPIRES NEVER"
+      | Ttl d -> Printf.sprintf " TTL %d" d
+    in
+    Format.fprintf ppf "INSERT INTO %s VALUES (%s)%s" table
+      (String.concat ", " (List.map Value.to_string values))
+      expires_text
+  | Delete (name, None) -> Format.fprintf ppf "DELETE FROM %s" name
+  | Delete (name, Some c) ->
+    Format.fprintf ppf "DELETE FROM %s WHERE %a" name pp_cond c
+  | Advance_to t -> Format.fprintf ppf "ADVANCE TO %d" t
+  | Tick n -> Format.fprintf ppf "TICK %d" n
+  | Vacuum -> Format.pp_print_string ppf "VACUUM"
+  | Query { at = None; _ } -> Format.pp_print_string ppf "SELECT ..."
+  | Query { at = Some at; _ } -> Format.fprintf ppf "SELECT ... AT %d" at
+  | Create_view { name; maintained; _ } ->
+    Format.fprintf ppf "CREATE %sVIEW %s AS ..."
+      (if maintained then "MAINTAINED " else "")
+      name
+  | Create_trigger { name; table } ->
+    Format.fprintf ppf "CREATE TRIGGER %s ON %s" name table
+  | Drop_trigger name -> Format.fprintf ppf "DROP TRIGGER %s" name
+  | Show_triggers -> Format.pp_print_string ppf "SHOW TRIGGERS"
+  | Create_constraint { name; min_rows; max_rows; _ } ->
+    Format.fprintf ppf "CREATE CONSTRAINT %s ON ...%s%s" name
+      (match min_rows with
+       | Some n -> Printf.sprintf " MIN %d" n
+       | None -> "")
+      (match max_rows with
+       | Some n -> Printf.sprintf " MAX %d" n
+       | None -> "")
+  | Drop_constraint name -> Format.fprintf ppf "DROP CONSTRAINT %s" name
+  | Show_constraints -> Format.pp_print_string ppf "SHOW CONSTRAINTS"
+  | Show_view name -> Format.fprintf ppf "SHOW VIEW %s" name
+  | Refresh_view name -> Format.fprintf ppf "REFRESH VIEW %s" name
+  | Show_tables -> Format.pp_print_string ppf "SHOW TABLES"
+  | Show_views -> Format.pp_print_string ppf "SHOW VIEWS"
+  | Show_time -> Format.pp_print_string ppf "SHOW NOW"
+  | Explain _ -> Format.pp_print_string ppf "EXPLAIN ..."

@@ -1,0 +1,414 @@
+open Expirel_core
+open Expirel_storage
+
+type stored_view = {
+  mutable view : View.t;
+  columns : string list;
+}
+
+type maintained_view = {
+  mutable maintained : Maintained.t;
+  m_columns : string list;
+}
+
+type constraint_info = {
+  c_expr : Algebra.t;
+  min_rows : int option;
+  max_rows : int option;
+}
+
+type t = {
+  db : Database.t;
+  views : (string, stored_view) Hashtbl.t;
+  maintained_views : (string, maintained_view) Hashtbl.t;
+  invariants : Invariant.t;
+  constraints : (string, constraint_info) Hashtbl.t;
+  mutable trigger_log : string list;  (* newest first *)
+}
+
+let create ?policy ?backend () =
+  let db = Database.create ?policy ?backend () in
+  { db;
+    views = Hashtbl.create 8;
+    maintained_views = Hashtbl.create 8;
+    invariants = Invariant.create db;
+    constraints = Hashtbl.create 8;
+    trigger_log = []
+  }
+
+let database t = t.db
+
+type outcome =
+  | Msg of string
+  | Rows of {
+      columns : string list;
+      relation : Relation.t;
+      listing : (Tuple.t * Time.t) list;
+      recomputed : bool;
+    }
+
+let catalog t name = Option.map Table.columns (Database.table t.db name)
+
+let time_of_expires t = function
+  | Ast.At n -> Time.of_int n
+  | Ast.Never -> Time.infinity
+  | Ast.Ttl d -> Time.add (Database.now t.db) (Time.of_int d)
+
+(* Presentation order: stable sort on the ORDER BY labels, then LIMIT. *)
+let order_and_limit ~columns ~order_by ~limit relation =
+  let listing = Relation.to_list relation in
+  let position_of { Ast.qualifier; column } =
+    let name =
+      match qualifier with
+      | Some q -> q ^ "." ^ column
+      | None -> column
+    in
+    let rec find i = function
+      | [] ->
+        (* A bare name also matches a qualified output label. *)
+        let rec find_suffix i = function
+          | [] -> failwith (Printf.sprintf "unknown ORDER BY column %s" name)
+          | label :: rest ->
+            if qualifier = None
+               && (String.length label > String.length column
+                   && String.sub label
+                        (String.length label - String.length column - 1)
+                        (String.length column + 1)
+                      = "." ^ column)
+            then i
+            else find_suffix (i + 1) rest
+        in
+        find_suffix 1 columns
+      | label :: rest -> if String.equal label name then i else find (i + 1) rest
+    in
+    find 1 columns
+  in
+  let keys = List.map (fun (r, d) -> position_of r, d) order_by in
+  let compare_rows (t1, _) (t2, _) =
+    let rec go = function
+      | [] -> Tuple.compare t1 t2 (* deterministic tie-break *)
+      | (pos, dir) :: rest ->
+        let c = Value.compare (Tuple.attr t1 pos) (Tuple.attr t2 pos) in
+        if c <> 0 then
+          match dir with
+          | Ast.Asc -> c
+          | Ast.Desc -> -c
+        else go rest
+    in
+    go keys
+  in
+  let sorted =
+    if order_by = [] then listing else List.stable_sort compare_rows listing
+  in
+  match limit with
+  | None -> sorted
+  | Some n -> List.filteri (fun i _ -> i < n) sorted
+
+let run_query t { Ast.q; at; order_by; limit } =
+  let { Lower.expr; columns } = Lower.lower_query ~catalog:(catalog t) q in
+  let relation =
+    match at with
+    | None -> (Database.query t.db expr).Eval.relation
+    | Some n ->
+      (* Query the known future: evaluate the current physical state as
+         it will stand at time n, assuming no further updates — the
+         future of expiring data is known in advance. *)
+      let tau = Time.of_int n in
+      if Time.(tau < Database.now t.db) then
+        failwith "AT time is in the past (the past is not retained)"
+      else
+        let env name =
+          Option.map (fun tbl -> Table.snapshot tbl ~tau) (Database.table t.db name)
+        in
+        Eval.relation_at ~env ~tau expr
+  in
+  let listing = order_and_limit ~columns ~order_by ~limit relation in
+  Rows { columns; relation; listing; recomputed = false }
+
+let view_name_taken t name =
+  Hashtbl.mem t.views name || Hashtbl.mem t.maintained_views name
+
+let each_maintained t f =
+  Hashtbl.iter (fun _ mv -> mv.maintained <- f mv.maintained) t.maintained_views
+
+(* Moving the clock goes through the invariant manager so constraint
+   transitions inside the interval are reported alongside. *)
+let advance_clock t target =
+  let transitions = Invariant.advance t.invariants target in
+  each_maintained t (fun m -> Maintained.advance m ~to_:target);
+  let base = Printf.sprintf "clock advanced to %s" (Time.to_string target) in
+  match transitions with
+  | [] -> Msg base
+  | _ ->
+    Msg
+      (base ^ "\n"
+       ^ String.concat "\n"
+           (List.map
+              (fun v ->
+                Printf.sprintf "CONSTRAINT VIOLATED: %s at %s (%d rows)"
+                  v.Invariant.name
+                  (Time.to_string v.Invariant.at)
+                  v.Invariant.cardinality)
+              transitions))
+
+let constraint_status t name info =
+  let now = Database.now t.db in
+  let cardinality =
+    Relation.cardinal ((Database.query t.db info.c_expr).Eval.relation)
+  in
+  let ok =
+    (match info.min_rows with
+     | Some n -> cardinality >= n
+     | None -> true)
+    && (match info.max_rows with
+        | Some n -> cardinality <= n
+        | None -> true)
+  in
+  let horizon = Time.add now (Time.of_int 1000) in
+  let prediction =
+    if not ok then "VIOLATED NOW"
+    else
+      let next bound_name =
+        match Invariant.next_violation t.invariants ~name:bound_name ~horizon with
+        | Some at -> Some at
+        | None | (exception Not_found) -> None
+      in
+      match
+        Time.min_list
+          (List.filter_map Fun.id
+             [ next (name ^ "!min"); next (name ^ "!max") ])
+      with
+      | Time.Fin _ as at -> "breaks at " ^ Time.to_string at
+      | Time.Inf -> "holds for 1000 ticks"
+  in
+  Printf.sprintf "%s: %d row(s)%s%s — %s" name cardinality
+    (match info.min_rows with
+     | Some n -> Printf.sprintf ", min %d" n
+     | None -> "")
+    (match info.max_rows with
+     | Some n -> Printf.sprintf ", max %d" n
+     | None -> "")
+    prediction
+
+let exec_statement t = function
+  | Ast.Create_table (name, columns) ->
+    let (_ : Table.t) = Database.create_table t.db ~name ~columns in
+    Msg (Printf.sprintf "table %s created" name)
+  | Ast.Drop_table name ->
+    if Database.drop_table t.db name then Msg (Printf.sprintf "table %s dropped" name)
+    else raise (Errors.Unknown_relation name)
+  | Ast.Insert { table; values; expires } ->
+    let texp = time_of_expires t expires in
+    Database.insert_values t.db table values ~texp;
+    each_maintained t (fun m ->
+        Maintained.insert m ~relation:table (Tuple.of_list values) ~texp);
+    Msg "1 tuple inserted"
+  | Ast.Delete (table, where) ->
+    let tbl = Database.table_exn t.db table in
+    let pred =
+      Option.map
+        (Lower.lower_cond_for_table ~columns:(Table.columns tbl) ~table)
+        where
+    in
+    let snapshot = Database.snapshot t.db table in
+    let victims =
+      Relation.fold
+        (fun tuple _ acc ->
+          match pred with
+          | Some p when not (Predicate.eval p tuple) -> acc
+          | Some _ | None -> tuple :: acc)
+        snapshot []
+    in
+    List.iter
+      (fun tuple ->
+        ignore (Table.delete tbl tuple);
+        each_maintained t (fun m -> Maintained.delete m ~relation:table tuple))
+      victims;
+    Msg (Printf.sprintf "%d tuple(s) deleted" (List.length victims))
+  | Ast.Advance_to n -> advance_clock t (Time.of_int n)
+  | Ast.Tick n -> advance_clock t (Time.add (Database.now t.db) (Time.of_int n))
+  | Ast.Vacuum ->
+    let reclaimed = Database.vacuum t.db in
+    Msg (Printf.sprintf "%d tuple(s) reclaimed" reclaimed)
+  | Ast.Query qs -> run_query t qs
+  | Ast.Create_view { name; query; maintained } ->
+    if view_name_taken t name then
+      failwith (Printf.sprintf "view %s exists" name)
+    else begin
+      let { Lower.expr; columns } = Lower.lower_query ~catalog:(catalog t) query in
+      let now = Database.now t.db in
+      if maintained then begin
+        let m = Maintained.materialise ~env:(Database.env t.db) ~tau:now expr in
+        Hashtbl.replace t.maintained_views name
+          { maintained = m; m_columns = columns };
+        Msg
+          (Printf.sprintf
+             "maintained view %s materialised (tracks updates and the clock)"
+             name)
+      end
+      else begin
+        let view = View.materialise ~env:(Database.env t.db) ~tau:now expr in
+        Hashtbl.replace t.views name { view; columns };
+        Msg
+          (Printf.sprintf "view %s materialised (texp(e) = %s, %s)" name
+             (Time.to_string view.View.texp)
+             (match Monotone.classify expr with
+              | `Monotonic -> "monotonic: never recomputes"
+              | `Non_monotonic k ->
+                Printf.sprintf "%d non-monotonic operator(s)" k))
+      end
+    end
+  | Ast.Show_view name ->
+    (match Hashtbl.find_opt t.maintained_views name with
+     | Some mv ->
+       let relation = Maintained.read mv.maintained in
+       Rows
+         { columns = mv.m_columns;
+           relation;
+           listing = Relation.to_list relation;
+           recomputed = false
+         }
+     | None ->
+       (match Hashtbl.find_opt t.views name with
+        | None -> failwith (Printf.sprintf "unknown view %s" name)
+        | Some stored ->
+          let tau = Database.now t.db in
+          (match View.read stored.view ~tau with
+           | `Valid relation ->
+             Rows
+               { columns = stored.columns;
+                 relation;
+                 listing = Relation.to_list relation;
+                 recomputed = false
+               }
+           | `Expired _ ->
+             stored.view <- View.refresh ~env:(Database.env t.db) ~tau stored.view;
+             let relation = View.current stored.view ~tau in
+             Rows
+               { columns = stored.columns;
+                 relation;
+                 listing = Relation.to_list relation;
+                 recomputed = true
+               })))
+  | Ast.Create_trigger { name; table } ->
+    Trigger.register (Database.triggers t.db) ~name ~table (fun e ->
+        t.trigger_log <-
+          Printf.sprintf "%s: %s%s expired at %s" name e.Trigger.table
+            (Tuple.to_string e.Trigger.tuple)
+            (Time.to_string e.Trigger.fired_at)
+          :: t.trigger_log);
+    Msg (Printf.sprintf "trigger %s on %s created" name table)
+  | Ast.Drop_trigger name ->
+    Trigger.unregister (Database.triggers t.db) ~name;
+    Msg (Printf.sprintf "trigger %s dropped" name)
+  | Ast.Create_constraint { name; query; min_rows; max_rows } ->
+    if Hashtbl.mem t.constraints name then
+      failwith (Printf.sprintf "constraint %s exists" name)
+    else begin
+      let { Lower.expr; _ } = Lower.lower_query ~catalog:(catalog t) query in
+      (match min_rows with
+       | Some n -> Invariant.add t.invariants ~name:(name ^ "!min") ~expr
+                     (Invariant.Min_cardinality n)
+       | None -> ());
+      (match max_rows with
+       | Some n -> Invariant.add t.invariants ~name:(name ^ "!max") ~expr
+                     (Invariant.Max_cardinality n)
+       | None -> ());
+      Hashtbl.replace t.constraints name { c_expr = expr; min_rows; max_rows };
+      Msg (Printf.sprintf "constraint %s created" name)
+    end
+  | Ast.Drop_constraint name ->
+    if Hashtbl.mem t.constraints name then begin
+      Hashtbl.remove t.constraints name;
+      ignore (Invariant.remove t.invariants (name ^ "!min"));
+      ignore (Invariant.remove t.invariants (name ^ "!max"));
+      Msg (Printf.sprintf "constraint %s dropped" name)
+    end
+    else failwith (Printf.sprintf "unknown constraint %s" name)
+  | Ast.Show_constraints ->
+    let names =
+      Hashtbl.fold (fun name _ acc -> name :: acc) t.constraints []
+      |> List.sort String.compare
+    in
+    (match names with
+     | [] -> Msg "(no constraints)"
+     | _ ->
+       Msg
+         (String.concat "\n"
+            (List.map
+               (fun name ->
+                 constraint_status t name (Hashtbl.find t.constraints name))
+               names)))
+  | Ast.Show_triggers ->
+    Msg
+      (match List.rev t.trigger_log with
+       | [] -> "(no trigger firings)"
+       | lines -> String.concat "\n" lines)
+  | Ast.Refresh_view name ->
+    if Hashtbl.mem t.maintained_views name then
+      Msg (Printf.sprintf "view %s is maintained and always current" name)
+    else
+      (match Hashtbl.find_opt t.views name with
+       | None -> failwith (Printf.sprintf "unknown view %s" name)
+       | Some stored ->
+         stored.view <-
+           View.refresh ~env:(Database.env t.db) ~tau:(Database.now t.db) stored.view;
+         Msg
+           (Printf.sprintf "view %s refreshed (texp(e) = %s)" name
+              (Time.to_string stored.view.View.texp)))
+  | Ast.Show_tables ->
+    Msg
+      (match Database.table_names t.db with
+       | [] -> "(no tables)"
+       | names -> String.concat "\n" names)
+  | Ast.Show_views ->
+    let plain = Hashtbl.fold (fun name _ acc -> name :: acc) t.views [] in
+    let maintained =
+      Hashtbl.fold (fun name _ acc -> (name ^ " (maintained)") :: acc)
+        t.maintained_views []
+    in
+    (match List.sort String.compare (plain @ maintained) with
+     | [] -> Msg "(no views)"
+     | names -> Msg (String.concat "\n" names))
+  | Ast.Show_time -> Msg (Time.to_string (Database.now t.db))
+  | Ast.Explain q ->
+    let { Lower.expr; columns } = Lower.lower_query ~catalog:(catalog t) q in
+    let { Eval.texp; _ } = Database.query t.db expr in
+    Msg
+      (Printf.sprintf "%scolumns: %s\nclass: %s\ntexp(e) now: %s"
+         (Explain.expr_tree expr)
+         (String.concat ", " columns)
+         (match Monotone.classify expr with
+          | `Monotonic -> "monotonic"
+          | `Non_monotonic k -> Printf.sprintf "non-monotonic (%d)" k)
+         (Time.to_string texp))
+
+let exec t statement =
+  match exec_statement t statement with
+  | outcome -> Ok outcome
+  | exception Errors.Unknown_relation name ->
+    Error (Printf.sprintf "unknown relation %s" name)
+  | exception Errors.Arity_mismatch msg -> Error msg
+  | exception Lower.Error msg -> Error msg
+  | exception Invalid_argument msg -> Error msg
+  | exception Failure msg -> Error msg
+
+let exec_sql t text =
+  match Parser.parse_statement text with
+  | statement -> exec t statement
+  | exception Parser.Error (msg, off) ->
+    Error (Printf.sprintf "parse error at %d: %s" off msg)
+
+let exec_script t text =
+  match Parser.parse_script text with
+  | statements -> List.map (exec t) statements
+  | exception Parser.Error (msg, off) ->
+    [ Error (Printf.sprintf "parse error at %d: %s" off msg) ]
+
+let render = function
+  | Msg m -> m
+  | Rows { columns; relation; listing; recomputed } ->
+    let table =
+      Explain.rows_table ~columns ~arity:(Relation.arity relation) listing
+    in
+    if recomputed then table ^ "\n(view recomputed)" else table

@@ -1,0 +1,43 @@
+(** The sqlx interpreter: a database session with materialised views.
+
+    Views follow the paper's maintenance discipline: a view materialised
+    at time [tau] serves reads from its own contents — tuples vanish from
+    it as they expire — until its expression expiration time [texp(e)]
+    passes, at which point reading it triggers a recomputation (reported
+    in the outcome).  Monotonic views therefore never recompute
+    (Theorem 1). *)
+
+open Expirel_core
+open Expirel_storage
+
+type t
+
+val create :
+  ?policy:Database.policy -> ?backend:Expirel_index.Expiration_index.backend ->
+  unit -> t
+
+val database : t -> Database.t
+
+type outcome =
+  | Msg of string
+  | Rows of {
+      columns : string list;
+      relation : Relation.t;
+      listing : (Tuple.t * Time.t) list;
+          (** the rows in presentation order (ORDER BY / LIMIT applied);
+              always consistent with [relation] up to order and
+              truncation *)
+      recomputed : bool;  (** a view read forced a recomputation *)
+    }
+
+val exec : t -> Ast.statement -> (outcome, string) result
+
+val exec_sql : t -> string -> (outcome, string) result
+(** Parse and execute one statement. *)
+
+val exec_script : t -> string -> (outcome, string) result list
+(** Execute a [;]-separated script, one result per statement; execution
+    continues past failed statements. *)
+
+val render : outcome -> string
+(** Human-readable rendering (tables in the paper's style). *)

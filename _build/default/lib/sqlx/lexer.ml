@@ -1,0 +1,81 @@
+exception Error of string * int
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let emit offset token = tokens := (token, offset) :: !tokens in
+  let rec skip_line i = if i < n && input.[i] <> '\n' then skip_line (i + 1) else i in
+  let rec go i =
+    if i >= n then emit i Token.Eof
+    else
+      match input.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1)
+      | '-' when i + 1 < n && input.[i + 1] = '-' -> go (skip_line (i + 2))
+      | '(' -> emit i Token.Lparen; go (i + 1)
+      | ')' -> emit i Token.Rparen; go (i + 1)
+      | ',' -> emit i Token.Comma; go (i + 1)
+      | ';' -> emit i Token.Semicolon; go (i + 1)
+      | '.' -> emit i Token.Dot; go (i + 1)
+      | '*' -> emit i Token.Star; go (i + 1)
+      | '=' -> emit i Token.Eq; go (i + 1)
+      | '<' ->
+        if i + 1 < n && input.[i + 1] = '>' then begin emit i Token.Neq; go (i + 2) end
+        else if i + 1 < n && input.[i + 1] = '=' then begin emit i Token.Le; go (i + 2) end
+        else begin emit i Token.Lt; go (i + 1) end
+      | '>' ->
+        if i + 1 < n && input.[i + 1] = '=' then begin emit i Token.Ge; go (i + 2) end
+        else begin emit i Token.Gt; go (i + 1) end
+      | '\'' -> string_lit (i + 1) i (Buffer.create 8)
+      | '-' -> number i
+      | c when is_digit c -> number i
+      | c when is_ident_start c -> ident i
+      | c -> raise (Error (Printf.sprintf "unexpected character %C" c, i))
+  and string_lit i start buf =
+    if i >= n then raise (Error ("unterminated string", start))
+    else if input.[i] = '\'' then
+      if i + 1 < n && input.[i + 1] = '\'' then begin
+        Buffer.add_char buf '\'';
+        string_lit (i + 2) start buf
+      end
+      else begin
+        emit start (Token.String_lit (Buffer.contents buf));
+        go (i + 1)
+      end
+    else begin
+      Buffer.add_char buf input.[i];
+      string_lit (i + 1) start buf
+    end
+  and number start =
+    let i = if input.[start] = '-' then start + 1 else start in
+    if i >= n || not (is_digit input.[i]) then
+      raise (Error ("malformed number", start));
+    let rec digits j = if j < n && is_digit input.[j] then digits (j + 1) else j in
+    let int_end = digits i in
+    if int_end < n && input.[int_end] = '.' && int_end + 1 < n
+       && is_digit input.[int_end + 1]
+    then begin
+      let frac_end = digits (int_end + 1) in
+      let text = String.sub input start (frac_end - start) in
+      emit start (Token.Float_lit (float_of_string text));
+      go frac_end
+    end
+    else begin
+      let text = String.sub input start (int_end - start) in
+      emit start (Token.Int_lit (int_of_string text));
+      go int_end
+    end
+  and ident start =
+    let rec scan j = if j < n && is_ident_char input.[j] then scan (j + 1) else j in
+    let stop = scan start in
+    let text = String.sub input start (stop - start) in
+    let upper = String.uppercase_ascii text in
+    if List.mem upper Token.keywords then emit start (Token.Keyword upper)
+    else emit start (Token.Ident text);
+    go stop
+  in
+  go 0;
+  List.rev !tokens

@@ -1,0 +1,12 @@
+(** Hand-written lexer for the sqlx dialect.
+
+    Identifiers are [\[A-Za-z_\]\[A-Za-z0-9_\]*]; keywords are
+    case-insensitive; strings are single-quoted with [''] as the escape
+    for a quote; [--] starts a comment to end of line. *)
+
+exception Error of string * int
+(** Message and byte offset. *)
+
+val tokenize : string -> (Token.t * int) list
+(** Tokens with their starting offsets, ending with [Token.Eof].
+    @raise Error on an unexpected character or unterminated string *)

@@ -1,0 +1,29 @@
+(** Lowering the sqlx AST to the core algebra.
+
+    Name resolution turns column references into the 1-based attribute
+    positions the algebra uses; aggregation queries compile to the
+    paper's [agg^exp] (which keeps all input attributes and appends the
+    aggregate value) followed by a projection onto the selected items —
+    exactly the shape of Figure 3(a). *)
+
+open Expirel_core
+
+exception Error of string
+
+type catalog = string -> string list option
+(** Table name to column names. *)
+
+type compiled = {
+  expr : Algebra.t;
+  columns : string list;  (** output column labels, one per attribute *)
+}
+
+val lower_query : catalog:catalog -> Ast.query -> compiled
+(** @raise Error on unknown tables/columns, ambiguous references,
+    non-grouped plain columns mixed with aggregates, more than one
+    aggregate item, or set operations over different-width operands. *)
+
+val lower_cond_for_table :
+  columns:string list -> table:string -> Ast.cond -> Predicate.t
+(** Resolves a condition against a single table (used by [DELETE]).
+    @raise Error on unknown/ambiguous columns *)

@@ -1,0 +1,377 @@
+open Expirel_core
+
+exception Error of string * int
+
+type state = {
+  mutable tokens : (Token.t * int) list;
+}
+
+let peek st =
+  match st.tokens with
+  | (t, off) :: _ -> t, off
+  | [] -> Token.Eof, 0
+
+let advance st =
+  match st.tokens with
+  | _ :: rest -> st.tokens <- rest
+  | [] -> ()
+
+let fail st message =
+  let t, off = peek st in
+  raise (Error (Printf.sprintf "%s (found %s)" message (Token.to_string t), off))
+
+let expect st token what =
+  let t, _ = peek st in
+  if Token.equal t token then advance st else fail st ("expected " ^ what)
+
+let accept_kw st kw =
+  match peek st with
+  | Token.Keyword k, _ when k = kw ->
+    advance st;
+    true
+  | _ -> false
+
+let expect_kw st kw = if not (accept_kw st kw) then fail st ("expected " ^ kw)
+
+let ident st =
+  match peek st with
+  | Token.Ident name, _ ->
+    advance st;
+    name
+  | _ -> fail st "expected identifier"
+
+let int_lit st =
+  match peek st with
+  | Token.Int_lit n, _ ->
+    advance st;
+    n
+  | _ -> fail st "expected integer"
+
+let literal st =
+  match peek st with
+  | Token.Int_lit n, _ -> advance st; Value.Int n
+  | Token.Float_lit f, _ -> advance st; Value.Float f
+  | Token.String_lit s, _ -> advance st; Value.Str s
+  | Token.Keyword "TRUE", _ -> advance st; Value.Bool true
+  | Token.Keyword "FALSE", _ -> advance st; Value.Bool false
+  | Token.Keyword "NULL", _ -> advance st; Value.Null
+  | _ -> fail st "expected literal"
+
+let column_ref st =
+  let first = ident st in
+  match peek st with
+  | Token.Dot, _ ->
+    advance st;
+    { Ast.qualifier = Some first; column = ident st }
+  | _ -> { Ast.qualifier = None; column = first }
+
+let agg_name st =
+  let with_ref make =
+    advance st;
+    expect st Token.Lparen "(";
+    let r = column_ref st in
+    expect st Token.Rparen ")";
+    make r
+  in
+  match peek st with
+  | Token.Keyword "COUNT", _ ->
+    advance st;
+    expect st Token.Lparen "(";
+    expect st Token.Star "*";
+    expect st Token.Rparen ")";
+    Ast.Count_star
+  | Token.Keyword "SUM", _ -> with_ref (fun r -> Ast.Sum_of r)
+  | Token.Keyword "MIN", _ -> with_ref (fun r -> Ast.Min_of r)
+  | Token.Keyword "MAX", _ -> with_ref (fun r -> Ast.Max_of r)
+  | Token.Keyword "AVG", _ -> with_ref (fun r -> Ast.Avg_of r)
+  | _ -> fail st "expected aggregate"
+
+let operand st =
+  match peek st with
+  | Token.Ident _, _ -> Ast.Col_ref (column_ref st)
+  | Token.Keyword ("COUNT" | "SUM" | "MIN" | "MAX" | "AVG"), _ ->
+    Ast.Agg_ref (agg_name st)
+  | _ -> Ast.Lit (literal st)
+
+let cmp_op st =
+  match peek st with
+  | Token.Eq, _ -> advance st; Ast.Eq
+  | Token.Neq, _ -> advance st; Ast.Neq
+  | Token.Lt, _ -> advance st; Ast.Lt
+  | Token.Le, _ -> advance st; Ast.Le
+  | Token.Gt, _ -> advance st; Ast.Gt
+  | Token.Ge, _ -> advance st; Ast.Ge
+  | _ -> fail st "expected comparison operator"
+
+let rec cond st =
+  let left = cond_and st in
+  if accept_kw st "OR" then Ast.Or (left, cond st) else left
+
+and cond_and st =
+  let left = cond_unary st in
+  if accept_kw st "AND" then Ast.And (left, cond_and st) else left
+
+and cond_unary st =
+  if accept_kw st "NOT" then Ast.Not (cond_unary st)
+  else
+    match peek st with
+    | Token.Lparen, _ ->
+      advance st;
+      let inner = cond st in
+      expect st Token.Rparen ")";
+      inner
+    | _ ->
+      let lhs = operand st in
+      let op = cmp_op st in
+      let rhs = operand st in
+      Ast.Cmp (op, lhs, rhs)
+
+let select_item st =
+  match peek st with
+  | Token.Star, _ -> advance st; Ast.Star
+  | Token.Keyword ("COUNT" | "SUM" | "MIN" | "MAX" | "AVG"), _ ->
+    Ast.Agg (agg_name st)
+  | _ -> Ast.Column (column_ref st)
+
+let rec comma_separated st parse =
+  let first = parse st in
+  match peek st with
+  | Token.Comma, _ ->
+    advance st;
+    first :: comma_separated st parse
+  | _ -> [ first ]
+
+let source st =
+  let left = ident st in
+  if accept_kw st "JOIN" then begin
+    let right = ident st in
+    expect_kw st "ON";
+    Ast.From_join (left, right, cond st)
+  end
+  else Ast.From_table left
+
+let select_core st =
+  expect_kw st "SELECT";
+  let items = comma_separated st select_item in
+  expect_kw st "FROM";
+  let src = source st in
+  let where = if accept_kw st "WHERE" then Some (cond st) else None in
+  let group_by =
+    if accept_kw st "GROUP" then begin
+      expect_kw st "BY";
+      comma_separated st column_ref
+    end
+    else []
+  in
+  let having = if accept_kw st "HAVING" then Some (cond st) else None in
+  { Ast.items; source = src; where; group_by; having }
+
+let rec query st =
+  let left = query_atom st in
+  match peek st with
+  | Token.Keyword "UNION", _ ->
+    advance st;
+    combine st (fun r -> Ast.Union (left, r))
+  | Token.Keyword "EXCEPT", _ ->
+    advance st;
+    combine st (fun r -> Ast.Except (left, r))
+  | Token.Keyword "INTERSECT", _ ->
+    advance st;
+    combine st (fun r -> Ast.Intersect (left, r))
+  | _ -> left
+
+and combine st make =
+  (* Left-associative: fold the freshly made node back through [query]'s
+     operator loop by consing it as the new left operand. *)
+  let right = query_atom st in
+  let node = make right in
+  match peek st with
+  | Token.Keyword ("UNION" | "EXCEPT" | "INTERSECT"), _ -> continue st node
+  | _ -> node
+
+and continue st left =
+  match peek st with
+  | Token.Keyword "UNION", _ ->
+    advance st;
+    combine st (fun r -> Ast.Union (left, r))
+  | Token.Keyword "EXCEPT", _ ->
+    advance st;
+    combine st (fun r -> Ast.Except (left, r))
+  | Token.Keyword "INTERSECT", _ ->
+    advance st;
+    combine st (fun r -> Ast.Intersect (left, r))
+  | _ -> left
+
+and query_atom st =
+  match peek st with
+  | Token.Lparen, _ ->
+    advance st;
+    let q = query st in
+    expect st Token.Rparen ")";
+    q
+  | _ -> Ast.Select (select_core st)
+
+let expires_clause st =
+  if accept_kw st "EXPIRES" then
+    if accept_kw st "NEVER" then Ast.Never else Ast.At (int_lit st)
+  else if accept_kw st "TTL" then Ast.Ttl (int_lit st)
+  else Ast.Never
+
+let statement st =
+  match peek st with
+  | Token.Keyword "CREATE", _ ->
+    advance st;
+    if accept_kw st "TABLE" then begin
+      let name = ident st in
+      expect st Token.Lparen "(";
+      let cols = comma_separated st ident in
+      expect st Token.Rparen ")";
+      Ast.Create_table (name, cols)
+    end
+    else if accept_kw st "TRIGGER" then begin
+      let name = ident st in
+      expect_kw st "ON";
+      let table =
+        match peek st with
+        | Token.Star, _ -> advance st; "*"
+        | _ -> ident st
+      in
+      Ast.Create_trigger { name; table }
+    end
+    else if accept_kw st "CONSTRAINT" then begin
+      let name = ident st in
+      expect_kw st "ON";
+      let q = query st in
+      let min_rows = if accept_kw st "MIN" then Some (int_lit st) else None in
+      let max_rows = if accept_kw st "MAX" then Some (int_lit st) else None in
+      if min_rows = None && max_rows = None then
+        fail st "expected MIN or MAX bound"
+      else Ast.Create_constraint { name; query = q; min_rows; max_rows }
+    end
+    else begin
+      let maintained = accept_kw st "MAINTAINED" in
+      expect_kw st "VIEW";
+      let name = ident st in
+      expect_kw st "AS";
+      Ast.Create_view { name; query = query st; maintained }
+    end
+  | Token.Keyword "DROP", _ ->
+    advance st;
+    if accept_kw st "TRIGGER" then Ast.Drop_trigger (ident st)
+    else if accept_kw st "CONSTRAINT" then Ast.Drop_constraint (ident st)
+    else begin
+      expect_kw st "TABLE";
+      Ast.Drop_table (ident st)
+    end
+  | Token.Keyword "INSERT", _ ->
+    advance st;
+    expect_kw st "INTO";
+    let table = ident st in
+    expect_kw st "VALUES";
+    expect st Token.Lparen "(";
+    let values = comma_separated st literal in
+    expect st Token.Rparen ")";
+    let expires = expires_clause st in
+    Ast.Insert { table; values; expires }
+  | Token.Keyword "DELETE", _ ->
+    advance st;
+    expect_kw st "FROM";
+    let table = ident st in
+    let where = if accept_kw st "WHERE" then Some (cond st) else None in
+    Ast.Delete (table, where)
+  | Token.Keyword "ADVANCE", _ ->
+    advance st;
+    expect_kw st "TO";
+    Ast.Advance_to (int_lit st)
+  | Token.Keyword "TICK", _ ->
+    advance st;
+    (match peek st with
+     | Token.Int_lit n, _ -> advance st; Ast.Tick n
+     | _ -> Ast.Tick 1)
+  | Token.Keyword "VACUUM", _ -> advance st; Ast.Vacuum
+  | Token.Keyword "SHOW", _ ->
+    advance st;
+    if accept_kw st "TABLES" then Ast.Show_tables
+    else if accept_kw st "VIEWS" then Ast.Show_views
+    else if accept_kw st "TRIGGERS" then Ast.Show_triggers
+    else if accept_kw st "CONSTRAINTS" then Ast.Show_constraints
+    else if accept_kw st "NOW" then Ast.Show_time
+    else begin
+      expect_kw st "VIEW";
+      Ast.Show_view (ident st)
+    end
+  | Token.Keyword "REFRESH", _ ->
+    advance st;
+    expect_kw st "VIEW";
+    Ast.Refresh_view (ident st)
+  | Token.Keyword "EXPLAIN", _ ->
+    advance st;
+    Ast.Explain (query st)
+  | Token.Keyword "SELECT", _ | Token.Lparen, _ ->
+    let q = query st in
+    let order_by =
+      if accept_kw st "ORDER" then begin
+        expect_kw st "BY";
+        comma_separated st (fun st ->
+            let r = column_ref st in
+            let dir =
+              if accept_kw st "DESC" then Ast.Desc
+              else begin
+                let (_ : bool) = accept_kw st "ASC" in
+                Ast.Asc
+              end
+            in
+            r, dir)
+      end
+      else []
+    in
+    let limit = if accept_kw st "LIMIT" then Some (int_lit st) else None in
+    let at = if accept_kw st "AT" then Some (int_lit st) else None in
+    Ast.Query { q; at; order_by; limit }
+  | _ -> fail st "expected statement"
+
+let make_state text = { tokens = Lexer.tokenize text }
+
+let finish st =
+  (match peek st with
+   | Token.Semicolon, _ -> advance st
+   | _ -> ());
+  match peek st with
+  | Token.Eof, _ -> ()
+  | _ -> fail st "trailing input after statement"
+
+let parse_statement text =
+  try
+    let st = make_state text in
+    let s = statement st in
+    finish st;
+    s
+  with Lexer.Error (msg, off) -> raise (Error (msg, off))
+
+let parse_script text =
+  try
+    let st = make_state text in
+    let rec go acc =
+      match peek st with
+      | Token.Eof, _ -> List.rev acc
+      | Token.Semicolon, _ ->
+        advance st;
+        go acc
+      | _ ->
+        let s = statement st in
+        (match peek st with
+         | Token.Semicolon, _ -> advance st
+         | Token.Eof, _ -> ()
+         | _ -> fail st "expected ; between statements");
+        go (s :: acc)
+    in
+    go []
+  with Lexer.Error (msg, off) -> raise (Error (msg, off))
+
+let parse_query text =
+  try
+    let st = make_state text in
+    let q = query st in
+    finish st;
+    q
+  with Lexer.Error (msg, off) -> raise (Error (msg, off))

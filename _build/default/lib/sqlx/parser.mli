@@ -1,0 +1,37 @@
+(** Recursive-descent parser for the sqlx dialect.
+
+    Grammar sketch (keywords case-insensitive):
+    {v
+statement := CREATE TABLE name (col, ...)
+           | CREATE VIEW name AS query
+           | DROP TABLE name
+           | INSERT INTO name VALUES (lit, ...) [EXPIRES n | EXPIRES NEVER | TTL n]
+           | DELETE FROM name [WHERE cond]
+           | ADVANCE TO n | TICK [n] | VACUUM
+           | SHOW TABLES | SHOW VIEWS | SHOW VIEW name | SHOW NOW
+           | REFRESH VIEW name
+           | EXPLAIN query
+           | query
+query     := atom ((UNION | EXCEPT | INTERSECT) atom)*
+atom      := SELECT items FROM source [WHERE cond] [GROUP BY ref, ...]
+           | ( query )
+items     := * | item (, item)*
+item      := ref | COUNT( * ) | SUM(ref) | MIN(ref) | MAX(ref) | AVG(ref)
+source    := name [JOIN name ON cond]
+cond      := and (OR and)* ;  and := unary (AND unary)*
+unary     := NOT unary | ( cond ) | operand cmp operand
+operand   := ref | literal
+ref       := name [. name]
+    v} *)
+
+exception Error of string * int
+(** Message and byte offset into the source text. *)
+
+val parse_statement : string -> Ast.statement
+(** One statement, optionally [;]-terminated.
+    @raise Error on syntax errors *)
+
+val parse_script : string -> Ast.statement list
+(** A [;]-separated sequence. *)
+
+val parse_query : string -> Ast.query

@@ -1,0 +1,13 @@
+(** Printing sqlx ASTs back to concrete syntax.
+
+    The output always re-parses, and parsing it yields the original AST
+    (property-tested): [parse (to_sql s) = s] for every statement whose
+    identifiers are lexically valid. *)
+
+val value : Expirel_core.Value.t -> string
+(** A literal in source syntax (strings quoted and escaped, floats with
+    enough digits to round-trip). *)
+
+val cond : Ast.cond -> string
+val query : Ast.query -> string
+val statement : Ast.statement -> string

@@ -1,0 +1,55 @@
+type t =
+  | Ident of string
+  | Keyword of string
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string
+  | Lparen
+  | Rparen
+  | Comma
+  | Semicolon
+  | Dot
+  | Star
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eof
+
+let keywords =
+  [ "CREATE"; "TABLE"; "DROP"; "INSERT"; "INTO"; "VALUES"; "EXPIRES"; "NEVER";
+    "TTL"; "DELETE"; "FROM"; "WHERE"; "ADVANCE"; "TO"; "TICK"; "VACUUM";
+    "SELECT"; "JOIN"; "ON"; "GROUP"; "BY"; "UNION"; "EXCEPT"; "INTERSECT";
+    "AND"; "OR"; "NOT"; "TRUE"; "FALSE"; "NULL"; "COUNT"; "SUM"; "MIN"; "MAX";
+    "AVG"; "VIEW"; "AS"; "SHOW"; "TABLES"; "VIEWS"; "REFRESH"; "EXPLAIN";
+    "TRIGGER"; "TRIGGERS"; "NOW"; "AT"; "MAINTAINED"; "ORDER"; "ASC";
+    "DESC"; "LIMIT"; "HAVING"; "CONSTRAINT"; "CONSTRAINTS" ]
+
+let equal a b =
+  match a, b with
+  | Float_lit x, Float_lit y -> Float.equal x y
+  | _ -> a = b
+
+let pp ppf = function
+  | Ident s -> Format.fprintf ppf "identifier %s" s
+  | Keyword s -> Format.fprintf ppf "%s" s
+  | Int_lit n -> Format.fprintf ppf "%d" n
+  | Float_lit f -> Format.fprintf ppf "%g" f
+  | String_lit s -> Format.fprintf ppf "'%s'" s
+  | Lparen -> Format.pp_print_string ppf "("
+  | Rparen -> Format.pp_print_string ppf ")"
+  | Comma -> Format.pp_print_string ppf ","
+  | Semicolon -> Format.pp_print_string ppf ";"
+  | Dot -> Format.pp_print_string ppf "."
+  | Star -> Format.pp_print_string ppf "*"
+  | Eq -> Format.pp_print_string ppf "="
+  | Neq -> Format.pp_print_string ppf "<>"
+  | Lt -> Format.pp_print_string ppf "<"
+  | Le -> Format.pp_print_string ppf "<="
+  | Gt -> Format.pp_print_string ppf ">"
+  | Ge -> Format.pp_print_string ppf ">="
+  | Eof -> Format.pp_print_string ppf "end of input"
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,28 @@
+(** Tokens of the sqlx dialect. *)
+
+type t =
+  | Ident of string  (** bare identifier, original casing *)
+  | Keyword of string  (** reserved word, normalised to uppercase *)
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string
+  | Lparen
+  | Rparen
+  | Comma
+  | Semicolon
+  | Dot
+  | Star
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eof
+
+val keywords : string list
+(** The reserved words, uppercase. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/storage/access.ml: Aggregate Algebra Database Expirel_core Format List Ops Ordered_index Predicate Relation Table Value

@@ -1,0 +1,1 @@
+lib/storage/access.mli: Aggregate Algebra Database Expirel_core Format Ordered_index Predicate Relation Table Time Value

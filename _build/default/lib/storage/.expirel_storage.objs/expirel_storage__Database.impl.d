@@ -1,0 +1,1 @@
+lib/storage/database.ml: Errors Eval Expiration_index Expirel_core Expirel_index Hashtbl List Option Printf String Table Time Trigger Tuple

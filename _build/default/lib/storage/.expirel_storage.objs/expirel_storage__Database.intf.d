@@ -1,0 +1,1 @@
+lib/storage/database.mli: Aggregate Algebra Eval Expiration_index Expirel_core Expirel_index Relation Table Time Trigger Tuple Value

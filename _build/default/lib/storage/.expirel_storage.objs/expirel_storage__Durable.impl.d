@@ -1,0 +1,1 @@
+lib/storage/durable.ml: Database Expirel_core Filename List Printf Relation Sys Table Time Tuple Wal

@@ -1,0 +1,1 @@
+lib/storage/durable.mli: Database Expirel_core Expirel_index Time Tuple

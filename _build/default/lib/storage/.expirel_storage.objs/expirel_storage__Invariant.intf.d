@@ -1,0 +1,1 @@
+lib/storage/invariant.mli: Algebra Database Expirel_core Time

@@ -1,0 +1,1 @@
+lib/storage/ordered_index.ml: Expirel_core List Map Option Seq Set Tuple Value

@@ -1,0 +1,1 @@
+lib/storage/subscription.ml: Algebra Database Eval Expirel_core Hashtbl List Option Printf Relation String Table Time Tuple

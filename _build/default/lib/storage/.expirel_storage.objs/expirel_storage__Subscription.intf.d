@@ -1,0 +1,1 @@
+lib/storage/subscription.mli: Algebra Database Expirel_core Relation Time Tuple

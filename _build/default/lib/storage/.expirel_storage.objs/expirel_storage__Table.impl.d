@@ -1,0 +1,1 @@
+lib/storage/table.ml: Expiration_index Expirel_core Expirel_index Hashtbl Int List Option Ordered_index Printf Relation String Time Tuple

@@ -1,0 +1,1 @@
+lib/storage/table.mli: Expiration_index Expirel_core Expirel_index Ordered_index Relation Time Tuple Value

@@ -1,0 +1,1 @@
+lib/storage/trigger.ml: Expirel_core List Time Tuple

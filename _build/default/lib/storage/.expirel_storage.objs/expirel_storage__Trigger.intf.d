@@ -1,0 +1,1 @@
+lib/storage/trigger.mli: Expirel_core Time Tuple

@@ -1,0 +1,1 @@
+lib/storage/wal.ml: Buffer Char Expirel_core List Printf Result String Sys Time Tuple Value

@@ -1,0 +1,42 @@
+(** Access-path selection: answering selections over stored tables via
+    secondary indexes when one applies, with a full scan as fallback.
+
+    An index on a column is usable for a conjunct [col = c] or
+    [col < c] / [<=] / [>] / [>=] when the stored keys are
+    type-homogeneous with the constant (checked against the index's key
+    extrema — mixed-type columns fall back to scanning, keeping the
+    result identical to the reference evaluation).  The full predicate is
+    always re-applied to the candidates, so index choice affects cost
+    only, never results. *)
+
+open Expirel_core
+
+type plan =
+  | Full_scan
+  | Never_matches  (** a conjunct compares against [Null]: no tuple passes *)
+  | Index_eq of {
+      column : int;
+      value : Value.t;
+    }
+  | Index_range of {
+      column : int;
+      lo : Ordered_index.bound;
+      hi : Ordered_index.bound;
+    }
+
+val plan : Table.t -> Predicate.t -> plan
+(** The access path chosen for evaluating the predicate over the table. *)
+
+val select : Table.t -> tau:Time.t -> Predicate.t -> Relation.t
+(** [select tbl ~tau p] = [Ops.select p (Table.snapshot tbl ~tau)],
+    computed through {!plan}. *)
+
+val eval :
+  ?strategy:Aggregate.strategy -> db:Database.t -> tau:Time.t -> Algebra.t ->
+  Relation.t
+(** Evaluates a whole expression against the database, routing
+    [sigma_p(base)] leaves through {!select} (and bare bases through
+    snapshots); all other operators use the standard kernels.  Agrees
+    with {!Database.query} exactly. *)
+
+val pp_plan : Format.formatter -> plan -> unit

@@ -1,0 +1,126 @@
+open Expirel_core
+open Expirel_index
+
+type policy =
+  | Eager
+  | Lazy
+
+type t = {
+  policy : policy;
+  backend : Expiration_index.backend;
+  tables : (string, Table.t) Hashtbl.t;
+  trigger_registry : Trigger.registry;
+  mutable clock : Time.t;
+}
+
+let create ?(policy = Eager) ?(backend = `Heap) () =
+  { policy;
+    backend;
+    tables = Hashtbl.create 16;
+    trigger_registry = Trigger.create ();
+    clock = Time.zero
+  }
+
+let policy db = db.policy
+let now db = db.clock
+let triggers db = db.trigger_registry
+
+let create_table db ~name ~columns =
+  if Hashtbl.mem db.tables name then
+    invalid_arg (Printf.sprintf "Database.create_table: %s exists" name)
+  else begin
+    let table = Table.create ~backend:db.backend ~name ~columns () in
+    Hashtbl.replace db.tables name table;
+    table
+  end
+
+let drop_table db name =
+  if Hashtbl.mem db.tables name then begin
+    Hashtbl.remove db.tables name;
+    true
+  end
+  else false
+
+let table db name = Hashtbl.find_opt db.tables name
+
+let table_exn db name =
+  match table db name with
+  | Some t -> t
+  | None -> raise (Errors.Unknown_relation name)
+
+let table_names db =
+  Hashtbl.fold (fun name _ acc -> name :: acc) db.tables []
+  |> List.sort String.compare
+
+let insert db name tuple ~texp =
+  if Time.(texp <= db.clock) then
+    invalid_arg
+      (Printf.sprintf "Database.insert: texp %s <= now %s" (Time.to_string texp)
+         (Time.to_string db.clock))
+  else Table.insert (table_exn db name) tuple ~texp
+
+let insert_ttl db name tuple ~ttl =
+  if ttl <= 0 then invalid_arg "Database.insert_ttl: ttl <= 0"
+  else insert db name tuple ~texp:(Time.add db.clock (Time.of_int ttl))
+
+let insert_values db name values ~texp = insert db name (Tuple.of_list values) ~texp
+let delete db name tuple = Table.delete (table_exn db name) tuple
+
+let fire_expirations db ~fired_at_of events =
+  (* Global (texp, table, tuple) order so trigger firings are
+     deterministic across tables. *)
+  let ordered =
+    List.sort
+      (fun (e1, n1, t1) (e2, n2, t2) ->
+        match Time.compare e1 e2 with
+        | 0 ->
+          (match String.compare n1 n2 with
+           | 0 -> Tuple.compare t1 t2
+           | c -> c)
+        | c -> c)
+      events
+  in
+  List.iter
+    (fun (texp, table_name, tuple) ->
+      Trigger.fire db.trigger_registry
+        { Trigger.table = table_name; tuple; texp; fired_at = fired_at_of texp })
+    ordered
+
+let collect_expired db tau =
+  Hashtbl.fold
+    (fun name tbl acc ->
+      List.fold_left
+        (fun acc (tuple, texp) -> (texp, name, tuple) :: acc)
+        acc (Table.expire_upto tbl tau))
+    db.tables []
+
+let advance_to db tau =
+  if Time.is_infinite tau then invalid_arg "Database.advance_to: infinite time"
+  else if Time.(tau < db.clock) then
+    invalid_arg "Database.advance_to: moving backwards"
+  else begin
+    (match db.policy with
+     | Eager ->
+       (* A tuple with texp = e is last visible at e - 1, so everything
+          with texp <= tau is due. *)
+       fire_expirations db ~fired_at_of:(fun texp -> texp)
+         (collect_expired db tau)
+     | Lazy -> ());
+    db.clock <- tau
+  end
+
+let tick db = advance_to db (Time.succ db.clock)
+
+let vacuum db =
+  match db.policy with
+  | Eager -> 0
+  | Lazy ->
+    let expired = collect_expired db db.clock in
+    fire_expirations db ~fired_at_of:(fun _ -> db.clock) expired;
+    List.length expired
+
+let snapshot db name = Table.snapshot (table_exn db name) ~tau:db.clock
+
+let env db name = Option.map (fun t -> Table.snapshot t ~tau:db.clock) (table db name)
+
+let query ?strategy db expr = Eval.run ?strategy ~env:(env db) ~tau:db.clock expr

@@ -1,0 +1,71 @@
+(** A catalogue of expiring tables with a logical clock, expiration
+    policies (Section 3.2), expiration triggers and evaluation of
+    algebra expressions against the current state.
+
+    The clock only moves forward.  Under the {!policy.Eager} policy,
+    advancing the clock physically removes expired tuples immediately and
+    fires triggers at the tuples' expiration times; under {!policy.Lazy},
+    expired tuples merely become invisible (snapshots always filter
+    through [exp_tau]) and are reclaimed — and their triggers fired, late
+    — on the next {!vacuum}. *)
+
+open Expirel_core
+open Expirel_index
+
+type policy =
+  | Eager
+  | Lazy
+
+type t
+
+val create :
+  ?policy:policy -> ?backend:Expiration_index.backend -> unit -> t
+(** Defaults: [Eager], [`Heap]. *)
+
+val policy : t -> policy
+val now : t -> Time.t
+val triggers : t -> Trigger.registry
+
+val create_table : t -> name:string -> columns:string list -> Table.t
+(** @raise Invalid_argument when the name is taken *)
+
+val drop_table : t -> string -> bool
+val table : t -> string -> Table.t option
+val table_exn : t -> string -> Table.t
+val table_names : t -> string list
+
+val insert : t -> string -> Tuple.t -> texp:Time.t -> unit
+(** @raise Errors.Unknown_relation / [Invalid_argument] on arity issues.
+    @raise Invalid_argument when [texp <= now] (the tuple would be born
+    expired) *)
+
+val insert_ttl : t -> string -> Tuple.t -> ttl:int -> unit
+(** Expiration time [now + ttl].
+    @raise Invalid_argument when [ttl <= 0] *)
+
+val insert_values : t -> string -> Value.t list -> texp:Time.t -> unit
+val delete : t -> string -> Tuple.t -> bool
+
+val advance_to : t -> Time.t -> unit
+(** Moves the clock.  Eager policy: expires due tuples across all tables
+    in global [(texp, table, tuple)] order, firing triggers with
+    [fired_at] equal to each tuple's expiration time.  Lazy policy: just
+    moves the clock.
+    @raise Invalid_argument when moving backwards or to [Inf] *)
+
+val tick : t -> unit
+(** [advance_to] by one. *)
+
+val vacuum : t -> int
+(** Physically reclaims expired tuples in every table (the lazy policy's
+    delayed removal), firing their triggers with [fired_at = now].
+    Returns the number reclaimed.  A no-op under [Eager]. *)
+
+val snapshot : t -> string -> Relation.t
+(** Logical state of a table at the current clock. *)
+
+val env : t -> Eval.env
+(** Evaluation environment over the current logical states. *)
+
+val query : ?strategy:Aggregate.strategy -> t -> Algebra.t -> Eval.result
+(** Evaluates at the current clock. *)

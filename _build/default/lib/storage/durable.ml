@@ -1,0 +1,119 @@
+open Expirel_core
+
+type t = {
+  dir : string;
+  db : Database.t;
+  mutable writer : Wal.Writer.t;
+  mutable pending : int;  (* records in wal.log since last checkpoint *)
+}
+
+let snapshot_path dir = Filename.concat dir "snapshot.log"
+let wal_path dir = Filename.concat dir "wal.log"
+
+let apply db = function
+  | Wal.Create_table { name; columns } ->
+    let (_ : Table.t) = Database.create_table db ~name ~columns in
+    ()
+  | Wal.Drop_table name -> ignore (Database.drop_table db name)
+  | Wal.Insert { table; tuple; texp } ->
+    (* Records written in the past may already have expired relative to
+       the replayed clock; skip them rather than fail. *)
+    if Time.(texp > Database.now db) then Database.insert db table tuple ~texp
+  | Wal.Delete { table; tuple } -> ignore (Database.delete db table tuple)
+  | Wal.Advance t ->
+    if Time.(t > Database.now db) then Database.advance_to db t
+
+let open_dir ?policy ?backend dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then
+    raise (Sys_error (dir ^ ": not a directory"));
+  let db = Database.create ?policy ?backend () in
+  let (_ : int) = Wal.replay (snapshot_path dir) ~f:(apply db) in
+  let pending = Wal.replay (wal_path dir) ~f:(apply db) in
+  { dir; db; writer = Wal.Writer.append_to (wal_path dir); pending }
+
+let database t = t.db
+let now t = Database.now t.db
+
+let log t record =
+  Wal.Writer.write t.writer record;
+  t.pending <- t.pending + 1
+
+let create_table t ~name ~columns =
+  (* Validate before logging so a rejected operation leaves no record. *)
+  if Database.table t.db name <> None then
+    invalid_arg (Printf.sprintf "Durable.create_table: %s exists" name)
+  else begin
+    log t (Wal.Create_table { name; columns });
+    let (_ : Table.t) = Database.create_table t.db ~name ~columns in
+    ()
+  end
+
+let drop_table t name =
+  if Database.table t.db name = None then false
+  else begin
+    log t (Wal.Drop_table name);
+    Database.drop_table t.db name
+  end
+
+let insert t table tuple ~texp =
+  let tbl = Database.table_exn t.db table in
+  if Tuple.arity tuple <> Table.arity tbl then
+    invalid_arg "Durable.insert: arity mismatch";
+  if Time.(texp <= Database.now t.db) then
+    invalid_arg "Durable.insert: texp <= now";
+  log t (Wal.Insert { table; tuple; texp });
+  Database.insert t.db table tuple ~texp
+
+let delete t table tuple =
+  let tbl = Database.table_exn t.db table in
+  if Table.texp_of tbl tuple = None then false
+  else begin
+    log t (Wal.Delete { table; tuple });
+    Database.delete t.db table tuple
+  end
+
+let advance_to t time =
+  if Time.(time < Database.now t.db) then
+    invalid_arg "Durable.advance_to: moving backwards"
+  else begin
+    log t (Wal.Advance time);
+    Database.advance_to t.db time
+  end
+
+let checkpoint t =
+  let tmp = snapshot_path t.dir ^ ".tmp" in
+  if Sys.file_exists tmp then Sys.remove tmp;
+  let snapshot_writer = Wal.Writer.append_to tmp in
+  let written = ref 0 in
+  let emit record =
+    Wal.Writer.write snapshot_writer record;
+    incr written
+  in
+  (* Clock first, so replayed inserts land after it and TTL comparisons
+     hold. *)
+  (match Database.now t.db with
+   | Time.Fin _ as now when not (Time.equal now Time.zero) -> emit (Wal.Advance now)
+   | Time.Fin _ | Time.Inf -> ());
+  List.iter
+    (fun name ->
+      match Database.table t.db name with
+      | None -> ()
+      | Some tbl ->
+        emit (Wal.Create_table { name; columns = Table.columns tbl });
+        (* Only live tuples: expiration is compaction. *)
+        Relation.iter
+          (fun tuple texp -> emit (Wal.Insert { table = name; tuple; texp }))
+          (Table.snapshot tbl ~tau:(Database.now t.db)))
+    (Database.table_names t.db);
+  Wal.Writer.close snapshot_writer;
+  Sys.rename tmp (snapshot_path t.dir);
+  (* Truncate the log only after the snapshot is safely in place. *)
+  Wal.Writer.close t.writer;
+  let oc = open_out (wal_path t.dir) in
+  close_out oc;
+  t.writer <- Wal.Writer.append_to (wal_path t.dir);
+  t.pending <- 0;
+  !written
+
+let close t = Wal.Writer.close t.writer
+let wal_records t = t.pending

@@ -1,0 +1,50 @@
+(** A durable expiring database: {!Database} plus write-ahead logging
+    and snapshot checkpoints in a directory.
+
+    Layout: [dir/snapshot.log] (the state as of the last checkpoint, in
+    WAL record format) and [dir/wal.log] (records since).  {!open_dir}
+    replays snapshot then log; {!checkpoint} rewrites the snapshot from
+    the {e live} state — expired tuples are never written, so
+    checkpointing doubles as compaction (the paper's "smaller databases"
+    benefit falls out of expiration).
+
+    All mutating operations write ahead: the record reaches the log
+    (flushed) before the in-memory state changes, so a crash at any
+    point loses at most the operation in flight; {!Wal.replay}'s
+    torn-tail tolerance makes the directory reopenable regardless. *)
+
+open Expirel_core
+
+type t
+
+val open_dir :
+  ?policy:Database.policy ->
+  ?backend:Expirel_index.Expiration_index.backend ->
+  string ->
+  t
+(** Opens (creating if empty) the database stored in the directory.
+    @raise Sys_error when the directory does not exist *)
+
+val database : t -> Database.t
+(** The live in-memory database.  Mutate it only through this module, or
+    durability is lost. *)
+
+val now : t -> Time.t
+
+val create_table : t -> name:string -> columns:string list -> unit
+val drop_table : t -> string -> bool
+val insert : t -> string -> Tuple.t -> texp:Time.t -> unit
+val delete : t -> string -> Tuple.t -> bool
+val advance_to : t -> Time.t -> unit
+
+val checkpoint : t -> int
+(** Rewrites the snapshot from the live (unexpired) state and truncates
+    the log; returns the number of records in the new snapshot.  The
+    snapshot is written to a temporary file and renamed, so a crash
+    during checkpointing leaves the previous snapshot + log intact. *)
+
+val close : t -> unit
+(** Flushes and closes the log (the state remains usable in memory). *)
+
+val wal_records : t -> int
+(** Records appended to the log since open/last checkpoint. *)

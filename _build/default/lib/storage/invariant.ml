@@ -1,0 +1,143 @@
+open Expirel_core
+
+type spec =
+  | Min_cardinality of int
+  | Max_cardinality of int
+
+type violation = {
+  name : string;
+  at : Time.t;
+  cardinality : int;
+  spec : spec;
+}
+
+type watch = {
+  expr : Algebra.t;
+  spec : spec;
+}
+
+type t = {
+  db : Database.t;
+  watches : (string, watch) Hashtbl.t;
+}
+
+let create db = { db; watches = Hashtbl.create 8 }
+
+let add t ~name ~expr spec =
+  (match spec with
+   | Min_cardinality n | Max_cardinality n ->
+     if n < 1 then invalid_arg "Invariant.add: non-positive bound");
+  if Hashtbl.mem t.watches name then
+    invalid_arg (Printf.sprintf "Invariant.add: %s exists" name)
+  else begin
+    (* Validate the expression eagerly. *)
+    let arity_env n = Option.map Table.arity (Database.table t.db n) in
+    let (_ : int) = Algebra.arity ~env:arity_env expr in
+    Hashtbl.replace t.watches name { expr; spec }
+  end
+
+let remove t name =
+  if Hashtbl.mem t.watches name then begin
+    Hashtbl.remove t.watches name;
+    true
+  end
+  else false
+
+let names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.watches []
+  |> List.sort String.compare
+
+let violated spec cardinality =
+  match spec with
+  | Min_cardinality n -> cardinality < n
+  | Max_cardinality n -> cardinality > n
+
+let env_at t tau name =
+  Option.map (fun tbl -> Table.snapshot tbl ~tau) (Database.table t.db name)
+
+(* The result's cardinality as a step function over [from, horizon[:
+   walks row expirations and texp(e) refreshes, exactly like a
+   subscription but without side effects.  Yields each change point to
+   [visit]; stops when [visit] returns false. *)
+let walk_cardinality t expr ~from ~horizon ~visit =
+  let rec go (result : Eval.result) now =
+    if not (visit now (Relation.cardinal (Relation.exp now result.Eval.relation)))
+    then ()
+    else begin
+      let live = Relation.exp now result.Eval.relation in
+      let next_expiry =
+        Relation.fold
+          (fun _ texp acc ->
+            if Time.is_finite texp && Time.(texp > now) then Time.min acc texp
+            else acc)
+          live Time.Inf
+      in
+      let next = Time.min next_expiry result.Eval.texp in
+      if Time.(next >= horizon) || Time.is_infinite next then ()
+      else if Time.(result.Eval.texp <= next) then
+        go (Eval.run ~env:(env_at t next) ~tau:next expr) next
+      else go result next
+    end
+  in
+  go (Eval.run ~env:(env_at t from) ~tau:from expr) from
+
+let check_now t =
+  let now = Database.now t.db in
+  List.filter_map
+    (fun name ->
+      let w = Hashtbl.find t.watches name in
+      let cardinality =
+        Relation.cardinal (Eval.relation_at ~env:(env_at t now) ~tau:now w.expr)
+      in
+      if violated w.spec cardinality then
+        Some { name; at = now; cardinality; spec = w.spec }
+      else None)
+    (names t)
+
+let next_violation t ~name ~horizon =
+  if Time.is_infinite horizon then
+    invalid_arg "Invariant.next_violation: infinite horizon";
+  let w =
+    match Hashtbl.find_opt t.watches name with
+    | Some w -> w
+    | None -> raise Not_found
+  in
+  let now = Database.now t.db in
+  let found = ref None in
+  walk_cardinality t w.expr ~from:now ~horizon ~visit:(fun at cardinality ->
+      if Time.(at > now) && violated w.spec cardinality then begin
+        found := Some at;
+        false
+      end
+      else true);
+  !found
+
+let advance t target =
+  if Time.is_infinite target then invalid_arg "Invariant.advance: infinite time"
+  else if Time.(target < Database.now t.db) then
+    invalid_arg "Invariant.advance: moving backwards"
+  else begin
+    let from = Database.now t.db in
+    let transitions = ref [] in
+    List.iter
+      (fun name ->
+        let w = Hashtbl.find t.watches name in
+        let was_violated = ref None in
+        walk_cardinality t w.expr ~from ~horizon:(Time.succ target)
+          ~visit:(fun at cardinality ->
+            let bad = violated w.spec cardinality in
+            (match !was_violated, bad with
+             | (None | Some false), true when Time.(at > from) ->
+               transitions := { name; at; cardinality; spec = w.spec } :: !transitions
+             | _ -> ());
+            was_violated := Some bad;
+            true))
+      (names t);
+    Database.advance_to t.db target;
+    List.sort
+      (fun a b ->
+        match Time.compare a.at b.at with
+        | 0 -> String.compare a.name b.name
+        | c -> c)
+      !transitions
+  end

@@ -1,0 +1,51 @@
+(** Integrity constraints over expiring data (Section 1: "triggers can
+    be supported that fire on expirations, as can integrity constraint
+    checking").
+
+    Because every tuple's lifetime is known, constraint violations
+    caused by expiration are {e predictable}: {!next_violation} names
+    the exact future time a constraint will break if nothing is
+    inserted — letting an application top up a quorum, renew a
+    credential or prefetch a replacement {e before} the violation,
+    rather than detecting it after the fact. *)
+
+open Expirel_core
+
+type spec =
+  | Min_cardinality of int  (** the result must always hold at least n rows *)
+  | Max_cardinality of int  (** ... at most n rows *)
+
+type violation = {
+  name : string;
+  at : Time.t;  (** when the constraint (first) fails *)
+  cardinality : int;
+  spec : spec;
+}
+
+type t
+
+val create : Database.t -> t
+
+val add : t -> name:string -> expr:Algebra.t -> spec -> unit
+(** Registers a constraint over the expression's result.
+    @raise Invalid_argument on duplicate names or a non-positive bound
+    @raise Errors.Unknown_relation / {!Errors.Arity_mismatch} like
+    {!Eval.run} *)
+
+val remove : t -> string -> bool
+val names : t -> string list
+
+val check_now : t -> violation list
+(** Constraints violated at the current clock, in name order. *)
+
+val next_violation : t -> name:string -> horizon:Time.t -> Time.t option
+(** The earliest time in [\[now, horizon\[] at which the constraint
+    becomes violated, assuming no further updates — walking the known
+    expiration times and [texp(e)] refreshes of the result.  [None] when
+    it holds throughout (or is already violated now: see {!check_now}).
+    @raise Not_found for unknown names
+    @raise Invalid_argument on an infinite horizon *)
+
+val advance : t -> Time.t -> violation list
+(** Advances the database clock and returns, in time order, each
+    constraint transition {e into} violation inside the interval. *)

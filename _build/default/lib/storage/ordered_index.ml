@@ -1,0 +1,80 @@
+open Expirel_core
+
+module Value_map = Map.Make (Value)
+module Tuple_set = Set.Make (Tuple)
+
+type t = {
+  column : int;
+  mutable buckets : Tuple_set.t Value_map.t;
+  mutable entries : int;
+}
+
+let create ~column = { column; buckets = Value_map.empty; entries = 0 }
+let column t = t.column
+let entries t = t.entries
+
+let key t tuple = Tuple.attr tuple t.column
+
+let insert t tuple =
+  let k = key t tuple in
+  let bucket =
+    Option.value ~default:Tuple_set.empty (Value_map.find_opt k t.buckets)
+  in
+  if not (Tuple_set.mem tuple bucket) then begin
+    t.buckets <- Value_map.add k (Tuple_set.add tuple bucket) t.buckets;
+    t.entries <- t.entries + 1
+  end
+
+let remove t tuple =
+  let k = key t tuple in
+  match Value_map.find_opt k t.buckets with
+  | None -> ()
+  | Some bucket ->
+    if Tuple_set.mem tuple bucket then begin
+      let bucket = Tuple_set.remove tuple bucket in
+      t.buckets <-
+        (if Tuple_set.is_empty bucket then Value_map.remove k t.buckets
+         else Value_map.add k bucket t.buckets);
+      t.entries <- t.entries - 1
+    end
+
+let extrema t =
+  match Value_map.min_binding_opt t.buckets, Value_map.max_binding_opt t.buckets with
+  | Some (lo, _), Some (hi, _) -> Some (lo, hi)
+  | _ -> None
+
+type bound =
+  | Unbounded
+  | Inclusive of Value.t
+  | Exclusive of Value.t
+
+let lookup t v =
+  match Value_map.find_opt v t.buckets with
+  | None -> []
+  | Some bucket -> Tuple_set.elements bucket
+
+let above lo k =
+  match lo with
+  | Unbounded -> true
+  | Inclusive v -> Value.compare k v >= 0
+  | Exclusive v -> Value.compare k v > 0
+
+let below hi k =
+  match hi with
+  | Unbounded -> true
+  | Inclusive v -> Value.compare k v <= 0
+  | Exclusive v -> Value.compare k v < 0
+
+let range t ~lo ~hi =
+  (* Seek to the lower bound and walk in order until the upper bound —
+     O(log n + answer), the point of keeping the index ordered. *)
+  let seq =
+    match lo with
+    | Unbounded -> Value_map.to_seq t.buckets
+    | Inclusive v | Exclusive v -> Value_map.to_seq_from v t.buckets
+  in
+  seq
+  |> Seq.drop_while (fun (k, _) -> not (above lo k))
+  |> Seq.take_while (fun (k, _) -> below hi k)
+  |> Seq.concat_map (fun (_, bucket) -> List.to_seq (Tuple_set.elements bucket))
+  |> List.of_seq

@@ -1,0 +1,36 @@
+(** A secondary index over one column of a stored relation: an ordered
+    map from attribute value to the set of tuples carrying it, supporting
+    point and range lookups for the planner ({!Access}). *)
+
+open Expirel_core
+
+type t
+
+val create : column:int -> t
+(** [column] is the 1-based attribute position the index covers. *)
+
+val column : t -> int
+val entries : t -> int
+(** Number of indexed tuples. *)
+
+val insert : t -> Tuple.t -> unit
+(** @raise Invalid_argument when the tuple lacks the indexed position *)
+
+val remove : t -> Tuple.t -> unit
+
+type bound =
+  | Unbounded
+  | Inclusive of Value.t
+  | Exclusive of Value.t
+
+val extrema : t -> (Value.t * Value.t) option
+(** Smallest and largest indexed key, if any tuples are indexed. *)
+
+val lookup : t -> Value.t -> Tuple.t list
+(** Tuples whose indexed attribute equals the value, in tuple order. *)
+
+val range : t -> lo:bound -> hi:bound -> Tuple.t list
+(** Tuples whose indexed attribute falls in the interval, in ascending
+    attribute (then tuple) order.  Bounds use {!Value.compare}'s total
+    order, which agrees with {!Value.cmp} on same-type numeric and
+    string values. *)

@@ -1,0 +1,117 @@
+open Expirel_core
+
+type event =
+  | Row_expired of {
+      subscription : string;
+      tuple : Tuple.t;
+      at : Time.t;
+    }
+  | Row_appeared of {
+      subscription : string;
+      tuple : Tuple.t;
+      texp : Time.t;
+      at : Time.t;
+    }
+  | Refreshed of {
+      subscription : string;
+      at : Time.t;
+    }
+
+type handler = event -> unit
+
+type watch = {
+  expr : Algebra.t;
+  handler : handler;
+  mutable result : Eval.result;  (* materialised at [synced] *)
+}
+
+type t = {
+  db : Database.t;
+  watches : (string, watch) Hashtbl.t;
+}
+
+let create db = { db; watches = Hashtbl.create 8 }
+
+(* Evaluate against the stored tables as they will stand at [tau] —
+   valid for tau at or beyond the database clock. *)
+let env_at t tau name =
+  Option.map (fun tbl -> Table.snapshot tbl ~tau) (Database.table t.db name)
+
+let subscribe t ~name expr handler =
+  if Hashtbl.mem t.watches name then
+    invalid_arg (Printf.sprintf "Subscription.subscribe: %s exists" name)
+  else
+    let result = Eval.run ~env:(env_at t (Database.now t.db)) ~tau:(Database.now t.db) expr in
+    Hashtbl.replace t.watches name { expr; handler; result }
+
+let unsubscribe t name =
+  if Hashtbl.mem t.watches name then begin
+    Hashtbl.remove t.watches name;
+    true
+  end
+  else false
+
+let names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.watches []
+  |> List.sort String.compare
+
+let current t name =
+  match Hashtbl.find_opt t.watches name with
+  | Some w -> Relation.exp (Database.now t.db) w.result.Eval.relation
+  | None -> raise Not_found
+
+(* Earliest finite row expiration in the watch's live contents. *)
+let next_row_expiry ~after relation =
+  Relation.fold
+    (fun _ texp acc ->
+      if Time.is_finite texp && Time.(texp > after) then Time.min acc texp
+      else acc)
+    relation Time.Inf
+
+let drive t name w ~from ~to_ =
+  let rec go now =
+    let live = Relation.exp now w.result.Eval.relation in
+    let next_expiry = next_row_expiry ~after:now live in
+    let next = Time.min next_expiry w.result.Eval.texp in
+    if Time.(next > to_) || Time.is_infinite next then ()
+    else begin
+      let at = next in
+      (* Expirations at this instant fire first. *)
+      Relation.iter
+        (fun tuple texp ->
+          if Time.equal texp at then
+            w.handler (Row_expired { subscription = name; tuple; at }))
+        live;
+      let survivors = Relation.exp at live in
+      if Time.(w.result.Eval.texp <= at) then begin
+        (* The materialisation is invalid from here: refresh locally and
+           report what (re)appeared. *)
+        let refreshed = Eval.run ~env:(env_at t at) ~tau:at w.expr in
+        w.handler (Refreshed { subscription = name; at });
+        Relation.iter
+          (fun tuple texp ->
+            if not (Relation.mem tuple survivors) then
+              w.handler (Row_appeared { subscription = name; tuple; texp; at }))
+          refreshed.Eval.relation;
+        w.result <- refreshed
+      end;
+      go at
+    end
+  in
+  go from
+
+let advance t target =
+  if Time.is_infinite target then
+    invalid_arg "Subscription.advance: infinite time"
+  else if Time.(target < Database.now t.db) then
+    invalid_arg "Subscription.advance: moving backwards"
+  else begin
+    let from = Database.now t.db in
+    (* Replay the continuous queries' change times before the storage
+       physically removes rows (eager policy): refreshes at intermediate
+       instants must see everything that was live then. *)
+    List.iter
+      (fun name -> drive t name (Hashtbl.find t.watches name) ~from ~to_:target)
+      (names t);
+    Database.advance_to t.db target
+  end

@@ -1,0 +1,156 @@
+open Expirel_core
+open Expirel_index
+
+module Tuple_hash = struct
+  type t = Tuple.t
+
+  let equal = Tuple.equal
+  let hash = Tuple.hash
+end
+
+module Tuple_tbl = Hashtbl.Make (Tuple_hash)
+
+type t = {
+  name : string;
+  columns : string list;
+  rows : (Tuple.t * Time.t) Tuple_tbl.t;  (* keyed by tuple (set semantics) *)
+  ids : (int, Tuple.t) Hashtbl.t;  (* expiration-index id -> tuple *)
+  by_tuple : int Tuple_tbl.t;  (* tuple -> its current index id *)
+  index : Expiration_index.t;
+  secondary : (int, Ordered_index.t) Hashtbl.t;  (* column -> index *)
+  mutable next_id : int;
+}
+
+let create ?(backend = `Heap) ~name ~columns () =
+  if columns = [] then invalid_arg "Table.create: no columns"
+  else
+    { name;
+      columns;
+      rows = Tuple_tbl.create 64;
+      ids = Hashtbl.create 64;
+      by_tuple = Tuple_tbl.create 64;
+      index = Expiration_index.create backend;
+      secondary = Hashtbl.create 4;
+      next_id = 0
+    }
+
+let name t = t.name
+let columns t = t.columns
+let arity t = List.length t.columns
+
+let column_position t column =
+  let rec find i = function
+    | [] -> None
+    | c :: rest -> if String.equal c column then Some i else find (i + 1) rest
+  in
+  find 1 t.columns
+
+let unindex t tuple =
+  match Tuple_tbl.find_opt t.by_tuple tuple with
+  | Some id ->
+    Expiration_index.remove t.index ~id;
+    Hashtbl.remove t.ids id;
+    Tuple_tbl.remove t.by_tuple tuple
+  | None -> ()
+
+let secondary_insert t tuple =
+  Hashtbl.iter (fun _ idx -> Ordered_index.insert idx tuple) t.secondary
+
+let secondary_remove t tuple =
+  Hashtbl.iter (fun _ idx -> Ordered_index.remove idx tuple) t.secondary
+
+let insert t tuple ~texp =
+  if Tuple.arity tuple <> arity t then
+    invalid_arg
+      (Printf.sprintf "Table.insert(%s): tuple arity %d, table arity %d" t.name
+         (Tuple.arity tuple) (arity t));
+  unindex t tuple;
+  secondary_insert t tuple;
+  Tuple_tbl.replace t.rows tuple (tuple, texp);
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  Hashtbl.replace t.ids id tuple;
+  Tuple_tbl.replace t.by_tuple tuple id;
+  Expiration_index.add t.index ~id ~texp
+
+let delete t tuple =
+  if Tuple_tbl.mem t.rows tuple then begin
+    unindex t tuple;
+    secondary_remove t tuple;
+    Tuple_tbl.remove t.rows tuple;
+    true
+  end
+  else false
+
+let texp_of t tuple = Option.map snd (Tuple_tbl.find_opt t.rows tuple)
+let physical_count t = Tuple_tbl.length t.rows
+
+let live_count t ~tau =
+  Tuple_tbl.fold
+    (fun _ (_, texp) n -> if Time.(texp > tau) then n + 1 else n)
+    t.rows 0
+
+let snapshot t ~tau =
+  Tuple_tbl.fold
+    (fun _ (tuple, texp) acc ->
+      if Time.(texp > tau) then Relation.add tuple ~texp acc else acc)
+    t.rows
+    (Relation.empty ~arity:(arity t))
+
+let expire_upto t tau =
+  let due = Expiration_index.expire_upto t.index tau in
+  List.filter_map
+    (fun (id, texp) ->
+      match Hashtbl.find_opt t.ids id with
+      | Some tuple ->
+        Hashtbl.remove t.ids id;
+        Tuple_tbl.remove t.by_tuple tuple;
+        Tuple_tbl.remove t.rows tuple;
+        secondary_remove t tuple;
+        Some (tuple, texp)
+      | None -> None)
+    due
+
+let vacuum t ~tau = List.length (expire_upto t tau)
+
+let next_expiry t = Expiration_index.next_expiry t.index
+
+(* --- secondary indexes --- *)
+
+let create_index t ~column =
+  if column < 1 || column > arity t then
+    invalid_arg
+      (Printf.sprintf "Table.create_index(%s): column %d outside 1..%d" t.name
+         column (arity t));
+  let idx = Ordered_index.create ~column in
+  Tuple_tbl.iter (fun _ (tuple, _) -> Ordered_index.insert idx tuple) t.rows;
+  Hashtbl.replace t.secondary column idx
+
+let drop_index t ~column = Hashtbl.remove t.secondary column
+let has_index t ~column = Hashtbl.mem t.secondary column
+
+let indexed_columns t =
+  Hashtbl.fold (fun c _ acc -> c :: acc) t.secondary [] |> List.sort Int.compare
+
+let secondary_exn t column =
+  match Hashtbl.find_opt t.secondary column with
+  | Some idx -> idx
+  | None -> raise Not_found
+
+let index_extrema t ~column = Ordered_index.extrema (secondary_exn t column)
+
+(* Candidates come from the index over physical rows; re-attach texps and
+   drop the expired. *)
+let live_rows t ~tau tuples =
+  List.filter_map
+    (fun tuple ->
+      match Tuple_tbl.find_opt t.rows tuple with
+      | Some (_, texp) when Time.(texp > tau) -> Some (tuple, texp)
+      | Some _ | None -> None)
+    tuples
+
+let index_lookup t ~column ~tau v =
+  live_rows t ~tau (Ordered_index.lookup (secondary_exn t column) v)
+
+let index_range t ~column ~tau ~lo ~hi =
+  live_rows t ~tau (Ordered_index.range (secondary_exn t column) ~lo ~hi)

@@ -1,0 +1,82 @@
+(** A mutable stored relation with set semantics, named columns, and an
+    expiration index.
+
+    The table itself is clock-free; the {!Database} drives expiration by
+    calling {!expire_upto} (eager removal) or {!vacuum} (delayed physical
+    removal under lazy policy) and reads logical states via {!snapshot},
+    which always filters through [exp_tau] so expired-but-unvacuumed rows
+    stay invisible (Section 3.2, citation [26]). *)
+
+open Expirel_core
+open Expirel_index
+
+type t
+
+val create :
+  ?backend:Expiration_index.backend -> name:string -> columns:string list ->
+  unit -> t
+(** [backend] defaults to [`Heap].
+    @raise Invalid_argument on an empty column list *)
+
+val name : t -> string
+val columns : t -> string list
+val arity : t -> int
+
+val column_position : t -> string -> int option
+(** 1-based position of a column name. *)
+
+val insert : t -> Tuple.t -> texp:Time.t -> unit
+(** Set semantics: inserting an existing tuple overwrites its expiration
+    time (the paper's update — "an expiration time may be assigned to a
+    tuple" on insertion and update).
+    @raise Invalid_argument on arity mismatch *)
+
+val delete : t -> Tuple.t -> bool
+(** Explicit deletion; [true] when the tuple was present. *)
+
+val texp_of : t -> Tuple.t -> Time.t option
+val physical_count : t -> int
+(** Rows physically present, including expired-but-unvacuumed ones. *)
+
+val live_count : t -> tau:Time.t -> int
+
+val snapshot : t -> tau:Time.t -> Relation.t
+(** The logical state [exp_tau(R)]. *)
+
+val expire_upto : t -> Time.t -> (Tuple.t * Time.t) list
+(** Physically removes every row with [texp <= tau] and returns them in
+    [(texp, tuple)] order — the eager policy's unit of work, and the
+    source of expiration trigger events. *)
+
+val vacuum : t -> tau:Time.t -> int
+(** Physically removes rows with [texp <= tau] without materialising
+    them; returns how many were reclaimed (lazy policy cleanup). *)
+
+val next_expiry : t -> Time.t option
+
+(** {2 Secondary indexes} *)
+
+val create_index : t -> column:int -> unit
+(** Builds (or rebuilds) an ordered secondary index on the 1-based
+    column; maintained by subsequent inserts, deletes and expirations.
+    @raise Invalid_argument when the column is out of range *)
+
+val drop_index : t -> column:int -> unit
+val has_index : t -> column:int -> bool
+val indexed_columns : t -> int list
+
+val index_extrema : t -> column:int -> (Value.t * Value.t) option
+(** Smallest and largest key currently indexed (physical rows, expired
+    included until vacuumed).
+    @raise Not_found when no index covers the column *)
+
+val index_lookup :
+  t -> column:int -> tau:Time.t -> Value.t -> (Tuple.t * Time.t) list
+(** Live tuples whose column equals the value.
+    @raise Not_found when no index covers the column *)
+
+val index_range :
+  t -> column:int -> tau:Time.t -> lo:Ordered_index.bound ->
+  hi:Ordered_index.bound -> (Tuple.t * Time.t) list
+(** Live tuples whose column falls in the range.
+    @raise Not_found when no index covers the column *)

@@ -1,0 +1,42 @@
+open Expirel_core
+
+type event = {
+  table : string;
+  tuple : Tuple.t;
+  texp : Time.t;
+  fired_at : Time.t;
+}
+
+type handler = event -> unit
+
+type entry = {
+  name : string;
+  table_name : string;
+  handler : handler;
+}
+
+type registry = {
+  mutable entries : entry list;
+  mutable log : event list;  (* newest first *)
+}
+
+let create () = { entries = []; log = [] }
+
+(* Registration order is firing order. *)
+let register r ~name ~table handler =
+  r.entries <-
+    List.filter (fun e -> e.name <> name) r.entries
+    @ [ { name; table_name = table; handler } ]
+
+let unregister r ~name = r.entries <- List.filter (fun e -> e.name <> name) r.entries
+let count r = List.length r.entries
+
+let fire r event =
+  r.log <- event :: r.log;
+  List.iter
+    (fun e ->
+      if e.table_name = "*" || e.table_name = event.table then e.handler event)
+    r.entries
+
+let fired_log r = List.rev r.log
+let clear_log r = r.log <- []

@@ -1,0 +1,51 @@
+(** Write-ahead logging for the storage engine.
+
+    Records are encoded one per line in a plain-text, crash-tolerant
+    format: every append is flushed and length-framed on disk
+    ([<len>:<payload>]), and {!replay} stops cleanly at the first
+    malformed or truncated line, so a crash mid-write loses at most the
+    record being written. *)
+
+open Expirel_core
+
+type record =
+  | Create_table of {
+      name : string;
+      columns : string list;
+    }
+  | Drop_table of string
+  | Insert of {
+      table : string;
+      tuple : Tuple.t;
+      texp : Time.t;
+    }
+  | Delete of {
+      table : string;
+      tuple : Tuple.t;
+    }
+  | Advance of Time.t
+
+val encode : record -> string
+(** A single line (no trailing newline).  All strings are
+    percent-encoded, so any table name, column name or string value
+    round-trips. *)
+
+val decode : string -> (record, string) result
+
+module Writer : sig
+  type t
+
+  val append_to : string -> t
+  (** Opens (creating if absent) the log at the given path for append. *)
+
+  val write : t -> record -> unit
+  (** Appends and flushes one record. *)
+
+  val close : t -> unit
+end
+
+val replay : string -> f:(record -> unit) -> int
+(** [replay path ~f] applies [f] to every well-formed leading record of
+    the log and returns how many were applied; a missing file counts as
+    an empty log.  Replay stops (without raising) at the first malformed
+    line — the torn tail of a crashed writer. *)

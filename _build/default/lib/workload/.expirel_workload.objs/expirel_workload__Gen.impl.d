@@ -1,0 +1,1 @@
+lib/workload/gen.ml: Array Expirel_core Float Hashtbl List Random Relation Time Tuple Value

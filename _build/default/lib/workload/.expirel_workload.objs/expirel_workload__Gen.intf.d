@@ -1,0 +1,1 @@
+lib/workload/gen.mli: Expirel_core Random Relation Time Value

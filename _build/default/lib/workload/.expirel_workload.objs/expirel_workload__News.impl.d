@@ -1,0 +1,1 @@
+lib/workload/news.ml: Eval Expirel_core Gen List Random Relation Time Tuple

@@ -1,0 +1,1 @@
+lib/workload/news.mli: Eval Expirel_core Gen Random Relation Time

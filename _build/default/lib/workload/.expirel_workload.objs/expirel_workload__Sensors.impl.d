@@ -1,0 +1,1 @@
+lib/workload/sensors.ml: Expirel_core Int List Random Time Tuple

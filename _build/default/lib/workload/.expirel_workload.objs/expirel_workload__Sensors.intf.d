@@ -1,0 +1,1 @@
+lib/workload/sensors.mli: Expirel_core Random Time Tuple

@@ -1,0 +1,1 @@
+lib/workload/sessions.ml: Expirel_core Int List Random Time Tuple

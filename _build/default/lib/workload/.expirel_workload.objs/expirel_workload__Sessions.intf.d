@@ -1,0 +1,1 @@
+lib/workload/sessions.mli: Expirel_core Random Time Tuple

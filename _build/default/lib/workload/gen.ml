@@ -1,0 +1,127 @@
+open Expirel_core
+
+type ttl_dist =
+  | Constant_ttl of int
+  | Uniform_ttl of int * int
+  | Geometric_ttl of float
+  | Immortal_share of float * ttl_dist
+
+type value_dist =
+  | Uniform_value of int
+  | Centered_value of int
+  | Zipf_value of int * float
+
+let rec sample_ttl rng = function
+  | Constant_ttl d ->
+    if d < 1 then invalid_arg "Gen.sample_ttl: Constant_ttl < 1"
+    else Time.of_int d
+  | Uniform_ttl (lo, hi) ->
+    if lo < 1 || hi < lo then invalid_arg "Gen.sample_ttl: bad Uniform_ttl bounds"
+    else Time.of_int (lo + Random.State.int rng (hi - lo + 1))
+  | Geometric_ttl p ->
+    if p <= 0. || p > 1. then invalid_arg "Gen.sample_ttl: bad Geometric_ttl p"
+    else begin
+      (* Inverse-CDF sampling, floored at 1. *)
+      let u = Random.State.float rng 1. in
+      let d = int_of_float (Float.ceil (log1p (-.u) /. log1p (-.p))) in
+      Time.of_int (max 1 d)
+    end
+  | Immortal_share (share, rest) ->
+    if share < 0. || share > 1. then
+      invalid_arg "Gen.sample_ttl: bad Immortal_share"
+    else if Random.State.float rng 1. < share then Time.Inf
+    else sample_ttl rng rest
+
+(* Zipf via rejection-free inverse CDF over precomputed cumulative
+   weights would cost O(n) per table; we memoise tables per (n, s). *)
+let zipf_tables : (int * float, float array) Hashtbl.t = Hashtbl.create 8
+
+let zipf_cdf n s =
+  match Hashtbl.find_opt zipf_tables (n, s) with
+  | Some cdf -> cdf
+  | None ->
+    let weights = Array.init n (fun i -> 1. /. Float.pow (float_of_int (i + 1)) s) in
+    let total = Array.fold_left ( +. ) 0. weights in
+    let cdf = Array.make n 0. in
+    let acc = ref 0. in
+    Array.iteri
+      (fun i w ->
+        acc := !acc +. (w /. total);
+        cdf.(i) <- !acc)
+      weights;
+    Hashtbl.replace zipf_tables (n, s) cdf;
+    cdf
+
+let sample_value rng = function
+  | Uniform_value n ->
+    if n < 1 then invalid_arg "Gen.sample_value: Uniform_value < 1"
+    else Value.Int (Random.State.int rng n)
+  | Centered_value n ->
+    if n < 0 then invalid_arg "Gen.sample_value: Centered_value < 0"
+    else Value.Int (Random.State.int rng ((2 * n) + 1) - n)
+  | Zipf_value (n, s) ->
+    if n < 1 then invalid_arg "Gen.sample_value: Zipf_value < 1"
+    else begin
+      let cdf = zipf_cdf n s in
+      let u = Random.State.float rng 1. in
+      (* Binary search for the first index with cdf >= u. *)
+      let rec search lo hi =
+        if lo >= hi then lo
+        else
+          let mid = (lo + hi) / 2 in
+          if cdf.(mid) >= u then search lo mid else search (mid + 1) hi
+      in
+      Value.Int (search 0 (n - 1))
+    end
+
+let random_tuple rng ~arity ~values =
+  Tuple.of_list (List.init arity (fun _ -> sample_value rng values))
+
+let relation ~rng ~arity ~cardinality ~values ~ttl ~now =
+  let rec fill r added attempts =
+    if added >= cardinality || attempts > 20 * cardinality then r
+    else
+      let t = random_tuple rng ~arity ~values in
+      if Relation.mem t r then fill r added (attempts + 1)
+      else
+        let texp = Time.add now (sample_ttl rng ttl) in
+        fill (Relation.add t ~texp r) (added + 1) (attempts + 1)
+  in
+  fill (Relation.empty ~arity) 0 0
+
+let overlapping_pair ~rng ~arity ~cardinality ~overlap ~values ~ttl ~now =
+  if overlap < 0. || overlap > 1. then
+    invalid_arg "Gen.overlapping_pair: overlap outside [0, 1]";
+  let shared_count = int_of_float (overlap *. float_of_int cardinality) in
+  let base = relation ~rng ~arity ~cardinality ~values ~ttl ~now in
+  let tuples = Relation.tuples base in
+  let shared = List.filteri (fun i _ -> i < shared_count) tuples in
+  let own_of target =
+    let rec fill r added attempts =
+      if added >= cardinality - List.length shared
+         || attempts > 20 * cardinality
+      then r
+      else
+        let t = random_tuple rng ~arity ~values in
+        if Relation.mem t base || Relation.mem t r then fill r added (attempts + 1)
+        else
+          let texp = Time.add now (sample_ttl rng ttl) in
+          fill (Relation.add t ~texp r) (added + 1) (attempts + 1)
+    in
+    fill target 0 0
+  in
+  let with_shared () =
+    List.fold_left
+      (fun r t -> Relation.add t ~texp:(Time.add now (sample_ttl rng ttl)) r)
+      (Relation.empty ~arity) shared
+  in
+  own_of (with_shared ()), own_of (with_shared ())
+
+let expiry_stream ~rng ~n ~ttl ~now =
+  List.init n (fun id ->
+      let rec finite_ttl () =
+        match sample_ttl rng ttl with
+        | Time.Fin d -> d
+        | Time.Inf -> finite_ttl ()
+      in
+      id, now + finite_ttl ())

@@ -1,0 +1,60 @@
+(** Deterministic random workload generators (seeded PRNG throughout, so
+    every experiment is reproducible run to run). *)
+
+open Expirel_core
+
+type ttl_dist =
+  | Constant_ttl of int  (** every tuple lives exactly this long *)
+  | Uniform_ttl of int * int  (** inclusive bounds, [1 <= lo <= hi] *)
+  | Geometric_ttl of float  (** success probability in [(0, 1\]];
+                                 mean [1/p], heavy tail of long-lived tuples *)
+  | Immortal_share of float * ttl_dist
+      (** this fraction gets [texp = Inf], the rest draws from the
+          nested distribution *)
+
+type value_dist =
+  | Uniform_value of int  (** uniform over [0 .. n-1] *)
+  | Centered_value of int  (** uniform over [-n .. n]; cancellations make
+                               sum/avg neutral slices (Table 1) common *)
+  | Zipf_value of int * float  (** [Zipf (n, s)]: ranks [1..n],
+                                    exponent [s]; skew creates duplicate
+                                    attribute values and thus interesting
+                                    projections/partitions *)
+
+val sample_ttl : Random.State.t -> ttl_dist -> Time.t
+(** A TTL (relative lifetime); [Fin d] with [d >= 1], or [Inf]. *)
+
+val sample_value : Random.State.t -> value_dist -> Value.t
+
+val relation :
+  rng:Random.State.t ->
+  arity:int ->
+  cardinality:int ->
+  values:value_dist ->
+  ttl:ttl_dist ->
+  now:Time.t ->
+  Relation.t
+(** Random relation of distinct tuples with expiration times
+    [now + ttl].  May return fewer than [cardinality] tuples when the
+    value space is too small to supply enough distinct tuples (set
+    semantics); it gives up after a bounded number of redraws. *)
+
+val overlapping_pair :
+  rng:Random.State.t ->
+  arity:int ->
+  cardinality:int ->
+  overlap:float ->
+  values:value_dist ->
+  ttl:ttl_dist ->
+  now:Time.t ->
+  Relation.t * Relation.t
+(** Two relations sharing approximately [overlap] (in [\[0, 1\]]) of
+    their tuples — the knob that controls the critical set
+    [{t | t in R /\ t in S /\ texp_R(t) > texp_S(t)}] driving difference
+    recomputation.  Shared tuples get independent expiration times in
+    each relation, so roughly half the shared tuples are critical. *)
+
+val expiry_stream :
+  rng:Random.State.t -> n:int -> ttl:ttl_dist -> now:int -> (int * int) list
+(** [n] [(id, expire_at)] registrations for expiration-index benchmarks;
+    infinite TTLs are redrawn (every entry expires). *)

@@ -1,0 +1,38 @@
+open Expirel_core
+
+let figure1_pol =
+  Relation.of_list ~arity:2
+    [ Tuple.ints [ 1; 25 ], Time.of_int 10;
+      Tuple.ints [ 2; 25 ], Time.of_int 15;
+      Tuple.ints [ 3; 35 ], Time.of_int 10 ]
+
+let figure1_el =
+  Relation.of_list ~arity:2
+    [ Tuple.ints [ 1; 75 ], Time.of_int 5;
+      Tuple.ints [ 2; 85 ], Time.of_int 3;
+      Tuple.ints [ 4; 90 ], Time.of_int 2 ]
+
+let figure1_env = Eval.env_of_list [ "Pol", figure1_pol; "El", figure1_el ]
+let columns = [ "uid"; "deg" ]
+
+let profiles ~rng ~users ~coverage ~degree_levels ~ttl ~now =
+  if coverage < 0. || coverage > 1. then invalid_arg "News.profiles: coverage";
+  if degree_levels < 1 then invalid_arg "News.profiles: degree_levels < 1";
+  let step = max 1 (100 / degree_levels) in
+  let add acc uid =
+    if Random.State.float rng 1. <= coverage then
+      let degree = step * (1 + Random.State.int rng degree_levels) in
+      let texp = Time.add now (Gen.sample_ttl rng ttl) in
+      Relation.add (Tuple.ints [ uid; degree ]) ~texp acc
+    else acc
+  in
+  List.fold_left add (Relation.empty ~arity:2) (List.init users (fun i -> i + 1))
+
+let two_topics ~rng ~users ~core_ttl ~niche_ttl ~now =
+  let core =
+    profiles ~rng ~users ~coverage:0.9 ~degree_levels:4 ~ttl:core_ttl ~now
+  in
+  let niche =
+    profiles ~rng ~users ~coverage:0.3 ~degree_levels:4 ~ttl:niche_ttl ~now
+  in
+  core, niche

@@ -1,0 +1,45 @@
+(** The paper's motivating scenario (Section 2.1): a dynamic,
+    personalised news service whose engine maintains user profiles —
+    pairs of user id and degree of interest, one relation per topic. *)
+
+open Expirel_core
+
+val figure1_pol : Relation.t
+(** Table 'Pol' (politics) exactly as in Figure 1(a): tuples
+    [<1,25>@10, <2,25>@15, <3,35>@10]. *)
+
+val figure1_el : Relation.t
+(** Table 'El' (elections) exactly as in Figure 1(b): tuples
+    [<1,75>@5, <2,85>@3, <4,90>@2]. *)
+
+val figure1_env : Eval.env
+(** Both example relations under their paper names ["Pol"] and ["El"]. *)
+
+val columns : string list
+(** The profile schema: [\["uid"; "deg"\]]. *)
+
+val profiles :
+  rng:Random.State.t ->
+  users:int ->
+  coverage:float ->
+  degree_levels:int ->
+  ttl:Gen.ttl_dist ->
+  now:Time.t ->
+  Relation.t
+(** A scaled-up topic table: each of [users] user ids appears with
+    probability [coverage], with a degree of interest drawn from
+    [degree_levels] distinct values (multiples of
+    [100 / degree_levels], mimicking the paper's 25/35/75/85/90 style)
+    and a lifetime from [ttl].  Core-topic tables use long TTLs, niche
+    topics short ones (Section 2.1). *)
+
+val two_topics :
+  rng:Random.State.t ->
+  users:int ->
+  core_ttl:Gen.ttl_dist ->
+  niche_ttl:Gen.ttl_dist ->
+  now:Time.t ->
+  Relation.t * Relation.t
+(** A (core, niche) topic pair shaped like (Pol, El): the core table
+    covers most users with long lifetimes, the niche table fewer users
+    with short lifetimes. *)

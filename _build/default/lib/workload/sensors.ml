@@ -1,0 +1,34 @@
+open Expirel_core
+
+type sample = {
+  sensor : int;
+  value : int;
+  at : int;
+}
+
+let columns = [ "sensor"; "value" ]
+
+let stream ~rng ~sensors ~period ~horizon ~jitter =
+  if sensors < 1 || period < 1 || horizon < 1 || jitter < 0 then
+    invalid_arg "Sensors.stream: bad parameters";
+  let samples = ref [] in
+  for sensor = 1 to sensors do
+    let value = ref (Random.State.int rng 100) in
+    let t = ref 0 in
+    while !t < horizon do
+      let offset = if jitter = 0 then 0 else Random.State.int rng (jitter + 1) in
+      let at = min (horizon - 1) (!t + offset) in
+      samples := { sensor; value = !value; at } :: !samples;
+      value := max 0 (!value + Random.State.int rng 11 - 5);
+      t := !t + period
+    done
+  done;
+  List.sort
+    (fun a b ->
+      match Int.compare a.at b.at with
+      | 0 -> Int.compare a.sensor b.sensor
+      | c -> c)
+    !samples
+
+let tuple_of { sensor; value; at = _ } = Tuple.ints [ sensor; value ]
+let texp_of ~period ~jitter s = Time.of_int (s.at + period + jitter)

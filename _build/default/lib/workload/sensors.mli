@@ -1,0 +1,31 @@
+(** Monitoring workload: "temperature or location samples" whose
+    lifetime is known on insertion (Section 1) — each sensor reports
+    every [period] ticks and a sample is current until the next report
+    arrives, so [texp = sample time + period]. *)
+
+open Expirel_core
+
+type sample = {
+  sensor : int;
+  value : int;
+  at : int;
+}
+
+val columns : string list
+(** [\["sensor"; "value"\]]. *)
+
+val stream :
+  rng:Random.State.t ->
+  sensors:int ->
+  period:int ->
+  horizon:int ->
+  jitter:int ->
+  sample list
+(** Every sensor reports near each multiple of [period] (± uniform
+    [jitter], clamped to the horizon), with a random-walk value.
+    Sorted by [(at, sensor)]. *)
+
+val tuple_of : sample -> Tuple.t
+val texp_of : period:int -> jitter:int -> sample -> Time.t
+(** [at + period + jitter]: a sample survives until its replacement,
+    with slack for the replacement's jitter. *)

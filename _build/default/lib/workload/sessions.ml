@@ -1,0 +1,60 @@
+open Expirel_core
+
+type event =
+  | Login of { session : int; user : int; at : int }
+  | Activity of { session : int; user : int; at : int }
+
+let columns = [ "sid"; "uid" ]
+
+let event_time = function
+  | Login { at; _ } -> at
+  | Activity { at; _ } -> at
+
+let event_rank = function
+  | Login _ -> 0
+  | Activity _ -> 1
+
+let event_session = function
+  | Login { session; _ } -> session
+  | Activity { session; _ } -> session
+
+let timeline ~rng ~users ~logins ~horizon ~activity_rate =
+  if users < 1 || logins < 0 || horizon < 1 then
+    invalid_arg "Sessions.timeline: bad sizes";
+  if activity_rate < 0. then invalid_arg "Sessions.timeline: negative rate";
+  let events = ref [] in
+  for session = 1 to logins do
+    let user = 1 + Random.State.int rng users in
+    let at = Random.State.int rng horizon in
+    events := Login { session; user; at } :: !events;
+    (* Geometric number of follow-up activities with mean activity_rate. *)
+    let p = 1. /. (1. +. activity_rate) in
+    let rec activities t =
+      if Random.State.float rng 1. >= p && t < horizon - 1 then begin
+        let t = t + 1 + Random.State.int rng (max 1 ((horizon - t) / 4)) in
+        if t < horizon then begin
+          events := Activity { session; user; at = t } :: !events;
+          activities t
+        end
+      end
+    in
+    activities at
+  done;
+  List.sort
+    (fun a b ->
+      match Int.compare (event_time a) (event_time b) with
+      | 0 ->
+        (match Int.compare (event_rank a) (event_rank b) with
+         | 0 -> Int.compare (event_session a) (event_session b)
+         | c -> c)
+      | c -> c)
+    !events
+
+let tuple_of ~session ~user = Tuple.ints [ session; user ]
+
+let apply_event ~timeout ~insert event =
+  match event with
+  | Login { session; user; at } | Activity { session; user; at } ->
+    insert
+      (tuple_of ~session ~user)
+      ~texp:(Time.of_int (at + timeout))

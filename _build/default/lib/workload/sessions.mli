@@ -1,0 +1,40 @@
+(** Session-key workload: "automatic session management in HTTP servers,
+    short-lived credentials and keys in cryptographic protocols"
+    (Section 1).
+
+    Generates a timeline of logins and activity; each activity renews the
+    session's expiration time (an update assigning a new [texp]), so the
+    session dies [timeout] ticks after its last activity — expiration
+    replaces the usual janitor/cron deletion logic. *)
+
+open Expirel_core
+
+type event =
+  | Login of { session : int; user : int; at : int }
+  | Activity of { session : int; user : int; at : int }
+      (** renews the session *)
+
+val columns : string list
+(** [\["sid"; "uid"\]]. *)
+
+val event_time : event -> int
+
+val timeline :
+  rng:Random.State.t ->
+  users:int ->
+  logins:int ->
+  horizon:int ->
+  activity_rate:float ->
+  event list
+(** [logins] login events uniformly over [\[0, horizon\[], each followed
+    by a geometric number of activities (mean [activity_rate] per
+    session) at increasing times.  Events are sorted by time (ties:
+    logins first, then session id). *)
+
+val tuple_of : session:int -> user:int -> Tuple.t
+
+val apply_event :
+  timeout:int -> insert:(Tuple.t -> texp:Time.t -> unit) -> event -> unit
+(** Translates an event into an insert/renewal carrying
+    [texp = event time + timeout] (callers drive the clock to the event
+    time first). *)

@@ -1,0 +1,68 @@
+type page = {
+  id : int;
+  change_period : int;
+  change_times : int list;
+}
+
+let pages ~rng ~count ~period_range:(lo, hi) ~horizon =
+  if count < 1 || lo < 1 || hi < lo || horizon < 1 then
+    invalid_arg "Web.pages: bad parameters";
+  List.init count (fun id ->
+      let change_period = lo + Random.State.int rng (hi - lo + 1) in
+      let rec changes t acc =
+        if t >= horizon then List.rev acc
+        else
+          let jitter =
+            Random.State.int rng (max 1 (change_period / 2))
+            - (change_period / 4)
+          in
+          let next = max (t + 1) (t + change_period + jitter) in
+          if next >= horizon then List.rev acc else changes next (next :: acc)
+      in
+      { id; change_period; change_times = changes 0 [] })
+
+type ttl_policy =
+  | Fixed_ttl of int
+  | Proportional_ttl of float
+
+let ttl_for policy page =
+  match policy with
+  | Fixed_ttl n ->
+    if n < 1 then invalid_arg "Web.ttl_for: Fixed_ttl < 1" else n
+  | Proportional_ttl alpha ->
+    if alpha <= 0. then invalid_arg "Web.ttl_for: non-positive alpha"
+    else max 1 (int_of_float (alpha *. float_of_int page.change_period))
+
+type result = {
+  accesses : int;
+  fetches : int;
+  stale_serves : int;
+}
+
+type copy = {
+  mutable fetched_at : int;
+  mutable expires_at : int;
+}
+
+let simulate ~pages ~horizon ~policy =
+  let accesses = ref 0 and fetches = ref 0 and stale = ref 0 in
+  List.iter
+    (fun page ->
+      let ttl = ttl_for policy page in
+      let copy = { fetched_at = -1; expires_at = 0 } in
+      let last_change_before t =
+        List.fold_left (fun acc c -> if c <= t then c else acc) (-1)
+          page.change_times
+      in
+      for now = 0 to horizon - 1 do
+        incr accesses;
+        if copy.expires_at <= now then begin
+          incr fetches;
+          copy.fetched_at <- now;
+          copy.expires_at <- now + ttl
+        end;
+        (* Stale iff the origin changed after the copy was fetched. *)
+        if last_change_before now > copy.fetched_at then incr stale
+      done)
+    pages;
+  { accesses = !accesses; fetches = !fetches; stale_serves = !stale }

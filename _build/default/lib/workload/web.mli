@@ -1,0 +1,46 @@
+(** Web-cache workload: choosing the expiration times themselves.
+
+    The paper takes each tuple's lifetime as given by the data source;
+    for web data its related work ([7] latency-recency profiles, [13]
+    stochastic models of periodically updated data) studies how to pick
+    a time-to-live for a cached copy of a changing page.  This module
+    provides that setting: origin pages change at generated times, a
+    TTL policy assigns expiration times to cached copies, and
+    {!simulate} measures the resulting traffic/recency trade-off. *)
+
+type page = {
+  id : int;
+  change_period : int;  (** the page changes roughly this often *)
+  change_times : int list;  (** ascending change instants *)
+}
+
+val pages :
+  rng:Random.State.t ->
+  count:int ->
+  period_range:int * int ->
+  horizon:int ->
+  page list
+(** Pages with periods uniform in [period_range] (a mixed population of
+    fast- and slow-changing pages) and jittered change times up to the
+    horizon. *)
+
+type ttl_policy =
+  | Fixed_ttl of int  (** one TTL for every page, [>= 1] *)
+  | Proportional_ttl of float
+      (** TTL = max 1 (alpha * the page's change period) — the
+          per-source choice the paper's model enables, [alpha > 0] *)
+
+val ttl_for : ttl_policy -> page -> int
+
+type result = {
+  accesses : int;
+  fetches : int;  (** origin fetches = traffic *)
+  stale_serves : int;  (** accesses answered with an outdated copy *)
+}
+
+val simulate : pages:page list -> horizon:int -> policy:ttl_policy -> result
+(** Every page is read once per tick.  A cached copy is served while its
+    expiration time has not passed; an expired copy triggers a fetch of
+    the current version (counted) at that tick.  A serve is stale when
+    the origin changed after the copy was fetched.  Deterministic given
+    the pages. *)

@@ -1,0 +1,1 @@
+test/generators.ml: Aggregate Algebra Expirel_core Interval Interval_set List Predicate QCheck2 QCheck_alcotest Relation Time Tuple Value

@@ -1,0 +1,1 @@
+test/test_access.ml: Access Alcotest Database Eval Expirel_core Expirel_storage Format Generators List Ops Ordered_index Predicate Printf QCheck2 Relation Table Time Tuple Value

@@ -1,0 +1,1 @@
+test/test_aggregate.ml: Aggregate Alcotest Expirel_core Float Generators Interval_set List Printf QCheck2 Relation Time Tuple Value

@@ -1,0 +1,1 @@
+test/test_algebra.ml: Aggregate Alcotest Algebra Expirel_core Generators List Option Predicate Relation

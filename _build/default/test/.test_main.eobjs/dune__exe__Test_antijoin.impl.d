@@ -1,0 +1,1 @@
+test/test_antijoin.ml: Alcotest Algebra Antijoin Errors Eval Expirel_core Expirel_workload Generators List News Patch Printf QCheck2 Relation Time Tuple

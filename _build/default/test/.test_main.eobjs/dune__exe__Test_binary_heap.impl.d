@@ -1,0 +1,1 @@
+test/test_binary_heap.ml: Alcotest Binary_heap Expirel_index Generators List QCheck2

@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Algebra Cost Eval Expirel_core Generators List Option Predicate Relation Rewrite Time Tuple

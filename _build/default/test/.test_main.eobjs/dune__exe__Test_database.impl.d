@@ -1,0 +1,1 @@
+test/test_database.ml: Alcotest Algebra Database Errors Eval Expirel_core Expirel_storage Generators List Printf QCheck2 Relation Table Time Trigger Tuple

@@ -1,0 +1,1 @@
+test/test_durable.ml: Alcotest Array Database Durable Expirel_core Expirel_storage Filename Fun Generators List QCheck2 Relation Sys Time Tuple

@@ -1,0 +1,1 @@
+test/test_eval.ml: Aggregate Alcotest Algebra Errors Eval Expirel_core Expirel_workload Generators List News Predicate QCheck2 Relation Time Tuple

@@ -1,0 +1,1 @@
+test/test_expiration_index.ml: Alcotest Buffer Expiration_index Expirel_core Expirel_index Generators List Option Printf QCheck2 String Time

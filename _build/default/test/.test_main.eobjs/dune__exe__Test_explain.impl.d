@@ -1,0 +1,1 @@
+test/test_explain.ml: Aggregate Alcotest Algebra Expirel_core Expirel_workload Explain List News Predicate Relation String Time Value

@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Expirel_core Generators Heap List QCheck2 Time

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Expirel_core Expirel_sqlx Interp List Relation String Tuple

@@ -1,0 +1,1 @@
+test/test_interval.ml: Alcotest Expirel_core Generators Interval List QCheck2 Time

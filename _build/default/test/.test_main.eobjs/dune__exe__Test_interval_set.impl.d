@@ -1,0 +1,1 @@
+test/test_interval_set.ml: Alcotest Expirel_core Generators Interval Interval_set List Option QCheck2 Time

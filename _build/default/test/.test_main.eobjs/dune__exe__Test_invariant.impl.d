@@ -1,0 +1,1 @@
+test/test_invariant.ml: Alcotest Algebra Database Eval Expirel_core Expirel_storage Generators Invariant List Option Predicate Printf QCheck2 Relation Table Time Tuple Value

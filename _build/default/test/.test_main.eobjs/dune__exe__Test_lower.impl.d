@@ -1,0 +1,1 @@
+test/test_lower.ml: Alcotest Algebra Ast Expirel_core Expirel_sqlx Lower Parser Predicate String

@@ -1,0 +1,1 @@
+test/test_maintained.ml: Aggregate Alcotest Algebra Eval Expirel_core Expirel_workload Generators List Maintained News QCheck2 Relation String Time Tuple

@@ -1,0 +1,1 @@
+test/test_monotone.ml: Aggregate Alcotest Algebra Expirel_core Generators List Monotone Predicate QCheck2

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Ast Expirel_core Expirel_sqlx Format List Parser Value

@@ -1,0 +1,1 @@
+test/test_patch.ml: Alcotest Algebra Errors Eval Expirel_core Expirel_workload Generators List News Option Patch QCheck2 Relation Time Tuple

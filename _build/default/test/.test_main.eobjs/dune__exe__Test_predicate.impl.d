@@ -1,0 +1,1 @@
+test/test_predicate.ml: Alcotest Expirel_core Generators Predicate QCheck2 Tuple Value

@@ -1,0 +1,1 @@
+test/test_qos.ml: Aggregate Alcotest Algebra Errors Eval Expirel_core Expirel_workload Generators News Predicate QCheck2 Qos Time

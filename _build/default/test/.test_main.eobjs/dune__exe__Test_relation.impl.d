@@ -1,0 +1,1 @@
+test/test_relation.ml: Alcotest Expirel_core Generators List QCheck2 Relation Time Tuple

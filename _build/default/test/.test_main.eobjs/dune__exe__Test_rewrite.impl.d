@@ -1,0 +1,1 @@
+test/test_rewrite.ml: Alcotest Algebra Eval Expirel_core Generators List Option Predicate Relation Rewrite Time Value

@@ -1,0 +1,1 @@
+test/test_schrodinger_view.ml: Aggregate Alcotest Algebra Eval Expirel_core Expirel_workload Generators List News Printf QCheck2 Relation Schrodinger_view Time Tuple

@@ -1,0 +1,1 @@
+test/test_scripts.ml: Alcotest Expirel_sqlx Filename Interp List String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Algebra Eval Expirel_core Expirel_dist Expirel_workload Generators List Metrics News Predicate QCheck2 Sim

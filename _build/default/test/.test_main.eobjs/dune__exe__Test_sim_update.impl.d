@@ -1,0 +1,1 @@
+test/test_sim_update.ml: Alcotest Algebra Expirel_core Expirel_dist Expirel_workload Generators Int List Metrics News QCheck2 Sim_update Time Tuple

@@ -1,0 +1,1 @@
+test/test_sql_print.ml: Alcotest Ast Expirel_core Expirel_sqlx Generators List Parser QCheck2 Sql_print String Token Value

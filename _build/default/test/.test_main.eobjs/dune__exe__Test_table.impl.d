@@ -1,0 +1,1 @@
+test/test_table.ml: Alcotest Expirel_core Expirel_storage Generators List Option QCheck2 Relation Table Time Tuple

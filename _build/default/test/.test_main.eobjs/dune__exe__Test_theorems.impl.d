@@ -1,0 +1,1 @@
+test/test_theorems.ml: Aggregate Algebra Eval Expirel_core Generators List Patch Printf QCheck2 Relation Time

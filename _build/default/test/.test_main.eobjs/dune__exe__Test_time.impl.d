@@ -1,0 +1,1 @@
+test/test_time.ml: Alcotest Expirel_core Generators QCheck2 Time

@@ -1,0 +1,1 @@
+test/test_timer_wheel.ml: Alcotest Expirel_index Generators List QCheck2 Timer_wheel

@@ -1,0 +1,1 @@
+test/test_trigger.ml: Alcotest Expirel_core Expirel_storage List Time Trigger Tuple

@@ -1,0 +1,1 @@
+test/test_tuple.ml: Alcotest Array Expirel_core Generators QCheck2 Tuple Value

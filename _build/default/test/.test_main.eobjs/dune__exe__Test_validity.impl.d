@@ -1,0 +1,1 @@
+test/test_validity.ml: Aggregate Alcotest Algebra Eval Expirel_core Expirel_workload Generators Interval Interval_set List News Option Predicate QCheck2 Relation Time Validity

@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Expirel_core Generators QCheck2 Value

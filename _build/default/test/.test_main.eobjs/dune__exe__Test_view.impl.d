@@ -1,0 +1,1 @@
+test/test_view.ml: Aggregate Alcotest Algebra Eval Expirel_core Expirel_workload Generators List News Predicate QCheck2 Relation Time Tuple Validity View

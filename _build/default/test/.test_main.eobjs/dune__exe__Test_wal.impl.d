@@ -1,0 +1,1 @@
+test/test_wal.ml: Alcotest Expirel_core Expirel_storage Filename Fun Generators List QCheck2 String Sys Time Tuple Value Wal

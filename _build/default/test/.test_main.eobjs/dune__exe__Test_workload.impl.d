@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Expirel_core Expirel_workload Gen Int List News Random Relation Sensors Sessions Time Tuple Value Web

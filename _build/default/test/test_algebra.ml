@@ -1,0 +1,81 @@
+open Expirel_core
+
+let env name =
+  match name with
+  | "R" -> Some 2
+  | "S" -> Some 2
+  | "T" -> Some 3
+  | _ -> None
+
+let arity_of e = Algebra.arity ~env e
+
+let test_arities () =
+  Alcotest.(check int) "base" 2 (arity_of (Algebra.base "R"));
+  Alcotest.(check int) "select keeps arity" 2
+    (arity_of Algebra.(select (Predicate.eq_cols 1 2) (base "R")));
+  Alcotest.(check int) "project" 1 (arity_of Algebra.(project [ 2 ] (base "R")));
+  Alcotest.(check int) "product sums" 5
+    (arity_of Algebra.(product (base "R") (base "T")));
+  Alcotest.(check int) "join sums" 4
+    (arity_of Algebra.(join (Predicate.eq_cols 1 3) (base "R") (base "S")));
+  Alcotest.(check int) "aggregate adds one" 3
+    (arity_of Algebra.(aggregate [ 1 ] Aggregate.Count (base "R")))
+
+let expect_arity_error e =
+  match Algebra.well_formed ~env e with
+  | Error _ -> ()
+  | Ok a -> Alcotest.failf "expected arity error, got arity %d" a
+
+let test_ill_formed () =
+  expect_arity_error Algebra.(union (base "R") (base "T"));
+  expect_arity_error Algebra.(diff (base "R") (base "T"));
+  expect_arity_error Algebra.(intersect (base "R") (base "T"));
+  expect_arity_error Algebra.(project [ 3 ] (base "R"));
+  expect_arity_error Algebra.(project [] (base "R"));
+  expect_arity_error Algebra.(select (Predicate.eq_cols 1 5) (base "R"));
+  expect_arity_error Algebra.(join (Predicate.eq_cols 1 5) (base "R") (base "S"));
+  expect_arity_error Algebra.(aggregate [ 9 ] Aggregate.Count (base "R"));
+  expect_arity_error Algebra.(aggregate [ 1 ] (Aggregate.Sum 7) (base "R"));
+  match Algebra.well_formed ~env (Algebra.base "missing") with
+  | Error msg -> Alcotest.(check string) "unknown relation" "unknown relation missing" msg
+  | Ok _ -> Alcotest.fail "expected unknown relation"
+
+let test_nested_positions () =
+  (* Join predicates range over the combined arity. *)
+  Alcotest.(check int) "join predicate may use right side" 5
+    (arity_of Algebra.(join (Predicate.eq_cols 2 5) (base "R") (base "T")))
+
+let test_base_names () =
+  let e = Algebra.(union (diff (base "R") (base "S")) (project [1;2] (base "R"))) in
+  Alcotest.(check (list string)) "first occurrence order" [ "R"; "S" ]
+    (Algebra.base_names e)
+
+let test_size_equal () =
+  let e = Algebra.(select Predicate.True (union (base "R") (base "S"))) in
+  Alcotest.(check int) "size" 4 (Algebra.size e);
+  Alcotest.(check bool) "structural equality" true (Algebra.equal e e);
+  Alcotest.(check bool) "different" false
+    (Algebra.equal e (Algebra.base "R"))
+
+let test_pp () =
+  let e = Algebra.(diff (project [ 1 ] (base "Pol")) (project [ 1 ] (base "El"))) in
+  Alcotest.(check string) "rendering" "(pi_(1)(Pol) -exp pi_(1)(El))"
+    (Algebra.to_string e)
+
+let prop_generated_well_formed =
+  Generators.qtest "generator only produces well-formed expressions"
+    (Generators.expr_and_env ())
+    (fun (e, bindings) ->
+      let env name = Option.map Relation.arity (List.assoc_opt name bindings) in
+      match Algebra.well_formed ~env e with
+      | Ok _ -> true
+      | Error _ -> false)
+
+let suite =
+  [ Alcotest.test_case "arity computation" `Quick test_arities;
+    Alcotest.test_case "ill-formed expressions rejected" `Quick test_ill_formed;
+    Alcotest.test_case "join predicate positions" `Quick test_nested_positions;
+    Alcotest.test_case "base_names" `Quick test_base_names;
+    Alcotest.test_case "size and equality" `Quick test_size_equal;
+    Alcotest.test_case "pretty printing" `Quick test_pp;
+    prop_generated_well_formed ]

@@ -1,0 +1,134 @@
+open Expirel_core
+open Expirel_storage
+
+let fin = Time.of_int
+
+let setup ?policy () =
+  let db = Database.create ?policy () in
+  let (_ : Table.t) = Database.create_table db ~name:"pol" ~columns:[ "uid"; "deg" ] in
+  db
+
+let test_catalog () =
+  let db = setup () in
+  let (_ : Table.t) = Database.create_table db ~name:"el" ~columns:[ "uid"; "deg" ] in
+  Alcotest.(check (list string)) "table names" [ "el"; "pol" ] (Database.table_names db);
+  Alcotest.check_raises "duplicate name"
+    (Invalid_argument "Database.create_table: pol exists") (fun () ->
+      ignore (Database.create_table db ~name:"pol" ~columns:[ "x" ]));
+  Alcotest.(check bool) "drop" true (Database.drop_table db "el");
+  Alcotest.(check bool) "drop absent" false (Database.drop_table db "el");
+  Alcotest.check_raises "unknown table" (Errors.Unknown_relation "el") (fun () ->
+      ignore (Database.table_exn db "el"))
+
+let test_insert_guards () =
+  let db = setup () in
+  Database.advance_to db (fin 5);
+  Alcotest.check_raises "texp in the past"
+    (Invalid_argument "Database.insert: texp 3 <= now 5") (fun () ->
+      Database.insert db "pol" (Tuple.ints [ 1; 2 ]) ~texp:(fin 3));
+  Alcotest.check_raises "non-positive ttl"
+    (Invalid_argument "Database.insert_ttl: ttl <= 0") (fun () ->
+      Database.insert_ttl db "pol" (Tuple.ints [ 1; 2 ]) ~ttl:0);
+  Database.insert_ttl db "pol" (Tuple.ints [ 1; 2 ]) ~ttl:5;
+  Alcotest.(check int) "ttl insert lands" 1
+    (Relation.cardinal (Database.snapshot db "pol"))
+
+let test_clock () =
+  let db = setup () in
+  Database.advance_to db (fin 3);
+  Alcotest.check_raises "backwards"
+    (Invalid_argument "Database.advance_to: moving backwards") (fun () ->
+      Database.advance_to db (fin 1));
+  Database.tick db;
+  Alcotest.(check string) "tick" "4" (Time.to_string (Database.now db))
+
+let test_eager_triggers () =
+  let db = setup ~policy:Database.Eager () in
+  let (_ : Table.t) = Database.create_table db ~name:"el" ~columns:[ "uid"; "deg" ] in
+  Database.insert db "pol" (Tuple.ints [ 1; 1 ]) ~texp:(fin 7);
+  Database.insert db "el" (Tuple.ints [ 2; 2 ]) ~texp:(fin 3);
+  Database.insert db "pol" (Tuple.ints [ 3; 3 ]) ~texp:(fin 3);
+  let fired = ref [] in
+  Trigger.register (Database.triggers db) ~name:"log" ~table:"*" (fun e ->
+      fired :=
+        Printf.sprintf "%s%s@%s" e.Trigger.table
+          (Tuple.to_string e.Trigger.tuple)
+          (Time.to_string e.Trigger.fired_at)
+        :: !fired);
+  Database.advance_to db (fin 10);
+  (* Global (texp, table, tuple) order; fired_at = each tuple's texp. *)
+  Alcotest.(check (list string)) "firing order"
+    [ "el<2, 2>@3"; "pol<3, 3>@3"; "pol<1, 1>@7" ]
+    (List.rev !fired);
+  Alcotest.(check int) "eagerly removed" 0
+    (Table.physical_count (Database.table_exn db "pol"))
+
+let test_lazy_vacuum () =
+  let db = Database.create ~policy:Database.Lazy () in
+  let (_ : Table.t) = Database.create_table db ~name:"pol" ~columns:[ "uid"; "deg" ] in
+  Database.insert db "pol" (Tuple.ints [ 1; 1 ]) ~texp:(fin 3);
+  Database.insert db "pol" (Tuple.ints [ 2; 2 ]) ~texp:(fin 20);
+  Database.advance_to db (fin 10);
+  (* Logically invisible, physically present. *)
+  Alcotest.(check int) "snapshot hides expired" 1
+    (Relation.cardinal (Database.snapshot db "pol"));
+  Alcotest.(check int) "physically still there" 2
+    (Table.physical_count (Database.table_exn db "pol"));
+  let fired = ref [] in
+  Trigger.register (Database.triggers db) ~name:"log" ~table:"pol" (fun e ->
+      fired := Time.to_string e.Trigger.fired_at :: !fired);
+  Alcotest.(check int) "vacuum reclaims" 1 (Database.vacuum db);
+  (* Lazy triggers fire late: at vacuum time, not at texp. *)
+  Alcotest.(check (list string)) "late firing time" [ "10" ] !fired;
+  Alcotest.(check int) "physical after vacuum" 1
+    (Table.physical_count (Database.table_exn db "pol"));
+  Alcotest.(check int) "eager vacuum is a no-op" 0
+    (Database.vacuum (setup ~policy:Database.Eager ()))
+
+let test_query () =
+  let db = setup () in
+  Database.insert db "pol" (Tuple.ints [ 1; 25 ]) ~texp:(fin 10);
+  Database.insert db "pol" (Tuple.ints [ 2; 25 ]) ~texp:(fin 15);
+  Database.advance_to db (fin 12);
+  let { Eval.relation; _ } =
+    Database.query db Algebra.(project [ 2 ] (base "pol"))
+  in
+  Alcotest.(check int) "evaluates at now" 1 (Relation.cardinal relation);
+  Alcotest.(check bool) "env exposes snapshots" true
+    (match Database.env db "pol" with
+     | Some r -> Relation.cardinal r = 1
+     | None -> false)
+
+(* The observable states under eager and lazy policies coincide. *)
+let prop_eager_lazy_equivalent =
+  Generators.qtest "eager and lazy agree on logical states" ~count:150
+    (QCheck2.Gen.list_size (QCheck2.Gen.int_range 0 30)
+       (QCheck2.Gen.pair (Generators.tuple ~arity:2)
+          (QCheck2.Gen.pair (QCheck2.Gen.int_range 0 10) (QCheck2.Gen.int_range 1 15))))
+    (fun rows ->
+      let run policy =
+        let db = Database.create ~policy () in
+        let (_ : Table.t) = Database.create_table db ~name:"t" ~columns:[ "a"; "b" ] in
+        let states =
+          List.map
+            (fun (tuple, (advance_by, ttl)) ->
+              Database.advance_to db
+                (Time.add (Database.now db) (fin advance_by));
+              Database.insert_ttl db "t" tuple ~ttl;
+              Database.snapshot db "t")
+            rows
+        in
+        states
+      in
+      List.for_all2 Relation.equal (run Database.Eager) (run Database.Lazy))
+
+let suite =
+  [ Alcotest.test_case "catalogue" `Quick test_catalog;
+    Alcotest.test_case "insert guards" `Quick test_insert_guards;
+    Alcotest.test_case "forward-only clock" `Quick test_clock;
+    Alcotest.test_case "eager expiration fires triggers in order" `Quick
+      test_eager_triggers;
+    Alcotest.test_case "lazy policy: invisible, vacuumed late" `Quick
+      test_lazy_vacuum;
+    Alcotest.test_case "queries run at the clock" `Quick test_query;
+    prop_eager_lazy_equivalent ]

@@ -1,0 +1,153 @@
+open Expirel_core
+open Expirel_storage
+
+let fin = Time.of_int
+
+let with_temp_dir f =
+  let dir = Filename.temp_dir "expirel" "db" in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun file -> Sys.remove (Filename.concat dir file))
+        (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () -> f dir)
+
+let db_state db =
+  List.map
+    (fun name ->
+      name, Database.snapshot db name)
+    (Database.table_names db)
+
+let check_same_state msg a b =
+  Alcotest.(check bool) (msg ^ ": clocks") true
+    (Time.equal (Database.now a) (Database.now b));
+  Alcotest.(check (list string)) (msg ^ ": tables")
+    (Database.table_names a) (Database.table_names b);
+  List.iter2
+    (fun (name, ra) (_, rb) ->
+      Alcotest.(check bool) (msg ^ ": contents of " ^ name) true
+        (Relation.equal ra rb))
+    (db_state a) (db_state b)
+
+let populate t =
+  Durable.create_table t ~name:"pol" ~columns:[ "uid"; "deg" ];
+  Durable.insert t "pol" (Tuple.ints [ 1; 25 ]) ~texp:(fin 10);
+  Durable.insert t "pol" (Tuple.ints [ 2; 25 ]) ~texp:(fin 15);
+  Durable.advance_to t (fin 4);
+  Durable.create_table t ~name:"el" ~columns:[ "uid"; "deg" ];
+  Durable.insert t "el" (Tuple.ints [ 1; 75 ]) ~texp:(fin 9);
+  ignore (Durable.delete t "pol" (Tuple.ints [ 1; 25 ]))
+
+let test_reopen () =
+  with_temp_dir (fun dir ->
+      let t = Durable.open_dir dir in
+      populate t;
+      Durable.close t;
+      let reopened = Durable.open_dir dir in
+      check_same_state "reopen" (Durable.database t) (Durable.database reopened);
+      Durable.close reopened)
+
+let test_checkpoint_compacts () =
+  with_temp_dir (fun dir ->
+      let t = Durable.open_dir dir in
+      populate t;
+      Durable.advance_to t (fin 12);
+      (* pol<2,25>@15 and nothing else is live ("el" expired at 9). *)
+      Alcotest.(check bool) "log non-empty before" true (Durable.wal_records t > 0);
+      let written = Durable.checkpoint t in
+      (* Advance + 2 create-table + exactly the 1 live tuple. *)
+      Alcotest.(check int) "snapshot is compact" 4 written;
+      Alcotest.(check int) "log truncated" 0 (Durable.wal_records t);
+      (* Post-checkpoint operations land in the fresh log. *)
+      Durable.insert t "el" (Tuple.ints [ 9; 9 ]) ~texp:(fin 30);
+      Durable.close t;
+      let reopened = Durable.open_dir dir in
+      check_same_state "checkpoint+log" (Durable.database t)
+        (Durable.database reopened);
+      Durable.close reopened)
+
+let test_crash_torn_write () =
+  with_temp_dir (fun dir ->
+      let t = Durable.open_dir dir in
+      populate t;
+      Durable.close t;
+      (* A crash mid-append leaves a torn line; reopening must succeed
+         with everything before it. *)
+      let oc = open_out_gen [ Open_append ] 0o644 (Filename.concat dir "wal.log") in
+      output_string oc "insert pol 99 i9";
+      (* no newline, incomplete arity — and the process "dies" here *)
+      close_out oc;
+      let reopened = Durable.open_dir dir in
+      check_same_state "torn tail ignored" (Durable.database t)
+        (Durable.database reopened);
+      Durable.close reopened)
+
+let test_validation_logs_nothing () =
+  with_temp_dir (fun dir ->
+      let t = Durable.open_dir dir in
+      Durable.create_table t ~name:"pol" ~columns:[ "uid"; "deg" ];
+      let before = Durable.wal_records t in
+      (* Rejected operations must not leave records behind. *)
+      (try Durable.insert t "pol" (Tuple.ints [ 1 ]) ~texp:(fin 5) with
+       | Invalid_argument _ -> ());
+      (try Durable.create_table t ~name:"pol" ~columns:[ "x" ] with
+       | Invalid_argument _ -> ());
+      Alcotest.(check bool) "delete of absent is a no-op" false
+        (Durable.delete t "pol" (Tuple.ints [ 9; 9 ]));
+      Alcotest.(check int) "no stray records" before (Durable.wal_records t);
+      Durable.close t)
+
+(* Random op sequences: close/reopen (optionally with checkpoints) always
+   reproduces the same state. *)
+type op =
+  | Ins of int * int * int
+  | Del of int * int
+  | Adv of int
+  | Check
+
+let op_gen =
+  let open QCheck2.Gen in
+  frequency
+    [ 5, map3 (fun a b ttl -> Ins (a, b, ttl)) (int_range 0 5) (int_range 0 5)
+        (int_range 1 20);
+      2, map2 (fun a b -> Del (a, b)) (int_range 0 5) (int_range 0 5);
+      2, map (fun d -> Adv d) (int_range 0 6);
+      1, return Check ]
+
+let prop_reopen_equals =
+  Generators.qtest "random histories survive close/reopen" ~count:60
+    (QCheck2.Gen.list_size (QCheck2.Gen.int_range 0 25) op_gen)
+    (fun ops ->
+      with_temp_dir (fun dir ->
+          let t = Durable.open_dir dir in
+          Durable.create_table t ~name:"r" ~columns:[ "a"; "b" ];
+          List.iter
+            (fun op ->
+              match op with
+              | Ins (a, b, ttl) ->
+                Durable.insert t "r" (Tuple.ints [ a; b ])
+                  ~texp:(Time.add (Durable.now t) (fin ttl))
+              | Del (a, b) -> ignore (Durable.delete t "r" (Tuple.ints [ a; b ]))
+              | Adv d -> Durable.advance_to t (Time.add (Durable.now t) (fin d))
+              | Check -> ignore (Durable.checkpoint t))
+            ops;
+          Durable.close t;
+          let reopened = Durable.open_dir dir in
+          let same =
+            Time.equal (Database.now (Durable.database t))
+              (Database.now (Durable.database reopened))
+            && Relation.equal
+                 (Database.snapshot (Durable.database t) "r")
+                 (Database.snapshot (Durable.database reopened) "r")
+          in
+          Durable.close reopened;
+          same))
+
+let suite =
+  [ Alcotest.test_case "close and reopen" `Quick test_reopen;
+    Alcotest.test_case "checkpoint compacts expired tuples" `Quick
+      test_checkpoint_compacts;
+    Alcotest.test_case "crash with torn write" `Quick test_crash_torn_write;
+    Alcotest.test_case "rejected operations leave no records" `Quick
+      test_validation_logs_nothing;
+    prop_reopen_equals ]

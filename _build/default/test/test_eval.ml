@@ -1,0 +1,222 @@
+open Expirel_core
+open Expirel_workload
+
+let fin = Time.of_int
+let env = News.figure1_env
+let eval ?strategy ~tau e = Eval.run ?strategy ~env ~tau e
+
+let check_rel name expected actual =
+  Alcotest.(check bool)
+    (name ^ ": " ^ Relation.to_string actual)
+    true
+    (Relation.equal (Relation.of_list ~arity:(Relation.arity actual) expected) actual)
+
+(* --- Figure 1: the base relations as given --- *)
+
+let test_figure1 () =
+  check_rel "Pol"
+    [ Tuple.ints [ 1; 25 ], fin 10;
+      Tuple.ints [ 2; 25 ], fin 15;
+      Tuple.ints [ 3; 35 ], fin 10 ]
+    (Eval.relation_at ~env ~tau:Time.zero (Algebra.base "Pol"));
+  check_rel "El"
+    [ Tuple.ints [ 1; 75 ], fin 5;
+      Tuple.ints [ 2; 85 ], fin 3;
+      Tuple.ints [ 4; 90 ], fin 2 ]
+    (Eval.relation_at ~env ~tau:Time.zero (Algebra.base "El"))
+
+(* --- Figure 2: monotonic expressions --- *)
+
+let proj = Algebra.(project [ 2 ] (base "Pol"))
+let join = Algebra.(join (Predicate.eq_cols 1 3) (base "Pol") (base "El"))
+
+let test_figure2_projection () =
+  (* (c) at time 0: <25> (texp 15 via duplicate merge), <35>. *)
+  check_rel "pi_2(Pol) at 0"
+    [ Tuple.ints [ 25 ], fin 15; Tuple.ints [ 35 ], fin 10 ]
+    (Eval.relation_at ~env ~tau:Time.zero proj);
+  (* (d) at time 10: only <25> remains. *)
+  check_rel "pi_2(Pol) at 10"
+    [ Tuple.ints [ 25 ], fin 15 ]
+    (Eval.relation_at ~env ~tau:(fin 10) proj)
+
+let test_figure2_join () =
+  (* (e) at 0: both matches, with min lifetimes 5 and 3. *)
+  check_rel "join at 0"
+    [ Tuple.ints [ 1; 25; 1; 75 ], fin 5; Tuple.ints [ 2; 25; 2; 85 ], fin 3 ]
+    (Eval.relation_at ~env ~tau:Time.zero join);
+  (* (f) at 3: the second tuple has expired. *)
+  check_rel "join at 3"
+    [ Tuple.ints [ 1; 25; 1; 75 ], fin 5 ]
+    (Eval.relation_at ~env ~tau:(fin 3) join);
+  (* (g) at 5: empty. *)
+  Alcotest.(check int) "join at 5 empty" 0
+    (Relation.cardinal (Eval.relation_at ~env ~tau:(fin 5) join))
+
+let test_figure2_texp_infinite () =
+  (* Monotonic expressions have texp(e) = infinity. *)
+  List.iter
+    (fun e ->
+      Alcotest.(check bool)
+        ("texp inf: " ^ Algebra.to_string e)
+        true
+        (Time.is_infinite (eval ~tau:Time.zero e).Eval.texp))
+    [ proj; join; Algebra.(union (base "Pol") (base "El"));
+      Algebra.(product (base "Pol") (base "El"));
+      Algebra.(intersect (base "Pol") (base "El")) ]
+
+(* --- Figure 3: non-monotonic expressions --- *)
+
+let histogram = Algebra.(project [ 2; 3 ] (aggregate [ 2 ] Aggregate.Count (base "Pol")))
+let difference = Algebra.(diff (project [ 1 ] (base "Pol")) (project [ 1 ] (base "El")))
+
+let test_figure3_histogram () =
+  let { Eval.relation; texp } = eval ~tau:Time.zero histogram in
+  check_rel "histogram at 0"
+    [ Tuple.ints [ 25; 2 ], fin 10; Tuple.ints [ 35; 1 ], fin 10 ]
+    relation;
+  (* "from time 10 on, the result is invalid" *)
+  Alcotest.(check string) "histogram texp(e)" "10" (Time.to_string texp)
+
+let test_figure3_difference () =
+  (* (b) at 0: {<3>}; invalid from 3 (tuple <2> should reappear). *)
+  let { Eval.relation; texp } = eval ~tau:Time.zero difference in
+  check_rel "diff at 0" [ Tuple.ints [ 3 ], fin 10 ] relation;
+  Alcotest.(check string) "diff texp(e) = 3" "3" (Time.to_string texp);
+  (* (c) at 3: {<2>, <3>}. *)
+  check_rel "diff at 3"
+    [ Tuple.ints [ 2 ], fin 15; Tuple.ints [ 3 ], fin 10 ]
+    (Eval.relation_at ~env ~tau:(fin 3) difference);
+  (* (d) at 5: {<1>, <2>, <3>} — it grew. *)
+  check_rel "diff at 5"
+    [ Tuple.ints [ 1 ], fin 10; Tuple.ints [ 2 ], fin 15; Tuple.ints [ 3 ], fin 10 ]
+    (Eval.relation_at ~env ~tau:(fin 5) difference)
+
+(* --- Table 2: lifetime analysis of R -exp S --- *)
+
+let test_table2_cases () =
+  let t = Tuple.ints [ 0 ] in
+  let diff_of r s =
+    let env = Eval.env_of_list
+        [ "R", Relation.of_list ~arity:1 r; "S", Relation.of_list ~arity:1 s ]
+    in
+    Eval.run ~env ~tau:Time.zero Algebra.(diff (base "R") (base "S"))
+  in
+  (* (1) t in R only: keeps texp_R, expression immortal. *)
+  let { Eval.relation; texp } = diff_of [ t, fin 7 ] [] in
+  Alcotest.(check bool) "case 1 tuple kept" true
+    (Time.equal (Relation.texp relation t) (fin 7));
+  Alcotest.(check bool) "case 1 texp(e) inf" true (Time.is_infinite texp);
+  (* (2) t in S only: not in result, expression immortal. *)
+  let { Eval.relation; texp } = diff_of [] [ t, fin 7 ] in
+  Alcotest.(check int) "case 2 empty" 0 (Relation.cardinal relation);
+  Alcotest.(check bool) "case 2 texp(e) inf" true (Time.is_infinite texp);
+  (* (3a) texp_R > texp_S: result expires at texp_S. *)
+  let { Eval.relation; texp } = diff_of [ t, fin 9 ] [ t, fin 4 ] in
+  Alcotest.(check int) "case 3a t hidden" 0 (Relation.cardinal relation);
+  Alcotest.(check string) "case 3a texp(e) = texp_S" "4" (Time.to_string texp);
+  (* (3b) texp_R <= texp_S: harmless, expression immortal. *)
+  let { Eval.texp; _ } = diff_of [ t, fin 4 ] [ t, fin 9 ] in
+  Alcotest.(check bool) "case 3b texp(e) inf" true (Time.is_infinite texp)
+
+(* --- Operator definitions --- *)
+
+let env_of bindings = Eval.env_of_list bindings
+
+let test_union_max_rule () =
+  let t = Tuple.ints [ 1 ] in
+  let env = env_of
+      [ "A", Relation.of_list ~arity:1 [ t, fin 3 ];
+        "B", Relation.of_list ~arity:1 [ t, fin 8 ] ]
+  in
+  let r = Eval.relation_at ~env ~tau:Time.zero Algebra.(union (base "A") (base "B")) in
+  Alcotest.(check bool) "Eq 4: max of texps" true (Time.equal (Relation.texp r t) (fin 8))
+
+let test_intersect_min_rule () =
+  let t = Tuple.ints [ 1 ] in
+  let env = env_of
+      [ "A", Relation.of_list ~arity:1 [ t, fin 3 ];
+        "B", Relation.of_list ~arity:1 [ t, fin 8 ] ]
+  in
+  let r = Eval.relation_at ~env ~tau:Time.zero Algebra.(intersect (base "A") (base "B")) in
+  Alcotest.(check bool) "Eq 6: min of texps" true (Time.equal (Relation.texp r t) (fin 3))
+
+let prop_join_is_select_product =
+  Generators.qtest "Eq 5: join = select over product"
+    (QCheck2.Gen.tup4 (Generators.relation ~arity:2) (Generators.relation ~arity:2)
+       (Generators.predicate ~arity:4) Generators.time_finite)
+    (fun (r, s, p, tau) ->
+      let env = env_of [ "R", r; "S", s ] in
+      let joined =
+        Eval.relation_at ~env ~tau Algebra.(join p (base "R") (base "S"))
+      in
+      let selected =
+        Eval.relation_at ~env ~tau Algebra.(select p (product (base "R") (base "S")))
+      in
+      Relation.equal joined selected)
+
+let prop_intersect_via_definition =
+  (* Null-free: Eq (6)'s rewrite relies on literal equality, which the
+     SQL-style predicate semantics break for nulls (null = null is
+     false). *)
+  Generators.qtest "Eq 6: intersect = pi(sigma(product))"
+    (QCheck2.Gen.triple (Generators.relation_no_null ~arity:2)
+       (Generators.relation_no_null ~arity:2)
+       Generators.time_finite)
+    (fun (r, s, tau) ->
+      let env = env_of [ "R", r; "S", s ] in
+      let direct =
+        Eval.relation_at ~env ~tau Algebra.(intersect (base "R") (base "S"))
+      in
+      let via =
+        Eval.relation_at ~env ~tau
+          Algebra.(
+            project [ 1; 2 ]
+              (select
+                 (Predicate.And (Predicate.eq_cols 1 3, Predicate.eq_cols 2 4))
+                 (product (base "R") (base "S"))))
+      in
+      (* Tuple sets always agree; expiration times agree unless the
+         product pairs a tuple with several partners, in which case the
+         projection's max rule can only help.  For the canonical
+         definition both sides coincide exactly. *)
+      Relation.equal direct via)
+
+let prop_results_only_live_tuples =
+  Generators.qtest "closure: every result tuple is unexpired"
+    (QCheck2.Gen.pair (Generators.expr_and_env ()) Generators.time_finite)
+    (fun ((e, bindings), tau) ->
+      let r = Eval.relation_at ~env:(Eval.env_of_list bindings) ~tau e in
+      Relation.fold (fun _ texp ok -> ok && Time.(texp > tau)) r true)
+
+let prop_strategies_agree_on_tuples =
+  Generators.qtest "aggregation strategies differ only in texps"
+    (QCheck2.Gen.pair (Generators.expr_and_env ()) Generators.time_finite)
+    (fun ((e, bindings), tau) ->
+      let env = Eval.env_of_list bindings in
+      let conservative = Eval.relation_at ~strategy:Aggregate.Conservative ~env ~tau e in
+      let exact = Eval.relation_at ~strategy:Aggregate.Exact ~env ~tau e in
+      Relation.equal_tuples conservative exact)
+
+let test_unknown_relation () =
+  Alcotest.check_raises "unknown base" (Errors.Unknown_relation "nope") (fun () ->
+      ignore (Eval.run ~env ~tau:Time.zero (Algebra.base "nope")))
+
+let suite =
+  [ Alcotest.test_case "Figure 1 base relations" `Quick test_figure1;
+    Alcotest.test_case "Figure 2(c,d): projection" `Quick test_figure2_projection;
+    Alcotest.test_case "Figure 2(e-g): join over time" `Quick test_figure2_join;
+    Alcotest.test_case "monotonic expressions never expire" `Quick
+      test_figure2_texp_infinite;
+    Alcotest.test_case "Figure 3(a): histogram invalidates at 10" `Quick
+      test_figure3_histogram;
+    Alcotest.test_case "Figure 3(b-d): growing difference" `Quick
+      test_figure3_difference;
+    Alcotest.test_case "Table 2 case analysis" `Quick test_table2_cases;
+    Alcotest.test_case "union takes max (Eq 4)" `Quick test_union_max_rule;
+    Alcotest.test_case "intersection takes min (Eq 6)" `Quick test_intersect_min_rule;
+    Alcotest.test_case "unknown relation error" `Quick test_unknown_relation;
+    prop_join_is_select_product;
+    prop_intersect_via_definition;
+    prop_results_only_live_tuples;
+    prop_strategies_agree_on_tuples ]

@@ -1,0 +1,54 @@
+open Expirel_core
+open Expirel_workload
+
+let string_contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_relation_table () =
+  let text =
+    Explain.relation_table ~title:"Pol" ~columns:[ "uid"; "deg" ] News.figure1_pol
+  in
+  Alcotest.(check bool) "title" true (string_contains text "Pol");
+  Alcotest.(check bool) "header" true (string_contains text "| texp | uid | deg |");
+  Alcotest.(check bool) "row" true (string_contains text "| 15   | 2   | 25  |");
+  let empty = Explain.relation_table (Relation.empty ~arity:1) in
+  Alcotest.(check bool) "empty marker" true (string_contains empty "(empty)");
+  let default_headers = Explain.relation_table (Relation.empty ~arity:2) in
+  Alcotest.(check bool) "generated column names" true
+    (string_contains default_headers "a1")
+
+let test_expr_tree () =
+  let e =
+    Algebra.(
+      diff
+        (project [ 1 ] (select (Predicate.eq_const 2 (Value.int 25)) (base "Pol")))
+        (aggregate [ 1 ] Aggregate.Count (base "El")))
+  in
+  let text = Explain.expr_tree e in
+  let lines = String.split_on_char '\n' text in
+  Alcotest.(check (option string)) "root" (Some "difference")
+    (List.nth_opt lines 0);
+  Alcotest.(check (option string)) "indented child" (Some "  project [1]")
+    (List.nth_opt lines 1);
+  Alcotest.(check bool) "predicate rendered" true
+    (string_contains text "select [#2 = 25]");
+  Alcotest.(check bool) "aggregate rendered" true
+    (string_contains text "aggregate [group {1}, count]")
+
+let test_snapshots () =
+  let text =
+    Explain.snapshots ~env:News.figure1_env
+      ~times:(List.map Time.of_int [ 0; 10 ])
+      Algebra.(project [ 2 ] (base "Pol"))
+  in
+  Alcotest.(check bool) "mentions both times" true
+    (string_contains text "at time 0:" && string_contains text "at time 10:");
+  Alcotest.(check string) "empty on no times" ""
+    (Explain.snapshots ~env:News.figure1_env ~times:[] (Algebra.base "Pol"))
+
+let suite =
+  [ Alcotest.test_case "relation tables" `Quick test_relation_table;
+    Alcotest.test_case "expression trees" `Quick test_expr_tree;
+    Alcotest.test_case "snapshots" `Quick test_snapshots ]

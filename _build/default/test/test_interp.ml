@@ -1,0 +1,276 @@
+open Expirel_core
+open Expirel_sqlx
+
+let string_contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let exec t sql =
+  match Interp.exec_sql t sql with
+  | Ok outcome -> outcome
+  | Error msg -> Alcotest.failf "%S failed: %s" sql msg
+
+let expect_error t sql =
+  match Interp.exec_sql t sql with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.failf "expected %S to fail" sql
+
+let rows = function
+  | Interp.Rows { relation; _ } -> relation
+  | Interp.Msg m -> Alcotest.failf "expected rows, got message %S" m
+
+let setup_figure1 () =
+  let t = Interp.create () in
+  List.iter
+    (fun sql -> ignore (exec t sql))
+    [ "CREATE TABLE pol (uid, deg)";
+      "CREATE TABLE el (uid, deg)";
+      "INSERT INTO pol VALUES (1, 25) EXPIRES 10";
+      "INSERT INTO pol VALUES (2, 25) EXPIRES 15";
+      "INSERT INTO pol VALUES (3, 35) EXPIRES 10";
+      "INSERT INTO el VALUES (1, 75) EXPIRES 5";
+      "INSERT INTO el VALUES (2, 85) EXPIRES 3";
+      "INSERT INTO el VALUES (4, 90) EXPIRES 2" ];
+  t
+
+let test_end_to_end_figure2 () =
+  let t = setup_figure1 () in
+  Alcotest.(check int) "pi_2(Pol) at 0 has 2 rows" 2
+    (Relation.cardinal (rows (exec t "SELECT deg FROM pol")));
+  ignore (exec t "ADVANCE TO 10");
+  let r = rows (exec t "SELECT deg FROM pol") in
+  Alcotest.(check int) "at 10 one row" 1 (Relation.cardinal r);
+  Alcotest.(check bool) "it is <25>" true (Relation.mem (Tuple.ints [ 25 ]) r)
+
+let test_join_query () =
+  let t = setup_figure1 () in
+  Alcotest.(check int) "join at 0" 2
+    (Relation.cardinal
+       (rows (exec t "SELECT * FROM pol JOIN el ON pol.uid = el.uid")));
+  ignore (exec t "ADVANCE TO 3");
+  Alcotest.(check int) "join at 3" 1
+    (Relation.cardinal
+       (rows (exec t "SELECT * FROM pol JOIN el ON pol.uid = el.uid")))
+
+let test_histogram_view_lifecycle () =
+  let t = setup_figure1 () in
+  (match exec t "CREATE VIEW hist AS SELECT deg, COUNT(*) FROM pol GROUP BY deg" with
+   | Interp.Msg m ->
+     Alcotest.(check bool) "reports texp(e) = 10" true
+       (string_contains m "texp(e) = 10")
+   | Interp.Rows _ -> Alcotest.fail "expected message");
+  (match exec t "SHOW VIEW hist" with
+   | Interp.Rows { relation; recomputed; _ } ->
+     Alcotest.(check int) "two rows" 2 (Relation.cardinal relation);
+     Alcotest.(check bool) "no recompute yet" false recomputed
+   | Interp.Msg _ -> Alcotest.fail "rows");
+  ignore (exec t "ADVANCE TO 12");
+  (match exec t "SHOW VIEW hist" with
+   | Interp.Rows { relation; recomputed; _ } ->
+     Alcotest.(check bool) "auto-recomputed" true recomputed;
+     Alcotest.(check bool) "fresh contents <25,1>" true
+       (Relation.mem (Tuple.ints [ 25; 1 ]) relation);
+     Alcotest.(check int) "one row" 1 (Relation.cardinal relation)
+   | Interp.Msg _ -> Alcotest.fail "rows")
+
+let test_monotonic_view_never_recomputes () =
+  let t = setup_figure1 () in
+  (match exec t "CREATE VIEW j AS SELECT pol.uid FROM pol JOIN el ON pol.uid = el.uid" with
+   | Interp.Msg m ->
+     Alcotest.(check bool) "monotonic reported" true
+       (string_contains m "monotonic: never recomputes")
+   | Interp.Rows _ -> Alcotest.fail "message");
+  ignore (exec t "ADVANCE TO 20");
+  match exec t "SHOW VIEW j" with
+  | Interp.Rows { relation; recomputed; _ } ->
+    Alcotest.(check bool) "served from materialisation" false recomputed;
+    Alcotest.(check int) "empty by expiration" 0 (Relation.cardinal relation)
+  | Interp.Msg _ -> Alcotest.fail "rows"
+
+let test_except_view () =
+  let t = setup_figure1 () in
+  ignore (exec t "CREATE VIEW d AS SELECT uid FROM pol EXCEPT SELECT uid FROM el");
+  ignore (exec t "ADVANCE TO 5");
+  match exec t "SHOW VIEW d" with
+  | Interp.Rows { relation; recomputed; _ } ->
+    Alcotest.(check bool) "recomputed (texp was 3)" true recomputed;
+    Alcotest.(check int) "three rows at 5" 3 (Relation.cardinal relation)
+  | Interp.Msg _ -> Alcotest.fail "rows"
+
+let test_ttl_and_delete () =
+  let t = Interp.create () in
+  ignore (exec t "CREATE TABLE s (sid, uid)");
+  ignore (exec t "ADVANCE TO 100");
+  ignore (exec t "INSERT INTO s VALUES (1, 7) TTL 30");
+  ignore (exec t "INSERT INTO s VALUES (2, 8) TTL 5");
+  ignore (exec t "ADVANCE TO 110");
+  Alcotest.(check int) "ttl 5 expired" 1
+    (Relation.cardinal (rows (exec t "SELECT * FROM s")));
+  (match exec t "DELETE FROM s WHERE uid = 7" with
+   | Interp.Msg m -> Alcotest.(check string) "deleted" "1 tuple(s) deleted" m
+   | Interp.Rows _ -> Alcotest.fail "message");
+  Alcotest.(check int) "empty" 0 (Relation.cardinal (rows (exec t "SELECT * FROM s")))
+
+let test_errors () =
+  let t = Interp.create () in
+  expect_error t "SELECT a FROM missing";
+  expect_error t "INSERT INTO missing VALUES (1)";
+  ignore (exec t "CREATE TABLE t (a)");
+  expect_error t "CREATE TABLE t (a)";
+  expect_error t "INSERT INTO t VALUES (1, 2)";
+  ignore (exec t "ADVANCE TO 5");
+  expect_error t "INSERT INTO t VALUES (1) EXPIRES 3";
+  expect_error t "ADVANCE TO 1";
+  expect_error t "SHOW VIEW missing";
+  expect_error t "SELECT nonsense FROM t WHERE";
+  (* Execution continues after failures inside scripts. *)
+  let results = Interp.exec_script t "BROKEN; SHOW NOW;" in
+  Alcotest.(check int) "parse error aborts the script" 1 (List.length results);
+  let results = Interp.exec_script t "SELECT x FROM t; SHOW NOW;" in
+  Alcotest.(check int) "semantic error does not" 2 (List.length results);
+  (match results with
+   | [ Error _; Ok (Interp.Msg "5") ] -> ()
+   | _ -> Alcotest.fail "expected error then clock")
+
+let test_at_queries () =
+  let t = setup_figure1 () in
+  (* Query the known future: evaluate the figure-1 data as of time 10. *)
+  Alcotest.(check int) "future projection has one row" 1
+    (Relation.cardinal (rows (exec t "SELECT deg FROM pol AT 10")));
+  Alcotest.(check int) "present unchanged" 2
+    (Relation.cardinal (rows (exec t "SELECT deg FROM pol")));
+  ignore (exec t "ADVANCE TO 8");
+  expect_error t "SELECT deg FROM pol AT 5"
+
+let test_sql_triggers () =
+  let t = setup_figure1 () in
+  (match exec t "CREATE TRIGGER audit ON el" with
+   | Interp.Msg m -> Alcotest.(check string) "created" "trigger audit on el created" m
+   | Interp.Rows _ -> Alcotest.fail "message");
+  ignore (exec t "ADVANCE TO 4");
+  (match exec t "SHOW TRIGGERS" with
+   | Interp.Msg log ->
+     Alcotest.(check bool) "el expirations logged" true
+       (string_contains log "audit: el<4, 90> expired at 2"
+        && string_contains log "audit: el<2, 85> expired at 3");
+     Alcotest.(check bool) "pol not subscribed" false (string_contains log "pol")
+   | Interp.Rows _ -> Alcotest.fail "log");
+  ignore (exec t "DROP TRIGGER audit");
+  ignore (exec t "ADVANCE TO 20");
+  (match exec t "SHOW TRIGGERS" with
+   | Interp.Msg log ->
+     Alcotest.(check bool) "no new firings after drop" false
+       (string_contains log "expired at 5")
+   | Interp.Rows _ -> Alcotest.fail "log")
+
+let test_maintained_view () =
+  let t = setup_figure1 () in
+  ignore (exec t "CREATE MAINTAINED VIEW hist AS \
+                  SELECT deg, COUNT(*) FROM pol GROUP BY deg");
+  (* Updates flow into the view immediately, unlike a plain view. *)
+  ignore (exec t "INSERT INTO pol VALUES (7, 25) EXPIRES 40");
+  (match exec t "SHOW VIEW hist" with
+   | Interp.Rows { relation; recomputed; _ } ->
+     Alcotest.(check bool) "sees the new tuple" true
+       (Relation.mem (Tuple.ints [ 25; 3 ]) relation);
+     Alcotest.(check bool) "never reports recompute" false recomputed
+   | Interp.Msg _ -> Alcotest.fail "rows");
+  (* And the clock. *)
+  ignore (exec t "ADVANCE TO 16");
+  (match exec t "SHOW VIEW hist" with
+   | Interp.Rows { relation; _ } ->
+     Alcotest.(check bool) "only <7,25> left, count 1" true
+       (Relation.mem (Tuple.ints [ 25; 1 ]) relation);
+     Alcotest.(check int) "one group" 1 (Relation.cardinal relation)
+   | Interp.Msg _ -> Alcotest.fail "rows");
+  (match exec t "REFRESH VIEW hist" with
+   | Interp.Msg m ->
+     Alcotest.(check bool) "refresh is a no-op" true
+       (string_contains m "always current")
+   | Interp.Rows _ -> Alcotest.fail "message");
+  expect_error t "CREATE VIEW hist AS SELECT uid FROM pol";
+  (match exec t "SHOW VIEWS" with
+   | Interp.Msg m ->
+     Alcotest.(check bool) "flagged as maintained" true
+       (string_contains m "hist (maintained)")
+   | Interp.Rows _ -> Alcotest.fail "message")
+
+let test_order_limit_having () =
+  let t = setup_figure1 () in
+  let listing outcome =
+    match outcome with
+    | Interp.Rows { listing; _ } ->
+      List.map (fun (tuple, _) -> Tuple.to_string tuple) listing
+    | Interp.Msg m -> Alcotest.failf "expected rows, got %S" m
+  in
+  Alcotest.(check (list string)) "ORDER BY deg DESC, uid"
+    [ "<3, 35>"; "<1, 25>"; "<2, 25>" ]
+    (listing (exec t "SELECT uid, deg FROM pol ORDER BY deg DESC, uid"));
+  Alcotest.(check (list string)) "LIMIT truncates after ordering"
+    [ "<3, 35>" ]
+    (listing (exec t "SELECT uid, deg FROM pol ORDER BY deg DESC LIMIT 1"));
+  Alcotest.(check (list string)) "HAVING keeps multi-member groups"
+    [ "<25, 2>" ]
+    (listing (exec t "SELECT deg, COUNT(*) FROM pol GROUP BY deg \
+                      HAVING COUNT(*) > 1"));
+  Alcotest.(check (list string)) "HAVING on a group column"
+    [ "<35, 1>" ]
+    (listing (exec t "SELECT deg, COUNT(*) FROM pol GROUP BY deg \
+                      HAVING deg > 30"));
+  expect_error t "SELECT uid FROM pol WHERE COUNT(*) > 1";
+  expect_error t "SELECT uid FROM pol HAVING uid > 1";
+  expect_error t "SELECT deg, COUNT(*) FROM pol GROUP BY deg HAVING SUM(uid) > 1";
+  expect_error t "SELECT deg, COUNT(*) FROM pol GROUP BY deg HAVING uid > 1";
+  expect_error t "SELECT uid FROM pol ORDER BY nonsense"
+
+let test_sql_constraints () =
+  let t = setup_figure1 () in
+  (match exec t "CREATE CONSTRAINT coverage ON SELECT uid FROM pol MIN 2" with
+   | Interp.Msg m -> Alcotest.(check string) "created" "constraint coverage created" m
+   | Interp.Rows _ -> Alcotest.fail "message");
+  (match exec t "SHOW CONSTRAINTS" with
+   | Interp.Msg m ->
+     Alcotest.(check bool) "prediction shown" true
+       (string_contains m "coverage: 3 row(s), min 2 — breaks at 10")
+   | Interp.Rows _ -> Alcotest.fail "status");
+  (* Advancing across the predicted time reports the transition. *)
+  (match exec t "ADVANCE TO 20" with
+   | Interp.Msg m ->
+     Alcotest.(check bool) "violation reported" true
+       (string_contains m "CONSTRAINT VIOLATED: coverage!min at 10")
+   | Interp.Rows _ -> Alcotest.fail "advance");
+  (match exec t "SHOW CONSTRAINTS" with
+   | Interp.Msg m ->
+     Alcotest.(check bool) "violated now" true (string_contains m "VIOLATED NOW")
+   | Interp.Rows _ -> Alcotest.fail "status");
+  ignore (exec t "DROP CONSTRAINT coverage");
+  expect_error t "DROP CONSTRAINT coverage";
+  (match exec t "SHOW CONSTRAINTS" with
+   | Interp.Msg m -> Alcotest.(check string) "empty" "(no constraints)" m
+   | Interp.Rows _ -> Alcotest.fail "status");
+  expect_error t "CREATE CONSTRAINT bad ON SELECT uid FROM pol MIN 0"
+
+let test_render () =
+  let t = setup_figure1 () in
+  let text = Interp.render (exec t "SELECT deg FROM pol") in
+  Alcotest.(check bool) "renders a bordered table" true
+    (string_contains text "| texp | deg |")
+
+let suite =
+  [ Alcotest.test_case "figure 2 end to end" `Quick test_end_to_end_figure2;
+    Alcotest.test_case "joins" `Quick test_join_query;
+    Alcotest.test_case "non-monotonic view recomputes on expiry" `Quick
+      test_histogram_view_lifecycle;
+    Alcotest.test_case "monotonic view never recomputes" `Quick
+      test_monotonic_view_never_recomputes;
+    Alcotest.test_case "EXCEPT view over the paper's data" `Quick test_except_view;
+    Alcotest.test_case "TTL inserts and deletes" `Quick test_ttl_and_delete;
+    Alcotest.test_case "error handling" `Quick test_errors;
+    Alcotest.test_case "AT: querying the known future" `Quick test_at_queries;
+    Alcotest.test_case "ORDER BY / LIMIT / HAVING" `Quick test_order_limit_having;
+    Alcotest.test_case "SQL constraints with prediction" `Quick test_sql_constraints;
+    Alcotest.test_case "SQL-level expiration triggers" `Quick test_sql_triggers;
+    Alcotest.test_case "maintained views track updates and time" `Quick
+      test_maintained_view;
+    Alcotest.test_case "rendering" `Quick test_render ]

@@ -1,0 +1,57 @@
+open Expirel_sqlx
+
+let tokens text = List.map fst (Lexer.tokenize text)
+
+let tok = Alcotest.testable Token.pp Token.equal
+
+let test_basic () =
+  Alcotest.(check (list tok)) "statement"
+    [ Token.Keyword "SELECT"; Token.Star; Token.Keyword "FROM";
+      Token.Ident "pol"; Token.Semicolon; Token.Eof ]
+    (tokens "SELECT * FROM pol;")
+
+let test_case_insensitive_keywords () =
+  Alcotest.(check (list tok)) "lowercase keywords"
+    [ Token.Keyword "SELECT"; Token.Keyword "FROM"; Token.Eof ]
+    (tokens "select from");
+  Alcotest.(check (list tok)) "identifiers keep case"
+    [ Token.Ident "MyTable"; Token.Eof ]
+    (tokens "MyTable")
+
+let test_literals () =
+  Alcotest.(check (list tok)) "numbers"
+    [ Token.Int_lit 42; Token.Int_lit (-7); Token.Float_lit 3.5; Token.Eof ]
+    (tokens "42 -7 3.5");
+  Alcotest.(check (list tok)) "strings with escaped quote"
+    [ Token.String_lit "it's"; Token.Eof ]
+    (tokens "'it''s'")
+
+let test_operators () =
+  Alcotest.(check (list tok)) "comparisons"
+    [ Token.Eq; Token.Neq; Token.Lt; Token.Le; Token.Gt; Token.Ge; Token.Eof ]
+    (tokens "= <> < <= > >=");
+  Alcotest.(check (list tok)) "punctuation"
+    [ Token.Lparen; Token.Rparen; Token.Comma; Token.Dot; Token.Eof ]
+    (tokens "( ) , .")
+
+let test_comments () =
+  Alcotest.(check (list tok)) "line comment skipped"
+    [ Token.Int_lit 1; Token.Int_lit 2; Token.Eof ]
+    (tokens "1 -- everything here is ignored\n2")
+
+let test_errors () =
+  (match Lexer.tokenize "'unterminated" with
+   | exception Lexer.Error (msg, 0) ->
+     Alcotest.(check string) "unterminated" "unterminated string" msg
+   | _ -> Alcotest.fail "expected lexer error");
+  (match Lexer.tokenize "a ? b" with
+   | exception Lexer.Error (_, 2) -> ()
+   | _ -> Alcotest.fail "expected error at offset 2")
+
+let suite =
+  [ Alcotest.test_case "basic statement" `Quick test_basic;
+    Alcotest.test_case "keyword case-insensitivity" `Quick test_case_insensitive_keywords;
+    Alcotest.test_case "literals" `Quick test_literals;
+    Alcotest.test_case "operators" `Quick test_operators;
+    Alcotest.test_case "comments" `Quick test_comments;
+    Alcotest.test_case "errors with offsets" `Quick test_errors ]

@@ -1,0 +1,35 @@
+open Expirel_core
+
+let mono = Algebra.(join (Predicate.eq_cols 1 3) (base "Pol") (base "El"))
+let with_diff = Algebra.(diff (project [ 1 ] (base "Pol")) (project [ 1 ] (base "El")))
+let with_agg = Algebra.(project [ 2; 3 ] (aggregate [ 2 ] Aggregate.Count (base "Pol")))
+
+let test_classification () =
+  Alcotest.(check bool) "SPCU + join is monotonic" true (Monotone.is_monotonic mono);
+  Alcotest.(check bool) "difference is not" false (Monotone.is_monotonic with_diff);
+  Alcotest.(check bool) "aggregation is not" false (Monotone.is_monotonic with_agg);
+  Alcotest.(check bool) "intersection is monotonic" true
+    (Monotone.is_monotonic Algebra.(intersect (base "Pol") (base "El")))
+
+let test_counting () =
+  let nested = Algebra.(diff with_diff (select Predicate.True with_agg)) in
+  (match Monotone.classify nested with
+   | `Non_monotonic 3 -> ()
+   | `Non_monotonic k -> Alcotest.failf "expected 3 nodes, got %d" k
+   | `Monotonic -> Alcotest.fail "expected non-monotonic");
+  Alcotest.(check int) "nodes listed" 3
+    (List.length (Monotone.non_monotonic_nodes nested));
+  (match Monotone.classify mono with
+   | `Monotonic -> ()
+   | `Non_monotonic _ -> Alcotest.fail "join misclassified")
+
+let prop_generator_respects_gate =
+  Generators.qtest "allow_non_monotonic:false yields monotonic expressions"
+    (QCheck2.Gen.bind (QCheck2.Gen.int_range 1 3) (fun arity ->
+         Generators.expr ~allow_non_monotonic:false ~arity ()))
+    Monotone.is_monotonic
+
+let suite =
+  [ Alcotest.test_case "operator classification" `Quick test_classification;
+    Alcotest.test_case "counting non-monotonic nodes" `Quick test_counting;
+    prop_generator_respects_gate ]

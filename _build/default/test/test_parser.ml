@@ -1,0 +1,173 @@
+open Expirel_core
+open Expirel_sqlx
+
+let parse = Parser.parse_statement
+
+let test_ddl () =
+  (match parse "CREATE TABLE pol (uid, deg)" with
+   | Ast.Create_table ("pol", [ "uid"; "deg" ]) -> ()
+   | s -> Alcotest.failf "unexpected %s" (Format.asprintf "%a" Ast.pp_statement s));
+  (match parse "DROP TABLE pol;" with
+   | Ast.Drop_table "pol" -> ()
+   | _ -> Alcotest.fail "drop")
+
+let test_insert_variants () =
+  (match parse "INSERT INTO pol VALUES (1, 25) EXPIRES 10" with
+   | Ast.Insert { table = "pol"; values = [ Value.Int 1; Value.Int 25 ];
+                  expires = Ast.At 10 } -> ()
+   | _ -> Alcotest.fail "expires at");
+  (match parse "INSERT INTO s VALUES ('k', 3.5, TRUE, NULL) EXPIRES NEVER" with
+   | Ast.Insert { values = [ Value.Str "k"; Value.Float 3.5; Value.Bool true;
+                             Value.Null ]; expires = Ast.Never; _ } -> ()
+   | _ -> Alcotest.fail "literal zoo");
+  (match parse "INSERT INTO s VALUES (1) TTL 30" with
+   | Ast.Insert { expires = Ast.Ttl 30; _ } -> ()
+   | _ -> Alcotest.fail "ttl");
+  (match parse "INSERT INTO s VALUES (1)" with
+   | Ast.Insert { expires = Ast.Never; _ } -> ()
+   | _ -> Alcotest.fail "default never")
+
+let test_select () =
+  (match parse "SELECT uid, deg FROM pol WHERE deg > 30" with
+   | Ast.Query { q = Ast.Select { items = [ Ast.Column { qualifier = None; column = "uid" };
+                                       Ast.Column { column = "deg"; _ } ];
+                             source = Ast.From_table "pol";
+                             where = Some (Ast.Cmp (Ast.Gt, _, Ast.Lit (Value.Int 30)));
+                             group_by = []; having = None }; at = None; _ } -> ()
+   | _ -> Alcotest.fail "plain select");
+  (match parse "SELECT * FROM pol JOIN el ON pol.uid = el.uid" with
+   | Ast.Query { q = Ast.Select { items = [ Ast.Star ];
+                             source = Ast.From_join ("pol", "el",
+                                                     Ast.Cmp (Ast.Eq,
+                                                              Ast.Col_ref { qualifier = Some "pol"; column = "uid" },
+                                                              Ast.Col_ref { qualifier = Some "el"; column = "uid" }));
+                             _ }; at = None; _ } -> ()
+   | _ -> Alcotest.fail "join")
+
+let test_aggregates_group_by () =
+  match parse "SELECT deg, COUNT(*) FROM pol GROUP BY deg" with
+  | Ast.Query { q = Ast.Select { items = [ Ast.Column _; Ast.Agg Ast.Count_star ];
+                                 group_by = [ { Ast.qualifier = None; column = "deg" } ];
+                                 _ }; _ } -> ()
+  | _ -> Alcotest.fail "group by"
+
+let test_set_operations () =
+  (match parse "SELECT uid FROM pol EXCEPT SELECT uid FROM el" with
+   | Ast.Query { q = Ast.Except (Ast.Select _, Ast.Select _); _ } -> ()
+   | _ -> Alcotest.fail "except");
+  (* Left associativity: (a UNION b) EXCEPT c. *)
+  (match parse "SELECT a FROM t UNION SELECT a FROM u EXCEPT SELECT a FROM v" with
+   | Ast.Query { q = Ast.Except (Ast.Union _, Ast.Select _); _ } -> ()
+   | _ -> Alcotest.fail "left assoc");
+  (* Parentheses override. *)
+  (match parse "SELECT a FROM t UNION (SELECT a FROM u EXCEPT SELECT a FROM v)" with
+   | Ast.Query { q = Ast.Union (Ast.Select _, Ast.Except _); _ } -> ()
+   | _ -> Alcotest.fail "parenthesised")
+
+let test_condition_precedence () =
+  (* AND binds tighter than OR. *)
+  match parse "SELECT a FROM t WHERE a = 1 OR a = 2 AND a = 3" with
+  | Ast.Query { q = Ast.Select { where = Some (Ast.Or (_, Ast.And (_, _))); _ }; _ } -> ()
+  | _ -> Alcotest.fail "precedence"
+
+let test_control_statements () =
+  (match parse "ADVANCE TO 42" with
+   | Ast.Advance_to 42 -> ()
+   | _ -> Alcotest.fail "advance");
+  (match parse "TICK" with
+   | Ast.Tick 1 -> ()
+   | _ -> Alcotest.fail "tick default");
+  (match parse "TICK 5" with
+   | Ast.Tick 5 -> ()
+   | _ -> Alcotest.fail "tick n");
+  (match parse "VACUUM" with
+   | Ast.Vacuum -> ()
+   | _ -> Alcotest.fail "vacuum");
+  (match parse "SHOW TABLES" with
+   | Ast.Show_tables -> ()
+   | _ -> Alcotest.fail "show tables");
+  (match parse "SHOW NOW" with
+   | Ast.Show_time -> ()
+   | _ -> Alcotest.fail "show now")
+
+let test_views () =
+  (match parse "CREATE VIEW v AS SELECT uid FROM pol EXCEPT SELECT uid FROM el" with
+   | Ast.Create_view { name = "v"; query = Ast.Except _; maintained = false } -> ()
+   | _ -> Alcotest.fail "create view");
+  (match parse "CREATE MAINTAINED VIEW m AS SELECT uid FROM pol" with
+   | Ast.Create_view { name = "m"; maintained = true; _ } -> ()
+   | _ -> Alcotest.fail "create maintained view");
+  (match parse "SHOW VIEW v" with
+   | Ast.Show_view "v" -> ()
+   | _ -> Alcotest.fail "show view");
+  (match parse "REFRESH VIEW v" with
+   | Ast.Refresh_view "v" -> ()
+   | _ -> Alcotest.fail "refresh view")
+
+let test_script () =
+  let statements =
+    Parser.parse_script
+      "CREATE TABLE t (a); INSERT INTO t VALUES (1) EXPIRES 5; SELECT a FROM t;"
+  in
+  Alcotest.(check int) "three statements" 3 (List.length statements)
+
+let expect_error text =
+  match parse text with
+  | exception Parser.Error _ -> ()
+  | _ -> Alcotest.failf "expected parse error for %S" text
+
+let test_errors () =
+  expect_error "SELECT";
+  expect_error "SELECT FROM t";
+  expect_error "INSERT INTO t (1)";
+  expect_error "CREATE TABLE t ()";
+  expect_error "SELECT a FROM t WHERE";
+  expect_error "SELECT a FROM t trailing garbage";
+  expect_error "ADVANCE TO soon"
+
+let test_at_and_triggers () =
+  (match parse "SELECT uid FROM pol AT 25" with
+   | Ast.Query { q = Ast.Select _; at = Some 25; _ } -> ()
+   | _ -> Alcotest.fail "AT clause");
+  (match parse "SELECT uid FROM pol ORDER BY deg DESC, uid LIMIT 5" with
+   | Ast.Query { order_by = [ ({ Ast.column = "deg"; _ }, Ast.Desc);
+                              ({ Ast.column = "uid"; _ }, Ast.Asc) ];
+                 limit = Some 5; _ } -> ()
+   | _ -> Alcotest.fail "order by / limit");
+  (match parse "SELECT deg, COUNT(*) FROM pol GROUP BY deg HAVING COUNT(*) > 1" with
+   | Ast.Query { q = Ast.Select { having = Some (Ast.Cmp (Ast.Gt, Ast.Agg_ref Ast.Count_star, _)); _ }; _ } -> ()
+   | _ -> Alcotest.fail "having");
+  (match parse "CREATE TRIGGER audit ON pol" with
+   | Ast.Create_trigger { name = "audit"; table = "pol" } -> ()
+   | _ -> Alcotest.fail "create trigger");
+  (match parse "CREATE TRIGGER audit ON *" with
+   | Ast.Create_trigger { table = "*"; _ } -> ()
+   | _ -> Alcotest.fail "wildcard trigger");
+  (match parse "DROP TRIGGER audit" with
+   | Ast.Drop_trigger "audit" -> ()
+   | _ -> Alcotest.fail "drop trigger");
+  (match parse "SHOW TRIGGERS" with
+   | Ast.Show_triggers -> ()
+   | _ -> Alcotest.fail "show triggers");
+  expect_error "SELECT uid FROM pol AT soon";
+  expect_error "CREATE TRIGGER x"
+
+let test_delete () =
+  match parse "DELETE FROM t WHERE a = 1" with
+  | Ast.Delete ("t", Some _) -> ()
+  | _ -> Alcotest.fail "delete with where"
+
+let suite =
+  [ Alcotest.test_case "DDL" `Quick test_ddl;
+    Alcotest.test_case "INSERT with expiration clauses" `Quick test_insert_variants;
+    Alcotest.test_case "SELECT and JOIN" `Quick test_select;
+    Alcotest.test_case "aggregates and GROUP BY" `Quick test_aggregates_group_by;
+    Alcotest.test_case "set operations and associativity" `Quick test_set_operations;
+    Alcotest.test_case "AND/OR precedence" `Quick test_condition_precedence;
+    Alcotest.test_case "clock and maintenance statements" `Quick
+      test_control_statements;
+    Alcotest.test_case "views" `Quick test_views;
+    Alcotest.test_case "scripts" `Quick test_script;
+    Alcotest.test_case "syntax errors" `Quick test_errors;
+    Alcotest.test_case "AT queries and triggers" `Quick test_at_and_triggers;
+    Alcotest.test_case "DELETE" `Quick test_delete ]

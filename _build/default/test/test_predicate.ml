@@ -1,0 +1,72 @@
+open Expirel_core
+
+let t12 = Tuple.ints [ 1; 2 ]
+
+let test_eval_basics () =
+  Alcotest.(check bool) "true" true (Predicate.eval Predicate.True t12);
+  Alcotest.(check bool) "false" false (Predicate.eval Predicate.False t12);
+  Alcotest.(check bool) "col = const" true
+    (Predicate.eval (Predicate.eq_const 1 (Value.int 1)) t12);
+  Alcotest.(check bool) "col = col" false
+    (Predicate.eval (Predicate.eq_cols 1 2) t12);
+  Alcotest.(check bool) "lt" true
+    (Predicate.eval (Predicate.Cmp (Predicate.Lt, Predicate.Col 1, Predicate.Col 2)) t12)
+
+let test_null_semantics () =
+  let t = Tuple.of_list [ Value.Null; Value.int 2 ] in
+  let p op = Predicate.Cmp (op, Predicate.Col 1, Predicate.Col 2) in
+  Alcotest.(check bool) "null = is false" false (Predicate.eval (p Predicate.Eq) t);
+  Alcotest.(check bool) "null <> is false too" false
+    (Predicate.eval (p Predicate.Neq) t);
+  Alcotest.(check bool) "not collapses to boolean" true
+    (Predicate.eval (Predicate.Not (p Predicate.Eq)) t)
+
+let test_connectives () =
+  let p = Predicate.conj [ Predicate.eq_const 1 (Value.int 1);
+                           Predicate.eq_const 2 (Value.int 2) ] in
+  Alcotest.(check bool) "conj" true (Predicate.eval p t12);
+  let q = Predicate.disj [ Predicate.False; Predicate.eq_const 1 (Value.int 9) ] in
+  Alcotest.(check bool) "disj false" false (Predicate.eval q t12);
+  Alcotest.(check bool) "empty conj is true" true (Predicate.eval (Predicate.conj []) t12);
+  Alcotest.(check bool) "empty disj is false" false (Predicate.eval (Predicate.disj []) t12)
+
+let test_columns () =
+  let p = Predicate.And (Predicate.eq_cols 1 3, Predicate.eq_const 2 (Value.int 0)) in
+  Alcotest.(check int) "max_col" 3 (Predicate.max_col p);
+  Alcotest.(check bool) "within 3" true (Predicate.columns_within 3 p);
+  Alcotest.(check bool) "not within 2" false (Predicate.columns_within 2 p);
+  Alcotest.(check bool) "between" true (Predicate.columns_between 1 3 p);
+  Alcotest.(check bool) "not between 2..3" false (Predicate.columns_between 2 3 p)
+
+let test_shift_rename () =
+  let p = Predicate.eq_cols 1 2 in
+  Alcotest.(check int) "shift" 4 (Predicate.max_col (Predicate.shift 2 p));
+  let renamed = Predicate.rename (fun j -> if j = 1 then Some 5 else None) p in
+  Alcotest.(check bool) "rename partial fails" true (renamed = None);
+  let renamed = Predicate.rename (fun j -> Some (j + 10)) p in
+  Alcotest.(check bool) "rename total" true
+    (match renamed with
+     | Some q -> Predicate.max_col q = 12
+     | None -> false)
+
+let gen = QCheck2.Gen.pair (Generators.predicate ~arity:3) (Generators.tuple ~arity:3)
+
+let prop_shift_preserves_semantics =
+  Generators.qtest "shift n agrees on shifted tuple"
+    (QCheck2.Gen.pair gen (Generators.tuple ~arity:2))
+    (fun ((p, t), prefix) ->
+      let shifted = Predicate.shift 2 p in
+      Predicate.eval p t = Predicate.eval shifted (Tuple.concat prefix t))
+
+let prop_not_involutive =
+  Generators.qtest "double negation" gen (fun (p, t) ->
+      Predicate.eval (Predicate.Not (Predicate.Not p)) t = Predicate.eval p t)
+
+let suite =
+  [ Alcotest.test_case "comparisons" `Quick test_eval_basics;
+    Alcotest.test_case "null collapses to false" `Quick test_null_semantics;
+    Alcotest.test_case "connectives" `Quick test_connectives;
+    Alcotest.test_case "column analysis" `Quick test_columns;
+    Alcotest.test_case "shift and rename" `Quick test_shift_rename;
+    prop_shift_preserves_semantics;
+    prop_not_involutive ]

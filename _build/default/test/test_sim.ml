@@ -1,0 +1,108 @@
+open Expirel_core
+open Expirel_dist
+open Expirel_workload
+
+let env = News.figure1_env
+let difference = Algebra.(diff (project [ 1 ] (base "Pol")) (project [ 1 ] (base "El")))
+let join = Algebra.(join (Predicate.eq_cols 1 3) (base "Pol") (base "El"))
+
+let run strategy ?(horizon = 30) ?(latency = 0) expr =
+  Sim.run ~env ~expr { Sim.horizon; latency; strategy }
+
+let test_expiration_aware_never_stale () =
+  List.iter
+    (fun expr ->
+      let r = run Sim.Expiration_aware expr in
+      Alcotest.(check int)
+        ("no staleness: " ^ Algebra.to_string expr)
+        0 r.Sim.metrics.Metrics.stale_ticks)
+    [ difference; join; Algebra.base "Pol" ]
+
+let test_monotonic_needs_one_fetch () =
+  let r = run Sim.Expiration_aware join in
+  Alcotest.(check int) "initial request+response only" 2 r.Sim.metrics.Metrics.messages;
+  Alcotest.(check int) "no refetches (Theorem 1)" 0 r.Sim.metrics.Metrics.refetches
+
+let test_difference_refetches () =
+  (* texp(e) passes at 3 and 5 (Figure 3), so two refetches. *)
+  let r = run Sim.Expiration_aware difference in
+  Alcotest.(check int) "two refetches" 2 r.Sim.metrics.Metrics.refetches;
+  Alcotest.(check int) "messages: 3 fetches x 2" 6 r.Sim.metrics.Metrics.messages
+
+let test_patched_no_refetch_no_staleness () =
+  let r = run Sim.Patched difference in
+  Alcotest.(check int) "single fetch" 2 r.Sim.metrics.Metrics.messages;
+  Alcotest.(check int) "no refetches (Theorem 3)" 0 r.Sim.metrics.Metrics.refetches;
+  Alcotest.(check int) "never stale" 0 r.Sim.metrics.Metrics.stale_ticks
+
+let test_poll_staleness () =
+  (* A slow TTL-less poller over the difference misses tuple changes at
+     3, 5, 10, 15. *)
+  let slow = run (Sim.Poll 10) difference in
+  Alcotest.(check bool) "slow poll is stale" true
+    (slow.Sim.metrics.Metrics.stale_ticks > 0);
+  let fast = run (Sim.Poll 1) difference in
+  Alcotest.(check int) "tick-by-tick poll never stale" 0
+    fast.Sim.metrics.Metrics.stale_ticks;
+  Alcotest.(check bool) "but pays for it in messages" true
+    (fast.Sim.metrics.Metrics.messages > slow.Sim.metrics.Metrics.messages)
+
+let test_poll_latency_staleness () =
+  (* Even per-tick polling is stale when messages take time to arrive. *)
+  let r = run (Sim.Poll 1) ~latency:2 difference in
+  Alcotest.(check bool) "latency causes staleness" true
+    (r.Sim.metrics.Metrics.stale_ticks > 0)
+
+let test_validation () =
+  let config = { Sim.horizon = 10; latency = 0; strategy = Sim.Patched } in
+  Alcotest.check_raises "patched needs difference root"
+    (Invalid_argument "Sim.run: Patched requires a difference at the root")
+    (fun () -> ignore (Sim.run ~env ~expr:join config));
+  Alcotest.check_raises "horizon" (Invalid_argument "Sim.run: horizon <= 0")
+    (fun () ->
+      ignore (Sim.run ~env ~expr:join { config with Sim.horizon = 0; strategy = Sim.Poll 3 }));
+  Alcotest.check_raises "poll period" (Invalid_argument "Sim.run: poll period < 1")
+    (fun () ->
+      ignore (Sim.run ~env ~expr:join { config with Sim.strategy = Sim.Poll 0 }))
+
+let prop_expiration_aware_always_correct =
+  Generators.qtest "expiration-aware staleness is zero on random data" ~count:100
+    (Generators.expr_and_env ())
+    (fun (expr, bindings) ->
+      let env = Eval.env_of_list bindings in
+      let r =
+        Sim.run ~env ~expr { Sim.horizon = 28; latency = 0; strategy = Sim.Expiration_aware }
+      in
+      r.Sim.metrics.Metrics.stale_ticks = 0)
+
+let prop_patched_always_correct =
+  Generators.qtest "patched staleness is zero on random differences" ~count:100
+    (QCheck2.Gen.pair
+       (QCheck2.Gen.pair
+          (Generators.expr ~allow_non_monotonic:false ~arity:2 ())
+          (Generators.expr ~allow_non_monotonic:false ~arity:2 ()))
+       Generators.env_bindings)
+    (fun ((l, r), bindings) ->
+      let env = Eval.env_of_list bindings in
+      let report =
+        Sim.run ~env ~expr:(Algebra.diff l r)
+          { Sim.horizon = 28; latency = 0; strategy = Sim.Patched }
+      in
+      report.Sim.metrics.Metrics.stale_ticks = 0
+      && report.Sim.metrics.Metrics.messages = 2)
+
+let suite =
+  [ Alcotest.test_case "expiration-aware clients are never stale" `Quick
+      test_expiration_aware_never_stale;
+    Alcotest.test_case "monotonic views cost one fetch" `Quick
+      test_monotonic_needs_one_fetch;
+    Alcotest.test_case "difference views refetch at texp(e)" `Quick
+      test_difference_refetches;
+    Alcotest.test_case "patched views: one fetch, always right" `Quick
+      test_patched_no_refetch_no_staleness;
+    Alcotest.test_case "polling trades staleness against traffic" `Quick
+      test_poll_staleness;
+    Alcotest.test_case "latency makes polling stale" `Quick test_poll_latency_staleness;
+    Alcotest.test_case "configuration validation" `Quick test_validation;
+    prop_expiration_aware_always_correct;
+    prop_patched_always_correct ]

@@ -1,0 +1,144 @@
+open Expirel_core
+open Expirel_dist
+open Expirel_workload
+
+let env = News.figure1_env
+let difference = Algebra.(diff (project [ 1 ] (base "Pol")) (project [ 1 ] (base "El")))
+let join = Algebra.(join (Predicate.eq_cols 1 3) (base "Pol") (base "El"))
+
+let base_config strategy =
+  { Sim_unreliable.horizon = 20; strategy; offline = []; skew = 0; margin = 0;
+    patch_delay = 0 }
+
+let run ?(config = base_config Sim.Expiration_aware) expr =
+  Sim_unreliable.run ~env ~expr config
+
+let test_baseline_matches_ideal () =
+  (* No skew, no margin, no outage: same behaviour as the ideal sim. *)
+  List.iter
+    (fun (strategy, expr) ->
+      let r = run ~config:(base_config strategy) expr in
+      Alcotest.(check int)
+        (Sim.strategy_label strategy ^ ": exact")
+        0
+        (r.Sim_unreliable.expired_served + r.Sim_unreliable.valid_dropped))
+    [ Sim.Expiration_aware, difference;
+      Sim.Expiration_aware, join;
+      Sim.Patched, difference;
+      Sim.Poll 1, join ]
+
+let test_outage_never_corrupts () =
+  (* The link dies before the first refetch would happen (texp(e)=3). *)
+  let config =
+    { (base_config Sim.Expiration_aware) with offline = [ 2, 12 ] }
+  in
+  let r = run ~config difference in
+  Alcotest.(check int) "never wrong data" 0 r.Sim_unreliable.expired_served;
+  Alcotest.(check bool) "but misses reappearances" true
+    (r.Sim_unreliable.valid_dropped > 0);
+  Alcotest.(check bool) "retried while down" true
+    (r.Sim_unreliable.blocked_fetches > 0);
+  (* Monotonic views do not even notice the outage. *)
+  let r = run ~config:{ config with offline = [ 1, 19 ] } join in
+  Alcotest.(check int) "monotonic: zero divergence through a 18-tick outage"
+    0
+    (r.Sim_unreliable.expired_served + r.Sim_unreliable.valid_dropped)
+
+let test_patched_rides_out_outage () =
+  let config =
+    { (base_config Sim.Patched) with offline = [ 1, 19 ] }
+  in
+  let r = run ~config difference in
+  Alcotest.(check int) "patched: exact despite the outage" 0
+    (r.Sim_unreliable.expired_served + r.Sim_unreliable.valid_dropped);
+  Alcotest.(check int) "one shipment only" 2 r.Sim_unreliable.metrics.Metrics.messages
+
+let test_slow_clock_serves_expired () =
+  (* A slow client clock holds tuples too long... *)
+  let config = { (base_config Sim.Expiration_aware) with skew = -3 } in
+  let r = run ~config join in
+  Alcotest.(check bool) "slow clock corrupts" true
+    (r.Sim_unreliable.expired_served > 0);
+  (* ...unless the server ships a matching safety margin — which, when
+     it exactly cancels the skew, costs nothing at all. *)
+  let r = run ~config:{ config with margin = 3 } join in
+  Alcotest.(check int) "margin restores safety" 0 r.Sim_unreliable.expired_served;
+  Alcotest.(check int) "exact cancellation is free" 0 r.Sim_unreliable.valid_dropped;
+  (* Guarding against worse skew than the client actually has is what
+     costs availability. *)
+  let r = run ~config:{ config with margin = 7 } join in
+  Alcotest.(check int) "over-provisioned margin still safe" 0
+    r.Sim_unreliable.expired_served;
+  Alcotest.(check bool) "but drops valid rows" true
+    (r.Sim_unreliable.valid_dropped > 0)
+
+let test_fast_clock_patches_early () =
+  let config = { (base_config Sim.Patched) with skew = 4 } in
+  let r = run ~config difference in
+  Alcotest.(check bool) "fast clock patches too early" true
+    (r.Sim_unreliable.expired_served > 0);
+  let r = run ~config:{ config with patch_delay = 4; margin = 0 } difference in
+  Alcotest.(check int) "patch delay guards it" 0 r.Sim_unreliable.expired_served
+
+let test_validation () =
+  let bad offline =
+    Alcotest.check_raises "windows"
+      (Invalid_argument "Sim_unreliable.run: offline windows unsorted or overlapping")
+      (fun () ->
+        ignore (run ~config:{ (base_config (Sim.Poll 3)) with offline } join))
+  in
+  bad [ 5, 5 ];
+  bad [ 8, 12; 3, 6 ];
+  bad [ 3, 8; 6, 10 ];
+  Alcotest.check_raises "up at 0"
+    (Invalid_argument "Sim_unreliable.run: link must be up at tick 0") (fun () ->
+      ignore (run ~config:{ (base_config (Sim.Poll 3)) with offline = [ 0, 4 ] } join))
+
+(* The headline safety property: with margin >= max 0 (-skew) and
+   patch_delay >= max 0 skew, no strategy ever serves wrong data —
+   whatever the outage pattern. *)
+let scenario_gen =
+  let open QCheck2.Gen in
+  let* skew = int_range (-5) 5 in
+  let* extra = int_range 0 2 in
+  let* strategy =
+    oneofl [ Sim.Poll 4; Sim.Poll 9; Sim.Expiration_aware; Sim.Patched ]
+  in
+  let* outage_start = int_range 1 15 in
+  let* outage_len = int_range 0 10 in
+  let* l = Generators.expr ~allow_non_monotonic:false ~arity:2 () in
+  let* r = Generators.expr ~allow_non_monotonic:false ~arity:2 () in
+  let* bindings = Generators.env_bindings in
+  return (skew, extra, strategy, (outage_start, outage_len), (l, r), bindings)
+
+let prop_margin_guarantees_safety =
+  Generators.qtest "margin + patch delay => never wrong data" ~count:250
+    scenario_gen
+    (fun (skew, extra, strategy, (o_start, o_len), (l, r), bindings) ->
+      let env = Eval.env_of_list bindings in
+      let expr = Algebra.diff l r in
+      let config =
+        { Sim_unreliable.horizon = 30;
+          strategy;
+          offline = (if o_len = 0 then [] else [ o_start, o_start + o_len ]);
+          skew;
+          margin = max 0 (-skew) + extra;
+          patch_delay = max 0 skew + extra
+        }
+      in
+      let report = Sim_unreliable.run ~env ~expr config in
+      report.Sim_unreliable.expired_served = 0)
+
+let suite =
+  [ Alcotest.test_case "ideal conditions match the ideal sim" `Quick
+      test_baseline_matches_ideal;
+    Alcotest.test_case "outages cost availability, never correctness" `Quick
+      test_outage_never_corrupts;
+    Alcotest.test_case "patched views ride out outages" `Quick
+      test_patched_rides_out_outage;
+    Alcotest.test_case "slow clocks vs safety margins" `Quick
+      test_slow_clock_serves_expired;
+    Alcotest.test_case "fast clocks vs patch delays" `Quick
+      test_fast_clock_patches_early;
+    Alcotest.test_case "validation" `Quick test_validation;
+    prop_margin_guarantees_safety ]

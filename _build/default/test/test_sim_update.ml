@@ -1,0 +1,98 @@
+open Expirel_core
+open Expirel_dist
+open Expirel_workload
+
+let fin = Time.of_int
+
+let bindings =
+  [ "Pol", News.figure1_pol; "El", News.figure1_el ]
+
+let difference = Algebra.(diff (project [ 1 ] (base "Pol")) (project [ 1 ] (base "El")))
+
+let updates =
+  [ { Sim_update.at = 2; relation = "Pol";
+      change = `Upsert (Tuple.ints [ 8; 40 ], fin 25) };
+    { Sim_update.at = 6; relation = "El";
+      change = `Upsert (Tuple.ints [ 8; 70 ], fin 30) };
+    { Sim_update.at = 9; relation = "El";
+      change = `Delete (Tuple.ints [ 8; 70 ]) };
+    { Sim_update.at = 12; relation = "Other";
+      change = `Upsert (Tuple.ints [ 1; 1 ], fin 90) } ]
+
+let run strategy =
+  Sim_update.run ~bindings ~expr:difference ~updates
+    { Sim_update.horizon = 20; strategy }
+
+let test_delta_push_exact () =
+  let r = run Sim_update.Delta_push in
+  Alcotest.(check int) "never stale" 0 r.Sim_update.metrics.Metrics.stale_ticks;
+  Alcotest.(check int) "no refetches" 0 r.Sim_update.metrics.Metrics.refetches;
+  (* Initial fetch (2 messages) + one push per relevant update (3; the
+     update to the unrelated table costs nothing). *)
+  Alcotest.(check int) "messages" 5 r.Sim_update.metrics.Metrics.messages
+
+let test_refetch_on_change_exact_but_costly () =
+  let r = run Sim_update.Refetch_on_change in
+  Alcotest.(check int) "never stale" 0 r.Sim_update.metrics.Metrics.stale_ticks;
+  Alcotest.(check bool) "pays full refetches" true
+    (r.Sim_update.metrics.Metrics.refetches >= 3);
+  let push = run Sim_update.Delta_push in
+  Alcotest.(check bool) "delta push is cheaper" true
+    (push.Sim_update.metrics.Metrics.bytes < r.Sim_update.metrics.Metrics.bytes)
+
+let test_expiration_aware_goes_stale () =
+  (* The no-update assumption violated: updates arrive between texp(e)
+     refetches, so the expiration-aware client serves wrong data. *)
+  let r = run Sim_update.Expiration_aware in
+  Alcotest.(check bool) "stale under updates" true
+    (r.Sim_update.metrics.Metrics.stale_ticks > 0)
+
+let test_validation () =
+  Alcotest.check_raises "unsorted updates"
+    (Invalid_argument "Sim_update.run: updates unsorted") (fun () ->
+      ignore
+        (Sim_update.run ~bindings ~expr:difference
+           ~updates:(List.rev updates)
+           { Sim_update.horizon = 20; strategy = Sim_update.Delta_push }))
+
+let random_updates_gen =
+  let open QCheck2.Gen in
+  let one at =
+    let* name = oneofl [ "R2"; "S2" ] in
+    let* t = Generators.tuple_no_null ~arity:2 in
+    let* upsert = frequency [ 3, return true; 1, return false ] in
+    if upsert then
+      let* ttl = int_range 1 15 in
+      return { Sim_update.at; relation = name;
+               change = `Upsert (t, Time.of_int (at + ttl)) }
+    else return { Sim_update.at; relation = name; change = `Delete t }
+  in
+  let* ticks = list_size (int_range 0 10) (int_range 0 19) in
+  let sorted = List.sort Int.compare ticks in
+  flatten_l (List.map one sorted)
+
+let prop_update_aware_strategies_exact =
+  Generators.qtest "delta-push and refetch-on-change are never stale" ~count:150
+    (QCheck2.Gen.pair
+       (QCheck2.Gen.pair
+          (Generators.expr ~allow_non_monotonic:false ~arity:2 ())
+          (Generators.expr ~allow_non_monotonic:false ~arity:2 ()))
+       (QCheck2.Gen.pair Generators.env_bindings random_updates_gen))
+    (fun ((l, r), (bindings, updates)) ->
+      let expr = Algebra.diff l r in
+      let stale strategy =
+        (Sim_update.run ~bindings ~expr ~updates
+           { Sim_update.horizon = 22; strategy })
+          .Sim_update.metrics.Metrics.stale_ticks
+      in
+      stale Sim_update.Delta_push = 0 && stale Sim_update.Refetch_on_change = 0)
+
+let suite =
+  [ Alcotest.test_case "delta push: exact at tuple-sized cost" `Quick
+      test_delta_push_exact;
+    Alcotest.test_case "refetch-on-change: exact but heavy" `Quick
+      test_refetch_on_change_exact_but_costly;
+    Alcotest.test_case "expiration alone fails under updates" `Quick
+      test_expiration_aware_goes_stale;
+    Alcotest.test_case "validation" `Quick test_validation;
+    prop_update_aware_strategies_exact ]

@@ -1,0 +1,220 @@
+open Expirel_core
+open Expirel_sqlx
+module Gen = QCheck2.Gen
+
+(* --- generators for well-formed ASTs (lexically valid identifiers) --- *)
+
+let ident_gen = Gen.oneofl [ "pol"; "el"; "users"; "t1"; "b_2"; "Sessions" ]
+let colname_gen = Gen.oneofl [ "uid"; "deg"; "a"; "b"; "val1" ]
+
+let column_ref_gen =
+  let open Gen in
+  let* qualifier = option ident_gen in
+  let* column = colname_gen in
+  return { Ast.qualifier; column }
+
+let literal_gen =
+  let open Gen in
+  frequency
+    [ 4, map Value.int (int_range (-50) 50);
+      2, map (fun n -> Value.Float (float_of_int n /. 2.)) (int_range (-20) 20);
+      2, map Value.str (oneofl [ ""; "x"; "it's"; "two words"; "100%" ]);
+      1, oneofl [ Value.Bool true; Value.Bool false; Value.Null ] ]
+
+let agg_gen =
+  let open Gen in
+  oneof
+    [ return Ast.Count_star;
+      map (fun r -> Ast.Sum_of r) column_ref_gen;
+      map (fun r -> Ast.Min_of r) column_ref_gen;
+      map (fun r -> Ast.Max_of r) column_ref_gen;
+      map (fun r -> Ast.Avg_of r) column_ref_gen ]
+
+let operand_gen =
+  let open Gen in
+  frequency
+    [ 3, map (fun r -> Ast.Col_ref r) column_ref_gen;
+      2, map (fun v -> Ast.Lit v) literal_gen;
+      1, map (fun a -> Ast.Agg_ref a) agg_gen ]
+
+let cmp_gen = Gen.oneofl [ Ast.Eq; Ast.Neq; Ast.Lt; Ast.Le; Ast.Gt; Ast.Ge ]
+
+let cond_gen =
+  let open Gen in
+  let atom =
+    let* op = cmp_gen in
+    let* a = operand_gen in
+    let* b = operand_gen in
+    return (Ast.Cmp (op, a, b))
+  in
+  let rec go depth =
+    if depth = 0 then atom
+    else
+      frequency
+        [ 3, atom;
+          1, map2 (fun a b -> Ast.And (a, b)) (go (depth - 1)) (go (depth - 1));
+          1, map2 (fun a b -> Ast.Or (a, b)) (go (depth - 1)) (go (depth - 1));
+          1, map (fun a -> Ast.Not a) (go (depth - 1)) ]
+  in
+  go 2
+
+let select_gen =
+  let open Gen in
+  let* items =
+    frequency
+      [ 1, return [ Ast.Star ];
+        3, list_size (int_range 1 3)
+             (frequency
+                [ 3, map (fun r -> Ast.Column r) column_ref_gen;
+                  1, map (fun a -> Ast.Agg a) agg_gen ]) ]
+  in
+  let* src =
+    frequency
+      [ 3, map (fun n -> Ast.From_table n) ident_gen;
+        1,
+        (let* l = ident_gen in
+         let* r = ident_gen in
+         let* on = cond_gen in
+         return (Ast.From_join (l, r, on))) ]
+  in
+  let* where = option cond_gen in
+  let* group_by = frequency [ 2, return []; 1, list_size (int_range 1 2) column_ref_gen ] in
+  let* having = if group_by = [] then return None else option cond_gen in
+  return { Ast.items; source = src; where; group_by; having }
+
+let query_gen =
+  let open Gen in
+  let rec go depth =
+    if depth = 0 then map (fun s -> Ast.Select s) select_gen
+    else
+      frequency
+        [ 3, map (fun s -> Ast.Select s) select_gen;
+          1, map2 (fun a b -> Ast.Union (a, b)) (go (depth - 1)) (go (depth - 1));
+          1, map2 (fun a b -> Ast.Except (a, b)) (go (depth - 1)) (go (depth - 1));
+          1, map2 (fun a b -> Ast.Intersect (a, b)) (go (depth - 1)) (go (depth - 1)) ]
+  in
+  go 2
+
+let statement_gen =
+  let open Gen in
+  oneof
+    [ (let* name = ident_gen in
+       let* cols = list_size (int_range 1 4) colname_gen in
+       return (Ast.Create_table (name, cols)));
+      map (fun n -> Ast.Drop_table n) ident_gen;
+      (let* table = ident_gen in
+       let* values = list_size (int_range 1 3) literal_gen in
+       let* expires =
+         oneof
+           [ map (fun n -> Ast.At n) (int_range 0 100);
+             return Ast.Never;
+             map (fun n -> Ast.Ttl n) (int_range 1 100) ]
+       in
+       return (Ast.Insert { table; values; expires }));
+      (let* table = ident_gen in
+       let* where = option cond_gen in
+       return (Ast.Delete (table, where)));
+      map (fun n -> Ast.Advance_to n) (int_range 0 100);
+      map (fun n -> Ast.Tick n) (int_range 1 10);
+      return Ast.Vacuum;
+      (let* q = query_gen in
+       let* at = option (int_range 0 100) in
+       let* order_by =
+         list_size (int_range 0 2)
+           (pair column_ref_gen (oneofl [ Ast.Asc; Ast.Desc ]))
+       in
+       let* limit = option (int_range 0 20) in
+       return (Ast.Query { q; at; order_by; limit }));
+      (let* name = ident_gen in
+       let* q = query_gen in
+       let* maintained = bool in
+       return (Ast.Create_view { name; query = q; maintained }));
+      map (fun n -> Ast.Show_view n) ident_gen;
+      (let* name = ident_gen in
+       let* table = oneof [ ident_gen; return "*" ] in
+       return (Ast.Create_trigger { name; table }));
+      map (fun n -> Ast.Drop_trigger n) ident_gen;
+      return Ast.Show_triggers;
+      map (fun n -> Ast.Refresh_view n) ident_gen;
+      return Ast.Show_tables;
+      return Ast.Show_views;
+      return Ast.Show_time;
+      (let* name = ident_gen in
+       let* q = query_gen in
+       let* bounds =
+         oneof
+           [ map (fun n -> Some n, None) (int_range 1 9);
+             map (fun n -> None, Some n) (int_range 1 9);
+             map2 (fun a b -> Some a, Some b) (int_range 1 9) (int_range 1 9) ]
+       in
+       let min_rows, max_rows = bounds in
+       return (Ast.Create_constraint { name; query = q; min_rows; max_rows }));
+      map (fun n -> Ast.Drop_constraint n) ident_gen;
+      return Ast.Show_constraints;
+      map (fun q -> Ast.Explain q) query_gen ]
+
+let prop_statement_roundtrip =
+  Generators.qtest "parse (print statement) = statement" ~count:500 statement_gen
+    (fun statement ->
+      let text = Sql_print.statement statement in
+      match Parser.parse_statement text with
+      | parsed -> parsed = statement
+      | exception Parser.Error (msg, off) ->
+        QCheck2.Test.fail_reportf "did not re-parse %S: %s at %d" text msg off)
+
+let prop_query_roundtrip =
+  Generators.qtest "parse (print query) = query" ~count:500 query_gen (fun q ->
+      match Parser.parse_query (Sql_print.query q) with
+      | parsed -> parsed = q
+      | exception Parser.Error _ -> false)
+
+(* --- fuzzing: the parser either parses or raises Parser.Error --- *)
+
+let token_soup_gen =
+  let open Gen in
+  let word =
+    oneof
+      [ oneofl Token.keywords;
+        oneofl [ "("; ")"; ","; ";"; "."; "*"; "="; "<>"; "<"; "<="; ">"; ">=" ];
+        oneofl [ "pol"; "x"; "42"; "-7"; "3.5"; "'str'"; "'"; "%"; "?" ];
+        string_size ~gen:printable (int_range 0 6) ]
+  in
+  map (String.concat " ") (list_size (int_range 0 25) word)
+
+let prop_fuzz_no_crash =
+  Generators.qtest "parser never raises anything but Parser.Error" ~count:1000
+    token_soup_gen (fun text ->
+      match Parser.parse_statement text with
+      | _ -> true
+      | exception Parser.Error _ -> true
+      | exception _ -> false)
+
+let prop_fuzz_script_no_crash =
+  Generators.qtest "script parser never crashes either" ~count:500 token_soup_gen
+    (fun text ->
+      match Parser.parse_script text with
+      | _ -> true
+      | exception Parser.Error _ -> true
+      | exception _ -> false)
+
+let test_examples () =
+  List.iter
+    (fun text ->
+      let statement = Parser.parse_statement text in
+      Alcotest.(check string) text text (Sql_print.statement statement))
+    [ "SELECT uid, deg FROM pol WHERE deg > 30";
+      "SELECT deg, COUNT(*) FROM pol GROUP BY deg HAVING COUNT(*) > 1";
+      "SELECT * FROM pol JOIN el ON pol.uid = el.uid";
+      "SELECT uid FROM pol EXCEPT SELECT uid FROM el";
+      "SELECT uid FROM pol ORDER BY deg DESC LIMIT 3 AT 12";
+      "INSERT INTO pol VALUES (1, 25) EXPIRES 10";
+      "CREATE MAINTAINED VIEW v AS SELECT uid FROM pol";
+      "CREATE TRIGGER audit ON *" ]
+
+let suite =
+  [ Alcotest.test_case "canonical statements print back verbatim" `Quick
+      test_examples;
+    prop_statement_roundtrip;
+    prop_query_roundtrip;
+    prop_fuzz_no_crash;
+    prop_fuzz_script_no_crash ]

@@ -1,0 +1,141 @@
+open Expirel_core
+open Expirel_storage
+open Expirel_workload
+
+let fin = Time.of_int
+
+let setup () =
+  let db = Database.create () in
+  let pol = Database.create_table db ~name:"Pol" ~columns:News.columns in
+  let el = Database.create_table db ~name:"El" ~columns:News.columns in
+  Relation.iter (fun t texp -> Table.insert pol t ~texp) News.figure1_pol;
+  Relation.iter (fun t texp -> Table.insert el t ~texp) News.figure1_el;
+  db
+
+let render = function
+  | Subscription.Row_expired { tuple; at; _ } ->
+    Printf.sprintf "-%s@%s" (Tuple.to_string tuple) (Time.to_string at)
+  | Subscription.Row_appeared { tuple; at; _ } ->
+    Printf.sprintf "+%s@%s" (Tuple.to_string tuple) (Time.to_string at)
+  | Subscription.Refreshed { at; _ } ->
+    Printf.sprintf "refresh@%s" (Time.to_string at)
+
+let difference = Algebra.(diff (project [ 1 ] (base "Pol")) (project [ 1 ] (base "El")))
+let histogram = Algebra.(project [ 2; 3 ] (aggregate [ 2 ] Aggregate.Count (base "Pol")))
+
+let test_difference_timeline () =
+  let db = setup () in
+  let subs = Subscription.create db in
+  let log = ref [] in
+  Subscription.subscribe subs ~name:"d" difference (fun e -> log := render e :: !log);
+  Subscription.advance subs (fin 20);
+  (* The full Figure 3(b-d) life of the difference, as push events. *)
+  Alcotest.(check (list string)) "event timeline"
+    [ "refresh@3"; "+<2>@3";
+      "refresh@5"; "+<1>@5";
+      "-<1>@10"; "-<3>@10";
+      "-<2>@15" ]
+    (List.rev !log);
+  Alcotest.(check int) "empty at 20" 0
+    (Relation.cardinal (Subscription.current subs "d"))
+
+let test_histogram_timeline () =
+  let db = setup () in
+  let subs = Subscription.create db in
+  let log = ref [] in
+  Subscription.subscribe subs ~name:"h" histogram (fun e -> log := render e :: !log);
+  Subscription.advance subs (fin 20);
+  Alcotest.(check (list string)) "count drop pushed at 10"
+    [ "-<25, 2>@10"; "-<35, 1>@10"; "refresh@10"; "+<25, 1>@10"; "-<25, 1>@15" ]
+    (List.rev !log)
+
+let test_monotonic_only_expirations () =
+  let db = setup () in
+  let subs = Subscription.create db in
+  let log = ref [] in
+  Subscription.subscribe subs ~name:"j"
+    Algebra.(join (Predicate.eq_cols 1 3) (base "Pol") (base "El"))
+    (fun e -> log := render e :: !log);
+  Subscription.advance subs (fin 20);
+  Alcotest.(check (list string)) "no refreshes, just expirations"
+    [ "-<2, 25, 2, 85>@3"; "-<1, 25, 1, 75>@5" ]
+    (List.rev !log)
+
+let test_incremental_advances () =
+  (* Advancing in several steps produces the same events as one jump. *)
+  let run steps =
+    let db = setup () in
+    let subs = Subscription.create db in
+    let log = ref [] in
+    Subscription.subscribe subs ~name:"d" difference (fun e -> log := render e :: !log);
+    List.iter (fun tau -> Subscription.advance subs (fin tau)) steps;
+    List.rev !log
+  in
+  Alcotest.(check (list string)) "stepwise = direct"
+    (run [ 20 ]) (run [ 2; 3; 4; 7; 11; 20 ])
+
+let test_management () =
+  let db = setup () in
+  let subs = Subscription.create db in
+  Subscription.subscribe subs ~name:"a" difference (fun _ -> ());
+  Alcotest.check_raises "duplicate name"
+    (Invalid_argument "Subscription.subscribe: a exists") (fun () ->
+      Subscription.subscribe subs ~name:"a" difference (fun _ -> ()));
+  Alcotest.(check (list string)) "names" [ "a" ] (Subscription.names subs);
+  Alcotest.(check bool) "unsubscribe" true (Subscription.unsubscribe subs "a");
+  Alcotest.(check bool) "twice" false (Subscription.unsubscribe subs "a");
+  Alcotest.check_raises "current of unknown" Not_found (fun () ->
+      ignore (Subscription.current subs "a"))
+
+(* Property: after arbitrary advances, [current] equals a fresh
+   evaluation, and event times are nondecreasing. *)
+let prop_current_tracks_truth =
+  Generators.qtest "subscriptions track the fresh evaluation" ~count:150
+    (QCheck2.Gen.pair (Generators.expr_and_env ())
+       (QCheck2.Gen.list_size (QCheck2.Gen.int_range 1 6)
+          (QCheck2.Gen.int_range 0 8)))
+    (fun ((expr, bindings), hops) ->
+      let db = Database.create () in
+      List.iter
+        (fun (name, r) ->
+          let columns =
+            List.init (Relation.arity r) (fun i -> Printf.sprintf "c%d" i)
+          in
+          let tbl = Database.create_table db ~name ~columns in
+          Relation.iter (fun t texp -> Table.insert tbl t ~texp) r)
+        bindings;
+      let subs = Subscription.create db in
+      let last_at = ref Time.zero and ordered = ref true in
+      Subscription.subscribe subs ~name:"w" expr (fun e ->
+          let at =
+            match e with
+            | Subscription.Row_expired { at; _ }
+            | Subscription.Row_appeared { at; _ }
+            | Subscription.Refreshed { at; _ } ->
+              at
+          in
+          if Time.(at < !last_at) then ordered := false;
+          last_at := at);
+      List.for_all
+        (fun hop ->
+          let target = Time.add (Database.now db) (fin hop) in
+          Subscription.advance subs target;
+          let fresh =
+            Eval.relation_at
+              ~env:(fun n -> Option.map (fun tb -> Table.snapshot tb ~tau:target)
+                       (Database.table db n))
+              ~tau:target expr
+          in
+          !ordered
+          && Relation.equal_tuples (Subscription.current subs "w") fresh)
+        hops)
+
+let suite =
+  [ Alcotest.test_case "difference event timeline (Fig 3 as pushes)" `Quick
+      test_difference_timeline;
+    Alcotest.test_case "histogram count-change events" `Quick test_histogram_timeline;
+    Alcotest.test_case "monotonic views only expire" `Quick
+      test_monotonic_only_expirations;
+    Alcotest.test_case "stepwise advances" `Quick test_incremental_advances;
+    Alcotest.test_case "subscribe/unsubscribe" `Quick test_management;
+    prop_current_tracks_truth ]

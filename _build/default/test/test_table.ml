@@ -1,0 +1,87 @@
+open Expirel_core
+open Expirel_storage
+
+let fin = Time.of_int
+let make () = Table.create ~name:"t" ~columns:[ "a"; "b" ] ()
+
+let test_schema () =
+  let t = make () in
+  Alcotest.(check string) "name" "t" (Table.name t);
+  Alcotest.(check int) "arity" 2 (Table.arity t);
+  Alcotest.(check (option int)) "column position" (Some 2) (Table.column_position t "b");
+  Alcotest.(check (option int)) "unknown column" None (Table.column_position t "z");
+  Alcotest.check_raises "empty columns" (Invalid_argument "Table.create: no columns")
+    (fun () -> ignore (Table.create ~name:"x" ~columns:[] ()))
+
+let test_insert_update () =
+  let t = make () in
+  let row = Tuple.ints [ 1; 2 ] in
+  Table.insert t row ~texp:(fin 5);
+  Table.insert t row ~texp:(fin 9);
+  Alcotest.(check int) "set semantics" 1 (Table.physical_count t);
+  Alcotest.(check (option string)) "update overwrites texp" (Some "9")
+    (Option.map Time.to_string (Table.texp_of t row));
+  Alcotest.(check bool) "delete" true (Table.delete t row);
+  Alcotest.(check bool) "delete absent" false (Table.delete t row);
+  Alcotest.(check int) "gone" 0 (Table.physical_count t)
+
+let test_snapshot_and_expiry () =
+  let t = make () in
+  Table.insert t (Tuple.ints [ 1; 1 ]) ~texp:(fin 5);
+  Table.insert t (Tuple.ints [ 2; 2 ]) ~texp:(fin 10);
+  Table.insert t (Tuple.ints [ 3; 3 ]) ~texp:Time.Inf;
+  Alcotest.(check int) "live at 4" 3 (Table.live_count t ~tau:(fin 4));
+  Alcotest.(check int) "live at 5" 2 (Table.live_count t ~tau:(fin 5));
+  (* Lazy invisibility: snapshot hides expired rows even before any
+     physical removal. *)
+  let snap = Table.snapshot t ~tau:(fin 7) in
+  Alcotest.(check int) "snapshot filters" 2 (Relation.cardinal snap);
+  Alcotest.(check int) "physical rows untouched" 3 (Table.physical_count t);
+  (* Eager removal returns the expired rows in time order. *)
+  let expired = Table.expire_upto t (fin 10) in
+  Alcotest.(check (list string)) "expired rows" [ "<1, 1>"; "<2, 2>" ]
+    (List.map (fun (tuple, _) -> Tuple.to_string tuple) expired);
+  Alcotest.(check int) "physically removed" 1 (Table.physical_count t)
+
+let test_update_after_expiry_scheduled () =
+  let t = make () in
+  let row = Tuple.ints [ 1; 1 ] in
+  Table.insert t row ~texp:(fin 3);
+  Table.insert t row ~texp:(fin 20);
+  Alcotest.(check (list string)) "renewed row does not expire early" []
+    (List.map (fun (tuple, _) -> Tuple.to_string tuple) (Table.expire_upto t (fin 10)));
+  Alcotest.(check int) "still there" 1 (Table.physical_count t)
+
+let test_vacuum () =
+  let t = make () in
+  Table.insert t (Tuple.ints [ 1; 1 ]) ~texp:(fin 2);
+  Table.insert t (Tuple.ints [ 2; 2 ]) ~texp:(fin 4);
+  Alcotest.(check int) "vacuum count" 2 (Table.vacuum t ~tau:(fin 9));
+  Alcotest.(check int) "empty" 0 (Table.physical_count t)
+
+let prop_snapshot_equals_reference =
+  Generators.qtest "snapshot = reference exp_tau over inserts" ~count:200
+    (QCheck2.Gen.pair
+       (QCheck2.Gen.list_size (QCheck2.Gen.int_range 0 30)
+          (QCheck2.Gen.pair (Generators.tuple ~arity:2) Generators.texp))
+       Generators.time_finite)
+    (fun (rows, tau) ->
+      let t = make () in
+      let reference =
+        List.fold_left
+          (fun acc (row, texp) ->
+            Table.insert t row ~texp;
+            (* Last write wins, like Table.insert. *)
+            Relation.replace row ~texp acc)
+          (Relation.empty ~arity:2) rows
+      in
+      Relation.equal (Table.snapshot t ~tau) (Relation.exp tau reference))
+
+let suite =
+  [ Alcotest.test_case "schema accessors" `Quick test_schema;
+    Alcotest.test_case "insert is update (set semantics)" `Quick test_insert_update;
+    Alcotest.test_case "snapshots and eager expiry" `Quick test_snapshot_and_expiry;
+    Alcotest.test_case "renewal cancels earlier expiry" `Quick
+      test_update_after_expiry_scheduled;
+    Alcotest.test_case "vacuum" `Quick test_vacuum;
+    prop_snapshot_equals_reference ]

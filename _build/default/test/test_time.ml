@@ -1,0 +1,67 @@
+open Expirel_core
+
+let fin = Time.of_int
+
+let check_time = Alcotest.testable Time.pp Time.equal
+
+let test_order () =
+  Alcotest.(check bool) "0 < 1" true Time.(fin 0 < fin 1);
+  Alcotest.(check bool) "5 < inf" true Time.(fin 5 < Time.Inf);
+  Alcotest.(check bool) "inf <= inf" true Time.(Time.Inf <= Time.Inf);
+  Alcotest.(check bool) "inf > any" true Time.(Time.Inf > fin max_int);
+  Alcotest.(check int) "compare eq" 0 (Time.compare (fin 3) (fin 3));
+  Alcotest.(check bool) "negative allowed" true Time.(fin (-1) < fin 0)
+
+let test_min_max () =
+  Alcotest.check check_time "min" (fin 2) (Time.min (fin 2) (fin 7));
+  Alcotest.check check_time "min inf" (fin 2) (Time.min Time.Inf (fin 2));
+  Alcotest.check check_time "max inf" Time.Inf (Time.max Time.Inf (fin 2));
+  Alcotest.check check_time "min_list empty is inf" Time.Inf (Time.min_list []);
+  Alcotest.check check_time "min_list" (fin 1)
+    (Time.min_list [ fin 3; fin 1; Time.Inf ]);
+  Alcotest.check check_time "max_list" Time.Inf
+    (Time.max_list [ fin 3; Time.Inf; fin 1 ]);
+  Alcotest.check check_time "max_list finite" (fin 9)
+    (Time.max_list [ fin 3; fin 9 ])
+
+let test_arith () =
+  Alcotest.check check_time "succ" (fin 4) (Time.succ (fin 3));
+  Alcotest.check check_time "succ inf" Time.Inf (Time.succ Time.Inf);
+  Alcotest.check check_time "pred" (fin 2) (Time.pred (fin 3));
+  Alcotest.check check_time "add" (fin 8) (Time.add (fin 3) (fin 5));
+  Alcotest.check check_time "add absorbs" Time.Inf (Time.add (fin 3) Time.Inf)
+
+let test_conversions () =
+  Alcotest.(check (option int)) "to_int_opt fin" (Some 7) (Time.to_int_opt (fin 7));
+  Alcotest.(check (option int)) "to_int_opt inf" None (Time.to_int_opt Time.Inf);
+  Alcotest.(check bool) "is_finite" true (Time.is_finite (fin 0));
+  Alcotest.(check bool) "is_infinite" true (Time.is_infinite Time.Inf);
+  Alcotest.(check string) "print fin" "7" (Time.to_string (fin 7));
+  Alcotest.(check string) "print inf" "inf" (Time.to_string Time.Inf)
+
+let pair_gen = QCheck2.Gen.pair Generators.texp Generators.texp
+
+let prop_total_order =
+  Generators.qtest "compare is a total order (antisymmetry)" pair_gen
+    (fun (a, b) ->
+      let c = Time.compare a b and c' = Time.compare b a in
+      (c = 0) = (c' = 0) && (c < 0) = (c' > 0))
+
+let prop_min_max_consistent =
+  Generators.qtest "min and max pick the bounds" pair_gen (fun (a, b) ->
+      Time.(min a b <= max a b)
+      && (Time.equal (Time.min a b) a || Time.equal (Time.min a b) b)
+      && (Time.equal (Time.max a b) a || Time.equal (Time.max a b) b))
+
+let prop_succ_monotone =
+  Generators.qtest "succ is inflationary" Generators.texp (fun t ->
+      Time.(t <= Time.succ t))
+
+let suite =
+  [ Alcotest.test_case "total order with infinity" `Quick test_order;
+    Alcotest.test_case "min/max" `Quick test_min_max;
+    Alcotest.test_case "succ/pred/add" `Quick test_arith;
+    Alcotest.test_case "conversions and printing" `Quick test_conversions;
+    prop_total_order;
+    prop_min_max_consistent;
+    prop_succ_monotone ]

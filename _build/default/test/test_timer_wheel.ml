@@ -1,0 +1,85 @@
+open Expirel_index
+
+let test_basics () =
+  let w = Timer_wheel.create ~start:0 () in
+  Timer_wheel.add w ~at:5 1;
+  Timer_wheel.add w ~at:3 2;
+  Timer_wheel.add w ~at:5 3;
+  Alcotest.(check int) "size" 3 (Timer_wheel.size w);
+  Alcotest.(check (list (pair int int))) "advance to 4" [ 3, 2 ]
+    (Timer_wheel.advance w ~to_:4);
+  Alcotest.(check (list (pair int int))) "advance to 10" [ 5, 1; 5, 3 ]
+    (Timer_wheel.advance w ~to_:10);
+  Alcotest.(check int) "drained" 0 (Timer_wheel.size w);
+  Alcotest.check_raises "backwards rejected"
+    (Invalid_argument "Timer_wheel.advance: moving backwards") (fun () ->
+      ignore (Timer_wheel.advance w ~to_:2))
+
+let test_overdue () =
+  let w = Timer_wheel.create ~start:10 () in
+  Timer_wheel.add w ~at:4 7;
+  Alcotest.(check (list (pair int int))) "overdue delivered on next advance"
+    [ 4, 7 ]
+    (Timer_wheel.advance w ~to_:11)
+
+let test_level_crossing () =
+  (* Entries far beyond level 0 (64 ticks) and level 1 (4096 ticks). *)
+  let w = Timer_wheel.create ~start:0 () in
+  Timer_wheel.add w ~at:100 1;
+  Timer_wheel.add w ~at:5000 2;
+  Timer_wheel.add w ~at:70000 3;
+  Alcotest.(check (list (pair int int))) "nothing early" []
+    (Timer_wheel.advance w ~to_:99);
+  Alcotest.(check (list (pair int int))) "level-1 entry" [ 100, 1 ]
+    (Timer_wheel.advance w ~to_:100);
+  Alcotest.(check (list (pair int int))) "level-2 entry" [ 5000, 2 ]
+    (Timer_wheel.advance w ~to_:6000);
+  Alcotest.(check (list (pair int int))) "level-3 entry" [ 70000, 3 ]
+    (Timer_wheel.advance w ~to_:70000)
+
+let test_overflow () =
+  let w = Timer_wheel.create ~wheel_size:4 ~levels:2 ~start:0 () in
+  (* Horizon is 4^2 = 16 ticks; 100 goes to overflow and must still
+     surface. *)
+  Timer_wheel.add w ~at:100 9;
+  Timer_wheel.add w ~at:3 1;
+  Alcotest.(check (list (pair int int))) "near entry" [ 3, 1 ]
+    (Timer_wheel.advance w ~to_:50);
+  Alcotest.(check (list (pair int int))) "overflow entry" [ 100, 9 ]
+    (Timer_wheel.advance w ~to_:120)
+
+let test_next_expiry () =
+  let w = Timer_wheel.create ~start:0 () in
+  Alcotest.(check (option int)) "empty" None (Timer_wheel.next_expiry w);
+  Timer_wheel.add w ~at:42 1;
+  Timer_wheel.add w ~at:7 2;
+  Alcotest.(check (option int)) "min" (Some 7) (Timer_wheel.next_expiry w)
+
+let schedule_gen =
+  QCheck2.Gen.list_size (QCheck2.Gen.int_range 0 80)
+    (QCheck2.Gen.pair (QCheck2.Gen.int_range 1 9000) (QCheck2.Gen.int_range 0 1000))
+
+let prop_wheel_matches_sort =
+  Generators.qtest "wheel delivers every entry at its time, in order"
+    schedule_gen (fun entries ->
+      let w = Timer_wheel.create ~start:0 () in
+      List.iter (fun (at, id) -> Timer_wheel.add w ~at id) entries;
+      (* Advance in irregular hops. *)
+      let collected = ref [] in
+      let rec hop t =
+        if t < 10000 then begin
+          collected := !collected @ Timer_wheel.advance w ~to_:t;
+          hop (t + 617)
+        end
+      in
+      hop 400;
+      collected := !collected @ Timer_wheel.advance w ~to_:10000;
+      !collected = List.sort compare entries)
+
+let suite =
+  [ Alcotest.test_case "add/advance ordering" `Quick test_basics;
+    Alcotest.test_case "overdue entries" `Quick test_overdue;
+    Alcotest.test_case "crossing wheel levels" `Quick test_level_crossing;
+    Alcotest.test_case "overflow beyond horizon" `Quick test_overflow;
+    Alcotest.test_case "next_expiry" `Quick test_next_expiry;
+    prop_wheel_matches_sort ]

@@ -1,0 +1,111 @@
+open Expirel_core
+open Expirel_storage
+
+let fin = Time.of_int
+
+let sample_records =
+  [ Wal.Create_table { name = "pol"; columns = [ "uid"; "deg" ] };
+    Wal.Create_table { name = "weird name"; columns = [ "a%b"; "c d" ] };
+    Wal.Insert { table = "pol"; tuple = Tuple.ints [ 1; 25 ]; texp = fin 10 };
+    Wal.Insert
+      { table = "pol";
+        tuple =
+          Tuple.of_list
+            [ Value.Str "spaces and %percent\nnewline";
+              Value.Float 3.25;
+              Value.Bool true;
+              Value.Null ];
+        texp = Time.Inf
+      };
+    Wal.Delete { table = "pol"; tuple = Tuple.ints [ 1; 25 ] };
+    Wal.Advance (fin 42);
+    Wal.Drop_table "pol" ]
+
+let test_roundtrip () =
+  List.iter
+    (fun record ->
+      let line = Wal.encode record in
+      Alcotest.(check bool) "single line" false (String.contains line '\n');
+      match Wal.decode line with
+      | Ok decoded ->
+        Alcotest.(check string) "re-encoding stable" line (Wal.encode decoded)
+      | Error msg -> Alcotest.failf "decode failed on %S: %s" line msg)
+    sample_records
+
+let test_decode_errors () =
+  List.iter
+    (fun line ->
+      match Wal.decode line with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "expected decode error for %S" line)
+    [ ""; "nonsense"; "insert pol"; "insert pol notatime i1"; "advance x";
+      "insert pol 5 q1"; "create pol"; "insert pol 5 i1 %Z" ]
+
+let with_temp_log f =
+  let dir = Filename.temp_dir "expirel" "wal" in
+  let path = Filename.concat dir "test.log" in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists path then Sys.remove path;
+      Sys.rmdir dir)
+    (fun () -> f path)
+
+let test_write_replay () =
+  with_temp_log (fun path ->
+      let w = Wal.Writer.append_to path in
+      List.iter (Wal.Writer.write w) sample_records;
+      Wal.Writer.close w;
+      let replayed = ref [] in
+      let count = Wal.replay path ~f:(fun r -> replayed := r :: !replayed) in
+      Alcotest.(check int) "all records" (List.length sample_records) count;
+      Alcotest.(check (list string)) "in order, identical"
+        (List.map Wal.encode sample_records)
+        (List.map Wal.encode (List.rev !replayed)))
+
+let test_torn_tail () =
+  with_temp_log (fun path ->
+      let w = Wal.Writer.append_to path in
+      List.iter (Wal.Writer.write w) sample_records;
+      Wal.Writer.close w;
+      (* Simulate a crash mid-append. *)
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc "insert pol 9 i1 i2 TRUNC";
+      close_out oc;
+      let count = Wal.replay path ~f:(fun _ -> ()) in
+      Alcotest.(check int) "clean prefix only" (List.length sample_records) count)
+
+let test_missing_file () =
+  Alcotest.(check int) "missing file is empty" 0
+    (Wal.replay "/nonexistent/path/wal.log" ~f:(fun _ -> ()))
+
+let record_gen =
+  let open QCheck2.Gen in
+  let name = map (String.map (fun c -> c)) (string_size ~gen:printable (int_range 1 8)) in
+  oneof
+    [ (let* n = name in
+       let* cols = list_size (int_range 1 3) name in
+       return (Wal.Create_table { name = n; columns = cols }));
+      (let* n = name in
+       let* t = Generators.tuple ~arity:2 in
+       let* e = Generators.texp in
+       return (Wal.Insert { table = n; tuple = t; texp = e }));
+      (let* n = name in
+       let* t = Generators.tuple ~arity:2 in
+       return (Wal.Delete { table = n; tuple = t }));
+      map (fun n -> Wal.Advance (Time.of_int n)) (int_range 0 1000);
+      map (fun n -> Wal.Drop_table n) name ]
+
+let prop_roundtrip =
+  Generators.qtest "encode/decode round-trips arbitrary records" ~count:300
+    record_gen (fun record ->
+      match Wal.decode (Wal.encode record) with
+      | Ok decoded -> Wal.encode decoded = Wal.encode record
+      | Error _ -> false)
+
+let suite =
+  [ Alcotest.test_case "round-trips (escaping included)" `Quick test_roundtrip;
+    Alcotest.test_case "malformed lines rejected" `Quick test_decode_errors;
+    Alcotest.test_case "write then replay" `Quick test_write_replay;
+    Alcotest.test_case "torn tail tolerated" `Quick test_torn_tail;
+    Alcotest.test_case "missing log file" `Quick test_missing_file;
+    prop_roundtrip ]

@@ -1,0 +1,180 @@
+open Expirel_core
+open Expirel_workload
+
+let rng seed = Random.State.make [| seed |]
+
+let test_figure1_data () =
+  Alcotest.(check int) "Pol rows" 3 (Relation.cardinal News.figure1_pol);
+  Alcotest.(check int) "El rows" 3 (Relation.cardinal News.figure1_el);
+  Alcotest.(check bool) "Pol <2,25>@15" true
+    (Time.equal (Relation.texp News.figure1_pol (Tuple.ints [ 2; 25 ])) (Time.of_int 15));
+  Alcotest.(check bool) "env resolves" true (News.figure1_env "Pol" <> None)
+
+let test_ttl_distributions () =
+  let r = rng 1 in
+  for _ = 1 to 200 do
+    (match Gen.sample_ttl r (Gen.Constant_ttl 7) with
+     | Time.Fin 7 -> ()
+     | t -> Alcotest.failf "constant ttl gave %s" (Time.to_string t));
+    (match Gen.sample_ttl r (Gen.Uniform_ttl (2, 9)) with
+     | Time.Fin d when 2 <= d && d <= 9 -> ()
+     | t -> Alcotest.failf "uniform ttl out of range: %s" (Time.to_string t));
+    (match Gen.sample_ttl r (Gen.Geometric_ttl 0.3) with
+     | Time.Fin d when d >= 1 -> ()
+     | t -> Alcotest.failf "geometric ttl bad: %s" (Time.to_string t))
+  done;
+  let immortals = ref 0 in
+  for _ = 1 to 1000 do
+    match Gen.sample_ttl r (Gen.Immortal_share (0.5, Gen.Constant_ttl 1)) with
+    | Time.Inf -> incr immortals
+    | Time.Fin _ -> ()
+  done;
+  Alcotest.(check bool) "immortal share near half" true
+    (!immortals > 350 && !immortals < 650);
+  Alcotest.check_raises "bad uniform bounds"
+    (Invalid_argument "Gen.sample_ttl: bad Uniform_ttl bounds") (fun () ->
+      ignore (Gen.sample_ttl r (Gen.Uniform_ttl (5, 2))))
+
+let test_value_distributions () =
+  let r = rng 2 in
+  for _ = 1 to 200 do
+    (match Gen.sample_value r (Gen.Uniform_value 10) with
+     | Value.Int v when 0 <= v && v < 10 -> ()
+     | v -> Alcotest.failf "uniform value bad: %s" (Value.to_string v));
+    match Gen.sample_value r (Gen.Zipf_value (10, 1.2)) with
+    | Value.Int v when 0 <= v && v < 10 -> ()
+    | v -> Alcotest.failf "zipf value bad: %s" (Value.to_string v)
+  done;
+  (* Zipf skew: rank 0 should dominate. *)
+  let counts = Array.make 10 0 in
+  for _ = 1 to 2000 do
+    match Gen.sample_value r (Gen.Zipf_value (10, 1.5)) with
+    | Value.Int v -> counts.(v) <- counts.(v) + 1
+    | _ -> ()
+  done;
+  Alcotest.(check bool) "rank 0 most frequent" true
+    (Array.for_all (fun c -> c <= counts.(0)) counts)
+
+let test_relation_generator () =
+  let r =
+    Gen.relation ~rng:(rng 3) ~arity:2 ~cardinality:50
+      ~values:(Gen.Uniform_value 100) ~ttl:(Gen.Uniform_ttl (1, 20)) ~now:(Time.of_int 5)
+  in
+  Alcotest.(check int) "arity" 2 (Relation.arity r);
+  Alcotest.(check bool) "cardinality reached" true (Relation.cardinal r = 50);
+  Relation.iter
+    (fun _ texp ->
+      match texp with
+      | Time.Fin e ->
+        if e < 6 || e > 25 then Alcotest.failf "texp %d outside now+ttl range" e
+      | Time.Inf -> Alcotest.fail "unexpected immortal")
+    r
+
+let test_determinism () =
+  let make seed =
+    Gen.relation ~rng:(rng seed) ~arity:2 ~cardinality:30
+      ~values:(Gen.Uniform_value 50) ~ttl:(Gen.Uniform_ttl (1, 9)) ~now:Time.zero
+  in
+  Alcotest.(check bool) "same seed, same relation" true
+    (Relation.equal (make 7) (make 7));
+  Alcotest.(check bool) "different seed differs" false
+    (Relation.equal (make 7) (make 8))
+
+let test_overlapping_pair () =
+  let a, b =
+    Gen.overlapping_pair ~rng:(rng 4) ~arity:2 ~cardinality:60 ~overlap:0.5
+      ~values:(Gen.Uniform_value 1000) ~ttl:(Gen.Uniform_ttl (1, 9)) ~now:Time.zero
+  in
+  let shared = Relation.fold (fun t _ n -> if Relation.mem t b then n + 1 else n) a 0 in
+  Alcotest.(check bool) "overlap near half" true (shared >= 20 && shared <= 40);
+  Alcotest.(check bool) "sizes comparable" true
+    (abs (Relation.cardinal a - Relation.cardinal b) < 20)
+
+let test_news_profiles () =
+  let core, niche =
+    News.two_topics ~rng:(rng 5) ~users:200 ~core_ttl:(Gen.Uniform_ttl (50, 100))
+      ~niche_ttl:(Gen.Uniform_ttl (2, 10)) ~now:Time.zero
+  in
+  Alcotest.(check bool) "core covers more users" true
+    (Relation.cardinal core > Relation.cardinal niche);
+  Relation.iter
+    (fun t _ ->
+      match Tuple.attr t 2 with
+      | Value.Int d when d >= 25 && d <= 100 -> ()
+      | v -> Alcotest.failf "degree out of range: %s" (Value.to_string v))
+    core
+
+let test_sessions () =
+  let events =
+    Sessions.timeline ~rng:(rng 6) ~users:20 ~logins:30 ~horizon:100
+      ~activity_rate:2.0
+  in
+  Alcotest.(check bool) "has follow-up activity" true
+    (List.exists (function Sessions.Activity _ -> true | Sessions.Login _ -> false) events);
+  let sorted = List.for_all2 (fun a b -> Sessions.event_time a <= Sessions.event_time b)
+      (List.filteri (fun i _ -> i < List.length events - 1) events)
+      (List.tl events)
+  in
+  Alcotest.(check bool) "sorted by time" true sorted;
+  (* Renewal semantics: applying events pushes expiration past the last
+     activity. *)
+  let r = ref (Relation.empty ~arity:2) in
+  List.iter
+    (Sessions.apply_event ~timeout:10 ~insert:(fun t ~texp -> r := Relation.replace t ~texp !r))
+    events;
+  Relation.iter
+    (fun _ texp -> if Time.(texp < Time.of_int 10) then Alcotest.fail "texp < timeout")
+    !r
+
+let test_sensors () =
+  let samples = Sensors.stream ~rng:(rng 7) ~sensors:5 ~period:10 ~horizon:50 ~jitter:2 in
+  Alcotest.(check int) "5 sensors x 5 periods" 25 (List.length samples);
+  List.iter
+    (fun s ->
+      if s.Sensors.at < 0 || s.Sensors.at >= 50 then Alcotest.fail "sample outside horizon";
+      match Sensors.texp_of ~period:10 ~jitter:2 s with
+      | Time.Fin e ->
+        if e <> s.Sensors.at + 12 then Alcotest.fail "texp formula"
+      | Time.Inf -> Alcotest.fail "finite texp expected")
+    samples
+
+let test_web () =
+  let pages = Web.pages ~rng:(rng 8) ~count:30 ~period_range:(5, 60) ~horizon:200 in
+  Alcotest.(check int) "page count" 30 (List.length pages);
+  List.iter
+    (fun p ->
+      let sorted = List.sort Int.compare p.Web.change_times in
+      Alcotest.(check (list int)) "change times ascending" sorted p.Web.change_times;
+      List.iter
+        (fun c -> if c < 0 || c >= 200 then Alcotest.fail "change outside horizon")
+        p.Web.change_times)
+    pages;
+  (* TTL policies. *)
+  let p = List.hd pages in
+  Alcotest.(check int) "fixed ttl" 7 (Web.ttl_for (Web.Fixed_ttl 7) p);
+  Alcotest.(check int) "proportional floor at 1" 1
+    (Web.ttl_for (Web.Proportional_ttl 0.001) p);
+  Alcotest.check_raises "bad alpha" (Invalid_argument "Web.ttl_for: non-positive alpha")
+    (fun () -> ignore (Web.ttl_for (Web.Proportional_ttl 0.) p));
+  (* Simulation invariants. *)
+  let r1 = Web.simulate ~pages ~horizon:200 ~policy:(Web.Fixed_ttl 1) in
+  Alcotest.(check int) "ttl 1 refetches every access" r1.Web.accesses r1.Web.fetches;
+  Alcotest.(check int) "ttl 1 never stale" 0 r1.Web.stale_serves;
+  let r20 = Web.simulate ~pages ~horizon:200 ~policy:(Web.Fixed_ttl 20) in
+  Alcotest.(check bool) "longer ttl fetches less" true (r20.Web.fetches < r1.Web.fetches);
+  Alcotest.(check bool) "and serves staler" true
+    (r20.Web.stale_serves >= r1.Web.stale_serves);
+  Alcotest.(check int) "accesses = pages x horizon" (30 * 200) r20.Web.accesses
+
+let suite =
+  [ Alcotest.test_case "Figure 1 constants" `Quick test_figure1_data;
+    Alcotest.test_case "web cache workload" `Quick test_web;
+    Alcotest.test_case "TTL distributions" `Quick test_ttl_distributions;
+    Alcotest.test_case "value distributions (uniform, zipf)" `Quick
+      test_value_distributions;
+    Alcotest.test_case "relation generator" `Quick test_relation_generator;
+    Alcotest.test_case "seeded determinism" `Quick test_determinism;
+    Alcotest.test_case "overlapping pairs" `Quick test_overlapping_pair;
+    Alcotest.test_case "news profiles" `Quick test_news_profiles;
+    Alcotest.test_case "session timelines" `Quick test_sessions;
+    Alcotest.test_case "sensor streams" `Quick test_sensors ]
