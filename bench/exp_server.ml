@@ -1,0 +1,122 @@
+(* The networked-server experiment: throughput and latency of the wire
+   protocol under N concurrent clients over localhost TCP, with a live
+   subscription streaming expiration events, and a STATS reconciliation
+   against client-side counts — the paper's loosely-coupled setting
+   (Section 1) running on real sockets rather than the lib/dist/
+   simulation. *)
+
+open Expirel_server
+
+let clients = 32
+let requests_per_client = 100
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(min (n - 1) (int_of_float (float_of_int n *. p)))
+
+let run_all () =
+  print_endline "== server: wire-protocol throughput under concurrent clients ==";
+  flush stdout;
+  let config =
+    { Server.default_config with max_connections = clients + 8 }
+  in
+  let server = Server.create ~config () in
+  Server.start server;
+  let port = Server.port server in
+
+  let admin = Client.connect ~host:"127.0.0.1" ~port () in
+  (match Client.exec_ok admin "CREATE TABLE sessions (sid, uid)" with
+   | Ok () -> ()
+   | Error e -> failwith e);
+
+  let errors = Array.make clients 0 in
+  let latencies = Array.make clients [] in
+  let started = Unix.gettimeofday () in
+  let threads =
+    List.init clients (fun c ->
+        Thread.create
+          (fun () ->
+            let client = Client.connect ~host:"127.0.0.1" ~port () in
+            for i = 1 to requests_per_client do
+              let sql =
+                if i mod 4 = 0 then "SELECT sid, uid FROM sessions WHERE uid < 8"
+                else
+                  Printf.sprintf
+                    "INSERT INTO sessions VALUES (%d, %d) EXPIRES %d"
+                    ((c * requests_per_client) + i)
+                    (i mod 16)
+                    (1000 + i)
+              in
+              let t0 = Unix.gettimeofday () in
+              (match Client.exec client sql with
+               | Ok (Wire.Err _) | Error _ -> errors.(c) <- errors.(c) + 1
+               | Ok _ -> ());
+              latencies.(c) <- (Unix.gettimeofday () -. t0) :: latencies.(c)
+            done;
+            Client.close client)
+          ())
+  in
+  List.iter Thread.join threads;
+  let elapsed = Unix.gettimeofday () -. started in
+
+  (* Watch the loaded table, then expire the short-lived sessions: the
+     subscriber's Row_expired events arrive, in logical-time order,
+     before the ADVANCE is acknowledged. *)
+  (match
+     Client.subscribe admin ~name:"watch"
+       ~query:"SELECT sid FROM sessions WHERE uid < 4"
+   with
+   | Ok () -> ()
+   | Error e -> failwith e);
+  (match Client.exec_ok admin "ADVANCE TO 1050" with
+   | Ok () -> ()
+   | Error e -> failwith e);
+  let pushed = Client.events admin in
+  let ats =
+    List.filter_map
+      (function
+        | Expirel_server.Wire.Row_expired { at; _ } -> Some at
+        | _ -> None)
+      pushed
+  in
+  if ats <> List.sort Expirel_core.Time.compare ats then
+    failwith "push events arrived out of logical-time order";
+  let events = List.length pushed in
+
+  let all =
+    Array.of_list (List.concat (Array.to_list latencies)) in
+  Array.sort compare all;
+  let total_requests = clients * requests_per_client in
+  let total_errors = Array.fold_left ( + ) 0 errors in
+  Printf.printf
+    "%d clients x %d requests: %.2fs, %.0f req/s, %d error(s)\n"
+    clients requests_per_client elapsed
+    (float_of_int total_requests /. elapsed)
+    total_errors;
+  Printf.printf "latency: p50 %.0fus  p95 %.0fus  p99 %.0fus  max %.0fus\n"
+    (percentile all 0.50 *. 1e6)
+    (percentile all 0.95 *. 1e6)
+    (percentile all 0.99 *. 1e6)
+    (percentile all 1.0 *. 1e6);
+  Printf.printf "subscription events after ADVANCE: %d\n" events;
+
+  (* STATS must reconcile with what the clients counted. *)
+  (match Client.stats admin with
+   | Error e -> failwith e
+   | Ok s ->
+     (* admin issued create + subscribe + advance + this stats request
+        (counted on arrival, before the response is built). *)
+     let expected_min = total_requests + 4 in
+     Printf.printf
+       "server STATS: %d requests (>= %d expected), %d events pushed, %d \
+        tuples expired, %d bytes in, %d bytes out\n"
+       s.Wire.requests_total expected_min s.Wire.events_pushed
+       s.Wire.tuples_expired s.Wire.bytes_in s.Wire.bytes_out;
+     if s.Wire.requests_total < expected_min then
+       failwith "STATS requests_total below client-side count";
+     if s.Wire.events_pushed <> events then
+       failwith "STATS events_pushed does not match client-side event count");
+  Client.close admin;
+  Server.stop server;
+  print_newline ()

@@ -26,6 +26,7 @@ let experiments =
     "access", "secondary indexes on expiring tables", Exp_access.run_all;
     "qos", "static validity guarantees", Exp_qos.run_all;
     "ttl", "choosing expiration times for caches", Exp_ttl.run_all;
+    "server", "wire-protocol server under concurrent clients", Exp_server.run_all;
     "micro", "Bechamel micro-benchmarks", Bechamel_suite.run ]
 
 let usage () =

@@ -1,14 +1,18 @@
 (* expirel: an interactive shell (and script runner) for the
-   expiration-time-enabled database.
+   expiration-time-enabled database, plus its network server and
+   client.
 
    Usage:
      expirel_cli                 # REPL on stdin
      expirel_cli -e "SELECT ..." # run one script string
      expirel_cli -f script.sqlx  # run a script file
      expirel_cli --lazy          # lazy removal policy (Section 3.2)
-     expirel_cli --index wheel   # expiration-index backend *)
+     expirel_cli --index wheel   # expiration-index backend
+     expirel_cli serve           # TCP server on the wire protocol
+     expirel_cli connect         # remote REPL against a server *)
 
 open Expirel_sqlx
+open Expirel_server
 
 let print_result = function
   | Ok outcome -> print_endline (Interp.render outcome)
@@ -46,19 +50,20 @@ let repl t =
   in
   loop ()
 
+let parse_policy lazy_ =
+  if lazy_ then Expirel_storage.Database.Lazy else Expirel_storage.Database.Eager
+
+let parse_backend = function
+  | "scan" -> `Scan
+  | "wheel" -> `Wheel
+  | "heap" -> `Heap
+  | other ->
+    Printf.eprintf "unknown index backend %S (scan|heap|wheel)\n" other;
+    exit 2
+
 let main policy backend script file =
-  let policy =
-    if policy then Expirel_storage.Database.Lazy else Expirel_storage.Database.Eager
-  in
-  let backend =
-    match backend with
-    | "scan" -> `Scan
-    | "wheel" -> `Wheel
-    | "heap" -> `Heap
-    | other ->
-      Printf.eprintf "unknown index backend %S (scan|heap|wheel)\n" other;
-      exit 2
-  in
+  let policy = parse_policy policy in
+  let backend = parse_backend backend in
   let t = Interp.create ~policy ~backend () in
   match script, file with
   | Some text, _ -> run_script t text
@@ -69,6 +74,145 @@ let main policy backend script file =
     close_in ic;
     run_script t text
   | None, None -> repl t
+
+(* ---------- serve: the networked database ---------- *)
+
+let serve policy backend host port max_conns timeout =
+  let config =
+    { Server.host;
+      port;
+      max_connections = max_conns;
+      request_timeout = timeout;
+      policy = parse_policy policy;
+      backend = parse_backend backend
+    }
+  in
+  let server = Server.create ~config () in
+  Server.start server;
+  Printf.printf "expirel_server listening on %s:%d (%d connection(s) max)\n%!"
+    host (Server.port server) max_conns;
+  Server.wait server
+
+(* ---------- connect: a remote REPL over the wire protocol ---------- *)
+
+let print_events client =
+  List.iter
+    (fun e -> print_endline (Wire.render_response (Wire.Event e)))
+    (Client.events client)
+
+let send_statement client text =
+  let text = String.trim text in
+  if text <> "" then begin
+    (match String.uppercase_ascii text with
+     | "STATS" ->
+       (match Client.stats client with
+        | Ok s -> print_endline (Wire.render_response (Wire.Stats_reply s))
+        | Error e -> Printf.printf "error: %s\n" e)
+     | "PING" ->
+       (match Client.ping client with
+        | Ok () -> print_endline "pong"
+        | Error e -> Printf.printf "error: %s\n" e)
+     | _ ->
+       (match Client.exec client text with
+        | Ok response -> print_endline (Wire.render_response response)
+        | Error e -> Printf.printf "error: %s\n" e));
+    print_events client
+  end
+
+let send_script client text =
+  String.split_on_char ';' text |> List.iter (send_statement client)
+
+let remote_banner host port =
+  Printf.sprintf
+    "connected to expirel_server at %s:%d\n\
+     statements end with ';'.  Also: SUBSCRIBE name AS SELECT ...;\n\
+    \  UNSUBSCRIBE name;  STATS;  PING;  ^D to quit." host port
+
+let remote_repl client host port =
+  print_endline (remote_banner host port);
+  let buffer = Buffer.create 256 in
+  let rec loop () =
+    if Buffer.length buffer = 0 then print_string "expirel@remote> "
+    else print_string "..............> ";
+    flush stdout;
+    (* Surface any events pushed while we were idle. *)
+    List.iter
+      (fun e -> print_endline (Wire.render_response (Wire.Event e)))
+      (Client.poll_events client ~timeout:0.01);
+    match input_line stdin with
+    | exception End_of_file -> print_newline ()
+    | line ->
+      Buffer.add_string buffer line;
+      Buffer.add_char buffer '\n';
+      if String.contains line ';' then begin
+        let text = Buffer.contents buffer in
+        Buffer.clear buffer;
+        (* SUBSCRIBE / UNSUBSCRIBE are wire commands, not sqlx. *)
+        String.split_on_char ';' text
+        |> List.iter (fun stmt ->
+               let trimmed = String.trim stmt in
+               let upper = String.uppercase_ascii trimmed in
+               let starts p =
+                 String.length upper >= String.length p
+                 && String.sub upper 0 (String.length p) = p
+               in
+               if starts "SUBSCRIBE " then begin
+                 match
+                   (* SUBSCRIBE <name> AS <query> *)
+                   let rest =
+                     String.sub trimmed 10 (String.length trimmed - 10)
+                   in
+                   let rest = String.trim rest in
+                   (match String.index_opt rest ' ' with
+                    | None -> None
+                    | Some i ->
+                      let name = String.sub rest 0 i in
+                      let tail =
+                        String.trim (String.sub rest i (String.length rest - i))
+                      in
+                      let tail_up = String.uppercase_ascii tail in
+                      if
+                        String.length tail_up >= 3
+                        && String.sub tail_up 0 3 = "AS "
+                      then Some (name, String.sub tail 3 (String.length tail - 3))
+                      else None)
+                 with
+                 | None ->
+                   print_endline "usage: SUBSCRIBE <name> AS SELECT ...;"
+                 | Some (name, query) ->
+                   (match Client.subscribe client ~name ~query with
+                    | Ok () -> Printf.printf "subscribed %s\n" name
+                    | Error e -> Printf.printf "error: %s\n" e)
+               end
+               else if starts "UNSUBSCRIBE " then begin
+                 let name =
+                   String.trim
+                     (String.sub trimmed 12 (String.length trimmed - 12))
+                 in
+                 match Client.unsubscribe client name with
+                 | Ok () -> Printf.printf "unsubscribed %s\n" name
+                 | Error e -> Printf.printf "error: %s\n" e
+               end
+               else send_statement client stmt)
+      end;
+      loop ()
+  in
+  loop ()
+
+let connect_main host port script =
+  let client =
+    try Client.connect ~host ~port ()
+    with Unix.Unix_error (err, _, _) ->
+      Printf.eprintf "error: cannot connect to %s:%d: %s\n" host port
+        (Unix.error_message err);
+      exit 1
+  in
+  Fun.protect
+    ~finally:(fun () -> Client.close client)
+    (fun () ->
+      match script with
+      | Some text -> send_script client text
+      | None -> remote_repl client host port)
 
 open Cmdliner
 
@@ -88,10 +232,43 @@ let file_arg =
   Arg.(value & opt (some string) None
        & info [ "f" ] ~docv:"FILE" ~doc:"Execute the statements in FILE and exit.")
 
+let host_arg =
+  Arg.(value & opt string "127.0.0.1"
+       & info [ "host" ] ~docv:"HOST" ~doc:"Address to bind / connect to.")
+
+let port_arg ~default =
+  Arg.(value & opt int default
+       & info [ "port" ] ~docv:"PORT"
+           ~doc:"TCP port (0 picks an ephemeral one when serving).")
+
+let max_conns_arg =
+  Arg.(value & opt int 64
+       & info [ "max-connections" ] ~docv:"N"
+           ~doc:"Concurrent connection cap; excess clients are refused.")
+
+let timeout_arg =
+  Arg.(value & opt float 5.0
+       & info [ "request-timeout" ] ~docv:"SECONDS"
+           ~doc:"Per-request deadline for acquiring the database lock.")
+
+let serve_cmd =
+  let doc = "run the expirel TCP server (framed wire protocol)" in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(const serve $ lazy_flag $ backend_arg $ host_arg
+          $ port_arg ~default:Expirel_server.Client.default_port
+          $ max_conns_arg $ timeout_arg)
+
+let connect_cmd =
+  let doc = "connect to a running expirel server (remote REPL)" in
+  Cmd.v
+    (Cmd.info "connect" ~doc)
+    Term.(const connect_main $ host_arg
+          $ port_arg ~default:Expirel_server.Client.default_port $ script_arg)
+
 let cmd =
   let doc = "interactive shell for the expiration-time-enabled database" in
-  Cmd.v
-    (Cmd.info "expirel_cli" ~doc)
-    Term.(const main $ lazy_flag $ backend_arg $ script_arg $ file_arg)
+  let default = Term.(const main $ lazy_flag $ backend_arg $ script_arg $ file_arg) in
+  Cmd.group ~default (Cmd.info "expirel_cli" ~doc) [ serve_cmd; connect_cmd ]
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,140 @@
+let default_port = 7717
+
+type t = {
+  fd : Unix.file_descr;
+  pending : Wire.event Queue.t;
+  mutable closed : bool;
+}
+
+let resolve host =
+  if host = "localhost" then Unix.inet_addr_loopback
+  else
+    match Unix.inet_addr_of_string host with
+    | addr -> addr
+    | exception Failure _ ->
+      (match Unix.gethostbyname host with
+       | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
+         failwith (Printf.sprintf "cannot resolve host %S" host)
+       | { Unix.h_addr_list; _ } -> h_addr_list.(0))
+
+let connect ?(timeout = 10.0) ~host ~port () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.connect fd (Unix.ADDR_INET (resolve host, port));
+     Unix.setsockopt fd Unix.TCP_NODELAY true;
+     Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
+     Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; pending = Queue.create (); closed = false }
+
+let fail_closed = Error "connection closed"
+
+(* Blocks for the next frame; queues events until a direct response
+   arrives. *)
+let rec read_response t =
+  match Frame.recv t.fd with
+  | exception Frame.Closed ->
+    t.closed <- true;
+    fail_closed
+  | exception Frame.Timeout -> Error "receive timeout"
+  | exception Frame.Oversized n ->
+    t.closed <- true;
+    Error (Printf.sprintf "oversized frame (%d bytes): stream desynchronised" n)
+  | payload, _ ->
+    (match Wire.decode_response payload with
+     | Error e ->
+       t.closed <- true;
+       Error e
+     | Ok (Wire.Event event) ->
+       Queue.add event t.pending;
+       read_response t
+     | Ok response -> Ok response)
+
+let request t req =
+  if t.closed then fail_closed
+  else
+    match Frame.send t.fd (Wire.encode_request req) with
+    | (_ : int) -> read_response t
+    | exception (Frame.Closed | Frame.Timeout) ->
+      t.closed <- true;
+      fail_closed
+
+let exec t sql = request t (Wire.Exec sql)
+
+let exec_ok t sql =
+  match exec t sql with
+  | Ok (Wire.Err { message; _ }) -> Error message
+  | Ok _ -> Ok ()
+  | Error _ as e -> e
+
+let subscribe t ~name ~query =
+  match request t (Wire.Subscribe { name; query }) with
+  | Ok (Wire.Ok_msg _) -> Ok ()
+  | Ok (Wire.Err { message; _ }) -> Error message
+  | Ok _ -> Error "unexpected response to SUBSCRIBE"
+  | Error _ as e -> e
+
+let unsubscribe t name =
+  match request t (Wire.Unsubscribe name) with
+  | Ok (Wire.Ok_msg _) -> Ok ()
+  | Ok (Wire.Err { message; _ }) -> Error message
+  | Ok _ -> Error "unexpected response to UNSUBSCRIBE"
+  | Error _ as e -> e
+
+let stats t =
+  match request t Wire.Stats with
+  | Ok (Wire.Stats_reply s) -> Ok s
+  | Ok (Wire.Err { message; _ }) -> Error message
+  | Ok _ -> Error "unexpected response to STATS"
+  | Error _ as e -> e
+
+let ping t =
+  match request t Wire.Ping with
+  | Ok Wire.Pong -> Ok ()
+  | Ok (Wire.Err { message; _ }) -> Error message
+  | Ok _ -> Error "unexpected response to PING"
+  | Error _ as e -> e
+
+let events t =
+  let drained = List.of_seq (Queue.to_seq t.pending) in
+  Queue.clear t.pending;
+  drained
+
+let poll_events t ~timeout =
+  if not t.closed then begin
+    let deadline = Unix.gettimeofday () +. timeout in
+    let rec go () =
+      let remaining = deadline -. Unix.gettimeofday () in
+      if remaining > 0. then begin
+        match Unix.select [ t.fd ] [] [] remaining with
+        | [], _, _ -> ()
+        | _ :: _, _, _ ->
+          (match Frame.recv t.fd with
+           | exception (Frame.Closed | Frame.Oversized _) -> t.closed <- true
+           | exception Frame.Timeout -> ()
+           | payload, _ ->
+             (match Wire.decode_response payload with
+              | Ok (Wire.Event event) ->
+                Queue.add event t.pending;
+                go ()
+              | Ok _ | Error _ ->
+                (* Unsolicited non-event frame: the stream is out of
+                   protocol; stop reading. *)
+                t.closed <- true))
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | exception Unix.Unix_error _ -> t.closed <- true
+      end
+    in
+    go ()
+  end;
+  events t
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    (try ignore (Frame.send t.fd (Wire.encode_request Wire.Quit))
+     with Frame.Closed | Frame.Timeout | Unix.Unix_error _ -> ());
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end

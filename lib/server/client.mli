@@ -1,0 +1,49 @@
+(** A blocking client for the expirel wire protocol.
+
+    One TCP connection; requests are answered in order.  Pushed
+    subscription events may arrive at any frame boundary — the client
+    transparently queues them while waiting for a response; drain the
+    queue with {!events} or wait for fresh ones with {!poll_events}.
+
+    All calls return [Error _] rather than raising on connection and
+    protocol failures; a failed connection stays unusable (reconnect). *)
+
+val default_port : int
+(** 7717 — the CLI default. *)
+
+type t
+
+val connect : ?timeout:float -> host:string -> port:int -> unit -> t
+(** TCP connect ([timeout], default 10 s, bounds each blocking receive).
+    ["localhost"] resolves to the loopback address without a resolver.
+    @raise Unix.Unix_error when the connection is refused *)
+
+val close : t -> unit
+(** Best-effort [Quit] + socket close.  Idempotent. *)
+
+val request : t -> Wire.request -> (Wire.response, string) result
+(** Sends one request and blocks for its (non-event) response. *)
+
+val exec : t -> string -> (Wire.response, string) result
+(** Executes one sqlx statement on the server. *)
+
+val exec_ok : t -> string -> (unit, string) result
+(** Like {!exec} but demands a non-error outcome — convenience for
+    setup scripts; the server's [Err] responses map to [Error]. *)
+
+val subscribe : t -> name:string -> query:string -> (unit, string) result
+(** Registers a continuous query; its events stream onto this
+    connection at the exact logical change times. *)
+
+val unsubscribe : t -> string -> (unit, string) result
+
+val stats : t -> (Wire.stats, string) result
+val ping : t -> (unit, string) result
+
+val events : t -> Wire.event list
+(** Drains the already-received pushed events, oldest first. *)
+
+val poll_events : t -> timeout:float -> Wire.event list
+(** Reads pushed events off the socket until [timeout] seconds pass
+    with nothing arriving, then drains like {!events}.  Only call
+    with no request in flight. *)

@@ -1,0 +1,45 @@
+exception Closed
+exception Timeout
+exception Oversized of int
+
+let rec handling_unix_errors f =
+  try f () with
+  | Unix.Unix_error (Unix.EINTR, _, _) -> handling_unix_errors f
+  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT), _, _) ->
+    raise Timeout
+  | Unix.Unix_error
+      ((Unix.EPIPE | Unix.ECONNRESET | Unix.ENOTCONN | Unix.EBADF), _, _) ->
+    raise Closed
+
+let send fd payload =
+  let data = Wire.frame payload in
+  let len = String.length data in
+  let bytes = Bytes.unsafe_of_string data in
+  let rec go off =
+    if off < len then begin
+      let n = handling_unix_errors (fun () -> Unix.write fd bytes off (len - off)) in
+      if n = 0 then raise Closed;
+      go (off + n)
+    end
+  in
+  go 0;
+  len
+
+let read_exact fd n =
+  let buf = Bytes.create n in
+  let rec go off =
+    if off < n then begin
+      let k = handling_unix_errors (fun () -> Unix.read fd buf off (n - off)) in
+      if k = 0 then raise Closed;
+      go (off + k)
+    end
+  in
+  go 0;
+  Bytes.unsafe_to_string buf
+
+let recv fd =
+  let header = read_exact fd 4 in
+  let byte i = Char.code header.[i] in
+  let len = (byte 0 lsl 24) lor (byte 1 lsl 16) lor (byte 2 lsl 8) lor byte 3 in
+  if len > Wire.max_frame then raise (Oversized len);
+  (read_exact fd len, len + 4)

@@ -1,0 +1,28 @@
+(** Blocking frame IO over Unix sockets: the impure rim around the pure
+    {!Wire} codec.  One frame = 4-byte big-endian payload length +
+    payload. *)
+
+exception Closed
+(** The peer closed the connection (EOF, possibly mid-frame, or a
+    connection-reset class error). *)
+
+exception Timeout
+(** A socket receive/send deadline (SO_RCVTIMEO / SO_SNDTIMEO) expired. *)
+
+exception Oversized of int
+(** The peer announced a payload longer than {!Wire.max_frame}: the
+    stream is desynchronised beyond recovery. *)
+
+val send : Unix.file_descr -> string -> int
+(** [send fd payload] writes the whole frame, looping over partial
+    writes.  Returns the number of bytes put on the wire (payload
+    + 4).
+    @raise Closed on EPIPE / ECONNRESET
+    @raise Timeout when a send deadline is set and expires *)
+
+val recv : Unix.file_descr -> string * int
+(** [recv fd] reads exactly one frame and returns its payload and the
+    number of bytes consumed (payload + 4).
+    @raise Closed on EOF
+    @raise Timeout when a receive deadline is set and expires
+    @raise Oversized on a hostile length prefix *)

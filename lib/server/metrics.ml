@@ -1,0 +1,79 @@
+(* Upper bounds in microseconds; the final max_int bucket catches
+   everything slower. *)
+let bucket_bounds =
+  [| 50; 100; 250; 500; 1_000; 2_500; 5_000; 10_000; 25_000; 50_000;
+     100_000; 250_000; 1_000_000; max_int |]
+
+type t = {
+  mutex : Mutex.t;
+  mutable connections_total : int;
+  mutable connections_active : int;
+  mutable requests_total : int;
+  mutable errors_total : int;
+  mutable bytes_in : int;
+  mutable bytes_out : int;
+  mutable events_pushed : int;
+  mutable tuples_expired : int;
+  latency : int array;
+}
+
+let create () =
+  { mutex = Mutex.create ();
+    connections_total = 0;
+    connections_active = 0;
+    requests_total = 0;
+    errors_total = 0;
+    bytes_in = 0;
+    bytes_out = 0;
+    events_pushed = 0;
+    tuples_expired = 0;
+    latency = Array.make (Array.length bucket_bounds) 0
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  let v = f () in
+  Mutex.unlock t.mutex;
+  v
+
+let connection_opened t =
+  locked t (fun () ->
+      t.connections_total <- t.connections_total + 1;
+      t.connections_active <- t.connections_active + 1)
+
+let connection_closed t =
+  locked t (fun () -> t.connections_active <- t.connections_active - 1)
+
+let incr_requests t = locked t (fun () -> t.requests_total <- t.requests_total + 1)
+let incr_errors t = locked t (fun () -> t.errors_total <- t.errors_total + 1)
+let add_bytes_in t n = locked t (fun () -> t.bytes_in <- t.bytes_in + n)
+let add_bytes_out t n = locked t (fun () -> t.bytes_out <- t.bytes_out + n)
+
+let incr_events_pushed t =
+  locked t (fun () -> t.events_pushed <- t.events_pushed + 1)
+
+let incr_tuples_expired t =
+  locked t (fun () -> t.tuples_expired <- t.tuples_expired + 1)
+
+let observe_latency t ~seconds =
+  let us = int_of_float (seconds *. 1e6) in
+  let rec bucket i =
+    if us <= bucket_bounds.(i) || i = Array.length bucket_bounds - 1 then i
+    else bucket (i + 1)
+  in
+  let i = bucket 0 in
+  locked t (fun () -> t.latency.(i) <- t.latency.(i) + 1)
+
+let snapshot t =
+  locked t (fun () ->
+      { Wire.connections_total = t.connections_total;
+        connections_active = t.connections_active;
+        requests_total = t.requests_total;
+        errors_total = t.errors_total;
+        bytes_in = t.bytes_in;
+        bytes_out = t.bytes_out;
+        events_pushed = t.events_pushed;
+        tuples_expired = t.tuples_expired;
+        latency_buckets =
+          Array.to_list (Array.mapi (fun i n -> (bucket_bounds.(i), n)) t.latency)
+      })

@@ -1,0 +1,25 @@
+(** Thread-safe server metrics, following the counter style of
+    {!Expirel_dist.Metrics} but guarded by a mutex because workers
+    update them concurrently.  A {!snapshot} is exactly the
+    {!Wire.stats} record shipped back by the [STATS] command. *)
+
+type t
+
+val create : unit -> t
+
+val connection_opened : t -> unit
+(** Bumps both the total and the active-connection gauge. *)
+
+val connection_closed : t -> unit
+val incr_requests : t -> unit
+val incr_errors : t -> unit
+val add_bytes_in : t -> int -> unit
+val add_bytes_out : t -> int -> unit
+val incr_events_pushed : t -> unit
+val incr_tuples_expired : t -> unit
+
+val observe_latency : t -> seconds:float -> unit
+(** Adds one request to the latency histogram (fixed log-scale buckets,
+    microsecond bounds). *)
+
+val snapshot : t -> Wire.stats

@@ -1,0 +1,437 @@
+open Expirel_core
+open Expirel_storage
+open Expirel_sqlx
+
+type config = {
+  host : string;
+  port : int;
+  max_connections : int;
+  request_timeout : float;
+  policy : Database.policy;
+  backend : Expirel_index.Expiration_index.backend;
+}
+
+let default_config =
+  { host = "127.0.0.1";
+    port = 0;
+    max_connections = 64;
+    request_timeout = 5.0;
+    policy = Database.Eager;
+    backend = `Heap
+  }
+
+type conn = {
+  id : int;
+  fd : Unix.file_descr;
+  write_mutex : Mutex.t;
+  mutable alive : bool;
+  mutable owned_subs : string list;
+}
+
+type t = {
+  config : config;
+  interp : Interp.t;
+  subs : Subscription.t;
+  lock : Rwlock.t;
+  metrics : Metrics.t;
+  state_mutex : Mutex.t;
+  conns : (int, conn) Hashtbl.t;
+  threads : (int, Thread.t) Hashtbl.t;
+  mutable listen_fd : Unix.file_descr option;
+  mutable bound_port : int option;
+  mutable acceptor : Thread.t option;
+  mutable shutting_down : bool;
+  mutable next_id : int;
+}
+
+let create ?(config = default_config) () =
+  let interp = Interp.create ~policy:config.policy ~backend:config.backend () in
+  let db = Interp.database interp in
+  let metrics = Metrics.create () in
+  (* Every expiration the storage observes — eager advance or lazy
+     vacuum — shows up in STATS. *)
+  Trigger.register (Database.triggers db) ~name:"__server_stats" ~table:"*"
+    (fun _ -> Metrics.incr_tuples_expired metrics);
+  { config;
+    interp;
+    subs = Subscription.create db;
+    lock = Rwlock.create ();
+    metrics;
+    state_mutex = Mutex.create ();
+    conns = Hashtbl.create 16;
+    threads = Hashtbl.create 16;
+    listen_fd = None;
+    bound_port = None;
+    acceptor = None;
+    shutting_down = false;
+    next_id = 0
+  }
+
+let interp t = t.interp
+let lock t = t.lock
+let metrics t = t.metrics
+
+let port t =
+  match t.bound_port with
+  | Some p -> p
+  | None -> invalid_arg "Server.port: not started"
+
+let locked_state t f =
+  Mutex.lock t.state_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.state_mutex) f
+
+(* ---------- responding ---------- *)
+
+(* Responses and pushed events share one outbound stream: the worker
+   thread answers requests while the thread driving an ADVANCE pushes
+   subscription events, so every write serialises on the connection's
+   mutex. *)
+let send_response t conn response =
+  if conn.alive then begin
+    Mutex.lock conn.write_mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock conn.write_mutex)
+      (fun () ->
+        try
+          let n = Frame.send conn.fd (Wire.encode_response response) in
+          Metrics.add_bytes_out t.metrics n
+        with Frame.Closed | Frame.Timeout | Unix.Unix_error _ ->
+          (* A peer that stopped reading loses its stream; never stall
+             the server (an event push runs under the global write
+             lock, bounded by SO_SNDTIMEO). *)
+          conn.alive <- false)
+  end
+
+(* ---------- lock acquisition with a deadline ---------- *)
+
+let acquire t ~write =
+  let try_lock = if write then Rwlock.try_write_lock else Rwlock.try_read_lock in
+  let deadline = Unix.gettimeofday () +. t.config.request_timeout in
+  let rec go () =
+    if try_lock t.lock then true
+    else if Unix.gettimeofday () >= deadline then false
+    else begin
+      Thread.delay 2e-4;
+      go ()
+    end
+  in
+  go ()
+
+let release t ~write =
+  if write then Rwlock.write_unlock t.lock else Rwlock.read_unlock t.lock
+
+(* Statements with no effect on any state may share the lock; everything
+   else — including SHOW VIEW, which refreshes an expired view in place —
+   serialises. *)
+let is_read_only = function
+  | Ast.Query _ | Ast.Show_tables | Ast.Show_views | Ast.Show_time
+  | Ast.Show_triggers | Ast.Show_constraints | Ast.Explain _ -> true
+  | Ast.Create_table _ | Ast.Drop_table _ | Ast.Insert _ | Ast.Delete _
+  | Ast.Advance_to _ | Ast.Tick _ | Ast.Vacuum | Ast.Create_view _
+  | Ast.Show_view _ | Ast.Create_trigger _ | Ast.Drop_trigger _
+  | Ast.Create_constraint _ | Ast.Drop_constraint _ | Ast.Refresh_view _ ->
+    false
+
+(* ---------- request handlers ---------- *)
+
+let response_of_outcome = function
+  | Interp.Msg m -> Wire.Ok_msg m
+  | Interp.Rows { columns; listing; texp_e; recomputed; relation = _ } ->
+    Wire.Rows
+      { columns;
+        rows = List.map (fun (tuple, texp) -> (Tuple.to_list tuple, texp)) listing;
+        texp_e;
+        recomputed
+      }
+
+(* Push the continuous queries' change events before the interpreter
+   moves the clock (which physically removes expired rows under the
+   eager policy): subscribers see every event at its exact logical time,
+   and always before the ADVANCE is acknowledged. *)
+let deliver_subscription_events t stmt =
+  let now = Database.now (Interp.database t.interp) in
+  let target =
+    match stmt with
+    | Ast.Advance_to n -> Some (Time.of_int n)
+    | Ast.Tick n -> Some (Time.add now (Time.of_int n))
+    | _ -> None
+  in
+  match target with
+  | Some target when Time.(target >= now) && Time.is_finite target ->
+    Subscription.deliver_until t.subs target
+  | Some _ | None -> ()
+
+let handle_statement t stmt =
+  let write = not (is_read_only stmt) in
+  if not (acquire t ~write) then
+    Wire.Err
+      { code = Wire.Timeout;
+        message =
+          Printf.sprintf "no lock within %gs" t.config.request_timeout
+      }
+  else
+    Fun.protect
+      ~finally:(fun () -> release t ~write)
+      (fun () ->
+        match
+          deliver_subscription_events t stmt;
+          Interp.exec t.interp stmt
+        with
+        | Ok outcome -> response_of_outcome outcome
+        | Error message -> Wire.Err { code = Wire.Exec_error; message }
+        | exception Errors.Unknown_relation name ->
+          Wire.Err
+            { code = Wire.Exec_error;
+              message = "subscription delivery: unknown relation " ^ name
+            }
+        | exception Invalid_argument message ->
+          Wire.Err { code = Wire.Exec_error; message })
+
+let handle_exec t sql =
+  match Parser.parse_statement sql with
+  | stmt -> handle_statement t stmt
+  | exception Parser.Error (message, off) ->
+    Wire.Err
+      { code = Wire.Parse_error;
+        message = Printf.sprintf "at offset %d: %s" off message
+      }
+
+let strip_statement s =
+  let s = String.trim s in
+  if String.length s > 0 && s.[String.length s - 1] = ';' then
+    String.trim (String.sub s 0 (String.length s - 1))
+  else s
+
+let wire_event = function
+  | Subscription.Row_expired { subscription; tuple; at } ->
+    Wire.Row_expired { subscription; row = Tuple.to_list tuple; at }
+  | Subscription.Row_appeared { subscription; tuple; texp; at } ->
+    Wire.Row_appeared { subscription; row = Tuple.to_list tuple; texp; at }
+  | Subscription.Refreshed { subscription; at } ->
+    Wire.Refreshed { subscription; at }
+
+let handle_subscribe t conn ~name ~query =
+  match Parser.parse_statement (strip_statement query) with
+  | exception Parser.Error (message, off) ->
+    Wire.Err
+      { code = Wire.Parse_error;
+        message = Printf.sprintf "at offset %d: %s" off message
+      }
+  | Ast.Query { q; at = None; _ } ->
+    if not (acquire t ~write:true) then
+      Wire.Err { code = Wire.Timeout; message = "no lock" }
+    else
+      Fun.protect
+        ~finally:(fun () -> release t ~write:true)
+        (fun () ->
+          let db = Interp.database t.interp in
+          let catalog table = Option.map Table.columns (Database.table db table) in
+          match Lower.lower_query ~catalog q with
+          | exception Lower.Error message ->
+            Wire.Err { code = Wire.Exec_error; message }
+          | { Lower.expr; _ } ->
+            (match
+               Subscription.subscribe t.subs ~name expr (fun event ->
+                   send_response t conn (Wire.Event (wire_event event));
+                   Metrics.incr_events_pushed t.metrics)
+             with
+             | () ->
+               conn.owned_subs <- name :: conn.owned_subs;
+               Wire.Ok_msg (Printf.sprintf "subscribed %s" name)
+             | exception Invalid_argument message
+             | exception Failure message ->
+               Wire.Err { code = Wire.Exec_error; message }
+             | exception Errors.Unknown_relation rel ->
+               Wire.Err
+                 { code = Wire.Exec_error;
+                   message = "unknown relation " ^ rel
+                 }
+             | exception Errors.Arity_mismatch message ->
+               Wire.Err { code = Wire.Exec_error; message }))
+  | Ast.Query { at = Some _; _ } ->
+    Wire.Err
+      { code = Wire.Exec_error;
+        message = "SUBSCRIBE takes a plain query (no AT: the stream itself \
+                   walks the future)"
+      }
+  | _ ->
+    Wire.Err
+      { code = Wire.Exec_error; message = "SUBSCRIBE expects a SELECT query" }
+
+let handle_unsubscribe t conn name =
+  if not (List.mem name conn.owned_subs) then
+    Wire.Err
+      { code = Wire.Exec_error;
+        message = Printf.sprintf "subscription %s is not owned by this connection" name
+      }
+  else if not (acquire t ~write:true) then
+    Wire.Err { code = Wire.Timeout; message = "no lock" }
+  else
+    Fun.protect
+      ~finally:(fun () -> release t ~write:true)
+      (fun () ->
+        ignore (Subscription.unsubscribe t.subs name);
+        conn.owned_subs <- List.filter (fun n -> n <> name) conn.owned_subs;
+        Wire.Ok_msg (Printf.sprintf "unsubscribed %s" name))
+
+let handle_request t conn = function
+  | Wire.Exec sql -> handle_exec t sql
+  | Wire.Subscribe { name; query } -> handle_subscribe t conn ~name ~query
+  | Wire.Unsubscribe name -> handle_unsubscribe t conn name
+  | Wire.Stats ->
+    let stats = Metrics.snapshot t.metrics in
+    Wire.Stats_reply stats
+  | Wire.Ping -> Wire.Pong
+  | Wire.Quit -> Wire.Bye
+
+(* ---------- connection lifecycle ---------- *)
+
+let drop_subscriptions t conn =
+  match conn.owned_subs with
+  | [] -> ()
+  | names ->
+    Rwlock.with_write t.lock (fun () ->
+        List.iter (fun name -> ignore (Subscription.unsubscribe t.subs name)) names);
+    conn.owned_subs <- []
+
+let close_conn t conn =
+  drop_subscriptions t conn;
+  conn.alive <- false;
+  (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+  locked_state t (fun () ->
+      Hashtbl.remove t.conns conn.id;
+      Hashtbl.remove t.threads conn.id);
+  Metrics.connection_closed t.metrics
+
+let rec serve_conn t conn =
+  match Frame.recv conn.fd with
+  | exception (Frame.Closed | Frame.Timeout | Unix.Unix_error _) -> ()
+  | exception Frame.Oversized len ->
+    send_response t conn
+      (Wire.Err
+         { code = Wire.Proto_error;
+           message = Printf.sprintf "frame of %d bytes exceeds max %d" len Wire.max_frame
+         });
+    Metrics.incr_errors t.metrics
+  | payload, bytes ->
+    Metrics.add_bytes_in t.metrics bytes;
+    let started = Unix.gettimeofday () in
+    let response, keep_going =
+      match Wire.decode_request payload with
+      | Error message ->
+        (* The stream may be desynchronised: answer, then close. *)
+        (Wire.Err { code = Wire.Proto_error; message }, false)
+      | Ok Wire.Quit -> (Wire.Bye, false)
+      | Ok request -> (handle_request t conn request, true)
+    in
+    Metrics.incr_requests t.metrics;
+    (match response with
+     | Wire.Err _ -> Metrics.incr_errors t.metrics
+     | _ -> ());
+    Metrics.observe_latency t.metrics ~seconds:(Unix.gettimeofday () -. started);
+    send_response t conn response;
+    if keep_going && conn.alive && not t.shutting_down then serve_conn t conn
+
+let worker t conn =
+  (try serve_conn t conn with _ -> ());
+  close_conn t conn
+
+let refuse t fd =
+  let conn =
+    { id = -1; fd; write_mutex = Mutex.create (); alive = true; owned_subs = [] }
+  in
+  send_response t conn
+    (Wire.Err
+       { code = Wire.Overloaded;
+         message =
+           Printf.sprintf "connection cap %d reached" t.config.max_connections
+       });
+  Metrics.incr_errors t.metrics;
+  (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let rec accept_loop t listen_fd =
+  match Unix.accept listen_fd with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop t listen_fd
+  | exception Unix.Unix_error _ -> ()  (* listener closed: shutdown *)
+  | fd, _ ->
+    if t.shutting_down then (try Unix.close fd with Unix.Unix_error _ -> ())
+    else begin
+      (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+      (* Never let a peer that stopped reading block a worker (or an
+         event push holding the write lock) forever. *)
+      (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.config.request_timeout
+       with Unix.Unix_error _ -> ());
+      let accepted =
+        locked_state t (fun () ->
+            if Hashtbl.length t.conns >= t.config.max_connections then None
+            else begin
+              t.next_id <- t.next_id + 1;
+              let conn =
+                { id = t.next_id;
+                  fd;
+                  write_mutex = Mutex.create ();
+                  alive = true;
+                  owned_subs = []
+                }
+              in
+              Hashtbl.replace t.conns conn.id conn;
+              Some conn
+            end)
+      in
+      (match accepted with
+       | None -> refuse t fd
+       | Some conn ->
+         Metrics.connection_opened t.metrics;
+         let thread = Thread.create (fun () -> worker t conn) () in
+         locked_state t (fun () -> Hashtbl.replace t.threads conn.id thread));
+      accept_loop t listen_fd
+    end
+
+let start t =
+  if t.acceptor <> None then invalid_arg "Server.start: already started";
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     let addr = Unix.inet_addr_of_string t.config.host in
+     Unix.bind fd (Unix.ADDR_INET (addr, t.config.port));
+     Unix.listen fd 64
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  (match Unix.getsockname fd with
+   | Unix.ADDR_INET (_, p) -> t.bound_port <- Some p
+   | Unix.ADDR_UNIX _ -> ());
+  t.listen_fd <- Some fd;
+  t.acceptor <- Some (Thread.create (fun () -> accept_loop t fd) ())
+
+let wait t =
+  match t.acceptor with
+  | Some thread -> Thread.join thread
+  | None -> ()
+
+let stop t =
+  t.shutting_down <- true;
+  (match t.listen_fd with
+   | Some fd ->
+     t.listen_fd <- None;
+     (* A plain close does not wake a thread blocked in accept(2);
+        shutting the socket down first does (accept fails with EINVAL). *)
+     (try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ());
+     (try Unix.close fd with Unix.Unix_error _ -> ())
+   | None -> ());
+  (match t.acceptor with
+   | Some thread ->
+     t.acceptor <- None;
+     Thread.join thread
+   | None -> ());
+  (* Wake workers blocked reading the next request; in-flight requests
+     are executing (not blocked in recv) and drain normally. *)
+  let conns = locked_state t (fun () -> Hashtbl.fold (fun _ c acc -> c :: acc) t.conns []) in
+  List.iter
+    (fun conn ->
+      try Unix.shutdown conn.fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+    conns;
+  let threads =
+    locked_state t (fun () -> Hashtbl.fold (fun _ th acc -> th :: acc) t.threads [])
+  in
+  List.iter Thread.join threads

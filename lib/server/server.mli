@@ -1,0 +1,68 @@
+(** The concurrent expirel TCP server: the paper's loosely-coupled
+    setting (Section 1) realised as an actual networked database rather
+    than the simulation in [lib/dist/].
+
+    One acceptor thread hands each connection to a dedicated worker
+    thread, up to a configurable cap (excess connections are refused
+    with an [Overloaded] error).  The shared database is guarded by a
+    writer-preferring {!Expirel_storage.Rwlock}: queries and other
+    read-only statements run concurrently, while [INSERT] / [DELETE] /
+    [ADVANCE] and friends serialise.  Requests that cannot acquire the
+    lock within the per-request timeout are answered with a [Timeout]
+    error instead of stalling the connection.
+
+    [SUBSCRIBE] registers a {!Expirel_storage.Subscription} continuous
+    query; whenever any connection advances the logical clock, the
+    change events — [Row_expired] / [Row_appeared] / [Refreshed] at the
+    {e exact} logical times — are pushed to the subscribing connections
+    before the advance is acknowledged, so a subscriber can never
+    observe an acknowledged clock ahead of its own event stream.
+
+    {!stop} is graceful: the listener closes first, in-flight requests
+    run to completion and get their responses, then workers are joined. *)
+
+open Expirel_storage
+open Expirel_sqlx
+
+type config = {
+  host : string;  (** address to bind, default ["127.0.0.1"] *)
+  port : int;  (** [0] picks an ephemeral port; see {!port} *)
+  max_connections : int;
+  request_timeout : float;
+      (** seconds a request may wait for the database lock before being
+          refused with a [Timeout] error *)
+  policy : Database.policy;
+  backend : Expirel_index.Expiration_index.backend;
+}
+
+val default_config : config
+(** loopback, ephemeral port, 64 connections, 5 s timeout, eager
+    removal, heap index. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+
+val start : t -> unit
+(** Binds, listens and spawns the acceptor.
+    @raise Invalid_argument when already started
+    @raise Unix.Unix_error when the address cannot be bound *)
+
+val port : t -> int
+(** The actually bound port (useful with [port = 0]).
+    @raise Invalid_argument before {!start} *)
+
+val interp : t -> Interp.t
+(** The shared interpreter session — for in-process embedding and
+    tests.  Callers that touch it concurrently with a running server
+    must hold {!lock}. *)
+
+val lock : t -> Rwlock.t
+val metrics : t -> Metrics.t
+
+val wait : t -> unit
+(** Blocks until the server stops (joins the acceptor). *)
+
+val stop : t -> unit
+(** Graceful shutdown: stop accepting, wake idle workers, let in-flight
+    requests drain, join every thread.  Idempotent. *)

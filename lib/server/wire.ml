@@ -1,0 +1,435 @@
+open Expirel_core
+
+let version = 1
+let max_frame = 16 * 1024 * 1024
+
+type error_code =
+  | Parse_error
+  | Exec_error
+  | Proto_error
+  | Timeout
+  | Overloaded
+  | Shutting_down
+
+type event =
+  | Row_expired of { subscription : string; row : Value.t list; at : Time.t }
+  | Row_appeared of {
+      subscription : string;
+      row : Value.t list;
+      texp : Time.t;
+      at : Time.t;
+    }
+  | Refreshed of { subscription : string; at : Time.t }
+
+type stats = {
+  connections_total : int;
+  connections_active : int;
+  requests_total : int;
+  errors_total : int;
+  bytes_in : int;
+  bytes_out : int;
+  events_pushed : int;
+  tuples_expired : int;
+  latency_buckets : (int * int) list;
+}
+
+type request =
+  | Exec of string
+  | Subscribe of { name : string; query : string }
+  | Unsubscribe of string
+  | Stats
+  | Ping
+  | Quit
+
+type response =
+  | Ok_msg of string
+  | Rows of {
+      columns : string list;
+      rows : (Value.t list * Time.t) list;
+      texp_e : Time.t;
+      recomputed : bool;
+    }
+  | Err of { code : error_code; message : string }
+  | Event of event
+  | Stats_reply of stats
+  | Pong
+  | Bye
+
+(* ---------- writer ---------- *)
+
+let put_u8 b n = Buffer.add_char b (Char.chr (n land 0xff))
+let put_bool b v = put_u8 b (if v then 1 else 0)
+let put_i64 b n = Buffer.add_int64_be b (Int64.of_int n)
+
+let put_u32 b n =
+  put_u8 b (n lsr 24);
+  put_u8 b (n lsr 16);
+  put_u8 b (n lsr 8);
+  put_u8 b n
+
+let put_str b s =
+  put_u32 b (String.length s);
+  Buffer.add_string b s
+
+let put_list b put xs =
+  put_u32 b (List.length xs);
+  List.iter (put b) xs
+
+let put_time b = function
+  | Time.Inf -> put_u8 b 0
+  | Time.Fin n ->
+    put_u8 b 1;
+    put_i64 b n
+
+let put_value b = function
+  | Value.Null -> put_u8 b 0
+  | Value.Bool v ->
+    put_u8 b 1;
+    put_bool b v
+  | Value.Int n ->
+    put_u8 b 2;
+    put_i64 b n
+  | Value.Float f ->
+    put_u8 b 3;
+    Buffer.add_int64_be b (Int64.bits_of_float f)
+  | Value.Str s ->
+    put_u8 b 4;
+    put_str b s
+
+let put_row b (values, texp) =
+  put_list b put_value values;
+  put_time b texp
+
+let code_of_error = function
+  | Parse_error -> 1
+  | Exec_error -> 2
+  | Proto_error -> 3
+  | Timeout -> 4
+  | Overloaded -> 5
+  | Shutting_down -> 6
+
+let put_event b = function
+  | Row_expired { subscription; row; at } ->
+    put_u8 b 1;
+    put_str b subscription;
+    put_list b put_value row;
+    put_time b at
+  | Row_appeared { subscription; row; texp; at } ->
+    put_u8 b 2;
+    put_str b subscription;
+    put_list b put_value row;
+    put_time b texp;
+    put_time b at
+  | Refreshed { subscription; at } ->
+    put_u8 b 3;
+    put_str b subscription;
+    put_time b at
+
+let put_stats b s =
+  put_i64 b s.connections_total;
+  put_i64 b s.connections_active;
+  put_i64 b s.requests_total;
+  put_i64 b s.errors_total;
+  put_i64 b s.bytes_in;
+  put_i64 b s.bytes_out;
+  put_i64 b s.events_pushed;
+  put_i64 b s.tuples_expired;
+  put_list b
+    (fun b (bound, count) ->
+      put_i64 b bound;
+      put_i64 b count)
+    s.latency_buckets
+
+let payload tag body =
+  let b = Buffer.create 64 in
+  put_u8 b version;
+  put_u8 b tag;
+  body b;
+  Buffer.contents b
+
+let encode_request = function
+  | Exec sql -> payload 1 (fun b -> put_str b sql)
+  | Subscribe { name; query } ->
+    payload 2 (fun b ->
+        put_str b name;
+        put_str b query)
+  | Unsubscribe name -> payload 3 (fun b -> put_str b name)
+  | Stats -> payload 4 ignore
+  | Ping -> payload 5 ignore
+  | Quit -> payload 6 ignore
+
+let encode_response = function
+  | Ok_msg m -> payload 1 (fun b -> put_str b m)
+  | Rows { columns; rows; texp_e; recomputed } ->
+    payload 2 (fun b ->
+        put_list b put_str columns;
+        put_list b put_row rows;
+        put_time b texp_e;
+        put_bool b recomputed)
+  | Err { code; message } ->
+    payload 3 (fun b ->
+        put_u8 b (code_of_error code);
+        put_str b message)
+  | Event e -> payload 4 (fun b -> put_event b e)
+  | Stats_reply s -> payload 5 (fun b -> put_stats b s)
+  | Pong -> payload 6 ignore
+  | Bye -> payload 7 ignore
+
+(* ---------- reader ---------- *)
+
+(* Decoders walk the payload with a cursor and abort through [Bad]; the
+   single catch site turns it into [Error _], so no input can raise. *)
+exception Bad of string
+
+type cursor = {
+  data : string;
+  mutable pos : int;
+}
+
+let need c n =
+  if n < 0 || c.pos + n > String.length c.data then
+    raise (Bad "truncated payload")
+
+let get_u8 c =
+  need c 1;
+  let n = Char.code c.data.[c.pos] in
+  c.pos <- c.pos + 1;
+  n
+
+let get_bool c =
+  match get_u8 c with
+  | 0 -> false
+  | 1 -> true
+  | n -> raise (Bad (Printf.sprintf "bad boolean byte %d" n))
+
+let get_i64 c =
+  need c 8;
+  let n = Int64.to_int (String.get_int64_be c.data c.pos) in
+  c.pos <- c.pos + 8;
+  n
+
+let get_u32 c =
+  need c 4;
+  let byte i = Char.code c.data.[c.pos + i] in
+  let n = (byte 0 lsl 24) lor (byte 1 lsl 16) lor (byte 2 lsl 8) lor byte 3 in
+  c.pos <- c.pos + 4;
+  n
+
+let get_str c =
+  let len = get_u32 c in
+  need c len;
+  let s = String.sub c.data c.pos len in
+  c.pos <- c.pos + len;
+  s
+
+let get_list c get =
+  let n = get_u32 c in
+  (* Each element consumes at least one byte, so a count beyond the
+     remaining bytes is hostile; reject before allocating. *)
+  need c n;
+  List.init n (fun _ -> get c)
+
+let get_time c =
+  match get_u8 c with
+  | 0 -> Time.Inf
+  | 1 -> Time.Fin (get_i64 c)
+  | n -> raise (Bad (Printf.sprintf "bad time tag %d" n))
+
+let get_value c =
+  match get_u8 c with
+  | 0 -> Value.Null
+  | 1 -> Value.Bool (get_bool c)
+  | 2 -> Value.Int (get_i64 c)
+  | 3 ->
+    need c 8;
+    let f = Int64.float_of_bits (String.get_int64_be c.data c.pos) in
+    c.pos <- c.pos + 8;
+    Value.Float f
+  | 4 -> Value.Str (get_str c)
+  | n -> raise (Bad (Printf.sprintf "bad value tag %d" n))
+
+let get_row c =
+  let values = get_list c get_value in
+  let texp = get_time c in
+  (values, texp)
+
+let error_of_code = function
+  | 1 -> Parse_error
+  | 2 -> Exec_error
+  | 3 -> Proto_error
+  | 4 -> Timeout
+  | 5 -> Overloaded
+  | 6 -> Shutting_down
+  | n -> raise (Bad (Printf.sprintf "bad error code %d" n))
+
+let get_event c =
+  match get_u8 c with
+  | 1 ->
+    let subscription = get_str c in
+    let row = get_list c get_value in
+    let at = get_time c in
+    Row_expired { subscription; row; at }
+  | 2 ->
+    let subscription = get_str c in
+    let row = get_list c get_value in
+    let texp = get_time c in
+    let at = get_time c in
+    Row_appeared { subscription; row; texp; at }
+  | 3 ->
+    let subscription = get_str c in
+    let at = get_time c in
+    Refreshed { subscription; at }
+  | n -> raise (Bad (Printf.sprintf "bad event tag %d" n))
+
+let get_stats c =
+  let connections_total = get_i64 c in
+  let connections_active = get_i64 c in
+  let requests_total = get_i64 c in
+  let errors_total = get_i64 c in
+  let bytes_in = get_i64 c in
+  let bytes_out = get_i64 c in
+  let events_pushed = get_i64 c in
+  let tuples_expired = get_i64 c in
+  let latency_buckets =
+    get_list c (fun c ->
+        let bound = get_i64 c in
+        let count = get_i64 c in
+        (bound, count))
+  in
+  { connections_total;
+    connections_active;
+    requests_total;
+    errors_total;
+    bytes_in;
+    bytes_out;
+    events_pushed;
+    tuples_expired;
+    latency_buckets
+  }
+
+let decode ~what ~by data =
+  let c = { data; pos = 0 } in
+  match
+    let v = get_u8 c in
+    if v <> version then
+      raise (Bad (Printf.sprintf "protocol version %d, expected %d" v version));
+    let tag = get_u8 c in
+    let msg = by c tag in
+    if c.pos <> String.length data then raise (Bad "trailing garbage");
+    msg
+  with
+  | msg -> Ok msg
+  | exception Bad reason -> Error (Printf.sprintf "bad %s: %s" what reason)
+
+let decode_request data =
+  decode ~what:"request" data ~by:(fun c -> function
+    | 1 -> Exec (get_str c)
+    | 2 ->
+      let name = get_str c in
+      let query = get_str c in
+      Subscribe { name; query }
+    | 3 -> Unsubscribe (get_str c)
+    | 4 -> Stats
+    | 5 -> Ping
+    | 6 -> Quit
+    | n -> raise (Bad (Printf.sprintf "unknown request tag %d" n)))
+
+let decode_response data =
+  decode ~what:"response" data ~by:(fun c -> function
+    | 1 -> Ok_msg (get_str c)
+    | 2 ->
+      let columns = get_list c get_str in
+      let rows = get_list c get_row in
+      let texp_e = get_time c in
+      let recomputed = get_bool c in
+      Rows { columns; rows; texp_e; recomputed }
+    | 3 ->
+      let code = error_of_code (get_u8 c) in
+      let message = get_str c in
+      Err { code; message }
+    | 4 -> Event (get_event c)
+    | 5 -> Stats_reply (get_stats c)
+    | 6 -> Pong
+    | 7 -> Bye
+    | n -> raise (Bad (Printf.sprintf "unknown response tag %d" n)))
+
+(* ---------- framing ---------- *)
+
+let frame body =
+  let b = Buffer.create (String.length body + 4) in
+  put_u32 b (String.length body);
+  Buffer.add_string b body;
+  Buffer.contents b
+
+type extracted =
+  | Incomplete
+  | Frame of { payload : string; consumed : int }
+  | Malformed of string
+
+let extract ?(pos = 0) data =
+  let remaining = String.length data - pos in
+  if pos < 0 then Malformed "negative position"
+  else if remaining < 4 then Incomplete
+  else begin
+    let byte i = Char.code data.[pos + i] in
+    let len = (byte 0 lsl 24) lor (byte 1 lsl 16) lor (byte 2 lsl 8) lor byte 3 in
+    if len > max_frame then
+      Malformed (Printf.sprintf "length prefix %d exceeds max frame %d" len max_frame)
+    else if remaining - 4 < len then Incomplete
+    else Frame { payload = String.sub data (pos + 4) len; consumed = 4 + len }
+  end
+
+(* ---------- rendering ---------- *)
+
+let error_code_label = function
+  | Parse_error -> "parse error"
+  | Exec_error -> "error"
+  | Proto_error -> "protocol error"
+  | Timeout -> "timeout"
+  | Overloaded -> "overloaded"
+  | Shutting_down -> "shutting down"
+
+let row_string values =
+  "<" ^ String.concat ", " (List.map Value.to_string values) ^ ">"
+
+let pp_response ppf = function
+  | Ok_msg m -> Format.pp_print_string ppf m
+  | Rows { columns; rows; texp_e; recomputed } ->
+    Format.fprintf ppf "texp | %s" (String.concat ", " columns);
+    List.iter
+      (fun (values, texp) ->
+        Format.fprintf ppf "@\n%4s | %s" (Time.to_string texp)
+          (String.concat ", " (List.map Value.to_string values)))
+      rows;
+    Format.fprintf ppf "@\n(%d row(s), texp(e) = %s%s)" (List.length rows)
+      (Time.to_string texp_e)
+      (if recomputed then ", view recomputed" else "")
+  | Err { code; message } ->
+    Format.fprintf ppf "%s: %s" (error_code_label code) message
+  | Event (Row_expired { subscription; row; at }) ->
+    Format.fprintf ppf "[%s] row expired at %s: %s" subscription
+      (Time.to_string at) (row_string row)
+  | Event (Row_appeared { subscription; row; texp; at }) ->
+    Format.fprintf ppf "[%s] row appeared at %s (texp %s): %s" subscription
+      (Time.to_string at) (Time.to_string texp) (row_string row)
+  | Event (Refreshed { subscription; at }) ->
+    Format.fprintf ppf "[%s] refreshed at %s" subscription (Time.to_string at)
+  | Stats_reply s ->
+    Format.fprintf ppf
+      "connections: %d active / %d total@\n\
+       requests: %d (%d error(s))@\n\
+       bytes: %d in, %d out@\n\
+       events pushed: %d@\n\
+       tuples expired: %d@\nlatency:"
+      s.connections_active s.connections_total s.requests_total s.errors_total
+      s.bytes_in s.bytes_out s.events_pushed s.tuples_expired;
+    List.iter
+      (fun (bound, count) ->
+        if count > 0 then
+          if bound = max_int then Format.fprintf ppf "@\n  >last      %8d" count
+          else Format.fprintf ppf "@\n  <=%-7dus %8d" bound count)
+      s.latency_buckets
+  | Pong -> Format.pp_print_string ppf "pong"
+  | Bye -> Format.pp_print_string ppf "bye"
+
+let render_response r = Format.asprintf "%a" pp_response r

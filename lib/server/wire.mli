@@ -1,0 +1,120 @@
+(** The versioned, length-framed binary wire protocol of the expirel
+    server.
+
+    A frame on the wire is a 4-byte big-endian payload length followed
+    by the payload; a payload is one protocol-version byte, one message
+    tag byte and the message body.  Result relations travel {e with}
+    their per-tuple expiration times and the expression-level [texp(e)]
+    — the validity information that makes remote caching of results
+    sound (a client holding a [Rows] response knows exactly how long
+    each row, and the result as a whole, stays current without any
+    further contact).
+
+    Everything in this module is a pure function over strings: encoders
+    never perform IO and decoders never raise, so the codec can be
+    property-tested (round-trips) and fuzzed (truncations, oversized
+    length prefixes, unknown tags) directly.  Socket plumbing lives in
+    {!Frame}. *)
+
+open Expirel_core
+
+val version : int
+(** Protocol version carried in every payload; mismatches decode to
+    [Error]. *)
+
+val max_frame : int
+(** Upper bound on accepted payload length (16 MiB); a length prefix
+    beyond it is malformed, protecting peers from hostile allocations. *)
+
+(** {1 Messages} *)
+
+type error_code =
+  | Parse_error  (** the statement did not parse *)
+  | Exec_error  (** the statement parsed but failed to execute *)
+  | Proto_error  (** undecodable or inappropriate message *)
+  | Timeout  (** the request missed the server's per-request deadline *)
+  | Overloaded  (** the connection cap was reached *)
+  | Shutting_down  (** the server is draining *)
+
+type event =
+  | Row_expired of { subscription : string; row : Value.t list; at : Time.t }
+  | Row_appeared of {
+      subscription : string;
+      row : Value.t list;
+      texp : Time.t;
+      at : Time.t;
+    }
+  | Refreshed of { subscription : string; at : Time.t }
+      (** mirrors {!Expirel_storage.Subscription.event}, with tuples
+          flattened to value lists *)
+
+type stats = {
+  connections_total : int;
+  connections_active : int;
+  requests_total : int;
+  errors_total : int;
+  bytes_in : int;
+  bytes_out : int;
+  events_pushed : int;
+  tuples_expired : int;  (** tuples whose expiration the storage observed *)
+  latency_buckets : (int * int) list;
+      (** request-latency histogram: (upper bound in µs — [max_int] for
+          the overflow bucket — , count), ascending *)
+}
+
+type request =
+  | Exec of string  (** one sqlx statement *)
+  | Subscribe of { name : string; query : string }
+      (** register a continuous query; events stream back on this
+          connection at the exact logical change times *)
+  | Unsubscribe of string
+  | Stats
+  | Ping
+  | Quit
+
+type response =
+  | Ok_msg of string
+  | Rows of {
+      columns : string list;
+      rows : (Value.t list * Time.t) list;  (** presentation order, each
+                                                with its [texp] *)
+      texp_e : Time.t;  (** expression-level expiration of the result *)
+      recomputed : bool;
+    }
+  | Err of { code : error_code; message : string }
+  | Event of event  (** pushed, not solicited: may arrive at any frame
+                        boundary *)
+  | Stats_reply of stats
+  | Pong
+  | Bye
+
+(** {1 Codecs} — payloads only (no length prefix) *)
+
+val encode_request : request -> string
+val decode_request : string -> (request, string) result
+
+val encode_response : response -> string
+val decode_response : string -> (response, string) result
+
+(** {1 Framing} *)
+
+val frame : string -> string
+(** [frame payload] prepends the 4-byte big-endian length. *)
+
+type extracted =
+  | Incomplete  (** more bytes needed — not an error *)
+  | Frame of { payload : string; consumed : int }
+      (** one whole frame; [consumed] counts the prefix too *)
+  | Malformed of string
+      (** unrecoverable framing error (oversized length prefix): the
+          stream is desynchronised and the connection should close *)
+
+val extract : ?pos:int -> string -> extracted
+(** Incremental deframing of a byte buffer starting at [pos]
+    (default 0).  Never raises, for any input. *)
+
+val pp_response : Format.formatter -> response -> unit
+(** Human-readable rendering (one line per row), for the CLI and
+    examples. *)
+
+val render_response : response -> string

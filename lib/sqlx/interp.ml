@@ -44,6 +44,7 @@ type outcome =
       columns : string list;
       relation : Relation.t;
       listing : (Tuple.t * Time.t) list;
+      texp_e : Time.t;
       recomputed : bool;
     }
 
@@ -106,9 +107,9 @@ let order_and_limit ~columns ~order_by ~limit relation =
 
 let run_query t { Ast.q; at; order_by; limit } =
   let { Lower.expr; columns } = Lower.lower_query ~catalog:(catalog t) q in
-  let relation =
+  let { Eval.relation; texp = texp_e } =
     match at with
-    | None -> (Database.query t.db expr).Eval.relation
+    | None -> Database.query t.db expr
     | Some n ->
       (* Query the known future: evaluate the current physical state as
          it will stand at time n, assuming no further updates — the
@@ -120,10 +121,10 @@ let run_query t { Ast.q; at; order_by; limit } =
         let env name =
           Option.map (fun tbl -> Table.snapshot tbl ~tau) (Database.table t.db name)
         in
-        Eval.relation_at ~env ~tau expr
+        Eval.run ~env ~tau expr
   in
   let listing = order_and_limit ~columns ~order_by ~limit relation in
-  Rows { columns; relation; listing; recomputed = false }
+  Rows { columns; relation; listing; texp_e; recomputed = false }
 
 let view_name_taken t name =
   Hashtbl.mem t.views name || Hashtbl.mem t.maintained_views name
@@ -266,6 +267,8 @@ let exec_statement t = function
          { columns = mv.m_columns;
            relation;
            listing = Relation.to_list relation;
+           texp_e = Time.infinity;
+             (* maintained incrementally: never needs recomputation *)
            recomputed = false
          }
      | None ->
@@ -279,6 +282,7 @@ let exec_statement t = function
                { columns = stored.columns;
                  relation;
                  listing = Relation.to_list relation;
+                 texp_e = stored.view.View.texp;
                  recomputed = false
                }
            | `Expired _ ->
@@ -288,6 +292,7 @@ let exec_statement t = function
                { columns = stored.columns;
                  relation;
                  listing = Relation.to_list relation;
+                 texp_e = stored.view.View.texp;
                  recomputed = true
                })))
   | Ast.Create_trigger { name; table } ->
@@ -407,7 +412,7 @@ let exec_script t text =
 
 let render = function
   | Msg m -> m
-  | Rows { columns; relation; listing; recomputed } ->
+  | Rows { columns; relation; listing; texp_e = _; recomputed } ->
     let table =
       Explain.rows_table ~columns ~arity:(Relation.arity relation) listing
     in

@@ -27,6 +27,11 @@ type outcome =
           (** the rows in presentation order (ORDER BY / LIMIT applied);
               always consistent with [relation] up to order and
               truncation *)
+      texp_e : Time.t;
+          (** the expression-level expiration time [texp(e)] of the
+              result (Section 2.5) — what a remote cache needs to know
+              how long the shipped materialisation stays maintainable by
+              local expiration alone; [Inf] for maintained views *)
       recomputed : bool;  (** a view read forced a recomputation *)
     }
 

@@ -100,11 +100,11 @@ let drive t name w ~from ~to_ =
   in
   go from
 
-let advance t target =
+let deliver_until t target =
   if Time.is_infinite target then
-    invalid_arg "Subscription.advance: infinite time"
+    invalid_arg "Subscription.deliver_until: infinite time"
   else if Time.(target < Database.now t.db) then
-    invalid_arg "Subscription.advance: moving backwards"
+    invalid_arg "Subscription.deliver_until: moving backwards"
   else begin
     let from = Database.now t.db in
     (* Replay the continuous queries' change times before the storage
@@ -112,6 +112,9 @@ let advance t target =
        instants must see everything that was live then. *)
     List.iter
       (fun name -> drive t name (Hashtbl.find t.watches name) ~from ~to_:target)
-      (names t);
-    Database.advance_to t.db target
+      (names t)
   end
+
+let advance t target =
+  deliver_until t target;
+  Database.advance_to t.db target

@@ -54,3 +54,14 @@ val advance : t -> Time.t -> unit
     in the interval.  Ties at one instant fire expirations first, then
     the refresh, then appearances.
     @raise Invalid_argument when moving backwards or to [Inf] *)
+
+val deliver_until : t -> Time.t -> unit
+(** Exactly {!advance}'s event delivery — every change event in the
+    interval from the current clock up to the target, same ordering —
+    but {e without} moving the database clock.  For callers that move
+    the clock through another manager immediately afterwards (the
+    network server advances through the interpreter so integrity
+    constraints and maintained views stay in step); calling this and
+    never advancing leaves the watches materialised ahead of the clock,
+    which is harmless: the next delivery resumes from the clock.
+    @raise Invalid_argument when moving backwards or to [Inf] *)

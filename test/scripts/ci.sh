@@ -1,0 +1,9 @@
+#!/bin/sh
+# The full CI gate: compile everything (libraries, CLI, examples and
+# benches — so bench/ and examples/ cannot rot even though only test/
+# runs) and then the whole test suite, which includes the live TCP
+# server smoke/concurrency tests.
+set -eux
+cd "$(dirname "$0")/../.."
+dune build @all
+dune runtest

@@ -34,6 +34,7 @@ let () =
       "database", Test_database.suite;
       "access", Test_access.suite;
       "subscription", Test_subscription.suite;
+      "rwlock", Test_rwlock.suite;
       "invariant", Test_invariant.suite;
       "wal", Test_wal.suite;
       "durable", Test_durable.suite;
@@ -48,5 +49,8 @@ let () =
       "sim", Test_sim.suite;
       "sim-update", Test_sim_update.suite;
       "sim-unreliable", Test_sim_unreliable.suite;
+      (* networked server *)
+      "wire", Test_wire.suite;
+      "server", Test_server.suite;
       (* workloads *)
       "workload", Test_workload.suite ]

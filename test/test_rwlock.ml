@@ -1,0 +1,115 @@
+(* The readers–writer lock under real systhreads: writers are mutually
+   exclusive, readers genuinely share, a waiting writer shuts the door
+   on new readers (the no-starvation rule that keeps ADVANCE live under
+   a stream of queries), and readers never observe a half-applied
+   write. *)
+
+open Expirel_storage
+
+let test_writers_exclusive () =
+  (* A read-modify-write with a deliberate yield in the middle: any two
+     writers in the critical section at once lose increments. *)
+  let l = Rwlock.create () in
+  let counter = ref 0 in
+  let worker () =
+    for _ = 1 to 1_000 do
+      Rwlock.with_write l (fun () ->
+          let v = !counter in
+          Thread.yield ();
+          counter := v + 1)
+    done
+  in
+  let threads = List.init 8 (fun _ -> Thread.create worker ()) in
+  List.iter Thread.join threads;
+  Alcotest.(check int) "no lost increments" 8_000 !counter
+
+let test_readers_share () =
+  (* All four readers wait inside the read section for each other; the
+     rendezvous only completes if they hold the lock simultaneously. *)
+  let l = Rwlock.create () in
+  let inside = ref 0 in
+  let m = Mutex.create () in
+  let c = Condition.create () in
+  let reader () =
+    Rwlock.with_read l (fun () ->
+        Mutex.lock m;
+        incr inside;
+        Condition.broadcast c;
+        while !inside < 4 do
+          Condition.wait c m
+        done;
+        Mutex.unlock m)
+  in
+  let threads = List.init 4 (fun _ -> Thread.create reader ()) in
+  List.iter Thread.join threads;
+  Alcotest.(check int) "four concurrent read holders" 4 !inside
+
+let test_try_locks_respect_writer () =
+  let l = Rwlock.create () in
+  Rwlock.write_lock l;
+  Alcotest.(check bool) "no read under a writer" false (Rwlock.try_read_lock l);
+  Alcotest.(check bool) "no second writer" false (Rwlock.try_write_lock l);
+  Rwlock.write_unlock l;
+  Alcotest.(check bool) "read after release" true (Rwlock.try_read_lock l);
+  Alcotest.(check int) "one reader held" 1 (Rwlock.readers l);
+  Alcotest.(check bool) "no writer among readers" false (Rwlock.try_write_lock l);
+  Rwlock.read_unlock l
+
+let test_waiting_writer_blocks_new_readers () =
+  (* Writer preference: once a writer queues behind the active reader,
+     try_read_lock must refuse — new readers cannot starve it. *)
+  let l = Rwlock.create () in
+  Rwlock.read_lock l;
+  let entered = ref false in
+  let writer =
+    Thread.create (fun () -> Rwlock.with_write l (fun () -> entered := true)) ()
+  in
+  let rec wait_queued n =
+    if n > 5_000 then Alcotest.fail "writer never queued"
+    else if Rwlock.try_read_lock l then begin
+      Rwlock.read_unlock l;
+      Thread.delay 0.001;
+      wait_queued (n + 1)
+    end
+  in
+  wait_queued 0;
+  Alcotest.(check bool) "writer excluded while reader holds" false !entered;
+  Rwlock.read_unlock l;
+  Thread.join writer;
+  Alcotest.(check bool) "writer admitted after reader left" true !entered
+
+let test_no_torn_reads () =
+  (* A writer updates two cells non-atomically inside its critical
+     section; readers must never see them disagree. *)
+  let l = Rwlock.create () in
+  let a = ref 0 in
+  let b = ref 0 in
+  let stop = ref false in
+  let torn = ref false in
+  let writer () =
+    for i = 1 to 2_000 do
+      Rwlock.with_write l (fun () ->
+          a := i;
+          Thread.yield ();
+          b := i)
+    done;
+    stop := true
+  in
+  let reader () =
+    while not !stop do
+      Rwlock.with_read l (fun () -> if !a <> !b then torn := true)
+    done
+  in
+  let w = Thread.create writer () in
+  let readers = List.init 3 (fun _ -> Thread.create reader ()) in
+  Thread.join w;
+  List.iter Thread.join readers;
+  Alcotest.(check bool) "readers saw consistent pairs" false !torn
+
+let suite =
+  [ Alcotest.test_case "writers are mutually exclusive" `Quick test_writers_exclusive;
+    Alcotest.test_case "readers share" `Quick test_readers_share;
+    Alcotest.test_case "try-locks respect a writer" `Quick test_try_locks_respect_writer;
+    Alcotest.test_case "waiting writer blocks new readers" `Quick
+      test_waiting_writer_blocks_new_readers;
+    Alcotest.test_case "no torn reads" `Quick test_no_torn_reads ]

@@ -1,0 +1,250 @@
+(* End-to-end tests of the TCP server: results carry validity
+   information over the wire, subscriptions push events at exact logical
+   times, and — under N client threads hammering one server — the logical
+   clock is monotone and no client ever receives an expired tuple. *)
+
+open Expirel_core
+open Expirel_storage
+open Expirel_server
+
+let fin = Time.of_int
+
+let with_server ?config f =
+  let server = Server.create ?config () in
+  Server.start server;
+  Fun.protect
+    ~finally:(fun () -> Server.stop server)
+    (fun () -> f server (Server.port server))
+
+let with_client port f =
+  let client = Client.connect ~host:"127.0.0.1" ~port () in
+  Fun.protect ~finally:(fun () -> Client.close client) (fun () -> f client)
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.fail e
+
+let exec client sql = ok (Client.exec client sql)
+
+let load_profiles client =
+  ok (Client.exec_ok client "CREATE TABLE pol (uid, deg)");
+  ok (Client.exec_ok client "INSERT INTO pol VALUES (1, 25) EXPIRES 10");
+  ok (Client.exec_ok client "INSERT INTO pol VALUES (2, 25) EXPIRES 15");
+  ok (Client.exec_ok client "INSERT INTO pol VALUES (3, 35) EXPIRES 10")
+
+(* ---------- smoke: results travel with their validity ---------- *)
+
+let test_smoke () =
+  with_server (fun _server port ->
+      with_client port (fun client ->
+          ok (Client.ping client);
+          load_profiles client;
+          (match exec client "SELECT uid, deg FROM pol" with
+           | Wire.Rows { columns; rows; texp_e; recomputed = _ } ->
+             Alcotest.(check (list string)) "columns" [ "uid"; "deg" ] columns;
+             Alcotest.(check int) "three rows" 3 (List.length rows);
+             (* each row arrives with its own texp... *)
+             List.iter
+               (fun (row, texp) ->
+                 match row with
+                 | [ Value.Int 1; _ ] | [ Value.Int 3; _ ] ->
+                   Alcotest.(check bool) "short-lived row" true (texp = fin 10)
+                 | [ Value.Int 2; _ ] ->
+                   Alcotest.(check bool) "long-lived row" true (texp = fin 15)
+                 | _ -> Alcotest.fail "unexpected row")
+               rows;
+             (* ...and the whole result with texp(e): a monotone query
+                is maintainable by local expiration forever *)
+             Alcotest.(check bool) "monotone texp(e) = inf" true (texp_e = Time.Inf)
+           | r -> Alcotest.fail ("expected rows, got " ^ Wire.render_response r));
+          (* a non-monotone query's texp(e) is finite: the COUNT per
+             degree changes the moment the first member expires *)
+          (match exec client "SELECT deg, COUNT(*) FROM pol GROUP BY deg" with
+           | Wire.Rows { texp_e; _ } ->
+             Alcotest.(check bool) "aggregate texp(e) is finite" true
+               (Time.is_finite texp_e)
+           | r -> Alcotest.fail ("expected rows, got " ^ Wire.render_response r));
+          (* a parse error is an answer, not a dropped connection *)
+          (match exec client "SELEKT 1" with
+           | Wire.Err { code = Wire.Parse_error; _ } -> ()
+           | r -> Alcotest.fail ("expected parse error, got " ^ Wire.render_response r));
+          (match ok (Client.stats client) with
+           | s ->
+             Alcotest.(check bool) "requests counted" true (s.Wire.requests_total >= 6);
+             Alcotest.(check int) "one active connection" 1 s.Wire.connections_active)))
+
+(* ---------- subscriptions: exact logical times, in order ---------- *)
+
+let test_subscription_event_order () =
+  with_server (fun _server port ->
+      with_client port (fun client ->
+          load_profiles client;
+          ok (Client.subscribe client ~name:"watch" ~query:"SELECT uid FROM pol");
+          ok (Client.exec_ok client "ADVANCE TO 20");
+          (* the events were pushed before the ADVANCE was acknowledged *)
+          let events = Client.events client in
+          let expired =
+            List.filter_map
+              (function
+                | Wire.Row_expired { subscription = "watch"; row; at } ->
+                  Some (row, at)
+                | _ -> None)
+              events
+          in
+          Alcotest.(check int) "all three rows expired" 3 (List.length expired);
+          let ats = List.map snd expired in
+          Alcotest.(check bool) "exact logical times" true
+            (List.sort compare ats = [ fin 10; fin 10; fin 15 ]);
+          Alcotest.(check bool) "delivered in logical-time order" true
+            (ats = List.sort Time.compare ats);
+          (* uid 2 is the one that lives to 15 *)
+          (match List.rev expired with
+           | ([ Value.Int 2 ], at) :: _ ->
+             Alcotest.(check bool) "last event is uid 2 at 15" true (at = fin 15)
+           | _ -> Alcotest.fail "wrong final event");
+          ok (Client.unsubscribe client "watch")))
+
+let test_unsubscribe_ownership () =
+  (* A connection may only tear down its own subscriptions. *)
+  with_server (fun _server port ->
+      with_client port (fun c1 ->
+          with_client port (fun c2 ->
+              ok (Client.exec_ok c1 "CREATE TABLE t (x)");
+              ok (Client.subscribe c1 ~name:"mine" ~query:"SELECT x FROM t");
+              (match Client.unsubscribe c2 "mine" with
+               | Error _ -> ()
+               | Ok () -> Alcotest.fail "foreign unsubscribe succeeded");
+              ok (Client.unsubscribe c1 "mine"))))
+
+(* ---------- concurrency: monotone clock, no expired tuples ---------- *)
+
+let test_concurrent_clients () =
+  let threads = 8 in
+  let rounds = 25 in
+  with_server (fun _server port ->
+      with_client port (fun admin ->
+          ok (Client.exec_ok admin "CREATE TABLE s (sid, owner)"));
+      let failures = Array.make threads None in
+      let fail t msg = if failures.(t) = None then failures.(t) <- Some msg in
+      let worker t () =
+        with_client port (fun client ->
+            (* never Alcotest.fail off the main thread — record instead *)
+            let expect_ok what = function
+              | Ok () -> ()
+              | Error e -> fail t (what ^ ": " ^ e)
+            in
+            let run sql =
+              match Client.exec client sql with
+              | Ok r -> r
+              | Error e ->
+                fail t (sql ^ ": " ^ e);
+                Wire.Bye
+            in
+            let last_now = ref (fin 0) in
+            let observe_now () =
+              match run "SHOW NOW" with
+              | Wire.Ok_msg m ->
+                (match int_of_string_opt m with
+                 | Some n ->
+                   let now = fin n in
+                   if Time.compare now !last_now < 0 then
+                     fail t "clock ran backwards";
+                   last_now := now
+                 | None -> fail t ("unparsable SHOW NOW: " ^ m))
+              | r -> fail t ("SHOW NOW: " ^ Wire.render_response r)
+            in
+            for i = 1 to rounds do
+              (* writes: one row expiring past any clock this test can
+                 reach, one short-lived row (TTL is relative, so it is
+                 valid whatever the clock says by now) *)
+              expect_ok "insert"
+                (Client.exec_ok client
+                   (Printf.sprintf
+                      "INSERT INTO s VALUES (%d, %d) EXPIRES 1000000"
+                      ((t * rounds) + i) t));
+              expect_ok "insert ttl"
+                (Client.exec_ok client
+                   (Printf.sprintf "INSERT INTO s VALUES (%d, %d) TTL 2"
+                      (-((t * rounds) + i)) t));
+              if i mod 5 = 0 then expect_ok "tick" (Client.exec_ok client "TICK");
+              observe_now ();
+              (* the clock observed above is a lower bound for the clock
+                 at which this SELECT runs: every returned tuple must
+                 still be alive, i.e. texp strictly beyond it *)
+              (match run "SELECT sid, owner FROM s" with
+               | Wire.Rows { rows; _ } ->
+                 List.iter
+                   (fun (_, texp) ->
+                     if Time.compare texp !last_now <= 0 then
+                       fail t "received an expired tuple")
+                   rows
+               | Wire.Err { message; _ } -> fail t ("SELECT failed: " ^ message)
+               | r -> fail t ("SELECT: " ^ Wire.render_response r));
+              observe_now ()
+            done)
+      in
+      let ts = List.init threads (fun t -> Thread.create (worker t) ()) in
+      List.iter Thread.join ts;
+      Array.iteri
+        (fun t -> function
+          | Some msg -> Alcotest.fail (Printf.sprintf "client %d: %s" t msg)
+          | None -> ())
+        failures;
+      (* the server survived: it still answers, and the clock advanced *)
+      with_client port (fun client ->
+          match exec client "SHOW NOW" with
+          | Wire.Ok_msg m ->
+            Alcotest.(check bool) "clock advanced" true (int_of_string m > 0)
+          | r -> Alcotest.fail (Wire.render_response r)))
+
+(* ---------- limits: connection cap and request timeout ---------- *)
+
+let test_connection_cap () =
+  let config = { Server.default_config with max_connections = 2 } in
+  with_server ~config (fun _server port ->
+      with_client port (fun c1 ->
+          with_client port (fun c2 ->
+              ok (Client.ping c1);
+              ok (Client.ping c2);
+              with_client port (fun c3 ->
+                  match Client.ping c3 with
+                  | Error e ->
+                    Alcotest.(check bool) "refused as overloaded" true
+                      (String.length e > 0)
+                  | Ok () -> Alcotest.fail "third connection admitted over cap"))));
+  (* a slot frees up once a capped connection closes *)
+  with_server ~config (fun _server port ->
+      with_client port (fun c1 -> ok (Client.ping c1));
+      with_client port (fun c2 -> ok (Client.ping c2)))
+
+let test_request_timeout () =
+  let config = { Server.default_config with request_timeout = 0.15 } in
+  with_server ~config (fun server port ->
+      with_client port (fun client ->
+          ok (Client.exec_ok client "CREATE TABLE t (x)");
+          (* an in-process writer wedges the database... *)
+          Rwlock.write_lock (Server.lock server);
+          Fun.protect
+            ~finally:(fun () -> Rwlock.write_unlock (Server.lock server))
+            (fun () ->
+              match exec client "SELECT x FROM t" with
+              | Wire.Err { code = Wire.Timeout; _ } -> ()
+              | r ->
+                Alcotest.fail ("expected timeout, got " ^ Wire.render_response r));
+          (* ...and service resumes once it lets go *)
+          match exec client "SELECT x FROM t" with
+          | Wire.Rows _ -> ()
+          | r -> Alcotest.fail ("expected rows, got " ^ Wire.render_response r)))
+
+let suite =
+  [ Alcotest.test_case "smoke: rows travel with texp and texp(e)" `Quick test_smoke;
+    Alcotest.test_case "subscription events at exact logical times" `Quick
+      test_subscription_event_order;
+    Alcotest.test_case "unsubscribe requires ownership" `Quick
+      test_unsubscribe_ownership;
+    Alcotest.test_case "concurrent clients: monotone clock, no expired rows"
+      `Quick test_concurrent_clients;
+    Alcotest.test_case "connection cap refuses with Overloaded" `Quick
+      test_connection_cap;
+    Alcotest.test_case "request timeout under a wedged lock" `Quick
+      test_request_timeout ]

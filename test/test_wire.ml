@@ -1,0 +1,230 @@
+(* The wire protocol's codecs are pure string functions, so they get the
+   full property treatment: encode/decode round-trips for every message
+   constructor, and adversarial decoding — truncations, oversized length
+   prefixes, unknown tags, wrong versions, trailing garbage, random
+   junk — which must come back as [Error]/[Malformed], never as an
+   exception. *)
+
+open Expirel_core
+open Expirel_server
+module Gen = QCheck2.Gen
+
+(* ---------- generators ---------- *)
+
+(* Wire values exercise every constructor (the relational tests stick to
+   small ints; the codec must also carry strings, floats and bools).
+   Floats travel as IEEE bits, so any non-nan float round-trips exactly. *)
+let value : Value.t Gen.t =
+  Gen.frequency
+    [ 3, Gen.map Value.int (Gen.int_range (-1_000_000) 1_000_000);
+      2, Gen.map Value.str (Gen.string_size ~gen:Gen.printable (Gen.int_range 0 12));
+      2, Gen.map (fun i -> Value.float (float_of_int i /. 8.)) (Gen.int_range (-800) 800);
+      1, Gen.map Value.bool Gen.bool;
+      1, Gen.return Value.Null ]
+
+let time : Time.t Gen.t =
+  Gen.frequency
+    [ 6, Gen.map Time.of_int (Gen.int_range 0 1_000_000);
+      1, Gen.return Time.Inf ]
+
+let name = Gen.string_size ~gen:Gen.printable (Gen.int_range 0 20)
+let row = Gen.list_size (Gen.int_range 0 5) value
+
+let request : Wire.request Gen.t =
+  Gen.oneof
+    [ Gen.map (fun s -> Wire.Exec s) name;
+      Gen.map2 (fun n q -> Wire.Subscribe { name = n; query = q }) name name;
+      Gen.map (fun n -> Wire.Unsubscribe n) name;
+      Gen.return Wire.Stats;
+      Gen.return Wire.Ping;
+      Gen.return Wire.Quit ]
+
+let error_code : Wire.error_code Gen.t =
+  Gen.oneofl
+    [ Wire.Parse_error; Wire.Exec_error; Wire.Proto_error; Wire.Timeout;
+      Wire.Overloaded; Wire.Shutting_down ]
+
+let event : Wire.event Gen.t =
+  Gen.oneof
+    [ Gen.map3
+        (fun subscription row at -> Wire.Row_expired { subscription; row; at })
+        name row time;
+      (let open Gen in
+       let* subscription = name in
+       let* row = row in
+       let* texp = time in
+       let* at = time in
+       return (Wire.Row_appeared { subscription; row; texp; at }));
+      Gen.map2 (fun subscription at -> Wire.Refreshed { subscription; at }) name time ]
+
+let counter = Gen.int_range 0 1_000_000
+
+let stats : Wire.stats Gen.t =
+  let open Gen in
+  let* connections_total = counter in
+  let* connections_active = counter in
+  let* requests_total = counter in
+  let* errors_total = counter in
+  let* bytes_in = counter in
+  let* bytes_out = counter in
+  let* events_pushed = counter in
+  let* tuples_expired = counter in
+  let* latency_buckets = list_size (int_range 0 14) (pair counter counter) in
+  return
+    { Wire.connections_total; connections_active; requests_total; errors_total;
+      bytes_in; bytes_out; events_pushed; tuples_expired; latency_buckets }
+
+let response : Wire.response Gen.t =
+  Gen.oneof
+    [ Gen.map (fun m -> Wire.Ok_msg m) name;
+      (let open Gen in
+       let* columns = list_size (int_range 0 4) name in
+       let* rows = list_size (int_range 0 8) (pair row time) in
+       let* texp_e = time in
+       let* recomputed = bool in
+       return (Wire.Rows { columns; rows; texp_e; recomputed }));
+      Gen.map2 (fun code message -> Wire.Err { code; message }) error_code name;
+      Gen.map (fun e -> Wire.Event e) event;
+      Gen.map (fun s -> Wire.Stats_reply s) stats;
+      Gen.return Wire.Pong;
+      Gen.return Wire.Bye ]
+
+(* ---------- round-trip properties ---------- *)
+
+let roundtrip_request =
+  Generators.qtest "request round-trip" ~count:500 request (fun r ->
+      Wire.decode_request (Wire.encode_request r) = Ok r)
+
+let roundtrip_response =
+  Generators.qtest "response round-trip" ~count:500 response (fun r ->
+      Wire.decode_response (Wire.encode_response r) = Ok r)
+
+let frame_extracts =
+  Generators.qtest "frame/extract round-trip" ~count:300 response (fun r ->
+      let payload = Wire.encode_response r in
+      match Wire.extract (Wire.frame payload) with
+      | Wire.Frame { payload = p; consumed } ->
+        p = payload && consumed = 4 + String.length payload
+      | Wire.Incomplete | Wire.Malformed _ -> false)
+
+let extract_sequence =
+  Generators.qtest "extract walks concatenated frames" ~count:200
+    (Gen.list_size (Gen.int_range 1 5) request)
+    (fun reqs ->
+      let payloads = List.map Wire.encode_request reqs in
+      let buf = String.concat "" (List.map Wire.frame payloads) in
+      let rec walk pos acc =
+        match Wire.extract ~pos buf with
+        | Wire.Frame { payload; consumed } -> walk (pos + consumed) (payload :: acc)
+        | Wire.Incomplete -> List.rev acc
+        | Wire.Malformed _ -> []
+      in
+      walk 0 [] = payloads)
+
+(* ---------- adversarial decoding: errors, never exceptions ---------- *)
+
+let decodes_cleanly data =
+  (match Wire.decode_request data with Ok _ | Error _ -> true)
+  && (match Wire.decode_response data with Ok _ | Error _ -> true)
+
+let truncation_errors =
+  Generators.qtest "truncated payloads error, never raise" ~count:300
+    (Gen.pair response (Gen.int_range 0 99))
+    (fun (r, cut) ->
+      let payload = Wire.encode_response r in
+      let n = String.length payload in
+      (* every strict prefix must decode to Error (or, for requests, at
+         worst a clean Ok on a coincidentally-valid prefix — never raise) *)
+      let k = if n = 0 then 0 else cut mod n in
+      let prefix = String.sub payload 0 k in
+      decodes_cleanly prefix
+      && Wire.decode_response prefix <> Ok r)
+
+let trailing_garbage_errors =
+  Generators.qtest "trailing garbage is rejected" ~count:300
+    (Gen.pair request Gen.char)
+    (fun (r, c) ->
+      match Wire.decode_request (Wire.encode_request r ^ String.make 1 c) with
+      | Error _ -> true
+      | Ok _ -> false)
+
+let junk_never_raises =
+  Generators.qtest "random junk decodes cleanly" ~count:1000
+    (Gen.string_size ~gen:Gen.char (Gen.int_range 0 64))
+    (fun junk ->
+      decodes_cleanly junk
+      &&
+      match Wire.extract junk with
+      | Wire.Incomplete | Wire.Frame _ | Wire.Malformed _ -> true)
+
+let test_unknown_tag () =
+  let bad = Printf.sprintf "%c%c" (Char.chr Wire.version) (Char.chr 0xEE) in
+  (match Wire.decode_request bad with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "unknown request tag accepted");
+  match Wire.decode_response bad with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown response tag accepted"
+
+let test_wrong_version () =
+  let payload = Wire.encode_request Wire.Ping in
+  let bad = Bytes.of_string payload in
+  Bytes.set bad 0 (Char.chr (Wire.version + 1));
+  match Wire.decode_request (Bytes.to_string bad) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "future protocol version accepted"
+
+let test_empty_payload () =
+  (match Wire.decode_request "" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "empty request accepted");
+  match Wire.decode_response "" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty response accepted"
+
+let test_oversized_length_prefix () =
+  (* A length prefix beyond [max_frame] means the stream is hostile or
+     desynchronised: Malformed, not a 16 MiB+ allocation. *)
+  let b = Buffer.create 4 in
+  Buffer.add_int32_be b (Int32.of_int (Wire.max_frame + 1));
+  Buffer.add_string b "xxxx";
+  match Wire.extract (Buffer.contents b) with
+  | Wire.Malformed _ -> ()
+  | Wire.Incomplete -> Alcotest.fail "oversized prefix treated as incomplete"
+  | Wire.Frame _ -> Alcotest.fail "oversized prefix produced a frame"
+
+let test_short_header_incomplete () =
+  (* Fewer than 4 bytes is just a partial read, not an error. *)
+  List.iter
+    (fun s ->
+      match Wire.extract s with
+      | Wire.Incomplete -> ()
+      | Wire.Frame _ | Wire.Malformed _ ->
+        Alcotest.fail "short header not reported Incomplete")
+    [ ""; "\x00"; "\x00\x00\x00" ]
+
+let test_hostile_list_count () =
+  (* A Rows body claiming millions of rows in a tiny payload must be
+     rejected before any proportional allocation happens. *)
+  let b = Buffer.create 16 in
+  Buffer.add_char b (Char.chr Wire.version);
+  Buffer.add_char b (Char.chr 2) (* Rows tag *);
+  Buffer.add_int32_be b 0x7FFFFFFFl (* column count *) ;
+  match Wire.decode_response (Buffer.contents b) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "hostile element count accepted"
+
+let suite =
+  [ roundtrip_request;
+    roundtrip_response;
+    frame_extracts;
+    extract_sequence;
+    truncation_errors;
+    trailing_garbage_errors;
+    junk_never_raises;
+    Alcotest.test_case "unknown tag" `Quick test_unknown_tag;
+    Alcotest.test_case "wrong version" `Quick test_wrong_version;
+    Alcotest.test_case "empty payload" `Quick test_empty_payload;
+    Alcotest.test_case "oversized length prefix" `Quick test_oversized_length_prefix;
+    Alcotest.test_case "short header is incomplete" `Quick test_short_header_incomplete;
+    Alcotest.test_case "hostile list count" `Quick test_hostile_list_count ]
