@@ -34,3 +34,73 @@ let f1 x = Printf.sprintf "%.1f" x
 let f2 x = Printf.sprintf "%.2f" x
 
 let rng seed = Random.State.make [| seed; 2006 |]
+
+(* ---------- machine-readable results ---------- *)
+
+(* Experiments call [param]/[metric] while they run; the harness in
+   main.ml flushes whatever was recorded — plus the wall-clock time —
+   to BENCH_<experiment>.json after each experiment, so plots and CI
+   trend checks need not scrape the text tables. *)
+
+let recorded_params : (string * string) list ref = ref []
+let recorded_metrics : (string * float) list ref = ref []
+
+let param name value = recorded_params := (name, value) :: !recorded_params
+let param_int name n = param name (string_of_int n)
+let metric name value = recorded_metrics := (name, value) :: !recorded_metrics
+let metric_int name n = metric name (float_of_int n)
+
+let reset_recordings () =
+  recorded_params := [];
+  recorded_metrics := []
+
+let json_string s =
+  let buffer = Buffer.create (String.length s + 2) in
+  Buffer.add_char buffer '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buffer "\\\""
+      | '\\' -> Buffer.add_string buffer "\\\\"
+      | '\n' -> Buffer.add_string buffer "\\n"
+      | '\t' -> Buffer.add_string buffer "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buffer (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buffer c)
+    s;
+  Buffer.add_char buffer '"';
+  Buffer.contents buffer
+
+let json_number x =
+  if Float.is_finite x then
+    (* Integral values print as integers so consumers need no epsilon. *)
+    if Float.is_integer x && Float.abs x < 1e15 then
+      Printf.sprintf "%.0f" x
+    else Printf.sprintf "%.6g" x
+  else "null"
+
+let write_json ~experiment ~description ~elapsed =
+  let path = Printf.sprintf "BENCH_%s.json" experiment in
+  let entries to_value recorded =
+    List.rev_map
+      (fun (name, value) ->
+        Printf.sprintf "    %s: %s" (json_string name) (to_value value))
+      recorded
+    |> String.concat ",\n"
+  in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": %s,\n\
+    \  \"description\": %s,\n\
+    \  \"elapsed_seconds\": %s,\n\
+    \  \"parameters\": {\n%s\n  },\n\
+    \  \"metrics\": {\n%s\n  }\n\
+     }\n"
+    (json_string experiment) (json_string description)
+    (json_number elapsed)
+    (entries json_string !recorded_params)
+    (entries json_number !recorded_metrics);
+  close_out oc;
+  reset_recordings ();
+  path

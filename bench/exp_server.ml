@@ -99,6 +99,12 @@ let run_all () =
     (percentile all 0.95 *. 1e6)
     (percentile all 0.99 *. 1e6)
     (percentile all 1.0 *. 1e6);
+  Bench_util.param_int "clients" clients;
+  Bench_util.param_int "requests_per_client" requests_per_client;
+  Bench_util.metric "throughput_rps" (float_of_int total_requests /. elapsed);
+  Bench_util.metric "latency_p50_us" (percentile all 0.50 *. 1e6);
+  Bench_util.metric "latency_p99_us" (percentile all 0.99 *. 1e6);
+  Bench_util.metric_int "errors" total_errors;
   Printf.printf "subscription events after ADVANCE: %d\n" events;
 
   (* STATS must reconcile with what the clients counted. *)

@@ -27,19 +27,28 @@ let experiments =
     "qos", "static validity guarantees", Exp_qos.run_all;
     "ttl", "choosing expiration times for caches", Exp_ttl.run_all;
     "server", "wire-protocol server under concurrent clients", Exp_server.run_all;
+    "repl", "replication vs polling over real sockets", Exp_repl.run_all;
     "micro", "Bechamel micro-benchmarks", Bechamel_suite.run ]
 
 let usage () =
   print_endline "usage: main.exe [experiment-id]\navailable experiments:";
   List.iter (fun (id, doc, _) -> Printf.printf "  %-14s %s\n" id doc) experiments
 
+(* Runs one experiment and flushes whatever it recorded (plus wall-clock
+   time) to BENCH_<id>.json. *)
+let run_one (id, doc, run) =
+  Bench_util.reset_recordings ();
+  let (), elapsed = Bench_util.time_it run in
+  let path = Bench_util.write_json ~experiment:id ~description:doc ~elapsed in
+  Printf.printf "[%s] %s\n%!" id path
+
 let () =
   match Array.to_list Sys.argv with
-  | [ _ ] -> List.iter (fun (_, _, run) -> run ()) experiments
+  | [ _ ] -> List.iter run_one experiments
   | [ _; "help" ] | [ _; "--help" ] -> usage ()
   | [ _; id ] ->
     (match List.find_opt (fun (name, _, _) -> name = id) experiments with
-     | Some (_, _, run) -> run ()
+     | Some experiment -> run_one experiment
      | None ->
        Printf.printf "unknown experiment %S\n" id;
        usage ();

@@ -9,6 +9,8 @@
      expirel_cli --lazy          # lazy removal policy (Section 3.2)
      expirel_cli --index wheel   # expiration-index backend
      expirel_cli serve           # TCP server on the wire protocol
+     expirel_cli serve --data-dir d  # durable (WAL + snapshots), replicable
+     expirel_cli replicate --from HOST:PORT --data-dir d  # follow a primary
      expirel_cli connect         # remote REPL against a server *)
 
 open Expirel_sqlx
@@ -77,21 +79,56 @@ let main policy backend script file =
 
 (* ---------- serve: the networked database ---------- *)
 
-let serve policy backend host port max_conns timeout =
+let serve policy backend host port max_conns timeout data_dir =
   let config =
     { Server.host;
       port;
       max_connections = max_conns;
       request_timeout = timeout;
       policy = parse_policy policy;
-      backend = parse_backend backend
+      backend = parse_backend backend;
+      data_dir;
+      read_only = false
     }
   in
   let server = Server.create ~config () in
   Server.start server;
-  Printf.printf "expirel_server listening on %s:%d (%d connection(s) max)\n%!"
-    host (Server.port server) max_conns;
+  Printf.printf "expirel_server listening on %s:%d (%d connection(s) max%s)\n%!"
+    host (Server.port server) max_conns
+    (match data_dir with
+     | Some dir -> Printf.sprintf ", durable in %s" dir
+     | None -> "");
   Server.wait server
+
+(* ---------- replicate: follow a primary's log ---------- *)
+
+let parse_endpoint s =
+  match String.rindex_opt s ':' with
+  | Some i ->
+    let host = String.sub s 0 i in
+    let port = String.sub s (i + 1) (String.length s - i - 1) in
+    (match int_of_string_opt port with
+     | Some p when host <> "" -> (host, p)
+     | Some _ | None ->
+       Printf.eprintf "bad endpoint %S (expected HOST:PORT)\n" s;
+       exit 2)
+  | None ->
+    Printf.eprintf "bad endpoint %S (expected HOST:PORT)\n" s;
+    exit 2
+
+let replicate from data_dir host port replica_id =
+  let primary_host, primary_port = parse_endpoint from in
+  let replica =
+    Expirel_repl.Replica.create ~host ~port ?replica_id ~data_dir ~primary_host
+      ~primary_port ()
+  in
+  Expirel_repl.Replica.start replica;
+  Printf.printf
+    "expirel replica of %s:%d serving reads on %s:%d (position %d)\n%!"
+    primary_host primary_port host
+    (Expirel_repl.Replica.port replica)
+    (Expirel_repl.Replica.position replica);
+  Server.wait (Expirel_repl.Replica.server replica)
 
 (* ---------- connect: a remote REPL over the wire protocol ---------- *)
 
@@ -251,13 +288,42 @@ let timeout_arg =
        & info [ "request-timeout" ] ~docv:"SECONDS"
            ~doc:"Per-request deadline for acquiring the database lock.")
 
+let data_dir_arg =
+  Arg.(value & opt (some string) None
+       & info [ "data-dir" ] ~docv:"DIR"
+           ~doc:"Durable storage directory (WAL + snapshots); enables \
+                 CHECKPOINT and replication.  Must exist.")
+
 let serve_cmd =
   let doc = "run the expirel TCP server (framed wire protocol)" in
   Cmd.v
     (Cmd.info "serve" ~doc)
     Term.(const serve $ lazy_flag $ backend_arg $ host_arg
           $ port_arg ~default:Expirel_server.Client.default_port
-          $ max_conns_arg $ timeout_arg)
+          $ max_conns_arg $ timeout_arg $ data_dir_arg)
+
+let replicate_cmd =
+  let doc = "follow a primary's log and serve expiration-exact reads" in
+  let from_arg =
+    Arg.(required & opt (some string) None
+         & info [ "from" ] ~docv:"HOST:PORT" ~doc:"The primary to replicate.")
+  in
+  let replica_data_dir_arg =
+    Arg.(required & opt (some string) None
+         & info [ "data-dir" ] ~docv:"DIR"
+             ~doc:"This replica's own durable directory (its position \
+                   survives restarts).  Must exist.")
+  in
+  let replica_id_arg =
+    Arg.(value & opt (some string) None
+         & info [ "replica-id" ] ~docv:"ID"
+             ~doc:"Name in the primary's follower registry (default: the \
+                   data directory's basename).")
+  in
+  Cmd.v
+    (Cmd.info "replicate" ~doc)
+    Term.(const replicate $ from_arg $ replica_data_dir_arg $ host_arg
+          $ port_arg ~default:0 $ replica_id_arg)
 
 let connect_cmd =
   let doc = "connect to a running expirel server (remote REPL)" in
@@ -269,6 +335,7 @@ let connect_cmd =
 let cmd =
   let doc = "interactive shell for the expiration-time-enabled database" in
   let default = Term.(const main $ lazy_flag $ backend_arg $ script_arg $ file_arg) in
-  Cmd.group ~default (Cmd.info "expirel_cli" ~doc) [ serve_cmd; connect_cmd ]
+  Cmd.group ~default (Cmd.info "expirel_cli" ~doc)
+    [ serve_cmd; replicate_cmd; connect_cmd ]
 
 let () = exit (Cmd.eval cmd)

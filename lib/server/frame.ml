@@ -2,6 +2,13 @@ exception Closed
 exception Timeout
 exception Oversized of int
 
+(* The EPIPE -> Closed contract below only holds if EPIPE arrives as an
+   error code: by default a write to a peer that vanished mid-stream (a
+   killed replica, a dropped client) delivers SIGPIPE and terminates
+   the whole process before Unix_error is ever raised. *)
+let () =
+  if not Sys.win32 then Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+
 let rec handling_unix_errors f =
   try f () with
   | Unix.Unix_error (Unix.EINTR, _, _) -> handling_unix_errors f

@@ -15,6 +15,7 @@ type t = {
   mutable events_pushed : int;
   mutable tuples_expired : int;
   latency : int array;
+  mutable repl_source : unit -> Wire.repl_stats option;
 }
 
 let create () =
@@ -27,8 +28,11 @@ let create () =
     bytes_out = 0;
     events_pushed = 0;
     tuples_expired = 0;
-    latency = Array.make (Array.length bucket_bounds) 0
+    latency = Array.make (Array.length bucket_bounds) 0;
+    repl_source = (fun () -> None)
   }
+
+let set_repl_source t f = t.repl_source <- f
 
 let locked t f =
   Mutex.lock t.mutex;
@@ -65,6 +69,9 @@ let observe_latency t ~seconds =
   locked t (fun () -> t.latency.(i) <- t.latency.(i) + 1)
 
 let snapshot t =
+  (* The provider may take the server's own locks; never call it while
+     holding the metrics mutex. *)
+  let repl = t.repl_source () in
   locked t (fun () ->
       { Wire.connections_total = t.connections_total;
         connections_active = t.connections_active;
@@ -75,5 +82,6 @@ let snapshot t =
         events_pushed = t.events_pushed;
         tuples_expired = t.tuples_expired;
         latency_buckets =
-          Array.to_list (Array.mapi (fun i n -> (bucket_bounds.(i), n)) t.latency)
+          Array.to_list (Array.mapi (fun i n -> (bucket_bounds.(i), n)) t.latency);
+        repl
       })

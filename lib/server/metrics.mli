@@ -22,4 +22,11 @@ val observe_latency : t -> seconds:float -> unit
 (** Adds one request to the latency histogram (fixed log-scale buckets,
     microsecond bounds). *)
 
+val set_repl_source : t -> (unit -> Wire.repl_stats option) -> unit
+(** Installs the provider of the replication section of {!snapshot}.
+    The server installs a primary-side provider when it opens a durable
+    store; a {!Expirel_repl.Replica} replaces it with its applier's
+    view.  Called outside the metrics mutex, so it may take other
+    locks. *)
+
 val snapshot : t -> Wire.stats

@@ -9,6 +9,8 @@ type config = {
   request_timeout : float;
   policy : Database.policy;
   backend : Expirel_index.Expiration_index.backend;
+  data_dir : string option;
+  read_only : bool;
 }
 
 let default_config =
@@ -17,7 +19,9 @@ let default_config =
     max_connections = 64;
     request_timeout = 5.0;
     policy = Database.Eager;
-    backend = `Heap
+    backend = `Heap;
+    data_dir = None;
+    read_only = false
   }
 
 type conn = {
@@ -31,43 +35,84 @@ type conn = {
 type t = {
   config : config;
   interp : Interp.t;
+  store : Durable.t option;
   subs : Subscription.t;
   lock : Rwlock.t;
   metrics : Metrics.t;
   state_mutex : Mutex.t;
   conns : (int, conn) Hashtbl.t;
   threads : (int, Thread.t) Hashtbl.t;
+  followers : (string, unit) Hashtbl.t;  (* live replication sessions *)
+  mutable records_shipped : int;
+  mutable snapshots_served : int;
   mutable listen_fd : Unix.file_descr option;
   mutable bound_port : int option;
   mutable acceptor : Thread.t option;
   mutable shutting_down : bool;
+  mutable store_closed : bool;
   mutable next_id : int;
 }
 
 let create ?(config = default_config) () =
-  let interp = Interp.create ~policy:config.policy ~backend:config.backend () in
+  let store =
+    Option.map
+      (Durable.open_dir ~policy:config.policy ~backend:config.backend)
+      config.data_dir
+  in
+  let interp =
+    match store with
+    | Some s -> Interp.create ~store:s ()
+    | None -> Interp.create ~policy:config.policy ~backend:config.backend ()
+  in
   let db = Interp.database interp in
   let metrics = Metrics.create () in
   (* Every expiration the storage observes — eager advance or lazy
      vacuum — shows up in STATS. *)
   Trigger.register (Database.triggers db) ~name:"__server_stats" ~table:"*"
     (fun _ -> Metrics.incr_tuples_expired metrics);
-  { config;
-    interp;
-    subs = Subscription.create db;
-    lock = Rwlock.create ();
-    metrics;
-    state_mutex = Mutex.create ();
-    conns = Hashtbl.create 16;
-    threads = Hashtbl.create 16;
-    listen_fd = None;
-    bound_port = None;
-    acceptor = None;
-    shutting_down = false;
-    next_id = 0
-  }
+  let t =
+    { config;
+      interp;
+      store;
+      subs = Subscription.create db;
+      lock = Rwlock.create ();
+      metrics;
+      state_mutex = Mutex.create ();
+      conns = Hashtbl.create 16;
+      threads = Hashtbl.create 16;
+      followers = Hashtbl.create 4;
+      records_shipped = 0;
+      snapshots_served = 0;
+      listen_fd = None;
+      bound_port = None;
+      acceptor = None;
+      shutting_down = false;
+      store_closed = false;
+      next_id = 0
+    }
+  in
+  (* Primary-side replication stats; a Replica wrapping this server
+     replaces the provider with its applier's view. *)
+  (match store with
+   | Some s ->
+     Metrics.set_repl_source metrics (fun () ->
+         let position = Durable.position s in
+         Some
+           { Wire.role = Wire.Primary;
+             position;
+             source_position = position;
+             lag_records = 0;
+             clock_lag = 0;
+             reconnects = 0;
+             snapshots = t.snapshots_served;
+             records_shipped = t.records_shipped;
+             followers = Hashtbl.length t.followers
+           })
+   | None -> ());
+  t
 
 let interp t = t.interp
+let store t = t.store
 let lock t = t.lock
 let metrics t = t.metrics
 
@@ -127,10 +172,21 @@ let is_read_only = function
   | Ast.Query _ | Ast.Show_tables | Ast.Show_views | Ast.Show_time
   | Ast.Show_triggers | Ast.Show_constraints | Ast.Explain _ -> true
   | Ast.Create_table _ | Ast.Drop_table _ | Ast.Insert _ | Ast.Delete _
-  | Ast.Advance_to _ | Ast.Tick _ | Ast.Vacuum | Ast.Create_view _
-  | Ast.Show_view _ | Ast.Create_trigger _ | Ast.Drop_trigger _
-  | Ast.Create_constraint _ | Ast.Drop_constraint _ | Ast.Refresh_view _ ->
+  | Ast.Advance_to _ | Ast.Tick _ | Ast.Vacuum | Ast.Checkpoint
+  | Ast.Create_view _ | Ast.Show_view _ | Ast.Create_trigger _
+  | Ast.Drop_trigger _ | Ast.Create_constraint _ | Ast.Drop_constraint _
+  | Ast.Refresh_view _ ->
     false
+
+(* What a read-only replica still executes: anything without state
+   effects, plus the purely local housekeeping statements (VACUUM and
+   CHECKPOINT touch no logical state the primary owns). *)
+let replica_allows stmt =
+  is_read_only stmt
+  ||
+  match stmt with
+  | Ast.Vacuum | Ast.Checkpoint | Ast.Show_view _ -> true
+  | _ -> false
 
 (* ---------- request handlers ---------- *)
 
@@ -163,7 +219,12 @@ let deliver_subscription_events t stmt =
 
 let handle_statement t stmt =
   let write = not (is_read_only stmt) in
-  if not (acquire t ~write) then
+  if t.config.read_only && not (replica_allows stmt) then
+    Wire.Err
+      { code = Wire.Exec_error;
+        message = "read-only replica: writes go to the primary"
+      }
+  else if not (acquire t ~write) then
     Wire.Err
       { code = Wire.Timeout;
         message =
@@ -283,6 +344,109 @@ let handle_request t conn = function
     Wire.Stats_reply stats
   | Wire.Ping -> Wire.Pong
   | Wire.Quit -> Wire.Bye
+  | Wire.Replicate _ ->
+    (* Intercepted in [serve_conn]; reaching here means the handshake
+       arrived on a server that cannot serve it. *)
+    Wire.Err
+      { code = Wire.Exec_error;
+        message = "this server has no durable store: nothing to replicate"
+      }
+
+(* ---------- replication sessions (primary side) ---------- *)
+
+let heartbeat_interval = 0.25
+
+(* How long the tail poll sleeps when the log has nothing new.  Small
+   enough that followers see a mutation within a few milliseconds. *)
+let tail_poll_interval = 0.002
+
+(* A REPLICATE handshake turns the worker into a log-shipping session:
+   one initial shipment (snapshot for cold/stranded followers, records
+   otherwise), then tail-following with heartbeats while idle.  Reads of
+   the store happen under the read lock, so shipping never tears a
+   mutation in progress; the stream ends when the follower hangs up or
+   the server drains. *)
+let serve_replication t conn store ~replica_id ~position =
+  locked_state t (fun () -> Hashtbl.replace t.followers replica_id ());
+  Fun.protect
+    ~finally:(fun () ->
+      locked_state t (fun () -> Hashtbl.remove t.followers replica_id))
+    (fun () ->
+      let cursor = ref position in
+      let ship () =
+        Rwlock.with_read t.lock (fun () -> Durable.ship_from store !cursor)
+      in
+      let send_shipment = function
+        | Durable.Snapshot { position = p; records } ->
+          cursor := p;
+          locked_state t (fun () ->
+              t.snapshots_served <- t.snapshots_served + 1);
+          send_response t conn (Wire.Repl_snapshot { position = p; records })
+        | Durable.Records [] -> ()
+        | Durable.Records records ->
+          let from_position = !cursor in
+          cursor := from_position + List.length records;
+          locked_state t (fun () ->
+              t.records_shipped <- t.records_shipped + List.length records);
+          send_response t conn (Wire.Repl_records { from_position; records })
+      in
+      match ship () with
+      | Error message ->
+        send_response t conn (Wire.Err { code = Wire.Exec_error; message })
+      | Ok initial ->
+        send_shipment initial;
+        let last_beat = ref (Unix.gettimeofday ()) in
+        while conn.alive && not t.shutting_down do
+          if Durable.position store > !cursor then begin
+            (match ship () with
+             | Ok shipment -> send_shipment shipment
+             | Error message ->
+               send_response t conn
+                 (Wire.Err { code = Wire.Exec_error; message });
+               conn.alive <- false);
+            last_beat := Unix.gettimeofday ()
+          end
+          else begin
+            let now = Unix.gettimeofday () in
+            if now -. !last_beat >= heartbeat_interval then begin
+              send_response t conn
+                (Wire.Repl_heartbeat
+                   { position = Durable.position store; now = Durable.now store });
+              last_beat := now
+            end
+            else Thread.delay tail_poll_interval
+          end
+        done)
+
+(* ---------- applying a shipped stream (replica side) ---------- *)
+
+let apply_records t records =
+  match t.store with
+  | None -> Error "no durable store to apply records to"
+  | Some store ->
+    Rwlock.with_write t.lock (fun () ->
+        List.iter
+          (fun record ->
+            (* Same discipline as ADVANCE from a client: continuous
+               queries see their change events at the exact logical
+               times, before the clock physically moves. *)
+            (match record with
+             | Wal.Advance target
+               when Time.is_finite target
+                    && Time.(target >= Durable.now store) ->
+               Subscription.deliver_until t.subs target
+             | _ -> ());
+            Durable.apply_record store record)
+          records);
+    Ok ()
+
+let install_snapshot t ~position records =
+  match t.store with
+  | None -> Error "no durable store to install a snapshot into"
+  | Some store ->
+    Rwlock.with_write t.lock (fun () ->
+        Durable.reset_to store ~position records);
+    Ok ()
 
 (* ---------- connection lifecycle ---------- *)
 
@@ -316,21 +480,39 @@ let rec serve_conn t conn =
   | payload, bytes ->
     Metrics.add_bytes_in t.metrics bytes;
     let started = Unix.gettimeofday () in
-    let response, keep_going =
-      match Wire.decode_request payload with
-      | Error message ->
-        (* The stream may be desynchronised: answer, then close. *)
-        (Wire.Err { code = Wire.Proto_error; message }, false)
-      | Ok Wire.Quit -> (Wire.Bye, false)
-      | Ok request -> (handle_request t conn request, true)
-    in
-    Metrics.incr_requests t.metrics;
-    (match response with
-     | Wire.Err _ -> Metrics.incr_errors t.metrics
-     | _ -> ());
-    Metrics.observe_latency t.metrics ~seconds:(Unix.gettimeofday () -. started);
-    send_response t conn response;
-    if keep_going && conn.alive && not t.shutting_down then serve_conn t conn
+    match Wire.decode_request payload with
+    | Ok (Wire.Replicate { replica_id; position }) when t.store <> None ->
+      (* The connection becomes a one-way stream; it never returns to
+         request/response. *)
+      Metrics.incr_requests t.metrics;
+      (match t.store with
+       | Some store -> serve_replication t conn store ~replica_id ~position
+       | None -> ())
+    | decoded ->
+      let response, keep_going =
+        match decoded with
+        | Error message ->
+          (* The stream may be desynchronised: answer, then close.  A
+             peer speaking another protocol version gets the typed
+             mismatch (the [Err] layout is stable across versions) so it
+             can diagnose rather than guess. *)
+          let code =
+            match Wire.payload_version payload with
+            | Some v when v <> Wire.version -> Wire.Version_mismatch
+            | Some _ | None -> Wire.Proto_error
+          in
+          (Wire.Err { code; message }, false)
+        | Ok Wire.Quit -> (Wire.Bye, false)
+        | Ok request -> (handle_request t conn request, true)
+      in
+      Metrics.incr_requests t.metrics;
+      (match response with
+       | Wire.Err _ -> Metrics.incr_errors t.metrics
+       | _ -> ());
+      Metrics.observe_latency t.metrics
+        ~seconds:(Unix.gettimeofday () -. started);
+      send_response t conn response;
+      if keep_going && conn.alive && not t.shutting_down then serve_conn t conn
 
 let worker t conn =
   (try serve_conn t conn with _ -> ());
@@ -434,4 +616,9 @@ let stop t =
   let threads =
     locked_state t (fun () -> Hashtbl.fold (fun _ th acc -> th :: acc) t.threads [])
   in
-  List.iter Thread.join threads
+  List.iter Thread.join threads;
+  match t.store with
+  | Some store when not t.store_closed ->
+    t.store_closed <- true;
+    Durable.close store
+  | Some _ | None -> ()

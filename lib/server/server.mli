@@ -19,7 +19,15 @@
     observe an acknowledged clock ahead of its own event stream.
 
     {!stop} is graceful: the listener closes first, in-flight requests
-    run to completion and get their responses, then workers are joined. *)
+    run to completion and get their responses, then workers are joined.
+
+    With [data_dir] set, the server runs over a {!Expirel_storage.Durable}
+    store: every mutation is write-ahead logged, [CHECKPOINT] compacts
+    the snapshot, and the server answers [REPLICATE] handshakes by
+    streaming its log (snapshot-bootstrapping followers that fell behind
+    the retained tail).  With [read_only] set it refuses mutating
+    statements — the replica mode, where {!apply_records} and
+    {!install_snapshot} are the only write paths. *)
 
 open Expirel_storage
 open Expirel_sqlx
@@ -33,11 +41,18 @@ type config = {
           refused with a [Timeout] error *)
   policy : Database.policy;
   backend : Expirel_index.Expiration_index.backend;
+  data_dir : string option;
+      (** directory of the {!Expirel_storage.Durable} store; [None]
+          runs purely in memory (and cannot serve replication) *)
+  read_only : bool;
+      (** replica mode: mutating statements are refused with
+          [Exec_error]; reads, [SUBSCRIBE], [VACUUM] and [CHECKPOINT]
+          still work *)
 }
 
 val default_config : config
 (** loopback, ephemeral port, 64 connections, 5 s timeout, eager
-    removal, heap index. *)
+    removal, heap index, in-memory, read-write. *)
 
 type t
 
@@ -59,6 +74,19 @@ val interp : t -> Interp.t
 
 val lock : t -> Rwlock.t
 val metrics : t -> Metrics.t
+
+val store : t -> Durable.t option
+(** The durable store, when [data_dir] was set. *)
+
+val apply_records : t -> Wal.record list -> (unit, string) result
+(** Applies a shipped [Repl_records] batch under the write lock, with
+    subscription events delivered at their exact logical times before
+    each [Advance] lands — the replica side of the stream.  [Error]
+    without a store. *)
+
+val install_snapshot : t -> position:int -> Wal.record list -> (unit, string) result
+(** Replaces the whole state with a shipped [Repl_snapshot] under the
+    write lock — the replica side of a bootstrap. *)
 
 val wait : t -> unit
 (** Blocks until the server stops (joins the acceptor). *)

@@ -1,6 +1,7 @@
 open Expirel_core
+open Expirel_storage
 
-let version = 1
+let version = 2
 let max_frame = 16 * 1024 * 1024
 
 type error_code =
@@ -10,6 +11,7 @@ type error_code =
   | Timeout
   | Overloaded
   | Shutting_down
+  | Version_mismatch
 
 type event =
   | Row_expired of { subscription : string; row : Value.t list; at : Time.t }
@@ -21,6 +23,22 @@ type event =
     }
   | Refreshed of { subscription : string; at : Time.t }
 
+type repl_role =
+  | Primary
+  | Replica
+
+type repl_stats = {
+  role : repl_role;
+  position : int;
+  source_position : int;
+  lag_records : int;
+  clock_lag : int;
+  reconnects : int;
+  snapshots : int;
+  records_shipped : int;
+  followers : int;
+}
+
 type stats = {
   connections_total : int;
   connections_active : int;
@@ -31,6 +49,7 @@ type stats = {
   events_pushed : int;
   tuples_expired : int;
   latency_buckets : (int * int) list;
+  repl : repl_stats option;
 }
 
 type request =
@@ -40,6 +59,7 @@ type request =
   | Stats
   | Ping
   | Quit
+  | Replicate of { replica_id : string; position : int }
 
 type response =
   | Ok_msg of string
@@ -54,6 +74,9 @@ type response =
   | Stats_reply of stats
   | Pong
   | Bye
+  | Repl_snapshot of { position : int; records : Wal.record list }
+  | Repl_records of { from_position : int; records : Wal.record list }
+  | Repl_heartbeat of { position : int; now : Time.t }
 
 (* ---------- writer ---------- *)
 
@@ -107,6 +130,11 @@ let code_of_error = function
   | Timeout -> 4
   | Overloaded -> 5
   | Shutting_down -> 6
+  | Version_mismatch -> 7
+
+(* WAL records reuse their durable on-disk encoding (length checks and
+   percent-escaping included), framed as an opaque string. *)
+let put_record b record = put_str b (Wal.encode record)
 
 let put_event b = function
   | Row_expired { subscription; row; at } ->
@@ -125,6 +153,20 @@ let put_event b = function
     put_str b subscription;
     put_time b at
 
+let put_repl_stats b r =
+  put_u8 b
+    (match r.role with
+     | Primary -> 1
+     | Replica -> 2);
+  put_i64 b r.position;
+  put_i64 b r.source_position;
+  put_i64 b r.lag_records;
+  put_i64 b r.clock_lag;
+  put_i64 b r.reconnects;
+  put_i64 b r.snapshots;
+  put_i64 b r.records_shipped;
+  put_i64 b r.followers
+
 let put_stats b s =
   put_i64 b s.connections_total;
   put_i64 b s.connections_active;
@@ -138,7 +180,12 @@ let put_stats b s =
     (fun b (bound, count) ->
       put_i64 b bound;
       put_i64 b count)
-    s.latency_buckets
+    s.latency_buckets;
+  match s.repl with
+  | None -> put_u8 b 0
+  | Some r ->
+    put_u8 b 1;
+    put_repl_stats b r
 
 let payload tag body =
   let b = Buffer.create 64 in
@@ -157,6 +204,10 @@ let encode_request = function
   | Stats -> payload 4 ignore
   | Ping -> payload 5 ignore
   | Quit -> payload 6 ignore
+  | Replicate { replica_id; position } ->
+    payload 7 (fun b ->
+        put_str b replica_id;
+        put_i64 b position)
 
 let encode_response = function
   | Ok_msg m -> payload 1 (fun b -> put_str b m)
@@ -174,6 +225,18 @@ let encode_response = function
   | Stats_reply s -> payload 5 (fun b -> put_stats b s)
   | Pong -> payload 6 ignore
   | Bye -> payload 7 ignore
+  | Repl_snapshot { position; records } ->
+    payload 8 (fun b ->
+        put_i64 b position;
+        put_list b put_record records)
+  | Repl_records { from_position; records } ->
+    payload 9 (fun b ->
+        put_i64 b from_position;
+        put_list b put_record records)
+  | Repl_heartbeat { position; now } ->
+    payload 10 (fun b ->
+        put_i64 b position;
+        put_time b now)
 
 (* ---------- reader ---------- *)
 
@@ -260,7 +323,14 @@ let error_of_code = function
   | 4 -> Timeout
   | 5 -> Overloaded
   | 6 -> Shutting_down
+  | 7 -> Version_mismatch
   | n -> raise (Bad (Printf.sprintf "bad error code %d" n))
+
+let get_record c =
+  let line = get_str c in
+  match Wal.decode line with
+  | Ok record -> record
+  | Error reason -> raise (Bad ("bad wal record: " ^ reason))
 
 let get_event c =
   match get_u8 c with
@@ -281,6 +351,32 @@ let get_event c =
     Refreshed { subscription; at }
   | n -> raise (Bad (Printf.sprintf "bad event tag %d" n))
 
+let get_repl_stats c =
+  let role =
+    match get_u8 c with
+    | 1 -> Primary
+    | 2 -> Replica
+    | n -> raise (Bad (Printf.sprintf "bad replication role %d" n))
+  in
+  let position = get_i64 c in
+  let source_position = get_i64 c in
+  let lag_records = get_i64 c in
+  let clock_lag = get_i64 c in
+  let reconnects = get_i64 c in
+  let snapshots = get_i64 c in
+  let records_shipped = get_i64 c in
+  let followers = get_i64 c in
+  { role;
+    position;
+    source_position;
+    lag_records;
+    clock_lag;
+    reconnects;
+    snapshots;
+    records_shipped;
+    followers
+  }
+
 let get_stats c =
   let connections_total = get_i64 c in
   let connections_active = get_i64 c in
@@ -296,6 +392,12 @@ let get_stats c =
         let count = get_i64 c in
         (bound, count))
   in
+  let repl =
+    match get_u8 c with
+    | 0 -> None
+    | 1 -> Some (get_repl_stats c)
+    | n -> raise (Bad (Printf.sprintf "bad repl-stats presence byte %d" n))
+  in
   { connections_total;
     connections_active;
     requests_total;
@@ -304,8 +406,11 @@ let get_stats c =
     bytes_out;
     events_pushed;
     tuples_expired;
-    latency_buckets
+    latency_buckets;
+    repl
   }
+
+let payload_version data = if data = "" then None else Some (Char.code data.[0])
 
 let decode ~what ~by data =
   let c = { data; pos = 0 } in
@@ -332,6 +437,10 @@ let decode_request data =
     | 4 -> Stats
     | 5 -> Ping
     | 6 -> Quit
+    | 7 ->
+      let replica_id = get_str c in
+      let position = get_i64 c in
+      Replicate { replica_id; position }
     | n -> raise (Bad (Printf.sprintf "unknown request tag %d" n)))
 
 let decode_response data =
@@ -351,6 +460,18 @@ let decode_response data =
     | 5 -> Stats_reply (get_stats c)
     | 6 -> Pong
     | 7 -> Bye
+    | 8 ->
+      let position = get_i64 c in
+      let records = get_list c get_record in
+      Repl_snapshot { position; records }
+    | 9 ->
+      let from_position = get_i64 c in
+      let records = get_list c get_record in
+      Repl_records { from_position; records }
+    | 10 ->
+      let position = get_i64 c in
+      let now = get_time c in
+      Repl_heartbeat { position; now }
     | n -> raise (Bad (Printf.sprintf "unknown response tag %d" n)))
 
 (* ---------- framing ---------- *)
@@ -388,6 +509,7 @@ let error_code_label = function
   | Timeout -> "timeout"
   | Overloaded -> "overloaded"
   | Shutting_down -> "shutting down"
+  | Version_mismatch -> "version mismatch"
 
 let row_string values =
   "<" ^ String.concat ", " (List.map Value.to_string values) ^ ">"
@@ -428,8 +550,29 @@ let pp_response ppf = function
         if count > 0 then
           if bound = max_int then Format.fprintf ppf "@\n  >last      %8d" count
           else Format.fprintf ppf "@\n  <=%-7dus %8d" bound count)
-      s.latency_buckets
+      s.latency_buckets;
+    (match s.repl with
+     | None -> ()
+     | Some r ->
+       Format.fprintf ppf
+         "@\nreplication: %s at position %d (source %d, lag %d record(s), \
+          %d tick(s))@\n\
+          reconnects: %d, snapshots: %d, records: %d, followers: %d"
+         (match r.role with
+          | Primary -> "primary"
+          | Replica -> "replica")
+         r.position r.source_position r.lag_records r.clock_lag r.reconnects
+         r.snapshots r.records_shipped r.followers)
   | Pong -> Format.pp_print_string ppf "pong"
   | Bye -> Format.pp_print_string ppf "bye"
+  | Repl_snapshot { position; records } ->
+    Format.fprintf ppf "snapshot at position %d (%d record(s))" position
+      (List.length records)
+  | Repl_records { from_position; records } ->
+    Format.fprintf ppf "records (%d, %d]" from_position
+      (from_position + List.length records)
+  | Repl_heartbeat { position; now } ->
+    Format.fprintf ppf "heartbeat: position %d, now %s" position
+      (Time.to_string now)
 
 let render_response r = Format.asprintf "%a" pp_response r

@@ -17,10 +17,34 @@
     {!Frame}. *)
 
 open Expirel_core
+open Expirel_storage
 
 val version : int
 (** Protocol version carried in every payload; mismatches decode to
-    [Error]. *)
+    [Error].
+
+    {2 Version-bump policy}
+
+    The version byte is bumped when, and only when, a change makes
+    payloads that an older peer could receive undecodable or
+    misinterpretable: removing or renumbering a tag, changing the body
+    layout of an existing tag, or changing a field's meaning.  Adding a
+    {e new} tag alone does not strictly require a bump (old decoders
+    reject unknown tags cleanly), but this protocol still bumps for new
+    tags a peer is expected to {e send} unprompted — a v1 server would
+    otherwise answer a replication handshake with an opaque
+    [Proto_error] instead of a diagnosable mismatch.
+
+    History: v1 — request tags 1–6, response tags 1–7, error codes 1–6.
+    v2 — adds the [Replicate] handshake (request tag 7), the replication
+    stream responses (tags 8–10), the [Version_mismatch] error code (7)
+    and a trailing optional replication section in [stats].
+
+    On decode failure, a peer should check {!payload_version}: when the
+    sender speaks a different version, answer
+    [Err { code = Version_mismatch; _ }] (whose layout has been stable
+    since v1, so even an old peer renders it) rather than a generic
+    protocol error. *)
 
 val max_frame : int
 (** Upper bound on accepted payload length (16 MiB); a length prefix
@@ -35,6 +59,9 @@ type error_code =
   | Timeout  (** the request missed the server's per-request deadline *)
   | Overloaded  (** the connection cap was reached *)
   | Shutting_down  (** the server is draining *)
+  | Version_mismatch
+      (** the peer speaks a different protocol version (the error
+          message names both) *)
 
 type event =
   | Row_expired of { subscription : string; row : Value.t list; at : Time.t }
@@ -48,6 +75,25 @@ type event =
       (** mirrors {!Expirel_storage.Subscription.event}, with tuples
           flattened to value lists *)
 
+type repl_role =
+  | Primary  (** ships its log to followers *)
+  | Replica  (** applies a primary's log *)
+
+type repl_stats = {
+  role : repl_role;
+  position : int;  (** local log position (records applied/logged) *)
+  source_position : int;
+      (** the primary's position as last heard (equals [position] on a
+          primary) *)
+  lag_records : int;  (** [source_position - position] *)
+  clock_lag : int;
+      (** logical-time distance to the source clock, in ticks *)
+  reconnects : int;  (** times the applier had to redial *)
+  snapshots : int;  (** snapshot bootstraps received (or served) *)
+  records_shipped : int;  (** stream records applied (or shipped) *)
+  followers : int;  (** live replication sessions (primary side) *)
+}
+
 type stats = {
   connections_total : int;
   connections_active : int;
@@ -60,6 +106,8 @@ type stats = {
   latency_buckets : (int * int) list;
       (** request-latency histogram: (upper bound in µs — [max_int] for
           the overflow bucket — , count), ascending *)
+  repl : repl_stats option;
+      (** present when the server participates in replication *)
 }
 
 type request =
@@ -71,6 +119,10 @@ type request =
   | Stats
   | Ping
   | Quit
+  | Replicate of { replica_id : string; position : int }
+      (** switch this connection into a replication session: stream the
+          log from [position] (the count of records the follower has
+          already applied) onwards *)
 
 type response =
   | Ok_msg of string
@@ -87,6 +139,15 @@ type response =
   | Stats_reply of stats
   | Pong
   | Bye
+  | Repl_snapshot of { position : int; records : Wal.record list }
+      (** bootstrap: the full live state as of [position]; replaying
+          [records] on an empty database reproduces it *)
+  | Repl_records of { from_position : int; records : Wal.record list }
+      (** the stream: records covering positions
+          [(from_position, from_position + length records]] *)
+  | Repl_heartbeat of { position : int; now : Time.t }
+      (** periodic when the stream is idle, so followers can measure
+          lag (in records and logical time) against a live primary *)
 
 (** {1 Codecs} — payloads only (no length prefix) *)
 
@@ -95,6 +156,12 @@ val decode_request : string -> (request, string) result
 
 val encode_response : response -> string
 val decode_response : string -> (response, string) result
+
+val payload_version : string -> int option
+(** The version byte of a raw payload ([None] on the empty string) —
+    readable even when the rest does not decode, so a server can tell a
+    foreign-version peer from garbage and answer with
+    [Version_mismatch]. *)
 
 (** {1 Framing} *)
 

@@ -84,6 +84,7 @@ type statement =
   | Advance_to of int
   | Tick of int
   | Vacuum
+  | Checkpoint
   | Query of query_stmt
   | Create_view of {
       name : string;
@@ -163,6 +164,7 @@ let pp_statement ppf = function
   | Advance_to t -> Format.fprintf ppf "ADVANCE TO %d" t
   | Tick n -> Format.fprintf ppf "TICK %d" n
   | Vacuum -> Format.pp_print_string ppf "VACUUM"
+  | Checkpoint -> Format.pp_print_string ppf "CHECKPOINT"
   | Query { at = None; _ } -> Format.pp_print_string ppf "SELECT ..."
   | Query { at = Some at; _ } -> Format.fprintf ppf "SELECT ... AT %d" at
   | Create_view { name; maintained; _ } ->

@@ -90,6 +90,9 @@ type statement =
   | Advance_to of int
   | Tick of int
   | Vacuum
+  | Checkpoint
+      (** compact the attached durable store's snapshot (an error when
+          the session is purely in-memory) *)
   | Query of query_stmt
   | Create_view of {
       name : string;

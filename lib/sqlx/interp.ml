@@ -19,6 +19,7 @@ type constraint_info = {
 
 type t = {
   db : Database.t;
+  store : Durable.t option;
   views : (string, stored_view) Hashtbl.t;
   maintained_views : (string, maintained_view) Hashtbl.t;
   invariants : Invariant.t;
@@ -26,9 +27,14 @@ type t = {
   mutable trigger_log : string list;  (* newest first *)
 }
 
-let create ?policy ?backend () =
-  let db = Database.create ?policy ?backend () in
+let create ?policy ?backend ?store () =
+  let db =
+    match store with
+    | Some s -> Durable.database s
+    | None -> Database.create ?policy ?backend ()
+  in
   { db;
+    store;
     views = Hashtbl.create 8;
     maintained_views = Hashtbl.create 8;
     invariants = Invariant.create db;
@@ -37,6 +43,7 @@ let create ?policy ?backend () =
   }
 
 let database t = t.db
+let store t = t.store
 
 type outcome =
   | Msg of string
@@ -133,8 +140,17 @@ let each_maintained t f =
   Hashtbl.iter (fun _ mv -> mv.maintained <- f mv.maintained) t.maintained_views
 
 (* Moving the clock goes through the invariant manager so constraint
-   transitions inside the interval are reported alongside. *)
+   transitions inside the interval are reported alongside.  With a
+   durable store the Advance is logged first (write-ahead), but applied
+   only once, here — [Durable.advance_to] would move the clock a second
+   time behind the invariant manager's back. *)
 let advance_clock t target =
+  (match t.store with
+   | Some s
+     when (not (Time.is_infinite target)) && Time.(target >= Database.now t.db)
+     ->
+     Durable.log_record s (Wal.Advance target)
+   | Some _ | None -> ());
   let transitions = Invariant.advance t.invariants target in
   each_maintained t (fun m -> Maintained.advance m ~to_:target);
   let base = Printf.sprintf "clock advanced to %s" (Time.to_string target) in
@@ -193,14 +209,25 @@ let constraint_status t name info =
 
 let exec_statement t = function
   | Ast.Create_table (name, columns) ->
-    let (_ : Table.t) = Database.create_table t.db ~name ~columns in
+    (match t.store with
+     | Some s -> Durable.create_table s ~name ~columns
+     | None ->
+       let (_ : Table.t) = Database.create_table t.db ~name ~columns in
+       ());
     Msg (Printf.sprintf "table %s created" name)
   | Ast.Drop_table name ->
-    if Database.drop_table t.db name then Msg (Printf.sprintf "table %s dropped" name)
+    let dropped =
+      match t.store with
+      | Some s -> Durable.drop_table s name
+      | None -> Database.drop_table t.db name
+    in
+    if dropped then Msg (Printf.sprintf "table %s dropped" name)
     else raise (Errors.Unknown_relation name)
   | Ast.Insert { table; values; expires } ->
     let texp = time_of_expires t expires in
-    Database.insert_values t.db table values ~texp;
+    (match t.store with
+     | Some s -> Durable.insert s table (Tuple.of_list values) ~texp
+     | None -> Database.insert_values t.db table values ~texp);
     each_maintained t (fun m ->
         Maintained.insert m ~relation:table (Tuple.of_list values) ~texp);
     Msg "1 tuple inserted"
@@ -222,7 +249,9 @@ let exec_statement t = function
     in
     List.iter
       (fun tuple ->
-        ignore (Table.delete tbl tuple);
+        (match t.store with
+         | Some s -> ignore (Durable.delete s table tuple)
+         | None -> ignore (Table.delete tbl tuple));
         each_maintained t (fun m -> Maintained.delete m ~relation:table tuple))
       victims;
     Msg (Printf.sprintf "%d tuple(s) deleted" (List.length victims))
@@ -231,6 +260,17 @@ let exec_statement t = function
   | Ast.Vacuum ->
     let reclaimed = Database.vacuum t.db in
     Msg (Printf.sprintf "%d tuple(s) reclaimed" reclaimed)
+  | Ast.Checkpoint ->
+    (match t.store with
+     | None -> failwith "CHECKPOINT requires a durable store (no data directory)"
+     | Some s ->
+       let logged = Durable.wal_records s in
+       let kept = Durable.checkpoint s in
+       Msg
+         (Printf.sprintf
+            "checkpoint at position %d: %d log record(s) compacted into a \
+             %d-record snapshot"
+            (Durable.position s) logged kept))
   | Ast.Query qs -> run_query t qs
   | Ast.Create_view { name; query; maintained } ->
     if view_name_taken t name then

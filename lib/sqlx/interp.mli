@@ -14,9 +14,17 @@ type t
 
 val create :
   ?policy:Database.policy -> ?backend:Expirel_index.Expiration_index.backend ->
+  ?store:Durable.t ->
   unit -> t
+(** With [?store], the session runs over the store's database and every
+    mutating statement is written ahead to its log ([policy] and
+    [backend] are then ignored — the store fixed them when the directory
+    was opened).  [CHECKPOINT] only works on such sessions. *)
 
 val database : t -> Database.t
+
+val store : t -> Durable.t option
+(** The durable store the session writes through, when there is one. *)
 
 type outcome =
   | Msg of string

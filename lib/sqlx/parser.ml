@@ -289,6 +289,7 @@ let statement st =
      | Token.Int_lit n, _ -> advance st; Ast.Tick n
      | _ -> Ast.Tick 1)
   | Token.Keyword "VACUUM", _ -> advance st; Ast.Vacuum
+  | Token.Keyword "CHECKPOINT", _ -> advance st; Ast.Checkpoint
   | Token.Keyword "SHOW", _ ->
     advance st;
     if accept_kw st "TABLES" then Ast.Show_tables

@@ -134,6 +134,7 @@ let statement = function
   | Ast.Advance_to n -> Printf.sprintf "ADVANCE TO %d" n
   | Ast.Tick n -> Printf.sprintf "TICK %d" n
   | Ast.Vacuum -> "VACUUM"
+  | Ast.Checkpoint -> "CHECKPOINT"
   | Ast.Query qs -> query_stmt qs
   | Ast.Create_view { name; query = q; maintained } ->
     Printf.sprintf "CREATE %sVIEW %s AS %s"

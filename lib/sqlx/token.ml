@@ -21,6 +21,7 @@ type t =
 let keywords =
   [ "CREATE"; "TABLE"; "DROP"; "INSERT"; "INTO"; "VALUES"; "EXPIRES"; "NEVER";
     "TTL"; "DELETE"; "FROM"; "WHERE"; "ADVANCE"; "TO"; "TICK"; "VACUUM";
+    "CHECKPOINT";
     "SELECT"; "JOIN"; "ON"; "GROUP"; "BY"; "UNION"; "EXCEPT"; "INTERSECT";
     "AND"; "OR"; "NOT"; "TRUE"; "FALSE"; "NULL"; "COUNT"; "SUM"; "MIN"; "MAX";
     "AVG"; "VIEW"; "AS"; "SHOW"; "TABLES"; "VIEWS"; "REFRESH"; "EXPLAIN";

@@ -1,17 +1,33 @@
 (** A durable expiring database: {!Database} plus write-ahead logging
-    and snapshot checkpoints in a directory.
+    and snapshot checkpoints in a directory — and the shipping source
+    for replication.
 
     Layout: [dir/snapshot.log] (the state as of the last checkpoint, in
-    WAL record format) and [dir/wal.log] (records since).  {!open_dir}
-    replays snapshot then log; {!checkpoint} rewrites the snapshot from
-    the {e live} state — expired tuples are never written, so
-    checkpointing doubles as compaction (the paper's "smaller databases"
-    benefit falls out of expiration).
+    WAL record format), [dir/wal.log] (records since) and [dir/meta]
+    (the log position the snapshot corresponds to).  {!open_dir} replays
+    snapshot then log; {!checkpoint} rewrites the snapshot from the
+    {e live} state — expired tuples are never written, so checkpointing
+    doubles as compaction (the paper's "smaller databases" benefit falls
+    out of expiration).
 
     All mutating operations write ahead: the record reaches the log
     (flushed) before the in-memory state changes, so a crash at any
     point loses at most the operation in flight; {!Wal.replay}'s
-    torn-tail tolerance makes the directory reopenable regardless. *)
+    torn-tail tolerance makes the directory reopenable regardless.
+
+    {2 Log positions and shipping}
+
+    Every logged record gets a {e position}: the count of records ever
+    appended since the directory was created.  Positions are monotone
+    and survive both checkpoints (persisted in [dir/meta]) and reopens,
+    which makes them usable as replication cursors: a follower that has
+    applied the stream up to position [p] can resume with exactly the
+    records after [p].  {!ship_from} serves that resumption from an
+    in-memory tail of the most recent records, which is retained
+    {e across} checkpoints (up to [retention] records) precisely so a
+    checkpoint on the primary does not strand a briefly-disconnected
+    follower; only a follower further behind than the retained tail is
+    told to bootstrap from a fresh snapshot of the live state. *)
 
 open Expirel_core
 
@@ -20,9 +36,12 @@ type t
 val open_dir :
   ?policy:Database.policy ->
   ?backend:Expirel_index.Expiration_index.backend ->
+  ?retention:int ->
   string ->
   t
 (** Opens (creating if empty) the database stored in the directory.
+    [retention] (default 4096) bounds the in-memory record tail kept for
+    {!ship_from}.
     @raise Sys_error when the directory does not exist *)
 
 val database : t -> Database.t
@@ -41,10 +60,68 @@ val checkpoint : t -> int
 (** Rewrites the snapshot from the live (unexpired) state and truncates
     the log; returns the number of records in the new snapshot.  The
     snapshot is written to a temporary file and renamed, so a crash
-    during checkpointing leaves the previous snapshot + log intact. *)
+    during checkpointing leaves the previous snapshot + log intact.
+    {!position} is unaffected and the retained tail survives, so
+    followers within [retention] records keep streaming. *)
 
 val close : t -> unit
 (** Flushes and closes the log (the state remains usable in memory). *)
 
 val wal_records : t -> int
 (** Records appended to the log since open/last checkpoint. *)
+
+(** {1 Positions and replication} *)
+
+val position : t -> int
+(** Records ever logged to this directory (monotone across checkpoints
+    and reopens): the head of the replication stream. *)
+
+val snapshot_position : t -> int
+(** The position [dir/snapshot.log] corresponds to; records at positions
+    beyond it live in [dir/wal.log]. *)
+
+val retained_from : t -> int
+(** The earliest position still served record-by-record by
+    {!ship_from}; followers behind it receive a snapshot. *)
+
+val state_records : t -> Wal.record list
+(** The live (unexpired) state as a replayable record list — an
+    [Advance] to the current clock, then per table a [Create_table] and
+    its live [Insert]s.  Exactly what {!checkpoint} writes; replaying it
+    on a fresh database reproduces the current state. *)
+
+type shipment =
+  | Records of Wal.record list
+      (** the records after the requested position, possibly empty *)
+  | Snapshot of {
+      position : int;
+      records : Wal.record list;
+    }
+      (** the requested position predates the retained tail: bootstrap
+          from this full state (at [position]) instead *)
+
+val ship_from : t -> int -> (shipment, string) result
+(** [ship_from t p] is what a follower holding position [p] needs next.
+    [Error] when [p] is negative or beyond {!position} (such a follower
+    is ahead of this log — it followed a different history). *)
+
+val log_record : t -> Wal.record -> unit
+(** Appends (and flushes) a record without touching the database — for
+    callers that apply the equivalent mutation themselves (the
+    interpreter advances the clock through its constraint manager).
+    Using it without applying the mutation desynchronises log and
+    state. *)
+
+val apply_record : t -> Wal.record -> unit
+(** Appends the record, then applies it to the database with replay
+    semantics (expired inserts and backwards advances are skipped, a
+    [Create_table] of an existing table is ignored) — the follower side
+    of shipping. *)
+
+val reset_to : t -> position:int -> Wal.record list -> unit
+(** Replaces directory and database state wholesale with the given
+    state-as-records at the given position: the follower side of a
+    {!shipment} [Snapshot].  The records are written as the new
+    snapshot, the log is truncated, and the in-memory database is
+    rebuilt (tables dropped, records replayed).  The logical clock never
+    moves backwards: a snapshot from the past leaves it where it is. *)

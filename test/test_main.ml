@@ -52,5 +52,6 @@ let () =
       (* networked server *)
       "wire", Test_wire.suite;
       "server", Test_server.suite;
+      "repl", Test_repl.suite;
       (* workloads *)
       "workload", Test_workload.suite ]

@@ -1,0 +1,535 @@
+(* Replication: WAL shipping end to end.
+
+   Three layers of coverage.  Unit tests pin the [Durable] shipping
+   surface (positions monotone across checkpoints and reopens, the
+   Records/Snapshot/Error trichotomy of [ship_from], [reset_to]).  A
+   QCheck property drives a primary through random workloads — including
+   ADVANCE and DELETE — and checks that a follower replaying the shipped
+   stream holds {e exactly} the primary's state at every position it
+   syncs to, over both the record path and the snapshot-bootstrap path.
+   Live tests then run real sockets: a primary and two replicas
+   converging, expiration-exact replica reads, kill/restart catch-up
+   from the persisted position, checkpoints that do not strand
+   followers, and the v1-client version-mismatch answer. *)
+
+open Expirel_core
+open Expirel_storage
+open Expirel_server
+open Expirel_repl
+
+let fin = Time.of_int
+
+let with_temp_dir f =
+  let dir = Filename.temp_dir "expirel" "repl" in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun file -> Sys.remove (Filename.concat dir file))
+        (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () -> f dir)
+
+let with_temp_dirs2 f =
+  with_temp_dir (fun a -> with_temp_dir (fun b -> f a b))
+
+let db_state db =
+  List.map (fun name -> name, Database.snapshot db name) (Database.table_names db)
+
+let check_same_state msg a b =
+  Alcotest.(check bool) (msg ^ ": clocks") true
+    (Time.equal (Database.now a) (Database.now b));
+  Alcotest.(check (list string)) (msg ^ ": tables")
+    (Database.table_names a) (Database.table_names b);
+  List.iter2
+    (fun (name, ra) (_, rb) ->
+      Alcotest.(check bool) (msg ^ ": contents of " ^ name) true
+        (Relation.equal ra rb))
+    (db_state a) (db_state b)
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.fail e
+
+(* An execution that must not even return a wire-level error. *)
+let ok_response r =
+  match ok r with
+  | Wire.Err { message; _ } -> Alcotest.fail message
+  | (_ : Wire.response) -> ()
+
+(* ---------- Durable: positions and shipping ---------- *)
+
+let populate t =
+  Durable.create_table t ~name:"pol" ~columns:[ "uid"; "deg" ];
+  Durable.insert t "pol" (Tuple.ints [ 1; 25 ]) ~texp:(fin 10);
+  Durable.insert t "pol" (Tuple.ints [ 2; 25 ]) ~texp:(fin 15);
+  Durable.advance_to t (fin 4)
+
+let test_position_monotone () =
+  with_temp_dir (fun dir ->
+      let t = Durable.open_dir dir in
+      populate t;
+      Alcotest.(check int) "one position per record" 4 (Durable.position t);
+      let before = Durable.position t in
+      let (_ : int) = Durable.checkpoint t in
+      Alcotest.(check int) "checkpoint moves no positions" before
+        (Durable.position t);
+      Alcotest.(check int) "snapshot base recorded" before
+        (Durable.snapshot_position t);
+      Durable.insert t "pol" (Tuple.ints [ 3; 35 ]) ~texp:(fin 20);
+      Alcotest.(check int) "positions continue past checkpoint" (before + 1)
+        (Durable.position t);
+      Durable.close t;
+      let reopened = Durable.open_dir dir in
+      Alcotest.(check int) "position survives reopen" (before + 1)
+        (Durable.position reopened);
+      Durable.close reopened)
+
+let test_ship_from () =
+  with_temp_dir (fun dir ->
+      let t = Durable.open_dir dir in
+      populate t;
+      (* A caught-up follower gets an empty record batch. *)
+      (match Durable.ship_from t (Durable.position t) with
+       | Ok (Durable.Records []) -> ()
+       | _ -> Alcotest.fail "caught-up follower should get Records []");
+      (* A cold follower within retention gets the whole stream. *)
+      (match Durable.ship_from t 0 with
+       | Ok (Durable.Records records) ->
+         Alcotest.(check int) "full stream" (Durable.position t)
+           (List.length records)
+       | _ -> Alcotest.fail "cold follower within retention gets records");
+      (* A follower from the future followed a different history. *)
+      (match Durable.ship_from t (Durable.position t + 1) with
+       | Error _ -> ()
+       | Ok _ -> Alcotest.fail "position beyond the log must be an error");
+      (match Durable.ship_from t (-1) with
+       | Error _ -> ()
+       | Ok _ -> Alcotest.fail "negative position must be an error");
+      Durable.close t)
+
+let test_ship_snapshot_beyond_retention () =
+  with_temp_dir (fun dir ->
+      let t = Durable.open_dir ~retention:2 dir in
+      populate t;
+      (* Retention 2 after 4 records: position 0 predates the tail. *)
+      (match Durable.ship_from t 0 with
+       | Ok (Durable.Snapshot { position; records }) ->
+         Alcotest.(check int) "snapshot is at the head" (Durable.position t)
+           position;
+         (* The snapshot replays to the live state. *)
+         with_temp_dir (fun dir2 ->
+             let follower = Durable.open_dir dir2 in
+             Durable.reset_to follower ~position records;
+             Alcotest.(check int) "follower adopts the position" position
+               (Durable.position follower);
+             check_same_state "snapshot bootstrap" (Durable.database t)
+               (Durable.database follower);
+             Durable.close follower)
+       | Ok (Durable.Records _) ->
+         Alcotest.fail "position behind the retained tail must snapshot"
+       | Error e -> Alcotest.fail e);
+      (* ...while a follower inside the tail still streams records. *)
+      (match Durable.ship_from t (Durable.position t - 2) with
+       | Ok (Durable.Records records) ->
+         Alcotest.(check int) "tail records" 2 (List.length records)
+       | _ -> Alcotest.fail "follower inside the tail gets records");
+      Durable.close t)
+
+let test_checkpoint_keeps_tail () =
+  with_temp_dir (fun dir ->
+      let t = Durable.open_dir dir in
+      populate t;
+      let (_ : int) = Durable.checkpoint t in
+      (* The retained tail survives the checkpoint: a follower from
+         before it still gets records, not a snapshot. *)
+      (match Durable.ship_from t 0 with
+       | Ok (Durable.Records records) ->
+         Alcotest.(check int) "tail survives checkpoint" 4 (List.length records)
+       | _ -> Alcotest.fail "checkpoint must not strand followers");
+      Durable.close t)
+
+(* ---------- property: shipped prefix == primary state ---------- *)
+
+type op =
+  | Create of string
+  | Drop of string
+  | Insert of string * int * int  (* table, value, ttl *)
+  | Delete of string * int
+  | Advance of int  (* delta in ticks *)
+
+let table_name = QCheck2.Gen.oneofl [ "a"; "b"; "c" ]
+
+let op_gen : op QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  frequency
+    [ 2, map (fun n -> Create n) table_name;
+      1, map (fun n -> Drop n) table_name;
+      6, map3 (fun n v ttl -> Insert (n, v, ttl)) table_name (int_range 0 5)
+           (int_range 1 8);
+      2, map2 (fun n v -> Delete (n, v)) table_name (int_range 0 5);
+      3, map (fun d -> Advance d) (int_range 0 3) ]
+
+let workload = QCheck2.Gen.(list_size (int_range 1 40) op_gen)
+
+(* Applies an op to the primary if it is valid there (invalid ops — a
+   CREATE of an existing table, an INSERT into a missing one — never
+   reach the log, so they are simply skipped). *)
+let apply_op primary op =
+  let db = Durable.database primary in
+  let now () = Option.value (Time.to_int_opt (Database.now db)) ~default:0 in
+  match op with
+  | Create name ->
+    if Database.table db name = None then
+      Durable.create_table primary ~name ~columns:[ "v" ]
+  | Drop name -> ignore (Durable.drop_table primary name)
+  | Insert (name, v, ttl) ->
+    if Database.table db name <> None then
+      Durable.insert primary name (Tuple.ints [ v ]) ~texp:(fin (now () + ttl))
+  | Delete (name, v) ->
+    if Database.table db name <> None then
+      ignore (Durable.delete primary name (Tuple.ints [ v ]))
+  | Advance d -> Durable.advance_to primary (fin (now () + d))
+
+let states_equal a b =
+  Time.equal (Database.now a) (Database.now b)
+  && Database.table_names a = Database.table_names b
+  && List.for_all2
+       (fun (_, ra) (_, rb) -> Relation.equal ra rb)
+       (db_state a) (db_state b)
+
+(* Drives a primary through the workload, syncing a follower via
+   [ship_from]/[apply_record]/[reset_to] every [sync_every] ops; the
+   follower must hold the primary's exact state at every sync point.
+   [retention] small + sparse syncs forces the snapshot path. *)
+let follower_converges ~retention ~sync_every ops =
+  with_temp_dirs2 (fun pdir fdir ->
+      let primary = Durable.open_dir ~retention pdir in
+      let follower = Durable.open_dir fdir in
+      let sync () =
+        match Durable.ship_from primary (Durable.position follower) with
+        | Ok (Durable.Records records) ->
+          List.iter (Durable.apply_record follower) records
+        | Ok (Durable.Snapshot { position; records }) ->
+          Durable.reset_to follower ~position records
+        | Error e -> failwith e
+      in
+      let converged = ref true in
+      List.iteri
+        (fun i op ->
+          apply_op primary op;
+          if (i + 1) mod sync_every = 0 then begin
+            sync ();
+            converged :=
+              !converged
+              && Durable.position follower = Durable.position primary
+              && states_equal (Durable.database primary)
+                   (Durable.database follower)
+          end)
+        ops;
+      sync ();
+      let final =
+        states_equal (Durable.database primary) (Durable.database follower)
+      in
+      Durable.close primary;
+      Durable.close follower;
+      !converged && final)
+
+let prop_replay_prefix_records =
+  Generators.qtest "replaying the shipped stream tracks the primary exactly"
+    ~count:100 workload
+    (follower_converges ~retention:4096 ~sync_every:1)
+
+let prop_replay_snapshot_path =
+  Generators.qtest
+    "a follower stranded past retention converges via snapshot bootstrap"
+    ~count:100 workload
+    (follower_converges ~retention:3 ~sync_every:7)
+
+(* ---------- live: sockets, replicas, failures ---------- *)
+
+let config ?data_dir ?(read_only = false) () =
+  { Server.default_config with
+    Server.host = "127.0.0.1";
+    port = 0;
+    data_dir;
+    read_only
+  }
+
+let with_primary dir f =
+  let server = Server.create ~config:(config ~data_dir:dir ()) () in
+  Server.start server;
+  Fun.protect
+    ~finally:(fun () -> Server.stop server)
+    (fun () -> f server (Server.port server))
+
+let with_replica ~primary_port dir f =
+  let replica =
+    Replica.create ~data_dir:dir ~primary_host:"127.0.0.1" ~primary_port ()
+  in
+  Replica.start replica;
+  Fun.protect ~finally:(fun () -> Replica.stop replica) (fun () -> f replica)
+
+let with_client port f =
+  let client = Client.connect ~host:"127.0.0.1" ~port () in
+  Fun.protect ~finally:(fun () -> Client.close client) (fun () -> f client)
+
+let primary_position server =
+  match Server.store server with
+  | Some store -> Durable.position store
+  | None -> Alcotest.fail "primary has no store"
+
+let synced server replica =
+  if not (Replica.wait_for_position replica (primary_position server)) then
+    Alcotest.fail "replica did not catch up in time"
+
+let rows_of = function
+  | Wire.Rows { rows; _ } ->
+    List.sort compare (List.map (fun (row, texp) -> row, texp) rows)
+  | r -> Alcotest.fail ("expected rows, got " ^ Wire.render_response r)
+
+let query_rows port sql =
+  with_client port (fun c -> rows_of (ok (Client.exec c sql)))
+
+let test_two_replicas_converge () =
+  with_temp_dir (fun pdir ->
+      with_temp_dirs2 (fun rdir1 rdir2 ->
+          with_primary pdir (fun server port ->
+              with_replica ~primary_port:port rdir1 (fun r1 ->
+                  with_replica ~primary_port:port rdir2 (fun r2 ->
+                      with_client port (fun c ->
+                          ok (Client.exec_ok c "CREATE TABLE pol (uid, deg)");
+                          ok (Client.exec_ok c
+                                "INSERT INTO pol VALUES (1, 25) EXPIRES 10");
+                          ok (Client.exec_ok c
+                                "INSERT INTO pol VALUES (2, 25) EXPIRES 15");
+                          ok (Client.exec_ok c
+                                "INSERT INTO pol VALUES (3, 35) EXPIRES 20");
+                          ok (Client.exec_ok c "ADVANCE TO 12"));
+                      synced server r1;
+                      synced server r2;
+                      let sql = "SELECT uid, deg FROM pol" in
+                      let expect = query_rows port sql in
+                      Alcotest.(check int) "expiration happened" 2
+                        (List.length expect);
+                      List.iter
+                        (fun r ->
+                          Alcotest.(check bool)
+                            "replica reads equal primary reads" true
+                            (query_rows (Replica.port r) sql = expect))
+                        [ r1; r2 ];
+                      (* Replica STATS carries the replication section. *)
+                      with_client (Replica.port r1) (fun c ->
+                          match (ok (Client.stats c)).Wire.repl with
+                          | Some repl ->
+                            Alcotest.(check bool) "role is replica" true
+                              (repl.Wire.role = Wire.Replica);
+                            Alcotest.(check int) "no lag when synced" 0
+                              repl.Wire.lag_records
+                          | None ->
+                            Alcotest.fail "replica stats missing repl section"))))))
+
+(* At every tick, a replica read must agree with the primary: no tuple
+   whose expiration has passed on the primary's clock is ever served. *)
+let test_replica_reads_expiration_exact () =
+  with_temp_dirs2 (fun pdir rdir ->
+      with_primary pdir (fun server port ->
+          with_replica ~primary_port:port rdir (fun r ->
+              with_client port (fun c ->
+                  ok (Client.exec_ok c "CREATE TABLE pol (uid, deg)");
+                  for uid = 1 to 8 do
+                    ok
+                      (Client.exec_ok c
+                         (Printf.sprintf
+                            "INSERT INTO pol VALUES (%d, %d) EXPIRES %d" uid
+                            (20 + uid) (2 * uid)))
+                  done;
+                  for tick = 1 to 16 do
+                    ok (Client.exec_ok c (Printf.sprintf "ADVANCE TO %d" tick));
+                    synced server r;
+                    let rows = query_rows (Replica.port r) "SELECT uid FROM pol" in
+                    Alcotest.(check bool)
+                      (Printf.sprintf "tick %d: replica == primary" tick)
+                      true
+                      (rows = query_rows port "SELECT uid FROM pol");
+                    List.iter
+                      (fun (_, texp) ->
+                        Alcotest.(check bool)
+                          (Printf.sprintf "tick %d: nothing expired" tick)
+                          true
+                          Time.(texp > fin tick))
+                      rows
+                  done))))
+
+let test_replica_is_read_only () =
+  with_temp_dirs2 (fun pdir rdir ->
+      with_primary pdir (fun server port ->
+          with_client port (fun c ->
+              ok (Client.exec_ok c "CREATE TABLE pol (uid, deg)"));
+          with_replica ~primary_port:port rdir (fun r ->
+              synced server r;
+              with_client (Replica.port r) (fun c ->
+                  (match ok (Client.exec c "INSERT INTO pol VALUES (9, 9)") with
+                   | Wire.Err { code = Wire.Exec_error; message } ->
+                     Alcotest.(check bool) "message names the primary" true
+                       (String.length message > 0)
+                   | r -> Alcotest.fail ("write accepted: " ^ Wire.render_response r));
+                  match ok (Client.exec c "SELECT uid FROM pol") with
+                  | Wire.Rows _ -> ()
+                  | r -> Alcotest.fail ("read refused: " ^ Wire.render_response r)))))
+
+(* Kill a replica, keep writing, restart it over the same directory: it
+   resumes from its persisted position and converges. *)
+let test_kill_restart_catch_up () =
+  with_temp_dirs2 (fun pdir rdir ->
+      with_primary pdir (fun server port ->
+          with_client port (fun c ->
+              ok (Client.exec_ok c "CREATE TABLE pol (uid, deg)");
+              ok (Client.exec_ok c "INSERT INTO pol VALUES (1, 25) EXPIRES 10"));
+          let stopped_at =
+            with_replica ~primary_port:port rdir (fun r ->
+                synced server r;
+                Replica.position r)
+          in
+          Alcotest.(check bool) "position persisted before the kill" true
+            (stopped_at > 0);
+          with_client port (fun c ->
+              ok (Client.exec_ok c "INSERT INTO pol VALUES (2, 25) EXPIRES 15");
+              ok (Client.exec_ok c "ADVANCE TO 12"));
+          with_replica ~primary_port:port rdir (fun r ->
+              Alcotest.(check int) "restart resumes from disk" stopped_at
+                (Replica.position r);
+              synced server r;
+              Alcotest.(check bool) "caught up record-by-record" true
+                (Replica.snapshots_received r = 0);
+              Alcotest.(check bool) "converged after restart" true
+                (query_rows (Replica.port r) "SELECT uid FROM pol"
+                 = query_rows port "SELECT uid FROM pol"))))
+
+(* CHECKPOINT over the wire compacts the primary without stranding a
+   live follower — the retained tail keeps streaming records. *)
+let test_checkpoint_over_the_wire () =
+  with_temp_dirs2 (fun pdir rdir ->
+      with_primary pdir (fun server port ->
+          with_replica ~primary_port:port rdir (fun r ->
+              with_client port (fun c ->
+                  ok (Client.exec_ok c "CREATE TABLE pol (uid, deg)");
+                  ok (Client.exec_ok c "INSERT INTO pol VALUES (1, 25) EXPIRES 10");
+                  ok (Client.exec_ok c "INSERT INTO pol VALUES (2, 25) EXPIRES 15");
+                  ok (Client.exec_ok c "ADVANCE TO 12");
+                  synced server r;
+                  (match ok (Client.exec c "CHECKPOINT") with
+                   | Wire.Ok_msg m ->
+                     Alcotest.(check bool) "checkpoint reports compaction" true
+                       (String.length m > 0)
+                   | resp ->
+                     Alcotest.fail ("CHECKPOINT: " ^ Wire.render_response resp));
+                  ok (Client.exec_ok c "INSERT INTO pol VALUES (3, 35) EXPIRES 20");
+                  synced server r;
+                  Alcotest.(check int) "follower was not stranded" 0
+                    (Replica.snapshots_received r);
+                  Alcotest.(check bool) "still converged" true
+                    (query_rows (Replica.port r) "SELECT uid FROM pol"
+                     = query_rows port "SELECT uid FROM pol")))))
+
+(* A v1 client speaks to a v2 server and gets the typed answer, not a
+   dropped connection or a junk frame. *)
+let test_v1_client_gets_version_mismatch () =
+  with_temp_dir (fun pdir ->
+      with_primary pdir (fun _server port ->
+          let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, port) in
+          let sock = Unix.socket PF_INET SOCK_STREAM 0 in
+          Fun.protect
+            ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+            (fun () ->
+              Unix.connect sock addr;
+              (* Version byte 1 + the PING tag: a well-formed v1 frame. *)
+              let (_ : int) = Frame.send sock "\x01\x05" in
+              let payload, _ = Frame.recv sock in
+              match Wire.decode_response payload with
+              | Ok (Wire.Err { code = Wire.Version_mismatch; message }) ->
+                Alcotest.(check bool) "diagnostic names both versions" true
+                  (String.length message > 0)
+              | Ok r ->
+                Alcotest.fail ("expected version mismatch, got "
+                               ^ Wire.render_response r)
+              | Error e -> Alcotest.fail ("undecodable reply: " ^ e))))
+
+(* The read-routing client: writes land on the primary, reads fan out to
+   replicas, and a dead replica degrades to the remaining endpoints. *)
+let test_repl_client_routing () =
+  with_temp_dir (fun pdir ->
+      with_temp_dirs2 (fun rdir1 rdir2 ->
+          with_primary pdir (fun server port ->
+              with_replica ~primary_port:port rdir1 (fun r1 ->
+                  with_replica ~primary_port:port rdir2 (fun r2 ->
+                      let endpoint port = { Repl_client.host = "127.0.0.1"; port } in
+                      let client =
+                        Repl_client.create ~primary:(endpoint port)
+                          ~replicas:
+                            [ endpoint (Replica.port r1);
+                              endpoint (Replica.port r2) ]
+                          ()
+                      in
+                      Fun.protect
+                        ~finally:(fun () -> Repl_client.close client)
+                        (fun () ->
+                          ok_response
+                            (Repl_client.exec client "CREATE TABLE pol (uid, deg)");
+                          ok_response
+                            (Repl_client.exec client
+                               "INSERT INTO pol VALUES (1, 25) EXPIRES 10");
+                          synced server r1;
+                          synced server r2;
+                          (* Reads answer from replicas... *)
+                          for _ = 1 to 4 do
+                            match ok (Repl_client.query client "SELECT uid FROM pol") with
+                            | Wire.Rows { rows; _ } ->
+                              Alcotest.(check int) "routed read sees the row" 1
+                                (List.length rows)
+                            | r -> Alcotest.fail (Wire.render_response r)
+                          done;
+                          (* ...writes do not. *)
+                          (match
+                             ok (Repl_client.query client "INSERT INTO pol VALUES (2, 2)")
+                           with
+                           | Wire.Err _ -> ()
+                           | Wire.Rows _ | _ ->
+                             (* Round-robin may land this on the primary
+                                fallback only when every replica is
+                                down; with both up it must be refused. *)
+                             Alcotest.fail "a write routed through query succeeded");
+                          (* The primary advertises its followers. *)
+                          (match ok (Repl_client.primary_stats client) with
+                           | { Wire.repl = Some repl; _ } ->
+                             Alcotest.(check bool) "primary role" true
+                               (repl.Wire.role = Wire.Primary);
+                             Alcotest.(check int) "two followers" 2
+                               repl.Wire.followers
+                           | _ -> Alcotest.fail "primary stats missing repl section");
+                          (* Kill one replica: reads keep answering. *)
+                          Replica.stop r1;
+                          for _ = 1 to 4 do
+                            match ok (Repl_client.query client "SELECT uid FROM pol") with
+                            | Wire.Rows _ -> ()
+                            | r -> Alcotest.fail (Wire.render_response r)
+                          done))))))
+
+let suite =
+  [ Alcotest.test_case "positions are monotone" `Quick test_position_monotone;
+    Alcotest.test_case "ship_from trichotomy" `Quick test_ship_from;
+    Alcotest.test_case "snapshot beyond retention" `Quick
+      test_ship_snapshot_beyond_retention;
+    Alcotest.test_case "checkpoint keeps the tail" `Quick
+      test_checkpoint_keeps_tail;
+    prop_replay_prefix_records;
+    prop_replay_snapshot_path;
+    Alcotest.test_case "two replicas converge" `Quick test_two_replicas_converge;
+    Alcotest.test_case "replica reads are expiration-exact" `Quick
+      test_replica_reads_expiration_exact;
+    Alcotest.test_case "replica is read-only" `Quick test_replica_is_read_only;
+    Alcotest.test_case "kill/restart catches up" `Quick
+      test_kill_restart_catch_up;
+    Alcotest.test_case "checkpoint over the wire" `Quick
+      test_checkpoint_over_the_wire;
+    Alcotest.test_case "v1 client gets a typed mismatch" `Quick
+      test_v1_client_gets_version_mismatch;
+    Alcotest.test_case "read-routing client" `Quick test_repl_client_routing ]

@@ -6,6 +6,7 @@
    exception. *)
 
 open Expirel_core
+open Expirel_storage
 open Expirel_server
 module Gen = QCheck2.Gen
 
@@ -37,12 +38,41 @@ let request : Wire.request Gen.t =
       Gen.map (fun n -> Wire.Unsubscribe n) name;
       Gen.return Wire.Stats;
       Gen.return Wire.Ping;
-      Gen.return Wire.Quit ]
+      Gen.return Wire.Quit;
+      Gen.map2
+        (fun replica_id position -> Wire.Replicate { replica_id; position })
+        name (Gen.int_range 0 1_000_000) ]
 
 let error_code : Wire.error_code Gen.t =
   Gen.oneofl
     [ Wire.Parse_error; Wire.Exec_error; Wire.Proto_error; Wire.Timeout;
-      Wire.Overloaded; Wire.Shutting_down ]
+      Wire.Overloaded; Wire.Shutting_down; Wire.Version_mismatch ]
+
+(* Shipped WAL records reuse the durable on-disk codec; the wire must
+   carry any of them.  (CREATE TABLE needs >= 1 column and the clock
+   only ever advances to finite times, matching what a primary can
+   log.) *)
+let wal_record : Wal.record Gen.t =
+  Gen.oneof
+    [ Gen.map2
+        (fun name columns -> Wal.Create_table { name; columns })
+        name
+        (Gen.list_size (Gen.int_range 1 4) name);
+      Gen.map (fun n -> Wal.Drop_table n) name;
+      (let open Gen in
+       let* table = name in
+       let* r = row in
+       let* texp = time in
+       return (Wal.Insert { table; tuple = Tuple.of_list r; texp }));
+      (let open Gen in
+       let* table = name in
+       let* r = row in
+       return (Wal.Delete { table; tuple = Tuple.of_list r }));
+      Gen.map
+        (fun n -> Wal.Advance (Time.of_int n))
+        (Gen.int_range 0 1_000_000) ]
+
+let wal_records = Gen.list_size (Gen.int_range 0 6) wal_record
 
 let event : Wire.event Gen.t =
   Gen.oneof
@@ -59,6 +89,21 @@ let event : Wire.event Gen.t =
 
 let counter = Gen.int_range 0 1_000_000
 
+let repl_stats : Wire.repl_stats Gen.t =
+  let open Gen in
+  let* role = oneofl [ Wire.Primary; Wire.Replica ] in
+  let* position = counter in
+  let* source_position = counter in
+  let* lag_records = counter in
+  let* clock_lag = counter in
+  let* reconnects = counter in
+  let* snapshots = counter in
+  let* records_shipped = counter in
+  let* followers = counter in
+  return
+    { Wire.role; position; source_position; lag_records; clock_lag;
+      reconnects; snapshots; records_shipped; followers }
+
 let stats : Wire.stats Gen.t =
   let open Gen in
   let* connections_total = counter in
@@ -70,9 +115,11 @@ let stats : Wire.stats Gen.t =
   let* events_pushed = counter in
   let* tuples_expired = counter in
   let* latency_buckets = list_size (int_range 0 14) (pair counter counter) in
+  let* repl = option repl_stats in
   return
     { Wire.connections_total; connections_active; requests_total; errors_total;
-      bytes_in; bytes_out; events_pushed; tuples_expired; latency_buckets }
+      bytes_in; bytes_out; events_pushed; tuples_expired; latency_buckets;
+      repl }
 
 let response : Wire.response Gen.t =
   Gen.oneof
@@ -87,7 +134,17 @@ let response : Wire.response Gen.t =
       Gen.map (fun e -> Wire.Event e) event;
       Gen.map (fun s -> Wire.Stats_reply s) stats;
       Gen.return Wire.Pong;
-      Gen.return Wire.Bye ]
+      Gen.return Wire.Bye;
+      Gen.map2
+        (fun position records -> Wire.Repl_snapshot { position; records })
+        counter wal_records;
+      Gen.map2
+        (fun from_position records ->
+          Wire.Repl_records { from_position; records })
+        counter wal_records;
+      Gen.map2
+        (fun position now -> Wire.Repl_heartbeat { position; now })
+        counter time ]
 
 (* ---------- round-trip properties ---------- *)
 
@@ -174,6 +231,27 @@ let test_wrong_version () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "future protocol version accepted"
 
+(* A v1 payload (version byte 1, the v1 PING layout: just the tag) must
+   be rejected by the v2 decoder, and [payload_version] must still read
+   the foreign version so the server can answer with the typed
+   [Version_mismatch] — the exact check [Server] performs. *)
+let test_v1_payload_detected () =
+  let v1_ping = "\x01\x05" in
+  (match Wire.decode_request v1_ping with
+   | Error reason ->
+     if not (String.length reason > 0) then Alcotest.fail "empty reason"
+   | Ok _ -> Alcotest.fail "v1 payload accepted by a v2 decoder");
+  Alcotest.(check (option int)) "payload_version reads v1" (Some 1)
+    (Wire.payload_version v1_ping);
+  Alcotest.(check (option int)) "payload_version on empty" None
+    (Wire.payload_version "");
+  (* The typed error itself round-trips, so a v1 peer can at least
+     render it (the Err layout is stable across versions). *)
+  let err = Wire.Err { code = Wire.Version_mismatch; message = "v1 vs v2" } in
+  match Wire.decode_response (Wire.encode_response err) with
+  | Ok r when r = err -> ()
+  | Ok _ | Error _ -> Alcotest.fail "Version_mismatch error does not round-trip"
+
 let test_empty_payload () =
   (match Wire.decode_request "" with
    | Error _ -> ()
@@ -224,6 +302,7 @@ let suite =
     junk_never_raises;
     Alcotest.test_case "unknown tag" `Quick test_unknown_tag;
     Alcotest.test_case "wrong version" `Quick test_wrong_version;
+    Alcotest.test_case "v1 payload detected" `Quick test_v1_payload_detected;
     Alcotest.test_case "empty payload" `Quick test_empty_payload;
     Alcotest.test_case "oversized length prefix" `Quick test_oversized_length_prefix;
     Alcotest.test_case "short header is incomplete" `Quick test_short_header_incomplete;
