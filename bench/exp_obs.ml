@@ -1,0 +1,148 @@
+(* The observability experiment: a live server under a small workload,
+   its Prometheus exposition fetched and validated over the wire, the
+   slow-query log queried for span breakdowns, and the raw instrument
+   costs micro-timed — what does always-on tracing cost a request, and
+   what does a METRICS scrape cost the server? *)
+
+open Expirel_server
+module Obs = Expirel_obs
+
+let scrapes = 50
+let workload_requests = 400
+
+(* A sample line is `name{labels} value`; validate the value parses
+   (Prometheus float, "+Inf" allowed) and count families and samples. *)
+let validate_exposition text =
+  let families = ref 0 and samples = ref 0 in
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         if line = "" then ()
+         else if String.length line >= 6 && String.sub line 0 6 = "# TYPE" then
+           incr families
+         else if line.[0] = '#' then ()
+         else begin
+           incr samples;
+           match String.rindex_opt line ' ' with
+           | None -> failwith ("unparsable exposition line: " ^ line)
+           | Some i ->
+             let v = String.sub line (i + 1) (String.length line - i - 1) in
+             if v <> "+Inf" && v <> "-Inf" && v <> "NaN"
+                && float_of_string_opt v = None
+             then failwith ("bad sample value: " ^ line)
+         end);
+  (!families, !samples)
+
+let run_all () =
+  Bench_util.section "observability: tracing, exposition, slow queries";
+  let server = Server.create () in
+  Server.start server;
+  let port = Server.port server in
+  let client = Client.connect ~host:"127.0.0.1" ~port () in
+  let ok = function Ok v -> v | Error e -> failwith e in
+
+  (* ---- a workload worth observing: inserts, queries, expirations ---- *)
+  Bench_util.subsection "workload";
+  ok (Client.exec_ok client "CREATE TABLE pol (uid, deg)");
+  let (), load_s =
+    Bench_util.time_it (fun () ->
+        for i = 1 to workload_requests do
+          let sql =
+            match i mod 4 with
+            | 0 -> "SELECT uid, deg FROM pol WHERE deg < 30"
+            | 1 -> "SELECT deg, COUNT(*) FROM pol GROUP BY deg"
+            | _ ->
+              Printf.sprintf "INSERT INTO pol VALUES (%d, %d) EXPIRES %d" i
+                (20 + (i mod 20))
+                (10 + (i mod 50))
+          in
+          match Client.exec client sql with
+          | Ok _ -> ()
+          | Error e -> failwith e
+        done;
+        ok (Client.exec_ok client "ADVANCE TO 40"))
+  in
+  Bench_util.param_int "workload_requests" workload_requests;
+  Bench_util.metric "workload_req_per_s"
+    (float_of_int workload_requests /. load_s);
+  Printf.printf "%d requests in %.3fs (%.0f req/s, tracing always on)\n"
+    workload_requests load_s
+    (float_of_int workload_requests /. load_s);
+
+  (* ---- METRICS scrapes: validity and cost ---- *)
+  Bench_util.subsection "prometheus exposition";
+  let text = ok (Client.metrics client) in
+  let families, samples = validate_exposition text in
+  if families = 0 || samples = 0 then failwith "empty exposition";
+  let required =
+    [ "expirel_request_duration_seconds_bucket";
+      "expirel_eval_operator_duration_seconds_bucket";
+      "expirel_request_stage_duration_seconds_bucket";
+      "expirel_tuples_expired_total";
+      "expirel_expiration_index_depth" ]
+  in
+  List.iter
+    (fun name ->
+      let sub = name and s = text in
+      let n = String.length sub and m = String.length s in
+      let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+      if not (go 0) then failwith ("exposition missing " ^ name))
+    required;
+  let (), scrape_s =
+    Bench_util.time_it (fun () ->
+        for _ = 1 to scrapes do
+          ignore (ok (Client.metrics client))
+        done)
+  in
+  Bench_util.metric_int "exposition_bytes" (String.length text);
+  Bench_util.metric_int "metric_families" families;
+  Bench_util.metric_int "metric_samples" samples;
+  Bench_util.metric "scrape_ms" (scrape_s /. float_of_int scrapes *. 1e3);
+  Bench_util.table
+    ~headers:[ "exposition"; "value" ]
+    [ [ "bytes"; string_of_int (String.length text) ];
+      [ "families"; string_of_int families ];
+      [ "samples"; string_of_int samples ];
+      [ "scrape avg"; Printf.sprintf "%.2f ms" (scrape_s /. float_of_int scrapes *. 1e3) ] ];
+
+  (* ---- the slow-query log ---- *)
+  Bench_util.subsection "slow queries";
+  let slow = ok (Client.slow_queries client 3) in
+  if slow = [] then failwith "slow log empty after workload";
+  List.iter
+    (fun (q : Wire.slow_query) ->
+      Printf.printf "%6dus  %s (%d spans)\n" q.total_us q.statement
+        (List.length q.spans))
+    slow;
+  let breakdowns =
+    List.for_all (fun (q : Wire.slow_query) -> q.spans <> []) slow
+  in
+  if not breakdowns then failwith "slow queries lack span breakdowns";
+  Bench_util.metric_int "slow_top_us"
+    (match slow with q :: _ -> q.Wire.total_us | [] -> 0);
+
+  Client.close client;
+  Server.stop server;
+
+  (* ---- raw instrument costs ---- *)
+  Bench_util.subsection "instrument micro-costs";
+  let n = 1_000_000 in
+  let c = Obs.Instrument.Counter.create () in
+  let (), counter_s =
+    Bench_util.time_it (fun () ->
+        for _ = 1 to n do
+          Obs.Instrument.Counter.incr c
+        done)
+  in
+  let h = Obs.Instrument.Histogram.create () in
+  let (), histo_s =
+    Bench_util.time_it (fun () ->
+        for i = 1 to n do
+          Obs.Instrument.Histogram.observe h (i land 0xffff)
+        done)
+  in
+  Bench_util.metric "counter_incr_ns" (counter_s /. float_of_int n *. 1e9);
+  Bench_util.metric "histogram_observe_ns" (histo_s /. float_of_int n *. 1e9);
+  Printf.printf "counter incr %.0f ns, histogram observe %.0f ns (n=%d)\n"
+    (counter_s /. float_of_int n *. 1e9)
+    (histo_s /. float_of_int n *. 1e9)
+    n

@@ -28,6 +28,7 @@ let experiments =
     "ttl", "choosing expiration times for caches", Exp_ttl.run_all;
     "server", "wire-protocol server under concurrent clients", Exp_server.run_all;
     "repl", "replication vs polling over real sockets", Exp_repl.run_all;
+    "obs", "tracing, metrics exposition and the slow-query log", Exp_obs.run_all;
     "micro", "Bechamel micro-benchmarks", Bechamel_suite.run ]
 
 let usage () =

@@ -11,7 +11,8 @@
      expirel_cli serve           # TCP server on the wire protocol
      expirel_cli serve --data-dir d  # durable (WAL + snapshots), replicable
      expirel_cli replicate --from HOST:PORT --data-dir d  # follow a primary
-     expirel_cli connect         # remote REPL against a server *)
+     expirel_cli connect         # remote REPL against a server
+     expirel_cli stats --prom    # Prometheus exposition from a server *)
 
 open Expirel_sqlx
 open Expirel_server
@@ -137,22 +138,46 @@ let print_events client =
     (fun e -> print_endline (Wire.render_response (Wire.Event e)))
     (Client.events client)
 
+let print_slow_queries client n =
+  match Client.slow_queries client n with
+  | Ok qs -> print_endline (Wire.render_response (Wire.Slow_queries_reply qs))
+  | Error e -> Printf.printf "error: %s\n" e
+
 let send_statement client text =
   let text = String.trim text in
   if text <> "" then begin
-    (match String.uppercase_ascii text with
-     | "STATS" ->
-       (match Client.stats client with
-        | Ok s -> print_endline (Wire.render_response (Wire.Stats_reply s))
-        | Error e -> Printf.printf "error: %s\n" e)
-     | "PING" ->
-       (match Client.ping client with
-        | Ok () -> print_endline "pong"
-        | Error e -> Printf.printf "error: %s\n" e)
-     | _ ->
-       (match Client.exec client text with
-        | Ok response -> print_endline (Wire.render_response response)
-        | Error e -> Printf.printf "error: %s\n" e));
+    let upper = String.uppercase_ascii text in
+    let starts p =
+      String.length upper >= String.length p
+      && String.sub upper 0 (String.length p) = p
+    in
+    (if upper = "STATS" then
+       match Client.stats client with
+       | Ok s -> print_endline (Wire.render_response (Wire.Stats_reply s))
+       | Error e -> Printf.printf "error: %s\n" e
+     else if upper = "METRICS" then
+       match Client.metrics client with
+       | Ok exposition -> print_string exposition
+       | Error e -> Printf.printf "error: %s\n" e
+     else if upper = "SLOW" || starts "SLOW " then begin
+       let n =
+         if upper = "SLOW" then Some 10
+         else
+           int_of_string_opt
+             (String.trim (String.sub text 5 (String.length text - 5)))
+       in
+       match n with
+       | Some n when n >= 0 -> print_slow_queries client n
+       | Some _ | None -> print_endline "usage: SLOW [N];"
+     end
+     else if upper = "PING" then
+       match Client.ping client with
+       | Ok () -> print_endline "pong"
+       | Error e -> Printf.printf "error: %s\n" e
+     else
+       match Client.exec client text with
+       | Ok response -> print_endline (Wire.render_response response)
+       | Error e -> Printf.printf "error: %s\n" e);
     print_events client
   end
 
@@ -163,7 +188,8 @@ let remote_banner host port =
   Printf.sprintf
     "connected to expirel_server at %s:%d\n\
      statements end with ';'.  Also: SUBSCRIBE name AS SELECT ...;\n\
-    \  UNSUBSCRIBE name;  STATS;  PING;  ^D to quit." host port
+    \  UNSUBSCRIBE name;  STATS;  METRICS;  SLOW [N];  PING;  ^D to quit."
+    host port
 
 let remote_repl client host port =
   print_endline (remote_banner host port);
@@ -235,6 +261,39 @@ let remote_repl client host port =
       loop ()
   in
   loop ()
+
+(* ---------- stats: one-shot metrics fetch against a server ---------- *)
+
+let stats_main host port prom slow =
+  let client =
+    try Client.connect ~host ~port ()
+    with Unix.Unix_error (err, _, _) ->
+      Printf.eprintf "error: cannot connect to %s:%d: %s\n" host port
+        (Unix.error_message err);
+      exit 1
+  in
+  Fun.protect
+    ~finally:(fun () -> Client.close client)
+    (fun () ->
+      let fail msg =
+        Printf.eprintf "error: %s\n" msg;
+        exit 1
+      in
+      (if prom then
+         match Client.metrics client with
+         | Ok exposition -> print_string exposition
+         | Error e -> fail e
+       else
+         match Client.stats client with
+         | Ok s -> print_endline (Wire.render_response (Wire.Stats_reply s))
+         | Error e -> fail e);
+      match slow with
+      | None -> ()
+      | Some n ->
+        (match Client.slow_queries client n with
+         | Ok qs ->
+           print_endline (Wire.render_response (Wire.Slow_queries_reply qs))
+         | Error e -> fail e))
 
 let connect_main host port script =
   let client =
@@ -325,6 +384,26 @@ let replicate_cmd =
     Term.(const replicate $ from_arg $ replica_data_dir_arg $ host_arg
           $ port_arg ~default:0 $ replica_id_arg)
 
+let stats_cmd =
+  let doc = "fetch a running server's metrics" in
+  let prom_flag =
+    Arg.(value & flag
+         & info [ "prom" ]
+             ~doc:"Emit the Prometheus text-format exposition instead of \
+                   the STATS summary.")
+  in
+  let slow_arg =
+    Arg.(value & opt (some int) None
+         & info [ "slow" ] ~docv:"N"
+             ~doc:"Also print the N slowest statements with their span \
+                   breakdowns.")
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc)
+    Term.(const stats_main $ host_arg
+          $ port_arg ~default:Expirel_server.Client.default_port $ prom_flag
+          $ slow_arg)
+
 let connect_cmd =
   let doc = "connect to a running expirel server (remote REPL)" in
   Cmd.v
@@ -336,6 +415,6 @@ let cmd =
   let doc = "interactive shell for the expiration-time-enabled database" in
   let default = Term.(const main $ lazy_flag $ backend_arg $ script_arg $ file_arg) in
   Cmd.group ~default (Cmd.info "expirel_cli" ~doc)
-    [ serve_cmd; replicate_cmd; connect_cmd ]
+    [ serve_cmd; replicate_cmd; connect_cmd; stats_cmd ]
 
 let () = exit (Cmd.eval cmd)

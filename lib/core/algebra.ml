@@ -19,6 +19,20 @@ let intersect a b = Intersect (a, b)
 let diff a b = Diff (a, b)
 let aggregate group f e = Aggregate (group, f, e)
 
+(* One canonical lower-case name per constructor: Explain's plan trees
+   and the observability layer's per-operator timings must agree on
+   spelling, so both go through here. *)
+let operator_name = function
+  | Base _ -> "base"
+  | Select _ -> "select"
+  | Project _ -> "project"
+  | Product _ -> "product"
+  | Union _ -> "union"
+  | Join _ -> "join"
+  | Intersect _ -> "intersect"
+  | Diff _ -> "difference"
+  | Aggregate _ -> "aggregate"
+
 type env = string -> int option
 
 let check_positions what arity js =

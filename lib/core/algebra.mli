@@ -32,6 +32,12 @@ val intersect : t -> t -> t
 val diff : t -> t -> t
 val aggregate : int list -> Aggregate.func -> t -> t
 
+val operator_name : t -> string
+(** Canonical lower-case name of the root operator ([base], [select],
+    [project], [product], [union], [join], [intersect], [difference],
+    [aggregate]) — the vocabulary shared by {!Explain.expr_tree} plan
+    lines and per-operator evaluation metrics. *)
+
 type env = string -> int option
 (** Arity environment for base relations. *)
 

@@ -7,10 +7,14 @@ type result = {
   texp : Time.t;
 }
 
-let run ?(strategy = Aggregate.Exact) ~env ~tau expr =
+let run ?(strategy = Aggregate.Exact) ?probe ~env ~tau expr =
   let arity_env name = Option.map Relation.arity (env name) in
   let (_ : int) = Algebra.arity ~env:arity_env expr in
-  let rec go = function
+  let rec go e =
+    match probe with
+    | None -> eval_node e
+    | Some p -> p (Algebra.operator_name e) (fun () -> eval_node e)
+  and eval_node = function
     | Algebra.Base name ->
       (match env name with
        | Some r -> { relation = Relation.exp tau r; texp = Time.Inf }

@@ -33,11 +33,18 @@ type result = {
 
 val run :
   ?strategy:Aggregate.strategy ->
+  ?probe:(string -> (unit -> result) -> result) ->
   env:env ->
   tau:Time.t ->
   Algebra.t ->
   result
 (** [run ~env ~tau e] materialises [e] at time [tau].
+    [probe], when given, wraps the evaluation of every operator node:
+    it receives the node's {!Algebra.operator_name} and a thunk
+    computing that node (children included — a parent's thunk runs its
+    children's probes inside it), and must return the thunk's result.
+    Observability layers use it to time operators without this module
+    depending on any clock.
     [strategy] (default {!Aggregate.Exact}) selects how aggregation
     result tuples get their expiration times; each result row is further
     capped by its originating member's expiration time so that rows never

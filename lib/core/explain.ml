@@ -49,37 +49,30 @@ let expr_tree e =
     Buffer.add_char buf '\n'
   in
   let positions js = String.concat "," (List.map string_of_int js) in
-  let rec go depth = function
-    | Algebra.Base name -> line depth (Printf.sprintf "base %s" name)
+  (* Operator labels come from Algebra.operator_name so plan trees and
+     per-operator metrics speak the same vocabulary. *)
+  let rec go depth e =
+    let op = Algebra.operator_name e in
+    match e with
+    | Algebra.Base name -> line depth (Printf.sprintf "%s %s" op name)
     | Algebra.Select (p, e1) ->
-      line depth (Printf.sprintf "select [%s]" (Predicate.to_string p));
+      line depth (Printf.sprintf "%s [%s]" op (Predicate.to_string p));
       go (depth + 1) e1
     | Algebra.Project (js, e1) ->
-      line depth (Printf.sprintf "project [%s]" (positions js));
+      line depth (Printf.sprintf "%s [%s]" op (positions js));
       go (depth + 1) e1
-    | Algebra.Product (l, r) ->
-      line depth "product";
-      go (depth + 1) l;
-      go (depth + 1) r
-    | Algebra.Union (l, r) ->
-      line depth "union";
+    | Algebra.Product (l, r) | Algebra.Union (l, r) | Algebra.Intersect (l, r)
+    | Algebra.Diff (l, r) ->
+      line depth op;
       go (depth + 1) l;
       go (depth + 1) r
     | Algebra.Join (p, l, r) ->
-      line depth (Printf.sprintf "join [%s]" (Predicate.to_string p));
-      go (depth + 1) l;
-      go (depth + 1) r
-    | Algebra.Intersect (l, r) ->
-      line depth "intersect";
-      go (depth + 1) l;
-      go (depth + 1) r
-    | Algebra.Diff (l, r) ->
-      line depth "difference";
+      line depth (Printf.sprintf "%s [%s]" op (Predicate.to_string p));
       go (depth + 1) l;
       go (depth + 1) r
     | Algebra.Aggregate (g, f, e1) ->
       line depth
-        (Printf.sprintf "aggregate [group {%s}, %s]" (positions g)
+        (Printf.sprintf "%s [group {%s}, %s]" op (positions g)
            (Aggregate.func_to_string f));
       go (depth + 1) e1
   in

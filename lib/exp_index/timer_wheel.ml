@@ -7,10 +7,12 @@ type t = {
   wheel_size : int;
   levels : int;
   slots : entry list array array;  (* slots.(level).(index) *)
+  counts : int array;  (* live entries stored in slots.(level) *)
   mutable now : int;
   mutable size : int;
   mutable overdue : entry list;
   mutable overflow : entry list;
+  mutable overflow_count : int;
 }
 
 let create ?(wheel_size = 64) ?(levels = 4) ~start () =
@@ -19,10 +21,12 @@ let create ?(wheel_size = 64) ?(levels = 4) ~start () =
   { wheel_size;
     levels;
     slots = Array.init levels (fun _ -> Array.make wheel_size []);
+    counts = Array.make levels 0;
     now = start;
     size = 0;
     overdue = [];
-    overflow = []
+    overflow = [];
+    overflow_count = 0
   }
 
 let now w = w.now
@@ -39,11 +43,16 @@ let place w e =
   else begin
     let rec find l = if l >= w.levels || delta < span w l then l else find (l + 1) in
     let l = find 0 in
-    if l >= w.levels then w.overflow <- e :: w.overflow
-    else
+    if l >= w.levels then begin
+      w.overflow <- e :: w.overflow;
+      w.overflow_count <- w.overflow_count + 1
+    end
+    else begin
       let unit = if l = 0 then 1 else span w (l - 1) in
       let idx = e.at / unit mod w.wheel_size in
-      w.slots.(l).(idx) <- e :: w.slots.(l).(idx)
+      w.slots.(l).(idx) <- e :: w.slots.(l).(idx);
+      w.counts.(l) <- w.counts.(l) + 1
+    end
   end
 
 let add w ~at id =
@@ -58,20 +67,26 @@ let cascade w l =
     let idx = w.now / unit mod w.wheel_size in
     let entries = w.slots.(l).(idx) in
     w.slots.(l).(idx) <- [];
+    w.counts.(l) <- w.counts.(l) - List.length entries;
     List.iter (place w) entries
   end
   else begin
     let entries = w.overflow in
     w.overflow <- [];
+    w.overflow_count <- 0;
     List.iter (place w) entries
   end
+
+(* Slot entries not counting the overdue list (which [advance] drains
+   eagerly, so it is always empty at the loop's decision points). *)
+let stored w = w.overflow_count + Array.fold_left ( + ) 0 w.counts
 
 let advance w ~to_ =
   if to_ < w.now then invalid_arg "Timer_wheel.advance: moving backwards";
   let due = ref (List.map (fun e -> e.at, e.id) w.overdue) in
   w.overdue <- [];
-  while w.now < to_ do
-    w.now <- w.now + 1;
+  (* Run the cascades and the level-0 sweep for the tick [w.now]. *)
+  let process_tick () =
     (* When crossing a span boundary, pull the next higher-level slot. *)
     let rec maybe_cascade l =
       if l <= w.levels && w.now mod span w (l - 1) = 0 then begin
@@ -91,7 +106,41 @@ let advance w ~to_ =
     if slot <> [] then begin
       let ready, later = List.partition (fun e -> e.at <= w.now) slot in
       w.slots.(0).(idx) <- later;
+      w.counts.(0) <- w.counts.(0) - List.length ready;
       due := List.rev_append (List.map (fun e -> e.at, e.id) ready) !due
+    end
+  in
+  while w.now < to_ do
+    if stored w = 0 then
+      (* Empty wheel: every remaining tick is a no-op (cascades pull
+         empty slots, sweeps find empty slots), so jump to the target.
+         This is the replica-catch-up case: a clock jump of millions of
+         ticks used to walk them one by one. *)
+      w.now <- to_
+    else if w.counts.(0) > 0 then begin
+      (* Level 0 holds entries; any tick may deliver.  Walk. *)
+      w.now <- w.now + 1;
+      process_tick ()
+    end
+    else begin
+      (* Level 0 is empty, so no tick can deliver until a cascade
+         repopulates it.  The lowest populated level [k] cascades only
+         at multiples of span (k-1) — and so do all levels above it,
+         since span (l-1) for l > k is a multiple of span (k-1).  Every
+         tick strictly between here and that boundary only cascades
+         levels below [k], all empty: skip the whole run. *)
+      let rec lowest l =
+        if l >= w.levels then w.levels  (* only the overflow is populated *)
+        else if w.counts.(l) > 0 then l
+        else lowest (l + 1)
+      in
+      let unit = span w (lowest 1 - 1) in
+      let boundary = (w.now / unit + 1) * unit in
+      if boundary > to_ then w.now <- to_
+      else begin
+        w.now <- boundary;
+        process_tick ()
+      end
     end
   done;
   let due = List.sort compare !due in

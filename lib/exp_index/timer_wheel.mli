@@ -23,6 +23,10 @@ val add : t -> at:int -> int -> unit
 val advance : t -> to_:int -> (int * int) list
 (** [advance w ~to_] moves the clock to [to_] and returns all due
     [(time, id)] entries in nondecreasing time order (ties by id).
+    Cost is O(occupied ticks + cascade boundaries crossed), not
+    O([to_ - now w]): runs of ticks that can neither deliver nor
+    cascade a populated level are skipped, so a large clock jump over a
+    sparse or empty wheel (replica catch-up after downtime) is cheap.
     @raise Invalid_argument when [to_ < now w] *)
 
 val next_expiry : t -> int option

@@ -1,0 +1,85 @@
+let escape_help s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_label_value s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Prometheus floats: integral values without a fractional part read
+   better ("3" not "3."), everything else in shortest round-trip form. *)
+let float_str v =
+  if v = Float.infinity then "+Inf"
+  else if v = Float.neg_infinity then "-Inf"
+  else if Float.is_nan v then "NaN"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.12g" v
+
+let labels_str = function
+  | [] -> ""
+  | bindings ->
+      let pairs =
+        List.map
+          (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v))
+          bindings
+      in
+      "{" ^ String.concat "," pairs ^ "}"
+
+let add_sample buf name bindings value =
+  Buffer.add_string buf
+    (Printf.sprintf "%s%s %s\n" name (labels_str bindings) (float_str value))
+
+let add_histogram buf name bindings scale (s : Instrument.Histogram.snapshot) =
+  let cumulative = ref 0 in
+  Array.iteri
+    (fun i bound ->
+      cumulative := !cumulative + s.counts.(i);
+      let le =
+        if bound = max_int then "+Inf" else float_str (float_of_int bound *. scale)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%s_bucket%s %d\n" name
+           (labels_str (bindings @ [ ("le", le) ]))
+           !cumulative))
+    s.bounds;
+  add_sample buf (name ^ "_sum") bindings (float_of_int s.sum *. scale);
+  Buffer.add_string buf
+    (Printf.sprintf "%s_count%s %d\n" name (labels_str bindings) s.count)
+
+let render metrics =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (m : Registry.metric) ->
+      Buffer.add_string buf
+        (Printf.sprintf "# HELP %s %s\n" m.name (escape_help m.help));
+      Buffer.add_string buf
+        (Printf.sprintf "# TYPE %s %s\n" m.name
+           (match m.kind with
+           | Registry.Counter_kind -> "counter"
+           | Registry.Gauge_kind -> "gauge"
+           | Registry.Histogram_kind -> "histogram"));
+      List.iter
+        (fun (bindings, sample) ->
+          match sample with
+          | Registry.Counter_sample v ->
+              add_sample buf m.name bindings (float_of_int v *. m.scale)
+          | Registry.Gauge_sample v -> add_sample buf m.name bindings (v *. m.scale)
+          | Registry.Histogram_sample s ->
+              add_histogram buf m.name bindings m.scale s)
+        m.samples)
+    metrics;
+  Buffer.contents buf

@@ -1,0 +1,16 @@
+(** Prometheus text-format exposition (version 0.0.4).
+
+    Renders a {!Registry.collect} result: [# HELP] / [# TYPE] comment
+    pairs, one sample line per label combination, and for histograms the
+    conventional cumulative [_bucket{le="…"}] series plus [_sum] and
+    [_count], ending with an explicit [le="+Inf"] bucket.
+
+    Integer instrument values are multiplied by the metric's registered
+    scale ([1e-6] turns microsecond histograms into base-unit seconds,
+    as the Prometheus naming conventions require); a [max_int] bound
+    renders as [+Inf].  Label values are escaped per the spec
+    (backslash, double quote, newline), help text likewise (backslash,
+    newline). *)
+
+val render : Registry.metric list -> string
+(** The full exposition page, ending in a newline. *)

@@ -1,0 +1,48 @@
+type entry = { statement : string; total_us : int; spans : Trace.span list }
+
+(* [seq] is a recency stamp used only as a tie-break in [slowest]. *)
+type slot = { entry : entry; seq : int }
+
+type t = {
+  ring : slot option array;
+  threshold_us : int;
+  mutable next : int;  (* write cursor *)
+  mutable seq : int;
+  mutex : Mutex.t;
+}
+
+let create ?(capacity = 128) ?(threshold_us = 0) () =
+  if capacity <= 0 then invalid_arg "Slow_log.create: capacity";
+  { ring = Array.make capacity None; threshold_us; next = 0; seq = 0;
+    mutex = Mutex.create () }
+
+let threshold_us t = t.threshold_us
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let record t ~statement ~total_us ~spans =
+  if total_us >= t.threshold_us then
+    locked t (fun () ->
+        t.ring.(t.next) <- Some { entry = { statement; total_us; spans };
+                                  seq = t.seq };
+        t.next <- (t.next + 1) mod Array.length t.ring;
+        t.seq <- t.seq + 1)
+
+let slowest t n =
+  let slots =
+    locked t (fun () ->
+        Array.fold_left
+          (fun acc -> function Some s -> s :: acc | None -> acc)
+          [] t.ring)
+  in
+  let sorted =
+    List.sort
+      (fun a b ->
+        match compare b.entry.total_us a.entry.total_us with
+        | 0 -> compare b.seq a.seq
+        | c -> c)
+      slots
+  in
+  List.filteri (fun i _ -> i < n) sorted |> List.map (fun s -> s.entry)

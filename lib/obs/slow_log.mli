@@ -1,0 +1,30 @@
+(** Ring-buffer slow-query log.
+
+    Keeps the last [capacity] requests whose total duration met the
+    threshold, each with its statement text and span breakdown.
+    {!slowest} answers the wire-level SLOWQ request: the [n] slowest
+    recorded entries, slowest first.
+
+    Thread-safe; recording is O(1), querying O(capacity log capacity). *)
+
+type entry = {
+  statement : string;
+  total_us : int;
+  spans : Trace.span list;
+}
+
+type t
+
+val create : ?capacity:int -> ?threshold_us:int -> unit -> t
+(** [capacity] defaults to 128; [threshold_us] defaults to [0] (record
+    everything — the ring then holds the most recent requests, and
+    {!slowest} still ranks them). *)
+
+val threshold_us : t -> int
+
+val record : t -> statement:string -> total_us:int -> spans:Trace.span list -> unit
+(** No-op when [total_us < threshold_us t]. *)
+
+val slowest : t -> int -> entry list
+(** [slowest t n]: up to [n] entries, slowest first; ties broken by
+    recency (newer first). *)

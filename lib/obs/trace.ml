@@ -1,0 +1,23 @@
+type span = { name : string; start_us : int; duration_us : int }
+
+type t = { t0 : float; mutable recorded : span list (* reverse order *) }
+
+let now_us t = int_of_float ((Unix.gettimeofday () -. t.t0) *. 1e6)
+
+let create () = { t0 = Unix.gettimeofday (); recorded = [] }
+
+let record t ~name ~start_us ~duration_us =
+  t.recorded <- { name; start_us; duration_us } :: t.recorded
+
+let span trace name f =
+  match trace with
+  | None -> f ()
+  | Some t ->
+      let start_us = now_us t in
+      Fun.protect
+        ~finally:(fun () ->
+          record t ~name ~start_us ~duration_us:(now_us t - start_us))
+        f
+
+let spans t = List.rev t.recorded
+let elapsed_us t = now_us t

@@ -1,0 +1,41 @@
+(** Per-request trace spans.
+
+    A trace is created when a request arrives and threaded (as a
+    [t option]) down the query path; each stage wraps its work in
+    {!span}.  Spans record wall-clock offsets relative to the trace's
+    creation, in microseconds, so a recorded trace is self-contained —
+    it can be shipped over the wire or parked in the slow-query log
+    without reference to absolute time.
+
+    A trace belongs to one request on one worker thread; it is not
+    synchronised.  Spans may nest (eval inside exec): each [span] call
+    records its own entry, so a parent's duration includes its
+    children's. *)
+
+type span = {
+  name : string;  (** stage name, e.g. ["parse"], ["op:join"] *)
+  start_us : int;  (** offset from trace creation, µs *)
+  duration_us : int;
+}
+
+type t
+
+val create : unit -> t
+(** Starts the clock. *)
+
+val span : t option -> string -> (unit -> 'a) -> 'a
+(** [span trace name f] runs [f], recording a [name] span on [trace]
+    covering its execution — including when [f] raises ([Fun.protect]).
+    [span None name f] is just [f ()]: callers thread [t option] and
+    pay nothing when tracing is off. *)
+
+val record : t -> name:string -> start_us:int -> duration_us:int -> unit
+(** Appends a span measured externally (e.g. lock wait timed by the
+    caller). *)
+
+val spans : t -> span list
+(** In recording order (children before the parent that encloses
+    them, since the parent's [span] call returns last). *)
+
+val elapsed_us : t -> int
+(** Microseconds since [create]. *)

@@ -90,6 +90,20 @@ let stats t =
   | Ok _ -> Error "unexpected response to STATS"
   | Error _ as e -> e
 
+let metrics t =
+  match request t Wire.Metrics with
+  | Ok (Wire.Metrics_reply text) -> Ok text
+  | Ok (Wire.Err { message; _ }) -> Error message
+  | Ok _ -> Error "unexpected response to METRICS"
+  | Error _ as e -> e
+
+let slow_queries t n =
+  match request t (Wire.Slow_queries n) with
+  | Ok (Wire.Slow_queries_reply qs) -> Ok qs
+  | Ok (Wire.Err { message; _ }) -> Error message
+  | Ok _ -> Error "unexpected response to SLOW"
+  | Error _ as e -> e
+
 let ping t =
   match request t Wire.Ping with
   | Ok Wire.Pong -> Ok ()

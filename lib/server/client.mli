@@ -38,6 +38,14 @@ val subscribe : t -> name:string -> query:string -> (unit, string) result
 val unsubscribe : t -> string -> (unit, string) result
 
 val stats : t -> (Wire.stats, string) result
+
+val metrics : t -> (string, string) result
+(** Prometheus text-format exposition of every server metric. *)
+
+val slow_queries : t -> int -> (Wire.slow_query list, string) result
+(** The [n] slowest recorded statements, slowest first, with their
+    per-stage span breakdowns. *)
+
 val ping : t -> (unit, string) result
 
 val events : t -> Wire.event list

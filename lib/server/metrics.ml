@@ -1,87 +1,158 @@
-(* Upper bounds in microseconds; the final max_int bucket catches
-   everything slower. *)
-let bucket_bounds =
-  [| 50; 100; 250; 500; 1_000; 2_500; 5_000; 10_000; 25_000; 50_000;
-     100_000; 250_000; 1_000_000; max_int |]
+open Expirel_obs
 
 type t = {
-  mutex : Mutex.t;
-  mutable connections_total : int;
-  mutable connections_active : int;
-  mutable requests_total : int;
-  mutable errors_total : int;
-  mutable bytes_in : int;
-  mutable bytes_out : int;
-  mutable events_pushed : int;
-  mutable tuples_expired : int;
-  latency : int array;
-  mutable repl_source : unit -> Wire.repl_stats option;
+  reg : Registry.t;
+  connections_total : Instrument.Counter.t;
+  connections_active : Instrument.Gauge.t;
+  requests_total : Instrument.Counter.t;
+  errors_total : Instrument.Counter.t;
+  bytes_in : Instrument.Counter.t;
+  bytes_out : Instrument.Counter.t;
+  events_pushed : Instrument.Counter.t;
+  tuples_expired : Instrument.Counter.t Instrument.Family.t;
+  latency : Instrument.Histogram.t;
+  stage : Instrument.Histogram.t Instrument.Family.t;
+  op_eval : Instrument.Histogram.t Instrument.Family.t;
+  slow_log : Slow_log.t;
+  mutable repl_provider : unit -> Wire.repl_stats option;
 }
 
 let create () =
-  { mutex = Mutex.create ();
-    connections_total = 0;
-    connections_active = 0;
-    requests_total = 0;
-    errors_total = 0;
-    bytes_in = 0;
-    bytes_out = 0;
-    events_pushed = 0;
-    tuples_expired = 0;
-    latency = Array.make (Array.length bucket_bounds) 0;
-    repl_source = (fun () -> None)
+  let reg = Registry.create () in
+  { reg;
+    connections_total =
+      Registry.counter reg ~name:"expirel_connections_total"
+        ~help:"Connections accepted since start";
+    connections_active =
+      Registry.gauge reg ~name:"expirel_connections_active"
+        ~help:"Connections currently open";
+    requests_total =
+      Registry.counter reg ~name:"expirel_requests_total"
+        ~help:"Requests received (any kind)";
+    errors_total =
+      Registry.counter reg ~name:"expirel_errors_total"
+        ~help:"Requests answered with an error";
+    bytes_in =
+      Registry.counter reg ~name:"expirel_bytes_in_total"
+        ~help:"Payload bytes received";
+    bytes_out =
+      Registry.counter reg ~name:"expirel_bytes_out_total"
+        ~help:"Payload bytes sent (responses and pushed events)";
+    events_pushed =
+      Registry.counter reg ~name:"expirel_events_pushed_total"
+        ~help:"Subscription events pushed to clients";
+    tuples_expired =
+      Registry.counter_family reg ~name:"expirel_tuples_expired_total"
+        ~help:"Tuples whose expiration the storage observed, by removal \
+               policy (eager = at expiration time, lazy = on vacuum)"
+        ~labels:[ "mode" ];
+    latency =
+      (* Microsecond observations, rendered in Prometheus-base seconds.
+         The default bounds include the 500 ms bucket the original
+         fixed array lacked. *)
+      Registry.histogram reg ~scale:1e-6
+        ~name:"expirel_request_duration_seconds"
+        ~help:"Wall-clock request latency" ();
+    stage =
+      Registry.histogram_family reg ~scale:1e-6
+        ~name:"expirel_request_stage_duration_seconds"
+        ~help:"Time spent per request stage (parse, lower, eval, \
+               rwlock_wait, storage)"
+        ~labels:[ "stage" ] ();
+    op_eval =
+      Registry.histogram_family reg ~scale:1e-6
+        ~name:"expirel_eval_operator_duration_seconds"
+        ~help:"Evaluation time per algebra operator node (Explain's \
+               operator vocabulary; parents include their children)"
+        ~labels:[ "operator" ] ();
+    slow_log = Slow_log.create ();
+    repl_provider = (fun () -> None)
   }
 
-let set_repl_source t f = t.repl_source <- f
+let registry t = t.reg
+let set_repl_source t f = t.repl_provider <- f
 
-let locked t f =
-  Mutex.lock t.mutex;
-  let v = f () in
-  Mutex.unlock t.mutex;
-  v
+(* Never let a raising provider poison STATS/METRICS: report no
+   replication section instead.  (The provider may take server locks, so
+   it also must never run under an instrument mutex — it doesn't; this
+   is plain function application.) *)
+let repl_source t () = try t.repl_provider () with _ -> None
 
 let connection_opened t =
-  locked t (fun () ->
-      t.connections_total <- t.connections_total + 1;
-      t.connections_active <- t.connections_active + 1)
+  Instrument.Counter.incr t.connections_total;
+  Instrument.Gauge.add t.connections_active 1
 
-let connection_closed t =
-  locked t (fun () -> t.connections_active <- t.connections_active - 1)
+let connection_closed t = Instrument.Gauge.add t.connections_active (-1)
+let incr_requests t = Instrument.Counter.incr t.requests_total
+let incr_errors t = Instrument.Counter.incr t.errors_total
+let add_bytes_in t n = Instrument.Counter.add t.bytes_in n
+let add_bytes_out t n = Instrument.Counter.add t.bytes_out n
+let incr_events_pushed t = Instrument.Counter.incr t.events_pushed
 
-let incr_requests t = locked t (fun () -> t.requests_total <- t.requests_total + 1)
-let incr_errors t = locked t (fun () -> t.errors_total <- t.errors_total + 1)
-let add_bytes_in t n = locked t (fun () -> t.bytes_in <- t.bytes_in + n)
-let add_bytes_out t n = locked t (fun () -> t.bytes_out <- t.bytes_out + n)
+let mode_label = function
+  | `Eager -> "eager"
+  | `Lazy -> "lazy"
 
-let incr_events_pushed t =
-  locked t (fun () -> t.events_pushed <- t.events_pushed + 1)
-
-let incr_tuples_expired t =
-  locked t (fun () -> t.tuples_expired <- t.tuples_expired + 1)
+let incr_tuples_expired t ~mode =
+  Instrument.Counter.incr
+    (Instrument.Family.labelled t.tuples_expired [ mode_label mode ])
 
 let observe_latency t ~seconds =
-  let us = int_of_float (seconds *. 1e6) in
-  let rec bucket i =
-    if us <= bucket_bounds.(i) || i = Array.length bucket_bounds - 1 then i
-    else bucket (i + 1)
-  in
-  let i = bucket 0 in
-  locked t (fun () -> t.latency.(i) <- t.latency.(i) + 1)
+  Instrument.Histogram.observe t.latency (int_of_float (seconds *. 1e6))
+
+let op_prefix = "op:"
+
+let observe_trace t ~statement ~total_us ~spans =
+  Slow_log.record t.slow_log ~statement ~total_us ~spans;
+  List.iter
+    (fun (s : Trace.span) ->
+      let n = String.length op_prefix in
+      if String.length s.name > n && String.sub s.name 0 n = op_prefix then
+        Instrument.Histogram.observe
+          (Instrument.Family.labelled t.op_eval
+             [ String.sub s.name n (String.length s.name - n) ])
+          s.duration_us
+      else
+        Instrument.Histogram.observe
+          (Instrument.Family.labelled t.stage [ s.name ])
+          s.duration_us)
+    spans
+
+let slowest t n =
+  List.map
+    (fun (e : Slow_log.entry) ->
+      { Wire.statement = e.statement;
+        total_us = e.total_us;
+        spans =
+          List.map
+            (fun (s : Trace.span) ->
+              { Wire.span_name = s.name;
+                start_us = s.start_us;
+                duration_us = s.duration_us
+              })
+            e.spans
+      })
+    (Slow_log.slowest t.slow_log n)
 
 let snapshot t =
-  (* The provider may take the server's own locks; never call it while
-     holding the metrics mutex. *)
-  let repl = t.repl_source () in
-  locked t (fun () ->
-      { Wire.connections_total = t.connections_total;
-        connections_active = t.connections_active;
-        requests_total = t.requests_total;
-        errors_total = t.errors_total;
-        bytes_in = t.bytes_in;
-        bytes_out = t.bytes_out;
-        events_pushed = t.events_pushed;
-        tuples_expired = t.tuples_expired;
-        latency_buckets =
-          Array.to_list (Array.mapi (fun i n -> (bucket_bounds.(i), n)) t.latency);
-        repl
-      })
+  (* The provider may take the server's own locks; it runs as a plain
+     call here, outside every instrument mutex. *)
+  let repl = repl_source t () in
+  let latency = Instrument.Histogram.snapshot t.latency in
+  { Wire.connections_total = Instrument.Counter.value t.connections_total;
+    connections_active = Instrument.Gauge.value t.connections_active;
+    requests_total = Instrument.Counter.value t.requests_total;
+    errors_total = Instrument.Counter.value t.errors_total;
+    bytes_in = Instrument.Counter.value t.bytes_in;
+    bytes_out = Instrument.Counter.value t.bytes_out;
+    events_pushed = Instrument.Counter.value t.events_pushed;
+    tuples_expired =
+      Instrument.Family.fold t.tuples_expired ~init:0 ~f:(fun _ c acc ->
+          acc + Instrument.Counter.value c);
+    latency_buckets =
+      Array.to_list
+        (Array.mapi (fun i n -> (latency.bounds.(i), n)) latency.counts);
+    repl
+  }
+
+let prometheus t = Prometheus.render (Registry.collect t.reg)

@@ -1,11 +1,35 @@
-(** Thread-safe server metrics, following the counter style of
-    {!Expirel_dist.Metrics} but guarded by a mutex because workers
-    update them concurrently.  A {!snapshot} is exactly the
-    {!Wire.stats} record shipped back by the [STATS] command. *)
+(** Server metrics, built on the {!Expirel_obs} instrument library.
+
+    Counters, gauges and histograms live in an [Obs.Registry]; a
+    {!snapshot} still produces exactly the {!Wire.stats} record the
+    [STATS] command has shipped since v1 (the latency-bucket bounds
+    travel in the payload, so the histogram gaining its 500 ms bucket
+    changed no wire layout), while {!prometheus} renders the full
+    registry — wire counters, per-stage and per-operator trace
+    timings, and whatever expiration-domain gauges the server
+    registered — as a Prometheus text-format page for the [METRICS]
+    command.
+
+    Metric names follow the scheme [expirel_<subsystem>_<what>_<unit>]
+    with Prometheus base units (seconds, bytes) and [_total] on
+    counters; labeled families carry one label each ([mode] for
+    expiration policy, [stage] for request stages, [operator] for
+    algebra operators).
+
+    Every instrument releases its mutex on the way out of a raising
+    callback ([Fun.protect] throughout the instrument library), so a
+    failing labelled lookup or replication provider can no longer
+    deadlock every subsequent metrics-touching request — the bug the
+    previous hand-rolled [locked] helper had. *)
 
 type t
 
 val create : unit -> t
+
+val registry : t -> Expirel_obs.Registry.t
+(** For registering additional (domain) metrics — the server adds
+    expiration-index depth, view horizons, WAL position and
+    replication lag as polled gauges. *)
 
 val connection_opened : t -> unit
 (** Bumps both the total and the active-connection gauge. *)
@@ -16,17 +40,43 @@ val incr_errors : t -> unit
 val add_bytes_in : t -> int -> unit
 val add_bytes_out : t -> int -> unit
 val incr_events_pushed : t -> unit
-val incr_tuples_expired : t -> unit
+
+val incr_tuples_expired : t -> mode:[ `Eager | `Lazy ] -> unit
+(** One expired tuple, labeled by how its removal happened: [`Eager]
+    when the clock advance removed it at its expiration time, [`Lazy]
+    when a vacuum reclaimed it late (Section 3.2's two policies). *)
 
 val observe_latency : t -> seconds:float -> unit
-(** Adds one request to the latency histogram (fixed log-scale buckets,
-    microsecond bounds). *)
+(** Adds one request to the latency histogram (log-scale microsecond
+    bounds including the 500 ms bucket, rendered in seconds). *)
+
+val observe_trace :
+  t -> statement:string -> total_us:int -> spans:Expirel_obs.Trace.span list ->
+  unit
+(** Feeds one traced request into the per-stage and per-operator
+    histograms ([op:<name>] spans go to the operator family, every
+    other span to the stage family) and into the slow-query log. *)
+
+val slowest : t -> int -> Wire.slow_query list
+(** The [n] slowest recorded statements, slowest first, as wire
+    values. *)
 
 val set_repl_source : t -> (unit -> Wire.repl_stats option) -> unit
 (** Installs the provider of the replication section of {!snapshot}.
     The server installs a primary-side provider when it opens a durable
-    store; a {!Expirel_repl.Replica} replaces it with its applier's
-    view.  Called outside the metrics mutex, so it may take other
-    locks. *)
+    store; a [Expirel_repl.Replica] replaces it with its applier's
+    view.  Called outside every metrics mutex, so it may take other
+    locks; if it raises, {!snapshot} reports no replication section
+    rather than failing. *)
+
+val repl_source : t -> unit -> Wire.repl_stats option
+(** The installed provider (never raises: a raising provider yields
+    [None]) — the lag gauges poll replication state through this. *)
 
 val snapshot : t -> Wire.stats
+
+val prometheus : t -> string
+(** The registry rendered as a Prometheus text-format page.  Polled
+    gauges run during this call: the caller must hold whatever locks
+    those gauges' data need (the server serves [METRICS] under its
+    read lock). *)

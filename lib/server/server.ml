@@ -1,6 +1,7 @@
 open Expirel_core
 open Expirel_storage
 open Expirel_sqlx
+module Obs = Expirel_obs
 
 type config = {
   host : string;
@@ -66,10 +67,17 @@ let create ?(config = default_config) () =
   in
   let db = Interp.database interp in
   let metrics = Metrics.create () in
-  (* Every expiration the storage observes — eager advance or lazy
-     vacuum — shows up in STATS. *)
+  (* Every expiration the storage observes shows up in STATS/METRICS,
+     labeled by how it was removed: under the eager policy triggers
+     fire from the clock advance at the tuple's expiration time, under
+     the lazy policy from the (late) vacuum. *)
+  let expiry_mode =
+    match config.policy with
+    | Database.Eager -> `Eager
+    | Database.Lazy -> `Lazy
+  in
   Trigger.register (Database.triggers db) ~name:"__server_stats" ~table:"*"
-    (fun _ -> Metrics.incr_tuples_expired metrics);
+    (fun _ -> Metrics.incr_tuples_expired metrics ~mode:expiry_mode);
   let t =
     { config;
       interp;
@@ -109,6 +117,54 @@ let create ?(config = default_config) () =
              followers = Hashtbl.length t.followers
            })
    | None -> ());
+  (* Expiration-domain gauges, polled at exposition time.  They read
+     live database/interp state (table and view hashtables), so METRICS
+     is served under the read lock — see [handle_request]. *)
+  let reg = Metrics.registry metrics in
+  Obs.Registry.gauge_fun reg ~name:"expirel_expiration_index_depth"
+    ~help:"Entries across all tables' expiration indexes (heap nodes / \
+           timer-wheel occupancy): the backlog an advance or vacuum \
+           must process" (fun () ->
+      float_of_int (Database.pending_expirations db));
+  Obs.Registry.custom reg ~name:"expirel_view_texp_horizon_ticks"
+    ~help:"texp(e) horizon per view, in logical ticks (+Inf when the \
+           materialisation is maintainable by expiration alone forever)"
+    ~kind:Obs.Registry.Gauge_kind (fun () ->
+      List.map
+        (fun (view, texp) ->
+          let v =
+            match texp with
+            | Time.Inf -> Float.infinity
+            | Time.Fin n -> float_of_int n
+          in
+          ([ ("view", view) ], Obs.Registry.Gauge_sample v))
+        (Interp.view_horizons t.interp));
+  (match store with
+   | Some s ->
+     Obs.Registry.gauge_fun reg ~name:"expirel_wal_position"
+       ~help:"Monotone log position (records ever logged)" (fun () ->
+         float_of_int (Durable.position s));
+     Obs.Registry.gauge_fun reg ~name:"expirel_wal_records_since_checkpoint"
+       ~help:"Log records accumulated since the last checkpoint" (fun () ->
+         float_of_int (Durable.wal_records s))
+   | None -> ());
+  (* Replication lag, through whatever provider is installed (primary
+     or replica side).  No provider / no stats: the gauges are simply
+     absent from the exposition (the callback raises, collect skips). *)
+  let repl_stat pick () =
+    match Metrics.repl_source metrics () with
+    | Some r -> float_of_int (pick r)
+    | None -> raise Not_found
+  in
+  Obs.Registry.gauge_fun reg ~name:"expirel_repl_lag_records"
+    ~help:"Records behind the replication source (0 on a primary)"
+    (repl_stat (fun r -> r.Wire.lag_records));
+  Obs.Registry.gauge_fun reg ~name:"expirel_repl_clock_lag_ticks"
+    ~help:"Logical-time distance to the replication source's clock"
+    (repl_stat (fun r -> r.Wire.clock_lag));
+  Obs.Registry.gauge_fun reg ~name:"expirel_repl_followers"
+    ~help:"Live replication sessions served (primary side)"
+    (repl_stat (fun r -> r.Wire.followers));
   t
 
 let interp t = t.interp
@@ -217,14 +273,15 @@ let deliver_subscription_events t stmt =
     Subscription.deliver_until t.subs target
   | Some _ | None -> ()
 
-let handle_statement t stmt =
+let handle_statement ?trace t stmt =
   let write = not (is_read_only stmt) in
   if t.config.read_only && not (replica_allows stmt) then
     Wire.Err
       { code = Wire.Exec_error;
         message = "read-only replica: writes go to the primary"
       }
-  else if not (acquire t ~write) then
+  else if not (Obs.Trace.span trace "rwlock_wait" (fun () -> acquire t ~write))
+  then
     Wire.Err
       { code = Wire.Timeout;
         message =
@@ -236,7 +293,7 @@ let handle_statement t stmt =
       (fun () ->
         match
           deliver_subscription_events t stmt;
-          Interp.exec t.interp stmt
+          Interp.exec ?trace t.interp stmt
         with
         | Ok outcome -> response_of_outcome outcome
         | Error message -> Wire.Err { code = Wire.Exec_error; message }
@@ -248,14 +305,28 @@ let handle_statement t stmt =
         | exception Invalid_argument message ->
           Wire.Err { code = Wire.Exec_error; message })
 
+(* Every EXEC is traced: parse -> rwlock wait -> interpreter stages
+   (lower, eval with per-operator spans, storage).  The finished trace
+   feeds the stage/operator histograms and the slow-query log whether
+   the statement succeeded or failed — failing statements are exactly
+   the ones worth finding in the log. *)
 let handle_exec t sql =
-  match Parser.parse_statement sql with
-  | stmt -> handle_statement t stmt
-  | exception Parser.Error (message, off) ->
-    Wire.Err
-      { code = Wire.Parse_error;
-        message = Printf.sprintf "at offset %d: %s" off message
-      }
+  let tr = Obs.Trace.create () in
+  let trace = Some tr in
+  let response =
+    match
+      Obs.Trace.span trace "parse" (fun () -> Parser.parse_statement sql)
+    with
+    | stmt -> handle_statement ?trace t stmt
+    | exception Parser.Error (message, off) ->
+      Wire.Err
+        { code = Wire.Parse_error;
+          message = Printf.sprintf "at offset %d: %s" off message
+        }
+  in
+  Metrics.observe_trace t.metrics ~statement:sql
+    ~total_us:(Obs.Trace.elapsed_us tr) ~spans:(Obs.Trace.spans tr);
+  response
 
 let strip_statement s =
   let s = String.trim s in
@@ -342,6 +413,17 @@ let handle_request t conn = function
   | Wire.Stats ->
     let stats = Metrics.snapshot t.metrics in
     Wire.Stats_reply stats
+  | Wire.Metrics ->
+    (* Unlike STATS (stored counters only), the exposition polls gauges
+       that walk live table/view state, so it runs as a reader. *)
+    if not (acquire t ~write:false) then
+      Wire.Err { code = Wire.Timeout; message = "no lock" }
+    else
+      Fun.protect
+        ~finally:(fun () -> release t ~write:false)
+        (fun () -> Wire.Metrics_reply (Metrics.prometheus t.metrics))
+  | Wire.Slow_queries n ->
+    Wire.Slow_queries_reply (Metrics.slowest t.metrics (max 0 n))
   | Wire.Ping -> Wire.Pong
   | Wire.Quit -> Wire.Bye
   | Wire.Replicate _ ->

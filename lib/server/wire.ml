@@ -1,7 +1,7 @@
 open Expirel_core
 open Expirel_storage
 
-let version = 2
+let version = 3
 let max_frame = 16 * 1024 * 1024
 
 type error_code =
@@ -52,6 +52,18 @@ type stats = {
   repl : repl_stats option;
 }
 
+type span = {
+  span_name : string;
+  start_us : int;
+  duration_us : int;
+}
+
+type slow_query = {
+  statement : string;
+  total_us : int;
+  spans : span list;
+}
+
 type request =
   | Exec of string
   | Subscribe of { name : string; query : string }
@@ -60,6 +72,8 @@ type request =
   | Ping
   | Quit
   | Replicate of { replica_id : string; position : int }
+  | Metrics
+  | Slow_queries of int
 
 type response =
   | Ok_msg of string
@@ -77,6 +91,8 @@ type response =
   | Repl_snapshot of { position : int; records : Wal.record list }
   | Repl_records of { from_position : int; records : Wal.record list }
   | Repl_heartbeat of { position : int; now : Time.t }
+  | Metrics_reply of string
+  | Slow_queries_reply of slow_query list
 
 (* ---------- writer ---------- *)
 
@@ -208,6 +224,18 @@ let encode_request = function
     payload 7 (fun b ->
         put_str b replica_id;
         put_i64 b position)
+  | Metrics -> payload 8 ignore
+  | Slow_queries n -> payload 9 (fun b -> put_i64 b n)
+
+let put_span b s =
+  put_str b s.span_name;
+  put_i64 b s.start_us;
+  put_i64 b s.duration_us
+
+let put_slow_query b q =
+  put_str b q.statement;
+  put_i64 b q.total_us;
+  put_list b put_span q.spans
 
 let encode_response = function
   | Ok_msg m -> payload 1 (fun b -> put_str b m)
@@ -237,6 +265,8 @@ let encode_response = function
     payload 10 (fun b ->
         put_i64 b position;
         put_time b now)
+  | Metrics_reply text -> payload 11 (fun b -> put_str b text)
+  | Slow_queries_reply qs -> payload 12 (fun b -> put_list b put_slow_query qs)
 
 (* ---------- reader ---------- *)
 
@@ -441,7 +471,21 @@ let decode_request data =
       let replica_id = get_str c in
       let position = get_i64 c in
       Replicate { replica_id; position }
+    | 8 -> Metrics
+    | 9 -> Slow_queries (get_i64 c)
     | n -> raise (Bad (Printf.sprintf "unknown request tag %d" n)))
+
+let get_span c =
+  let span_name = get_str c in
+  let start_us = get_i64 c in
+  let duration_us = get_i64 c in
+  { span_name; start_us; duration_us }
+
+let get_slow_query c =
+  let statement = get_str c in
+  let total_us = get_i64 c in
+  let spans = get_list c get_span in
+  { statement; total_us; spans }
 
 let decode_response data =
   decode ~what:"response" data ~by:(fun c -> function
@@ -472,6 +516,8 @@ let decode_response data =
       let position = get_i64 c in
       let now = get_time c in
       Repl_heartbeat { position; now }
+    | 11 -> Metrics_reply (get_str c)
+    | 12 -> Slow_queries_reply (get_list c get_slow_query)
     | n -> raise (Bad (Printf.sprintf "unknown response tag %d" n)))
 
 (* ---------- framing ---------- *)
@@ -574,5 +620,24 @@ let pp_response ppf = function
   | Repl_heartbeat { position; now } ->
     Format.fprintf ppf "heartbeat: position %d, now %s" position
       (Time.to_string now)
+  | Metrics_reply text ->
+    (* Prometheus text is already line-oriented; print as-is, without a
+       trailing blank line. *)
+    Format.pp_print_string ppf
+      (if String.length text > 0 && text.[String.length text - 1] = '\n' then
+         String.sub text 0 (String.length text - 1)
+       else text)
+  | Slow_queries_reply qs ->
+    Format.fprintf ppf "%d slow quer%s" (List.length qs)
+      (if List.length qs = 1 then "y" else "ies");
+    List.iter
+      (fun q ->
+        Format.fprintf ppf "@\n%8dus  %s" q.total_us q.statement;
+        List.iter
+          (fun s ->
+            Format.fprintf ppf "@\n            %s +%dus for %dus" s.span_name
+              s.start_us s.duration_us)
+          q.spans)
+      qs
 
 let render_response r = Format.asprintf "%a" pp_response r

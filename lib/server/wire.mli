@@ -39,6 +39,13 @@ val version : int
     v2 — adds the [Replicate] handshake (request tag 7), the replication
     stream responses (tags 8–10), the [Version_mismatch] error code (7)
     and a trailing optional replication section in [stats].
+    v3 — adds the observability requests [Metrics] (tag 8) and
+    [Slow_queries] (tag 9) with their responses [Metrics_reply] (11) and
+    [Slow_queries_reply] (12); clients send them unprompted, so the
+    bump gives pre-v3 servers a diagnosable mismatch instead of an
+    opaque protocol error.  No existing layout changed — in particular
+    [stats] still carries its latency-bucket bounds in the payload, so
+    the histogram gaining a bucket needed no wire change at all.
 
     On decode failure, a peer should check {!payload_version}: when the
     sender speaks a different version, answer
@@ -110,6 +117,19 @@ type stats = {
       (** present when the server participates in replication *)
 }
 
+type span = {
+  span_name : string;  (** stage label, e.g. ["parse"], ["op:join"] *)
+  start_us : int;  (** offset from the request's arrival, µs *)
+  duration_us : int;
+}
+(** One stage of a traced request — mirrors [Obs.Trace.span]. *)
+
+type slow_query = {
+  statement : string;
+  total_us : int;  (** wall-clock total for the request, µs *)
+  spans : span list;  (** breakdown in recording order *)
+}
+
 type request =
   | Exec of string  (** one sqlx statement *)
   | Subscribe of { name : string; query : string }
@@ -123,6 +143,12 @@ type request =
       (** switch this connection into a replication session: stream the
           log from [position] (the count of records the follower has
           already applied) onwards *)
+  | Metrics
+      (** full metric exposition in Prometheus text format
+          ([Metrics_reply]) *)
+  | Slow_queries of int
+      (** the [n] slowest recent statements with their span breakdowns
+          ([Slow_queries_reply]) *)
 
 type response =
   | Ok_msg of string
@@ -148,6 +174,10 @@ type response =
   | Repl_heartbeat of { position : int; now : Time.t }
       (** periodic when the stream is idle, so followers can measure
           lag (in records and logical time) against a live primary *)
+  | Metrics_reply of string
+      (** Prometheus text-format exposition page, opaque to the wire
+          layer *)
+  | Slow_queries_reply of slow_query list  (** slowest first *)
 
 (** {1 Codecs} — payloads only (no length prefix) *)
 

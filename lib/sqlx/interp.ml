@@ -1,5 +1,6 @@
 open Expirel_core
 open Expirel_storage
+module Trace = Expirel_obs.Trace
 
 type stored_view = {
   mutable view : View.t;
@@ -112,23 +113,36 @@ let order_and_limit ~columns ~order_by ~limit relation =
   | None -> sorted
   | Some n -> List.filteri (fun i _ -> i < n) sorted
 
-let run_query t { Ast.q; at; order_by; limit } =
-  let { Lower.expr; columns } = Lower.lower_query ~catalog:(catalog t) q in
+(* Per-operator timing: wrap every evaluator node in a trace span named
+   after its Algebra.operator_name, prefixed so the metrics layer can
+   tell operator spans from stage spans. *)
+let probe_of trace =
+  match trace with
+  | None -> None
+  | Some _ -> Some (fun op k -> Trace.span trace ("op:" ^ op) k)
+
+let run_query ?trace t { Ast.q; at; order_by; limit } =
+  let { Lower.expr; columns } =
+    Trace.span trace "lower" (fun () -> Lower.lower_query ~catalog:(catalog t) q)
+  in
   let { Eval.relation; texp = texp_e } =
-    match at with
-    | None -> Database.query t.db expr
-    | Some n ->
-      (* Query the known future: evaluate the current physical state as
-         it will stand at time n, assuming no further updates — the
-         future of expiring data is known in advance. *)
-      let tau = Time.of_int n in
-      if Time.(tau < Database.now t.db) then
-        failwith "AT time is in the past (the past is not retained)"
-      else
-        let env name =
-          Option.map (fun tbl -> Table.snapshot tbl ~tau) (Database.table t.db name)
-        in
-        Eval.run ~env ~tau expr
+    Trace.span trace "eval" (fun () ->
+        match at with
+        | None -> Database.query ?probe:(probe_of trace) t.db expr
+        | Some n ->
+          (* Query the known future: evaluate the current physical state as
+             it will stand at time n, assuming no further updates — the
+             future of expiring data is known in advance. *)
+          let tau = Time.of_int n in
+          if Time.(tau < Database.now t.db) then
+            failwith "AT time is in the past (the past is not retained)"
+          else
+            let env name =
+              Option.map
+                (fun tbl -> Table.snapshot tbl ~tau)
+                (Database.table t.db name)
+            in
+            Eval.run ?probe:(probe_of trace) ~env ~tau expr)
   in
   let listing = order_and_limit ~columns ~order_by ~limit relation in
   Rows { columns; relation; listing; texp_e; recomputed = false }
@@ -144,15 +158,21 @@ let each_maintained t f =
    durable store the Advance is logged first (write-ahead), but applied
    only once, here — [Durable.advance_to] would move the clock a second
    time behind the invariant manager's back. *)
-let advance_clock t target =
-  (match t.store with
-   | Some s
-     when (not (Time.is_infinite target)) && Time.(target >= Database.now t.db)
-     ->
-     Durable.log_record s (Wal.Advance target)
-   | Some _ | None -> ());
-  let transitions = Invariant.advance t.invariants target in
-  each_maintained t (fun m -> Maintained.advance m ~to_:target);
+let advance_clock ?trace t target =
+  let transitions =
+    (* The whole state mutation — write-ahead logging, the clock move
+       with its expirations, view maintenance — is the storage stage. *)
+    Trace.span trace "storage" (fun () ->
+        (match t.store with
+         | Some s
+           when (not (Time.is_infinite target))
+                && Time.(target >= Database.now t.db) ->
+           Durable.log_record s (Wal.Advance target)
+         | Some _ | None -> ());
+        let transitions = Invariant.advance t.invariants target in
+        each_maintained t (fun m -> Maintained.advance m ~to_:target);
+        transitions)
+  in
   let base = Printf.sprintf "clock advanced to %s" (Time.to_string target) in
   match transitions with
   | [] -> Msg base
@@ -207,7 +227,7 @@ let constraint_status t name info =
      | None -> "")
     prediction
 
-let exec_statement t = function
+let exec_statement ?trace t = function
   | Ast.Create_table (name, columns) ->
     (match t.store with
      | Some s -> Durable.create_table s ~name ~columns
@@ -225,11 +245,12 @@ let exec_statement t = function
     else raise (Errors.Unknown_relation name)
   | Ast.Insert { table; values; expires } ->
     let texp = time_of_expires t expires in
-    (match t.store with
-     | Some s -> Durable.insert s table (Tuple.of_list values) ~texp
-     | None -> Database.insert_values t.db table values ~texp);
-    each_maintained t (fun m ->
-        Maintained.insert m ~relation:table (Tuple.of_list values) ~texp);
+    Trace.span trace "storage" (fun () ->
+        (match t.store with
+         | Some s -> Durable.insert s table (Tuple.of_list values) ~texp
+         | None -> Database.insert_values t.db table values ~texp);
+        each_maintained t (fun m ->
+            Maintained.insert m ~relation:table (Tuple.of_list values) ~texp));
     Msg "1 tuple inserted"
   | Ast.Delete (table, where) ->
     let tbl = Database.table_exn t.db table in
@@ -247,31 +268,34 @@ let exec_statement t = function
           | Some _ | None -> tuple :: acc)
         snapshot []
     in
-    List.iter
-      (fun tuple ->
-        (match t.store with
-         | Some s -> ignore (Durable.delete s table tuple)
-         | None -> ignore (Table.delete tbl tuple));
-        each_maintained t (fun m -> Maintained.delete m ~relation:table tuple))
-      victims;
+    Trace.span trace "storage" (fun () ->
+        List.iter
+          (fun tuple ->
+            (match t.store with
+             | Some s -> ignore (Durable.delete s table tuple)
+             | None -> ignore (Table.delete tbl tuple));
+            each_maintained t (fun m ->
+                Maintained.delete m ~relation:table tuple))
+          victims);
     Msg (Printf.sprintf "%d tuple(s) deleted" (List.length victims))
-  | Ast.Advance_to n -> advance_clock t (Time.of_int n)
-  | Ast.Tick n -> advance_clock t (Time.add (Database.now t.db) (Time.of_int n))
+  | Ast.Advance_to n -> advance_clock ?trace t (Time.of_int n)
+  | Ast.Tick n ->
+    advance_clock ?trace t (Time.add (Database.now t.db) (Time.of_int n))
   | Ast.Vacuum ->
-    let reclaimed = Database.vacuum t.db in
+    let reclaimed = Trace.span trace "storage" (fun () -> Database.vacuum t.db) in
     Msg (Printf.sprintf "%d tuple(s) reclaimed" reclaimed)
   | Ast.Checkpoint ->
     (match t.store with
      | None -> failwith "CHECKPOINT requires a durable store (no data directory)"
      | Some s ->
        let logged = Durable.wal_records s in
-       let kept = Durable.checkpoint s in
+       let kept = Trace.span trace "storage" (fun () -> Durable.checkpoint s) in
        Msg
          (Printf.sprintf
             "checkpoint at position %d: %d log record(s) compacted into a \
              %d-record snapshot"
             (Durable.position s) logged kept))
-  | Ast.Query qs -> run_query t qs
+  | Ast.Query qs -> run_query ?trace t qs
   | Ast.Create_view { name; query; maintained } ->
     if view_name_taken t name then
       failwith (Printf.sprintf "view %s exists" name)
@@ -428,8 +452,23 @@ let exec_statement t = function
           | `Non_monotonic k -> Printf.sprintf "non-monotonic (%d)" k)
          (Time.to_string texp))
 
-let exec t statement =
-  match exec_statement t statement with
+let view_horizons t =
+  let plain =
+    Hashtbl.fold
+      (fun name sv acc -> (name, sv.view.View.texp) :: acc)
+      t.views []
+  in
+  let maintained =
+    (* Maintained incrementally under updates and the clock: their
+       materialisation never needs recomputation. *)
+    Hashtbl.fold
+      (fun name _ acc -> (name, Time.infinity) :: acc)
+      t.maintained_views []
+  in
+  List.sort compare (plain @ maintained)
+
+let exec ?trace t statement =
+  match exec_statement ?trace t statement with
   | outcome -> Ok outcome
   | exception Errors.Unknown_relation name ->
     Error (Printf.sprintf "unknown relation %s" name)

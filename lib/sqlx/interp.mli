@@ -43,7 +43,19 @@ type outcome =
       recomputed : bool;  (** a view read forced a recomputation *)
     }
 
-val exec : t -> Ast.statement -> (outcome, string) result
+val view_horizons : t -> (string * Time.t) list
+(** [texp(e)] horizon per view, sorted by name: how long each
+    materialisation stays maintainable by local expiration alone.
+    Maintained views report [Inf] (incremental maintenance never
+    recomputes); plain views report their current [texp(e)].  The
+    observability layer exposes these as gauges. *)
+
+val exec :
+  ?trace:Expirel_obs.Trace.t -> t -> Ast.statement -> (outcome, string) result
+(** [trace], when given, records spans for the statement's stages —
+    [lower] and [eval] for queries (with per-operator [op:<name>]
+    child spans), [storage] around state mutation — onto the caller's
+    per-request trace. *)
 
 val exec_sql : t -> string -> (outcome, string) result
 (** Parse and execute one statement. *)

@@ -52,6 +52,9 @@ let table_names db =
   Hashtbl.fold (fun name _ acc -> name :: acc) db.tables []
   |> List.sort String.compare
 
+let pending_expirations db =
+  Hashtbl.fold (fun _ t acc -> acc + Table.pending_expirations t) db.tables 0
+
 let insert db name tuple ~texp =
   if Time.(texp <= db.clock) then
     invalid_arg
@@ -123,4 +126,5 @@ let snapshot db name = Table.snapshot (table_exn db name) ~tau:db.clock
 
 let env db name = Option.map (fun t -> Table.snapshot t ~tau:db.clock) (table db name)
 
-let query ?strategy db expr = Eval.run ?strategy ~env:(env db) ~tau:db.clock expr
+let query ?strategy ?probe db expr =
+  Eval.run ?strategy ?probe ~env:(env db) ~tau:db.clock expr

@@ -34,6 +34,10 @@ val table : t -> string -> Table.t option
 val table_exn : t -> string -> Table.t
 val table_names : t -> string list
 
+val pending_expirations : t -> int
+(** Sum of {!Table.pending_expirations} over every table: the total
+    expiration-index depth (heap entries / timer-wheel occupancy). *)
+
 val insert : t -> string -> Tuple.t -> texp:Time.t -> unit
 (** @raise Errors.Unknown_relation / [Invalid_argument] on arity issues.
     @raise Invalid_argument when [texp <= now] (the tuple would be born
@@ -67,5 +71,9 @@ val snapshot : t -> string -> Relation.t
 val env : t -> Eval.env
 (** Evaluation environment over the current logical states. *)
 
-val query : ?strategy:Aggregate.strategy -> t -> Algebra.t -> Eval.result
-(** Evaluates at the current clock. *)
+val query :
+  ?strategy:Aggregate.strategy ->
+  ?probe:(string -> (unit -> Eval.result) -> Eval.result) ->
+  t -> Algebra.t -> Eval.result
+(** Evaluates at the current clock.  [probe] is passed to {!Eval.run}
+    to time each operator node. *)

@@ -84,6 +84,7 @@ let delete t tuple =
 
 let texp_of t tuple = Option.map snd (Tuple_tbl.find_opt t.rows tuple)
 let physical_count t = Tuple_tbl.length t.rows
+let pending_expirations t = Expiration_index.size t.index
 
 let live_count t ~tau =
   Tuple_tbl.fold

@@ -40,6 +40,11 @@ val physical_count : t -> int
 
 val live_count : t -> tau:Time.t -> int
 
+val pending_expirations : t -> int
+(** Entries currently held by the table's expiration index (heap /
+    timer wheel / scan) — the backlog an advance or vacuum would have to
+    process.  The depth gauge the observability layer exposes. *)
+
 val snapshot : t -> tau:Time.t -> Relation.t
 (** The logical state [exp_tau(R)]. *)
 

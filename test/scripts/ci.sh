@@ -5,5 +5,11 @@
 # server smoke/concurrency tests.
 set -eux
 cd "$(dirname "$0")/../.."
+# lib/obs compiles with -warn-error +a (its dune says so); build it
+# alone first so an instrumentation warning fails fast with a small log.
+dune build lib/obs
 dune build @all
 dune runtest
+# Smoke the observability experiment: a live server, a METRICS scrape
+# validated line by line, and the slow-query log — end to end.
+dune exec bench/main.exe -- obs

@@ -49,6 +49,8 @@ let () =
       "sim", Test_sim.suite;
       "sim-update", Test_sim_update.suite;
       "sim-unreliable", Test_sim_unreliable.suite;
+      (* observability *)
+      "obs", Test_obs.suite;
       (* networked server *)
       "wire", Test_wire.suite;
       "server", Test_server.suite;

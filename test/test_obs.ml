@@ -1,0 +1,325 @@
+(* The observability substrate: thread-safe instruments, the metric
+   registry, per-request traces, the slow-query ring and the Prometheus
+   renderer — including regressions for the two metrics bugs this layer
+   replaced (mutex leaked on a raising critical section; missing 500 ms
+   latency bucket). *)
+
+open Expirel_obs
+
+(* ---------- instruments ---------- *)
+
+let test_counter () =
+  let c = Instrument.Counter.create () in
+  Instrument.Counter.incr c;
+  Instrument.Counter.add c 41;
+  Alcotest.(check int) "value" 42 (Instrument.Counter.value c);
+  Alcotest.check_raises "negative add rejected"
+    (Invalid_argument "Counter.add: negative increment") (fun () ->
+      Instrument.Counter.add c (-1));
+  Alcotest.(check int) "unchanged after reject" 42 (Instrument.Counter.value c)
+
+let test_gauge () =
+  let g = Instrument.Gauge.create () in
+  Instrument.Gauge.set g 7;
+  Instrument.Gauge.add g (-10);
+  Alcotest.(check int) "negative allowed" (-3) (Instrument.Gauge.value g)
+
+(* Regression: the original server histogram jumped from 250 ms straight
+   to 1 s, so every request between 250 ms and 1 s was reported as
+   "<= 1s".  The default bounds must include 500 ms, and an observation
+   between 250 ms and 500 ms must land there, not in the 1 s bucket. *)
+let test_latency_bucket_gap () =
+  let bounds = Instrument.Histogram.default_latency_bounds_us in
+  Alcotest.(check bool) "500ms bound present" true
+    (Array.exists (fun b -> b = 500_000) bounds);
+  let sorted = Array.for_all (fun i -> i = 0 || bounds.(i - 1) < bounds.(i))
+      (Array.init (Array.length bounds) Fun.id)
+  in
+  Alcotest.(check bool) "bounds strictly increasing" true sorted;
+  let h = Instrument.Histogram.create () in
+  Instrument.Histogram.observe h 400_000;
+  Instrument.Histogram.observe h 600_000;
+  let s = Instrument.Histogram.snapshot h in
+  let count_at bound =
+    let i = ref (-1) in
+    Array.iteri (fun j b -> if b = bound then i := j) s.bounds;
+    s.counts.(!i)
+  in
+  Alcotest.(check int) "400ms lands in the 500ms bucket" 1 (count_at 500_000);
+  Alcotest.(check int) "600ms lands in the 1s bucket" 1 (count_at 1_000_000)
+
+let test_histogram_edges () =
+  let h = Instrument.Histogram.create ~bounds:[| 10; 20 |] () in
+  List.iter (Instrument.Histogram.observe h) [ 10; 11; 21; max_int ];
+  let s = Instrument.Histogram.snapshot h in
+  Alcotest.(check (list int)) "bucketing at the bound is inclusive"
+    [ 1; 1; 2 ] (Array.to_list s.counts);
+  Alcotest.(check int) "last bound is the catch-all" max_int
+    s.bounds.(Array.length s.bounds - 1);
+  Alcotest.(check int) "count" 4 s.count;
+  Alcotest.check_raises "unsorted bounds rejected"
+    (Invalid_argument "Histogram.create: bounds not strictly increasing")
+    (fun () -> ignore (Instrument.Histogram.create ~bounds:[| 5; 5 |] ()))
+
+(* Regression for the Metrics.locked bug: an exception inside a critical
+   section (here, Family arity validation) must release the mutex, so
+   the next well-formed call succeeds instead of deadlocking. *)
+let test_family_raise_no_deadlock () =
+  let fam =
+    Instrument.Family.create ~labels:[ "mode" ]
+      ~make:Instrument.Counter.create
+  in
+  (try ignore (Instrument.Family.labelled fam [ "a"; "b" ])
+   with Invalid_argument _ -> ());
+  (* Run the retry on another thread with a watchdog: if the mutex
+     leaked, this thread blocks forever; we fail instead of hanging the
+     suite. *)
+  let done_ = Atomic.make false in
+  let t =
+    Thread.create
+      (fun () ->
+        Instrument.Counter.incr (Instrument.Family.labelled fam [ "eager" ]);
+        Atomic.set done_ true)
+      ()
+  in
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while (not (Atomic.get done_)) && Unix.gettimeofday () < deadline do
+    Thread.yield ()
+  done;
+  Alcotest.(check bool) "family usable after raising call" true
+    (Atomic.get done_);
+  Thread.join t;
+  Alcotest.(check int) "counter recorded" 1
+    (Instrument.Counter.value (Instrument.Family.labelled fam [ "eager" ]))
+
+let test_family_fold_sorted () =
+  let fam =
+    Instrument.Family.create ~labels:[ "op" ] ~make:Instrument.Counter.create
+  in
+  List.iter
+    (fun v -> Instrument.Counter.incr (Instrument.Family.labelled fam [ v ]))
+    [ "join"; "base"; "select" ];
+  let order =
+    Instrument.Family.fold fam ~init:[] ~f:(fun bindings _ acc ->
+        acc @ [ List.assoc "op" bindings ])
+  in
+  Alcotest.(check (list string)) "fold sorted by label values"
+    [ "base"; "join"; "select" ] order
+
+(* 8 threads × 10_000 operations against one counter, one gauge and one
+   histogram, with a 9th thread snapshotting throughout.  Totals must be
+   exact and every snapshot internally consistent. *)
+let test_hammer () =
+  let threads = 8 and per_thread = 10_000 in
+  let c = Instrument.Counter.create () in
+  let g = Instrument.Gauge.create () in
+  let h = Instrument.Histogram.create ~bounds:[| 4; 16; 64 |] () in
+  let stop = Atomic.make false in
+  let inconsistent = Atomic.make 0 in
+  let reader =
+    Thread.create
+      (fun () ->
+        while not (Atomic.get stop) do
+          let s = Instrument.Histogram.snapshot h in
+          if Array.fold_left ( + ) 0 s.counts <> s.count then
+            Atomic.incr inconsistent;
+          Thread.yield ()
+        done)
+      ()
+  in
+  let workers =
+    List.init threads (fun i ->
+        Thread.create
+          (fun () ->
+            for j = 1 to per_thread do
+              Instrument.Counter.incr c;
+              Instrument.Gauge.add g (if j mod 2 = 0 then 1 else -1);
+              Instrument.Histogram.observe h ((i + j) mod 100)
+            done)
+          ())
+  in
+  List.iter Thread.join workers;
+  Atomic.set stop true;
+  Thread.join reader;
+  Alcotest.(check int) "no torn snapshots" 0 (Atomic.get inconsistent);
+  Alcotest.(check int) "counter exact" (threads * per_thread)
+    (Instrument.Counter.value c);
+  Alcotest.(check int) "gauge exact" 0 (Instrument.Gauge.value g);
+  let s = Instrument.Histogram.snapshot h in
+  Alcotest.(check int) "histogram count exact" (threads * per_thread) s.count;
+  Alcotest.(check int) "histogram sum exact"
+    (List.init threads (fun i ->
+         List.init per_thread (fun j -> (i + j + 1) mod 100)
+         |> List.fold_left ( + ) 0)
+     |> List.fold_left ( + ) 0)
+    s.sum
+
+(* ---------- registry ---------- *)
+
+let test_registry_duplicate () =
+  let reg = Registry.create () in
+  ignore (Registry.counter reg ~name:"dup" ~help:"");
+  Alcotest.check_raises "duplicate name rejected"
+    (Invalid_argument "Registry: duplicate metric name dup") (fun () ->
+      ignore (Registry.gauge reg ~name:"dup" ~help:""))
+
+(* A raising polled callback is skipped — the metric reports no samples
+   and the registry stays collectable, collection after collection. *)
+let test_registry_raising_callback () =
+  let reg = Registry.create () in
+  let c = Registry.counter reg ~name:"good" ~help:"" in
+  Instrument.Counter.add c 3;
+  Registry.gauge_fun reg ~name:"bad" ~help:"" (fun () -> raise Not_found);
+  let healthy = ref 0.0 in
+  Registry.gauge_fun reg ~name:"healthy" ~help:"" (fun () -> !healthy);
+  for i = 1 to 3 do
+    healthy := float_of_int i;
+    let metrics = Registry.collect reg in
+    let find name = List.find (fun (m : Registry.metric) -> m.name = name) metrics in
+    Alcotest.(check int) "raising metric has no samples" 0
+      (List.length (find "bad").samples);
+    (match (find "good").samples with
+     | [ ([], Registry.Counter_sample 3) ] -> ()
+     | _ -> Alcotest.fail "stored counter sampled wrong");
+    match (find "healthy").samples with
+    | [ ([], Registry.Gauge_sample v) ] ->
+      Alcotest.(check (float 0.0)) "later callbacks still polled"
+        (float_of_int i) v
+    | _ -> Alcotest.fail "healthy gauge sampled wrong"
+  done
+
+let test_registry_order () =
+  let reg = Registry.create () in
+  ignore (Registry.counter reg ~name:"first" ~help:"");
+  ignore (Registry.gauge reg ~name:"second" ~help:"");
+  ignore (Registry.histogram reg ~name:"third" ~help:"" ());
+  Alcotest.(check (list string)) "collect in registration order"
+    [ "first"; "second"; "third" ]
+    (List.map (fun (m : Registry.metric) -> m.name) (Registry.collect reg))
+
+(* ---------- traces ---------- *)
+
+let test_trace_spans () =
+  let tr = Trace.create () in
+  let result =
+    Trace.span (Some tr) "outer" (fun () ->
+        Trace.span (Some tr) "inner" (fun () -> 21) * 2)
+  in
+  Alcotest.(check int) "value passed through" 42 result;
+  (match Trace.spans tr with
+   | [ inner; outer ] ->
+     Alcotest.(check string) "child recorded first" "inner" inner.Trace.name;
+     Alcotest.(check string) "parent second" "outer" outer.Trace.name;
+     Alcotest.(check bool) "parent covers child" true
+       (outer.Trace.start_us <= inner.Trace.start_us
+        && outer.Trace.duration_us >= inner.Trace.duration_us)
+   | spans ->
+     Alcotest.failf "expected 2 spans, got %d" (List.length spans));
+  Alcotest.(check int) "span None is a passthrough" 7
+    (Trace.span None "ignored" (fun () -> 7))
+
+let test_trace_records_on_raise () =
+  let tr = Trace.create () in
+  (try Trace.span (Some tr) "boom" (fun () -> failwith "x")
+   with Failure _ -> ());
+  match Trace.spans tr with
+  | [ { Trace.name = "boom"; _ } ] -> ()
+  | _ -> Alcotest.fail "raising span not recorded"
+
+(* ---------- slow log ---------- *)
+
+let test_slow_log_ranking () =
+  let log = Slow_log.create ~capacity:8 () in
+  List.iteri
+    (fun i us ->
+      Slow_log.record log
+        ~statement:(Printf.sprintf "q%d" i)
+        ~total_us:us ~spans:[])
+    [ 30; 100; 10; 100; 50 ];
+  let top = Slow_log.slowest log 3 in
+  Alcotest.(check (list string)) "slowest first, ties newest first"
+    [ "q3"; "q1"; "q4" ]
+    (List.map (fun (e : Slow_log.entry) -> e.statement) top);
+  Alcotest.(check int) "asking beyond capacity is clamped" 5
+    (List.length (Slow_log.slowest log 99))
+
+let test_slow_log_threshold_and_eviction () =
+  let log = Slow_log.create ~capacity:2 ~threshold_us:20 () in
+  Slow_log.record log ~statement:"fast" ~total_us:19 ~spans:[];
+  Alcotest.(check int) "below threshold skipped" 0
+    (List.length (Slow_log.slowest log 10));
+  List.iter
+    (fun (s, us) -> Slow_log.record log ~statement:s ~total_us:us ~spans:[])
+    [ ("a", 100); ("b", 30); ("c", 40) ];
+  Alcotest.(check (list string)) "ring evicts oldest, not slowest"
+    [ "c"; "b" ]
+    (List.map (fun (e : Slow_log.entry) -> e.statement)
+       (Slow_log.slowest log 10))
+
+(* ---------- prometheus rendering ---------- *)
+
+let test_prometheus_render () =
+  let reg = Registry.create () in
+  let c =
+    Registry.counter reg ~name:"expirel_widgets_total" ~help:"Widgets\nmade"
+  in
+  Instrument.Counter.add c 3;
+  let h =
+    Registry.histogram reg ~scale:1e-6 ~bounds:[| 1_000; 500_000 |]
+      ~name:"expirel_lat_seconds" ~help:"lat" ()
+  in
+  Instrument.Histogram.observe h 400_000;
+  Instrument.Histogram.observe h 999;
+  let fam =
+    Registry.counter_family reg ~name:"expirel_modes_total" ~help:"modes"
+      ~labels:[ "mode" ]
+  in
+  Instrument.Counter.incr
+    (Instrument.Family.labelled fam [ "ea\"ger\\x\ny" ]);
+  let text = Prometheus.render (Registry.collect reg) in
+  let has line = List.mem line (String.split_on_char '\n' text) in
+  List.iter
+    (fun line -> Alcotest.(check bool) ("has: " ^ line) true (has line))
+    [ "# HELP expirel_widgets_total Widgets\\nmade";
+      "# TYPE expirel_widgets_total counter";
+      "expirel_widgets_total 3";
+      "# TYPE expirel_lat_seconds histogram";
+      "expirel_lat_seconds_bucket{le=\"0.001\"} 1";
+      (* buckets are cumulative *)
+      "expirel_lat_seconds_bucket{le=\"0.5\"} 2";
+      "expirel_lat_seconds_bucket{le=\"+Inf\"} 2";
+      "expirel_lat_seconds_count 2";
+      (* label values escape backslash, quote and newline *)
+      "expirel_modes_total{mode=\"ea\\\"ger\\\\x\\ny\"} 1" ];
+  (* _sum is scaled to seconds *)
+  Alcotest.(check bool) "sum scaled" true
+    (List.exists
+       (fun l ->
+         String.length l > 24
+         && String.sub l 0 24 = "expirel_lat_seconds_sum "
+         && float_of_string (String.sub l 24 (String.length l - 24))
+            -. 0.400999 < 1e-6)
+       (String.split_on_char '\n' text))
+
+let suite =
+  [ Alcotest.test_case "counter" `Quick test_counter;
+    Alcotest.test_case "gauge" `Quick test_gauge;
+    Alcotest.test_case "latency bucket gap (500ms)" `Quick
+      test_latency_bucket_gap;
+    Alcotest.test_case "histogram edges" `Quick test_histogram_edges;
+    Alcotest.test_case "family raise releases mutex" `Quick
+      test_family_raise_no_deadlock;
+    Alcotest.test_case "family fold order" `Quick test_family_fold_sorted;
+    Alcotest.test_case "multi-thread hammer" `Quick test_hammer;
+    Alcotest.test_case "registry duplicate names" `Quick
+      test_registry_duplicate;
+    Alcotest.test_case "registry raising callback" `Quick
+      test_registry_raising_callback;
+    Alcotest.test_case "registry collection order" `Quick test_registry_order;
+    Alcotest.test_case "trace spans" `Quick test_trace_spans;
+    Alcotest.test_case "trace records on raise" `Quick
+      test_trace_records_on_raise;
+    Alcotest.test_case "slow log ranking" `Quick test_slow_log_ranking;
+    Alcotest.test_case "slow log threshold + eviction" `Quick
+      test_slow_log_threshold_and_eviction;
+    Alcotest.test_case "prometheus rendering" `Quick test_prometheus_render ]

@@ -236,6 +236,177 @@ let test_request_timeout () =
           | Wire.Rows _ -> ()
           | r -> Alcotest.fail ("expected rows, got " ^ Wire.render_response r)))
 
+(* ---------- observability over the wire ---------- *)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let with_temp_dir f =
+  let dir = Filename.temp_dir "expirel" "obs" in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun file -> Sys.remove (Filename.concat dir file))
+        (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () -> f dir)
+
+let run_observable_workload client =
+  load_profiles client;
+  ok
+    (Client.exec_ok client
+       "CREATE VIEW deg_counts AS SELECT deg, COUNT(*) FROM pol GROUP BY deg");
+  List.iter
+    (fun sql ->
+      match exec client sql with
+      | Wire.Rows _ -> ()
+      | r -> Alcotest.fail ("expected rows, got " ^ Wire.render_response r))
+    [ "SELECT uid, deg FROM pol";
+      "SELECT deg, COUNT(*) FROM pol GROUP BY deg" ];
+  ok (Client.exec_ok client "ADVANCE TO 12")
+
+(* METRICS must expose, in valid Prometheus text format, the request
+   latency histogram (with the once-missing 500 ms bucket), per-operator
+   eval time, per-stage time, eager expiration churn and the
+   expiration-domain gauges. *)
+let test_metrics_exposition () =
+  with_server (fun _server port ->
+      with_client port (fun client ->
+          run_observable_workload client;
+          let text = ok (Client.metrics client) in
+          List.iter
+            (fun sub ->
+              Alcotest.(check bool) ("exposes: " ^ sub) true
+                (contains ~sub text))
+            [ "# TYPE expirel_request_duration_seconds histogram";
+              "expirel_request_duration_seconds_bucket{le=\"0.5\"}";
+              "expirel_request_duration_seconds_bucket{le=\"+Inf\"}";
+              "expirel_eval_operator_duration_seconds_bucket{operator=\"base\"";
+              "expirel_eval_operator_duration_seconds_bucket\
+               {operator=\"aggregate\"";
+              "expirel_request_stage_duration_seconds_bucket{stage=\"parse\"";
+              "expirel_request_stage_duration_seconds_bucket{stage=\"eval\"";
+              "expirel_request_stage_duration_seconds_bucket\
+               {stage=\"rwlock_wait\"";
+              "expirel_tuples_expired_total{mode=\"eager\"} 2";
+              "expirel_expiration_index_depth ";
+              "expirel_view_texp_horizon_ticks{view=\"deg_counts\"}";
+              "expirel_connections_active 1" ];
+          (* every line is a comment or a `name{labels} value` sample *)
+          String.split_on_char '\n' text
+          |> List.iter (fun line ->
+                 if line <> "" && line.[0] <> '#' then
+                   match String.rindex_opt line ' ' with
+                   | None -> Alcotest.failf "unparsable line %S" line
+                   | Some i ->
+                     let v =
+                       String.sub line (i + 1) (String.length line - i - 1)
+                     in
+                     if v <> "+Inf" && float_of_string_opt v = None then
+                       Alcotest.failf "bad sample value in %S" line);
+          (* no durable store: the replication providers raise, so the
+             lag gauges are skipped — declared but sample-less *)
+          Alcotest.(check bool) "repl lag declared" true
+            (contains ~sub:"# TYPE expirel_repl_lag_records gauge" text);
+          String.split_on_char '\n' text
+          |> List.iter (fun line ->
+                 Alcotest.(check bool) "no repl lag sample without a store"
+                   false
+                   (String.length line > 24
+                    && String.sub line 0 24 = "expirel_repl_lag_records"));
+          (* STATS is still wire-compatible and carries the 500 ms bound *)
+          let s = ok (Client.stats client) in
+          Alcotest.(check bool) "stats has the 500ms bucket" true
+            (List.mem_assoc 500_000 s.Wire.latency_buckets);
+          Alcotest.(check int) "stats expired count agrees" 2
+            s.Wire.tuples_expired))
+
+(* On a lazy server the same churn is labeled mode="lazy" and counted
+   when VACUUM reclaims, not when the clock passes texp. *)
+let test_metrics_lazy_mode () =
+  let config = { Server.default_config with policy = Database.Lazy } in
+  with_server ~config (fun _server port ->
+      with_client port (fun client ->
+          load_profiles client;
+          ok (Client.exec_ok client "ADVANCE TO 20");
+          ok (Client.exec_ok client "VACUUM");
+          let text = ok (Client.metrics client) in
+          Alcotest.(check bool) "lazy churn labeled" true
+            (contains ~sub:"expirel_tuples_expired_total{mode=\"lazy\"} 3" text);
+          Alcotest.(check bool) "no eager samples on a lazy server" false
+            (contains ~sub:"{mode=\"eager\"}" text)))
+
+(* A durable primary has WAL and replication-lag gauges with samples. *)
+let test_metrics_durable_primary () =
+  with_temp_dir (fun dir ->
+      let config = { Server.default_config with data_dir = Some dir } in
+      with_server ~config (fun _server port ->
+          with_client port (fun client ->
+              load_profiles client;
+              let text = ok (Client.metrics client) in
+              List.iter
+                (fun sub ->
+                  Alcotest.(check bool) ("exposes: " ^ sub) true
+                    (contains ~sub text))
+                [ "expirel_wal_position ";
+                  "expirel_repl_lag_records 0";
+                  "expirel_repl_followers 0" ])))
+
+(* SLOW over the wire: the span breakdown of the slowest statements. *)
+let test_slow_queries_e2e () =
+  with_server (fun _server port ->
+      with_client port (fun client ->
+          run_observable_workload client;
+          let qs = ok (Client.slow_queries client 3) in
+          Alcotest.(check int) "asked for three" 3 (List.length qs);
+          (match qs with
+           | a :: b :: c :: _ ->
+             Alcotest.(check bool) "slowest first" true
+               (a.Wire.total_us >= b.Wire.total_us
+                && b.Wire.total_us >= c.Wire.total_us)
+           | _ -> assert false);
+          let all = ok (Client.slow_queries client 100) in
+          let sel =
+            match
+              List.find_opt
+                (fun q -> q.Wire.statement = "SELECT uid, deg FROM pol")
+                all
+            with
+            | Some q -> q
+            | None -> Alcotest.fail "traced SELECT not in slow log"
+          in
+          let names =
+            List.map (fun (s : Wire.span) -> s.span_name) sel.Wire.spans
+          in
+          List.iter
+            (fun stage ->
+              Alcotest.(check bool) ("span: " ^ stage) true
+                (List.mem stage names))
+            [ "parse"; "lower"; "eval"; "rwlock_wait"; "op:base";
+              "op:project" ];
+          List.iter
+            (fun (s : Wire.span) ->
+              Alcotest.(check bool) "span within request" true
+                (s.start_us >= 0
+                 && s.start_us + s.duration_us <= sel.Wire.total_us))
+            sel.Wire.spans))
+
+(* A raising replication provider must cost a metrics section, never a
+   request: STATS omits the repl block, METRICS still renders. *)
+let test_raising_repl_source () =
+  with_server (fun server port ->
+      Metrics.set_repl_source (Server.metrics server) (fun () ->
+          failwith "provider down");
+      with_client port (fun client ->
+          load_profiles client;
+          let s = ok (Client.stats client) in
+          Alcotest.(check bool) "stats: no repl section" true
+            (s.Wire.repl = None);
+          let text = ok (Client.metrics client) in
+          Alcotest.(check bool) "metrics still render" true
+            (contains ~sub:"expirel_requests_total" text)))
+
 let suite =
   [ Alcotest.test_case "smoke: rows travel with texp and texp(e)" `Quick test_smoke;
     Alcotest.test_case "subscription events at exact logical times" `Quick
@@ -247,4 +418,14 @@ let suite =
     Alcotest.test_case "connection cap refuses with Overloaded" `Quick
       test_connection_cap;
     Alcotest.test_case "request timeout under a wedged lock" `Quick
-      test_request_timeout ]
+      test_request_timeout;
+    Alcotest.test_case "METRICS: prometheus exposition" `Quick
+      test_metrics_exposition;
+    Alcotest.test_case "METRICS: lazy-mode churn label" `Quick
+      test_metrics_lazy_mode;
+    Alcotest.test_case "METRICS: durable primary gauges" `Quick
+      test_metrics_durable_primary;
+    Alcotest.test_case "SLOW: span breakdowns over the wire" `Quick
+      test_slow_queries_e2e;
+    Alcotest.test_case "raising repl provider is contained" `Quick
+      test_raising_repl_source ]

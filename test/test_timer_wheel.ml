@@ -76,8 +76,63 @@ let prop_wheel_matches_sort =
       collected := !collected @ Timer_wheel.advance w ~to_:10000;
       !collected = List.sort compare entries)
 
+(* Regression: advance used to walk every intermediate tick, so a large
+   clock jump over a sparse wheel was O(Δt).  A jump of 2e9 ticks over an
+   empty wheel must complete (near-)instantly, and entries scattered
+   across a huge range must still all surface, in order. *)
+let test_large_jump_fast () =
+  let w = Timer_wheel.create ~start:0 () in
+  let t0 = Unix.gettimeofday () in
+  Alcotest.(check (list (pair int int))) "empty jump delivers nothing" []
+    (Timer_wheel.advance w ~to_:2_000_000_000);
+  Timer_wheel.add w ~at:2_500_000_000 1;
+  Timer_wheel.add w ~at:3_000_000_007 2;
+  Timer_wheel.add w ~at:3_500_000_000 3;
+  Alcotest.(check (list (pair int int))) "sparse jump delivers all, in order"
+    [ 2_500_000_000, 1; 3_000_000_007, 2; 3_500_000_000, 3 ]
+    (Timer_wheel.advance w ~to_:3_500_000_001);
+  Alcotest.(check int) "drained" 0 (Timer_wheel.size w);
+  Alcotest.(check bool) "3.5e9 ticks advanced in well under a second" true
+    (Unix.gettimeofday () -. t0 < 1.0)
+
+(* A naive per-tick reference: advance one tick at a time.  Any schedule
+   advanced over a large jump must deliver exactly what the reference
+   delivers — same entries, same order. *)
+let naive_advance w ~to_ =
+  let acc = ref [] in
+  let now = ref (Timer_wheel.now w) in
+  while !now < to_ do
+    incr now;
+    acc := !acc @ Timer_wheel.advance w ~to_:!now
+  done;
+  !acc
+
+let jump_gen =
+  QCheck2.Gen.pair
+    (QCheck2.Gen.list_size (QCheck2.Gen.int_range 0 20)
+       (QCheck2.Gen.pair
+          (QCheck2.Gen.int_range 1 300_000)
+          (QCheck2.Gen.int_range 0 1000)))
+    (QCheck2.Gen.int_range 100_000 400_000)
+
+let prop_jump_matches_naive =
+  Generators.qtest "one large advance == naive per-tick advance" ~count:30
+    jump_gen (fun (entries, to_) ->
+      let fast = Timer_wheel.create ~start:0 () in
+      let slow = Timer_wheel.create ~start:0 () in
+      List.iter
+        (fun (at, id) ->
+          Timer_wheel.add fast ~at id;
+          Timer_wheel.add slow ~at id)
+        entries;
+      Timer_wheel.advance fast ~to_ = naive_advance slow ~to_
+      && Timer_wheel.size fast = Timer_wheel.size slow)
+
 let suite =
   [ Alcotest.test_case "add/advance ordering" `Quick test_basics;
+    Alcotest.test_case "large jump skips empty ticks" `Quick
+      test_large_jump_fast;
+    prop_jump_matches_naive;
     Alcotest.test_case "overdue entries" `Quick test_overdue;
     Alcotest.test_case "crossing wheel levels" `Quick test_level_crossing;
     Alcotest.test_case "overflow beyond horizon" `Quick test_overflow;
