@@ -24,6 +24,8 @@ let experiments =
     "update", "incremental maintenance under updates", Exp_update.run_all;
     "durable", "WAL, checkpoints and recovery", Exp_durable.run_all;
     "access", "secondary indexes on expiring tables", Exp_access.run_all;
+    "exec", "physical plans: hash joins, live scans, the plan cache",
+    Exp_exec.run_all;
     "qos", "static validity guarantees", Exp_qos.run_all;
     "ttl", "choosing expiration times for caches", Exp_ttl.run_all;
     "server", "wire-protocol server under concurrent clients", Exp_server.run_all;

@@ -5,53 +5,42 @@ type estimate = {
 }
 
 (* One instrumented evaluation: every operator is charged the
-   cardinality it processes. *)
+   cardinality it processes.  Rather than shadowing the evaluator, ride
+   {!Eval.run}'s [?probe] hook — the probe keeps a stack of frames, one
+   per operator node being evaluated, each collecting the cardinalities
+   of that node's children as they complete.  Charging then only needs
+   the operator name and its children's sizes, and the accounting cannot
+   drift from the evaluation semantics. *)
 let eval_cost ~env ~tau expr =
   let cost = ref 0. in
   let charge n = cost := !cost +. float_of_int n in
-  let rec go e =
-    match e with
-    | Algebra.Base name ->
-      (match env name with
-       | Some r ->
-         let live = Relation.exp tau r in
-         charge (Relation.cardinal live);
-         live
-       | None -> raise (Errors.Unknown_relation name))
-    | Algebra.Select (p, e1) ->
-      let c = go e1 in
-      charge (Relation.cardinal c);
-      Ops.select p c
-    | Algebra.Project (js, e1) ->
-      let c = go e1 in
-      charge (Relation.cardinal c);
-      Ops.project js c
-    | Algebra.Product (l, r) ->
-      let cl = go l and cr = go r in
-      charge (Relation.cardinal cl * Relation.cardinal cr);
-      Ops.product cl cr
-    | Algebra.Join (p, l, r) ->
-      let cl = go l and cr = go r in
-      charge (Relation.cardinal cl * Relation.cardinal cr);
-      Ops.join p cl cr
-    | Algebra.Union (l, r) ->
-      let cl = go l and cr = go r in
-      charge (Relation.cardinal cl + Relation.cardinal cr);
-      Ops.union cl cr
-    | Algebra.Intersect (l, r) ->
-      let cl = go l and cr = go r in
-      charge (Relation.cardinal cl + Relation.cardinal cr);
-      Ops.intersect cl cr
-    | Algebra.Diff (l, r) ->
-      let cl = go l and cr = go r in
-      charge (Relation.cardinal cl + Relation.cardinal cr);
-      Ops.diff cl cr
-    | Algebra.Aggregate (group, f, e1) ->
-      let c = go e1 in
-      charge (Relation.cardinal c);
-      fst (Ops.aggregate Aggregate.Exact ~tau ~group f c)
+  (* Innermost frame first; the bottom frame collects the root's size. *)
+  let stack = ref [ [] ] in
+  let probe name k =
+    stack := [] :: !stack;
+    let result = k () in
+    let children, outer =
+      match !stack with
+      | children :: outer -> children, outer
+      | [] -> assert false
+    in
+    stack := outer;
+    let self = Relation.cardinal result.Eval.relation in
+    (match name, children with
+     | "base", [] -> charge self
+     | ("select" | "project" | "aggregate"), [ c ] -> charge c
+     | ("product" | "join"), [ a; b ] -> charge (a * b)
+     | ("union" | "intersect" | "difference"), [ a; b ] -> charge (a + b)
+     | _ ->
+       invalid_arg
+         (Printf.sprintf "Cost.eval_cost: operator %s with %d children" name
+            (List.length children)));
+    (match !stack with
+     | parent :: rest -> stack := (self :: parent) :: rest
+     | [] -> ());
+    result
   in
-  let (_ : Relation.t) = go expr in
+  let (_ : Eval.result) = Eval.run ~probe ~env ~tau expr in
   !cost
 
 let estimate ~env ~tau ~horizon expr =
@@ -74,6 +63,18 @@ let choose ~env ~tau ~horizon candidates =
         if est.total < best_est.total then candidate, est else best, best_est)
       (first, estimate ~env ~tau ~horizon first)
       rest
+
+type physical_join =
+  | Hash
+  | Nested_loop
+
+(* Same work-unit scale as eval_cost's charges: a nested loop touches
+   every pair, a hash join pays a build and a probe pass (the factor 2
+   keeps tiny inputs on the allocation-free loop). *)
+let join_choice ~left ~right =
+  let nested = float_of_int left *. float_of_int right in
+  let hash = 2. *. float_of_int (left + right) in
+  if hash < nested then Hash else Nested_loop
 
 let pp ppf { eval_cost; recomputations; total } =
   Format.fprintf ppf "eval %.0f x (1 + %d recomputations) = %.0f" eval_cost

@@ -37,11 +37,18 @@ let first_reappearance r s =
     r Time.Inf
 
 let aggregate strategy ~tau ~group f child =
-  let parts = Aggregate.partitions ~group child in
+  (* The strategy's partition expiration time is the expensive part
+     (Exact walks the change points); compute it once per partition and
+     share it between the row texps and the invalidation fold below. *)
+  let parts =
+    List.map
+      (fun (_key, members) ->
+        members, Aggregate.result_texp strategy ~tau f members)
+      (Aggregate.partitions ~group child)
+  in
   let out_arity = Relation.arity child + 1 in
-  let add_partition acc (_key, members) =
+  let add_partition acc (members, partition_texp) =
     let value = Aggregate.apply f members in
-    let partition_texp = Aggregate.result_texp strategy ~tau f members in
     List.fold_left
       (fun acc (t, member_texp) ->
         (* Cap by the member's own expiration: a result row must not
@@ -64,8 +71,7 @@ let aggregate strategy ~tau ~group f child =
      missing (Section 2.6.1's two cases for chi). *)
   let invalidation =
     List.fold_left
-      (fun acc (_key, members) ->
-        let partition_texp = Aggregate.result_texp strategy ~tau f members in
+      (fun acc (members, partition_texp) ->
         if Time.(partition_texp < Aggregate.empties_at members) then
           Time.min acc partition_texp
         else acc)

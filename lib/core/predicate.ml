@@ -54,6 +54,29 @@ let rec eval p t =
   | Or (a, b) -> eval a t || eval b t
   | Not a -> not (eval a t)
 
+let rec conjuncts = function
+  | And (a, b) -> conjuncts a @ conjuncts b
+  | True -> []
+  | p -> [ p ]
+
+type equi_split = {
+  pairs : (int * int) list;
+  residual : t;
+}
+
+let equi_split ~left_arity p =
+  let classify (pairs, rest) c =
+    match c with
+    | Cmp (Eq, Col j, Col k) when j <= left_arity && k > left_arity ->
+      (j, k - left_arity) :: pairs, rest
+    | Cmp (Eq, Col k, Col j) when j <= left_arity && k > left_arity ->
+      (j, k - left_arity) :: pairs, rest
+    | c -> pairs, c :: rest
+  in
+  let pairs, rest = List.fold_left classify ([], []) (conjuncts p) in
+  if pairs = [] then None
+  else Some { pairs = List.rev pairs; residual = conj (List.rev rest) }
+
 let operand_col = function
   | Col j -> j
   | Const _ -> 0

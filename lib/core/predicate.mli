@@ -35,6 +35,27 @@ val eq_const : int -> Value.t -> t
 val conj : t list -> t
 val disj : t list -> t
 
+val conjuncts : t -> t list
+(** Top-level conjuncts of a predicate ([True] contributes none) —
+    [conj (conjuncts p)] is logically equivalent to [p].  The shared
+    decomposition the rewriter, the access-path selector and the
+    physical planner all work from. *)
+
+type equi_split = {
+  pairs : (int * int) list;
+      (** cross-side equality conjuncts [(l, r)]: column [l] of the left
+          operand equals column [r] of the {e right} operand, both
+          1-based in their own relation *)
+  residual : t;
+      (** the remaining conjuncts, still over the combined columns *)
+}
+
+val equi_split : left_arity:int -> t -> equi_split option
+(** Decomposes a join predicate over a product of a [left_arity]-column
+    relation with another relation into equi-join pairs plus a residual;
+    [None] when no cross-side equality conjunct exists (the predicate
+    offers a hash or merge join nothing to key on). *)
+
 val eval : t -> Tuple.t -> bool
 (** Comparisons touching [Null] or incomparable types are false (and their
     negation true of the comparison, i.e. [Not] is logical negation of the

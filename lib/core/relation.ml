@@ -3,11 +3,17 @@ module Tuple_map = Map.Make (Tuple)
 type t = {
   arity : int;
   rows : Time.t Tuple_map.t;
+  low : Time.t;
+      (* conservative lower bound on the minimum expiration time over
+         [rows] (Inf when empty): whenever [low > tau], no tuple has
+         expired and [exp tau] is the identity in O(1).  Removals leave
+         it stale-low, which only costs a missed fast path, never
+         correctness. *)
 }
 
 let empty ~arity =
   if arity < 0 then invalid_arg "Relation.empty: negative arity"
-  else { arity; rows = Tuple_map.empty }
+  else { arity; rows = Tuple_map.empty; low = Time.Inf }
 
 let arity r = r.arity
 let cardinal r = Tuple_map.cardinal r.rows
@@ -28,20 +34,34 @@ let add_merge merge t ~texp r =
         | Some old -> Some (merge old texp))
       r.rows
   in
-  { r with rows }
+  (* [texp] bounds the inserted tuple's final time from below under
+     either merge (max keeps one of the operands, min keeps the smaller),
+     so [min low texp] stays a valid lower bound. *)
+  { r with rows; low = Time.min r.low texp }
 
 let add t ~texp r = add_merge Time.max t ~texp r
 let add_min t ~texp r = add_merge Time.min t ~texp r
 
 let replace t ~texp r =
   check_arity r t;
-  { r with rows = Tuple_map.add t texp r.rows }
+  { r with rows = Tuple_map.add t texp r.rows; low = Time.min r.low texp }
 
 let remove t r = { r with rows = Tuple_map.remove t r.rows }
 let mem t r = Tuple_map.mem t r.rows
 let texp r t = Tuple_map.find t r.rows
 let texp_opt r t = Tuple_map.find_opt t r.rows
-let exp tau r = { r with rows = Tuple_map.filter (fun _ e -> Time.(e > tau)) r.rows }
+
+let exp tau r =
+  if Time.(r.low > tau) then r (* nothing expired: O(1) *)
+  else
+    let rows, low =
+      Tuple_map.fold
+        (fun t e ((rows, low) as acc) ->
+          if Time.(e > tau) then Tuple_map.add t e rows, Time.min low e
+          else acc)
+        r.rows (Tuple_map.empty, Time.Inf)
+    in
+    { r with rows; low }
 
 let of_list ~arity rows =
   List.fold_left (fun r (t, texp) -> add t ~texp r) (empty ~arity) rows

@@ -39,7 +39,10 @@ val texp : t -> Tuple.t -> Time.t
 val texp_opt : t -> Tuple.t -> Time.t option
 
 val exp : Time.t -> t -> t
-(** [exp tau r] is the paper's [exp_tau(R) = { r | texp_R(r) > tau }]. *)
+(** [exp tau r] is the paper's [exp_tau(R) = { r | texp_R(r) > tau }].
+    O(1) when no tuple has expired (the relation caches a lower bound on
+    its minimum expiration time), O(n) only when something actually has
+    to be filtered out. *)
 
 val of_list : arity:int -> (Tuple.t * Time.t) list -> t
 val to_list : t -> (Tuple.t * Time.t) list

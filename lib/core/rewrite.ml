@@ -5,10 +5,6 @@ type rule = {
 
 let rule_name r = r.name
 
-let rec conjuncts = function
-  | Predicate.And (a, b) -> conjuncts a @ conjuncts b
-  | Predicate.True -> []
-  | p -> [ p ]
 
 let select_merge =
   let apply ~env:_ = function
@@ -45,7 +41,9 @@ let split_over ~left_arity ~right_arity p =
     then to_l, Predicate.shift (-left_arity) c :: to_r, stay
     else to_l, to_r, c :: stay
   in
-  let to_l, to_r, stay = List.fold_left classify ([], [], []) (conjuncts p) in
+  let to_l, to_r, stay =
+    List.fold_left classify ([], [], []) (Predicate.conjuncts p)
+  in
   if to_l = [] && to_r = [] then None else Some (to_l, to_r, stay)
 
 let push_into side_conjuncts e =

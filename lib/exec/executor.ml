@@ -1,0 +1,180 @@
+open Expirel_core
+open Expirel_storage
+
+(* ---------- physical join kernels ---------- *)
+
+(* Streaming select-over-product: same pairs, predicate and texp rule as
+   [Ops.join p = select p (product l r)] (Equations (2) and (5)), but
+   without materialising the product — O(|l|·|r|) time, O(out) space. *)
+let nested_loop pred left right =
+  let arity = Relation.arity left + Relation.arity right in
+  Relation.fold
+    (fun l e_l acc ->
+      Relation.fold
+        (fun r e_r acc ->
+          let t = Tuple.concat l r in
+          if Predicate.eval pred t then
+            Relation.add t ~texp:(Time.min e_l e_r) acc
+          else acc)
+        right acc)
+    left
+    (Relation.empty ~arity)
+
+(* Hash-join key normalisation.  Bucket equality must refine the
+   predicate's equality ([Value.cmp]): values cmp considers equal must
+   land in the same bucket (misses lose result rows), while collisions
+   are harmless because the full predicate is re-verified per candidate.
+   cmp coerces Int-vs-Float numerically, so both map to Float keys; Null
+   compares equal to nothing (itself included), so Null-keyed tuples
+   cannot satisfy an equality conjunct and are dropped outright.  NaN is
+   the one value where structural hashing diverges the other way (cmp
+   says NaN = NaN, generic equality says otherwise): those rare tuples
+   take a per-tuple nested-loop fallback instead. *)
+type key_class =
+  | Key of Value.t list
+  | Dead  (* a Null key attribute: no equality conjunct can hold *)
+  | Fallback  (* a NaN key attribute: hashing would miss cmp-equal pairs *)
+
+let key_of tuple cols =
+  let rec go acc = function
+    | [] -> Key (List.rev acc)
+    | c :: rest ->
+      (match Tuple.attr tuple c with
+       | Value.Null -> Dead
+       | Value.Int n -> go (Value.Float (float_of_int n) :: acc) rest
+       | Value.Float f when Float.is_nan f -> Fallback
+       | v -> go (v :: acc) rest)
+  in
+  go [] cols
+
+let hash_join ~pairs ~pred left right =
+  let arity = Relation.arity left + Relation.arity right in
+  let left_cols = List.map fst pairs and right_cols = List.map snd pairs in
+  let table = Hashtbl.create (max 16 (2 * Relation.cardinal right)) in
+  Relation.iter
+    (fun s e_s ->
+      match key_of s right_cols with
+      | Key k -> Hashtbl.add table k (s, e_s)
+      | Dead | Fallback -> ())
+    right;
+  let emit l e_l acc (s, e_s) =
+    let t = Tuple.concat l s in
+    if Predicate.eval pred t then Relation.add t ~texp:(Time.min e_l e_s) acc
+    else acc
+  in
+  Relation.fold
+    (fun l e_l acc ->
+      match key_of l left_cols with
+      | Dead -> acc
+      | Key k -> List.fold_left (emit l e_l) acc (Hashtbl.find_all table k)
+      | Fallback ->
+        Relation.fold (fun s e_s acc -> emit l e_l acc (s, e_s)) right acc)
+    left
+    (Relation.empty ~arity)
+
+(* ---------- merge kernels ---------- *)
+
+(* Relations are ordered maps, so [to_list] is sorted by [Tuple.compare]
+   with distinct keys: set operations become one linear merge instead of
+   per-tuple searches of the other side. *)
+let merge ~left_only ~right_only ~both left right =
+  let arity = Relation.arity left in
+  let rec go xs ys acc =
+    match xs, ys with
+    | [], ys -> List.fold_left (fun acc (t, e) -> right_only t e acc) acc ys
+    | xs, [] -> List.fold_left (fun acc (t, e) -> left_only t e acc) acc xs
+    | ((tx, ex) :: xs' as xs), ((ty, ey) :: ys' as ys) ->
+      let c = Tuple.compare tx ty in
+      if c < 0 then go xs' ys (left_only tx ex acc)
+      else if c > 0 then go xs ys' (right_only ty ey acc)
+      else go xs' ys' (both tx ex ey acc)
+  in
+  go (Relation.to_list left) (Relation.to_list right)
+    (Relation.empty ~arity)
+
+let keep t e acc = Relation.add t ~texp:e acc
+let skip _ _ acc = acc
+
+let merge_union =
+  merge ~left_only:keep ~right_only:keep ~both:(fun t e_l e_r acc ->
+      Relation.add t ~texp:(Time.max e_l e_r) acc)
+
+let merge_intersect =
+  merge ~left_only:skip ~right_only:skip ~both:(fun t e_l e_r acc ->
+      Relation.add t ~texp:(Time.min e_l e_r) acc)
+
+let merge_diff =
+  merge ~left_only:keep ~right_only:skip ~both:(fun _ _ _ acc -> acc)
+
+(* ---------- scans ---------- *)
+
+(* Execute a leaf.  The access path recorded in the plan is advisory
+   (EXPLAIN); execution re-derives it through [Access.select], which
+   re-checks index existence and key-type homogeneity against the
+   table's current state — a cached plan can therefore never return
+   wrong rows after a DROP INDEX or a type-heterogeneous insert, it only
+   loses the speedup until replanned. *)
+let scan db ~tau name pred =
+  let table = Database.table_exn db name in
+  match pred with
+  | None -> Table.snapshot table ~tau
+  | Some p -> Access.select table ~tau p
+
+(* ---------- the executor ---------- *)
+
+let run ?(strategy = Aggregate.Exact) ?probe ~db compiled =
+  let { Plan.logical; physical } = compiled in
+  (* Mirror Eval.run's up-front well-formedness check so the physical
+     path raises the same errors on the same inputs. *)
+  let arity_env name = Option.map Table.arity (Database.table db name) in
+  let (_ : int) = Algebra.arity ~env:arity_env logical in
+  let tau = Database.now db in
+  let rec go p =
+    match probe with
+    | None -> exec_node p
+    | Some f -> f (Plan.operator_name p) (fun () -> exec_node p)
+  and exec_node = function
+    | Plan.Scan { name; pred; access = _ } ->
+      { Eval.relation = scan db ~tau name pred; texp = Time.Inf }
+    | Plan.Filter (pred, c) ->
+      let child = go c in
+      { child with Eval.relation = Ops.select pred child.Eval.relation }
+    | Plan.Project (js, c) ->
+      let child = go c in
+      { child with Eval.relation = Ops.project js child.Eval.relation }
+    | Plan.Nested_loop { pred; left; right } ->
+      let lr = go left and rr = go right in
+      { Eval.relation = nested_loop pred lr.Eval.relation rr.Eval.relation;
+        texp = Time.min lr.Eval.texp rr.Eval.texp
+      }
+    | Plan.Hash_join { pairs; pred; left; right } ->
+      let lr = go left and rr = go right in
+      { Eval.relation = hash_join ~pairs ~pred lr.Eval.relation rr.Eval.relation;
+        texp = Time.min lr.Eval.texp rr.Eval.texp
+      }
+    | Plan.Merge_union (left, right) ->
+      let lr = go left and rr = go right in
+      { Eval.relation = merge_union lr.Eval.relation rr.Eval.relation;
+        texp = Time.min lr.Eval.texp rr.Eval.texp
+      }
+    | Plan.Merge_intersect (left, right) ->
+      let lr = go left and rr = go right in
+      { Eval.relation = merge_intersect lr.Eval.relation rr.Eval.relation;
+        texp = Time.min lr.Eval.texp rr.Eval.texp
+      }
+    | Plan.Merge_diff (left, right) ->
+      let lr = go left and rr = go right in
+      let reappearance =
+        Ops.first_reappearance lr.Eval.relation rr.Eval.relation
+      in
+      { Eval.relation = merge_diff lr.Eval.relation rr.Eval.relation;
+        texp = Time.min (Time.min lr.Eval.texp rr.Eval.texp) reappearance
+      }
+    | Plan.Hash_aggregate { group; func; child = c } ->
+      let child = go c in
+      let relation, invalidation =
+        Ops.aggregate strategy ~tau ~group func child.Eval.relation
+      in
+      { Eval.relation; texp = Time.min child.Eval.texp invalidation }
+  in
+  go physical

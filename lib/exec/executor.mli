@@ -1,0 +1,53 @@
+(** Physical plan execution.
+
+    Produces exactly what {!Eval.run} produces for the corresponding
+    logical expression — result tuples, their expiration times, and the
+    expression-level [texp(e)] (Equations (1)–(11)) — while running the
+    physical operators the planner chose: index scans, hash joins,
+    streaming nested loops, linear set merges.  The qcheck
+    plan-equivalence suite holds this module to [Relation.equal]
+    (including texps) against the naive {!Ops} kernels. *)
+
+open Expirel_core
+open Expirel_storage
+
+val run :
+  ?strategy:Aggregate.strategy ->
+  ?probe:(string -> (unit -> Eval.result) -> Eval.result) ->
+  db:Database.t ->
+  Plan.compiled ->
+  Eval.result
+(** Evaluates the plan against the database's current state and clock.
+    [probe] wraps every physical operator node with its
+    {!Plan.operator_name} — the hook observability layers use to emit
+    per-operator [op:<name>] spans, exactly as {!Eval.run}'s probe does
+    for logical names on the naive path.
+    @raise Errors.Unknown_relation / Errors.Arity_mismatch as
+    {!Eval.run} would for the same logical expression. *)
+
+(** {2 Physical kernels}
+
+    Exposed for direct testing (hash collision and arity edges, merge
+    behaviour) and for benchmarking against the naive kernels. *)
+
+val nested_loop : Predicate.t -> Relation.t -> Relation.t -> Relation.t
+(** Streaming select-over-product: [Ops.join p] without materialising
+    the intermediate product. *)
+
+val hash_join :
+  pairs:(int * int) list ->
+  pred:Predicate.t ->
+  Relation.t -> Relation.t -> Relation.t
+(** Build on the right, probe from the left.  [pairs] are equi-key
+    columns (1-based in each input); [pred] is the full join predicate,
+    re-verified on every candidate pair so bucket equality only ever
+    accelerates.  Key normalisation follows {!Value.cmp}: Int/Float
+    coerce to one numeric key space, Null keys join nothing, NaN keys
+    fall back to a per-tuple loop. *)
+
+val merge_union : Relation.t -> Relation.t -> Relation.t
+val merge_intersect : Relation.t -> Relation.t -> Relation.t
+val merge_diff : Relation.t -> Relation.t -> Relation.t
+(** Linear merges over the sorted tuple order; duplicate survivors take
+    [max] (union, Equation (4)) / [min] (intersection, Equation (6)) of
+    the two expiration times, difference keeps the left side's. *)

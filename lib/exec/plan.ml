@@ -1,0 +1,113 @@
+open Expirel_core
+open Expirel_storage
+
+type t =
+  | Scan of {
+      name : string;
+      pred : Predicate.t option;
+      access : Access.plan;
+    }
+  | Filter of Predicate.t * t
+  | Project of int list * t
+  | Nested_loop of {
+      pred : Predicate.t;
+      left : t;
+      right : t;
+    }
+  | Hash_join of {
+      pairs : (int * int) list;
+      pred : Predicate.t;
+      left : t;
+      right : t;
+    }
+  | Merge_union of t * t
+  | Merge_intersect of t * t
+  | Merge_diff of t * t
+  | Hash_aggregate of {
+      group : int list;
+      func : Aggregate.func;
+      child : t;
+    }
+
+type compiled = {
+  logical : Algebra.t;
+  physical : t;
+}
+
+let operator_name = function
+  | Scan { access = Access.Index_eq _ | Access.Index_range _; _ } ->
+    "index-scan"
+  | Scan { access = Access.Full_scan | Access.Never_matches; _ } -> "seq-scan"
+  | Filter _ -> "filter"
+  | Project _ -> "project"
+  | Nested_loop _ -> "nested-loop"
+  | Hash_join _ -> "hash-join"
+  | Merge_union _ -> "merge-union"
+  | Merge_intersect _ -> "merge-intersect"
+  | Merge_diff _ -> "merge-diff"
+  | Hash_aggregate _ -> "aggregate"
+
+let rec size = function
+  | Scan _ -> 1
+  | Filter (_, c) | Project (_, c) | Hash_aggregate { child = c; _ } ->
+    1 + size c
+  | Nested_loop { left; right; _ }
+  | Hash_join { left; right; _ }
+  | Merge_union (left, right)
+  | Merge_intersect (left, right)
+  | Merge_diff (left, right) ->
+    1 + size left + size right
+
+(* Indented plan tree in the style of Explain.expr_tree, annotated with
+   the physical detail EXPLAIN surfaces: access paths at the leaves,
+   equi-join key pairs, residual predicates. *)
+let pp ppf plan =
+  let positions js = String.concat "," (List.map string_of_int js) in
+  let rec go depth p =
+    let line fmt =
+      Format.fprintf ppf "%s" (String.make (2 * depth) ' ');
+      Format.kfprintf (fun ppf -> Format.pp_print_newline ppf ()) ppf fmt
+    in
+    let op = operator_name p in
+    match p with
+    | Scan { name; pred; access } ->
+      (match pred with
+       | None -> line "%s %s" op name
+       | Some q ->
+         line "%s %s via %s [%s]" op name
+           (Format.asprintf "%a" Access.pp_plan access)
+           (Predicate.to_string q))
+    | Filter (q, c) ->
+      line "%s [%s]" op (Predicate.to_string q);
+      go (depth + 1) c
+    | Project (js, c) ->
+      line "%s [%s]" op (positions js);
+      go (depth + 1) c
+    | Nested_loop { pred; left; right } ->
+      (match pred with
+       | Predicate.True -> line "%s [product]" op
+       | q -> line "%s [%s]" op (Predicate.to_string q));
+      go (depth + 1) left;
+      go (depth + 1) right
+    | Hash_join { pairs; pred; left; right } ->
+      line "%s [%s]%s" op
+        (String.concat ", "
+           (List.map (fun (l, r) -> Printf.sprintf "#%d = right #%d" l r) pairs))
+        (match pred with
+         | Predicate.True -> ""
+         | q -> Printf.sprintf " verify [%s]" (Predicate.to_string q))
+        ;
+      go (depth + 1) left;
+      go (depth + 1) right
+    | Merge_union (l, r) | Merge_intersect (l, r) | Merge_diff (l, r) ->
+      line "%s" op;
+      go (depth + 1) l;
+      go (depth + 1) r
+    | Hash_aggregate { group; func; child } ->
+      line "%s [group {%s}, %s]" op (positions group)
+        (Aggregate.func_to_string func);
+      go (depth + 1) child
+  in
+  go 0 plan
+
+let to_string plan = Format.asprintf "%a" pp plan

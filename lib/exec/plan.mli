@@ -1,0 +1,71 @@
+(** Physical query plans: the executable counterpart of {!Algebra.t}.
+
+    A plan node says {e how} a logical operator runs — which access path
+    a leaf uses, whether a join builds a hash table or loops, that a set
+    operation merges its (already sorted) inputs — while remaining
+    semantically identical to the naive operator kernels in {!Ops},
+    including every expiration-time assignment (Equations (1)–(11)): the
+    planner may only change cost, never results.  The qcheck
+    plan-equivalence suite pins exactly that. *)
+
+open Expirel_core
+open Expirel_storage
+
+type t =
+  | Scan of {
+      name : string;
+      pred : Predicate.t option;
+          (** pushed-down selection re-applied in full to candidates *)
+      access : Access.plan;
+          (** the access path chosen at plan time (for EXPLAIN); the
+              executor re-validates it against the current indexes, so a
+              cached plan can never return stale-index results *)
+    }
+  | Filter of Predicate.t * t
+  | Project of int list * t
+  | Nested_loop of {
+      pred : Predicate.t;  (** [True] for a bare Cartesian product *)
+      left : t;
+      right : t;
+    }  (** streaming select-over-product: O(|l|·|r|) time, O(out) space *)
+  | Hash_join of {
+      pairs : (int * int) list;
+          (** equi-key columns, each 1-based in its own input *)
+      pred : Predicate.t;
+          (** the {e full} join predicate, re-verified per candidate pair
+              — hashing only accelerates, equality semantics stay
+              {!Value.cmp}'s *)
+      left : t;
+      right : t;
+    }
+  | Merge_union of t * t
+  | Merge_intersect of t * t
+  | Merge_diff of t * t
+      (** linear merges over the sorted tuple order both inputs already
+          have (relations are ordered maps) *)
+  | Hash_aggregate of {
+      group : int list;
+      func : Aggregate.func;
+      child : t;
+    }
+
+type compiled = {
+  logical : Algebra.t;  (** kept for well-formedness checks and EXPLAIN *)
+  physical : t;
+}
+
+val operator_name : t -> string
+(** Canonical lower-case physical operator name ([seq-scan],
+    [index-scan], [filter], [project], [nested-loop], [hash-join],
+    [merge-union], [merge-intersect], [merge-diff], [aggregate]) — the
+    vocabulary EXPLAIN plan lines and per-operator [op:<name>] trace
+    spans share, replacing the logical {!Algebra.operator_name}s on the
+    physical execution path. *)
+
+val size : t -> int
+(** Number of operator nodes. *)
+
+val pp : Format.formatter -> t -> unit
+(** Indented plan tree with access paths and join keys. *)
+
+val to_string : t -> string

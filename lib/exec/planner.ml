@@ -1,0 +1,74 @@
+open Expirel_core
+open Expirel_storage
+
+let arity_env db name = Option.map Table.arity (Database.table db name)
+
+(* Cheap cardinality estimates for costing physical alternatives: table
+   stats at the leaves, fixed selectivity factors above them.  These only
+   steer operator choice; they never affect results. *)
+let rec estimate_rows db = function
+  | Plan.Scan { name; pred; access } ->
+    (match Database.table db name with
+     | None -> 0
+     | Some table ->
+       let n = Table.physical_count table in
+       (match access, pred with
+        | Access.Never_matches, _ -> 0
+        | Access.Index_eq _, _ -> max 1 (n / 10)
+        | Access.Index_range _, _ -> max 1 (n / 3)
+        | Access.Full_scan, Some _ -> max 1 (n / 3)
+        | Access.Full_scan, None -> n))
+  | Plan.Filter (_, c) -> max 1 (estimate_rows db c / 3)
+  | Plan.Project (_, c) -> estimate_rows db c
+  | Plan.Nested_loop { pred; left; right } ->
+    let pairs = estimate_rows db left * estimate_rows db right in
+    (match pred with
+     | Predicate.True -> pairs
+     | _ -> max 1 (pairs / 3))
+  | Plan.Hash_join { left; right; _ } ->
+    max (estimate_rows db left) (estimate_rows db right)
+  | Plan.Merge_union (l, r) -> estimate_rows db l + estimate_rows db r
+  | Plan.Merge_intersect (l, r) ->
+    min (estimate_rows db l) (estimate_rows db r)
+  | Plan.Merge_diff (l, _) -> estimate_rows db l
+  | Plan.Hash_aggregate { child; _ } -> estimate_rows db child
+
+let scan db name pred =
+  let access =
+    match Database.table db name, pred with
+    | Some table, Some p -> Access.plan table p
+    | Some _, None | None, _ -> Access.Full_scan
+  in
+  Plan.Scan { name; pred; access }
+
+let join db p l pl pr =
+  let equi =
+    match Algebra.well_formed ~env:(arity_env db) l with
+    | Ok left_arity -> Predicate.equi_split ~left_arity p
+    | Error _ -> None
+  in
+  match equi with
+  | Some { Predicate.pairs; residual = _ } ->
+    let left = estimate_rows db pl and right = estimate_rows db pr in
+    (match Cost.join_choice ~left ~right with
+     | Cost.Hash -> Plan.Hash_join { pairs; pred = p; left = pl; right = pr }
+     | Cost.Nested_loop -> Plan.Nested_loop { pred = p; left = pl; right = pr })
+  | None -> Plan.Nested_loop { pred = p; left = pl; right = pr }
+
+let rec compile db = function
+  | Algebra.Base name -> scan db name None
+  | Algebra.Select (p, Algebra.Base name) -> scan db name (Some p)
+  | Algebra.Select (p, e) -> Plan.Filter (p, compile db e)
+  | Algebra.Project (js, e) -> Plan.Project (js, compile db e)
+  | Algebra.Product (l, r) ->
+    Plan.Nested_loop
+      { pred = Predicate.True; left = compile db l; right = compile db r }
+  | Algebra.Join (p, l, r) -> join db p l (compile db l) (compile db r)
+  | Algebra.Union (l, r) -> Plan.Merge_union (compile db l, compile db r)
+  | Algebra.Intersect (l, r) ->
+    Plan.Merge_intersect (compile db l, compile db r)
+  | Algebra.Diff (l, r) -> Plan.Merge_diff (compile db l, compile db r)
+  | Algebra.Aggregate (group, func, e) ->
+    Plan.Hash_aggregate { group; func; child = compile db e }
+
+let plan ~db expr = { Plan.logical = expr; physical = compile db expr }

@@ -1,0 +1,30 @@
+(** The physical planner: compiles a logical {!Algebra.t} into an
+    executable {!Plan.t} against a concrete database.
+
+    Decisions made here, all cost-only (results are invariant):
+    - selections directly over base relations become scans, with
+      {!Access.plan} choosing point/range index paths where a secondary
+      index serves a column-vs-constant conjunct;
+    - join predicates are split by {!Predicate.equi_split}; when
+      cross-side equality columns exist, {!Cost.join_choice} arbitrates
+      hash-build/probe against the streaming nested loop on estimated
+      input cardinalities;
+    - union/intersection/difference run as linear merges over the sorted
+      tuple order their inputs already carry;
+    - everything else falls back to operators that mirror {!Ops}
+      exactly.
+
+    Plans are immutable and reusable: all data references go through the
+    database at execution time, so a plan stays valid across updates and
+    clock advances — only DDL (table or index changes, tracked by
+    {!Database.generation}) warrants replanning, and even a stale plan
+    stays {e correct} because the executor re-validates access paths. *)
+
+open Expirel_core
+open Expirel_storage
+
+val plan : db:Database.t -> Algebra.t -> Plan.compiled
+
+val estimate_rows : Database.t -> Plan.t -> int
+(** The cardinality estimate used to cost alternatives (table stats at
+    the leaves, fixed selectivity factors above). *)

@@ -227,7 +227,8 @@ let release t ~write =
 let is_read_only = function
   | Ast.Query _ | Ast.Show_tables | Ast.Show_views | Ast.Show_time
   | Ast.Show_triggers | Ast.Show_constraints | Ast.Explain _ -> true
-  | Ast.Create_table _ | Ast.Drop_table _ | Ast.Insert _ | Ast.Delete _
+  | Ast.Create_table _ | Ast.Drop_table _ | Ast.Create_index _
+  | Ast.Drop_index _ | Ast.Insert _ | Ast.Delete _
   | Ast.Advance_to _ | Ast.Tick _ | Ast.Vacuum | Ast.Checkpoint
   | Ast.Create_view _ | Ast.Show_view _ | Ast.Create_trigger _
   | Ast.Drop_trigger _ | Ast.Create_constraint _ | Ast.Drop_constraint _

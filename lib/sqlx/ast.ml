@@ -75,6 +75,14 @@ type expires_clause =
 type statement =
   | Create_table of string * string list
   | Drop_table of string
+  | Create_index of {
+      table : string;
+      column : string;
+    }
+  | Drop_index of {
+      table : string;
+      column : string;
+    }
   | Insert of {
       table : string;
       values : Value.t list;
@@ -148,6 +156,10 @@ let pp_statement ppf = function
   | Create_table (name, cols) ->
     Format.fprintf ppf "CREATE TABLE %s (%s)" name (String.concat ", " cols)
   | Drop_table name -> Format.fprintf ppf "DROP TABLE %s" name
+  | Create_index { table; column } ->
+    Format.fprintf ppf "CREATE INDEX ON %s (%s)" table column
+  | Drop_index { table; column } ->
+    Format.fprintf ppf "DROP INDEX ON %s (%s)" table column
   | Insert { table; values; expires } ->
     let expires_text =
       match expires with

@@ -81,6 +81,17 @@ type expires_clause =
 type statement =
   | Create_table of string * string list
   | Drop_table of string
+  | Create_index of {
+      table : string;
+      column : string;
+    }
+      (** [CREATE INDEX ON t (c)]: builds an ordered secondary index the
+          planner's access paths can use; purely physical — results
+          never change, only cost *)
+  | Drop_index of {
+      table : string;
+      column : string;
+    }
   | Insert of {
       table : string;
       values : Value.t list;

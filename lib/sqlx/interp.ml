@@ -1,5 +1,6 @@
 open Expirel_core
 open Expirel_storage
+open Expirel_exec
 module Trace = Expirel_obs.Trace
 
 type stored_view = {
@@ -18,6 +19,22 @@ type constraint_info = {
   max_rows : int option;
 }
 
+(* A cached physical plan, valid for exactly one catalog generation:
+   any DDL (CREATE/DROP TABLE, CREATE/DROP INDEX) bumps the database
+   generation and thereby invalidates every entry at once without
+   touching the cache. *)
+type plan_entry = {
+  p_generation : int;
+  p_columns : string list;
+  p_compiled : Plan.compiled;
+}
+
+type plan_cache_stats = {
+  hits : int;
+  misses : int;
+  entries : int;
+}
+
 type t = {
   db : Database.t;
   store : Durable.t option;
@@ -26,6 +43,13 @@ type t = {
   invariants : Invariant.t;
   constraints : (string, constraint_info) Hashtbl.t;
   mutable trigger_log : string list;  (* newest first *)
+  plan_cache : (Ast.query, plan_entry) Lru.t;
+  plan_mutex : Mutex.t;
+      (* the server's rwlock admits concurrent readers, and readers
+         mutate the cache (LRU recency, stats) — so the cache has its
+         own lock, never held across lowering or evaluation *)
+  mutable plan_hits : int;
+  mutable plan_misses : int;
 }
 
 let create ?policy ?backend ?store () =
@@ -40,7 +64,11 @@ let create ?policy ?backend ?store () =
     maintained_views = Hashtbl.create 8;
     invariants = Invariant.create db;
     constraints = Hashtbl.create 8;
-    trigger_log = []
+    trigger_log = [];
+    plan_cache = Lru.create ~capacity:64;
+    plan_mutex = Mutex.create ();
+    plan_hits = 0;
+    plan_misses = 0
   }
 
 let database t = t.db
@@ -121,18 +149,69 @@ let probe_of trace =
   | None -> None
   | Some _ -> Some (fun op k -> Trace.span trace ("op:" ^ op) k)
 
-let run_query ?trace t { Ast.q; at; order_by; limit } =
-  let { Lower.expr; columns } =
-    Trace.span trace "lower" (fun () -> Lower.lower_query ~catalog:(catalog t) q)
+(* Lower + plan once per distinct query text and catalog generation; the
+   LRU is the server hot path's per-request saving.  The lock is dropped
+   before lowering and planning so a cache miss never serialises against
+   other readers; two concurrent misses on the same query both plan and
+   the second store wins — wasted work, never a wrong answer. *)
+let planned_query ?trace t q =
+  let generation = Database.generation t.db in
+  let cached =
+    Mutex.protect t.plan_mutex (fun () ->
+        match Lru.find t.plan_cache q with
+        | Some entry when entry.p_generation = generation ->
+          t.plan_hits <- t.plan_hits + 1;
+          Some entry
+        | Some _ | None ->
+          t.plan_misses <- t.plan_misses + 1;
+          None)
   in
-  let { Eval.relation; texp = texp_e } =
-    Trace.span trace "eval" (fun () ->
-        match at with
-        | None -> Database.query ?probe:(probe_of trace) t.db expr
-        | Some n ->
-          (* Query the known future: evaluate the current physical state as
-             it will stand at time n, assuming no further updates — the
-             future of expiring data is known in advance. *)
+  match cached with
+  | Some entry -> entry
+  | None ->
+    let { Lower.expr; columns } =
+      Trace.span trace "lower" (fun () ->
+          Lower.lower_query ~catalog:(catalog t) q)
+    in
+    let compiled =
+      Trace.span trace "plan" (fun () -> Planner.plan ~db:t.db expr)
+    in
+    let entry =
+      { p_generation = generation; p_columns = columns; p_compiled = compiled }
+    in
+    Mutex.protect t.plan_mutex (fun () -> Lru.set t.plan_cache q entry);
+    entry
+
+let plan_cache_stats t =
+  Mutex.protect t.plan_mutex (fun () ->
+      { hits = t.plan_hits;
+        misses = t.plan_misses;
+        entries = Lru.length t.plan_cache
+      })
+
+let run_query ?trace t { Ast.q; at; order_by; limit } =
+  match at with
+  | None ->
+    let entry = planned_query ?trace t q in
+    let { Eval.relation; texp = texp_e } =
+      Trace.span trace "eval" (fun () ->
+          Executor.run ?probe:(probe_of trace) ~db:t.db entry.p_compiled)
+    in
+    let columns = entry.p_columns in
+    let listing = order_and_limit ~columns ~order_by ~limit relation in
+    Rows { columns; relation; listing; texp_e; recomputed = false }
+  | Some n ->
+    (* Query the known future: evaluate the current physical state as it
+       will stand at time n, assuming no further updates — the future of
+       expiring data is known in advance.  Time travel stays on the
+       naive evaluator: it is off the hot path and its per-snapshot
+       environment defeats plan reuse anyway. *)
+    let { Lower.expr; columns } =
+      Trace.span trace "lower" (fun () ->
+          Lower.lower_query ~catalog:(catalog t) q)
+    in
+    let { Eval.relation; texp = texp_e } =
+      Trace.span trace "eval" (fun () ->
           let tau = Time.of_int n in
           if Time.(tau < Database.now t.db) then
             failwith "AT time is in the past (the past is not retained)"
@@ -143,9 +222,9 @@ let run_query ?trace t { Ast.q; at; order_by; limit } =
                 (Database.table t.db name)
             in
             Eval.run ?probe:(probe_of trace) ~env ~tau expr)
-  in
-  let listing = order_and_limit ~columns ~order_by ~limit relation in
-  Rows { columns; relation; listing; texp_e; recomputed = false }
+    in
+    let listing = order_and_limit ~columns ~order_by ~limit relation in
+    Rows { columns; relation; listing; texp_e; recomputed = false }
 
 let view_name_taken t name =
   Hashtbl.mem t.views name || Hashtbl.mem t.maintained_views name
@@ -243,6 +322,27 @@ let exec_statement ?trace t = function
     in
     if dropped then Msg (Printf.sprintf "table %s dropped" name)
     else raise (Errors.Unknown_relation name)
+  | Ast.Create_index { table; column } ->
+    (* Indexes are session-local physical state — they change access
+       paths, never results — so they are not write-ahead logged; a
+       reopened store rebuilds none and stays correct. *)
+    let tbl = Database.table_exn t.db table in
+    (match Table.column_position tbl column with
+     | None ->
+       failwith (Printf.sprintf "unknown column %s in table %s" column table)
+     | Some pos ->
+       Trace.span trace "storage" (fun () -> Table.create_index tbl ~column:pos);
+       Database.bump_generation t.db;
+       Msg (Printf.sprintf "index on %s (%s) created" table column))
+  | Ast.Drop_index { table; column } ->
+    let tbl = Database.table_exn t.db table in
+    (match Table.column_position tbl column with
+     | None ->
+       failwith (Printf.sprintf "unknown column %s in table %s" column table)
+     | Some pos ->
+       Table.drop_index tbl ~column:pos;
+       Database.bump_generation t.db;
+       Msg (Printf.sprintf "index on %s (%s) dropped" table column))
   | Ast.Insert { table; values; expires } ->
     let texp = time_of_expires t expires in
     Trace.span trace "storage" (fun () ->
@@ -443,14 +543,17 @@ let exec_statement ?trace t = function
   | Ast.Explain q ->
     let { Lower.expr; columns } = Lower.lower_query ~catalog:(catalog t) q in
     let { Eval.texp; _ } = Database.query t.db expr in
+    let { Plan.physical; _ } = Planner.plan ~db:t.db expr in
     Msg
-      (Printf.sprintf "%scolumns: %s\nclass: %s\ntexp(e) now: %s"
+      (Printf.sprintf
+         "%scolumns: %s\nclass: %s\ntexp(e) now: %s\nphysical plan:\n%s"
          (Explain.expr_tree expr)
          (String.concat ", " columns)
          (match Monotone.classify expr with
           | `Monotonic -> "monotonic"
           | `Non_monotonic k -> Printf.sprintf "non-monotonic (%d)" k)
-         (Time.to_string texp))
+         (Time.to_string texp)
+         (Plan.to_string physical))
 
 let view_horizons t =
   let plain =

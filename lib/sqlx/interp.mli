@@ -43,6 +43,19 @@ type outcome =
       recomputed : bool;  (** a view read forced a recomputation *)
     }
 
+type plan_cache_stats = {
+  hits : int;
+  misses : int;
+  entries : int;
+}
+
+val plan_cache_stats : t -> plan_cache_stats
+(** Counters for the session's physical plan cache.  Queries (without
+    [AT]) are lowered and planned once per distinct statement and
+    catalog generation, then served from an LRU; any DDL — CREATE/DROP
+    TABLE, CREATE/DROP INDEX — bumps the generation and invalidates
+    every cached plan at once. *)
+
 val view_horizons : t -> (string * Time.t) list
 (** [texp(e)] horizon per view, sorted by name: how long each
     materialisation stays maintainable by local expiration alone.
@@ -53,8 +66,9 @@ val view_horizons : t -> (string * Time.t) list
 val exec :
   ?trace:Expirel_obs.Trace.t -> t -> Ast.statement -> (outcome, string) result
 (** [trace], when given, records spans for the statement's stages —
-    [lower] and [eval] for queries (with per-operator [op:<name>]
-    child spans), [storage] around state mutation — onto the caller's
+    [lower] and [plan] for queries on a plan-cache miss, [eval] always
+    (with per-operator [op:<name>] child spans named after the physical
+    operators), [storage] around state mutation — onto the caller's
     per-request trace. *)
 
 val exec_sql : t -> string -> (outcome, string) result

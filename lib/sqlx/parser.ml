@@ -238,6 +238,14 @@ let statement st =
       in
       Ast.Create_trigger { name; table }
     end
+    else if accept_kw st "INDEX" then begin
+      expect_kw st "ON";
+      let table = ident st in
+      expect st Token.Lparen "(";
+      let column = ident st in
+      expect st Token.Rparen ")";
+      Ast.Create_index { table; column }
+    end
     else if accept_kw st "CONSTRAINT" then begin
       let name = ident st in
       expect_kw st "ON";
@@ -259,6 +267,14 @@ let statement st =
     advance st;
     if accept_kw st "TRIGGER" then Ast.Drop_trigger (ident st)
     else if accept_kw st "CONSTRAINT" then Ast.Drop_constraint (ident st)
+    else if accept_kw st "INDEX" then begin
+      expect_kw st "ON";
+      let table = ident st in
+      expect st Token.Lparen "(";
+      let column = ident st in
+      expect st Token.Rparen ")";
+      Ast.Drop_index { table; column }
+    end
     else begin
       expect_kw st "TABLE";
       Ast.Drop_table (ident st)

@@ -119,6 +119,10 @@ let statement = function
   | Ast.Create_table (name, columns) ->
     Printf.sprintf "CREATE TABLE %s (%s)" name (String.concat ", " columns)
   | Ast.Drop_table name -> "DROP TABLE " ^ name
+  | Ast.Create_index { table; column } ->
+    Printf.sprintf "CREATE INDEX ON %s (%s)" table column
+  | Ast.Drop_index { table; column } ->
+    Printf.sprintf "DROP INDEX ON %s (%s)" table column
   | Ast.Insert { table; values; expires } ->
     Printf.sprintf "INSERT INTO %s VALUES (%s)%s" table
       (String.concat ", " (List.map value values))

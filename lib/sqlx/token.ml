@@ -26,7 +26,7 @@ let keywords =
     "AND"; "OR"; "NOT"; "TRUE"; "FALSE"; "NULL"; "COUNT"; "SUM"; "MIN"; "MAX";
     "AVG"; "VIEW"; "AS"; "SHOW"; "TABLES"; "VIEWS"; "REFRESH"; "EXPLAIN";
     "TRIGGER"; "TRIGGERS"; "NOW"; "AT"; "MAINTAINED"; "ORDER"; "ASC";
-    "DESC"; "LIMIT"; "HAVING"; "CONSTRAINT"; "CONSTRAINTS" ]
+    "DESC"; "LIMIT"; "HAVING"; "CONSTRAINT"; "CONSTRAINTS"; "INDEX" ]
 
 let equal a b =
   match a, b with

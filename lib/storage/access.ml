@@ -13,11 +13,6 @@ type plan =
       hi : Ordered_index.bound;
     }
 
-let rec conjuncts = function
-  | Predicate.And (a, b) -> conjuncts a @ conjuncts b
-  | Predicate.True -> []
-  | p -> [ p ]
-
 let value_tag = function
   | Value.Null -> 0
   | Value.Bool _ -> 1
@@ -52,7 +47,7 @@ let indexable table = function
   | _ -> None
 
 let plan table p =
-  let cs = conjuncts p in
+  let cs = Predicate.conjuncts p in
   let null_conjunct = function
     | Predicate.Cmp (_, Predicate.Const Value.Null, _)
     | Predicate.Cmp (_, _, Predicate.Const Value.Null) ->

@@ -11,6 +11,9 @@ type t = {
   tables : (string, Table.t) Hashtbl.t;
   trigger_registry : Trigger.registry;
   mutable clock : Time.t;
+  mutable generation : int;
+      (* catalog generation: bumped on DDL (table and index changes) so
+         cached physical plans can be checked for staleness in O(1) *)
 }
 
 let create ?(policy = Eager) ?(backend = `Heap) () =
@@ -18,12 +21,15 @@ let create ?(policy = Eager) ?(backend = `Heap) () =
     backend;
     tables = Hashtbl.create 16;
     trigger_registry = Trigger.create ();
-    clock = Time.zero
+    clock = Time.zero;
+    generation = 0
   }
 
 let policy db = db.policy
 let now db = db.clock
 let triggers db = db.trigger_registry
+let generation db = db.generation
+let bump_generation db = db.generation <- db.generation + 1
 
 let create_table db ~name ~columns =
   if Hashtbl.mem db.tables name then
@@ -31,12 +37,14 @@ let create_table db ~name ~columns =
   else begin
     let table = Table.create ~backend:db.backend ~name ~columns () in
     Hashtbl.replace db.tables name table;
+    bump_generation db;
     table
   end
 
 let drop_table db name =
   if Hashtbl.mem db.tables name then begin
     Hashtbl.remove db.tables name;
+    bump_generation db;
     true
   end
   else false

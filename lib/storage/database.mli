@@ -26,6 +26,18 @@ val policy : t -> policy
 val now : t -> Time.t
 val triggers : t -> Trigger.registry
 
+val generation : t -> int
+(** Catalog generation: a monotone counter bumped by {!create_table},
+    {!drop_table} and {!bump_generation}.  Plan caches key on it so any
+    DDL (including secondary-index changes, which callers signal via
+    {!bump_generation}) invalidates every cached physical plan in
+    O(1). *)
+
+val bump_generation : t -> unit
+(** Explicitly advance the catalog generation — called by layers that
+    change planning-relevant state the database cannot see itself (e.g.
+    creating or dropping a secondary index on a table). *)
+
 val create_table : t -> name:string -> columns:string list -> Table.t
 (** @raise Invalid_argument when the name is taken *)
 

@@ -65,15 +65,26 @@ let below hi k =
   | Inclusive v -> Value.compare k v <= 0
   | Exclusive v -> Value.compare k v < 0
 
-let range t ~lo ~hi =
+let range ?visited t ~lo ~hi =
   (* Seek to the lower bound and walk in order until the upper bound —
-     O(log n + answer), the point of keeping the index ordered. *)
+     O(log n + answer), the point of keeping the index ordered.  The seek
+     already lands at the first key >= the bound, so an [Exclusive] lower
+     bound skips at most the one equal-key binding: the [drop_while]
+     cannot degrade into a scan.  [visited] counts the key bindings
+     examined, which regression tests pin against the answer size. *)
+  let touch b =
+    (match visited with
+     | Some c -> incr c
+     | None -> ());
+    b
+  in
   let seq =
     match lo with
     | Unbounded -> Value_map.to_seq t.buckets
     | Inclusive v | Exclusive v -> Value_map.to_seq_from v t.buckets
   in
   seq
+  |> Seq.map touch
   |> Seq.drop_while (fun (k, _) -> not (above lo k))
   |> Seq.take_while (fun (k, _) -> below hi k)
   |> Seq.concat_map (fun (_, bucket) -> List.to_seq (Tuple_set.elements bucket))

@@ -29,8 +29,15 @@ val extrema : t -> (Value.t * Value.t) option
 val lookup : t -> Value.t -> Tuple.t list
 (** Tuples whose indexed attribute equals the value, in tuple order. *)
 
-val range : t -> lo:bound -> hi:bound -> Tuple.t list
+val range : ?visited:int ref -> t -> lo:bound -> hi:bound -> Tuple.t list
 (** Tuples whose indexed attribute falls in the interval, in ascending
     attribute (then tuple) order.  Bounds use {!Value.compare}'s total
     order, which agrees with {!Value.cmp} on same-type numeric and
-    string values. *)
+    string values.
+
+    Cost is O(log n + answer): the walk seeks directly to the lower
+    bound; an [Exclusive] bound skips at most one equal-key binding.
+    [visited], when given, is incremented once per key binding the walk
+    examines (at most the answer's distinct keys plus two: one possible
+    equal-key skip and the binding that fails the upper bound) — the
+    hook the complexity regression test pins. *)

@@ -19,6 +19,11 @@ type t = {
   index : Expiration_index.t;
   secondary : (int, Ordered_index.t) Hashtbl.t;  (* column -> index *)
   mutable next_id : int;
+  mutable generation : int;  (* bumped on every physical row change *)
+  mutable cached_snapshot : (int * Relation.t) option;
+      (* A full-table snapshot is independent of [tau] as long as every
+         physical row is live at [tau] (i.e. [next_expiry > tau]), so it
+         can be cached across reads and invalidated by generation. *)
 }
 
 let create ?(backend = `Heap) ~name ~columns () =
@@ -31,8 +36,13 @@ let create ?(backend = `Heap) ~name ~columns () =
       by_tuple = Tuple_tbl.create 64;
       index = Expiration_index.create backend;
       secondary = Hashtbl.create 4;
-      next_id = 0
+      next_id = 0;
+      generation = 0;
+      cached_snapshot = None
     }
+
+let generation t = t.generation
+let touch t = t.generation <- t.generation + 1
 
 let name t = t.name
 let columns t = t.columns
@@ -64,6 +74,7 @@ let insert t tuple ~texp =
     invalid_arg
       (Printf.sprintf "Table.insert(%s): tuple arity %d, table arity %d" t.name
          (Tuple.arity tuple) (arity t));
+  touch t;
   unindex t tuple;
   secondary_insert t tuple;
   Tuple_tbl.replace t.rows tuple (tuple, texp);
@@ -75,6 +86,7 @@ let insert t tuple ~texp =
 
 let delete t tuple =
   if Tuple_tbl.mem t.rows tuple then begin
+    touch t;
     unindex t tuple;
     secondary_remove t tuple;
     Tuple_tbl.remove t.rows tuple;
@@ -91,15 +103,40 @@ let live_count t ~tau =
     (fun _ (_, texp) n -> if Time.(texp > tau) then n + 1 else n)
     t.rows 0
 
+(* Every physical row live at [tau]?  Then the snapshot is the whole
+   table, independent of [tau].  (Under lazy removal, expired rows keep
+   their expiration-index entries until vacuumed, so [next_expiry <= tau]
+   and the fast path correctly stays off.) *)
+let all_live t ~tau =
+  match Expiration_index.next_expiry t.index with
+  | None -> true
+  | Some e -> Time.(e > tau)
+
+let full_snapshot t =
+  match t.cached_snapshot with
+  | Some (g, r) when g = t.generation -> r
+  | Some _ | None ->
+    let r =
+      Tuple_tbl.fold
+        (fun _ (tuple, texp) acc -> Relation.add tuple ~texp acc)
+        t.rows
+        (Relation.empty ~arity:(arity t))
+    in
+    t.cached_snapshot <- Some (t.generation, r);
+    r
+
 let snapshot t ~tau =
-  Tuple_tbl.fold
-    (fun _ (tuple, texp) acc ->
-      if Time.(texp > tau) then Relation.add tuple ~texp acc else acc)
-    t.rows
-    (Relation.empty ~arity:(arity t))
+  if all_live t ~tau then full_snapshot t
+  else
+    Tuple_tbl.fold
+      (fun _ (tuple, texp) acc ->
+        if Time.(texp > tau) then Relation.add tuple ~texp acc else acc)
+      t.rows
+      (Relation.empty ~arity:(arity t))
 
 let expire_upto t tau =
   let due = Expiration_index.expire_upto t.index tau in
+  if due <> [] then touch t;
   List.filter_map
     (fun (id, texp) ->
       match Hashtbl.find_opt t.ids id with

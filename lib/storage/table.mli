@@ -45,8 +45,15 @@ val pending_expirations : t -> int
     timer wheel / scan) — the backlog an advance or vacuum would have to
     process.  The depth gauge the observability layer exposes. *)
 
+val generation : t -> int
+(** Monotone counter bumped on every physical row change (insert, delete,
+    expiration) — the invalidation key for cached snapshots. *)
+
 val snapshot : t -> tau:Time.t -> Relation.t
-(** The logical state [exp_tau(R)]. *)
+(** The logical state [exp_tau(R)].  When every physical row is live at
+    [tau] (the common server-read case: nothing has expired since the
+    last mutation) the snapshot is cached and reused until the table
+    changes, making repeated reads O(1) instead of O(n). *)
 
 val expire_upto : t -> Time.t -> (Tuple.t * Time.t) list
 (** Physically removes every row with [texp <= tau] and returns them in

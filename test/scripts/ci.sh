@@ -5,11 +5,16 @@
 # server smoke/concurrency tests.
 set -eux
 cd "$(dirname "$0")/../.."
-# lib/obs compiles with -warn-error +a (its dune says so); build it
-# alone first so an instrumentation warning fails fast with a small log.
+# lib/obs and lib/exec compile with -warn-error +a (their dunes say so);
+# build them alone first so a warning fails fast with a small log.
 dune build lib/obs
+dune build lib/exec
 dune build @all
 dune runtest
 # Smoke the observability experiment: a live server, a METRICS scrape
 # validated line by line, and the slow-query log — end to end.
 dune exec bench/main.exe -- obs
+# Smoke the physical execution experiment: hash vs nested-loop joins,
+# the O(1) live-scan fast path, and the plan cache; refreshes
+# BENCH_exec.json.
+dune exec bench/main.exe -- exec

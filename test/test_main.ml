@@ -44,6 +44,7 @@ let () =
       "lower", Test_lower.suite;
       "sql-print", Test_sql_print.suite;
       "interp", Test_interp.suite;
+      "plan", Test_plan.suite;
       "scripts", Test_scripts.suite;
       (* loosely-coupled-system substrate *)
       "sim", Test_sim.suite;

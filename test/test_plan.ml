@@ -1,0 +1,331 @@
+(* The physical execution layer: planner/executor equivalence with the
+   naive evaluator (rows AND expiration times), the join and merge
+   kernels' edge cases, the ordered-index range walk's cost bound, and
+   the interpreter's generation-keyed plan cache. *)
+
+open Expirel_core
+open Expirel_storage
+open Expirel_exec
+open Expirel_sqlx
+module Gen = QCheck2.Gen
+
+let relation_t = Alcotest.testable Relation.pp Relation.equal
+
+let string_contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let exec t sql =
+  match Interp.exec_sql t sql with
+  | Ok outcome -> outcome
+  | Error msg -> Alcotest.failf "%S failed: %s" sql msg
+
+let expect_error t sql =
+  match Interp.exec_sql t sql with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.failf "expected %S to fail" sql
+
+let msg = function
+  | Interp.Msg m -> m
+  | Interp.Rows _ -> Alcotest.fail "expected a message, got rows"
+
+(* ---------- planner/executor ≡ naive evaluator ---------- *)
+
+(* Load generated bindings into a real database.  Lazy policy so that
+   advancing the clock leaves expired rows physically present — the
+   live-filtering paths (Relation.exp, Table.snapshot, Access.select)
+   must hide them, which is exactly what the equivalence law checks.
+   Generated texps are all >= 1, so every row is insertable at clock 0. *)
+let db_of_bindings bindings =
+  let db = Database.create ~policy:Database.Lazy () in
+  List.iter
+    (fun (name, rel) ->
+      let arity = Relation.arity rel in
+      let columns = List.init arity (fun i -> Printf.sprintf "c%d" (i + 1)) in
+      let (_ : Table.t) = Database.create_table db ~name ~columns in
+      List.iter
+        (fun (tuple, texp) -> Database.insert db name tuple ~texp)
+        (Relation.to_list rel))
+    bindings;
+  (* Index some tables and not others so generated plans mix index scans
+     with full scans. *)
+  List.iter
+    (fun (name, column) ->
+      match Database.table db name with
+      | Some tbl when Table.arity tbl >= column ->
+        Table.create_index tbl ~column
+      | Some _ | None -> ())
+    [ "R1", 1; "R2", 1; "R2", 2; "R3", 2 ];
+  db
+
+let gen_case =
+  let open Gen in
+  let* e, bindings = Generators.expr_and_env () in
+  let* tau = int_range 0 8 in
+  return (e, bindings, tau)
+
+let physical_equals_naive (e, bindings, tau) =
+  let db = db_of_bindings bindings in
+  Database.advance_to db (Time.of_int tau);
+  let naive = Database.query db e in
+  let physical = Executor.run ~db (Planner.plan ~db e) in
+  Relation.equal naive.Eval.relation physical.Eval.relation
+  && Time.equal naive.Eval.texp physical.Eval.texp
+
+(* ---------- hash-join kernel ---------- *)
+
+let rel arity rows =
+  Relation.of_list ~arity
+    (List.map (fun (vs, t) -> Tuple.of_list vs, Time.of_int t) rows)
+
+(* The equi-join of two binary relations on their first columns, with
+   the full predicate spelled out the way the planner extracts it. *)
+let join_pred =
+  Predicate.Cmp (Predicate.Eq, Predicate.Col 1, Predicate.Col 3)
+
+let gen_join_inputs =
+  Gen.pair (Generators.relation ~arity:2) (Generators.relation ~arity:2)
+
+let hash_equals_nested (l, r) =
+  Relation.equal
+    (Executor.hash_join ~pairs:[ (1, 1) ] ~pred:join_pred l r)
+    (Executor.nested_loop join_pred l r)
+
+let test_hash_join_numeric_coercion () =
+  (* Value.cmp calls Int 1 and Float 1.0 equal, so the hash join must
+     bucket them together. *)
+  let l = rel 1 [ [ Value.int 1 ], 5 ] in
+  let r = rel 1 [ [ Value.Float 1.0 ], 7 ] in
+  let pred = Predicate.Cmp (Predicate.Eq, Predicate.Col 1, Predicate.Col 2) in
+  let out = Executor.hash_join ~pairs:[ (1, 1) ] ~pred l r in
+  Alcotest.check relation_t "Int 1 joins Float 1.0"
+    (Executor.nested_loop pred l r)
+    out;
+  Alcotest.(check int) "one pair" 1 (Relation.cardinal out)
+
+let test_hash_join_null_keys () =
+  (* Null equals nothing under Value.cmp — not even Null — so
+     Null-keyed rows join nothing on either side. *)
+  let l = rel 1 [ [ Value.Null ], 5; [ Value.int 1 ], 5 ] in
+  let r = rel 1 [ [ Value.Null ], 7; [ Value.int 1 ], 7 ] in
+  let pred = Predicate.Cmp (Predicate.Eq, Predicate.Col 1, Predicate.Col 2) in
+  let out = Executor.hash_join ~pairs:[ (1, 1) ] ~pred l r in
+  Alcotest.check relation_t "only the 1-1 pair survives"
+    (Executor.nested_loop pred l r)
+    out;
+  Alcotest.(check int) "one pair" 1 (Relation.cardinal out)
+
+let test_hash_join_nan_keys () =
+  (* Value.cmp says NaN = NaN while structural hashing disagrees; the
+     kernel must fall back to looping for NaN-keyed probes rather than
+     silently losing the pair. *)
+  let nan = Value.Float Float.nan in
+  let l = rel 1 [ [ nan ], 5; [ Value.int 2 ], 5 ] in
+  let r = rel 1 [ [ nan ], 7; [ Value.int 2 ], 7 ] in
+  let pred = Predicate.Cmp (Predicate.Eq, Predicate.Col 1, Predicate.Col 2) in
+  let out = Executor.hash_join ~pairs:[ (1, 1) ] ~pred l r in
+  Alcotest.check relation_t "NaN-NaN and 2-2 both survive"
+    (Executor.nested_loop pred l r)
+    out;
+  Alcotest.(check int) "two pairs" 2 (Relation.cardinal out)
+
+let test_hash_join_multi_key_residual () =
+  (* Two equi-conjuncts plus a non-equi residual: bucket equality only
+     accelerates, the full predicate decides. *)
+  let l =
+    rel 2
+      [ [ Value.int 1; Value.int 10 ], 5;
+        [ Value.int 1; Value.int 1 ], 5;
+        [ Value.int 2; Value.int 10 ], 5 ]
+  in
+  let r =
+    rel 2 [ [ Value.int 1; Value.int 3 ], 7; [ Value.int 2; Value.int 9 ], 7 ]
+  in
+  let pred =
+    Predicate.conj
+      [ Predicate.Cmp (Predicate.Eq, Predicate.Col 1, Predicate.Col 3);
+        Predicate.Cmp (Predicate.Gt, Predicate.Col 2, Predicate.Col 4) ]
+  in
+  let out = Executor.hash_join ~pairs:[ (1, 1) ] ~pred l r in
+  Alcotest.check relation_t "residual filters within buckets"
+    (Executor.nested_loop pred l r)
+    out;
+  Alcotest.(check int) "two survivors" 2 (Relation.cardinal out)
+
+let test_hash_join_empty_sides () =
+  let empty = Relation.empty ~arity:1 in
+  let one = rel 1 [ [ Value.int 1 ], 5 ] in
+  let pred = Predicate.Cmp (Predicate.Eq, Predicate.Col 1, Predicate.Col 2) in
+  List.iter
+    (fun (l, r) ->
+      Alcotest.(check int) "empty join" 0
+        (Relation.cardinal (Executor.hash_join ~pairs:[ (1, 1) ] ~pred l r)))
+    [ empty, one; one, empty; empty, empty ]
+
+(* ---------- merge kernels ---------- *)
+
+let gen_set_inputs =
+  Gen.pair (Generators.relation ~arity:2) (Generators.relation ~arity:2)
+
+let merge_union_law (l, r) = Relation.equal (Executor.merge_union l r) (Ops.union l r)
+let merge_intersect_law (l, r) =
+  Relation.equal (Executor.merge_intersect l r) (Ops.intersect l r)
+let merge_diff_law (l, r) = Relation.equal (Executor.merge_diff l r) (Ops.diff l r)
+
+(* ---------- ordered-index range cost ---------- *)
+
+let test_range_visits_only_the_answer () =
+  (* 10k distinct keys, one tuple each; an Exclusive-bounded range must
+     examine only the answer's keys plus a constant — the seek is
+     O(log n), not a scan from the smallest key. *)
+  let idx = Ordered_index.create ~column:1 in
+  let n = 10_000 in
+  for i = 1 to n do
+    Ordered_index.insert idx (Tuple.of_list [ Value.int i ])
+  done;
+  let visited = ref 0 in
+  let answer =
+    Ordered_index.range ~visited idx
+      ~lo:(Ordered_index.Exclusive (Value.int 9_900))
+      ~hi:(Ordered_index.Inclusive (Value.int 9_950))
+  in
+  Alcotest.(check int) "answer size" 50 (List.length answer);
+  Alcotest.(check bool)
+    (Printf.sprintf "visited %d <= answer keys + 2" !visited)
+    true
+    (!visited <= 50 + 2)
+
+(* ---------- the interpreter's plan cache ---------- *)
+
+let stats t = Interp.plan_cache_stats t
+
+let setup_indexed () =
+  let t = Interp.create () in
+  List.iter
+    (fun sql -> ignore (exec t sql))
+    [ "CREATE TABLE pol (uid, deg)";
+      "INSERT INTO pol VALUES (1, 25) EXPIRES 10";
+      "INSERT INTO pol VALUES (2, 25) EXPIRES 15";
+      "INSERT INTO pol VALUES (3, 35) EXPIRES 10" ];
+  t
+
+let test_plan_cache_hits () =
+  let t = setup_indexed () in
+  let before = stats t in
+  ignore (exec t "SELECT uid FROM pol WHERE deg = 25");
+  let after_first = stats t in
+  Alcotest.(check int) "first run misses" (before.Interp.misses + 1)
+    after_first.Interp.misses;
+  ignore (exec t "SELECT uid FROM pol WHERE deg = 25");
+  ignore (exec t "SELECT uid FROM pol WHERE deg = 25");
+  let after = stats t in
+  Alcotest.(check int) "reruns hit" (after_first.Interp.hits + 2)
+    after.Interp.hits;
+  Alcotest.(check int) "no further misses" after_first.Interp.misses
+    after.Interp.misses;
+  Alcotest.(check bool) "cache holds entries" true (after.Interp.entries >= 1)
+
+let test_plan_cache_invalidated_by_ddl () =
+  let t = setup_indexed () in
+  ignore (exec t "SELECT uid FROM pol WHERE deg = 25");
+  ignore (exec t "SELECT uid FROM pol WHERE deg = 25");
+  let cached = stats t in
+  (* Any DDL bumps the catalog generation; the same statement must
+     replan rather than serve a stale physical plan. *)
+  ignore (exec t "CREATE TABLE other (x)");
+  ignore (exec t "SELECT uid FROM pol WHERE deg = 25");
+  let after_create = stats t in
+  Alcotest.(check int) "CREATE TABLE forces a replan" (cached.Interp.misses + 1)
+    after_create.Interp.misses;
+  ignore (exec t "CREATE INDEX ON pol (deg)");
+  ignore (exec t "SELECT uid FROM pol WHERE deg = 25");
+  let after_index = stats t in
+  Alcotest.(check int) "CREATE INDEX forces a replan"
+    (after_create.Interp.misses + 1)
+    after_index.Interp.misses;
+  ignore (exec t "DROP TABLE other");
+  ignore (exec t "SELECT uid FROM pol WHERE deg = 25");
+  let after_drop = stats t in
+  Alcotest.(check int) "DROP TABLE forces a replan"
+    (after_index.Interp.misses + 1)
+    after_drop.Interp.misses
+
+let test_index_ddl_changes_explain () =
+  let t = setup_indexed () in
+  let explain () = msg (exec t "EXPLAIN SELECT uid FROM pol WHERE deg = 25") in
+  Alcotest.(check bool) "seq scan before the index" true
+    (string_contains (explain ()) "seq-scan");
+  ignore (exec t "CREATE INDEX ON pol (deg)");
+  Alcotest.(check bool) "index scan after CREATE INDEX" true
+    (string_contains (explain ()) "index-scan");
+  ignore (exec t "DROP INDEX ON pol (deg)");
+  Alcotest.(check bool) "seq scan after DROP INDEX" true
+    (string_contains (explain ()) "seq-scan")
+
+let test_indexed_query_results_unchanged () =
+  (* Indexes change access paths, never answers. *)
+  let t = setup_indexed () in
+  let run () =
+    match exec t "SELECT uid FROM pol WHERE deg = 25" with
+    | Interp.Rows { relation; _ } -> relation
+    | Interp.Msg m -> Alcotest.failf "expected rows, got %S" m
+  in
+  let before = run () in
+  ignore (exec t "CREATE INDEX ON pol (deg)");
+  Alcotest.check relation_t "same rows through the index" before (run ())
+
+let test_index_ddl_errors () =
+  let t = setup_indexed () in
+  expect_error t "CREATE INDEX ON nope (deg)";
+  expect_error t "CREATE INDEX ON pol (nope)";
+  expect_error t "DROP INDEX ON pol (nope)"
+
+(* ---------- the LRU itself ---------- *)
+
+let test_lru_evicts_stalest () =
+  let cache = Lru.create ~capacity:2 in
+  Lru.set cache "a" 1;
+  Lru.set cache "b" 2;
+  Alcotest.(check (option int)) "touch a" (Some 1) (Lru.find cache "a");
+  Lru.set cache "c" 3;
+  Alcotest.(check int) "still at capacity" 2 (Lru.length cache);
+  Alcotest.(check (option int)) "b was stalest" None (Lru.find cache "b");
+  Alcotest.(check (option int)) "a survived" (Some 1) (Lru.find cache "a");
+  Alcotest.(check (option int)) "c present" (Some 3) (Lru.find cache "c");
+  Lru.set cache "c" 4;
+  Alcotest.(check (option int)) "replace in place" (Some 4)
+    (Lru.find cache "c");
+  Alcotest.(check int) "replace keeps size" 2 (Lru.length cache)
+
+let suite =
+  [ Generators.qtest "physical plan ≡ naive eval (rows and texps)"
+      ~count:300 gen_case physical_equals_naive;
+    Generators.qtest "hash join ≡ nested loop" ~count:300 gen_join_inputs
+      hash_equals_nested;
+    Generators.qtest "merge union ≡ Ops.union" gen_set_inputs merge_union_law;
+    Generators.qtest "merge intersect ≡ Ops.intersect" gen_set_inputs
+      merge_intersect_law;
+    Generators.qtest "merge diff ≡ Ops.diff" gen_set_inputs merge_diff_law;
+    Alcotest.test_case "hash join: Int/Float key coercion" `Quick
+      test_hash_join_numeric_coercion;
+    Alcotest.test_case "hash join: Null keys join nothing" `Quick
+      test_hash_join_null_keys;
+    Alcotest.test_case "hash join: NaN keys fall back, not vanish" `Quick
+      test_hash_join_nan_keys;
+    Alcotest.test_case "hash join: multi-key + residual predicate" `Quick
+      test_hash_join_multi_key_residual;
+    Alcotest.test_case "hash join: empty sides" `Quick
+      test_hash_join_empty_sides;
+    Alcotest.test_case "range walk visits only the answer" `Quick
+      test_range_visits_only_the_answer;
+    Alcotest.test_case "plan cache: repeat statements hit" `Quick
+      test_plan_cache_hits;
+    Alcotest.test_case "plan cache: DDL invalidates" `Quick
+      test_plan_cache_invalidated_by_ddl;
+    Alcotest.test_case "EXPLAIN tracks index DDL" `Quick
+      test_index_ddl_changes_explain;
+    Alcotest.test_case "index DDL never changes answers" `Quick
+      test_indexed_query_results_unchanged;
+    Alcotest.test_case "index DDL errors" `Quick test_index_ddl_errors;
+    Alcotest.test_case "LRU eviction order" `Quick test_lru_evicts_stalest ]

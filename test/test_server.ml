@@ -282,7 +282,8 @@ let test_metrics_exposition () =
             [ "# TYPE expirel_request_duration_seconds histogram";
               "expirel_request_duration_seconds_bucket{le=\"0.5\"}";
               "expirel_request_duration_seconds_bucket{le=\"+Inf\"}";
-              "expirel_eval_operator_duration_seconds_bucket{operator=\"base\"";
+              "expirel_eval_operator_duration_seconds_bucket\
+               {operator=\"seq-scan\"";
               "expirel_eval_operator_duration_seconds_bucket\
                {operator=\"aggregate\"";
               "expirel_request_stage_duration_seconds_bucket{stage=\"parse\"";
@@ -383,7 +384,7 @@ let test_slow_queries_e2e () =
             (fun stage ->
               Alcotest.(check bool) ("span: " ^ stage) true
                 (List.mem stage names))
-            [ "parse"; "lower"; "eval"; "rwlock_wait"; "op:base";
+            [ "parse"; "lower"; "plan"; "eval"; "rwlock_wait"; "op:seq-scan";
               "op:project" ];
           List.iter
             (fun (s : Wire.span) ->
