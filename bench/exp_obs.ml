@@ -5,10 +5,92 @@
    what does a METRICS scrape cost the server? *)
 
 open Expirel_server
+module Core = Expirel_core
+module Storage = Expirel_storage
+module Exec = Expirel_exec
 module Obs = Expirel_obs
 
 let scrapes = 50
 let workload_requests = 400
+
+(* ---- the EXPLAIN ANALYZE sink: what does profiling cost a plan? ----
+
+   The same compiled plan runs in interleaved batches with the
+   [?profile] sink absent (the executor's original path) and present
+   (per-operator rows/drops/visits/build counts plus a wall-clock read
+   per operator).  Best-of-batches damps scheduler noise.  The
+   disabled path must stay within noise of itself and the enabled path
+   within a few percent — EXPLAIN ANALYZE is priced per statement, not
+   per deployment. *)
+
+let profile_rows = 10_000
+let profile_batches = 5
+let profile_runs_per_batch = 40
+
+let bench_profiling_overhead () =
+  Bench_util.subsection "profiling overhead (EXPLAIN ANALYZE sink)";
+  let open Storage in
+  let db = Database.create ~policy:Database.Lazy () in
+  let (_ : Table.t) =
+    Database.create_table db ~name:"pol" ~columns:[ "uid"; "deg" ]
+  in
+  let (_ : Table.t) =
+    Database.create_table db ~name:"el" ~columns:[ "uid"; "peer" ]
+  in
+  for i = 1 to profile_rows do
+    Database.insert db "pol"
+      (Core.Tuple.of_list [ Core.Value.Int i; Core.Value.Int (i mod 50) ])
+      ~texp:(Core.Time.of_int (10 + (i mod 90)));
+    if i mod 20 = 0 then
+      Database.insert db "el"
+        (Core.Tuple.of_list [ Core.Value.Int i; Core.Value.Int (i / 20) ])
+        ~texp:(Core.Time.of_int 100)
+  done;
+  Database.advance_to db (Core.Time.of_int 30);
+  let expr =
+    Core.Algebra.select
+      (Core.Predicate.Cmp
+         (Core.Predicate.Lt, Core.Predicate.Col 2,
+          Core.Predicate.Const (Core.Value.Int 25)))
+      (Core.Algebra.join (Core.Predicate.eq_cols 1 3)
+         (Core.Algebra.base "pol") (Core.Algebra.base "el"))
+  in
+  let compiled = Exec.Planner.plan ~db expr in
+  let run_off () = ignore (Exec.Executor.run ~db compiled : Core.Eval.result) in
+  let run_on () =
+    let p = Exec.Profile.of_plan ~db compiled.Exec.Plan.physical in
+    ignore (Exec.Executor.run ~profile:p ~db compiled : Core.Eval.result)
+  in
+  (* warm both paths before timing *)
+  run_off ();
+  run_on ();
+  let batch f =
+    let (), s =
+      Bench_util.time_it (fun () ->
+          for _ = 1 to profile_runs_per_batch do
+            f ()
+          done)
+    in
+    s /. float_of_int profile_runs_per_batch
+  in
+  let best = ref infinity and best_on = ref infinity in
+  for _ = 1 to profile_batches do
+    best := Float.min !best (batch run_off);
+    best_on := Float.min !best_on (batch run_on)
+  done;
+  let off_ms = !best *. 1e3 and on_ms = !best_on *. 1e3 in
+  let overhead_pct = (on_ms -. off_ms) /. off_ms *. 100. in
+  Bench_util.param_int "profile_rows" profile_rows;
+  Bench_util.metric "exec_unprofiled_ms" off_ms;
+  Bench_util.metric "exec_profiled_ms" on_ms;
+  Bench_util.metric "profile_overhead_pct" overhead_pct;
+  Printf.printf
+    "plan over %d rows: %.3f ms unprofiled, %.3f ms profiled (%+.1f%%)\n"
+    profile_rows off_ms on_ms overhead_pct;
+  if overhead_pct >= 5.0 then
+    failwith
+      (Printf.sprintf "profiling overhead %.1f%% breaches the 5%% budget"
+         overhead_pct)
 
 (* A sample line is `name{labels} value`; validate the value parses
    (Prometheus float, "+Inf" allowed) and count families and samples. *)
@@ -145,4 +227,6 @@ let run_all () =
   Printf.printf "counter incr %.0f ns, histogram observe %.0f ns (n=%d)\n"
     (counter_s /. float_of_int n *. 1e9)
     (histo_s /. float_of_int n *. 1e9)
-    n
+    n;
+
+  bench_profiling_overhead ()

@@ -80,7 +80,7 @@ let main policy backend script file =
 
 (* ---------- serve: the networked database ---------- *)
 
-let serve policy backend host port max_conns timeout data_dir =
+let serve policy backend host port max_conns timeout data_dir node_name =
   let config =
     { Server.host;
       port;
@@ -89,7 +89,9 @@ let serve policy backend host port max_conns timeout data_dir =
       policy = parse_policy policy;
       backend = parse_backend backend;
       data_dir;
-      read_only = false
+      read_only = false;
+      node_name;
+      health_rules = Server.default_health_rules
     }
   in
   let server = Server.create ~config () in
@@ -143,6 +145,17 @@ let print_slow_queries client n =
   | Ok qs -> print_endline (Wire.render_response (Wire.Slow_queries_reply qs))
   | Error e -> Printf.printf "error: %s\n" e
 
+let print_traces client n =
+  match Client.traces client n with
+  | Ok es -> print_endline (Wire.render_response (Wire.Traces_reply es))
+  | Error e -> Printf.printf "error: %s\n" e
+
+let print_health client =
+  match Client.health client with
+  | Ok (level, firing) ->
+    print_endline (Wire.render_response (Wire.Health_reply { level; firing }))
+  | Error e -> Printf.printf "error: %s\n" e
+
 let send_statement client text =
   let text = String.trim text in
   if text <> "" then begin
@@ -170,6 +183,18 @@ let send_statement client text =
        | Some n when n >= 0 -> print_slow_queries client n
        | Some _ | None -> print_endline "usage: SLOW [N];"
      end
+     else if upper = "TRACE" || starts "TRACE " then begin
+       let n =
+         if upper = "TRACE" then Some 10
+         else
+           int_of_string_opt
+             (String.trim (String.sub text 6 (String.length text - 6)))
+       in
+       match n with
+       | Some n when n >= 0 -> print_traces client n
+       | Some _ | None -> print_endline "usage: TRACE [N];"
+     end
+     else if upper = "HEALTH" then print_health client
      else if upper = "PING" then
        match Client.ping client with
        | Ok () -> print_endline "pong"
@@ -188,7 +213,8 @@ let remote_banner host port =
   Printf.sprintf
     "connected to expirel_server at %s:%d\n\
      statements end with ';'.  Also: SUBSCRIBE name AS SELECT ...;\n\
-    \  UNSUBSCRIBE name;  STATS;  METRICS;  SLOW [N];  PING;  ^D to quit."
+    \  UNSUBSCRIBE name;  STATS;  METRICS;  SLOW [N];  TRACE [N];\n\
+    \  HEALTH;  PING;  ^D to quit."
     host port
 
 let remote_repl client host port =
@@ -295,6 +321,90 @@ let stats_main host port prom slow =
            print_endline (Wire.render_response (Wire.Slow_queries_reply qs))
          | Error e -> fail e))
 
+(* ---------- trace: recent request traces, optionally as Chrome JSON ---------- *)
+
+let store_entry (e : Wire.trace_entry) =
+  { Expirel_obs.Trace_store.node = e.node;
+    trace_id = e.entry_trace_id;
+    name = e.entry_name;
+    started_at = e.started_at;
+    total_us = e.entry_total_us;
+    spans =
+      List.map
+        (fun (s : Wire.span) ->
+          { Expirel_obs.Trace.id = s.span_id;
+            parent = s.parent_id;
+            name = s.span_name;
+            start_us = s.start_us;
+            duration_us = s.duration_us;
+            labels = s.labels
+          })
+        e.entry_spans
+  }
+
+let fetch_traces ~host ~port n =
+  let client =
+    try Client.connect ~host ~port ()
+    with Unix.Unix_error (err, _, _) ->
+      Printf.eprintf "error: cannot connect to %s:%d: %s\n" host port
+        (Unix.error_message err);
+      exit 1
+  in
+  Fun.protect
+    ~finally:(fun () -> Client.close client)
+    (fun () ->
+      match Client.traces client n with
+      | Ok es -> es
+      | Error e ->
+        Printf.eprintf "error: %s\n" e;
+        exit 1)
+
+(* [also] lists further nodes (HOST:PORT) whose recent traces merge into
+   the same export: a request that fanned out over the fleet renders as
+   one timeline with a lane per node. *)
+let trace_main host port n also json trace_id =
+  let entries =
+    List.concat_map
+      (fun (host, port) -> fetch_traces ~host ~port n)
+      ((host, port) :: List.map parse_endpoint also)
+  in
+  let entries =
+    match trace_id with
+    | None -> entries
+    | Some id ->
+      List.filter (fun (e : Wire.trace_entry) -> e.entry_trace_id = id) entries
+  in
+  if json then
+    print_endline (Expirel_obs.Trace_export.to_json (List.map store_entry entries))
+  else
+    print_endline (Wire.render_response (Wire.Traces_reply entries))
+
+(* ---------- health: one-shot rule evaluation against a server ---------- *)
+
+let health_main host port =
+  let client =
+    try Client.connect ~host ~port ()
+    with Unix.Unix_error (err, _, _) ->
+      Printf.eprintf "error: cannot connect to %s:%d: %s\n" host port
+        (Unix.error_message err);
+      exit 1
+  in
+  Fun.protect
+    ~finally:(fun () -> Client.close client)
+    (fun () ->
+      match Client.health client with
+      | Ok (level, firing) ->
+        print_endline
+          (Wire.render_response (Wire.Health_reply { level; firing }));
+        (* Monitoring-friendly exit status: ok 0, degraded 1, critical 2. *)
+        (match level with
+         | Wire.Health_ok -> ()
+         | Wire.Health_degraded -> exit 1
+         | Wire.Health_critical -> exit 2)
+      | Error e ->
+        Printf.eprintf "error: %s\n" e;
+        exit 1)
+
 let connect_main host port script =
   let client =
     try Client.connect ~host ~port ()
@@ -353,13 +463,19 @@ let data_dir_arg =
            ~doc:"Durable storage directory (WAL + snapshots); enables \
                  CHECKPOINT and replication.  Must exist.")
 
+let node_name_arg =
+  Arg.(value & opt string "expirel"
+       & info [ "node-name" ] ~docv:"NAME"
+           ~doc:"How this node identifies itself in exported traces \
+                 (give primary and replicas distinct names).")
+
 let serve_cmd =
   let doc = "run the expirel TCP server (framed wire protocol)" in
   Cmd.v
     (Cmd.info "serve" ~doc)
     Term.(const serve $ lazy_flag $ backend_arg $ host_arg
           $ port_arg ~default:Expirel_server.Client.default_port
-          $ max_conns_arg $ timeout_arg $ data_dir_arg)
+          $ max_conns_arg $ timeout_arg $ data_dir_arg $ node_name_arg)
 
 let replicate_cmd =
   let doc = "follow a primary's log and serve expiration-exact reads" in
@@ -404,6 +520,46 @@ let stats_cmd =
           $ port_arg ~default:Expirel_server.Client.default_port $ prom_flag
           $ slow_arg)
 
+let trace_cmd =
+  let doc = "fetch recent request traces, optionally as Chrome trace JSON" in
+  let n_arg =
+    Arg.(value & opt int 10
+         & info [ "n" ] ~docv:"N" ~doc:"How many recent traces per node.")
+  in
+  let also_arg =
+    Arg.(value & opt_all string []
+         & info [ "also" ] ~docv:"HOST:PORT"
+             ~doc:"Further nodes whose recent traces merge into the same \
+                   output (repeatable) — a cross-node request renders as \
+                   one timeline.")
+  in
+  let json_flag =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit Chrome trace-event JSON (chrome://tracing, \
+                   Perfetto, speedscope) instead of text.")
+  in
+  let trace_id_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace-id" ] ~docv:"ID"
+             ~doc:"Keep only entries with this trace id.")
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc)
+    Term.(const trace_main $ host_arg
+          $ port_arg ~default:Expirel_server.Client.default_port $ n_arg
+          $ also_arg $ json_flag $ trace_id_arg)
+
+let health_cmd =
+  let doc =
+    "evaluate a running server's health rules (exit 0 ok / 1 degraded / \
+     2 critical)"
+  in
+  Cmd.v
+    (Cmd.info "health" ~doc)
+    Term.(const health_main $ host_arg
+          $ port_arg ~default:Expirel_server.Client.default_port)
+
 let connect_cmd =
   let doc = "connect to a running expirel server (remote REPL)" in
   Cmd.v
@@ -415,6 +571,6 @@ let cmd =
   let doc = "interactive shell for the expiration-time-enabled database" in
   let default = Term.(const main $ lazy_flag $ backend_arg $ script_arg $ file_arg) in
   Cmd.group ~default (Cmd.info "expirel_cli" ~doc)
-    [ serve_cmd; replicate_cmd; connect_cmd; stats_cmd ]
+    [ serve_cmd; replicate_cmd; connect_cmd; stats_cmd; trace_cmd; health_cmd ]
 
 let () = exit (Cmd.eval cmd)

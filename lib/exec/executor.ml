@@ -122,48 +122,104 @@ let scan db ~tau name pred =
 
 (* ---------- the executor ---------- *)
 
-let run ?(strategy = Aggregate.Exact) ?probe ~db compiled =
+(* Profile-tree navigation: [Profile.of_plan] mirrors the plan shape, so
+   a node's children line up with the plan node's sub-plans. *)
+let child1 = function
+  | Some { Profile.children = [ c ]; _ } -> Some c
+  | Some _ | None -> None
+
+let child2 = function
+  | Some { Profile.children = [ l; r ]; _ } -> (Some l, Some r)
+  | Some _ | None -> (None, None)
+
+let run ?(strategy = Aggregate.Exact) ?probe ?profile ~db compiled =
   let { Plan.logical; physical } = compiled in
   (* Mirror Eval.run's up-front well-formedness check so the physical
      path raises the same errors on the same inputs. *)
   let arity_env name = Option.map Table.arity (Database.table db name) in
   let (_ : int) = Algebra.arity ~env:arity_env logical in
   let tau = Database.now db in
-  let rec go p =
+  let rec go p prof =
+    let k =
+      match prof with
+      | None -> fun () -> exec_node p prof
+      | Some n ->
+        fun () ->
+          let t0 = Unix.gettimeofday () in
+          let r = exec_node p prof in
+          n.Profile.time_us <-
+            n.Profile.time_us
+            + int_of_float ((Unix.gettimeofday () -. t0) *. 1e6);
+          n.Profile.rows <-
+            n.Profile.rows + Relation.cardinal r.Eval.relation;
+          r
+    in
     match probe with
-    | None -> exec_node p
-    | Some f -> f (Plan.operator_name p) (fun () -> exec_node p)
-  and exec_node = function
+    | None -> k ()
+    | Some f -> f (Plan.operator_name p) k
+  and exec_node p prof =
+    match p with
     | Plan.Scan { name; pred; access = _ } ->
-      { Eval.relation = scan db ~tau name pred; texp = Time.Inf }
+      let relation =
+        match prof with
+        | None -> scan db ~tau name pred
+        | Some n -> (
+          let table = Database.table_exn db name in
+          match pred with
+          | None ->
+            let snap = Table.snapshot table ~tau in
+            n.Profile.expired_dropped <-
+              n.Profile.expired_dropped
+              + (Table.physical_count table - Relation.cardinal snap);
+            snap
+          | Some q ->
+            let stats = Access.fresh_stats () in
+            let r = Access.select ~stats table ~tau q in
+            n.Profile.expired_dropped <-
+              n.Profile.expired_dropped + stats.Access.expired_dropped;
+            n.Profile.index_visited <-
+              n.Profile.index_visited + stats.Access.index_visited;
+            r)
+      in
+      { Eval.relation; texp = Time.Inf }
     | Plan.Filter (pred, c) ->
-      let child = go c in
+      let child = go c (child1 prof) in
       { child with Eval.relation = Ops.select pred child.Eval.relation }
     | Plan.Project (js, c) ->
-      let child = go c in
+      let child = go c (child1 prof) in
       { child with Eval.relation = Ops.project js child.Eval.relation }
     | Plan.Nested_loop { pred; left; right } ->
-      let lr = go left and rr = go right in
+      let lp, rp = child2 prof in
+      let lr = go left lp and rr = go right rp in
       { Eval.relation = nested_loop pred lr.Eval.relation rr.Eval.relation;
         texp = Time.min lr.Eval.texp rr.Eval.texp
       }
     | Plan.Hash_join { pairs; pred; left; right } ->
-      let lr = go left and rr = go right in
+      let lp, rp = child2 prof in
+      let lr = go left lp and rr = go right rp in
+      (match prof with
+       | Some n ->
+         n.Profile.build_rows <-
+           n.Profile.build_rows + Relation.cardinal rr.Eval.relation
+       | None -> ());
       { Eval.relation = hash_join ~pairs ~pred lr.Eval.relation rr.Eval.relation;
         texp = Time.min lr.Eval.texp rr.Eval.texp
       }
     | Plan.Merge_union (left, right) ->
-      let lr = go left and rr = go right in
+      let lp, rp = child2 prof in
+      let lr = go left lp and rr = go right rp in
       { Eval.relation = merge_union lr.Eval.relation rr.Eval.relation;
         texp = Time.min lr.Eval.texp rr.Eval.texp
       }
     | Plan.Merge_intersect (left, right) ->
-      let lr = go left and rr = go right in
+      let lp, rp = child2 prof in
+      let lr = go left lp and rr = go right rp in
       { Eval.relation = merge_intersect lr.Eval.relation rr.Eval.relation;
         texp = Time.min lr.Eval.texp rr.Eval.texp
       }
     | Plan.Merge_diff (left, right) ->
-      let lr = go left and rr = go right in
+      let lp, rp = child2 prof in
+      let lr = go left lp and rr = go right rp in
       let reappearance =
         Ops.first_reappearance lr.Eval.relation rr.Eval.relation
       in
@@ -171,10 +227,10 @@ let run ?(strategy = Aggregate.Exact) ?probe ~db compiled =
         texp = Time.min (Time.min lr.Eval.texp rr.Eval.texp) reappearance
       }
     | Plan.Hash_aggregate { group; func; child = c } ->
-      let child = go c in
+      let child = go c (child1 prof) in
       let relation, invalidation =
         Ops.aggregate strategy ~tau ~group func child.Eval.relation
       in
       { Eval.relation; texp = Time.min child.Eval.texp invalidation }
   in
-  go physical
+  go physical profile

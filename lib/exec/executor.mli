@@ -14,6 +14,7 @@ open Expirel_storage
 val run :
   ?strategy:Aggregate.strategy ->
   ?probe:(string -> (unit -> Eval.result) -> Eval.result) ->
+  ?profile:Profile.node ->
   db:Database.t ->
   Plan.compiled ->
   Eval.result
@@ -22,6 +23,11 @@ val run :
     {!Plan.operator_name} — the hook observability layers use to emit
     per-operator [op:<name>] spans, exactly as {!Eval.run}'s probe does
     for logical names on the naive path.
+    [profile] — a {!Profile.of_plan} tree for this plan's [physical] —
+    accumulates per-operator rows, expired-drop counts, index visits,
+    hash build sizes and wall time as the plan runs ([EXPLAIN
+    ANALYZE]'s data).  When absent the executor takes its original
+    code path: no counters, no allocation.
     @raise Errors.Unknown_relation / Errors.Arity_mismatch as
     {!Eval.run} would for the same logical expression. *)
 

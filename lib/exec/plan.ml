@@ -58,55 +58,53 @@ let rec size = function
   | Merge_diff (left, right) ->
     1 + size left + size right
 
-(* Indented plan tree in the style of Explain.expr_tree, annotated with
-   the physical detail EXPLAIN surfaces: access paths at the leaves,
-   equi-join key pairs, residual predicates. *)
-let pp ppf plan =
+let children = function
+  | Scan _ -> []
+  | Filter (_, c) | Project (_, c) | Hash_aggregate { child = c; _ } -> [ c ]
+  | Nested_loop { left; right; _ }
+  | Hash_join { left; right; _ }
+  | Merge_union (left, right)
+  | Merge_intersect (left, right)
+  | Merge_diff (left, right) ->
+    [ left; right ]
+
+(* One node's un-indented line: the physical detail EXPLAIN surfaces —
+   access paths at the leaves, equi-join key pairs, residual
+   predicates. *)
+let describe p =
   let positions js = String.concat "," (List.map string_of_int js) in
+  let op = operator_name p in
+  match p with
+  | Scan { name; pred; access } ->
+    (match pred with
+     | None -> Printf.sprintf "%s %s" op name
+     | Some q ->
+       Printf.sprintf "%s %s via %s [%s]" op name
+         (Format.asprintf "%a" Access.pp_plan access)
+         (Predicate.to_string q))
+  | Filter (q, _) -> Printf.sprintf "%s [%s]" op (Predicate.to_string q)
+  | Project (js, _) -> Printf.sprintf "%s [%s]" op (positions js)
+  | Nested_loop { pred; _ } ->
+    (match pred with
+     | Predicate.True -> Printf.sprintf "%s [product]" op
+     | q -> Printf.sprintf "%s [%s]" op (Predicate.to_string q))
+  | Hash_join { pairs; pred; _ } ->
+    Printf.sprintf "%s [%s]%s" op
+      (String.concat ", "
+         (List.map (fun (l, r) -> Printf.sprintf "#%d = right #%d" l r) pairs))
+      (match pred with
+       | Predicate.True -> ""
+       | q -> Printf.sprintf " verify [%s]" (Predicate.to_string q))
+  | Merge_union _ | Merge_intersect _ | Merge_diff _ -> op
+  | Hash_aggregate { group; func; _ } ->
+    Printf.sprintf "%s [group {%s}, %s]" op (positions group)
+      (Aggregate.func_to_string func)
+
+(* Indented plan tree in the style of Explain.expr_tree. *)
+let pp ppf plan =
   let rec go depth p =
-    let line fmt =
-      Format.fprintf ppf "%s" (String.make (2 * depth) ' ');
-      Format.kfprintf (fun ppf -> Format.pp_print_newline ppf ()) ppf fmt
-    in
-    let op = operator_name p in
-    match p with
-    | Scan { name; pred; access } ->
-      (match pred with
-       | None -> line "%s %s" op name
-       | Some q ->
-         line "%s %s via %s [%s]" op name
-           (Format.asprintf "%a" Access.pp_plan access)
-           (Predicate.to_string q))
-    | Filter (q, c) ->
-      line "%s [%s]" op (Predicate.to_string q);
-      go (depth + 1) c
-    | Project (js, c) ->
-      line "%s [%s]" op (positions js);
-      go (depth + 1) c
-    | Nested_loop { pred; left; right } ->
-      (match pred with
-       | Predicate.True -> line "%s [product]" op
-       | q -> line "%s [%s]" op (Predicate.to_string q));
-      go (depth + 1) left;
-      go (depth + 1) right
-    | Hash_join { pairs; pred; left; right } ->
-      line "%s [%s]%s" op
-        (String.concat ", "
-           (List.map (fun (l, r) -> Printf.sprintf "#%d = right #%d" l r) pairs))
-        (match pred with
-         | Predicate.True -> ""
-         | q -> Printf.sprintf " verify [%s]" (Predicate.to_string q))
-        ;
-      go (depth + 1) left;
-      go (depth + 1) right
-    | Merge_union (l, r) | Merge_intersect (l, r) | Merge_diff (l, r) ->
-      line "%s" op;
-      go (depth + 1) l;
-      go (depth + 1) r
-    | Hash_aggregate { group; func; child } ->
-      line "%s [group {%s}, %s]" op (positions group)
-        (Aggregate.func_to_string func);
-      go (depth + 1) child
+    Format.fprintf ppf "%s%s@\n" (String.make (2 * depth) ' ') (describe p);
+    List.iter (go (depth + 1)) (children p)
   in
   go 0 plan
 

@@ -65,6 +65,15 @@ val operator_name : t -> string
 val size : t -> int
 (** Number of operator nodes. *)
 
+val children : t -> t list
+(** Direct sub-plans, left before right — the traversal order
+    {!Profile.of_plan} mirrors. *)
+
+val describe : t -> string
+(** One node's un-indented {!pp} line (operator, access path, keys,
+    predicates) without its children — lets annotated renderings
+    (EXPLAIN ANALYZE) reuse the exact plan vocabulary. *)
+
 val pp : Format.formatter -> t -> unit
 (** Indented plan tree with access paths and join keys. *)
 

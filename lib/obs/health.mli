@@ -1,0 +1,64 @@
+(** Declarative health rules over registry samples.
+
+    A rule names a {!source} — a scalar derived from the current
+    {!Registry.collect} output — and two thresholds.  {!evaluate} reads
+    every rule against one collection and folds the results into a
+    single ok / degraded / critical verdict plus the list of firing
+    rules, which is what the server's [HEALTH] wire request returns.
+
+    Semantics:
+    - a [Metric] source reads the named metric, scaled by its registered
+      exposition scale; when the metric has several label combinations
+      the {e maximum} sample is used (worst case — a per-replica lag
+      gauge should alarm on the laggiest replica).  Histogram samples
+      read as their observation count.
+    - a [Ratio] source divides two such readings and is unevaluable
+      (skipped) while the denominator is zero or below [min_den] — a
+      cold or barely-warmed cache fires no hit-ratio alarm; ratios over
+      a handful of samples are noise, not evidence.
+    - a [Hist_frac_above] source is the fraction of observations
+      strictly above [bound] (in the instrument's raw integer unit,
+      e.g. µs), pooled across label combinations; unevaluable until the
+      histogram has observations.
+    - a rule whose source is unevaluable (absent metric, raising polled
+      provider, empty denominator) is skipped, never fired: health
+      degrades on evidence, not on missing instrumentation.
+    - [op] orients the comparison: [Above] fires when
+      [value >= threshold] (lag, backlog, slow fraction), [Below] when
+      [value <= threshold] (hit ratios).  [critical] wins over
+      [degraded] when both breach. *)
+
+type source =
+  | Metric of string  (** a registry metric, by exposition name *)
+  | Ratio of { num : string; den : string; min_den : float }
+  | Hist_frac_above of { metric : string; bound : float }
+
+type op = Above | Below
+
+type rule = {
+  name : string;
+  source : source;
+  op : op;
+  degraded : float;
+  critical : float;
+  help : string;  (** one line shown when the rule fires *)
+}
+
+type level = Ok | Degraded | Critical
+
+type firing = {
+  rule_name : string;
+  value : float;  (** the reading that breached *)
+  level : level;
+  help : string;
+}
+
+type report = { level : level; firing : firing list }
+
+val evaluate : rule list -> Registry.metric list -> report
+
+val level_to_string : level -> string
+val level_of_string : string -> level option
+
+val worst : level -> level -> level
+(** [Critical > Degraded > Ok]. *)

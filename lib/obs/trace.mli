@@ -7,21 +7,54 @@
     it can be shipped over the wire or parked in the slow-query log
     without reference to absolute time.
 
+    Every trace carries a {e trace id}: an opaque string minted by the
+    node that created it, or inherited from a remote caller via
+    [?trace_id] so that a request fanning out over the wire (client →
+    primary → replica) yields spans on every node sharing one id.  Each
+    span additionally records its own id (unique within the trace) and
+    the id of the span that encloses it, so exporters can rebuild the
+    tree and compute self-time (duration minus direct children) instead
+    of double-counting nested work.
+
     A trace belongs to one request on one worker thread; it is not
     synchronised.  Spans may nest (eval inside exec): each [span] call
     records its own entry, so a parent's duration includes its
-    children's. *)
+    children's — use {!self_us} where exclusive time is wanted. *)
 
 type span = {
-  name : string;  (** stage name, e.g. ["parse"], ["op:join"] *)
+  id : int;  (** unique within the trace, assigned in entry order *)
+  parent : int option;
+      (** id of the enclosing span, or the trace's [parent_span] (a
+          remote caller's span id) for top-level spans *)
+  name : string;  (** stage name, e.g. ["parse"], ["op:hash-join"] *)
   start_us : int;  (** offset from trace creation, µs *)
   duration_us : int;
+  labels : (string * string) list;
+      (** key/value annotations attached via {!label} while the span
+          was open, e.g. [("rows", "42")] *)
 }
 
 type t
 
-val create : unit -> t
-(** Starts the clock. *)
+val create : ?trace_id:string -> ?parent_span:int -> unit -> t
+(** Starts the clock.  [trace_id] (default: a fresh process-unique id)
+    links this trace to a distributed request; [parent_span] is the
+    remote caller's span id, recorded as the parent of this trace's
+    top-level spans. *)
+
+val trace_id : t -> string
+val parent_span : t -> int option
+
+val current_parent : t -> int option
+(** The id of the innermost open span (or the trace's [parent_span]
+    when none is open): what a remote call made right now should carry
+    as its wire parent, so the remote node's spans nest under the call
+    site. *)
+
+val started_at : t -> float
+(** Absolute creation time ([Unix.gettimeofday]), the origin that
+    [start_us] offsets are relative to — lets exporters align spans
+    from different nodes on one timeline. *)
 
 val span : t option -> string -> (unit -> 'a) -> 'a
 (** [span trace name f] runs [f], recording a [name] span on [trace]
@@ -29,9 +62,13 @@ val span : t option -> string -> (unit -> 'a) -> 'a
     [span None name f] is just [f ()]: callers thread [t option] and
     pay nothing when tracing is off. *)
 
+val label : t option -> string -> string -> unit
+(** [label trace k v] attaches [(k, v)] to the innermost open span.
+    A no-op on [None] or when no span is open. *)
+
 val record : t -> name:string -> start_us:int -> duration_us:int -> unit
 (** Appends a span measured externally (e.g. lock wait timed by the
-    caller). *)
+    caller); its parent is the currently open span, if any. *)
 
 val spans : t -> span list
 (** In recording order (children before the parent that encloses
@@ -39,3 +76,8 @@ val spans : t -> span list
 
 val elapsed_us : t -> int
 (** Microseconds since [create]. *)
+
+val self_us : span list -> span -> int
+(** [self_us spans s] is [s]'s duration minus the total duration of its
+    direct children in [spans] (clamped at 0): the time spent in the
+    operator itself rather than in nested work. *)

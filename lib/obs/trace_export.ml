@@ -1,0 +1,121 @@
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+exception Bad_escape of string
+
+let unescape_string s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let hex i =
+    if i + 3 >= n then raise (Bad_escape "truncated \\u escape");
+    match int_of_string_opt ("0x" ^ String.sub s i 4) with
+    | Some v when v <= 0xff -> Char.chr v
+    | Some _ -> raise (Bad_escape "\\u escape above 0xff")
+    | None -> raise (Bad_escape "malformed \\u escape")
+  in
+  let rec go i =
+    if i < n then
+      match s.[i] with
+      | '\\' ->
+          if i + 1 >= n then raise (Bad_escape "trailing backslash");
+          (match s.[i + 1] with
+          | '"' -> Buffer.add_char buf '"'; go (i + 2)
+          | '\\' -> Buffer.add_char buf '\\'; go (i + 2)
+          | '/' -> Buffer.add_char buf '/'; go (i + 2)
+          | 'n' -> Buffer.add_char buf '\n'; go (i + 2)
+          | 'r' -> Buffer.add_char buf '\r'; go (i + 2)
+          | 't' -> Buffer.add_char buf '\t'; go (i + 2)
+          | 'b' -> Buffer.add_char buf '\b'; go (i + 2)
+          | 'f' -> Buffer.add_char buf '\012'; go (i + 2)
+          | 'u' -> Buffer.add_char buf (hex (i + 2)); go (i + 6)
+          | c -> raise (Bad_escape (Printf.sprintf "\\%c" c)))
+      | c -> Buffer.add_char buf c; go (i + 1)
+  in
+  go 0;
+  Buffer.contents buf
+
+let str s = "\"" ^ escape_string s ^ "\""
+
+(* Chrome's pid/tid fields are integers; derive stable small ids from
+   the node name / trace id and name them with metadata events. *)
+let stable_id s = Hashtbl.hash s land 0x3fffffff
+
+let event ~name ~ph ~pid ~tid ?ts ?dur ?(args = []) () =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"name\":%s,\"ph\":\"%s\",\"pid\":%d,\"tid\":%d"
+       (str name) ph pid tid);
+  (match ts with
+  | Some ts -> Buffer.add_string buf (Printf.sprintf ",\"ts\":%.0f" ts)
+  | None -> ());
+  (match dur with
+  | Some d -> Buffer.add_string buf (Printf.sprintf ",\"dur\":%d" d)
+  | None -> ());
+  if args <> [] then begin
+    Buffer.add_string buf ",\"args\":{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf (str k);
+        Buffer.add_char buf ':';
+        Buffer.add_string buf v)
+      args;
+    Buffer.add_char buf '}'
+  end;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let to_json entries =
+  let events = ref [] in
+  let push e = events := e :: !events in
+  let nodes = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Trace_store.entry) ->
+      let pid = stable_id e.node in
+      let tid = stable_id e.trace_id in
+      if not (Hashtbl.mem nodes e.node) then begin
+        Hashtbl.add nodes e.node ();
+        push
+          (event ~name:"process_name" ~ph:"M" ~pid ~tid:0
+             ~args:[ ("name", str e.node) ] ())
+      end;
+      (* One complete ("X") event per span, on the absolute timeline:
+         the trace's origin plus the span's relative offset, so spans
+         recorded on different nodes line up. *)
+      let origin_us = e.started_at *. 1e6 in
+      push
+        (event ~name:e.name ~ph:"X" ~pid ~tid
+           ~ts:origin_us ~dur:e.total_us
+           ~args:[ ("trace_id", str e.trace_id) ] ());
+      List.iter
+        (fun (s : Trace.span) ->
+          let args =
+            [ ("trace_id", str e.trace_id);
+              ("span_id", string_of_int s.id) ]
+            @ (match s.parent with
+              | Some p -> [ ("parent_id", string_of_int p) ]
+              | None -> [])
+            @ List.map (fun (k, v) -> (k, str v)) s.labels
+          in
+          push
+            (event ~name:s.name ~ph:"X" ~pid ~tid
+               ~ts:(origin_us +. float_of_int s.start_us)
+               ~dur:s.duration_us ~args ()))
+        e.spans)
+    entries;
+  "{\"traceEvents\":[" ^ String.concat "," (List.rev !events) ^ "]}"

@@ -1,0 +1,25 @@
+(** Chrome trace-event JSON export.
+
+    Renders {!Trace_store.entry} lists in the Chrome trace-event format
+    (the [{"traceEvents":[...]}] JSON consumed by [chrome://tracing],
+    Perfetto and speedscope).  Each span becomes a complete (["X"])
+    event whose [ts] is the trace's absolute origin
+    ([Trace_store.entry.started_at], µs) plus the span's relative
+    offset — so entries recorded on different nodes but sharing a trace
+    id render on one aligned timeline.  Node names become processes
+    (via [process_name] metadata events) and traces become threads;
+    span ids, parent ids and labels ride in [args]. *)
+
+val to_json : Trace_store.entry list -> string
+
+val escape_string : string -> string
+(** JSON string-body escaping: quotes, backslashes and control
+    characters are escaped; all other bytes (including non-ASCII UTF-8)
+    pass through. *)
+
+exception Bad_escape of string
+
+val unescape_string : string -> string
+(** Inverse of {!escape_string}: [unescape_string (escape_string s) = s]
+    for every [s].  Also accepts the standard ["\/"] escape.
+    @raise Bad_escape on a malformed escape sequence *)

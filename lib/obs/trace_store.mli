@@ -1,0 +1,35 @@
+(** A bounded ring of finished traces.
+
+    The server parks every completed request trace here (newest
+    overwrite oldest) so that [TRACE n] / [expirel_cli trace] can
+    retrieve recent request trees after the fact, and so that traces
+    from several nodes — each stamping its own [node] name — can be
+    merged by trace id into one cross-node timeline
+    ({!Trace_export.to_json}).  Thread-safe. *)
+
+type entry = {
+  node : string;  (** the recording node's name, e.g. ["primary"] *)
+  trace_id : string;
+  name : string;  (** what the trace covered, e.g. the statement text *)
+  started_at : float;  (** [Trace.started_at]: absolute origin, s *)
+  total_us : int;
+  spans : Trace.span list;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] (default 256) most-recent traces are retained.
+    @raise Invalid_argument when [capacity <= 0] *)
+
+val record : t -> entry -> unit
+
+val finish : t -> node:string -> name:string -> Trace.t -> unit
+(** Snapshots a completed trace into the ring. *)
+
+val recent : t -> int -> entry list
+(** [recent t n]: up to [n] most recently recorded entries, newest
+    first. *)
+
+val by_trace_id : t -> string -> entry list
+(** All retained entries sharing a trace id, newest first. *)

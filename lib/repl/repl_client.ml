@@ -66,22 +66,38 @@ let on_member m f =
        drop m;
        e)
 
-let exec t sql = on_member t.primary (fun c -> Client.exec c sql)
+(* With [?trace], each remote call is wrapped in a local span and
+   ships the trace context: the serving node's spans record under the
+   same trace id, so merging this node's trace with the servers'
+   recent traces yields one cross-node timeline. *)
+let traced_exec ?trace c ~span_name sql =
+  Expirel_obs.Trace.span trace span_name (fun () ->
+      Client.exec_traced c ?trace sql)
 
-let query t sql =
+let exec ?trace t sql =
+  on_member t.primary (fun c -> traced_exec ?trace c ~span_name:"rpc:primary" sql)
+
+let query ?trace t sql =
   let n = Array.length t.replicas in
   let rec try_from i tried =
-    if tried >= n then on_member t.primary (fun c -> Client.exec c sql)
+    if tried >= n then
+      on_member t.primary (fun c ->
+          traced_exec ?trace c ~span_name:"rpc:primary" sql)
     else begin
       let m = t.replicas.(i mod n) in
-      match on_member m (fun c -> Client.exec c sql) with
+      match
+        on_member m (fun c ->
+            traced_exec ?trace c
+              ~span_name:(Printf.sprintf "rpc:replica-%d" (i mod n))
+              sql)
+      with
       | Ok _ as ok ->
         t.next_replica <- (i + 1) mod n;
         ok
       | Error _ -> try_from (i + 1) (tried + 1)
     end
   in
-  if n = 0 then exec t sql else try_from t.next_replica 0
+  if n = 0 then exec ?trace t sql else try_from t.next_replica 0
 
 let primary_stats t = on_member t.primary Client.stats
 

@@ -32,13 +32,18 @@ val create :
     lazily and redialed on failure.  [backoff] makes the per-endpoint
     retry policy (default {!Backoff.create}). *)
 
-val exec : t -> string -> (Wire.response, string) result
-(** One sqlx statement on the primary (writes, ADVANCE, anything). *)
+val exec : ?trace:Expirel_obs.Trace.t -> t -> string -> (Wire.response, string) result
+(** One sqlx statement on the primary (writes, ADVANCE, anything).
+    With [trace], the call is wrapped in a local [rpc:primary] span and
+    ships the trace context, so the primary's spans for this statement
+    record under the same trace id. *)
 
-val query : t -> string -> (Wire.response, string) result
+val query : ?trace:Expirel_obs.Trace.t -> t -> string -> (Wire.response, string) result
 (** One read-only statement on the next available replica (round-robin,
     skipping endpoints in backoff), falling back to the primary when no
-    replica answers. *)
+    replica answers.  With [trace], as {!exec}: a local
+    [rpc:replica-<i>] span plus propagated context — the serving
+    replica's spans join this trace's id. *)
 
 val primary_stats : t -> (Wire.stats, string) result
 val replica_stats : t -> (endpoint * (Wire.stats, string) result) list

@@ -79,7 +79,8 @@ let create ?(host = "127.0.0.1") ?(port = 0) ?replica_id ?backoff ~data_dir
           host;
           port;
           data_dir = Some data_dir;
-          read_only = true
+          read_only = true;
+          node_name = replica_id
         }
       ()
   in
@@ -137,12 +138,31 @@ let dial t =
    (Frame.Closed / Timeout / Unix_error) are the caller's signal to
    redial. *)
 let stream_once t fd =
+  (* The handshake carries a trace context minted here, and the trace is
+     parked in this replica's trace store: the primary records its
+     initial shipment under the same id, so exporting both nodes'
+     recent traces shows the join as one timeline. *)
+  let tr = Expirel_obs.Trace.create () in
   let (_ : int) =
-    Frame.send fd
-      (Wire.encode_request
-         (Wire.Replicate
-            { replica_id = t.replica_id; position = Durable.position t.store }))
+    Expirel_obs.Trace.span (Some tr) "repl:handshake" (fun () ->
+        let ctx =
+          Some
+            { Wire.trace_id = Expirel_obs.Trace.trace_id tr;
+              parent_span =
+                Option.value ~default:0 (Expirel_obs.Trace.current_parent tr)
+            }
+        in
+        Frame.send fd
+          (Wire.encode_request
+             (Wire.Replicate
+                { replica_id = t.replica_id;
+                  position = Durable.position t.store;
+                  ctx
+                })))
   in
+  Expirel_obs.Trace_store.finish
+    (Server.trace_store t.server)
+    ~node:t.replica_id ~name:"replicate" tr;
   let ok = ref true in
   while !ok && t.running do
     let payload, _ = Frame.recv fd in

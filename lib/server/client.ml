@@ -63,6 +63,21 @@ let request t req =
 
 let exec t sql = request t (Wire.Exec sql)
 
+(* Exec under a caller-supplied trace context: the server's spans for
+   this statement record under [trace]'s id, nested below its current
+   span — the client half of cross-node trace propagation. *)
+let exec_traced t ?trace sql =
+  match trace with
+  | None -> exec t sql
+  | Some tr ->
+    let ctx =
+      { Wire.trace_id = Expirel_obs.Trace.trace_id tr;
+        parent_span =
+          Option.value ~default:0 (Expirel_obs.Trace.current_parent tr)
+      }
+    in
+    request t (Wire.Exec_traced { sql; ctx })
+
 let exec_ok t sql =
   match exec t sql with
   | Ok (Wire.Err { message; _ }) -> Error message
@@ -102,6 +117,20 @@ let slow_queries t n =
   | Ok (Wire.Slow_queries_reply qs) -> Ok qs
   | Ok (Wire.Err { message; _ }) -> Error message
   | Ok _ -> Error "unexpected response to SLOW"
+  | Error _ as e -> e
+
+let traces t n =
+  match request t (Wire.Trace_recent n) with
+  | Ok (Wire.Traces_reply es) -> Ok es
+  | Ok (Wire.Err { message; _ }) -> Error message
+  | Ok _ -> Error "unexpected response to TRACE"
+  | Error _ as e -> e
+
+let health t =
+  match request t Wire.Health with
+  | Ok (Wire.Health_reply { level; firing }) -> Ok (level, firing)
+  | Ok (Wire.Err { message; _ }) -> Error message
+  | Ok _ -> Error "unexpected response to HEALTH"
   | Error _ as e -> e
 
 let ping t =

@@ -27,6 +27,14 @@ val request : t -> Wire.request -> (Wire.response, string) result
 val exec : t -> string -> (Wire.response, string) result
 (** Executes one sqlx statement on the server. *)
 
+val exec_traced :
+  t -> ?trace:Expirel_obs.Trace.t -> string -> (Wire.response, string) result
+(** Like {!exec}, but when [trace] is given the statement travels as
+    [Exec_traced] carrying the trace's id and current span as context:
+    the server's spans for this request record under the same trace id,
+    nested below the call site — the client half of cross-node trace
+    propagation.  Without [trace] it is exactly {!exec}. *)
+
 val exec_ok : t -> string -> (unit, string) result
 (** Like {!exec} but demands a non-error outcome — convenience for
     setup scripts; the server's [Err] responses map to [Error]. *)
@@ -45,6 +53,16 @@ val metrics : t -> (string, string) result
 val slow_queries : t -> int -> (Wire.slow_query list, string) result
 (** The [n] slowest recorded statements, slowest first, with their
     per-stage span breakdowns. *)
+
+val traces : t -> int -> (Wire.trace_entry list, string) result
+(** The [n] most recent request traces, newest first — feed them (from
+    several nodes) to {!Expirel_obs.Trace_export} for one merged
+    Chrome trace. *)
+
+val health :
+  t -> (Wire.health_level * Wire.health_firing list, string) result
+(** Evaluates the server's health rules: the overall verdict plus every
+    firing rule (empty when all healthy). *)
 
 val ping : t -> (unit, string) result
 

@@ -102,35 +102,45 @@ let observe_latency t ~seconds =
 
 let op_prefix = "op:"
 
+(* Histograms observe each span's SELF time (duration minus direct
+   children, via the recorded parent ids): a parent operator no longer
+   double-counts the work its children already reported, so summing a
+   family's buckets approximates real wall time.  Spans keep their
+   inclusive durations everywhere else (slow log, wire). *)
 let observe_trace t ~statement ~total_us ~spans =
   Slow_log.record t.slow_log ~statement ~total_us ~spans;
   List.iter
     (fun (s : Trace.span) ->
+      let self_us = Trace.self_us spans s in
       let n = String.length op_prefix in
       if String.length s.name > n && String.sub s.name 0 n = op_prefix then
         Instrument.Histogram.observe
           (Instrument.Family.labelled t.op_eval
              [ String.sub s.name n (String.length s.name - n) ])
-          s.duration_us
+          self_us
       else
         Instrument.Histogram.observe
           (Instrument.Family.labelled t.stage [ s.name ])
-          s.duration_us)
+          self_us)
     spans
+
+let wire_span (s : Trace.span) =
+  { Wire.span_name = s.name;
+    span_id = s.id;
+    parent_id = s.parent;
+    start_us = s.start_us;
+    duration_us = s.duration_us;
+    labels = s.labels
+  }
+
+let wire_spans spans = List.map wire_span spans
 
 let slowest t n =
   List.map
     (fun (e : Slow_log.entry) ->
       { Wire.statement = e.statement;
         total_us = e.total_us;
-        spans =
-          List.map
-            (fun (s : Trace.span) ->
-              { Wire.span_name = s.name;
-                start_us = s.start_us;
-                duration_us = s.duration_us
-              })
-            e.spans
+        spans = wire_spans e.spans
       })
     (Slow_log.slowest t.slow_log n)
 

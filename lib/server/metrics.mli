@@ -55,7 +55,13 @@ val observe_trace :
   unit
 (** Feeds one traced request into the per-stage and per-operator
     histograms ([op:<name>] spans go to the operator family, every
-    other span to the stage family) and into the slow-query log. *)
+    other span to the stage family) and into the slow-query log.
+    Histograms observe each span's {e self} time
+    ({!Expirel_obs.Trace.self_us}): a parent span's bucket no longer
+    double-counts the children nested inside it. *)
+
+val wire_spans : Expirel_obs.Trace.span list -> Wire.span list
+(** Trace spans as wire values (ids, parents and labels included). *)
 
 val slowest : t -> int -> Wire.slow_query list
 (** The [n] slowest recorded statements, slowest first, as wire

@@ -12,7 +12,53 @@ type config = {
   backend : Expirel_index.Expiration_index.backend;
   data_dir : string option;
   read_only : bool;
+  node_name : string;
+  health_rules : Obs.Health.rule list;
 }
+
+(* Thresholds are deliberately conservative defaults; deployments tune
+   them through [config.health_rules]. *)
+let default_health_rules =
+  [ { Obs.Health.name = "replication_lag_records";
+      source = Obs.Health.Metric "expirel_repl_lag_records";
+      op = Obs.Health.Above;
+      degraded = 64.;
+      critical = 1024.;
+      help = "records behind the replication source"
+    };
+    { Obs.Health.name = "expiration_index_backlog";
+      source = Obs.Health.Metric "expirel_expiration_index_depth";
+      op = Obs.Health.Above;
+      degraded = 100_000.;
+      critical = 1_000_000.;
+      help = "expiration backlog a clock advance or vacuum must process"
+    };
+    { Obs.Health.name = "slow_request_rate";
+      (* The histogram observes microseconds; 50_000 = 50 ms. *)
+      source =
+        Obs.Health.Hist_frac_above
+          { metric = "expirel_request_duration_seconds"; bound = 50_000. };
+      op = Obs.Health.Above;
+      degraded = 0.05;
+      critical = 0.25;
+      help = "fraction of requests slower than 50ms"
+    };
+    { Obs.Health.name = "plan_cache_hit_ratio";
+      source =
+        Obs.Health.Ratio
+          { num = "expirel_plan_cache_hits_total";
+            den = "expirel_plan_cache_requests_total";
+            (* a freshly started server's first few queries are all
+               misses by construction — don't page on a warming cache *)
+            min_den = 100.
+          };
+      op = Obs.Health.Below;
+      degraded = 0.5;
+      critical = 0.1;
+      help = "plan-cache hit ratio collapsed (DDL churn or one-shot \
+              query texts defeat the LRU)"
+    }
+  ]
 
 let default_config =
   { host = "127.0.0.1";
@@ -22,7 +68,9 @@ let default_config =
     policy = Database.Eager;
     backend = `Heap;
     data_dir = None;
-    read_only = false
+    read_only = false;
+    node_name = "expirel";
+    health_rules = default_health_rules
   }
 
 type conn = {
@@ -40,6 +88,8 @@ type t = {
   subs : Subscription.t;
   lock : Rwlock.t;
   metrics : Metrics.t;
+  trace_store : Obs.Trace_store.t;
+  mutable last_health : Obs.Health.level;
   state_mutex : Mutex.t;
   conns : (int, conn) Hashtbl.t;
   threads : (int, Thread.t) Hashtbl.t;
@@ -85,6 +135,8 @@ let create ?(config = default_config) () =
       subs = Subscription.create db;
       lock = Rwlock.create ();
       metrics;
+      trace_store = Obs.Trace_store.create ();
+      last_health = Obs.Health.Ok;
       state_mutex = Mutex.create ();
       conns = Hashtbl.create 16;
       threads = Hashtbl.create 16;
@@ -165,12 +217,49 @@ let create ?(config = default_config) () =
   Obs.Registry.gauge_fun reg ~name:"expirel_repl_followers"
     ~help:"Live replication sessions served (primary side)"
     (repl_stat (fun r -> r.Wire.followers));
+  (* Plan-cache effectiveness, polled from the interpreter's counters so
+     it shows on the Prometheus page, not only in the stats record.
+     [requests_total] (= hits + misses) exists so the hit-ratio health
+     rule has a one-metric denominator. *)
+  let cache_stat pick () =
+    float_of_int (pick (Interp.plan_cache_stats t.interp))
+  in
+  Obs.Registry.custom reg ~name:"expirel_plan_cache_hits_total"
+    ~help:"Plan-cache lookups served from the LRU"
+    ~kind:Obs.Registry.Counter_kind (fun () ->
+      [ ([], Obs.Registry.Counter_sample
+            (Interp.plan_cache_stats t.interp).Interp.hits) ]);
+  Obs.Registry.custom reg ~name:"expirel_plan_cache_misses_total"
+    ~help:"Plan-cache lookups that had to lower and plan"
+    ~kind:Obs.Registry.Counter_kind (fun () ->
+      [ ([], Obs.Registry.Counter_sample
+            (Interp.plan_cache_stats t.interp).Interp.misses) ]);
+  Obs.Registry.custom reg ~name:"expirel_plan_cache_requests_total"
+    ~help:"Plan-cache lookups (hits + misses)"
+    ~kind:Obs.Registry.Counter_kind (fun () ->
+      let s = Interp.plan_cache_stats t.interp in
+      [ ([], Obs.Registry.Counter_sample (s.Interp.hits + s.Interp.misses)) ]);
+  Obs.Registry.gauge_fun reg ~name:"expirel_plan_cache_entries"
+    ~help:"Plans currently cached"
+    (cache_stat (fun s -> s.Interp.entries));
+  (* The last HEALTH verdict, as a gauge (0 ok / 1 degraded /
+     2 critical).  It reads the cached level rather than re-evaluating:
+     evaluation runs [Registry.collect], which must not re-enter from
+     inside a collect. *)
+  Obs.Registry.gauge_fun reg ~name:"expirel_health_status"
+    ~help:"Last HEALTH verdict (0 = ok, 1 = degraded, 2 = critical); \
+           updated each time a HEALTH request is served" (fun () ->
+      match t.last_health with
+      | Obs.Health.Ok -> 0.
+      | Obs.Health.Degraded -> 1.
+      | Obs.Health.Critical -> 2.);
   t
 
 let interp t = t.interp
 let store t = t.store
 let lock t = t.lock
 let metrics t = t.metrics
+let trace_store t = t.trace_store
 
 let port t =
   match t.bound_port with
@@ -226,7 +315,8 @@ let release t ~write =
    serialises. *)
 let is_read_only = function
   | Ast.Query _ | Ast.Show_tables | Ast.Show_views | Ast.Show_time
-  | Ast.Show_triggers | Ast.Show_constraints | Ast.Explain _ -> true
+  | Ast.Show_triggers | Ast.Show_constraints | Ast.Explain _
+  | Ast.Explain_analyze _ -> true
   | Ast.Create_table _ | Ast.Drop_table _ | Ast.Create_index _
   | Ast.Drop_index _ | Ast.Insert _ | Ast.Delete _
   | Ast.Advance_to _ | Ast.Tick _ | Ast.Vacuum | Ast.Checkpoint
@@ -308,11 +398,20 @@ let handle_statement ?trace t stmt =
 
 (* Every EXEC is traced: parse -> rwlock wait -> interpreter stages
    (lower, eval with per-operator spans, storage).  The finished trace
-   feeds the stage/operator histograms and the slow-query log whether
-   the statement succeeded or failed — failing statements are exactly
-   the ones worth finding in the log. *)
-let handle_exec t sql =
-  let tr = Obs.Trace.create () in
+   feeds the stage/operator histograms, the slow-query log and the
+   trace store whether the statement succeeded or failed — failing
+   statements are exactly the ones worth finding in the log.  When the
+   request carried a trace context ([Exec_traced]), the spans record
+   under the caller's trace id with the caller's span as their root
+   parent, so a fan-out request yields one cross-node trace. *)
+let handle_exec ?ctx t sql =
+  let tr =
+    match (ctx : Wire.trace_ctx option) with
+    | None -> Obs.Trace.create ()
+    | Some { trace_id; parent_span = 0 } -> Obs.Trace.create ~trace_id ()
+    | Some { trace_id; parent_span } ->
+      Obs.Trace.create ~trace_id ~parent_span ()
+  in
   let trace = Some tr in
   let response =
     match
@@ -327,6 +426,7 @@ let handle_exec t sql =
   in
   Metrics.observe_trace t.metrics ~statement:sql
     ~total_us:(Obs.Trace.elapsed_us tr) ~spans:(Obs.Trace.spans tr);
+  Obs.Trace_store.finish t.trace_store ~node:t.config.node_name ~name:sql tr;
   response
 
 let strip_statement s =
@@ -407,8 +507,49 @@ let handle_unsubscribe t conn name =
         conn.owned_subs <- List.filter (fun n -> n <> name) conn.owned_subs;
         Wire.Ok_msg (Printf.sprintf "unsubscribed %s" name))
 
+let wire_health_level = function
+  | Obs.Health.Ok -> Wire.Health_ok
+  | Obs.Health.Degraded -> Wire.Health_degraded
+  | Obs.Health.Critical -> Wire.Health_critical
+
+let wire_trace_entry (e : Obs.Trace_store.entry) =
+  { Wire.node = e.node;
+    entry_trace_id = e.trace_id;
+    entry_name = e.name;
+    started_at = e.started_at;
+    entry_total_us = e.total_us;
+    entry_spans = Metrics.wire_spans e.spans
+  }
+
+(* Rules read the same collection the Prometheus page renders, so the
+   evaluation runs as a reader for the same reason METRICS does: polled
+   gauges walk live table/view state. *)
+let handle_health t =
+  if not (acquire t ~write:false) then
+    Wire.Err { code = Wire.Timeout; message = "no lock" }
+  else
+    Fun.protect
+      ~finally:(fun () -> release t ~write:false)
+      (fun () ->
+        let collected = Obs.Registry.collect (Metrics.registry t.metrics) in
+        let report = Obs.Health.evaluate t.config.health_rules collected in
+        t.last_health <- report.Obs.Health.level;
+        Wire.Health_reply
+          { level = wire_health_level report.Obs.Health.level;
+            firing =
+              List.map
+                (fun (f : Obs.Health.firing) ->
+                  { Wire.rule_name = f.rule_name;
+                    observed = f.value;
+                    firing_level = wire_health_level f.level;
+                    rule_help = f.help
+                  })
+                report.Obs.Health.firing
+          })
+
 let handle_request t conn = function
   | Wire.Exec sql -> handle_exec t sql
+  | Wire.Exec_traced { sql; ctx } -> handle_exec ~ctx t sql
   | Wire.Subscribe { name; query } -> handle_subscribe t conn ~name ~query
   | Wire.Unsubscribe name -> handle_unsubscribe t conn name
   | Wire.Stats ->
@@ -425,6 +566,10 @@ let handle_request t conn = function
         (fun () -> Wire.Metrics_reply (Metrics.prometheus t.metrics))
   | Wire.Slow_queries n ->
     Wire.Slow_queries_reply (Metrics.slowest t.metrics (max 0 n))
+  | Wire.Trace_recent n ->
+    Wire.Traces_reply
+      (List.map wire_trace_entry (Obs.Trace_store.recent t.trace_store (max 0 n)))
+  | Wire.Health -> handle_health t
   | Wire.Ping -> Wire.Pong
   | Wire.Quit -> Wire.Bye
   | Wire.Replicate _ ->
@@ -449,8 +594,28 @@ let tail_poll_interval = 0.002
    the store happen under the read lock, so shipping never tears a
    mutation in progress; the stream ends when the follower hangs up or
    the server drains. *)
-let serve_replication t conn store ~replica_id ~position =
+let serve_replication t conn store ~replica_id ~position ~ctx =
   locked_state t (fun () -> Hashtbl.replace t.followers replica_id ());
+  (* When the handshake carried a trace context, the initial shipment —
+     the expensive, user-visible part of joining — records as a span
+     under the follower's trace.  The tail-following loop is unbounded,
+     so the trace finishes (into this node's trace store) right after
+     that first shipment rather than when the session ends. *)
+  let tr =
+    Option.map
+      (fun ({ trace_id; parent_span } : Wire.trace_ctx) ->
+        if parent_span = 0 then Obs.Trace.create ~trace_id ()
+        else Obs.Trace.create ~trace_id ~parent_span ())
+      ctx
+  in
+  let finish_trace () =
+    Option.iter
+      (fun tr ->
+        Obs.Trace_store.finish t.trace_store ~node:t.config.node_name
+          ~name:(Printf.sprintf "replicate %s" replica_id)
+          tr)
+      tr
+  in
   Fun.protect
     ~finally:(fun () ->
       locked_state t (fun () -> Hashtbl.remove t.followers replica_id))
@@ -473,11 +638,19 @@ let serve_replication t conn store ~replica_id ~position =
               t.records_shipped <- t.records_shipped + List.length records);
           send_response t conn (Wire.Repl_records { from_position; records })
       in
-      match ship () with
+      match
+        Obs.Trace.span tr "repl:ship"
+          (fun () ->
+            let r = ship () in
+            Obs.Trace.label tr "replica" replica_id;
+            r)
+      with
       | Error message ->
+        finish_trace ();
         send_response t conn (Wire.Err { code = Wire.Exec_error; message })
       | Ok initial ->
         send_shipment initial;
+        finish_trace ();
         let last_beat = ref (Unix.gettimeofday ()) in
         while conn.alive && not t.shutting_down do
           if Durable.position store > !cursor then begin
@@ -564,12 +737,12 @@ let rec serve_conn t conn =
     Metrics.add_bytes_in t.metrics bytes;
     let started = Unix.gettimeofday () in
     match Wire.decode_request payload with
-    | Ok (Wire.Replicate { replica_id; position }) when t.store <> None ->
+    | Ok (Wire.Replicate { replica_id; position; ctx }) when t.store <> None ->
       (* The connection becomes a one-way stream; it never returns to
          request/response. *)
       Metrics.incr_requests t.metrics;
       (match t.store with
-       | Some store -> serve_replication t conn store ~replica_id ~position
+       | Some store -> serve_replication t conn store ~replica_id ~position ~ctx
        | None -> ())
     | decoded ->
       let response, keep_going =

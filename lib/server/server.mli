@@ -48,11 +48,26 @@ type config = {
       (** replica mode: mutating statements are refused with
           [Exec_error]; reads, [SUBSCRIBE], [VACUUM] and [CHECKPOINT]
           still work *)
+  node_name : string;
+      (** how this node identifies itself in exported traces — give
+          primary and replicas distinct names so a merged Chrome trace
+          shows one lane per node *)
+  health_rules : Expirel_obs.Health.rule list;
+      (** what the [HEALTH] request evaluates; see
+          {!default_health_rules} *)
 }
 
 val default_config : config
 (** loopback, ephemeral port, 64 connections, 5 s timeout, eager
-    removal, heap index, in-memory, read-write. *)
+    removal, heap index, in-memory, read-write, node name ["expirel"],
+    {!default_health_rules}. *)
+
+val default_health_rules : Expirel_obs.Health.rule list
+(** Replication lag (records), expiration-index backlog, slow-request
+    rate (fraction of requests over 50 ms) and plan-cache hit ratio —
+    each with a degraded and a critical threshold.  Rules whose metric
+    has no samples yet (no replication, cold cache) are skipped, never
+    fired. *)
 
 type t
 
@@ -74,6 +89,11 @@ val interp : t -> Interp.t
 
 val lock : t -> Rwlock.t
 val metrics : t -> Metrics.t
+
+val trace_store : t -> Expirel_obs.Trace_store.t
+(** The recent-request trace ring the [TRACE n] request serves —
+    replicas also record their replication handshakes here, so a
+    cross-node export can read every node's half of a trace. *)
 
 val store : t -> Durable.t option
 (** The durable store, when [data_dir] was set. *)

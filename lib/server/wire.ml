@@ -1,7 +1,7 @@
 open Expirel_core
 open Expirel_storage
 
-let version = 3
+let version = 4
 let max_frame = 16 * 1024 * 1024
 
 type error_code =
@@ -54,14 +54,43 @@ type stats = {
 
 type span = {
   span_name : string;
+  span_id : int;
+  parent_id : int option;
   start_us : int;
   duration_us : int;
+  labels : (string * string) list;
 }
 
 type slow_query = {
   statement : string;
   total_us : int;
   spans : span list;
+}
+
+type trace_ctx = {
+  trace_id : string;
+  parent_span : int;
+}
+
+type trace_entry = {
+  node : string;
+  entry_trace_id : string;
+  entry_name : string;
+  started_at : float;
+  entry_total_us : int;
+  entry_spans : span list;
+}
+
+type health_level =
+  | Health_ok
+  | Health_degraded
+  | Health_critical
+
+type health_firing = {
+  rule_name : string;
+  observed : float;
+  firing_level : health_level;
+  rule_help : string;
 }
 
 type request =
@@ -71,9 +100,16 @@ type request =
   | Stats
   | Ping
   | Quit
-  | Replicate of { replica_id : string; position : int }
+  | Replicate of {
+      replica_id : string;
+      position : int;
+      ctx : trace_ctx option;
+    }
   | Metrics
   | Slow_queries of int
+  | Exec_traced of { sql : string; ctx : trace_ctx }
+  | Trace_recent of int
+  | Health
 
 type response =
   | Ok_msg of string
@@ -93,6 +129,8 @@ type response =
   | Repl_heartbeat of { position : int; now : Time.t }
   | Metrics_reply of string
   | Slow_queries_reply of slow_query list
+  | Traces_reply of trace_entry list
+  | Health_reply of { level : health_level; firing : health_firing list }
 
 (* ---------- writer ---------- *)
 
@@ -210,6 +248,18 @@ let payload tag body =
   body b;
   Buffer.contents b
 
+let put_f64 b f = Buffer.add_int64_be b (Int64.bits_of_float f)
+
+let put_ctx b { trace_id; parent_span } =
+  put_str b trace_id;
+  put_i64 b parent_span
+
+let put_ctx_opt b = function
+  | None -> put_u8 b 0
+  | Some ctx ->
+    put_u8 b 1;
+    put_ctx b ctx
+
 let encode_request = function
   | Exec sql -> payload 1 (fun b -> put_str b sql)
   | Subscribe { name; query } ->
@@ -220,17 +270,35 @@ let encode_request = function
   | Stats -> payload 4 ignore
   | Ping -> payload 5 ignore
   | Quit -> payload 6 ignore
-  | Replicate { replica_id; position } ->
+  | Replicate { replica_id; position; ctx } ->
     payload 7 (fun b ->
         put_str b replica_id;
-        put_i64 b position)
+        put_i64 b position;
+        put_ctx_opt b ctx)
   | Metrics -> payload 8 ignore
   | Slow_queries n -> payload 9 (fun b -> put_i64 b n)
+  | Exec_traced { sql; ctx } ->
+    payload 10 (fun b ->
+        put_str b sql;
+        put_ctx b ctx)
+  | Trace_recent n -> payload 11 (fun b -> put_i64 b n)
+  | Health -> payload 12 ignore
 
 let put_span b s =
   put_str b s.span_name;
+  put_i64 b s.span_id;
+  (match s.parent_id with
+   | None -> put_u8 b 0
+   | Some p ->
+     put_u8 b 1;
+     put_i64 b p);
   put_i64 b s.start_us;
-  put_i64 b s.duration_us
+  put_i64 b s.duration_us;
+  put_list b
+    (fun b (k, v) ->
+      put_str b k;
+      put_str b v)
+    s.labels
 
 let put_slow_query b q =
   put_str b q.statement;
@@ -267,6 +335,35 @@ let encode_response = function
         put_time b now)
   | Metrics_reply text -> payload 11 (fun b -> put_str b text)
   | Slow_queries_reply qs -> payload 12 (fun b -> put_list b put_slow_query qs)
+  | Traces_reply entries ->
+    payload 13 (fun b ->
+        put_list b
+          (fun b e ->
+            put_str b e.node;
+            put_str b e.entry_trace_id;
+            put_str b e.entry_name;
+            put_f64 b e.started_at;
+            put_i64 b e.entry_total_us;
+            put_list b put_span e.entry_spans)
+          entries)
+  | Health_reply { level; firing } ->
+    payload 14 (fun b ->
+        put_u8 b
+          (match level with
+           | Health_ok -> 1
+           | Health_degraded -> 2
+           | Health_critical -> 3);
+        put_list b
+          (fun b f ->
+            put_str b f.rule_name;
+            put_f64 b f.observed;
+            put_u8 b
+              (match f.firing_level with
+               | Health_ok -> 1
+               | Health_degraded -> 2
+               | Health_critical -> 3);
+            put_str b f.rule_help)
+          firing)
 
 (* ---------- reader ---------- *)
 
@@ -456,6 +553,23 @@ let decode ~what ~by data =
   | msg -> Ok msg
   | exception Bad reason -> Error (Printf.sprintf "bad %s: %s" what reason)
 
+let get_f64 c =
+  need c 8;
+  let f = Int64.float_of_bits (String.get_int64_be c.data c.pos) in
+  c.pos <- c.pos + 8;
+  f
+
+let get_ctx c =
+  let trace_id = get_str c in
+  let parent_span = get_i64 c in
+  { trace_id; parent_span }
+
+let get_ctx_opt c =
+  match get_u8 c with
+  | 0 -> None
+  | 1 -> Some (get_ctx c)
+  | n -> raise (Bad (Printf.sprintf "bad trace-context presence byte %d" n))
+
 let decode_request data =
   decode ~what:"request" data ~by:(fun c -> function
     | 1 -> Exec (get_str c)
@@ -470,22 +584,49 @@ let decode_request data =
     | 7 ->
       let replica_id = get_str c in
       let position = get_i64 c in
-      Replicate { replica_id; position }
+      let ctx = get_ctx_opt c in
+      Replicate { replica_id; position; ctx }
     | 8 -> Metrics
     | 9 -> Slow_queries (get_i64 c)
+    | 10 ->
+      let sql = get_str c in
+      let ctx = get_ctx c in
+      Exec_traced { sql; ctx }
+    | 11 -> Trace_recent (get_i64 c)
+    | 12 -> Health
     | n -> raise (Bad (Printf.sprintf "unknown request tag %d" n)))
 
 let get_span c =
   let span_name = get_str c in
+  let span_id = get_i64 c in
+  let parent_id =
+    match get_u8 c with
+    | 0 -> None
+    | 1 -> Some (get_i64 c)
+    | n -> raise (Bad (Printf.sprintf "bad span-parent presence byte %d" n))
+  in
   let start_us = get_i64 c in
   let duration_us = get_i64 c in
-  { span_name; start_us; duration_us }
+  let labels =
+    get_list c (fun c ->
+        let k = get_str c in
+        let v = get_str c in
+        (k, v))
+  in
+  { span_name; span_id; parent_id; start_us; duration_us; labels }
 
 let get_slow_query c =
   let statement = get_str c in
   let total_us = get_i64 c in
   let spans = get_list c get_span in
   { statement; total_us; spans }
+
+let get_health_level c =
+  match get_u8 c with
+  | 1 -> Health_ok
+  | 2 -> Health_degraded
+  | 3 -> Health_critical
+  | n -> raise (Bad (Printf.sprintf "bad health level %d" n))
 
 let decode_response data =
   decode ~what:"response" data ~by:(fun c -> function
@@ -518,6 +659,28 @@ let decode_response data =
       Repl_heartbeat { position; now }
     | 11 -> Metrics_reply (get_str c)
     | 12 -> Slow_queries_reply (get_list c get_slow_query)
+    | 13 ->
+      Traces_reply
+        (get_list c (fun c ->
+             let node = get_str c in
+             let entry_trace_id = get_str c in
+             let entry_name = get_str c in
+             let started_at = get_f64 c in
+             let entry_total_us = get_i64 c in
+             let entry_spans = get_list c get_span in
+             { node; entry_trace_id; entry_name; started_at;
+               entry_total_us; entry_spans }))
+    | 14 ->
+      let level = get_health_level c in
+      let firing =
+        get_list c (fun c ->
+            let rule_name = get_str c in
+            let observed = get_f64 c in
+            let firing_level = get_health_level c in
+            let rule_help = get_str c in
+            { rule_name; observed; firing_level; rule_help })
+      in
+      Health_reply { level; firing }
     | n -> raise (Bad (Printf.sprintf "unknown response tag %d" n)))
 
 (* ---------- framing ---------- *)
@@ -635,9 +798,53 @@ let pp_response ppf = function
         Format.fprintf ppf "@\n%8dus  %s" q.total_us q.statement;
         List.iter
           (fun s ->
-            Format.fprintf ppf "@\n            %s +%dus for %dus" s.span_name
-              s.start_us s.duration_us)
+            Format.fprintf ppf "@\n            %s +%dus for %dus%s"
+              s.span_name s.start_us s.duration_us
+              (match s.labels with
+               | [] -> ""
+               | ls ->
+                 " ["
+                 ^ String.concat ", "
+                     (List.map (fun (k, v) -> k ^ "=" ^ v) ls)
+                 ^ "]"))
           q.spans)
       qs
+  | Traces_reply entries ->
+    Format.fprintf ppf "%d trace(s)" (List.length entries);
+    List.iter
+      (fun e ->
+        Format.fprintf ppf "@\n%s %s %8dus  %s" e.entry_trace_id e.node
+          e.entry_total_us e.entry_name;
+        List.iter
+          (fun s ->
+            Format.fprintf ppf "@\n  #%d%s %s +%dus for %dus%s" s.span_id
+              (match s.parent_id with
+               | Some p -> Printf.sprintf " (in #%d)" p
+               | None -> "")
+              s.span_name s.start_us s.duration_us
+              (match s.labels with
+               | [] -> ""
+               | ls ->
+                 " ["
+                 ^ String.concat ", "
+                     (List.map (fun (k, v) -> k ^ "=" ^ v) ls)
+                 ^ "]"))
+          e.entry_spans)
+      entries
+  | Health_reply { level; firing } ->
+    Format.fprintf ppf "health: %s"
+      (match level with
+       | Health_ok -> "ok"
+       | Health_degraded -> "degraded"
+       | Health_critical -> "critical");
+    List.iter
+      (fun f ->
+        Format.fprintf ppf "@\n  [%s] %s = %g — %s"
+          (match f.firing_level with
+           | Health_ok -> "ok"
+           | Health_degraded -> "degraded"
+           | Health_critical -> "critical")
+          f.rule_name f.observed f.rule_help)
+      firing
 
 let render_response r = Format.asprintf "%a" pp_response r

@@ -46,6 +46,15 @@ val version : int
     opaque protocol error.  No existing layout changed — in particular
     [stats] still carries its latency-bucket bounds in the payload, so
     the histogram gaining a bucket needed no wire change at all.
+    v4 — distributed tracing and health.  This bump is {e required},
+    not courtesy: two existing layouts changed — [span] gained ids,
+    parent ids and labels (so slow-query breakdowns can be rebuilt as
+    trees), and the [Replicate] handshake gained a trailing optional
+    trace context (so WAL-shipping sessions join the follower's trace).
+    A v3 peer would misparse both.  New tags: requests [Exec_traced]
+    (10, an [Exec] carrying the caller's trace context so primary and
+    replica spans share one trace id), [Trace_recent] (11) and [Health]
+    (12); responses [Traces_reply] (13) and [Health_reply] (14).
 
     On decode failure, a peer should check {!payload_version}: when the
     sender speaks a different version, answer
@@ -119,8 +128,11 @@ type stats = {
 
 type span = {
   span_name : string;  (** stage label, e.g. ["parse"], ["op:join"] *)
+  span_id : int;  (** unique within its trace *)
+  parent_id : int option;  (** enclosing span (or remote parent) *)
   start_us : int;  (** offset from the request's arrival, µs *)
   duration_us : int;
+  labels : (string * string) list;  (** e.g. [("rows", "42")] *)
 }
 (** One stage of a traced request — mirrors [Obs.Trace.span]. *)
 
@@ -128,6 +140,38 @@ type slow_query = {
   statement : string;
   total_us : int;  (** wall-clock total for the request, µs *)
   spans : span list;  (** breakdown in recording order *)
+}
+
+type trace_ctx = {
+  trace_id : string;  (** opaque id minted by the originating node *)
+  parent_span : int;
+      (** the caller's span id under which this request's spans nest;
+          [0] (span ids are 1-based) means the caller had no open span *)
+}
+(** Propagated trace context: a node receiving one records its spans
+    under the caller's trace instead of minting a fresh id. *)
+
+type trace_entry = {
+  node : string;  (** name of the node that recorded the trace *)
+  entry_trace_id : string;
+  entry_name : string;  (** what the trace covered (statement text) *)
+  started_at : float;
+      (** absolute origin ([Unix.gettimeofday]) of the span offsets —
+          lets a merger align entries from different nodes *)
+  entry_total_us : int;
+  entry_spans : span list;
+}
+
+type health_level =
+  | Health_ok
+  | Health_degraded
+  | Health_critical
+
+type health_firing = {
+  rule_name : string;
+  observed : float;  (** the reading that breached the threshold *)
+  firing_level : health_level;
+  rule_help : string;
 }
 
 type request =
@@ -139,7 +183,13 @@ type request =
   | Stats
   | Ping
   | Quit
-  | Replicate of { replica_id : string; position : int }
+  | Replicate of {
+      replica_id : string;
+      position : int;
+      ctx : trace_ctx option;
+          (** when present, the primary records its shipping spans under
+              the follower's trace *)
+    }
       (** switch this connection into a replication session: stream the
           log from [position] (the count of records the follower has
           already applied) onwards *)
@@ -149,6 +199,15 @@ type request =
   | Slow_queries of int
       (** the [n] slowest recent statements with their span breakdowns
           ([Slow_queries_reply]) *)
+  | Exec_traced of { sql : string; ctx : trace_ctx }
+      (** [Exec] carrying the caller's trace context: the server's spans
+          for this request record under [ctx.trace_id] with
+          [ctx.parent_span] as their root parent, so a fan-out request
+          yields one cross-node trace *)
+  | Trace_recent of int
+      (** the [n] most recent request traces ([Traces_reply]) *)
+  | Health
+      (** evaluate the server's health rules ([Health_reply]) *)
 
 type response =
   | Ok_msg of string
@@ -178,6 +237,10 @@ type response =
       (** Prometheus text-format exposition page, opaque to the wire
           layer *)
   | Slow_queries_reply of slow_query list  (** slowest first *)
+  | Traces_reply of trace_entry list  (** newest first *)
+  | Health_reply of { level : health_level; firing : health_firing list }
+      (** overall verdict (worst firing rule) plus every firing rule;
+          an empty [firing] list means every rule read healthy *)
 
 (** {1 Codecs} — payloads only (no length prefix) *)
 

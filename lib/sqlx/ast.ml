@@ -119,6 +119,7 @@ type statement =
   | Show_views
   | Show_time
   | Explain of query
+  | Explain_analyze of query
 
 let pp_column_ref ppf { qualifier; column } =
   match qualifier with
@@ -203,3 +204,4 @@ let pp_statement ppf = function
   | Show_views -> Format.pp_print_string ppf "SHOW VIEWS"
   | Show_time -> Format.pp_print_string ppf "SHOW NOW"
   | Explain _ -> Format.pp_print_string ppf "EXPLAIN ..."
+  | Explain_analyze _ -> Format.pp_print_string ppf "EXPLAIN ANALYZE ..."

@@ -132,6 +132,11 @@ type statement =
   | Show_views
   | Show_time
   | Explain of query
+  | Explain_analyze of query
+      (** [EXPLAIN ANALYZE q]: plans {e and runs} [q], reporting the
+          physical tree annotated with per-operator actual rows,
+          expired-tuple drop counts, index visits and wall time next to
+          the planner's estimates *)
 
 val pp_cond : Format.formatter -> cond -> unit
 val pp_statement : Format.formatter -> statement -> unit

@@ -143,11 +143,20 @@ let order_and_limit ~columns ~order_by ~limit relation =
 
 (* Per-operator timing: wrap every evaluator node in a trace span named
    after its Algebra.operator_name, prefixed so the metrics layer can
-   tell operator spans from stage spans. *)
+   tell operator spans from stage spans.  Each op span is labeled with
+   its output cardinality, so slow-log entries carry an operator
+   breakdown with row counts, not just timings. *)
 let probe_of trace =
   match trace with
   | None -> None
-  | Some _ -> Some (fun op k -> Trace.span trace ("op:" ^ op) k)
+  | Some _ ->
+    Some
+      (fun op k ->
+        Trace.span trace ("op:" ^ op) (fun () ->
+            let r = k () in
+            Trace.label trace "rows"
+              (string_of_int (Relation.cardinal r.Eval.relation));
+            r))
 
 (* Lower + plan once per distinct query text and catalog generation; the
    LRU is the server hot path's per-request saving.  The lock is dropped
@@ -554,6 +563,26 @@ let exec_statement ?trace t = function
           | `Non_monotonic k -> Printf.sprintf "non-monotonic (%d)" k)
          (Time.to_string texp)
          (Plan.to_string physical))
+  | Ast.Explain_analyze q ->
+    (* Plan through the cache (EXPLAIN ANALYZE profiles what a real
+       request would run, cached plan included), then execute with a
+       profile sink and report the annotated tree. *)
+    let entry = planned_query ?trace t q in
+    let physical = entry.p_compiled.Plan.physical in
+    let profile = Profile.of_plan ~db:t.db physical in
+    let { Eval.relation; texp = texp_e } =
+      Trace.span trace "eval" (fun () ->
+          Executor.run ?probe:(probe_of trace) ~profile ~db:t.db
+            entry.p_compiled)
+    in
+    Msg
+      (Printf.sprintf
+         "%srows: %d\ntexp(e) now: %s\nexpired dropped: %d\ntotal: %.3fms"
+         (Profile.render physical profile)
+         (Relation.cardinal relation)
+         (Time.to_string texp_e)
+         (Profile.total_expired_dropped profile)
+         (float_of_int profile.Profile.time_us /. 1e3))
 
 let view_horizons t =
   let plain =

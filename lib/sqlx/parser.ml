@@ -323,7 +323,8 @@ let statement st =
     Ast.Refresh_view (ident st)
   | Token.Keyword "EXPLAIN", _ ->
     advance st;
-    Ast.Explain (query st)
+    if accept_kw st "ANALYZE" then Ast.Explain_analyze (query st)
+    else Ast.Explain (query st)
   | Token.Keyword "SELECT", _ | Token.Lparen, _ ->
     let q = query st in
     let order_by =

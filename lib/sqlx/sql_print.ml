@@ -164,3 +164,4 @@ let statement = function
   | Ast.Show_views -> "SHOW VIEWS"
   | Ast.Show_time -> "SHOW NOW"
   | Ast.Explain q -> "EXPLAIN " ^ query q
+  | Ast.Explain_analyze q -> "EXPLAIN ANALYZE " ^ query q

@@ -25,6 +25,7 @@ let keywords =
     "SELECT"; "JOIN"; "ON"; "GROUP"; "BY"; "UNION"; "EXCEPT"; "INTERSECT";
     "AND"; "OR"; "NOT"; "TRUE"; "FALSE"; "NULL"; "COUNT"; "SUM"; "MIN"; "MAX";
     "AVG"; "VIEW"; "AS"; "SHOW"; "TABLES"; "VIEWS"; "REFRESH"; "EXPLAIN";
+    "ANALYZE";
     "TRIGGER"; "TRIGGERS"; "NOW"; "AT"; "MAINTAINED"; "ORDER"; "ASC";
     "DESC"; "LIMIT"; "HAVING"; "CONSTRAINT"; "CONSTRAINTS"; "INDEX" ]
 

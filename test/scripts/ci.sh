@@ -18,3 +18,58 @@ dune exec bench/main.exe -- obs
 # the O(1) live-scan fast path, and the plan cache; refreshes
 # BENCH_exec.json.
 dune exec bench/main.exe -- exec
+
+# Observability end to end through the CLI: a live server, EXPLAIN
+# ANALYZE and HEALTH driven over the wire, and the Prometheus page
+# scraped and parse-validated sample by sample.
+CLI=_build/default/bin/expirel_cli.exe
+SERVE_LOG=$(mktemp)
+"$CLI" serve --port 0 --node-name ci-primary >"$SERVE_LOG" 2>&1 &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
+PORT=""
+for _ in $(seq 1 100); do
+  PORT=$(sed -n 's/.*listening on [^:]*:\([0-9][0-9]*\).*/\1/p' "$SERVE_LOG")
+  [ -n "$PORT" ] && break
+  sleep 0.1
+done
+test -n "$PORT"
+"$CLI" connect --port "$PORT" -e "
+  CREATE TABLE pol (uid, deg);
+  INSERT INTO pol VALUES (1, 25) EXPIRES 10;
+  INSERT INTO pol VALUES (2, 25) EXPIRES 15;
+  INSERT INTO pol VALUES (3, 35) EXPIRES 20;
+  ADVANCE TO 12"
+# EXPLAIN ANALYZE: per-operator actuals and the statement footer.
+EXPLAIN_OUT=$("$CLI" connect --port "$PORT" -e "EXPLAIN ANALYZE SELECT uid FROM pol WHERE deg = 25")
+echo "$EXPLAIN_OUT" | grep -F "seq-scan pol"
+echo "$EXPLAIN_OUT" | grep -F "(est="
+echo "$EXPLAIN_OUT" | grep -F "rows=1"
+echo "$EXPLAIN_OUT" | grep -F "total:"
+# HEALTH: a fresh server must answer ok (exit code 0).
+"$CLI" health --port "$PORT"
+"$CLI" connect --port "$PORT" -e "HEALTH" | grep -F "health: ok"
+# TRACE: the statements above left request traces behind, and they
+# export as Chrome trace-event JSON.
+"$CLI" connect --port "$PORT" -e "TRACE 5" | grep -F "ci-primary"
+"$CLI" trace --port "$PORT" --json | grep -F '"traceEvents":['
+# Prometheus: scrape the exposition and validate every sample line
+# parses (floats or +/-Inf), and the new families are present.
+PROM=$(mktemp)
+"$CLI" stats --port "$PORT" --prom >"$PROM"
+grep -F "# TYPE expirel_plan_cache_hits_total counter" "$PROM"
+grep -F "expirel_plan_cache_requests_total" "$PROM"
+grep -F "expirel_health_status" "$PROM"
+awk '
+  /^$/ || /^#/ { next }
+  {
+    v = $NF
+    if (v !~ /^[+-]?([0-9]*\.?[0-9]+([eE][+-]?[0-9]+)?|Inf|NaN)$/) {
+      print "unparsable sample: " $0; exit 1
+    }
+    samples++
+  }
+  END { if (samples == 0) { print "empty exposition"; exit 1 } }
+' "$PROM"
+kill "$SERVER_PID" 2>/dev/null || true
+rm -f "$SERVE_LOG" "$PROM"

@@ -226,6 +226,278 @@ let test_trace_records_on_raise () =
   | [ { Trace.name = "boom"; _ } ] -> ()
   | _ -> Alcotest.fail "raising span not recorded"
 
+(* Span ids are 1-based in entry order; parents link children to the
+   enclosing span, labels stick to the innermost open one, and an
+   out-of-band [record] parents under whatever is open. *)
+let test_trace_ids_parents_labels () =
+  let tr = Trace.create () in
+  Trace.span (Some tr) "outer" (fun () ->
+      Trace.label (Some tr) "who" "outer";
+      Trace.span (Some tr) "inner" (fun () ->
+          Trace.label (Some tr) "rows" "42";
+          Trace.label (Some tr) "mode" "eager");
+      Trace.record tr ~name:"timed-elsewhere" ~start_us:1 ~duration_us:2);
+  match Trace.spans tr with
+  | [ inner; recorded; outer ] ->
+    Alcotest.(check string) "inner first" "inner" inner.Trace.name;
+    Alcotest.(check string) "recorded second" "timed-elsewhere"
+      recorded.Trace.name;
+    Alcotest.(check string) "outer last" "outer" outer.Trace.name;
+    Alcotest.(check int) "outer opened first" 1 outer.Trace.id;
+    Alcotest.(check int) "inner opened second" 2 inner.Trace.id;
+    Alcotest.(check int) "record gets the next id" 3 recorded.Trace.id;
+    Alcotest.(check (option int)) "inner nests under outer" (Some 1)
+      inner.Trace.parent;
+    Alcotest.(check (option int)) "record nests under outer" (Some 1)
+      recorded.Trace.parent;
+    Alcotest.(check (option int)) "outer is top-level" None outer.Trace.parent;
+    Alcotest.(check (list (pair string string))) "labels in call order"
+      [ ("rows", "42"); ("mode", "eager") ]
+      inner.Trace.labels;
+    Alcotest.(check (list (pair string string))) "outer kept its own label"
+      [ ("who", "outer") ]
+      outer.Trace.labels
+  | spans -> Alcotest.failf "expected 3 spans, got %d" (List.length spans)
+
+(* A trace created from a remote context inherits the id and parents its
+   top-level spans under the caller's span — the propagation invariant
+   the wire relies on. *)
+let test_trace_inherited_context () =
+  let tr = Trace.create ~trace_id:"abc-1" ~parent_span:7 () in
+  Alcotest.(check string) "id inherited" "abc-1" (Trace.trace_id tr);
+  Alcotest.(check (option int)) "root parent" (Some 7) (Trace.parent_span tr);
+  Alcotest.(check (option int)) "current parent with nothing open" (Some 7)
+    (Trace.current_parent tr);
+  Trace.span (Some tr) "top" (fun () ->
+      Alcotest.(check (option int)) "current parent inside a span" (Some 1)
+        (Trace.current_parent tr));
+  match Trace.spans tr with
+  | [ top ] ->
+    Alcotest.(check (option int)) "top-level span under remote parent"
+      (Some 7) top.Trace.parent
+  | _ -> Alcotest.fail "expected one span"
+
+let mk_span ?parent ~id ~dur name =
+  { Trace.id; parent; name; start_us = 0; duration_us = dur; labels = [] }
+
+(* self time = duration minus direct children only (grandchildren are
+   already inside their parent), clamped at zero for clock jitter. *)
+let test_self_us () =
+  let spans =
+    [ mk_span ~id:1 ~dur:100 "root";
+      mk_span ~parent:1 ~id:2 ~dur:30 "a";
+      mk_span ~parent:1 ~id:3 ~dur:20 "b";
+      mk_span ~parent:2 ~id:4 ~dur:25 "a-child" ]
+  in
+  let self id =
+    Trace.self_us spans (List.find (fun s -> s.Trace.id = id) spans)
+  in
+  Alcotest.(check int) "root excludes direct children only" 50 (self 1);
+  Alcotest.(check int) "a excludes its child" 5 (self 2);
+  Alcotest.(check int) "leaf keeps its duration" 20 (self 3);
+  let jitter =
+    [ mk_span ~id:1 ~dur:10 "p"; mk_span ~parent:1 ~id:2 ~dur:15 "c" ]
+  in
+  Alcotest.(check int) "clamped at zero" 0
+    (Trace.self_us jitter (List.hd jitter))
+
+(* ---------- trace store ---------- *)
+
+let store_entry ?(node = "n") ?(trace_id = "t") name =
+  { Trace_store.node; trace_id; name; started_at = 0.0; total_us = 1;
+    spans = [] }
+
+let test_trace_store_ring () =
+  let st = Trace_store.create ~capacity:3 () in
+  List.iter
+    (fun n -> Trace_store.record st (store_entry n))
+    [ "a"; "b"; "c"; "d" ];
+  Alcotest.(check (list string)) "newest first, oldest evicted"
+    [ "d"; "c"; "b" ]
+    (List.map (fun (e : Trace_store.entry) -> e.name) (Trace_store.recent st 10));
+  Alcotest.(check int) "recent clamps n" 2 (List.length (Trace_store.recent st 2));
+  Trace_store.record st (store_entry ~trace_id:"x" "e");
+  Alcotest.(check (list string)) "by_trace_id filters" [ "e" ]
+    (List.map
+       (fun (e : Trace_store.entry) -> e.name)
+       (Trace_store.by_trace_id st "x"))
+
+let test_trace_store_finish () =
+  let st = Trace_store.create () in
+  let tr = Trace.create ~trace_id:"shared" () in
+  Trace.span (Some tr) "work" (fun () -> ());
+  Trace_store.finish st ~node:"primary" ~name:"SELECT 1" tr;
+  match Trace_store.recent st 1 with
+  | [ e ] ->
+    Alcotest.(check string) "node" "primary" e.Trace_store.node;
+    Alcotest.(check string) "trace id" "shared" e.Trace_store.trace_id;
+    Alcotest.(check string) "name" "SELECT 1" e.Trace_store.name;
+    Alcotest.(check int) "one span" 1 (List.length e.Trace_store.spans)
+  | _ -> Alcotest.fail "expected one entry"
+
+(* ---------- chrome trace export ---------- *)
+
+(* The escaper must invert for arbitrary bytes — quotes, backslashes,
+   newlines, control bytes and non-ASCII all included (the generator
+   draws from the full char range). *)
+let escape_roundtrip =
+  Generators.qtest "json escape round-trip" ~count:500
+    (QCheck2.Gen.string_size ~gen:QCheck2.Gen.char (QCheck2.Gen.int_range 0 64))
+    (fun s ->
+      Trace_export.unescape_string (Trace_export.escape_string s) = s)
+
+let test_escape_cases () =
+  List.iter
+    (fun (raw, escaped) ->
+      Alcotest.(check string) ("escape " ^ escaped) escaped
+        (Trace_export.escape_string raw);
+      Alcotest.(check string) ("unescape " ^ escaped) raw
+        (Trace_export.unescape_string escaped))
+    [ ("he said \"hi\"", "he said \\\"hi\\\"");
+      ("a\\b", "a\\\\b");
+      ("line1\nline2\r\tend", "line1\\nline2\\r\\tend");
+      ("\x01\x1f", "\\u0001\\u001f");
+      (* non-ASCII UTF-8 passes through unescaped *)
+      ("caf\xc3\xa9", "caf\xc3\xa9") ];
+  (* the optional \/ and \uXXXX byte escapes are accepted on the way in *)
+  Alcotest.(check string) "solidus escape accepted" "a/b"
+    (Trace_export.unescape_string "a\\/b");
+  Alcotest.(check string) "u-escape accepted" "A"
+    (Trace_export.unescape_string "\\u0041");
+  List.iter
+    (fun bad ->
+      match Trace_export.unescape_string bad with
+      | _ -> Alcotest.failf "malformed %S accepted" bad
+      | exception Trace_export.Bad_escape _ -> ())
+    [ "tail\\"; "\\q"; "\\u12"; "\\uzzzz" ]
+
+let test_export_shape () =
+  let span ~id ?parent ~start_us ~dur name =
+    { Trace.id; parent; name; start_us; duration_us = dur;
+      labels = [ ("rows", "3") ] }
+  in
+  let entries =
+    [ { Trace_store.node = "primary"; trace_id = "tid-1"; name = "SELECT 1";
+        started_at = 100.0; total_us = 50;
+        spans = [ span ~id:1 ~start_us:0 ~dur:50 "eval" ] };
+      { Trace_store.node = "replica-0"; trace_id = "tid-1"; name = "SELECT 1";
+        started_at = 100.01; total_us = 20;
+        spans = [ span ~id:1 ~start_us:0 ~dur:20 "eval" ] } ]
+  in
+  let json = Trace_export.to_json entries in
+  let contains sub =
+    let n = String.length sub and m = String.length json in
+    let rec go i = i + n <= m && (String.sub json i n = sub || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun sub -> Alcotest.(check bool) ("contains: " ^ sub) true (contains sub))
+    [ "{\"traceEvents\":[";
+      (* one process lane per node *)
+      "\"process_name\"";
+      "\"primary\"";
+      "\"replica-0\"";
+      (* both halves carry the shared trace id *)
+      "\"trace_id\":\"tid-1\"";
+      (* absolute alignment: 100 s origin -> 100_000_000 us *)
+      "\"ts\":100000000";
+      "\"ts\":100010000";
+      "\"ph\":\"X\"";
+      "\"rows\":\"3\"" ]
+
+(* ---------- health rules ---------- *)
+
+let rule ?(op = Health.Above) ?(degraded = 10.) ?(critical = 100.) name source =
+  { Health.name; source; op; degraded; critical; help = "h:" ^ name }
+
+let test_health_levels () =
+  let reg = Registry.create () in
+  let g = Registry.gauge reg ~name:"lag" ~help:"" in
+  let rules = [ rule "lag" (Health.Metric "lag") ] in
+  let level () = (Health.evaluate rules (Registry.collect reg)).Health.level in
+  Instrument.Gauge.set g 5;
+  Alcotest.(check bool) "below both: ok" true (level () = Health.Ok);
+  Instrument.Gauge.set g 10;
+  Alcotest.(check bool) "at degraded threshold fires" true
+    (level () = Health.Degraded);
+  Instrument.Gauge.set g 100;
+  Alcotest.(check bool) "critical wins" true (level () = Health.Critical);
+  match (Health.evaluate rules (Registry.collect reg)).Health.firing with
+  | [ f ] ->
+    Alcotest.(check string) "firing carries the rule" "lag" f.Health.rule_name;
+    Alcotest.(check (float 1e-9)) "and the reading" 100. f.Health.value;
+    Alcotest.(check string) "and the help" "h:lag" f.Health.help
+  | _ -> Alcotest.fail "expected exactly one firing rule"
+
+let test_health_worst_label_and_missing () =
+  let reg = Registry.create () in
+  let fam =
+    Registry.gauge_family reg ~name:"per_replica_lag" ~help:""
+      ~labels:[ "replica" ]
+  in
+  Instrument.Gauge.set (Instrument.Family.labelled fam [ "a" ]) 1;
+  Instrument.Gauge.set (Instrument.Family.labelled fam [ "b" ]) 50;
+  let rules =
+    [ rule "lag" (Health.Metric "per_replica_lag");
+      (* no such metric: skipped, not fired *)
+      rule "ghost" (Health.Metric "nope") ]
+  in
+  let r = Health.evaluate rules (Registry.collect reg) in
+  Alcotest.(check bool) "laggiest replica decides" true
+    (r.Health.level = Health.Degraded);
+  Alcotest.(check int) "absent metric skipped" 1 (List.length r.Health.firing)
+
+let test_health_ratio_below () =
+  let reg = Registry.create () in
+  let hits = Registry.counter reg ~name:"hits" ~help:"" in
+  let reqs = Registry.counter reg ~name:"reqs" ~help:"" in
+  let rules =
+    [ rule ~op:Health.Below ~degraded:0.5 ~critical:0.1 "hit_ratio"
+        (Health.Ratio { num = "hits"; den = "reqs"; min_den = 8. }) ]
+  in
+  let level () = (Health.evaluate rules (Registry.collect reg)).Health.level in
+  (* zero denominator: unevaluable, never fires *)
+  Alcotest.(check bool) "cold cache is ok" true (level () = Health.Ok);
+  (* 0/4 would read critical, but 4 samples is noise, not evidence *)
+  Instrument.Counter.add reqs 4;
+  Alcotest.(check bool) "below min_den: still skipped" true
+    (level () = Health.Ok);
+  Instrument.Counter.add reqs 6;
+  Instrument.Counter.add hits 2;
+  Alcotest.(check bool) "20% hit ratio degrades" true
+    (level () = Health.Degraded);
+  Instrument.Counter.add hits 7;
+  Alcotest.(check bool) "90% hit ratio is ok" true (level () = Health.Ok)
+
+let test_health_hist_frac () =
+  let reg = Registry.create () in
+  let h =
+    Registry.histogram reg ~scale:1e-6 ~bounds:[| 1_000; 50_000; 1_000_000 |]
+      ~name:"latency" ~help:"" ()
+  in
+  let rules =
+    [ rule ~degraded:0.25 ~critical:0.75 "slow"
+        (Health.Hist_frac_above { metric = "latency"; bound = 50_000. }) ]
+  in
+  let level () = (Health.evaluate rules (Registry.collect reg)).Health.level in
+  Alcotest.(check bool) "no observations: skipped" true (level () = Health.Ok);
+  (* 3 fast, 1 slow = 25% above the 50 ms bound *)
+  List.iter (Instrument.Histogram.observe h) [ 10; 10; 10; 900_000 ];
+  Alcotest.(check bool) "25% slow degrades" true (level () = Health.Degraded);
+  List.iter (Instrument.Histogram.observe h) (List.init 8 (fun _ -> 900_000));
+  Alcotest.(check bool) "75% slow is critical" true (level () = Health.Critical)
+
+let test_health_strings () =
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) "to/of_string invert" true
+        (Health.level_of_string (Health.level_to_string l) = Some l))
+    [ Health.Ok; Health.Degraded; Health.Critical ];
+  Alcotest.(check bool) "unknown level rejected" true
+    (Health.level_of_string "fine" = None);
+  Alcotest.(check bool) "worst is critical" true
+    (Health.worst Health.Degraded Health.Critical = Health.Critical)
+
 (* ---------- slow log ---------- *)
 
 let test_slow_log_ranking () =
@@ -319,6 +591,23 @@ let suite =
     Alcotest.test_case "trace spans" `Quick test_trace_spans;
     Alcotest.test_case "trace records on raise" `Quick
       test_trace_records_on_raise;
+    Alcotest.test_case "trace ids, parents, labels" `Quick
+      test_trace_ids_parents_labels;
+    Alcotest.test_case "trace inherits remote context" `Quick
+      test_trace_inherited_context;
+    Alcotest.test_case "self time" `Quick test_self_us;
+    Alcotest.test_case "trace store ring" `Quick test_trace_store_ring;
+    Alcotest.test_case "trace store finish" `Quick test_trace_store_finish;
+    escape_roundtrip;
+    Alcotest.test_case "json escape cases" `Quick test_escape_cases;
+    Alcotest.test_case "chrome export shape" `Quick test_export_shape;
+    Alcotest.test_case "health levels" `Quick test_health_levels;
+    Alcotest.test_case "health worst label + missing metric" `Quick
+      test_health_worst_label_and_missing;
+    Alcotest.test_case "health ratio (below)" `Quick test_health_ratio_below;
+    Alcotest.test_case "health histogram fraction" `Quick
+      test_health_hist_frac;
+    Alcotest.test_case "health level strings" `Quick test_health_strings;
     Alcotest.test_case "slow log ranking" `Quick test_slow_log_ranking;
     Alcotest.test_case "slow log threshold + eviction" `Quick
       test_slow_log_threshold_and_eviction;

@@ -513,6 +513,129 @@ let test_repl_client_routing () =
                             | r -> Alcotest.fail (Wire.render_response r)
                           done))))))
 
+(* Cross-node tracing: a traced read routed through [Repl_client]
+   reaches a replica carrying the client's trace context, so the
+   replica's spans record under the client's trace id, parented beneath
+   the client-side rpc span; a traced write does the same on the
+   primary.  Merging the three nodes' entries yields one Chrome trace
+   whose processes cover every node. *)
+let test_cross_node_trace () =
+  with_temp_dirs2 (fun pdir rdir ->
+      with_primary pdir (fun server port ->
+          with_replica ~primary_port:port rdir (fun r ->
+              with_client port (fun c ->
+                  ok (Client.exec_ok c "CREATE TABLE pol (uid, deg)");
+                  ok (Client.exec_ok c
+                        "INSERT INTO pol VALUES (1, 25) EXPIRES 10"));
+              synced server r;
+              let endpoint port = { Repl_client.host = "127.0.0.1"; port } in
+              let client =
+                Repl_client.create ~primary:(endpoint port)
+                  ~replicas:[ endpoint (Replica.port r) ] ()
+              in
+              Fun.protect
+                ~finally:(fun () -> Repl_client.close client)
+                (fun () ->
+                  let tr = Expirel_obs.Trace.create () in
+                  let tid = Expirel_obs.Trace.trace_id tr in
+                  (match
+                     ok (Repl_client.query ~trace:tr client
+                           "SELECT uid FROM pol")
+                   with
+                   | Wire.Rows _ -> ()
+                   | resp -> Alcotest.fail (Wire.render_response resp));
+                  ok_response
+                    (Repl_client.exec ~trace:tr client
+                       "INSERT INTO pol VALUES (2, 35) EXPIRES 20");
+                  let entries_of who port =
+                    with_client port (fun c ->
+                        match
+                          List.filter
+                            (fun (e : Wire.trace_entry) ->
+                              e.entry_trace_id = tid)
+                            (ok (Client.traces c 50))
+                        with
+                        | [] ->
+                          Alcotest.fail
+                            (who ^ " recorded nothing under the client's \
+                                    trace id")
+                        | es -> es)
+                  in
+                  let replica_entries =
+                    entries_of "replica" (Replica.port r)
+                  in
+                  let primary_entries = entries_of "primary" port in
+                  let replica_entry = List.hd replica_entries in
+                  Alcotest.(check bool) "nodes named distinctly" true
+                    (replica_entry.Wire.node
+                     <> (List.hd primary_entries).Wire.node);
+                  (* the client's rpc span is the remote spans' parent *)
+                  let rpc_id =
+                    match
+                      List.find_opt
+                        (fun (s : Expirel_obs.Trace.span) ->
+                          String.length s.name >= 4
+                          && String.sub s.name 0 4 = "rpc:")
+                        (Expirel_obs.Trace.spans tr)
+                    with
+                    | Some s -> s.Expirel_obs.Trace.id
+                    | None -> Alcotest.fail "client trace lost its rpc span"
+                  in
+                  let parse =
+                    List.find
+                      (fun (s : Wire.span) -> s.span_name = "parse")
+                      replica_entry.Wire.entry_spans
+                  in
+                  Alcotest.(check (option int))
+                    "replica spans sit under the client's rpc span"
+                    (Some rpc_id) parse.Wire.parent_id;
+                  (* merged export: one trace id, every node a process *)
+                  let to_store (e : Wire.trace_entry) =
+                    { Expirel_obs.Trace_store.node = e.Wire.node;
+                      trace_id = e.Wire.entry_trace_id;
+                      name = e.Wire.entry_name;
+                      started_at = e.Wire.started_at;
+                      total_us = e.Wire.entry_total_us;
+                      spans =
+                        List.map
+                          (fun (s : Wire.span) ->
+                            { Expirel_obs.Trace.id = s.Wire.span_id;
+                              parent = s.Wire.parent_id;
+                              name = s.Wire.span_name;
+                              start_us = s.Wire.start_us;
+                              duration_us = s.Wire.duration_us;
+                              labels = s.Wire.labels
+                            })
+                          e.Wire.entry_spans
+                    }
+                  in
+                  let store = Expirel_obs.Trace_store.create () in
+                  Expirel_obs.Trace_store.finish store ~node:"client"
+                    ~name:"routed read+write" tr;
+                  let merged =
+                    Expirel_obs.Trace_store.recent store 1
+                    @ List.map to_store (primary_entries @ replica_entries)
+                  in
+                  let json = Expirel_obs.Trace_export.to_json merged in
+                  let contains sub =
+                    let n = String.length sub in
+                    let rec go i =
+                      i + n <= String.length json
+                      && (String.sub json i n = sub || go (i + 1))
+                    in
+                    go 0
+                  in
+                  List.iter
+                    (fun sub ->
+                      Alcotest.(check bool) ("export carries: " ^ sub) true
+                        (contains sub))
+                    [ "\"traceEvents\":[";
+                      "\"" ^ tid ^ "\"";
+                      "process_name";
+                      "\"client\"";
+                      "\"" ^ replica_entry.Wire.node ^ "\"";
+                      "\"" ^ (List.hd primary_entries).Wire.node ^ "\"" ]))))
+
 let suite =
   [ Alcotest.test_case "positions are monotone" `Quick test_position_monotone;
     Alcotest.test_case "ship_from trichotomy" `Quick test_ship_from;
@@ -532,4 +655,6 @@ let suite =
       test_checkpoint_over_the_wire;
     Alcotest.test_case "v1 client gets a typed mismatch" `Quick
       test_v1_client_gets_version_mismatch;
-    Alcotest.test_case "read-routing client" `Quick test_repl_client_routing ]
+    Alcotest.test_case "read-routing client" `Quick test_repl_client_routing;
+    Alcotest.test_case "cross-node trace: one id, merged export" `Quick
+      test_cross_node_trace ]

@@ -393,6 +393,166 @@ let test_slow_queries_e2e () =
                  && s.start_us + s.duration_us <= sel.Wire.total_us))
             sel.Wire.spans))
 
+(* EXPLAIN ANALYZE travels as a plain Exec: the server runs the profiled
+   execution and ships the annotated plan as a message. *)
+let test_explain_analyze_e2e () =
+  with_server (fun _server port ->
+      with_client port (fun client ->
+          load_profiles client;
+          match exec client "EXPLAIN ANALYZE SELECT uid FROM pol WHERE deg = 25" with
+          | Wire.Ok_msg text ->
+            List.iter
+              (fun sub ->
+                Alcotest.(check bool) ("reports: " ^ sub) true
+                  (contains ~sub text))
+              [ "seq-scan pol"; "(est="; "rows=2"; "dropped=0"; "time=";
+                "rows: 2"; "total:" ]
+          | r -> Alcotest.fail ("expected a message, got " ^ Wire.render_response r)))
+
+(* TRACE over the wire: recent request traces, newest first, stamped
+   with the node name; Exec_traced records under the caller's trace id
+   with the caller's span as root parent. *)
+let test_trace_e2e () =
+  let config = { Server.default_config with node_name = "primary" } in
+  with_server ~config (fun _server port ->
+      with_client port (fun client ->
+          run_observable_workload client;
+          let entries = ok (Client.traces client 100) in
+          Alcotest.(check bool) "workload recorded" true
+            (List.length entries >= 5);
+          (match Client.traces client 2 with
+           | Ok [ a; b ] ->
+             Alcotest.(check bool) "newest first" true
+               (a.Wire.started_at >= b.Wire.started_at)
+           | Ok es -> Alcotest.failf "asked for 2, got %d" (List.length es)
+           | Error e -> Alcotest.fail e);
+          let sel =
+            match
+              List.find_opt
+                (fun (e : Wire.trace_entry) ->
+                  e.entry_name = "SELECT uid, deg FROM pol")
+                entries
+            with
+            | Some e -> e
+            | None -> Alcotest.fail "traced SELECT not in the store"
+          in
+          Alcotest.(check string) "node name stamped" "primary" sel.Wire.node;
+          Alcotest.(check bool) "trace id minted" true
+            (String.length sel.Wire.entry_trace_id > 0);
+          let names =
+            List.map (fun (s : Wire.span) -> s.span_name) sel.Wire.entry_spans
+          in
+          List.iter
+            (fun stage ->
+              Alcotest.(check bool) ("span: " ^ stage) true
+                (List.mem stage names))
+            [ "parse"; "eval"; "op:seq-scan" ];
+          (* operator spans carry their row counts as labels *)
+          (match
+             List.find_opt
+               (fun (s : Wire.span) -> s.span_name = "op:seq-scan")
+               sel.Wire.entry_spans
+           with
+           | Some s ->
+             Alcotest.(check (option string)) "rows label" (Some "3")
+               (List.assoc_opt "rows" s.labels)
+           | None -> Alcotest.fail "no seq-scan span");
+          (* propagated context: the server's spans join the caller's
+             trace, nested under the caller's span id *)
+          let ctx = { Wire.trace_id = "shared-trace-1"; parent_span = 5 } in
+          (match
+             ok
+               (Client.request client
+                  (Wire.Exec_traced { sql = "SELECT uid FROM pol"; ctx }))
+           with
+           | Wire.Rows _ -> ()
+           | r -> Alcotest.fail ("expected rows, got " ^ Wire.render_response r));
+          let entries = ok (Client.traces client 10) in
+          match
+            List.find_opt
+              (fun (e : Wire.trace_entry) ->
+                e.entry_trace_id = "shared-trace-1")
+              entries
+          with
+          | None -> Alcotest.fail "propagated trace id not recorded"
+          | Some e ->
+            let parse =
+              List.find
+                (fun (s : Wire.span) -> s.span_name = "parse")
+                e.Wire.entry_spans
+            in
+            Alcotest.(check (option int))
+              "top-level span under the caller's span" (Some 5)
+              parse.Wire.parent_id))
+
+(* HEALTH over the wire: a fresh server reads ok (cold metrics are
+   skipped, not fired); custom rules breach on demand; the verdict is
+   exported as a gauge. *)
+let test_health_e2e () =
+  with_server (fun _server port ->
+      with_client port (fun client ->
+          load_profiles client;
+          match ok (Client.health client) with
+          | Wire.Health_ok, [] -> ()
+          | level, firing ->
+            Alcotest.failf "expected ok/[], got %s with %d firing"
+              (match level with
+               | Wire.Health_ok -> "ok"
+               | Wire.Health_degraded -> "degraded"
+               | Wire.Health_critical -> "critical")
+              (List.length firing)));
+  let breach =
+    { Expirel_obs.Health.name = "requests_seen";
+      source = Expirel_obs.Health.Metric "expirel_requests_total";
+      op = Expirel_obs.Health.Above;
+      degraded = 1.0;
+      critical = 1e9;
+      help = "fires as soon as any request lands"
+    }
+  in
+  let config = { Server.default_config with health_rules = [ breach ] } in
+  with_server ~config (fun _server port ->
+      with_client port (fun client ->
+          ok (Client.ping client);
+          (match ok (Client.health client) with
+           | Wire.Health_degraded, [ f ] ->
+             Alcotest.(check string) "firing rule" "requests_seen"
+               f.Wire.rule_name;
+             Alcotest.(check bool) "observed value" true (f.Wire.observed >= 1.0);
+             Alcotest.(check string) "help carried" "fires as soon as any \
+                                                     request lands"
+               f.Wire.rule_help
+           | _ -> Alcotest.fail "expected one degraded firing rule");
+          (* the verdict gauge reflects the last evaluation *)
+          let text = ok (Client.metrics client) in
+          Alcotest.(check bool) "health gauge exported" true
+            (contains ~sub:"expirel_health_status 1" text)))
+
+(* The plan cache's counters ride the Prometheus page (not only the
+   stats record), including the requests_total denominator the
+   hit-ratio health rule divides by. *)
+let test_plan_cache_metrics () =
+  with_server (fun _server port ->
+      with_client port (fun client ->
+          load_profiles client;
+          List.iter
+            (fun sql ->
+              match exec client sql with
+              | Wire.Rows _ -> ()
+              | r -> Alcotest.fail ("expected rows, got " ^ Wire.render_response r))
+            [ "SELECT uid FROM pol"; "SELECT uid FROM pol";
+              "SELECT uid FROM pol" ];
+          let text = ok (Client.metrics client) in
+          List.iter
+            (fun sub ->
+              Alcotest.(check bool) ("exposes: " ^ sub) true
+                (contains ~sub text))
+            [ "# TYPE expirel_plan_cache_hits_total counter";
+              "expirel_plan_cache_hits_total 2";
+              "expirel_plan_cache_misses_total 1";
+              "expirel_plan_cache_requests_total 3";
+              "expirel_plan_cache_entries 1" ]))
+
 (* A raising replication provider must cost a metrics section, never a
    request: STATS omits the repl block, METRICS still renders. *)
 let test_raising_repl_source () =
@@ -429,4 +589,12 @@ let suite =
     Alcotest.test_case "SLOW: span breakdowns over the wire" `Quick
       test_slow_queries_e2e;
     Alcotest.test_case "raising repl provider is contained" `Quick
-      test_raising_repl_source ]
+      test_raising_repl_source;
+    Alcotest.test_case "EXPLAIN ANALYZE over the wire" `Quick
+      test_explain_analyze_e2e;
+    Alcotest.test_case "TRACE: recent traces and context propagation" `Quick
+      test_trace_e2e;
+    Alcotest.test_case "HEALTH: verdicts, firing rules, status gauge" `Quick
+      test_health_e2e;
+    Alcotest.test_case "METRICS: plan-cache counters" `Quick
+      test_plan_cache_metrics ]

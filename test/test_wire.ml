@@ -31,6 +31,13 @@ let time : Time.t Gen.t =
 let name = Gen.string_size ~gen:Gen.printable (Gen.int_range 0 20)
 let row = Gen.list_size (Gen.int_range 0 5) value
 
+(* Trace contexts and spans carry arbitrary strings (ids, labels) and
+   the 0 = no-parent convention; both directions must round-trip. *)
+let trace_ctx : Wire.trace_ctx Gen.t =
+  Gen.map2
+    (fun trace_id parent_span -> { Wire.trace_id; parent_span })
+    name (Gen.int_range 0 1_000)
+
 let request : Wire.request Gen.t =
   Gen.oneof
     [ Gen.map (fun s -> Wire.Exec s) name;
@@ -39,9 +46,17 @@ let request : Wire.request Gen.t =
       Gen.return Wire.Stats;
       Gen.return Wire.Ping;
       Gen.return Wire.Quit;
+      Gen.return Wire.Metrics;
+      Gen.map (fun n -> Wire.Slow_queries n) (Gen.int_range 0 1_000);
+      Gen.map3
+        (fun replica_id position ctx ->
+          Wire.Replicate { replica_id; position; ctx })
+        name (Gen.int_range 0 1_000_000) (Gen.option trace_ctx);
       Gen.map2
-        (fun replica_id position -> Wire.Replicate { replica_id; position })
-        name (Gen.int_range 0 1_000_000) ]
+        (fun sql ctx -> Wire.Exec_traced { sql; ctx })
+        name trace_ctx;
+      Gen.map (fun n -> Wire.Trace_recent n) (Gen.int_range 0 1_000);
+      Gen.return Wire.Health ]
 
 let error_code : Wire.error_code Gen.t =
   Gen.oneofl
@@ -121,6 +136,48 @@ let stats : Wire.stats Gen.t =
       bytes_in; bytes_out; events_pushed; tuples_expired; latency_buckets;
       repl }
 
+let span : Wire.span Gen.t =
+  let open Gen in
+  let* span_name = name in
+  let* span_id = int_range 1 1_000 in
+  let* parent_id = option (int_range 1 1_000) in
+  let* start_us = counter in
+  let* duration_us = counter in
+  let* labels = list_size (int_range 0 3) (pair name name) in
+  return { Wire.span_name; span_id; parent_id; start_us; duration_us; labels }
+
+let slow_query : Wire.slow_query Gen.t =
+  let open Gen in
+  let* statement = name in
+  let* total_us = counter in
+  let* spans = list_size (int_range 0 5) span in
+  return { Wire.statement; total_us; spans }
+
+(* started_at travels as IEEE-754 bits, so any non-nan float round-trips
+   exactly. *)
+let trace_entry : Wire.trace_entry Gen.t =
+  let open Gen in
+  let* node = name in
+  let* entry_trace_id = name in
+  let* entry_name = name in
+  let* started_at = map (fun i -> float_of_int i /. 16.) counter in
+  let* entry_total_us = counter in
+  let* entry_spans = list_size (int_range 0 5) span in
+  return
+    { Wire.node; entry_trace_id; entry_name; started_at; entry_total_us;
+      entry_spans }
+
+let health_level : Wire.health_level Gen.t =
+  Gen.oneofl [ Wire.Health_ok; Wire.Health_degraded; Wire.Health_critical ]
+
+let health_firing : Wire.health_firing Gen.t =
+  let open Gen in
+  let* rule_name = name in
+  let* observed = map (fun i -> float_of_int i /. 32.) counter in
+  let* firing_level = health_level in
+  let* rule_help = name in
+  return { Wire.rule_name; observed; firing_level; rule_help }
+
 let response : Wire.response Gen.t =
   Gen.oneof
     [ Gen.map (fun m -> Wire.Ok_msg m) name;
@@ -144,7 +201,18 @@ let response : Wire.response Gen.t =
         counter wal_records;
       Gen.map2
         (fun position now -> Wire.Repl_heartbeat { position; now })
-        counter time ]
+        counter time;
+      Gen.map (fun s -> Wire.Metrics_reply s) name;
+      Gen.map
+        (fun qs -> Wire.Slow_queries_reply qs)
+        (Gen.list_size (Gen.int_range 0 4) slow_query);
+      Gen.map
+        (fun es -> Wire.Traces_reply es)
+        (Gen.list_size (Gen.int_range 0 4) trace_entry);
+      Gen.map2
+        (fun level firing -> Wire.Health_reply { level; firing })
+        health_level
+        (Gen.list_size (Gen.int_range 0 4) health_firing) ]
 
 (* ---------- round-trip properties ---------- *)
 
