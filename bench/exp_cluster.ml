@@ -1,0 +1,151 @@
+(* Experiment exp-cluster: scatter-gather over real shards, and what
+   expiration-aware pruning saves.
+
+   A 3-shard cluster (in-process servers, loopback sockets) serves a
+   hash-partitioned table.  Measured:
+
+   - scatter-gather read throughput through the coordinator (parallel
+     fan-out, union-rule merge) against single-shard routed reads;
+   - coordinator-to-shard traffic (messages and bytes) for the same
+     query mix with pruning on vs forced broadcast, after most of the
+     keyspace has expired — the cluster-level payoff of the paper's
+     min/max-texp bounds: shards whose whole partition is provably
+     dead at tau are never contacted.
+
+   Expected shape: with 2 of 3 partitions expired, pruning cuts fan-out
+   messages by ~2/3 and reply bytes by more (dead shards answer with
+   empty listings, live ones with rows either way). *)
+
+open Expirel_core
+open Expirel_server
+module Coordinator = Expirel_cluster.Coordinator
+
+let shards = 3
+let keys = 300
+let queries = 200
+
+let no_err = function
+  | Wire.Err { message; _ } -> failwith message
+  | (r : Wire.response) -> r
+
+let with_cluster f =
+  let config =
+    { Server.default_config with Server.host = "127.0.0.1"; port = 0 }
+  in
+  let servers = List.init shards (fun _ -> Server.create ~config ()) in
+  List.iter Server.start servers;
+  Fun.protect
+    ~finally:(fun () -> List.iter Server.stop servers)
+    (fun () ->
+      let coord =
+        Coordinator.create ~heartbeat_interval:0.
+          ~shards:
+            (List.map
+               (fun s ->
+                 { Coordinator.host = "127.0.0.1"; port = Server.port s })
+               servers)
+          ()
+      in
+      Fun.protect ~finally:(fun () -> Coordinator.close coord) (fun () -> f coord))
+
+let run_all () =
+  Bench_util.section "exp-cluster: sharded scatter-gather and pruning";
+  Bench_util.param_int "shards" shards;
+  Bench_util.param_int "keys" keys;
+  Bench_util.param_int "queries" queries;
+  with_cluster (fun coord ->
+      ignore (no_err (Coordinator.exec coord "CREATE TABLE t (k, v)"));
+      (* Two expiration cohorts: keys on shard 0 live to 1000, all other
+         keys die at 10 — after ADVANCE TO 100, two of three partitions
+         are provably empty. *)
+      let map = Coordinator.shard_map coord in
+      List.iter
+        (fun k ->
+          let texp =
+            if Wire.shard_owner map (Value.int k) = 0 then 1000 else 10
+          in
+          ignore
+            (no_err
+               (Coordinator.exec coord
+                  (Printf.sprintf "INSERT INTO t VALUES (%d, %d) EXPIRES %d" k
+                     (k * 7) texp))))
+        (List.init keys (fun i -> i + 1));
+
+      (* ---- scatter-gather throughput, everything live ---- *)
+      Bench_util.subsection "scatter-gather reads, all partitions live";
+      let (), fanout_s =
+        Bench_util.time_it (fun () ->
+            for i = 1 to queries do
+              ignore
+                (no_err
+                   (Coordinator.exec coord
+                      (Printf.sprintf "SELECT * FROM t WHERE v = %d"
+                         (i * 7 mod (keys * 7)))))
+            done)
+      in
+      let fanout_rps = float_of_int queries /. fanout_s in
+      Printf.printf "scatter-gather: %d queries in %.3f s (%.0f req/s)\n"
+        queries fanout_s fanout_rps;
+      Bench_util.metric "scatter_gather_req_per_s" fanout_rps;
+
+      (* ---- routed single-key inserts as a throughput baseline ---- *)
+      let (), insert_s =
+        Bench_util.time_it (fun () ->
+            for i = 1 to queries do
+              ignore
+                (no_err
+                   (Coordinator.exec coord
+                      (Printf.sprintf
+                         "INSERT INTO t VALUES (%d, 0) EXPIRES 1000"
+                         (keys + i))))
+            done)
+      in
+      Printf.printf "routed inserts: %d in %.3f s (%.0f req/s)\n" queries
+        insert_s
+        (float_of_int queries /. insert_s);
+      Bench_util.metric "routed_insert_req_per_s"
+        (float_of_int queries /. insert_s);
+      (* Remove the extra rows so both traffic runs see the same data. *)
+      ignore
+        (no_err
+           (Coordinator.exec coord
+              (Printf.sprintf "DELETE FROM t WHERE k > %d" keys)));
+
+      (* ---- traffic: pruned fan-out vs broadcast after expiry ---- *)
+      Bench_util.subsection "traffic after 2/3 of the keyspace expired";
+      ignore (no_err (Coordinator.exec coord "ADVANCE TO 100"));
+      let run ~prune =
+        let before = Coordinator.traffic coord in
+        for _ = 1 to queries do
+          ignore (no_err (Coordinator.exec ~prune coord "SELECT * FROM t"))
+        done;
+        let after = Coordinator.traffic coord in
+        ( after.Coordinator.messages - before.Coordinator.messages,
+          after.Coordinator.bytes_sent - before.Coordinator.bytes_sent
+          + after.Coordinator.bytes_received
+          - before.Coordinator.bytes_received )
+      in
+      let broadcast_msgs, broadcast_bytes = run ~prune:false in
+      let pruned_msgs, pruned_bytes = run ~prune:true in
+      let pct saved total =
+        100. *. float_of_int saved /. float_of_int (max 1 total)
+      in
+      Bench_util.table
+        ~headers:[ "fan-out"; "messages"; "bytes on the wire" ]
+        [ [ "broadcast"; string_of_int broadcast_msgs;
+            string_of_int broadcast_bytes ];
+          [ "pruned"; string_of_int pruned_msgs; string_of_int pruned_bytes ];
+          [ "saved";
+            Printf.sprintf "%.0f%%" (pct (broadcast_msgs - pruned_msgs) broadcast_msgs);
+            Printf.sprintf "%.0f%%" (pct (broadcast_bytes - pruned_bytes) broadcast_bytes)
+          ] ];
+      Bench_util.metric_int "broadcast_messages" broadcast_msgs;
+      Bench_util.metric_int "pruned_messages" pruned_msgs;
+      Bench_util.metric_int "broadcast_bytes" broadcast_bytes;
+      Bench_util.metric_int "pruned_bytes" pruned_bytes;
+      Bench_util.metric "messages_saved_pct"
+        (pct (broadcast_msgs - pruned_msgs) broadcast_msgs);
+      Bench_util.metric "bytes_saved_pct"
+        (pct (broadcast_bytes - pruned_bytes) broadcast_bytes);
+      Bench_util.metric_int "pruned_shard_contacts"
+        (Coordinator.traffic coord).Coordinator.pruned)

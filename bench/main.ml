@@ -30,6 +30,8 @@ let experiments =
     "ttl", "choosing expiration times for caches", Exp_ttl.run_all;
     "server", "wire-protocol server under concurrent clients", Exp_server.run_all;
     "repl", "replication vs polling over real sockets", Exp_repl.run_all;
+    "cluster", "sharded scatter-gather and expiration-aware pruning",
+    Exp_cluster.run_all;
     "obs", "tracing, metrics exposition and the slow-query log", Exp_obs.run_all;
     "micro", "Bechamel micro-benchmarks", Bechamel_suite.run ]
 

@@ -420,6 +420,147 @@ let connect_main host port script =
       | Some text -> send_script client text
       | None -> remote_repl client host port)
 
+(* ---------- cluster: N shard servers + a coordinator REPL ---------- *)
+
+module Coordinator = Expirel_cluster.Coordinator
+
+let cluster_serve policy backend host base_port shards =
+  if shards < 1 then begin
+    Printf.eprintf "error: need at least one shard\n";
+    exit 2
+  end;
+  let servers =
+    List.init shards (fun i ->
+        let config =
+          { Server.default_config with
+            host;
+            port = (if base_port = 0 then 0 else base_port + i);
+            policy = parse_policy policy;
+            backend = parse_backend backend;
+            node_name = Printf.sprintf "shard-%d" i
+          }
+        in
+        Server.create ~config ())
+  in
+  List.iteri
+    (fun i server ->
+      Server.start server;
+      Printf.printf "shard %d listening on %s:%d\n%!" i host
+        (Server.port server))
+    servers;
+  List.iter Server.wait servers
+
+let print_shard_summaries coord =
+  List.iter
+    (fun (id, summary, reachable) ->
+      Printf.printf "shard %d: %s%s\n" id
+        (if reachable then "reachable" else "unreachable")
+        (match summary with
+         | None -> ", partition unknown"
+         | Some { Wire.live_rows; min_texp; max_texp } ->
+           Printf.sprintf ", %d live row(s), texp in [%s, %s]" live_rows
+             (Expirel_core.Time.to_string min_texp)
+             (Expirel_core.Time.to_string max_texp)))
+    (Coordinator.summaries coord)
+
+let cluster_statement coord text =
+  let text = String.trim text in
+  if text <> "" then begin
+    let upper = String.uppercase_ascii text in
+    let starts p =
+      String.length upper >= String.length p
+      && String.sub upper 0 (String.length p) = p
+    in
+    if upper = "METRICS" then print_string (Coordinator.metrics coord)
+    else if upper = "HEALTH" then begin
+      let level, firing = Coordinator.health coord in
+      print_endline (Wire.render_response (Wire.Health_reply { level; firing }))
+    end
+    else if upper = "SHARDS" then print_shard_summaries coord
+    else if upper = "TRACE" || starts "TRACE " then begin
+      let n =
+        if upper = "TRACE" then Some 10
+        else
+          int_of_string_opt
+            (String.trim (String.sub text 6 (String.length text - 6)))
+      in
+      match n with
+      | Some n when n >= 0 ->
+        print_endline
+          (Wire.render_response
+             (Wire.Traces_reply (Coordinator.recent_traces coord n)))
+      | Some _ | None -> print_endline "usage: TRACE [N];"
+    end
+    else if starts "ADD SHARD " then begin
+      let host, port =
+        parse_endpoint
+          (String.trim (String.sub text 10 (String.length text - 10)))
+      in
+      match Coordinator.add_shard coord { host; port } with
+      | Ok msg -> print_endline msg
+      | Error e -> Printf.printf "error: %s\n" e
+    end
+    else if starts "REMOVE SHARD " then begin
+      match
+        int_of_string_opt
+          (String.trim (String.sub text 13 (String.length text - 13)))
+      with
+      | Some id ->
+        (match Coordinator.remove_shard coord id with
+         | Ok msg -> print_endline msg
+         | Error e -> Printf.printf "error: %s\n" e)
+      | None -> print_endline "usage: REMOVE SHARD <id>;"
+    end
+    else print_endline (Wire.render_response (Coordinator.exec coord text))
+  end
+
+let cluster_connect shard_args script =
+  let endpoints =
+    List.map
+      (fun s ->
+        let host, port = parse_endpoint s in
+        { Coordinator.host; port })
+      shard_args
+  in
+  if endpoints = [] then begin
+    Printf.eprintf "error: give at least one --shard HOST:PORT\n";
+    exit 2
+  end;
+  let coord = Coordinator.create ~shards:endpoints () in
+  Fun.protect
+    ~finally:(fun () -> Coordinator.close coord)
+    (fun () ->
+      match script with
+      | Some text ->
+        String.split_on_char ';' text |> List.iter (cluster_statement coord)
+      | None ->
+        Printf.printf
+          "coordinator over %d shard(s) (map v%d)\n\
+           statements end with ';'.  Also: METRICS;  HEALTH;  SHARDS;\n\
+          \  TRACE [N];  ADD SHARD HOST:PORT;  REMOVE SHARD ID;  ^D to \
+           quit.\n"
+          (List.length endpoints)
+          (Coordinator.shard_map coord).Wire.map_version;
+        let buffer = Buffer.create 256 in
+        let rec loop () =
+          if Buffer.length buffer = 0 then print_string "expirel@cluster> "
+          else print_string "...............> ";
+          flush stdout;
+          match input_line stdin with
+          | exception End_of_file -> print_newline ()
+          | line ->
+            Buffer.add_string buffer line;
+            Buffer.add_char buffer '\n';
+            if String.contains line ';' then begin
+              let text = Buffer.contents buffer in
+              Buffer.clear buffer;
+              String.split_on_char ';' text
+              |> List.iter (cluster_statement coord)
+            end;
+            loop ()
+        in
+        loop ())
+
 open Cmdliner
 
 let lazy_flag =
@@ -567,10 +708,43 @@ let connect_cmd =
     Term.(const connect_main $ host_arg
           $ port_arg ~default:Expirel_server.Client.default_port $ script_arg)
 
+let cluster_cmd =
+  let doc = "run or drive a sharded cluster of expirel servers" in
+  let serve =
+    let shards_arg =
+      Arg.(value & opt int 3
+           & info [ "shards" ] ~docv:"N" ~doc:"How many shard servers to run.")
+    in
+    let base_port_arg =
+      Arg.(value & opt int 7731
+           & info [ "base-port" ] ~docv:"PORT"
+               ~doc:"Shard $(i,i) listens on PORT+$(i,i) (0 picks \
+                     ephemeral ports).")
+    in
+    Cmd.v
+      (Cmd.info "serve" ~doc:"run N shard servers in one process")
+      Term.(const cluster_serve $ lazy_flag $ backend_arg $ host_arg
+            $ base_port_arg $ shards_arg)
+  in
+  let connect =
+    let shard_list_arg =
+      Arg.(value & opt_all string []
+           & info [ "shard" ] ~docv:"HOST:PORT"
+               ~doc:"A shard endpoint (repeat once per shard; order \
+                     assigns shard ids).")
+    in
+    Cmd.v
+      (Cmd.info "connect"
+         ~doc:"coordinator REPL: routed writes, scatter-gather reads")
+      Term.(const cluster_connect $ shard_list_arg $ script_arg)
+  in
+  Cmd.group (Cmd.info "cluster" ~doc) [ serve; connect ]
+
 let cmd =
   let doc = "interactive shell for the expiration-time-enabled database" in
   let default = Term.(const main $ lazy_flag $ backend_arg $ script_arg $ file_arg) in
   Cmd.group ~default (Cmd.info "expirel_cli" ~doc)
-    [ serve_cmd; replicate_cmd; connect_cmd; stats_cmd; trace_cmd; health_cmd ]
+    [ serve_cmd; replicate_cmd; connect_cmd; stats_cmd; trace_cmd; health_cmd;
+      cluster_cmd ]
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,944 @@
+open Expirel_core
+open Expirel_sqlx
+open Expirel_server
+open Expirel_repl
+module Obs = Expirel_obs
+
+type endpoint = Member.endpoint = {
+  host : string;
+  port : int;
+}
+
+type slot = {
+  shard : Wire.shard;
+  member : Member.t;
+  slot_lock : Mutex.t;  (* one in-flight request per connection *)
+  requests : Obs.Instrument.Counter.t;
+  mutable summary : Wire.partition_texp option;  (* None = unknown *)
+  mutable map_version_seen : int;
+  mutable reachable : bool;
+}
+
+type traffic = {
+  fanouts : int;
+  pruned : int;
+  messages : int;
+  bytes_sent : int;
+  bytes_received : int;
+}
+
+type t = {
+  node_name : string;
+  registry : Obs.Registry.t;
+  trace_store : Obs.Trace_store.t;
+  health_rules : Obs.Health.rule list;
+  requests_family : Obs.Instrument.Counter.t Obs.Instrument.Family.t;
+  pruned_total : Obs.Instrument.Counter.t;
+  fanouts_total : Obs.Instrument.Counter.t;
+  messages_total : Obs.Instrument.Counter.t;
+  bytes_sent_total : Obs.Instrument.Counter.t;
+  bytes_received_total : Obs.Instrument.Counter.t;
+  state : Mutex.t;  (* guards map/slots/now *)
+  mutable map : Wire.shard_map;
+  mutable slots : slot list;  (* same order as [map.shards] *)
+  mutable now : Time.t;  (* mirror of the cluster's logical clock *)
+  mutable last_health : Obs.Health.level;
+  mutable hb_thread : Thread.t option;
+  mutable stopping : bool;
+  heartbeat_interval : float;
+}
+
+let locked t f =
+  Mutex.lock t.state;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.state) f
+
+let shard_map t = locked t (fun () -> t.map)
+let slots t = locked t (fun () -> t.slots)
+
+(* ---------- health ---------- *)
+
+(* [shards] is the fleet size the critical thresholds scale with:
+   one silent shard degrades, a majority gone is critical. *)
+let default_health_rules ~shards =
+  let majority = float_of_int ((shards / 2) + 1) in
+  [ { Obs.Health.name = "unreachable_shards";
+      source = Obs.Health.Metric "expirel_cluster_unreachable_shards";
+      op = Obs.Health.Above;
+      degraded = 1.;
+      critical = majority;
+      help = "shards that did not answer their last contact or heartbeat"
+    };
+    { Obs.Health.name = "stale_shard_maps";
+      source = Obs.Health.Metric "expirel_cluster_stale_shards";
+      op = Obs.Health.Above;
+      degraded = 1.;
+      critical = majority;
+      help = "shards whose last heartbeat reported an older shard-map \
+              version (a restarted shard reports v0 and has lost its \
+              partition)"
+    }
+  ]
+
+(* ---------- per-shard RPC with traffic accounting ---------- *)
+
+(* Every coordinator->shard message flows through here: one request in
+   flight per connection (fan-out threads and the heartbeat thread
+   share members), traffic counters fed from the encoded sizes (+4 for
+   the length prefix), and the piggybacked partition summary harvested
+   from whatever reply carries one. *)
+let send t slot req =
+  Mutex.lock slot.slot_lock;
+  let result =
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock slot.slot_lock)
+      (fun () -> Member.on slot.member (fun c -> Client.request c req))
+  in
+  (match result with
+   | Ok resp ->
+     slot.reachable <- true;
+     Obs.Instrument.Counter.incr slot.requests;
+     Obs.Instrument.Counter.incr t.messages_total;
+     Obs.Instrument.Counter.add t.bytes_sent_total
+       (String.length (Wire.encode_request req) + 4);
+     Obs.Instrument.Counter.add t.bytes_received_total
+       (String.length (Wire.encode_response resp) + 4);
+     (match resp with
+      | Wire.Shard_rows { partition; _ } | Wire.Shard_ack { partition; _ } ->
+        slot.summary <- Some partition
+      | Wire.Shard_pong { partition; pong_map_version; now; _ } ->
+        slot.summary <- Some partition;
+        slot.map_version_seen <- pong_map_version;
+        locked t (fun () -> t.now <- Time.max t.now now)
+      | Wire.Err _ ->
+        (* A refused or failed statement tells us nothing about the
+           partition; forget the cached summary rather than guess. *)
+        slot.summary <- None
+      | _ -> ())
+   | Error _ ->
+     slot.reachable <- false;
+     slot.summary <- None);
+  result
+
+let exec_shard ?trace t slot sql =
+  let ctx =
+    Option.map
+      (fun tr ->
+        { Wire.trace_id = Obs.Trace.trace_id tr;
+          parent_span = Option.value ~default:0 (Obs.Trace.current_parent tr)
+        })
+      trace
+  in
+  send t slot (Wire.Exec_shard { sql; ctx })
+
+(* ---------- statement classification ---------- *)
+
+(* Which queries distribute over the hash partitioning.
+
+   Single-table selection/projection: exact — every base tuple lives on
+   exactly one shard, [sigma]/[pi] commute with the partition union,
+   and duplicate projected rows arising on different shards merge
+   under the paper's union rule (max texp per tuple, min texp(e)
+   overall), which the coordinator applies.
+
+   UNION: distributes over any operands that do (set union is
+   associative/commutative).
+
+   EXCEPT / INTERSECT: only when both operands are tuple-preserving
+   ([SELECT *] chains, filters allowed): equal tuples then share a
+   first column, hence a shard, so the per-shard difference /
+   intersection partitions the global one.  A projected operand breaks
+   this (equal projected rows can originate on different shards).
+
+   Joins and aggregates do not distribute shard-locally (join partners
+   and group fragments straddle shards); the coordinator refuses them
+   rather than return silently wrong answers. *)
+let rec tuple_preserving = function
+  | Ast.Select
+      { items = [ Ast.Star ];
+        source = Ast.From_table _;
+        group_by = [];
+        having = None;
+        _
+      } ->
+    true
+  | Ast.Select _ -> false
+  | Ast.Union (a, b) | Ast.Except (a, b) | Ast.Intersect (a, b) ->
+    tuple_preserving a && tuple_preserving b
+
+let rec distributable = function
+  | Ast.Select
+      { items; source = Ast.From_table _; group_by = []; having = None; _ } ->
+    List.for_all
+      (function
+        | Ast.Agg _ -> false
+        | Ast.Star | Ast.Column _ -> true)
+      items
+  | Ast.Select _ -> false
+  | Ast.Union (a, b) -> distributable a && distributable b
+  | Ast.Except (a, b) | Ast.Intersect (a, b) ->
+    tuple_preserving a && tuple_preserving b
+
+let err message = Wire.Err { code = Wire.Exec_error; message }
+
+(* ---------- scatter-gather ---------- *)
+
+(* Can the coordinator prove, from its cached summary alone, that this
+   shard's whole partition is empty at [tau]?  Either nothing was live
+   at the last refresh (and only this coordinator inserts, each insert
+   refreshing the summary), or everything live then expires by [tau].
+   The min-texp bound [Relation.min_texp] lifted to the shard: here the
+   dual max bound is the one that proves emptiness. *)
+let prunable slot tau =
+  match slot.summary with
+  | None -> false
+  | Some { Wire.live_rows; max_texp; _ } ->
+    live_rows = 0 || Time.(max_texp <= tau)
+
+let span_offset_us tr at =
+  let us = (at -. Obs.Trace.started_at tr) *. 1e6 in
+  if us < 0. then 0 else int_of_float us
+
+(* Merge partial listings under the union rule: per duplicate tuple the
+   max texp (Eq (3) of the paper's union), overall texp(e) the min over
+   partials — exact for disjoint hash partitions.  Presentation mirrors
+   [Interp.order_and_limit]: ORDER BY keys first, full-tuple compare as
+   the deterministic tie-break, then LIMIT. *)
+let merge_partials ~columns ~order_by ~limit partials =
+  let tbl = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun (rows : (Value.t list * Time.t) list) ->
+      List.iter
+        (fun (vs, texp) ->
+          match Hashtbl.find_opt tbl vs with
+          | None ->
+            Hashtbl.add tbl vs texp;
+            order := vs :: !order
+          | Some old -> Hashtbl.replace tbl vs (Time.max old texp))
+        rows)
+    partials;
+  let merged = List.rev_map (fun vs -> (vs, Hashtbl.find tbl vs)) !order in
+  let position_of { Ast.qualifier; column } =
+    let name =
+      match qualifier with
+      | Some q -> q ^ "." ^ column
+      | None -> column
+    in
+    let rec find i = function
+      | [] ->
+        let rec find_suffix i = function
+          | [] -> failwith (Printf.sprintf "unknown ORDER BY column %s" name)
+          | label :: rest ->
+            if
+              qualifier = None
+              && String.length label > String.length column
+              && String.sub label
+                   (String.length label - String.length column - 1)
+                   (String.length column + 1)
+                 = "." ^ column
+            then i
+            else find_suffix (i + 1) rest
+        in
+        find_suffix 1 columns
+      | label :: rest -> if String.equal label name then i else find (i + 1) rest
+    in
+    find 1 columns
+  in
+  let keys = List.map (fun (r, d) -> (position_of r, d)) order_by in
+  let compare_rows (vs1, _) (vs2, _) =
+    let attr vs pos = List.nth vs (pos - 1) in
+    let rec go = function
+      | [] -> List.compare Value.compare vs1 vs2 (* deterministic tie-break *)
+      | (pos, dir) :: rest ->
+        let c = Value.compare (attr vs1 pos) (attr vs2 pos) in
+        if c <> 0 then
+          match dir with
+          | Ast.Asc -> c
+          | Ast.Desc -> -c
+        else go rest
+    in
+    go keys
+  in
+  let sorted =
+    if order_by = [] then merged else List.stable_sort compare_rows merged
+  in
+  match limit with
+  | None -> sorted
+  | Some n -> List.filteri (fun i _ -> i < n) sorted
+
+(* Fan a query out to every shard whose partition can still hold live
+   rows at the query's tau, in parallel, and merge.  With every shard
+   prunable, one shard is still asked — someone has to name the result
+   columns — which still saves n-1 contacts. *)
+let scatter_gather ?trace ~prune t (qs : Ast.query_stmt) sql =
+  Obs.Instrument.Counter.incr t.fanouts_total;
+  let tau =
+    let now = locked t (fun () -> t.now) in
+    match qs.Ast.at with
+    | Some n -> Time.max now (Time.of_int n)
+    | None -> now
+  in
+  let all = slots t in
+  let contacted, pruned =
+    if not prune then (all, [])
+    else begin
+      match List.partition (fun s -> not (prunable s tau)) all with
+      | [], everyone -> ([ List.hd everyone ], List.tl everyone)
+      | split -> split
+    end
+  in
+  List.iter
+    (fun (_ : slot) -> Obs.Instrument.Counter.incr t.pruned_total)
+    pruned;
+  Obs.Trace.span trace "scatter" @@ fun () ->
+  let results = Array.make (List.length contacted) None in
+  let threads =
+    List.mapi
+      (fun i slot ->
+        Thread.create
+          (fun () ->
+            let t0 = Unix.gettimeofday () in
+            let r = exec_shard ?trace t slot sql in
+            results.(i) <- Some (slot, r, t0, Unix.gettimeofday ()))
+          ())
+      contacted
+  in
+  List.iter Thread.join threads;
+  (* The rpc spans are recorded after the join (a trace is not
+     synchronised across threads); offsets and durations are the ones
+     measured inside each fan-out thread. *)
+  Option.iter
+    (fun tr ->
+      Array.iter
+        (function
+          | Some (slot, _, t0, t1) ->
+            Obs.Trace.record tr
+              ~name:(Printf.sprintf "rpc:shard-%d" slot.shard.Wire.shard_id)
+              ~start_us:(span_offset_us tr t0)
+              ~duration_us:(int_of_float ((t1 -. t0) *. 1e6))
+          | None -> ())
+        results)
+    trace;
+  let partials =
+    Array.fold_left
+      (fun acc -> function
+        | Some (slot, r, _, _) -> (slot, r) :: acc
+        | None -> acc)
+      [] results
+    |> List.rev
+  in
+  let rec gather acc = function
+    | [] -> Ok (List.rev acc)
+    | (_, Ok (Wire.Shard_rows { columns; rows; texp_e; recomputed; _ })) :: rest
+      ->
+      gather ((columns, rows, texp_e, recomputed) :: acc) rest
+    | (_, Ok (Wire.Err _ as e)) :: _ -> Error e
+    | (slot, Ok _) :: _ ->
+      Error
+        (err
+           (Printf.sprintf "shard %d: unexpected reply to a query"
+              slot.shard.Wire.shard_id))
+    | (slot, Error msg) :: _ ->
+      Error
+        (err (Printf.sprintf "shard %d: %s" slot.shard.Wire.shard_id msg))
+  in
+  match gather [] partials with
+  | Error e -> e
+  | Ok [] -> err "no shards"
+  | Ok ((columns, _, _, _) :: _ as parts) ->
+    (match
+       merge_partials ~columns ~order_by:qs.Ast.order_by ~limit:qs.Ast.limit
+         (List.map (fun (_, rows, _, _) -> rows) parts)
+     with
+     | listing ->
+       Wire.Rows
+         { columns;
+           rows = listing;
+           texp_e = Time.min_list (List.map (fun (_, _, te, _) -> te) parts);
+           recomputed = List.exists (fun (_, _, _, r) -> r) parts
+         }
+     | exception Failure message -> err message)
+
+(* ---------- routed writes and broadcasts ---------- *)
+
+let unwrap = function
+  | Ok (Wire.Shard_rows { columns; rows; texp_e; recomputed; _ }) ->
+    Wire.Rows { columns; rows; texp_e; recomputed }
+  | Ok (Wire.Shard_ack { message; _ }) -> Wire.Ok_msg message
+  | Ok r -> r
+  | Error msg -> err msg
+
+let slot_for t shard_id =
+  List.find_opt (fun s -> s.shard.Wire.shard_id = shard_id) (slots t)
+
+(* A routed write: exactly one shard — the key's owner — is contacted;
+   its ack piggybacks the refreshed summary, so an insert into a shard
+   the coordinator believed empty immediately un-prunes it. *)
+let route_insert ?trace t ~key sql =
+  let owner = Wire.shard_owner (shard_map t) key in
+  match slot_for t owner with
+  | None -> err (Printf.sprintf "no slot for owner shard %d" owner)
+  | Some slot -> unwrap (exec_shard ?trace t slot sql)
+
+(* Broadcast a statement to every shard, sequentially (writes are rare
+   and ADVANCE must reach everyone anyway).  The first failure is
+   reported with its shard id; there is no cross-shard atomicity —
+   cluster v1 trades transactions for the expiration calculus, which
+   needs none. *)
+let broadcast ?trace t sql ~merge =
+  let rec go acc = function
+    | [] -> merge (List.rev acc)
+    | slot :: rest ->
+      (match exec_shard ?trace t slot sql with
+       | Ok (Wire.Err { message; _ }) | Error message ->
+         err
+           (Printf.sprintf "shard %d: %s" slot.shard.Wire.shard_id message)
+       | Ok reply -> go ((slot, reply) :: acc) rest)
+  in
+  go [] (slots t)
+
+let merge_acks replies =
+  match replies with
+  | (_, Wire.Shard_ack { message; _ }) :: _ ->
+    Wire.Ok_msg
+      (Printf.sprintf "%s (on %d shard(s))" message (List.length replies))
+  | _ -> err "unexpected reply to a broadcast statement"
+
+let merge_texts replies =
+  Wire.Ok_msg
+    (String.concat "\n"
+       (List.map
+          (fun (slot, reply) ->
+            let body =
+              match reply with
+              | Wire.Shard_ack { message; _ } -> message
+              | other -> Wire.render_response other
+            in
+            Printf.sprintf "--- shard %d ---\n%s" slot.shard.Wire.shard_id
+              body)
+          replies))
+
+let forward_to_any ?trace t sql =
+  let rec go = function
+    | [] -> err "no reachable shard"
+    | slot :: rest ->
+      (match exec_shard ?trace t slot sql with
+       | Ok reply -> unwrap (Ok reply)
+       | Error _ -> go rest)
+  in
+  go (slots t)
+
+(* ---------- the statement entry point ---------- *)
+
+let advance_clock t target = locked t (fun () -> t.now <- Time.max t.now target)
+
+let exec_parsed ?trace ~prune t stmt sql =
+  match stmt with
+  | Ast.Query qs ->
+    if distributable qs.Ast.q then scatter_gather ?trace ~prune t qs sql
+    else
+      err
+        "not distributable: joins, aggregates, GROUP BY and projected \
+         EXCEPT/INTERSECT need their partners on one shard; run them \
+         against a single node or restructure the query"
+  | Ast.Insert { values = key :: _; _ } -> route_insert ?trace t ~key sql
+  | Ast.Insert { values = []; _ } -> err "INSERT needs at least one value"
+  | Ast.Advance_to n ->
+    let r = broadcast ?trace t sql ~merge:merge_acks in
+    (match r with
+     | Wire.Ok_msg _ -> advance_clock t (Time.of_int n)
+     | _ -> ());
+    r
+  | Ast.Tick n ->
+    let r = broadcast ?trace t sql ~merge:merge_acks in
+    (match r with
+     | Wire.Ok_msg _ ->
+       locked t (fun () -> t.now <- Time.add t.now (Time.of_int n))
+     | _ -> ());
+    r
+  | Ast.Create_table _ | Ast.Drop_table _ | Ast.Create_index _
+  | Ast.Drop_index _ | Ast.Delete _ | Ast.Vacuum ->
+    broadcast ?trace t sql ~merge:merge_acks
+  | Ast.Explain _ | Ast.Explain_analyze _ ->
+    broadcast ?trace t sql ~merge:merge_texts
+  | Ast.Show_tables | Ast.Show_time -> forward_to_any ?trace t sql
+  | Ast.Checkpoint | Ast.Create_view _ | Ast.Show_view _ | Ast.Show_views
+  | Ast.Refresh_view _ | Ast.Create_trigger _ | Ast.Drop_trigger _
+  | Ast.Show_triggers | Ast.Create_constraint _ | Ast.Drop_constraint _
+  | Ast.Show_constraints ->
+    err
+      "unsupported in cluster mode (views, triggers, constraints and \
+       CHECKPOINT are per-node features; address a shard directly)"
+
+(* Every statement is traced like a server request: parse at the
+   coordinator, fan out under a [scatter] span with the context
+   shipped, finish into the coordinator's trace store. *)
+let exec ?(prune = true) ?trace:caller_trace t sql =
+  let tr =
+    match caller_trace with
+    | Some tr -> tr
+    | None -> Obs.Trace.create ()
+  in
+  let trace = Some tr in
+  let response =
+    match
+      Obs.Trace.span trace "parse" (fun () -> Parser.parse_statement sql)
+    with
+    | stmt -> exec_parsed ?trace ~prune t stmt sql
+    | exception Parser.Error (message, off) ->
+      Wire.Err
+        { code = Wire.Parse_error;
+          message = Printf.sprintf "at offset %d: %s" off message
+        }
+  in
+  if Option.is_none caller_trace then
+    Obs.Trace_store.finish t.trace_store ~node:t.node_name ~name:sql tr;
+  response
+
+let query = exec
+
+(* ---------- heartbeat ---------- *)
+
+let heartbeat_now t =
+  List.iter (fun slot -> ignore (send t slot Wire.Shard_ping)) (slots t)
+
+let rec heartbeat_loop t =
+  if not t.stopping then begin
+    Thread.delay t.heartbeat_interval;
+    if not t.stopping then begin
+      heartbeat_now t;
+      heartbeat_loop t
+    end
+  end
+
+(* ---------- construction ---------- *)
+
+let make_slot t (shard : Wire.shard) =
+  { shard;
+    member =
+      Member.create
+        { host = shard.Wire.shard_host; port = shard.Wire.shard_port };
+    slot_lock = Mutex.create ();
+    requests =
+      Obs.Instrument.Family.labelled t.requests_family
+        [ string_of_int shard.Wire.shard_id ];
+    summary = None;
+    map_version_seen = 0;
+    reachable = false;
+  }
+
+let on_slot slot f =
+  Mutex.lock slot.slot_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock slot.slot_lock)
+    (fun () -> Member.on slot.member f)
+
+let install_on slot map =
+  match
+    on_slot slot (fun c ->
+        Client.shard_install c ~map ~self_id:slot.shard.Wire.shard_id)
+  with
+  | Ok () ->
+    slot.reachable <- true;
+    slot.map_version_seen <- map.Wire.map_version;
+    Ok ()
+  | Error e ->
+    slot.reachable <- false;
+    Error e
+
+let create ?(node_name = "coordinator") ?health_rules
+    ?(heartbeat_interval = 0.25) ~shards:endpoints () =
+  (match endpoints with
+   | [] -> invalid_arg "Coordinator.create: no shards"
+   | _ -> ());
+  let map =
+    { Wire.map_version = 1;
+      shards =
+        List.mapi
+          (fun i (e : endpoint) ->
+            { Wire.shard_id = i; shard_host = e.host; shard_port = e.port })
+          endpoints
+    }
+  in
+  let registry = Obs.Registry.create () in
+  let t =
+    { node_name;
+      registry;
+      trace_store = Obs.Trace_store.create ();
+      health_rules =
+        Option.value health_rules
+          ~default:(default_health_rules ~shards:(List.length endpoints));
+      requests_family =
+        Obs.Registry.counter_family registry
+          ~name:"expirel_cluster_shard_requests_total"
+          ~help:"Requests routed to each shard" ~labels:[ "shard" ];
+      pruned_total =
+        Obs.Registry.counter registry
+          ~name:"expirel_cluster_pruned_shards_total"
+          ~help:"Shards skipped from a fan-out because their cached \
+                 partition summary proved them empty at the query's tau";
+      fanouts_total =
+        Obs.Registry.counter registry ~name:"expirel_cluster_fanouts_total"
+          ~help:"Scatter-gather queries executed";
+      messages_total =
+        Obs.Registry.counter registry ~name:"expirel_cluster_messages_total"
+          ~help:"Coordinator-to-shard requests sent";
+      bytes_sent_total =
+        Obs.Registry.counter registry
+          ~name:"expirel_cluster_bytes_sent_total"
+          ~help:"Bytes of encoded requests sent to shards (framing \
+                 included)";
+      bytes_received_total =
+        Obs.Registry.counter registry
+          ~name:"expirel_cluster_bytes_received_total"
+          ~help:"Bytes of encoded replies received from shards (framing \
+                 included)";
+      state = Mutex.create ();
+      map;
+      slots = [];
+      now = Time.zero;
+      last_health = Obs.Health.Ok;
+      hb_thread = None;
+      stopping = false;
+      heartbeat_interval
+    }
+  in
+  Obs.Registry.gauge_fun registry ~name:"expirel_cluster_shard_map_version"
+    ~help:"Version of the shard map this coordinator routes by" (fun () ->
+      float_of_int (shard_map t).Wire.map_version);
+  Obs.Registry.gauge_fun registry ~name:"expirel_cluster_shards"
+    ~help:"Shards in the current map" (fun () ->
+      float_of_int (List.length (slots t)));
+  Obs.Registry.gauge_fun registry ~name:"expirel_cluster_unreachable_shards"
+    ~help:"Shards that did not answer their last contact or heartbeat"
+    (fun () ->
+      float_of_int
+        (List.length (List.filter (fun s -> not s.reachable) (slots t))));
+  Obs.Registry.gauge_fun registry ~name:"expirel_cluster_stale_shards"
+    ~help:"Shards whose last answer reported an older shard-map version"
+    (fun () ->
+      let v = (shard_map t).Wire.map_version in
+      float_of_int
+        (List.length
+           (List.filter (fun s -> s.map_version_seen < v) (slots t))));
+  Obs.Registry.gauge_fun registry ~name:"expirel_cluster_health_status"
+    ~help:"Last HEALTH verdict (0 = ok, 1 = degraded, 2 = critical)"
+    (fun () ->
+      match t.last_health with
+      | Obs.Health.Ok -> 0.
+      | Obs.Health.Degraded -> 1.
+      | Obs.Health.Critical -> 2.);
+  t.slots <- List.map (make_slot t) map.Wire.shards;
+  (* Nodes may carry a map from an earlier coordinator (a previous
+     [cluster connect], a rebalance): claim with a version above
+     anything installed, or every install would be refused as stale. *)
+  let installed_version =
+    List.fold_left
+      (fun acc slot ->
+        match on_slot slot Client.shard_map with
+        | Ok (Some { Wire.installed_map; _ }) ->
+          max acc installed_map.Wire.map_version
+        | Ok None | Error _ -> acc)
+      0 t.slots
+  in
+  let map =
+    if installed_version >= map.Wire.map_version then begin
+      let map = { map with Wire.map_version = installed_version + 1 } in
+      locked t (fun () -> t.map <- map);
+      map
+    end
+    else map
+  in
+  List.iter (fun slot -> ignore (install_on slot map)) t.slots;
+  (* Prime the clock mirror and the summaries. *)
+  heartbeat_now t;
+  if heartbeat_interval > 0. then
+    t.hb_thread <- Some (Thread.create (fun () -> heartbeat_loop t) ());
+  t
+
+let close t =
+  t.stopping <- true;
+  (match t.hb_thread with
+   | Some th ->
+     t.hb_thread <- None;
+     Thread.join th
+   | None -> ());
+  List.iter (fun slot -> Member.close slot.member) (slots t)
+
+(* ---------- observability surface ---------- *)
+
+let metrics t = Obs.Prometheus.render (Obs.Registry.collect t.registry)
+
+let wire_health_level = function
+  | Obs.Health.Ok -> Wire.Health_ok
+  | Obs.Health.Degraded -> Wire.Health_degraded
+  | Obs.Health.Critical -> Wire.Health_critical
+
+let health t =
+  let report =
+    Obs.Health.evaluate t.health_rules (Obs.Registry.collect t.registry)
+  in
+  t.last_health <- report.Obs.Health.level;
+  ( wire_health_level report.Obs.Health.level,
+    List.map
+      (fun (f : Obs.Health.firing) ->
+        { Wire.rule_name = f.rule_name;
+          observed = f.value;
+          firing_level = wire_health_level f.level;
+          rule_help = f.help
+        })
+      report.Obs.Health.firing )
+
+let trace_store t = t.trace_store
+
+let wire_trace_entry (e : Obs.Trace_store.entry) =
+  { Wire.node = e.node;
+    entry_trace_id = e.trace_id;
+    entry_name = e.name;
+    started_at = e.started_at;
+    entry_total_us = e.total_us;
+    entry_spans = Metrics.wire_spans e.spans
+  }
+
+(* The cluster-wide trace view: this coordinator's entries merged with
+   every shard's recent entries, newest first — one trace id read here
+   shows the coordinator lane plus a lane per contacted shard. *)
+let recent_traces t n =
+  let own = List.map wire_trace_entry (Obs.Trace_store.recent t.trace_store n) in
+  let remote =
+    List.concat_map
+      (fun slot ->
+        Mutex.lock slot.slot_lock;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock slot.slot_lock)
+          (fun () ->
+            match Member.on slot.member (fun c -> Client.traces c n) with
+            | Ok entries -> entries
+            | Error _ -> []))
+      (slots t)
+  in
+  List.stable_sort
+    (fun (a : Wire.trace_entry) b -> Float.compare b.started_at a.started_at)
+    (own @ remote)
+
+let traffic t =
+  { fanouts = Obs.Instrument.Counter.value t.fanouts_total;
+    pruned = Obs.Instrument.Counter.value t.pruned_total;
+    messages = Obs.Instrument.Counter.value t.messages_total;
+    bytes_sent = Obs.Instrument.Counter.value t.bytes_sent_total;
+    bytes_received = Obs.Instrument.Counter.value t.bytes_received_total
+  }
+
+let summaries t =
+  List.map
+    (fun s -> (s.shard.Wire.shard_id, s.summary, s.reachable))
+    (slots t)
+
+(* ---------- rebalancing ---------- *)
+
+let table_names t =
+  match forward_to_any t "SHOW TABLES" with
+  | Wire.Ok_msg "(no tables)" -> Ok []
+  | Wire.Ok_msg text -> Ok (String.split_on_char '\n' text)
+  | Wire.Err { message; _ } -> Error message
+  | _ -> Error "unexpected reply to SHOW TABLES"
+
+(* Move every row to its owner under [new_map]: install everywhere,
+   extract per source shard, ingest at the destinations, then purge the
+   sources.  Purge runs last so a crash mid-move duplicates rows (both
+   copies carry the same texp — harmless to set semantics) rather than
+   losing them. *)
+let apply_map t new_map ~old_slots ~new_slots =
+  let ( let* ) = Result.bind in
+  let* () =
+    List.fold_left
+      (fun acc slot ->
+        let* () = acc in
+        match install_on slot new_map with
+        | Ok () -> Ok ()
+        | Error e ->
+          Error
+            (Printf.sprintf "install on shard %d: %s"
+               slot.shard.Wire.shard_id e))
+      (Ok ())
+      (old_slots
+      @ List.filter
+          (fun s ->
+            not
+              (List.exists
+                 (fun o -> o.shard.Wire.shard_id = s.shard.Wire.shard_id)
+                 old_slots))
+          new_slots)
+  in
+  let* tables = table_names t in
+  let moved = ref 0 in
+  let* () =
+    List.fold_left
+      (fun acc source ->
+        let* () = acc in
+        List.fold_left
+          (fun acc table ->
+            let* () = acc in
+            let* moves =
+              Result.map_error
+                (Printf.sprintf "extract from shard %d: %s"
+                   source.shard.Wire.shard_id)
+                (on_slot source (fun c -> Client.extract_moving c table))
+            in
+            let* () =
+              List.fold_left
+                (fun acc (owner, rows) ->
+                  let* () = acc in
+                  match
+                    List.find_opt
+                      (fun s -> s.shard.Wire.shard_id = owner)
+                      new_slots
+                  with
+                  | None ->
+                    Error (Printf.sprintf "no slot for owner shard %d" owner)
+                  | Some dest ->
+                    moved := !moved + List.length rows;
+                    Result.map_error
+                      (Printf.sprintf "ingest into shard %d: %s" owner)
+                      (Result.map ignore
+                         (on_slot dest (fun c ->
+                              Client.ingest_rows c ~table rows))))
+                (Ok ()) moves
+            in
+            match moves with
+            | [] -> Ok ()
+            | _ :: _ ->
+              Result.map_error
+                (Printf.sprintf "purge on shard %d: %s"
+                   source.shard.Wire.shard_id)
+                (Result.map ignore
+                   (on_slot source (fun c -> Client.purge_moved c table))))
+          (Ok ()) tables)
+      (Ok ()) old_slots
+  in
+  locked t (fun () ->
+      t.map <- new_map;
+      t.slots <- new_slots);
+  (* A map change redefines every partition, so every cached summary is
+     about the wrong partition now: forget them all (unknown is never
+     pruned) and re-prime with a heartbeat round. *)
+  List.iter (fun s -> s.summary <- None) new_slots;
+  heartbeat_now t;
+  List.iter
+    (fun s ->
+      if
+        not
+          (List.exists
+             (fun n -> n.shard.Wire.shard_id = s.shard.Wire.shard_id)
+             new_slots)
+      then Member.close s.member)
+    old_slots;
+  Ok !moved
+
+let add_shard t endpoint =
+  let old_map = shard_map t in
+  let old_slots = slots t in
+  let fresh_id =
+    1
+    + List.fold_left
+        (fun acc (s : Wire.shard) -> max acc s.shard_id)
+        (-1) old_map.Wire.shards
+  in
+  let new_map =
+    { Wire.map_version = old_map.Wire.map_version + 1;
+      shards =
+        old_map.Wire.shards
+        @ [ { Wire.shard_id = fresh_id;
+              shard_host = endpoint.host;
+              shard_port = endpoint.port
+            }
+          ]
+    }
+  in
+  let new_slots =
+    old_slots
+    @ [ make_slot t
+          { Wire.shard_id = fresh_id;
+            shard_host = endpoint.host;
+            shard_port = endpoint.port
+          }
+      ]
+  in
+  (* The joining shard needs the cluster's catalog and clock before it
+     can ingest: recover each table's columns from a zero-row scan on a
+     live shard (single-table scans label columns with their bare DDL
+     names), replay CREATE TABLE on the newcomer, then sync its clock
+     so ingested expiration times mean the same thing there. *)
+  let newcomer = List.nth new_slots (List.length new_slots - 1) in
+  let prep =
+    let ( let* ) = Result.bind in
+    let* tables = table_names t in
+    let* () =
+      List.fold_left
+        (fun acc table ->
+          let* () = acc in
+          match
+            forward_to_any t (Printf.sprintf "SELECT * FROM %s LIMIT 0" table)
+          with
+          | Wire.Rows { columns; _ } ->
+            (match
+               exec_shard t newcomer
+                 (Printf.sprintf "CREATE TABLE %s (%s)" table
+                    (String.concat ", " columns))
+             with
+             | Ok (Wire.Shard_ack _) -> Ok ()
+             | Ok (Wire.Err { message; _ }) | Error message ->
+               Error
+                 (Printf.sprintf "create %s on joining shard: %s" table
+                    message)
+             | Ok _ -> Error "unexpected reply to CREATE TABLE")
+          | Wire.Err { message; _ } ->
+            Error (Printf.sprintf "describe %s: %s" table message)
+          | _ -> Error "unexpected reply to a describe scan")
+        (Ok ()) tables
+    in
+    match Time.to_int_opt (locked t (fun () -> t.now)) with
+    | Some n when n > 0 ->
+      (match exec_shard t newcomer (Printf.sprintf "ADVANCE TO %d" n) with
+       | Ok (Wire.Shard_ack _) -> Ok ()
+       | Ok (Wire.Err { message; _ }) | Error message ->
+         Error (Printf.sprintf "clock sync on joining shard: %s" message)
+       | Ok _ -> Error "unexpected reply to ADVANCE TO")
+    | _ -> Ok ()
+  in
+  match prep with
+  | Error e -> Error e
+  | Ok () ->
+    (match apply_map t new_map ~old_slots ~new_slots with
+     | Ok moved ->
+       Ok
+         (Printf.sprintf "shard %d joined (map v%d, %d row(s) moved)" fresh_id
+            new_map.Wire.map_version moved)
+     | Error e -> Error e)
+
+let remove_shard t shard_id =
+  let old_map = shard_map t in
+  let old_slots = slots t in
+  if not (List.exists (fun (s : Wire.shard) -> s.shard_id = shard_id) old_map.Wire.shards)
+  then Error (Printf.sprintf "no shard %d in the map" shard_id)
+  else if List.length old_map.Wire.shards <= 1 then
+    Error "cannot remove the last shard"
+  else begin
+    let new_map =
+      { Wire.map_version = old_map.Wire.map_version + 1;
+        shards =
+          List.filter
+            (fun (s : Wire.shard) -> s.shard_id <> shard_id)
+            old_map.Wire.shards
+      }
+    in
+    let new_slots =
+      List.filter (fun s -> s.shard.Wire.shard_id <> shard_id) old_slots
+    in
+    match apply_map t new_map ~old_slots ~new_slots with
+    | Ok moved ->
+      Ok
+        (Printf.sprintf "shard %d left (map v%d, %d row(s) moved)" shard_id
+           new_map.Wire.map_version moved)
+    | Error e -> Error e
+  end

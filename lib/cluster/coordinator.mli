@@ -1,0 +1,139 @@
+(** The cluster coordinator: hash-partitioned shards behind a versioned
+    shard map, with expiration-aware scatter-gather reads.
+
+    Every table is partitioned by its first column: a row lives on
+    [Wire.shard_owner map key].  Writes route to the owning shard;
+    distributable queries fan out in parallel to every shard whose
+    partition can still hold live rows and the partial listings merge
+    under the paper's union rule — per duplicate tuple the max [texp],
+    for the whole result the min of the partial [texp(e)]s (exact,
+    because hash partitions are disjoint).
+
+    {2 Pruning invariant}
+
+    The coordinator caches each shard's {!Wire.partition_texp} summary,
+    refreshed by {e every} shard reply (query, ack, heartbeat pong).  A
+    shard is skipped from a fan-out at evaluation time [tau] when its
+    cached summary proves the partition empty:
+
+    {v live_rows = 0  \/  max_texp <= tau v}
+
+    This is sound because all writes flow through the coordinator and
+    each write's ack refreshes the owner's summary — between refreshes
+    a partition only shrinks (expiration), so emptiness once proven
+    cannot be revoked except by an insert, which un-prunes the shard in
+    the same round trip.  An [Err] reply or a failed contact clears the
+    summary to {e unknown}, and unknown is never pruned. *)
+
+open Expirel_server
+
+type endpoint = Expirel_repl.Member.endpoint = {
+  host : string;
+  port : int;
+}
+
+type t
+
+val create :
+  ?node_name:string ->
+  ?health_rules:Expirel_obs.Health.rule list ->
+  ?heartbeat_interval:float ->
+  shards:endpoint list ->
+  unit ->
+  t
+(** Claims the given nodes as shards 0..n-1 under a fresh map (version
+    1), installs it on each, and primes the clock mirror and partition
+    summaries with one heartbeat round.  [heartbeat_interval] (default
+    0.25 s) paces the background heartbeat thread; [0.] disables it
+    (tests then drive {!heartbeat_now} deterministically).
+    [health_rules] defaults to {!default_health_rules}.
+    @raise Invalid_argument on an empty shard list *)
+
+val close : t -> unit
+(** Stops the heartbeat thread and closes every shard connection. *)
+
+val exec :
+  ?prune:bool -> ?trace:Expirel_obs.Trace.t -> t -> string ->
+  Wire.response
+(** One sqlx statement against the cluster.
+
+    - Distributable queries (single-table selection/projection, UNION
+      of such, tuple-preserving EXCEPT/INTERSECT) scatter-gather with
+      pruning (disable with [~prune:false] to force a full broadcast —
+      results are identical, that is the pruning soundness contract).
+    - [INSERT] routes to the key's owner shard.
+    - DDL, [DELETE], [ADVANCE]/[TICK], [VACUUM] broadcast to all
+      shards; [EXPLAIN]/[EXPLAIN ANALYZE] broadcast and concatenate
+      per-shard reports.
+    - Joins, aggregates, GROUP BY and projected EXCEPT/INTERSECT are
+      refused ([Err]) rather than answered wrongly.
+
+    With [trace], spans record there and the context ships to every
+    contacted shard ([rpc:shard-<id>] spans); without, a fresh trace is
+    created and finished into this coordinator's trace store. *)
+
+val query :
+  ?prune:bool -> ?trace:Expirel_obs.Trace.t -> t -> string ->
+  Wire.response
+(** Alias of {!exec} — the coordinator routes by statement shape. *)
+
+(** {1 Cluster management} *)
+
+val shard_map : t -> Wire.shard_map
+
+val add_shard : t -> endpoint -> (string, string) result
+(** Grows the map by one shard: bootstraps the newcomer's catalog and
+    clock, installs map [v+1] everywhere, then moves every row to its
+    owner under the new map (extract / ingest / purge — purge last, so
+    a mid-move failure duplicates rows, harmless to set semantics,
+    rather than losing them). *)
+
+val remove_shard : t -> int -> (string, string) result
+(** Shrinks the map: installs [v+1] everywhere (including the leaving
+    shard, so it knows to hand everything off), drains the leaver's
+    rows to the survivors, then drops the slot. *)
+
+val heartbeat_now : t -> unit
+(** One synchronous heartbeat round ([Shard_ping] to every shard):
+    refreshes reachability, staleness, partition summaries and the
+    clock mirror.  The background thread calls this on its interval;
+    tests with [~heartbeat_interval:0.] call it directly. *)
+
+(** {1 Observability} *)
+
+val metrics : t -> string
+(** Prometheus exposition of the coordinator's registry
+    ([expirel_cluster_*]: per-shard request counters, pruned-shard /
+    fan-out / message / byte counters, map-version and shard-health
+    gauges). *)
+
+val health : t -> Wire.health_level * Wire.health_firing list
+(** Evaluates the coordinator's health rules over its own metrics —
+    with {!default_health_rules}: degraded from the first unreachable
+    or stale shard, critical from a majority. *)
+
+val default_health_rules : shards:int -> Expirel_obs.Health.rule list
+
+val recent_traces : t -> int -> Wire.trace_entry list
+(** The cluster-wide trace view, newest first: this coordinator's
+    entries merged with every shard's — one trace id collects the
+    coordinator lane plus a lane per contacted shard, ready for
+    {!Expirel_obs.Trace_export}. *)
+
+val trace_store : t -> Expirel_obs.Trace_store.t
+
+type traffic = {
+  fanouts : int;  (** scatter-gather queries executed *)
+  pruned : int;  (** shard contacts skipped by the pruning invariant *)
+  messages : int;  (** coordinator-to-shard requests sent *)
+  bytes_sent : int;  (** encoded request bytes, framing included *)
+  bytes_received : int;  (** encoded reply bytes, framing included *)
+}
+
+val traffic : t -> traffic
+(** Cumulative traffic counters — the bench's measure of what pruning
+    saves versus broadcast. *)
+
+val summaries : t -> (int * Wire.partition_texp option * bool) list
+(** Per shard: id, cached partition summary ([None] = unknown) and
+    reachability — the raw inputs to the pruning decision. *)

@@ -1,0 +1,48 @@
+(** One remote expirel node as seen by a routing client: a lazily
+    dialed connection with exponential-backoff redialing.
+
+    Shared by {!Repl_client} (primary/replica routing) and the cluster
+    coordinator (shard-map routing) — both care only that an endpoint
+    is dialed on demand, put aside when it fails, and not hammered
+    while it is down. *)
+
+open Expirel_server
+
+type endpoint = {
+  host : string;
+  port : int;
+}
+
+type t
+
+val create : ?backoff:(unit -> Backoff.t) -> endpoint -> t
+(** No socket is opened until first use.  [backoff] makes the retry
+    policy (default {!Backoff.create}). *)
+
+val endpoint : t -> endpoint
+
+val connection : t -> Client.t option
+(** The established connection, dialing if allowed; [None] while the
+    endpoint is in backoff or refusing connections. *)
+
+val drop : t -> unit
+(** Closes the connection (if any) and schedules the next redial under
+    backoff — call when a request-level failure shows the connection is
+    unusable. *)
+
+val on : t -> (Client.t -> ('a, string) result) -> ('a, string) result
+(** [on m f] runs [f] over the member's connection; [Error] from [f]
+    drops the connection (next call redials), an unavailable endpoint
+    answers [Error "endpoint unavailable"] without blocking. *)
+
+val traced_exec :
+  ?trace:Expirel_obs.Trace.t ->
+  Client.t ->
+  span_name:string ->
+  string ->
+  (Wire.response, string) result
+(** {!Client.exec_traced} wrapped in a local span named [span_name]:
+    the remote spans and the local rpc span record under one trace. *)
+
+val close : t -> unit
+(** Closes without scheduling a redial.  Idempotent. *)

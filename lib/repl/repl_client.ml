@@ -1,93 +1,37 @@
 open Expirel_server
 
-type endpoint = {
+type endpoint = Member.endpoint = {
   host : string;
   port : int;
 }
 
-type member = {
-  endpoint : endpoint;
-  backoff : Backoff.t;
-  mutable conn : Client.t option;
-  mutable retry_at : float;  (* no dialing before this *)
-}
-
 type t = {
-  primary : member;
-  replicas : member array;
+  primary : Member.t;
+  replicas : Member.t array;
   mutable next_replica : int;
 }
 
-let member backoff endpoint =
-  { endpoint; backoff = backoff (); conn = None; retry_at = 0.0 }
-
-let create ?(backoff = fun () -> Backoff.create ()) ~primary ~replicas () =
-  { primary = member backoff primary;
-    replicas = Array.of_list (List.map (member backoff) replicas);
+let create ?backoff ~primary ~replicas () =
+  { primary = Member.create ?backoff primary;
+    replicas = Array.of_list (List.map (Member.create ?backoff) replicas);
     next_replica = 0
   }
 
-let drop m =
-  (match m.conn with
-   | Some c -> (try Client.close c with _ -> ())
-   | None -> ());
-  m.conn <- None;
-  m.retry_at <- Unix.gettimeofday () +. Backoff.next m.backoff
-
-(* An established connection, dialing if allowed; None while the
-   endpoint is in backoff or refusing. *)
-let connection m =
-  match m.conn with
-  | Some c -> Some c
-  | None ->
-    if Unix.gettimeofday () < m.retry_at then None
-    else begin
-      match
-        Client.connect ~host:m.endpoint.host ~port:m.endpoint.port ()
-      with
-      | c ->
-        m.conn <- Some c;
-        Backoff.reset m.backoff;
-        m.retry_at <- 0.0;
-        Some c
-      | exception Unix.Unix_error _ ->
-        m.retry_at <- Unix.gettimeofday () +. Backoff.next m.backoff;
-        None
-    end
-
-let on_member m f =
-  match connection m with
-  | None -> Error "endpoint unavailable"
-  | Some c ->
-    (match f c with
-     | Ok _ as ok -> ok
-     | Error _ as e ->
-       (* Connection-level failure: the next call redials. *)
-       drop m;
-       e)
-
-(* With [?trace], each remote call is wrapped in a local span and
-   ships the trace context: the serving node's spans record under the
-   same trace id, so merging this node's trace with the servers'
-   recent traces yields one cross-node timeline. *)
-let traced_exec ?trace c ~span_name sql =
-  Expirel_obs.Trace.span trace span_name (fun () ->
-      Client.exec_traced c ?trace sql)
-
 let exec ?trace t sql =
-  on_member t.primary (fun c -> traced_exec ?trace c ~span_name:"rpc:primary" sql)
+  Member.on t.primary (fun c ->
+      Member.traced_exec ?trace c ~span_name:"rpc:primary" sql)
 
 let query ?trace t sql =
   let n = Array.length t.replicas in
   let rec try_from i tried =
     if tried >= n then
-      on_member t.primary (fun c ->
-          traced_exec ?trace c ~span_name:"rpc:primary" sql)
+      Member.on t.primary (fun c ->
+          Member.traced_exec ?trace c ~span_name:"rpc:primary" sql)
     else begin
       let m = t.replicas.(i mod n) in
       match
-        on_member m (fun c ->
-            traced_exec ?trace c
+        Member.on m (fun c ->
+            Member.traced_exec ?trace c
               ~span_name:(Printf.sprintf "rpc:replica-%d" (i mod n))
               sql)
       with
@@ -99,19 +43,14 @@ let query ?trace t sql =
   in
   if n = 0 then exec ?trace t sql else try_from t.next_replica 0
 
-let primary_stats t = on_member t.primary Client.stats
+let primary_stats t = Member.on t.primary Client.stats
 
 let replica_stats t =
   Array.to_list
-    (Array.map (fun m -> (m.endpoint, on_member m Client.stats)) t.replicas)
+    (Array.map
+       (fun m -> (Member.endpoint m, Member.on m Client.stats))
+       t.replicas)
 
 let close t =
-  let shut m =
-    match m.conn with
-    | Some c ->
-      (try Client.close c with _ -> ());
-      m.conn <- None
-    | None -> ()
-  in
-  shut t.primary;
-  Array.iter shut t.replicas
+  Member.close t.primary;
+  Array.iter Member.close t.replicas

@@ -15,7 +15,7 @@
 
 open Expirel_server
 
-type endpoint = {
+type endpoint = Member.endpoint = {
   host : string;
   port : int;
 }

@@ -133,6 +133,66 @@ let health t =
   | Ok _ -> Error "unexpected response to HEALTH"
   | Error _ as e -> e
 
+(* ----- cluster RPCs (the coordinator's side of the v5 messages) ----- *)
+
+let shard_install t ~map ~self_id =
+  match request t (Wire.Shard_install { map; self_id }) with
+  | Ok (Wire.Ok_msg _) -> Ok ()
+  | Ok (Wire.Err { message; _ }) -> Error message
+  | Ok _ -> Error "unexpected response to shard install"
+  | Error _ as e -> e
+
+let shard_map t =
+  match request t Wire.Shard_map_req with
+  | Ok (Wire.Shard_map_reply identity) -> Ok identity
+  | Ok (Wire.Err { message; _ }) -> Error message
+  | Ok _ -> Error "unexpected response to shard map request"
+  | Error _ as e -> e
+
+(* Exec on a shard, optionally under the coordinator's trace context;
+   the caller dispatches on the [Shard_rows] / [Shard_ack] / [Err]
+   reply itself, since it needs the piggybacked partition summary. *)
+let exec_shard t ?trace sql =
+  let ctx =
+    Option.map
+      (fun tr ->
+        { Wire.trace_id = Expirel_obs.Trace.trace_id tr;
+          parent_span =
+            Option.value ~default:0 (Expirel_obs.Trace.current_parent tr)
+        })
+      trace
+  in
+  request t (Wire.Exec_shard { sql; ctx })
+
+let shard_ping t =
+  match request t Wire.Shard_ping with
+  | Ok (Wire.Shard_pong { shard_id; pong_map_version; now; partition }) ->
+    Ok (shard_id, pong_map_version, now, partition)
+  | Ok (Wire.Err { message; _ }) -> Error message
+  | Ok _ -> Error "unexpected response to shard ping"
+  | Error _ as e -> e
+
+let extract_moving t table =
+  match request t (Wire.Extract_moving table) with
+  | Ok (Wire.Moved_rows moves) -> Ok moves
+  | Ok (Wire.Err { message; _ }) -> Error message
+  | Ok _ -> Error "unexpected response to extract"
+  | Error _ as e -> e
+
+let ingest_rows t ~table rows =
+  match request t (Wire.Ingest_rows { table; ingest = rows }) with
+  | Ok (Wire.Shard_ack { partition; _ }) -> Ok partition
+  | Ok (Wire.Err { message; _ }) -> Error message
+  | Ok _ -> Error "unexpected response to ingest"
+  | Error _ as e -> e
+
+let purge_moved t table =
+  match request t (Wire.Purge_moved table) with
+  | Ok (Wire.Shard_ack { partition; _ }) -> Ok partition
+  | Ok (Wire.Err { message; _ }) -> Error message
+  | Ok _ -> Error "unexpected response to purge"
+  | Error _ as e -> e
+
 let ping t =
   match request t Wire.Ping with
   | Ok Wire.Pong -> Ok ()

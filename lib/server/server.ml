@@ -94,6 +94,7 @@ type t = {
   conns : (int, conn) Hashtbl.t;
   threads : (int, Thread.t) Hashtbl.t;
   followers : (string, unit) Hashtbl.t;  (* live replication sessions *)
+  mutable shard : Wire.shard_identity option;  (* cluster membership *)
   mutable records_shipped : int;
   mutable snapshots_served : int;
   mutable listen_fd : Unix.file_descr option;
@@ -141,6 +142,7 @@ let create ?(config = default_config) () =
       conns = Hashtbl.create 16;
       threads = Hashtbl.create 16;
       followers = Hashtbl.create 4;
+      shard = None;
       records_shipped = 0;
       snapshots_served = 0;
       listen_fd = None;
@@ -364,7 +366,7 @@ let deliver_subscription_events t stmt =
     Subscription.deliver_until t.subs target
   | Some _ | None -> ()
 
-let handle_statement ?trace t stmt =
+let handle_statement ?trace ?text t stmt =
   let write = not (is_read_only stmt) in
   if t.config.read_only && not (replica_allows stmt) then
     Wire.Err
@@ -384,7 +386,7 @@ let handle_statement ?trace t stmt =
       (fun () ->
         match
           deliver_subscription_events t stmt;
-          Interp.exec ?trace t.interp stmt
+          Interp.exec ?trace ?text t.interp stmt
         with
         | Ok outcome -> response_of_outcome outcome
         | Error message -> Wire.Err { code = Wire.Exec_error; message }
@@ -415,9 +417,9 @@ let handle_exec ?ctx t sql =
   let trace = Some tr in
   let response =
     match
-      Obs.Trace.span trace "parse" (fun () -> Parser.parse_statement sql)
+      Obs.Trace.span trace "parse" (fun () -> Interp.parse t.interp sql)
     with
-    | stmt -> handle_statement ?trace t stmt
+    | stmt -> handle_statement ?trace ~text:sql t stmt
     | exception Parser.Error (message, off) ->
       Wire.Err
         { code = Wire.Parse_error;
@@ -547,6 +549,247 @@ let handle_health t =
                 report.Obs.Health.firing
           })
 
+(* ---------- shard mode (coordinator-facing RPCs) ---------- *)
+
+let shard_identity t = locked_state t (fun () -> t.shard)
+
+let shard_self t =
+  match shard_identity t with
+  | Some s -> s.Wire.self_id
+  | None -> -1
+
+(* The whole-partition texp summary the coordinator's pruning feeds on:
+   the Relation min/max-texp bounds folded over every table's live
+   snapshot.  Snapshots are generation-cached, so when nothing changed
+   since the last reply this walk allocates nothing.  Caller holds the
+   (read or write) lock. *)
+let partition_summary t =
+  let db = Interp.database t.interp in
+  List.fold_left
+    (fun (acc : Wire.partition_texp) name ->
+      let r = Database.snapshot db name in
+      let n = Relation.cardinal r in
+      if n = 0 then acc
+      else if acc.live_rows = 0 then
+        { Wire.live_rows = n;
+          min_texp = Relation.min_texp r;
+          max_texp = Relation.max_texp r
+        }
+      else
+        { Wire.live_rows = acc.live_rows + n;
+          min_texp = Time.min acc.min_texp (Relation.min_texp r);
+          max_texp = Time.max acc.max_texp (Relation.max_texp r)
+        })
+    { Wire.live_rows = 0; min_texp = Time.infinity; max_texp = Time.infinity }
+    (Database.table_names db)
+
+let summary_under_lock t =
+  if not (acquire t ~write:false) then
+    Error (Wire.Err { code = Wire.Timeout; message = "no lock" })
+  else
+    Fun.protect
+      ~finally:(fun () -> release t ~write:false)
+      (fun () -> Ok (partition_summary t))
+
+(* [self_id] may be absent from [map]: that is how a leaving shard
+   learns the map that evicts it — ownership then assigns every local
+   row elsewhere, so the drain (extract / purge) moves everything. *)
+let handle_shard_install t ~map ~self_id =
+  if self_id < 0 then
+    Wire.Err
+      { code = Wire.Exec_error;
+        message = Printf.sprintf "bad shard id %d" self_id
+      }
+  else
+    locked_state t (fun () ->
+        match t.shard with
+        | Some { installed_map; _ }
+          when installed_map.Wire.map_version > map.Wire.map_version ->
+          Wire.Err
+            { code = Wire.Exec_error;
+              message =
+                Printf.sprintf "stale shard map v%d (v%d is installed)"
+                  map.Wire.map_version installed_map.Wire.map_version
+            }
+        | _ ->
+          t.shard <- Some { Wire.installed_map = map; self_id };
+          Wire.Ok_msg
+            (Printf.sprintf "installed shard map v%d as shard %d"
+               map.Wire.map_version self_id))
+
+(* An EXEC issued by a coordinator: same execution path as [Exec] /
+   [Exec_traced], but successful replies carry the shard id and the
+   partition summary so every contact — reads and writes alike —
+   refreshes the coordinator's pruning cache. *)
+let handle_exec_shard t ~sql ~ctx =
+  match handle_exec ?ctx t sql with
+  | Wire.Rows { columns; rows; texp_e; recomputed } ->
+    (match summary_under_lock t with
+     | Error e -> e
+     | Ok partition ->
+       Wire.Shard_rows
+         { shard_id = shard_self t; partition; columns; rows; texp_e;
+           recomputed })
+  | Wire.Ok_msg message ->
+    (match summary_under_lock t with
+     | Error e -> e
+     | Ok partition ->
+       Wire.Shard_ack { shard_id = shard_self t; partition; message })
+  | other -> other
+
+let handle_shard_ping t =
+  match summary_under_lock t with
+  | Error e -> e
+  | Ok partition ->
+    let shard_id, pong_map_version =
+      locked_state t (fun () ->
+          match t.shard with
+          | Some s -> (s.Wire.self_id, s.Wire.installed_map.Wire.map_version)
+          | None -> (-1, 0))
+    in
+    Wire.Shard_pong
+      { shard_id;
+        pong_map_version;
+        now = Database.now (Interp.database t.interp);
+        partition
+      }
+
+let first_column tuple =
+  match Tuple.to_list tuple with
+  | [] -> None
+  | key :: _ -> Some key
+
+let handle_extract_moving t table =
+  match shard_identity t with
+  | None ->
+    Wire.Err { code = Wire.Exec_error; message = "no shard map installed" }
+  | Some { installed_map = map; self_id } ->
+    if not (acquire t ~write:false) then
+      Wire.Err { code = Wire.Timeout; message = "no lock" }
+    else
+      Fun.protect
+        ~finally:(fun () -> release t ~write:false)
+        (fun () ->
+          let db = Interp.database t.interp in
+          match Database.table db table with
+          | None ->
+            Wire.Err
+              { code = Wire.Exec_error; message = "unknown table " ^ table }
+          | Some _ ->
+            let moves = Hashtbl.create 4 in
+            Relation.fold
+              (fun tuple texp () ->
+                match first_column tuple with
+                | None -> ()
+                | Some key ->
+                  let owner = Wire.shard_owner map key in
+                  if owner <> self_id then begin
+                    let rows =
+                      try Hashtbl.find moves owner with Not_found -> []
+                    in
+                    Hashtbl.replace moves owner
+                      ((Tuple.to_list tuple, texp) :: rows)
+                  end)
+              (Database.snapshot db table) ();
+            Wire.Moved_rows
+              (List.sort compare
+                 (Hashtbl.fold
+                    (fun owner rows acc -> (owner, List.rev rows) :: acc)
+                    moves [])))
+
+let refuse_on_replica t k =
+  if t.config.read_only then
+    Wire.Err
+      { code = Wire.Exec_error;
+        message = "read-only replica: rebalance writes go to the primary"
+      }
+  else k ()
+
+let handle_ingest_rows t ~table ~ingest =
+  refuse_on_replica t @@ fun () ->
+  if not (acquire t ~write:true) then
+    Wire.Err { code = Wire.Timeout; message = "no lock" }
+  else
+    Fun.protect
+      ~finally:(fun () -> release t ~write:true)
+      (fun () ->
+        let db = Interp.database t.interp in
+        match Database.table db table with
+        | None ->
+          Wire.Err
+            { code = Wire.Exec_error; message = "unknown table " ^ table }
+        | Some _ ->
+          let now = Database.now db in
+          let inserted = ref 0 in
+          let dropped = ref 0 in
+          List.iter
+            (fun (values, texp) ->
+              (* A row already expired at this clock stays dead: moving
+                 a tuple between shards must not resurrect it. *)
+              if Time.(texp > now) then begin
+                (match t.store with
+                 | Some store ->
+                   Durable.insert store table (Tuple.of_list values) ~texp
+                 | None ->
+                   Database.insert db table (Tuple.of_list values) ~texp);
+                incr inserted
+              end
+              else incr dropped)
+            ingest;
+          let message =
+            Printf.sprintf "ingested %d row(s) into %s%s" !inserted table
+              (if !dropped > 0 then
+                 Printf.sprintf " (%d already expired)" !dropped
+               else "")
+          in
+          Wire.Shard_ack
+            { shard_id = shard_self t;
+              partition = partition_summary t;
+              message
+            })
+
+let handle_purge_moved t table =
+  refuse_on_replica t @@ fun () ->
+  match shard_identity t with
+  | None ->
+    Wire.Err { code = Wire.Exec_error; message = "no shard map installed" }
+  | Some { installed_map = map; self_id } ->
+    if not (acquire t ~write:true) then
+      Wire.Err { code = Wire.Timeout; message = "no lock" }
+    else
+      Fun.protect
+        ~finally:(fun () -> release t ~write:true)
+        (fun () ->
+          let db = Interp.database t.interp in
+          match Database.table db table with
+          | None ->
+            Wire.Err
+              { code = Wire.Exec_error; message = "unknown table " ^ table }
+          | Some _ ->
+            let doomed =
+              Relation.fold
+                (fun tuple _ acc ->
+                  match first_column tuple with
+                  | Some key when Wire.shard_owner map key <> self_id ->
+                    tuple :: acc
+                  | Some _ | None -> acc)
+                (Database.snapshot db table) []
+            in
+            List.iter
+              (fun tuple ->
+                ignore
+                  (match t.store with
+                   | Some store -> Durable.delete store table tuple
+                   | None -> Database.delete db table tuple))
+              doomed;
+            Wire.Shard_ack
+              { shard_id = self_id;
+                partition = partition_summary t;
+                message =
+                  Printf.sprintf "purged %d moved row(s) from %s"
+                    (List.length doomed) table
+              })
+
 let handle_request t conn = function
   | Wire.Exec sql -> handle_exec t sql
   | Wire.Exec_traced { sql; ctx } -> handle_exec ~ctx t sql
@@ -570,6 +813,13 @@ let handle_request t conn = function
     Wire.Traces_reply
       (List.map wire_trace_entry (Obs.Trace_store.recent t.trace_store (max 0 n)))
   | Wire.Health -> handle_health t
+  | Wire.Shard_map_req -> Wire.Shard_map_reply (shard_identity t)
+  | Wire.Shard_install { map; self_id } -> handle_shard_install t ~map ~self_id
+  | Wire.Exec_shard { sql; ctx } -> handle_exec_shard t ~sql ~ctx
+  | Wire.Shard_ping -> handle_shard_ping t
+  | Wire.Extract_moving table -> handle_extract_moving t table
+  | Wire.Ingest_rows { table; ingest } -> handle_ingest_rows t ~table ~ingest
+  | Wire.Purge_moved table -> handle_purge_moved t table
   | Wire.Ping -> Wire.Pong
   | Wire.Quit -> Wire.Bye
   | Wire.Replicate _ ->

@@ -98,6 +98,13 @@ val trace_store : t -> Expirel_obs.Trace_store.t
 val store : t -> Durable.t option
 (** The durable store, when [data_dir] was set. *)
 
+val shard_identity : t -> Wire.shard_identity option
+(** The shard map and shard id a coordinator installed via
+    [Shard_install] — [None] until a coordinator claims this node.  A
+    node holding an identity answers [Exec_shard] with its shard id and
+    partition texp summary piggybacked, and serves the rebalance
+    requests ([Extract_moving] / [Ingest_rows] / [Purge_moved]). *)
+
 val apply_records : t -> Wal.record list -> (unit, string) result
 (** Applies a shipped [Repl_records] batch under the write lock, with
     subscription events delivered at their exact logical times before

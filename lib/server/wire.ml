@@ -1,7 +1,7 @@
 open Expirel_core
 open Expirel_storage
 
-let version = 4
+let version = 5
 let max_frame = 16 * 1024 * 1024
 
 type error_code =
@@ -93,6 +93,65 @@ type health_firing = {
   rule_help : string;
 }
 
+type shard = {
+  shard_id : int;
+  shard_host : string;
+  shard_port : int;
+}
+
+type shard_map = {
+  map_version : int;
+  shards : shard list;
+}
+
+type shard_identity = {
+  installed_map : shard_map;
+  self_id : int;
+}
+
+type partition_texp = {
+  live_rows : int;
+  min_texp : Time.t;
+  max_texp : Time.t;
+}
+
+(* The one partitioning function both sides of the wire agree on:
+   FNV-1a over the value's canonical wire encoding, so any two
+   processes speaking v5 route a key to the same shard.  Polymorphic
+   [Hashtbl.hash] is deliberately avoided — its result is not part of
+   any documented contract. *)
+let value_hash v =
+  let b = Buffer.create 16 in
+  (match v with
+   | Value.Null -> Buffer.add_char b '\000'
+   | Value.Bool x ->
+     Buffer.add_char b '\001';
+     Buffer.add_char b (if x then '\001' else '\000')
+   | Value.Int n ->
+     Buffer.add_char b '\002';
+     Buffer.add_int64_be b (Int64.of_int n)
+   | Value.Float f ->
+     Buffer.add_char b '\003';
+     Buffer.add_int64_be b (Int64.bits_of_float f)
+   | Value.Str s ->
+     Buffer.add_char b '\004';
+     Buffer.add_string b s);
+  let s = Buffer.contents b in
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun ch ->
+      h := !h lxor Char.code ch;
+      h := !h * 0x01000193 land 0xffffffff)
+    s;
+  !h
+
+let shard_owner map key =
+  match map.shards with
+  | [] -> invalid_arg "Wire.shard_owner: empty shard map"
+  | shards ->
+    let n = List.length shards in
+    (List.nth shards (value_hash key mod n)).shard_id
+
 type request =
   | Exec of string
   | Subscribe of { name : string; query : string }
@@ -110,6 +169,13 @@ type request =
   | Exec_traced of { sql : string; ctx : trace_ctx }
   | Trace_recent of int
   | Health
+  | Shard_map_req
+  | Shard_install of { map : shard_map; self_id : int }
+  | Exec_shard of { sql : string; ctx : trace_ctx option }
+  | Shard_ping
+  | Extract_moving of string
+  | Ingest_rows of { table : string; ingest : (Value.t list * Time.t) list }
+  | Purge_moved of string
 
 type response =
   | Ok_msg of string
@@ -131,6 +197,27 @@ type response =
   | Slow_queries_reply of slow_query list
   | Traces_reply of trace_entry list
   | Health_reply of { level : health_level; firing : health_firing list }
+  | Shard_map_reply of shard_identity option
+  | Shard_rows of {
+      shard_id : int;
+      partition : partition_texp;
+      columns : string list;
+      rows : (Value.t list * Time.t) list;
+      texp_e : Time.t;
+      recomputed : bool;
+    }
+  | Shard_ack of {
+      shard_id : int;
+      partition : partition_texp;
+      message : string;
+    }
+  | Shard_pong of {
+      shard_id : int;
+      pong_map_version : int;
+      now : Time.t;
+      partition : partition_texp;
+    }
+  | Moved_rows of (int * (Value.t list * Time.t) list) list
 
 (* ---------- writer ---------- *)
 
@@ -260,6 +347,20 @@ let put_ctx_opt b = function
     put_u8 b 1;
     put_ctx b ctx
 
+let put_shard b s =
+  put_i64 b s.shard_id;
+  put_str b s.shard_host;
+  put_i64 b s.shard_port
+
+let put_shard_map b m =
+  put_i64 b m.map_version;
+  put_list b put_shard m.shards
+
+let put_partition b p =
+  put_i64 b p.live_rows;
+  put_time b p.min_texp;
+  put_time b p.max_texp
+
 let encode_request = function
   | Exec sql -> payload 1 (fun b -> put_str b sql)
   | Subscribe { name; query } ->
@@ -283,6 +384,22 @@ let encode_request = function
         put_ctx b ctx)
   | Trace_recent n -> payload 11 (fun b -> put_i64 b n)
   | Health -> payload 12 ignore
+  | Shard_map_req -> payload 13 ignore
+  | Shard_install { map; self_id } ->
+    payload 14 (fun b ->
+        put_shard_map b map;
+        put_i64 b self_id)
+  | Exec_shard { sql; ctx } ->
+    payload 15 (fun b ->
+        put_str b sql;
+        put_ctx_opt b ctx)
+  | Shard_ping -> payload 16 ignore
+  | Extract_moving table -> payload 17 (fun b -> put_str b table)
+  | Ingest_rows { table; ingest } ->
+    payload 18 (fun b ->
+        put_str b table;
+        put_list b put_row ingest)
+  | Purge_moved table -> payload 19 (fun b -> put_str b table)
 
 let put_span b s =
   put_str b s.span_name;
@@ -364,6 +481,40 @@ let encode_response = function
                | Health_critical -> 3);
             put_str b f.rule_help)
           firing)
+  | Shard_map_reply identity ->
+    payload 15 (fun b ->
+        match identity with
+        | None -> put_u8 b 0
+        | Some { installed_map; self_id } ->
+          put_u8 b 1;
+          put_shard_map b installed_map;
+          put_i64 b self_id)
+  | Shard_rows { shard_id; partition; columns; rows; texp_e; recomputed } ->
+    payload 16 (fun b ->
+        put_i64 b shard_id;
+        put_partition b partition;
+        put_list b put_str columns;
+        put_list b put_row rows;
+        put_time b texp_e;
+        put_bool b recomputed)
+  | Shard_ack { shard_id; partition; message } ->
+    payload 17 (fun b ->
+        put_i64 b shard_id;
+        put_partition b partition;
+        put_str b message)
+  | Shard_pong { shard_id; pong_map_version; now; partition } ->
+    payload 18 (fun b ->
+        put_i64 b shard_id;
+        put_i64 b pong_map_version;
+        put_time b now;
+        put_partition b partition)
+  | Moved_rows moves ->
+    payload 19 (fun b ->
+        put_list b
+          (fun b (owner, rows) ->
+            put_i64 b owner;
+            put_list b put_row rows)
+          moves)
 
 (* ---------- reader ---------- *)
 
@@ -570,6 +721,23 @@ let get_ctx_opt c =
   | 1 -> Some (get_ctx c)
   | n -> raise (Bad (Printf.sprintf "bad trace-context presence byte %d" n))
 
+let get_shard c =
+  let shard_id = get_i64 c in
+  let shard_host = get_str c in
+  let shard_port = get_i64 c in
+  { shard_id; shard_host; shard_port }
+
+let get_shard_map c =
+  let map_version = get_i64 c in
+  let shards = get_list c get_shard in
+  { map_version; shards }
+
+let get_partition c =
+  let live_rows = get_i64 c in
+  let min_texp = get_time c in
+  let max_texp = get_time c in
+  { live_rows; min_texp; max_texp }
+
 let decode_request data =
   decode ~what:"request" data ~by:(fun c -> function
     | 1 -> Exec (get_str c)
@@ -594,6 +762,22 @@ let decode_request data =
       Exec_traced { sql; ctx }
     | 11 -> Trace_recent (get_i64 c)
     | 12 -> Health
+    | 13 -> Shard_map_req
+    | 14 ->
+      let map = get_shard_map c in
+      let self_id = get_i64 c in
+      Shard_install { map; self_id }
+    | 15 ->
+      let sql = get_str c in
+      let ctx = get_ctx_opt c in
+      Exec_shard { sql; ctx }
+    | 16 -> Shard_ping
+    | 17 -> Extract_moving (get_str c)
+    | 18 ->
+      let table = get_str c in
+      let ingest = get_list c get_row in
+      Ingest_rows { table; ingest }
+    | 19 -> Purge_moved (get_str c)
     | n -> raise (Bad (Printf.sprintf "unknown request tag %d" n)))
 
 let get_span c =
@@ -681,6 +865,39 @@ let decode_response data =
             { rule_name; observed; firing_level; rule_help })
       in
       Health_reply { level; firing }
+    | 15 ->
+      (match get_u8 c with
+       | 0 -> Shard_map_reply None
+       | 1 ->
+         let installed_map = get_shard_map c in
+         let self_id = get_i64 c in
+         Shard_map_reply (Some { installed_map; self_id })
+       | n -> raise (Bad (Printf.sprintf "bad shard-map presence byte %d" n)))
+    | 16 ->
+      let shard_id = get_i64 c in
+      let partition = get_partition c in
+      let columns = get_list c get_str in
+      let rows = get_list c get_row in
+      let texp_e = get_time c in
+      let recomputed = get_bool c in
+      Shard_rows { shard_id; partition; columns; rows; texp_e; recomputed }
+    | 17 ->
+      let shard_id = get_i64 c in
+      let partition = get_partition c in
+      let message = get_str c in
+      Shard_ack { shard_id; partition; message }
+    | 18 ->
+      let shard_id = get_i64 c in
+      let pong_map_version = get_i64 c in
+      let now = get_time c in
+      let partition = get_partition c in
+      Shard_pong { shard_id; pong_map_version; now; partition }
+    | 19 ->
+      Moved_rows
+        (get_list c (fun c ->
+             let owner = get_i64 c in
+             let rows = get_list c get_row in
+             (owner, rows)))
     | n -> raise (Bad (Printf.sprintf "unknown response tag %d" n)))
 
 (* ---------- framing ---------- *)
@@ -723,7 +940,7 @@ let error_code_label = function
 let row_string values =
   "<" ^ String.concat ", " (List.map Value.to_string values) ^ ">"
 
-let pp_response ppf = function
+let rec pp_response ppf = function
   | Ok_msg m -> Format.pp_print_string ppf m
   | Rows { columns; rows; texp_e; recomputed } ->
     Format.fprintf ppf "texp | %s" (String.concat ", " columns);
@@ -846,5 +1063,37 @@ let pp_response ppf = function
            | Health_critical -> "critical")
           f.rule_name f.observed f.rule_help)
       firing
+  | Shard_map_reply None -> Format.pp_print_string ppf "no shard map installed"
+  | Shard_map_reply (Some { installed_map; self_id }) ->
+    Format.fprintf ppf "shard map v%d, self = shard %d"
+      installed_map.map_version self_id;
+    List.iter
+      (fun s ->
+        Format.fprintf ppf "@\n  shard %d at %s:%d" s.shard_id s.shard_host
+          s.shard_port)
+      installed_map.shards
+  | Shard_rows { shard_id; partition; columns; rows; texp_e; recomputed } ->
+    pp_response ppf (Rows { columns; rows; texp_e; recomputed });
+    Format.fprintf ppf "@\n[shard %d: %d live row(s), texp in [%s, %s]]"
+      shard_id partition.live_rows
+      (Time.to_string partition.min_texp)
+      (Time.to_string partition.max_texp)
+  | Shard_ack { shard_id; partition; message } ->
+    Format.fprintf ppf "%s@\n[shard %d: %d live row(s), texp in [%s, %s]]"
+      message shard_id partition.live_rows
+      (Time.to_string partition.min_texp)
+      (Time.to_string partition.max_texp)
+  | Shard_pong { shard_id; pong_map_version; now; partition } ->
+    Format.fprintf ppf
+      "shard %d: map v%d, now %s, %d live row(s), texp in [%s, %s]" shard_id
+      pong_map_version (Time.to_string now) partition.live_rows
+      (Time.to_string partition.min_texp)
+      (Time.to_string partition.max_texp)
+  | Moved_rows moves ->
+    Format.fprintf ppf "%d destination shard(s)" (List.length moves);
+    List.iter
+      (fun (owner, rows) ->
+        Format.fprintf ppf "@\n  shard %d: %d row(s)" owner (List.length rows))
+      moves
 
 let render_response r = Format.asprintf "%a" pp_response r

@@ -55,6 +55,18 @@ val version : int
     (10, an [Exec] carrying the caller's trace context so primary and
     replica spans share one trace id), [Trace_recent] (11) and [Health]
     (12); responses [Traces_reply] (13) and [Health_reply] (14).
+    v5 — sharded clusters.  New tags only; no existing layout changed,
+    but coordinators send the new tags unprompted, so the bump gives a
+    pre-v5 shard a diagnosable mismatch.  Requests: [Shard_map_req]
+    (13), [Shard_install] (14, the coordinator's handshake pushing a
+    versioned {!shard_map} plus the node's own shard id — re-sent with
+    a higher version on rebalance), [Exec_shard] (15, an [Exec] whose
+    reply piggybacks the shard id and the {!partition_texp} summary the
+    coordinator's pruning feeds on), [Shard_ping] (16, the cluster
+    heartbeat), and the ownership-transfer triple [Extract_moving]
+    (17) / [Ingest_rows] (18) / [Purge_moved] (19).  Responses:
+    [Shard_map_reply] (15), [Shard_rows] (16), [Shard_ack] (17),
+    [Shard_pong] (18) and [Moved_rows] (19).
 
     On decode failure, a peer should check {!payload_version}: when the
     sender speaks a different version, answer
@@ -174,6 +186,44 @@ type health_firing = {
   rule_help : string;
 }
 
+type shard = {
+  shard_id : int;  (** stable identity, survives rebalances *)
+  shard_host : string;
+  shard_port : int;
+}
+
+type shard_map = {
+  map_version : int;
+      (** strictly increasing across installs; a node refuses to
+          replace its map with an older version, and a coordinator
+          treats a node reporting a lower version as stale *)
+  shards : shard list;  (** position in this list drives routing *)
+}
+(** The cluster's partitioning contract: a row lives on
+    [shard_owner map key] where [key] is the row's first column. *)
+
+type shard_identity = {
+  installed_map : shard_map;
+  self_id : int;  (** which entry of [installed_map] this node is *)
+}
+
+type partition_texp = {
+  live_rows : int;  (** live tuples across all tables, at the node's clock *)
+  min_texp : Time.t;  (** min over live tuples; [Inf] when none *)
+  max_texp : Time.t;  (** max over live tuples; [Inf] when none *)
+}
+(** The {!Expirel_core.Relation} texp bounds lifted to a whole shard:
+    piggybacked on every [Exec_shard] reply and [Shard_pong] so the
+    coordinator can prove a partition empty at some [tau]
+    ([live_rows = 0], or [max_texp <= tau]) without contacting it. *)
+
+val shard_owner : shard_map -> Value.t -> int
+(** [shard_owner map key] is the id of the shard owning rows whose
+    first column is [key]: FNV-1a over the key's canonical encoding,
+    modulo the shard count.  Pure and deterministic across processes —
+    this single definition is the routing contract of the protocol.
+    @raise Invalid_argument on an empty map *)
+
 type request =
   | Exec of string  (** one sqlx statement *)
   | Subscribe of { name : string; query : string }
@@ -208,6 +258,34 @@ type request =
       (** the [n] most recent request traces ([Traces_reply]) *)
   | Health
       (** evaluate the server's health rules ([Health_reply]) *)
+  | Shard_map_req
+      (** which shard map, if any, the node has installed
+          ([Shard_map_reply]) *)
+  | Shard_install of { map : shard_map; self_id : int }
+      (** the coordinator's handshake: install [map] and identify as
+          shard [self_id].  Refused when [self_id] is not in the map or
+          [map.map_version] is lower than the installed one. *)
+  | Exec_shard of { sql : string; ctx : trace_ctx option }
+      (** [Exec] as issued by a coordinator: queries answer with
+          [Shard_rows], other statements with [Shard_ack] — both
+          piggyback the {!partition_texp} summary so every reply
+          refreshes the coordinator's pruning cache *)
+  | Shard_ping
+      (** cluster heartbeat ([Shard_pong]): refreshes the partition
+          summary and reports the node's map version and clock *)
+  | Extract_moving of string
+      (** rebalance, step one: return the named table's rows that the
+          {e installed} map assigns to some other shard, grouped by
+          their new owner ([Moved_rows]) — issued after installing the
+          new map *)
+  | Ingest_rows of { table : string; ingest : (Value.t list * Time.t) list }
+      (** rebalance, step two: bulk-load moved rows with their original
+          expiration times (WAL-logged on durable nodes; rows already
+          expired at the receiving clock are dropped, not resurrected) *)
+  | Purge_moved of string
+      (** rebalance, step three: delete the named table's rows the
+          installed map no longer assigns here — only after the new
+          owners acknowledged their [Ingest_rows] *)
 
 type response =
   | Ok_msg of string
@@ -241,6 +319,35 @@ type response =
   | Health_reply of { level : health_level; firing : health_firing list }
       (** overall verdict (worst firing rule) plus every firing rule;
           an empty [firing] list means every rule read healthy *)
+  | Shard_map_reply of shard_identity option
+      (** [None] on a node no coordinator has claimed yet *)
+  | Shard_rows of {
+      shard_id : int;
+      partition : partition_texp;
+      columns : string list;
+      rows : (Value.t list * Time.t) list;
+      texp_e : Time.t;
+      recomputed : bool;
+    }
+      (** [Rows] plus the answering shard's identity and partition
+          summary; the coordinator merges the row sets and reports the
+          min of the partial [texp_e]s (the paper's union rule — exact
+          here because hash partitions are disjoint) *)
+  | Shard_ack of {
+      shard_id : int;
+      partition : partition_texp;
+      message : string;
+    }  (** [Ok_msg] plus identity and partition summary *)
+  | Shard_pong of {
+      shard_id : int;
+      pong_map_version : int;
+          (** [0] when no map is installed (e.g. the node restarted):
+              the coordinator's staleness gauge feeds on this *)
+      now : Time.t;  (** the node's logical clock *)
+      partition : partition_texp;
+    }
+  | Moved_rows of (int * (Value.t list * Time.t) list) list
+      (** rows leaving the answering shard, grouped by new owner id *)
 
 (** {1 Codecs} — payloads only (no length prefix) *)
 

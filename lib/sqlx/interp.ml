@@ -43,7 +43,18 @@ type t = {
   invariants : Invariant.t;
   constraints : (string, constraint_info) Hashtbl.t;
   mutable trigger_log : string list;  (* newest first *)
-  plan_cache : (Ast.query, plan_entry) Lru.t;
+  plan_cache : (string, plan_entry) Lru.t;
+      (* keyed by the statement's source text: hashing a short string is
+         far cheaper than the polymorphic hash + deep structural
+         equality an [Ast.query] key pays, which used to cost more than
+         the lowering + planning the cache exists to skip *)
+  parse_cache : (string, Ast.statement) Lru.t;
+      (* text -> parsed statement, consulted before the parser: for a
+         repeated statement the parse is the most expensive CPU stage
+         left on the request path (several times the cost of lowering +
+         planning combined).  Only queries are stored — mutations
+         arrive with distinct literals and would churn the LRU without
+         ever hitting. *)
   plan_mutex : Mutex.t;
       (* the server's rwlock admits concurrent readers, and readers
          mutate the cache (LRU recency, stats) — so the cache has its
@@ -66,6 +77,7 @@ let create ?policy ?backend ?store () =
     constraints = Hashtbl.create 8;
     trigger_log = [];
     plan_cache = Lru.create ~capacity:64;
+    parse_cache = Lru.create ~capacity:64;
     plan_mutex = Mutex.create ();
     plan_hits = 0;
     plan_misses = 0
@@ -158,22 +170,29 @@ let probe_of trace =
               (string_of_int (Relation.cardinal r.Eval.relation));
             r))
 
-(* Lower + plan once per distinct query text and catalog generation; the
-   LRU is the server hot path's per-request saving.  The lock is dropped
-   before lowering and planning so a cache miss never serialises against
-   other readers; two concurrent misses on the same query both plan and
-   the second store wins — wasted work, never a wrong answer. *)
-let planned_query ?trace t q =
+(* Lower + plan once per distinct statement text and catalog generation;
+   the LRU is the server hot path's per-request saving.  [text] is the
+   statement's source string — the cache key — threaded down from
+   [exec_sql] and the server's request handler; callers that hold only
+   an AST skip the cache (re-printing the AST to obtain a key would cost
+   more than planning).  The lock is dropped before lowering and
+   planning so a cache miss never serialises against other readers; two
+   concurrent misses on the same query both plan and the second store
+   wins — wasted work, never a wrong answer. *)
+let planned_query ?trace ?text t q =
   let generation = Database.generation t.db in
   let cached =
-    Mutex.protect t.plan_mutex (fun () ->
-        match Lru.find t.plan_cache q with
-        | Some entry when entry.p_generation = generation ->
-          t.plan_hits <- t.plan_hits + 1;
-          Some entry
-        | Some _ | None ->
-          t.plan_misses <- t.plan_misses + 1;
-          None)
+    match text with
+    | None -> None
+    | Some key ->
+      Mutex.protect t.plan_mutex (fun () ->
+          match Lru.find t.plan_cache key with
+          | Some entry when entry.p_generation = generation ->
+            t.plan_hits <- t.plan_hits + 1;
+            Some entry
+          | Some _ | None ->
+            t.plan_misses <- t.plan_misses + 1;
+            None)
   in
   match cached with
   | Some entry -> entry
@@ -188,7 +207,10 @@ let planned_query ?trace t q =
     let entry =
       { p_generation = generation; p_columns = columns; p_compiled = compiled }
     in
-    Mutex.protect t.plan_mutex (fun () -> Lru.set t.plan_cache q entry);
+    (match text with
+     | Some key ->
+       Mutex.protect t.plan_mutex (fun () -> Lru.set t.plan_cache key entry)
+     | None -> ());
     entry
 
 let plan_cache_stats t =
@@ -198,10 +220,10 @@ let plan_cache_stats t =
         entries = Lru.length t.plan_cache
       })
 
-let run_query ?trace t { Ast.q; at; order_by; limit } =
+let run_query ?trace ?text t { Ast.q; at; order_by; limit } =
   match at with
   | None ->
-    let entry = planned_query ?trace t q in
+    let entry = planned_query ?trace ?text t q in
     let { Eval.relation; texp = texp_e } =
       Trace.span trace "eval" (fun () ->
           Executor.run ?probe:(probe_of trace) ~db:t.db entry.p_compiled)
@@ -315,7 +337,7 @@ let constraint_status t name info =
      | None -> "")
     prediction
 
-let exec_statement ?trace t = function
+let exec_statement ?trace ?text t = function
   | Ast.Create_table (name, columns) ->
     (match t.store with
      | Some s -> Durable.create_table s ~name ~columns
@@ -404,7 +426,7 @@ let exec_statement ?trace t = function
             "checkpoint at position %d: %d log record(s) compacted into a \
              %d-record snapshot"
             (Durable.position s) logged kept))
-  | Ast.Query qs -> run_query ?trace t qs
+  | Ast.Query qs -> run_query ?trace ?text t qs
   | Ast.Create_view { name; query; maintained } ->
     if view_name_taken t name then
       failwith (Printf.sprintf "view %s exists" name)
@@ -567,7 +589,7 @@ let exec_statement ?trace t = function
     (* Plan through the cache (EXPLAIN ANALYZE profiles what a real
        request would run, cached plan included), then execute with a
        profile sink and report the annotated tree. *)
-    let entry = planned_query ?trace t q in
+    let entry = planned_query ?trace ?text t q in
     let physical = entry.p_compiled.Plan.physical in
     let profile = Profile.of_plan ~db:t.db physical in
     let { Eval.relation; texp = texp_e } =
@@ -599,8 +621,8 @@ let view_horizons t =
   in
   List.sort compare (plain @ maintained)
 
-let exec ?trace t statement =
-  match exec_statement ?trace t statement with
+let exec ?trace ?text t statement =
+  match exec_statement ?trace ?text t statement with
   | outcome -> Ok outcome
   | exception Errors.Unknown_relation name ->
     Error (Printf.sprintf "unknown relation %s" name)
@@ -609,9 +631,24 @@ let exec ?trace t statement =
   | exception Invalid_argument msg -> Error msg
   | exception Failure msg -> Error msg
 
+(* Parse through the statement cache.  A parsed AST is immutable, so
+   sharing one across requests is safe; parse errors raise before the
+   store and are never cached.  Raises [Parser.Error]. *)
+let parse t text =
+  match Mutex.protect t.plan_mutex (fun () -> Lru.find t.parse_cache text) with
+  | Some statement -> statement
+  | None ->
+    let statement = Parser.parse_statement text in
+    (match statement with
+     | Ast.Query _ ->
+       Mutex.protect t.plan_mutex (fun () ->
+           Lru.set t.parse_cache text statement)
+     | _ -> ());
+    statement
+
 let exec_sql t text =
-  match Parser.parse_statement text with
-  | statement -> exec t statement
+  match parse t text with
+  | statement -> exec ~text t statement
   | exception Parser.Error (msg, off) ->
     Error (Printf.sprintf "parse error at %d: %s" off msg)
 

@@ -64,15 +64,33 @@ val view_horizons : t -> (string * Time.t) list
     observability layer exposes these as gauges. *)
 
 val exec :
-  ?trace:Expirel_obs.Trace.t -> t -> Ast.statement -> (outcome, string) result
+  ?trace:Expirel_obs.Trace.t ->
+  ?text:string ->
+  t ->
+  Ast.statement ->
+  (outcome, string) result
 (** [trace], when given, records spans for the statement's stages —
     [lower] and [plan] for queries on a plan-cache miss, [eval] always
     (with per-operator [op:<name>] child spans named after the physical
     operators), [storage] around state mutation — onto the caller's
-    per-request trace. *)
+    per-request trace.
+
+    [text], when given, is the statement's source string and serves as
+    the plan-cache key (hashing a short string beats re-hashing an AST;
+    see {!plan_cache_stats}).  Callers that hold only an AST omit it and
+    replan each time — correct, just uncached. *)
+
+val parse : t -> string -> Ast.statement
+(** Parse one statement through the interpreter's statement cache:
+    query texts are cached (text -> AST) so a repeated statement skips
+    the parser, which costs several times more than lowering + planning
+    combined.  Mutations parse normally and are not cached — their
+    texts carry distinct literals and would only churn the LRU.
+    Raises [Parser.Error] like {!Parser.parse_statement}. *)
 
 val exec_sql : t -> string -> (outcome, string) result
-(** Parse and execute one statement. *)
+(** Parse and execute one statement, reusing both the statement cache
+    and the plan cache for repeated texts. *)
 
 val exec_script : t -> string -> (outcome, string) result list
 (** Execute a [;]-separated script, one result per statement; execution

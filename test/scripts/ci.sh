@@ -73,3 +73,66 @@ awk '
 ' "$PROM"
 kill "$SERVER_PID" 2>/dev/null || true
 rm -f "$SERVE_LOG" "$PROM"
+
+# The sharded cluster end to end through the CLI: boot 3 shards on
+# ephemeral ports, route writes, scatter-gather a read, EXPLAIN
+# ANALYZE across every shard, check one trace id spans coordinator
+# and shards, and scrape the cluster's Prometheus counters.
+CLUSTER_LOG=$(mktemp)
+"$CLI" cluster serve --shards 3 --base-port 0 >"$CLUSTER_LOG" 2>&1 &
+CLUSTER_PID=$!
+trap 'kill "$SERVER_PID" "$CLUSTER_PID" 2>/dev/null || true' EXIT
+SHARD_ARGS=""
+for _ in $(seq 1 100); do
+  SHARD_ARGS=$(sed -n 's/^shard [0-9] listening on \([^:]*:[0-9][0-9]*\)$/--shard \1/p' "$CLUSTER_LOG" | tr '\n' ' ')
+  [ "$(echo "$SHARD_ARGS" | wc -w)" = 6 ] && break
+  sleep 0.1
+done
+test "$(echo "$SHARD_ARGS" | wc -w)" = 6
+# shellcheck disable=SC2086
+CLUSTER_OUT=$("$CLI" cluster connect $SHARD_ARGS -e "
+  CREATE TABLE pol (uid, deg);
+  INSERT INTO pol VALUES (1, 25) EXPIRES 10;
+  INSERT INTO pol VALUES (2, 25) EXPIRES 15;
+  INSERT INTO pol VALUES (3, 35) EXPIRES 20;
+  SELECT uid, deg FROM pol;
+  EXPLAIN ANALYZE SELECT uid FROM pol WHERE deg = 25;
+  TRACE 30;
+  SHARDS;
+  METRICS")
+# DDL broadcast to all three shards, rows scatter-gathered back.
+echo "$CLUSTER_OUT" | grep -F "table pol created (on 3 shard(s))"
+echo "$CLUSTER_OUT" | grep -F "3 row(s)"
+# EXPLAIN ANALYZE fans out: one annotated plan per shard.
+test "$(echo "$CLUSTER_OUT" | grep -cF -- '--- shard ')" = 3
+echo "$CLUSTER_OUT" | grep -F "total:"
+# One trace id spans the coordinator and at least one shard.
+TID=$(echo "$CLUSTER_OUT" | awk '$2 == "coordinator" && /SELECT uid, deg/ { print $1; exit }')
+test -n "$TID"
+echo "$CLUSTER_OUT" | awk -v tid="$TID" '$1 == tid && $2 ~ /^shard-/ { found = 1 } END { exit !found }'
+echo "$CLUSTER_OUT" | grep -F "rpc:shard-"
+# Every shard reported a reachable partition summary.
+test "$(echo "$CLUSTER_OUT" | grep -c "^shard [0-9]: reachable")" = 3
+# The cluster metric families are present, with per-shard routing
+# counters, and every sample line parses like the server's page does.
+CLUSTER_PROM=$(mktemp)
+echo "$CLUSTER_OUT" | sed -n '/^# HELP expirel_cluster/,$p' >"$CLUSTER_PROM"
+echo "$CLUSTER_OUT" | grep -F "# TYPE expirel_cluster_shard_requests_total counter"
+echo "$CLUSTER_OUT" | grep -E 'expirel_cluster_shard_requests_total\{shard="0"\} [1-9]'
+echo "$CLUSTER_OUT" | grep -F "expirel_cluster_pruned_shards_total"
+echo "$CLUSTER_OUT" | grep -E 'expirel_cluster_shard_map_version [1-9]'
+echo "$CLUSTER_OUT" | grep -E 'expirel_cluster_shards 3'
+awk '
+  /^$/ || /^#/ { next }
+  !/^expirel_/ { next }
+  {
+    v = $NF
+    if (v !~ /^[+-]?([0-9]*\.?[0-9]+([eE][+-]?[0-9]+)?|Inf|NaN)$/) {
+      print "unparsable sample: " $0; exit 1
+    }
+    samples++
+  }
+  END { if (samples == 0) { print "empty exposition"; exit 1 } }
+' "$CLUSTER_PROM"
+kill "$CLUSTER_PID" 2>/dev/null || true
+rm -f "$CLUSTER_LOG" "$CLUSTER_PROM"

@@ -1,0 +1,478 @@
+(* The sharded cluster, end to end over real sockets.
+
+   The acceptance contract of the coordinator: (a) a scatter-gathered
+   result is row- and texp(e)-identical to the same statements run on
+   one node holding the union of the partitions; (b) a shard whose
+   whole partition has expired is pruned from fan-outs — observable in
+   the pruned counter and the per-shard request counters — while
+   results stay identical to a forced broadcast; (c) one client trace
+   id spans the coordinator and every contacted shard in the merged
+   trace view.  Plus: routed inserts land on [Wire.shard_owner]'s
+   pick, rebalancing preserves contents exactly, and the default
+   health rules degrade when a shard stops heartbeating or restarts
+   with a lost map. *)
+
+open Expirel_core
+open Expirel_server
+module Coordinator = Expirel_cluster.Coordinator
+module Obs = Expirel_obs
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.fail e
+
+let no_err msg = function
+  | Wire.Err { message; _ } -> Alcotest.fail (msg ^ ": " ^ message)
+  | (r : Wire.response) -> r
+
+(* ---------- harness: n shard servers + a coordinator ---------- *)
+
+let shard_config =
+  { Server.default_config with Server.host = "127.0.0.1"; port = 0 }
+
+let with_shards n f =
+  let servers = List.init n (fun _ -> Server.create ~config:shard_config ()) in
+  List.iter Server.start servers;
+  Fun.protect
+    ~finally:(fun () -> List.iter Server.stop servers)
+    (fun () ->
+      f servers
+        (List.map
+           (fun s -> { Coordinator.host = "127.0.0.1"; port = Server.port s })
+           servers))
+
+(* Heartbeats run on demand ([heartbeat_now]) so every refresh in these
+   tests is deterministic. *)
+let with_cluster n f =
+  with_shards n (fun servers endpoints ->
+      let coord = Coordinator.create ~heartbeat_interval:0. ~shards:endpoints () in
+      Fun.protect
+        ~finally:(fun () -> Coordinator.close coord)
+        (fun () -> f coord servers endpoints))
+
+let exec coord sql = no_err sql (Coordinator.exec coord sql)
+
+let rows_of sql = function
+  | Wire.Rows { rows; texp_e; _ } -> rows, texp_e
+  | r ->
+    Alcotest.fail
+      (Printf.sprintf "%s: expected rows, got %s" sql (Wire.render_response r))
+
+let sorted rows = List.sort compare rows
+
+(* The workload both sides run: keys hash onto distinct shards, some
+   rows expire early, projections create cross-shard duplicates, and
+   UNION/EXCEPT exercise the set-operation paths. *)
+let statements =
+  [ "CREATE TABLE pol (uid, deg)";
+    "CREATE TABLE aux (uid, tag)";
+    "INSERT INTO pol VALUES (1, 25) EXPIRES 10";
+    "INSERT INTO pol VALUES (2, 30) EXPIRES 20";
+    "INSERT INTO pol VALUES (3, 25) EXPIRES 30";
+    "INSERT INTO pol VALUES (4, 40) EXPIRES 8";
+    "INSERT INTO pol VALUES (5, 25) EXPIRES 40";
+    "INSERT INTO pol VALUES (6, 30) EXPIRES 12";
+    "INSERT INTO aux VALUES (1, 7) EXPIRES 25";
+    "INSERT INTO aux VALUES (9, 7) EXPIRES 15";
+    "ADVANCE TO 9" ]
+
+let queries =
+  [ "SELECT * FROM pol";
+    "SELECT * FROM pol WHERE deg = 25";
+    "SELECT deg FROM pol";  (* cross-shard duplicates: union rule *)
+    "SELECT uid, deg FROM pol ORDER BY deg DESC, uid ASC";
+    "SELECT * FROM pol ORDER BY uid LIMIT 3";
+    "SELECT uid FROM pol UNION SELECT uid FROM aux";
+    "SELECT * FROM pol EXCEPT SELECT * FROM pol WHERE deg = 30";
+    "SELECT * FROM pol AT 15";
+    "SELECT * FROM pol AT 35" ]
+
+(* ---------- (a) scatter-gather == one node over the union ---------- *)
+
+let test_matches_single_node () =
+  with_cluster 3 (fun coord _servers _eps ->
+      let single = Server.create ~config:shard_config () in
+      Server.start single;
+      Fun.protect
+        ~finally:(fun () -> Server.stop single)
+        (fun () ->
+          let c =
+            Client.connect ~host:"127.0.0.1" ~port:(Server.port single) ()
+          in
+          Fun.protect
+            ~finally:(fun () -> Client.close c)
+            (fun () ->
+              List.iter
+                (fun sql ->
+                  ignore (exec coord sql);
+                  ignore (no_err sql (ok (Client.exec c sql))))
+                statements;
+              List.iter
+                (fun sql ->
+                  let cl_rows, cl_texp = rows_of sql (exec coord sql) in
+                  let sn_rows, sn_texp =
+                    rows_of sql (no_err sql (ok (Client.exec c sql)))
+                  in
+                  (* Identical sets with identical per-tuple texps; and
+                     where ORDER BY fixes the order, identical listings. *)
+                  Alcotest.(check bool)
+                    (sql ^ ": same rows") true
+                    (sorted cl_rows = sorted sn_rows);
+                  let has_order_by =
+                    let n = String.length sql in
+                    let rec go i =
+                      i + 8 <= n && (String.sub sql i 8 = "ORDER BY" || go (i + 1))
+                    in
+                    go 0
+                  in
+                  if has_order_by then
+                    Alcotest.(check bool)
+                      (sql ^ ": same listing order") true (cl_rows = sn_rows);
+                  Alcotest.(check bool)
+                    (sql ^ ": same texp(e)") true
+                    (Time.equal cl_texp sn_texp))
+                queries)))
+
+(* ---------- routing: inserts land on the owner ---------- *)
+
+let test_insert_routing () =
+  with_cluster 3 (fun coord _servers _eps ->
+      ignore (exec coord "CREATE TABLE t (k, v)");
+      let n = 50 in
+      for k = 1 to n do
+        ignore
+          (exec coord (Printf.sprintf "INSERT INTO t VALUES (%d, 0) EXPIRES 100" k))
+      done;
+      Coordinator.heartbeat_now coord;
+      let map = Coordinator.shard_map coord in
+      let expected shard_id =
+        List.length
+          (List.filter
+             (fun k -> Wire.shard_owner map (Value.int k) = shard_id)
+             (List.init n (fun i -> i + 1)))
+      in
+      List.iter
+        (fun (id, summary, _) ->
+          match summary with
+          | None -> Alcotest.fail "summary unknown after heartbeat"
+          | Some { Wire.live_rows; _ } ->
+            Alcotest.(check int)
+              (Printf.sprintf "shard %d row count" id)
+              (expected id) live_rows)
+        (Coordinator.summaries coord);
+      (* All shards hold something: the routing actually spreads. *)
+      List.iter
+        (fun (id, summary, _) ->
+          match summary with
+          | Some { Wire.live_rows; _ } ->
+            if live_rows = 0 then
+              Alcotest.fail (Printf.sprintf "shard %d got no rows" id)
+          | None -> ())
+        (Coordinator.summaries coord))
+
+(* ---------- (b) pruning: skip expired shards, same answers ---------- *)
+
+let shard_requests coord id =
+  let needle = Printf.sprintf "expirel_cluster_shard_requests_total{shard=\"%d\"}" id in
+  let metrics = Coordinator.metrics coord in
+  let rec find i =
+    match String.index_from_opt metrics i '\n' with
+    | None -> Alcotest.fail ("metric not found: " ^ needle)
+    | Some j ->
+      let line = String.sub metrics i (j - i) in
+      if
+        String.length line > String.length needle
+        && String.sub line 0 (String.length needle) = needle
+      then
+        int_of_float
+          (float_of_string
+             (String.trim
+                (String.sub line (String.length needle)
+                   (String.length line - String.length needle))))
+      else find (j + 1)
+  in
+  find 0
+
+let test_pruning () =
+  with_cluster 3 (fun coord _servers _eps ->
+      ignore (exec coord "CREATE TABLE t (k, v)");
+      (* Give every shard rows, with one shard's whole partition dying
+         early: find a key per shard, give one shard only short-lived
+         rows. *)
+      let map = Coordinator.shard_map coord in
+      let key_on shard_id =
+        let rec hunt k =
+          if Wire.shard_owner map (Value.int k) = shard_id then k
+          else hunt (k + 1)
+        in
+        hunt 1
+      in
+      let doomed = 2 in
+      List.iter
+        (fun (id, _, _) ->
+          let k = key_on id in
+          let texp = if id = doomed then 10 else 100 in
+          ignore
+            (exec coord
+               (Printf.sprintf "INSERT INTO t VALUES (%d, %d) EXPIRES %d" k id
+                  texp)))
+        (Coordinator.summaries coord);
+      let q = "SELECT * FROM t" in
+      let before_rows, before_texp = rows_of q (exec coord q) in
+      Alcotest.(check int) "all three rows live" 3 (List.length before_rows);
+      ignore (exec coord "ADVANCE TO 50");
+      (* The doomed shard's partition is now fully expired; its ADVANCE
+         ack already refreshed the summary, so the very next fan-out
+         skips it. *)
+      let req_before = shard_requests coord doomed in
+      let pruned_before = (Coordinator.traffic coord).Coordinator.pruned in
+      let pruned_rows, pruned_texp = rows_of q (exec coord q) in
+      Alcotest.(check int) "doomed shard not contacted" req_before
+        (shard_requests coord doomed);
+      Alcotest.(check bool) "pruned counter advanced" true
+        ((Coordinator.traffic coord).Coordinator.pruned > pruned_before);
+      (* The forced broadcast DOES contact it — that is the baseline the
+         soundness check compares against. *)
+      let broadcast_rows, broadcast_texp =
+        rows_of q (no_err q (Coordinator.exec ~prune:false coord q))
+      in
+      Alcotest.(check int) "broadcast contacts it" (req_before + 1)
+        (shard_requests coord doomed);
+      (* The soundness contract: pruning never changes the answer. *)
+      Alcotest.(check bool) "pruned == broadcast rows" true
+        (sorted pruned_rows = sorted broadcast_rows);
+      Alcotest.(check bool) "pruned == broadcast texp(e)" true
+        (Time.equal pruned_texp broadcast_texp);
+      ignore (before_texp);
+      (* An insert into the pruned shard un-prunes it in one round trip:
+         the routed write's ack refreshes the summary. *)
+      let k = key_on doomed in
+      ignore
+        (exec coord
+           (Printf.sprintf "INSERT INTO t VALUES (%d, 9) EXPIRES 200" k));
+      let revived, _ = rows_of q (exec coord q) in
+      Alcotest.(check int) "revived shard answers again" 3 (List.length revived))
+
+(* ---------- (c) one trace id across coordinator and shards ---------- *)
+
+let test_cross_node_trace () =
+  with_cluster 3 (fun coord _servers _eps ->
+      ignore (exec coord "CREATE TABLE t (k)");
+      List.iter
+        (fun k ->
+          ignore
+            (exec coord (Printf.sprintf "INSERT INTO t VALUES (%d) EXPIRES 99" k)))
+        [ 1; 2; 3; 4; 5 ];
+      let q = "SELECT * FROM t" in
+      ignore (exec coord q);
+      (* The coordinator finished its own entry for [q]; its id must
+         also appear in entries recorded by shard nodes. *)
+      let entries = Coordinator.recent_traces coord 50 in
+      let own =
+        match
+          List.find_opt
+            (fun (e : Wire.trace_entry) ->
+              e.entry_name = q && e.node = "coordinator")
+            entries
+        with
+        | Some e -> e
+        | None -> Alcotest.fail "coordinator trace entry missing"
+      in
+      let same_trace =
+        List.filter
+          (fun (e : Wire.trace_entry) ->
+            e.entry_trace_id = own.entry_trace_id)
+          entries
+      in
+      let nodes =
+        List.sort_uniq compare
+          (List.map (fun (e : Wire.trace_entry) -> e.node) same_trace)
+      in
+      Alcotest.(check bool) "trace spans >= 2 nodes" true
+        (List.length nodes >= 2);
+      Alcotest.(check bool) "coordinator lane present" true
+        (List.mem "coordinator" nodes);
+      (* The coordinator lane carries the fan-out spans. *)
+      Alcotest.(check bool) "rpc spans recorded" true
+        (List.exists
+           (fun (s : Wire.span) ->
+             String.length s.span_name >= 4
+             && String.sub s.span_name 0 4 = "rpc:")
+           own.entry_spans);
+      (* And the merged view exports as one Chrome trace containing
+         both node names. *)
+      let store_entry (e : Wire.trace_entry) =
+        { Obs.Trace_store.node = e.node;
+          trace_id = e.entry_trace_id;
+          name = e.entry_name;
+          started_at = e.started_at;
+          total_us = e.entry_total_us;
+          spans =
+            List.map
+              (fun (s : Wire.span) ->
+                { Obs.Trace.id = s.span_id;
+                  parent = s.parent_id;
+                  name = s.span_name;
+                  start_us = s.start_us;
+                  duration_us = s.duration_us;
+                  labels = s.labels
+                })
+              e.entry_spans
+        }
+      in
+      let json = Obs.Trace_export.to_json (List.map store_entry same_trace) in
+      let contains needle =
+        let n = String.length needle and m = String.length json in
+        let rec go i = i + n <= m && (String.sub json i n = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "export has a coordinator lane" true
+        (contains "coordinator");
+      Alcotest.(check bool) "export has a shard lane" true
+        (List.exists
+           (fun node -> node <> "coordinator" && contains node)
+           nodes))
+
+(* ---------- rebalance: add/remove preserves contents ---------- *)
+
+let test_rebalance () =
+  with_cluster 3 (fun coord _servers _eps ->
+      List.iter (fun sql -> ignore (exec coord sql)) statements;
+      let q = "SELECT * FROM pol" in
+      let before, before_texp = rows_of q (exec coord q) in
+      (* Grow to four shards... *)
+      let extra = Server.create ~config:shard_config () in
+      Server.start extra;
+      Fun.protect
+        ~finally:(fun () -> Server.stop extra)
+        (fun () ->
+          (match
+             Coordinator.add_shard coord
+               { Coordinator.host = "127.0.0.1"; port = Server.port extra }
+           with
+           | Ok _ -> ()
+           | Error e -> Alcotest.fail ("add_shard: " ^ e));
+          Alcotest.(check int) "map grew" 4
+            (List.length (Coordinator.shard_map coord).Wire.shards);
+          let after_add, add_texp = rows_of q (exec coord q) in
+          Alcotest.(check bool) "same rows after add" true
+            (sorted before = sorted after_add);
+          Alcotest.(check bool) "same texp(e) after add" true
+            (Time.equal before_texp add_texp);
+          (* ...and shrink back to three. *)
+          (match Coordinator.remove_shard coord 0 with
+           | Ok _ -> ()
+           | Error e -> Alcotest.fail ("remove_shard: " ^ e));
+          Alcotest.(check int) "map shrank" 3
+            (List.length (Coordinator.shard_map coord).Wire.shards);
+          let after_remove, remove_texp = rows_of q (exec coord q) in
+          Alcotest.(check bool) "same rows after remove" true
+            (sorted before = sorted after_remove);
+          Alcotest.(check bool) "same texp(e) after remove" true
+            (Time.equal before_texp remove_texp)))
+
+(* ---------- health: silent and amnesiac shards degrade ---------- *)
+
+let test_health_unreachable () =
+  with_cluster 3 (fun coord servers _eps ->
+      Coordinator.heartbeat_now coord;
+      (match Coordinator.health coord with
+       | Wire.Health_ok, _ -> ()
+       | _ -> Alcotest.fail "expected ok with all shards up");
+      (* One shard goes silent: degraded, not critical. *)
+      Server.stop (List.nth servers 2);
+      Coordinator.heartbeat_now coord;
+      (match Coordinator.health coord with
+       | Wire.Health_degraded, firing ->
+         Alcotest.(check bool) "unreachable rule fires" true
+           (List.exists
+              (fun (f : Wire.health_firing) ->
+                f.rule_name = "unreachable_shards")
+              firing)
+       | level, _ ->
+         Alcotest.fail
+           ("expected degraded, got "
+           ^ Wire.render_response (Wire.Health_reply { level; firing = [] })));
+      (* A majority gone: critical. *)
+      Server.stop (List.nth servers 1);
+      Coordinator.heartbeat_now coord;
+      match Coordinator.health coord with
+      | Wire.Health_critical, _ -> ()
+      | _ -> Alcotest.fail "expected critical with a majority down")
+
+let test_health_stale_map () =
+  with_shards 3 (fun servers endpoints ->
+      let coord = Coordinator.create ~heartbeat_interval:0. ~shards:endpoints () in
+      Fun.protect
+        ~finally:(fun () -> Coordinator.close coord)
+        (fun () ->
+          (* Restart shard 1 on its old port: the replacement answers
+             pings but reports map v0 — it lost its partition.  The
+             staleness rule must surface that; a summary-refreshing
+             pong alone must not mask it. *)
+          let port = Server.port (List.nth servers 1) in
+          Server.stop (List.nth servers 1);
+          let replacement =
+            Server.create
+              ~config:{ shard_config with Server.port = port }
+              ()
+          in
+          Server.start replacement;
+          Fun.protect
+            ~finally:(fun () -> Server.stop replacement)
+            (fun () ->
+              Coordinator.heartbeat_now coord;
+              (* First round may find the connection dead and only
+                 redial; give backoff one more deterministic round. *)
+              Unix.sleepf 0.15;
+              Coordinator.heartbeat_now coord;
+              Unix.sleepf 0.3;
+              Coordinator.heartbeat_now coord;
+              match Coordinator.health coord with
+              | (Wire.Health_degraded | Wire.Health_critical), firing ->
+                Alcotest.(check bool) "stale rule fires" true
+                  (List.exists
+                     (fun (f : Wire.health_firing) ->
+                       f.rule_name = "stale_shard_maps"
+                       || f.rule_name = "unreachable_shards")
+                     firing)
+              | Wire.Health_ok, _ ->
+                Alcotest.fail "restarted shard with no map read healthy")))
+
+(* ---------- refusals: never a silently wrong answer ---------- *)
+
+let test_refusals () =
+  with_cluster 2 (fun coord _servers _eps ->
+      ignore (exec coord "CREATE TABLE t (k, v)");
+      ignore (exec coord "CREATE TABLE u (k, w)");
+      let refused sql =
+        match Coordinator.exec coord sql with
+        | Wire.Err _ -> ()
+        | r ->
+          Alcotest.fail
+            (Printf.sprintf "%s should be refused, got %s" sql
+               (Wire.render_response r))
+      in
+      refused "SELECT COUNT(*) FROM t";
+      refused "SELECT k, SUM(v) FROM t GROUP BY k";
+      refused "SELECT * FROM t JOIN u ON t.k = u.k";
+      refused "SELECT v FROM t EXCEPT SELECT w FROM u";
+      refused "CREATE VIEW x AS SELECT * FROM t";
+      refused "CHECKPOINT")
+
+let suite =
+  [ Alcotest.test_case "scatter-gather == single node" `Quick
+      test_matches_single_node;
+    Alcotest.test_case "inserts land on shard_owner's pick" `Quick
+      test_insert_routing;
+    Alcotest.test_case "expired shards are pruned, answers unchanged" `Quick
+      test_pruning;
+    Alcotest.test_case "one trace id spans coordinator and shards" `Quick
+      test_cross_node_trace;
+    Alcotest.test_case "rebalance preserves contents" `Quick test_rebalance;
+    Alcotest.test_case "health: unreachable shards degrade" `Quick
+      test_health_unreachable;
+    Alcotest.test_case "health: restarted shard reads stale" `Quick
+      test_health_stale_map;
+    Alcotest.test_case "non-distributable statements are refused" `Quick
+      test_refusals ]

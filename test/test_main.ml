@@ -56,5 +56,6 @@ let () =
       "wire", Test_wire.suite;
       "server", Test_server.suite;
       "repl", Test_repl.suite;
+      "cluster", Test_cluster.suite;
       (* workloads *)
       "workload", Test_workload.suite ]

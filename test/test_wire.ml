@@ -38,6 +38,29 @@ let trace_ctx : Wire.trace_ctx Gen.t =
     (fun trace_id parent_span -> { Wire.trace_id; parent_span })
     name (Gen.int_range 0 1_000)
 
+(* v5 cluster payloads: shard maps, partition summaries, moved rows. *)
+let shard : Wire.shard Gen.t =
+  let open Gen in
+  let* shard_id = int_range 0 1_000 in
+  let* shard_host = name in
+  let* shard_port = int_range 0 65_535 in
+  return { Wire.shard_id; shard_host; shard_port }
+
+let shard_map_gen : Wire.shard_map Gen.t =
+  Gen.map2
+    (fun map_version shards -> { Wire.map_version; shards })
+    (Gen.int_range 0 1_000)
+    (Gen.list_size (Gen.int_range 0 6) shard)
+
+let partition_texp : Wire.partition_texp Gen.t =
+  let open Gen in
+  let* live_rows = int_range 0 1_000_000 in
+  let* min_texp = time in
+  let* max_texp = time in
+  return { Wire.live_rows; min_texp; max_texp }
+
+let moved = Gen.list_size (Gen.int_range 0 4) (Gen.pair row time)
+
 let request : Wire.request Gen.t =
   Gen.oneof
     [ Gen.map (fun s -> Wire.Exec s) name;
@@ -56,7 +79,20 @@ let request : Wire.request Gen.t =
         (fun sql ctx -> Wire.Exec_traced { sql; ctx })
         name trace_ctx;
       Gen.map (fun n -> Wire.Trace_recent n) (Gen.int_range 0 1_000);
-      Gen.return Wire.Health ]
+      Gen.return Wire.Health;
+      Gen.return Wire.Shard_map_req;
+      Gen.map2
+        (fun map self_id -> Wire.Shard_install { map; self_id })
+        shard_map_gen (Gen.int_range 0 1_000);
+      Gen.map2
+        (fun sql ctx -> Wire.Exec_shard { sql; ctx })
+        name (Gen.option trace_ctx);
+      Gen.return Wire.Shard_ping;
+      Gen.map (fun t -> Wire.Extract_moving t) name;
+      Gen.map2
+        (fun table ingest -> Wire.Ingest_rows { table; ingest })
+        name moved;
+      Gen.map (fun t -> Wire.Purge_moved t) name ]
 
 let error_code : Wire.error_code Gen.t =
   Gen.oneofl
@@ -212,7 +248,38 @@ let response : Wire.response Gen.t =
       Gen.map2
         (fun level firing -> Wire.Health_reply { level; firing })
         health_level
-        (Gen.list_size (Gen.int_range 0 4) health_firing) ]
+        (Gen.list_size (Gen.int_range 0 4) health_firing);
+      Gen.map
+        (fun identity -> Wire.Shard_map_reply identity)
+        (Gen.option
+           (Gen.map2
+              (fun installed_map self_id ->
+                { Wire.installed_map; self_id })
+              shard_map_gen (Gen.int_range 0 1_000)));
+      (let open Gen in
+       let* shard_id = int_range 0 1_000 in
+       let* partition = partition_texp in
+       let* columns = list_size (int_range 0 4) name in
+       let* rows = list_size (int_range 0 8) (pair row time) in
+       let* texp_e = time in
+       let* recomputed = bool in
+       return
+         (Wire.Shard_rows
+            { shard_id; partition; columns; rows; texp_e; recomputed }));
+      Gen.map3
+        (fun shard_id partition message ->
+          Wire.Shard_ack { shard_id; partition; message })
+        (Gen.int_range 0 1_000) partition_texp name;
+      (let open Gen in
+       let* shard_id = int_range 0 1_000 in
+       let* pong_map_version = int_range 0 1_000 in
+       let* now = time in
+       let* partition = partition_texp in
+       return (Wire.Shard_pong { shard_id; pong_map_version; now; partition }));
+      Gen.map
+        (fun groups -> Wire.Moved_rows groups)
+        (Gen.list_size (Gen.int_range 0 4)
+           (Gen.pair (Gen.int_range 0 1_000) moved)) ]
 
 (* ---------- round-trip properties ---------- *)
 
@@ -349,6 +416,52 @@ let test_short_header_incomplete () =
         Alcotest.fail "short header not reported Incomplete")
     [ ""; "\x00"; "\x00\x00\x00" ]
 
+(* Cutting a Shard_install anywhere inside its serialized shard map
+   must decode to Error — a half-read map silently accepted would
+   misroute every write. *)
+let truncated_shard_map_errors =
+  Generators.qtest "truncated shard map errors, never raises" ~count:300
+    (Gen.triple shard_map_gen (Gen.int_range 0 1_000) (Gen.int_range 0 9999))
+    (fun (map, self_id, cut) ->
+      let payload =
+        Wire.encode_request (Wire.Shard_install { map; self_id })
+      in
+      let n = String.length payload in
+      let k = if n = 0 then 0 else cut mod n in
+      let prefix = String.sub payload 0 k in
+      decodes_cleanly prefix
+      && Wire.decode_request prefix <> Ok (Wire.Shard_install { map; self_id }))
+
+(* A hostile shard count in a Shard_install body must be rejected
+   before any proportional allocation, like the Rows case below. *)
+let test_hostile_shard_count () =
+  let b = Buffer.create 16 in
+  Buffer.add_char b (Char.chr Wire.version);
+  Buffer.add_char b (Char.chr 14) (* Shard_install tag *);
+  Buffer.add_int64_be b 1L (* map_version *);
+  Buffer.add_int32_be b 0x7FFFFFFFl (* shard count *);
+  match Wire.decode_request (Buffer.contents b) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "hostile shard count accepted"
+
+(* Routing is a wire-level contract (every coordinator must agree), so
+   pin it down: the owner is always a shard in the map, the choice is
+   deterministic, and it depends only on the key, not the row tail. *)
+let shard_owner_in_map =
+  Generators.qtest "shard_owner picks a shard from the map" ~count:300
+    (Gen.pair
+       (Gen.map2
+          (fun map_version shards -> { Wire.map_version; shards })
+          (Gen.int_range 0 1_000)
+          (Gen.list_size (Gen.int_range 1 6) shard))
+       value)
+    (fun (map, key) ->
+      let owner = Wire.shard_owner map key in
+      owner = Wire.shard_owner map key
+      && List.exists
+           (fun (s : Wire.shard) -> s.shard_id = owner)
+           map.Wire.shards)
+
 let test_hostile_list_count () =
   (* A Rows body claiming millions of rows in a tiny payload must be
      rejected before any proportional allocation happens. *)
@@ -368,6 +481,9 @@ let suite =
     truncation_errors;
     trailing_garbage_errors;
     junk_never_raises;
+    truncated_shard_map_errors;
+    shard_owner_in_map;
+    Alcotest.test_case "hostile shard count" `Quick test_hostile_shard_count;
     Alcotest.test_case "unknown tag" `Quick test_unknown_tag;
     Alcotest.test_case "wrong version" `Quick test_wrong_version;
     Alcotest.test_case "v1 payload detected" `Quick test_v1_payload_detected;
