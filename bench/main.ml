@@ -33,6 +33,8 @@ let experiments =
     "cluster", "sharded scatter-gather and expiration-aware pruning",
     Exp_cluster.run_all;
     "obs", "tracing, metrics exposition and the slow-query log", Exp_obs.run_all;
+    "sketch", "bounded-memory sketches vs exact over expiring streams",
+    Exp_sketch.run_all;
     "micro", "Bechamel micro-benchmarks", Bechamel_suite.run ]
 
 let usage () =

@@ -3,6 +3,7 @@ open Expirel_sqlx
 open Expirel_server
 open Expirel_repl
 module Obs = Expirel_obs
+module Sketch = Expirel_sketch
 
 type endpoint = Member.endpoint = {
   host : string;
@@ -103,7 +104,9 @@ let send t slot req =
      Obs.Instrument.Counter.add t.bytes_received_total
        (String.length (Wire.encode_response resp) + 4);
      (match resp with
-      | Wire.Shard_rows { partition; _ } | Wire.Shard_ack { partition; _ } ->
+      | Wire.Shard_rows { partition; _ }
+      | Wire.Shard_ack { partition; _ }
+      | Wire.Shard_sketch { partition; _ } ->
         slot.summary <- Some partition
       | Wire.Shard_pong { partition; pong_map_version; now; _ } ->
         slot.summary <- Some partition;
@@ -119,16 +122,16 @@ let send t slot req =
      slot.summary <- None);
   result
 
+let ctx_of trace =
+  Option.map
+    (fun tr ->
+      { Wire.trace_id = Obs.Trace.trace_id tr;
+        parent_span = Option.value ~default:0 (Obs.Trace.current_parent tr)
+      })
+    trace
+
 let exec_shard ?trace t slot sql =
-  let ctx =
-    Option.map
-      (fun tr ->
-        { Wire.trace_id = Obs.Trace.trace_id tr;
-          parent_span = Option.value ~default:0 (Obs.Trace.current_parent tr)
-        })
-      trace
-  in
-  send t slot (Wire.Exec_shard { sql; ctx })
+  send t slot (Wire.Exec_shard { sql; ctx = ctx_of trace })
 
 (* ---------- statement classification ---------- *)
 
@@ -170,13 +173,46 @@ let rec distributable = function
       { items; source = Ast.From_table _; group_by = []; having = None; _ } ->
     List.for_all
       (function
-        | Ast.Agg _ -> false
+        | Ast.Agg _ | Ast.Approx_count _ | Ast.Sample _ -> false
         | Ast.Star | Ast.Column _ -> true)
       items
   | Ast.Select _ -> false
   | Ast.Union (a, b) -> distributable a && distributable b
   | Ast.Except (a, b) | Ast.Intersect (a, b) ->
     tuple_preserving a && tuple_preserving b
+
+(* A global exact aggregate the coordinator can combine from per-shard
+   partials: single table, no GROUP BY/HAVING, exactly one aggregate
+   item whose combine rule is algebraic over the disjoint hash
+   partitions — COUNT and SUM partials add, MIN/MAX take the extremum.
+   AVG is not recoverable from the bare per-shard averages (it would
+   need the counts shipped alongside), so it stays refused. *)
+let combinable_aggregate = function
+  | Ast.Select
+      { items = [ Ast.Agg a ];
+        source = Ast.From_table _;
+        group_by = [];
+        having = None;
+        _
+      } ->
+    (match a with
+     | Ast.Count_star | Ast.Sum_of _ | Ast.Min_of _ | Ast.Max_of _ -> Some a
+     | Ast.Avg_of _ -> None)
+  | _ -> None
+
+(* An approximate aggregate served by a sketch.  Shard-decomposability
+   is the sketches' defining property: each shard folds its partition
+   into a bounded-memory partial and the coordinator merges. *)
+let sketchable = function
+  | Ast.Select
+      { items = [ (Ast.Approx_count _ | Ast.Sample _) ];
+        source = Ast.From_table _;
+        group_by = [];
+        having = None;
+        _
+      } ->
+    true
+  | _ -> false
 
 let err message = Wire.Err { code = Wire.Exec_error; message }
 
@@ -266,30 +302,20 @@ let merge_partials ~columns ~order_by ~limit partials =
   | None -> sorted
   | Some n -> List.filteri (fun i _ -> i < n) sorted
 
-(* Fan a query out to every shard whose partition can still hold live
-   rows at the query's tau, in parallel, and merge.  With every shard
-   prunable, one shard is still asked — someone has to name the result
-   columns — which still saves n-1 contacts. *)
-let scatter_gather ?trace ~prune t (qs : Ast.query_stmt) sql =
-  Obs.Instrument.Counter.incr t.fanouts_total;
-  let tau =
-    let now = locked t (fun () -> t.now) in
-    match qs.Ast.at with
-    | Some n -> Time.max now (Time.of_int n)
-    | None -> now
-  in
-  let all = slots t in
-  let contacted, pruned =
-    if not prune then (all, [])
-    else begin
-      match List.partition (fun s -> not (prunable s tau)) all with
-      | [], everyone -> ([ List.hd everyone ], List.tl everyone)
-      | split -> split
-    end
-  in
-  List.iter
-    (fun (_ : slot) -> Obs.Instrument.Counter.incr t.pruned_total)
-    pruned;
+(* The query's evaluation time: the cluster clock, pushed forward by an
+   explicit AT. *)
+let query_tau t (qs : Ast.query_stmt) =
+  let now = locked t (fun () -> t.now) in
+  match qs.Ast.at with
+  | Some n -> Time.max now (Time.of_int n)
+  | None -> now
+
+(* Fan one request out to [contacted] in parallel, under a [scatter]
+   span.  The rpc spans are recorded after the join (a trace is not
+   synchronised across threads); offsets and durations are the ones
+   measured inside each fan-out thread.  Replies come back in contact
+   order. *)
+let fan_out ?trace t contacted request =
   Obs.Trace.span trace "scatter" @@ fun () ->
   let results = Array.make (List.length contacted) None in
   let threads =
@@ -298,15 +324,12 @@ let scatter_gather ?trace ~prune t (qs : Ast.query_stmt) sql =
         Thread.create
           (fun () ->
             let t0 = Unix.gettimeofday () in
-            let r = exec_shard ?trace t slot sql in
+            let r = send t slot request in
             results.(i) <- Some (slot, r, t0, Unix.gettimeofday ()))
           ())
       contacted
   in
   List.iter Thread.join threads;
-  (* The rpc spans are recorded after the join (a trace is not
-     synchronised across threads); offsets and durations are the ones
-     measured inside each fan-out thread. *)
   Option.iter
     (fun tr ->
       Array.iter
@@ -319,14 +342,16 @@ let scatter_gather ?trace ~prune t (qs : Ast.query_stmt) sql =
           | None -> ())
         results)
     trace;
-  let partials =
-    Array.fold_left
-      (fun acc -> function
-        | Some (slot, r, _, _) -> (slot, r) :: acc
-        | None -> acc)
-      [] results
-    |> List.rev
-  in
+  Array.fold_left
+    (fun acc -> function
+      | Some (slot, r, _, _) -> (slot, r) :: acc
+      | None -> acc)
+    [] results
+  |> List.rev
+
+(* Collect [Shard_rows] partials, short-circuiting on the first shard
+   error. *)
+let gather_rows partials =
   let rec gather acc = function
     | [] -> Ok (List.rev acc)
     | (_, Ok (Wire.Shard_rows { columns; rows; texp_e; recomputed; _ })) :: rest
@@ -342,7 +367,31 @@ let scatter_gather ?trace ~prune t (qs : Ast.query_stmt) sql =
       Error
         (err (Printf.sprintf "shard %d: %s" slot.shard.Wire.shard_id msg))
   in
-  match gather [] partials with
+  gather [] partials
+
+(* Fan a query out to every shard whose partition can still hold live
+   rows at the query's tau, in parallel, and merge.  With every shard
+   prunable, one shard is still asked — someone has to name the result
+   columns — which still saves n-1 contacts. *)
+let scatter_gather ?trace ~prune t (qs : Ast.query_stmt) sql =
+  Obs.Instrument.Counter.incr t.fanouts_total;
+  let tau = query_tau t qs in
+  let all = slots t in
+  let contacted, pruned =
+    if not prune then (all, [])
+    else begin
+      match List.partition (fun s -> not (prunable s tau)) all with
+      | [], everyone -> ([ List.hd everyone ], List.tl everyone)
+      | split -> split
+    end
+  in
+  List.iter
+    (fun (_ : slot) -> Obs.Instrument.Counter.incr t.pruned_total)
+    pruned;
+  let partials =
+    fan_out ?trace t contacted (Wire.Exec_shard { sql; ctx = ctx_of trace })
+  in
+  match gather_rows partials with
   | Error e -> e
   | Ok [] -> err "no shards"
   | Ok ((columns, _, _, _) :: _ as parts) ->
@@ -358,6 +407,148 @@ let scatter_gather ?trace ~prune t (qs : Ast.query_stmt) sql =
            recomputed = List.exists (fun (_, _, _, r) -> r) parts
          }
      | exception Failure message -> err message)
+
+(* A global exact aggregate, combined from per-shard partials.  Every
+   shard evaluates the same statement over its own partition (the empty
+   global GROUP BY yields at most one row per shard; an empty partition
+   yields none) and the coordinator folds the single-value partials
+   with the function's combine rule.  NULL partials — a shard whose
+   live rows are all NULL in the aggregated attribute — drop out,
+   exactly as NULL attrs drop out of a single-node aggregate; if every
+   shard with rows is NULL, the combined answer is NULL.  The combined
+   row's texp is the min over contributing partials' row texps, and the
+   answer's texp(e) folds in both the partials' texp(e)s and their row
+   texps: a shard whose own partition merely empties reports
+   [texp_e = Inf] (its row expiring is maintainable by expiration
+   alone), but in the combined result that same expiry changes a
+   still-live global value, which takes a recomputation.  Both bounds
+   are conservative — the exact change-point analysis lives with the
+   shards' full partitions — and sound: the combined answer cannot
+   outlive any partial it was built from. *)
+let scatter_aggregate ?trace t (qs : Ast.query_stmt) agg sql =
+  Obs.Instrument.Counter.incr t.fanouts_total;
+  let replies =
+    fan_out ?trace t (slots t) (Wire.Exec_shard { sql; ctx = ctx_of trace })
+  in
+  match gather_rows replies with
+  | Error e -> e
+  | Ok [] -> err "no shards"
+  | Ok ((columns, _, _, _) :: _ as parts) ->
+    let values =
+      List.concat_map
+        (fun (_, rows, _, _) ->
+          List.filter_map
+            (function
+              | ([ v ], texp) -> Some (v, texp)
+              | _ -> None)
+            rows)
+        parts
+    in
+    let combine a b =
+      match agg with
+      | Ast.Count_star | Ast.Sum_of _ -> Value.add a b
+      | Ast.Min_of _ -> if Value.compare b a < 0 then b else a
+      | Ast.Max_of _ -> if Value.compare b a > 0 then b else a
+      | Ast.Avg_of _ -> assert false (* not combinable; never routed here *)
+    in
+    let rows =
+      match List.filter (fun (v, _) -> not (Value.is_null v)) values with
+      | [] ->
+        (match values with
+         | [] -> [] (* every partition empty: no row, like a single node *)
+         | (_, texp) :: rest ->
+           [ ([ Value.Null ],
+              List.fold_left (fun e (_, e') -> Time.min e e') texp rest) ])
+      | (v, texp) :: rest ->
+        let value, texp =
+          List.fold_left
+            (fun (v, e) (v', e') -> (combine v v', Time.min e e'))
+            (v, texp) rest
+        in
+        [ ([ value ], texp) ]
+    in
+    let rows =
+      match qs.Ast.limit with
+      | Some n -> List.filteri (fun i _ -> i < n) rows
+      | None -> rows
+    in
+    Wire.Rows
+      { columns;
+        rows;
+        texp_e =
+          Time.min_list
+            (List.map (fun (_, _, te, _) -> te) parts
+            @ List.map snd values);
+        recomputed = List.exists (fun (_, _, _, r) -> r) parts
+      }
+
+(* An approximate aggregate: every shard folds its partition into a
+   bounded-memory sketch and ships the serialised partial; the
+   coordinator merges them — sketches are shard-decomposable by
+   construction — and renders rows from the merged sketch at the
+   cluster's tau.  AT is applied here, not on the shards: a sketch
+   retains the whole expiration axis, so one round of partials answers
+   any tau >= now.  The answer's texp(e) is the merged sketch's
+   horizon, i.e. the union rule computed in sketch space. *)
+let scatter_sketch ?trace t (qs : Ast.query_stmt) sql =
+  Obs.Instrument.Counter.incr t.fanouts_total;
+  let tau = query_tau t qs in
+  let replies =
+    fan_out ?trace t (slots t) (Wire.Sketch_shard { sql; ctx = ctx_of trace })
+  in
+  let rec gather acc = function
+    | [] -> Ok (List.rev acc)
+    | (_, Ok (Wire.Shard_sketch { columns; payload; _ })) :: rest ->
+      gather ((columns, payload) :: acc) rest
+    | (_, Ok (Wire.Err _ as e)) :: _ -> Error e
+    | (slot, Ok _) :: _ ->
+      Error
+        (err
+           (Printf.sprintf "shard %d: unexpected reply to a sketch request"
+              slot.shard.Wire.shard_id))
+    | (slot, Error msg) :: _ ->
+      Error
+        (err (Printf.sprintf "shard %d: %s" slot.shard.Wire.shard_id msg))
+  in
+  match gather [] replies with
+  | Error e -> e
+  | Ok [] -> err "no shards"
+  | Ok ((columns, _) :: _ as parts) ->
+    let decoded =
+      List.fold_left
+        (fun acc (_, payload) ->
+          match acc with
+          | Error _ as e -> e
+          | Ok sketches ->
+            (match Sketch.Any.of_string payload with
+             | Ok s -> Ok (s :: sketches)
+             | Error m -> Error m))
+        (Ok []) parts
+    in
+    let merged =
+      match decoded with
+      | Error _ as e -> e
+      | Ok [] -> Error "no sketch partials"
+      | Ok (s :: rest) ->
+        List.fold_left
+          (fun acc s' ->
+            match acc with
+            | Error _ as e -> e
+            | Ok a -> Sketch.Any.merge a s')
+          (Ok s) rest
+    in
+    (match merged with
+     | Error message -> err ("sketch partials: " ^ message)
+     | Ok sketch ->
+       let rows, horizon = Sketch.Any.query_rows ~tau sketch in
+       (match
+          merge_partials ~columns ~order_by:qs.Ast.order_by
+            ~limit:qs.Ast.limit [ rows ]
+        with
+        | listing ->
+          Wire.Rows
+            { columns; rows = listing; texp_e = horizon; recomputed = false }
+        | exception Failure message -> err message))
 
 (* ---------- routed writes and broadcasts ---------- *)
 
@@ -436,11 +627,15 @@ let exec_parsed ?trace ~prune t stmt sql =
   match stmt with
   | Ast.Query qs ->
     if distributable qs.Ast.q then scatter_gather ?trace ~prune t qs sql
+    else if sketchable qs.Ast.q then scatter_sketch ?trace t qs sql
     else
-      err
-        "not distributable: joins, aggregates, GROUP BY and projected \
-         EXCEPT/INTERSECT need their partners on one shard; run them \
-         against a single node or restructure the query"
+      (match combinable_aggregate qs.Ast.q with
+       | Some agg -> scatter_aggregate ?trace t qs agg sql
+       | None ->
+         err
+           "not distributable: joins, GROUP BY, AVG and projected \
+            EXCEPT/INTERSECT need their partners on one shard; run them \
+            against a single node or restructure the query")
   | Ast.Insert { values = key :: _; _ } -> route_insert ?trace t ~key sql
   | Ast.Insert { values = []; _ } -> err "INSERT needs at least one value"
   | Ast.Advance_to n ->

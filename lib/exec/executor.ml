@@ -232,5 +232,28 @@ let run ?(strategy = Aggregate.Exact) ?probe ?profile ~db compiled =
         Ops.aggregate strategy ~tau ~group func child.Eval.relation
       in
       { Eval.relation; texp = Time.min child.Eval.texp invalidation }
+    | Plan.Sketch_count { epsilon; child = c } ->
+      sketch_node (Approx.Count { epsilon }) ~arity:2 c prof
+    | Plan.Sketch_sample { k; child = c } ->
+      sketch_node (Approx.Sample { k }) ~arity:(-1) c prof
+  (* Folds the child into a bounded-memory sketch and answers from it.
+     [arity = -1] means "the child's own arity" (samples return child
+     rows; counts return [estimate, within]). *)
+  and sketch_node spec ~arity c prof =
+    let child = go c (child1 prof) in
+    let sketch = Approx.build spec child.Eval.relation in
+    let arity =
+      if arity >= 0 then arity else Relation.arity child.Eval.relation
+    in
+    Expirel_sketch.Observatory.record
+      ~name:(Approx.name spec)
+      ~memory_bytes:(Expirel_sketch.Any.memory_bytes sketch)
+      ~estimate:(Expirel_sketch.Any.live_estimate ~tau sketch);
+    (match prof with
+     | Some n ->
+       n.Profile.sketch_bytes <-
+         n.Profile.sketch_bytes + Expirel_sketch.Any.memory_bytes sketch
+     | None -> ());
+    Approx.result ~tau ~arity ~child_texp:child.Eval.texp sketch
   in
   go physical profile

@@ -28,6 +28,14 @@ type t =
       func : Aggregate.func;
       child : t;
     }
+  | Sketch_count of {
+      epsilon : float;
+      child : t;
+    }
+  | Sketch_sample of {
+      k : int;
+      child : t;
+    }
 
 type compiled = {
   logical : Algebra.t;
@@ -46,10 +54,16 @@ let operator_name = function
   | Merge_intersect _ -> "merge-intersect"
   | Merge_diff _ -> "merge-diff"
   | Hash_aggregate _ -> "aggregate"
+  | Sketch_count _ -> "sketch-count"
+  | Sketch_sample _ -> "sketch-sample"
 
 let rec size = function
   | Scan _ -> 1
-  | Filter (_, c) | Project (_, c) | Hash_aggregate { child = c; _ } ->
+  | Filter (_, c)
+  | Project (_, c)
+  | Hash_aggregate { child = c; _ }
+  | Sketch_count { child = c; _ }
+  | Sketch_sample { child = c; _ } ->
     1 + size c
   | Nested_loop { left; right; _ }
   | Hash_join { left; right; _ }
@@ -60,7 +74,12 @@ let rec size = function
 
 let children = function
   | Scan _ -> []
-  | Filter (_, c) | Project (_, c) | Hash_aggregate { child = c; _ } -> [ c ]
+  | Filter (_, c)
+  | Project (_, c)
+  | Hash_aggregate { child = c; _ }
+  | Sketch_count { child = c; _ }
+  | Sketch_sample { child = c; _ } ->
+    [ c ]
   | Nested_loop { left; right; _ }
   | Hash_join { left; right; _ }
   | Merge_union (left, right)
@@ -99,6 +118,8 @@ let describe p =
   | Hash_aggregate { group; func; _ } ->
     Printf.sprintf "%s [group {%s}, %s]" op (positions group)
       (Aggregate.func_to_string func)
+  | Sketch_count { epsilon; _ } -> Printf.sprintf "%s [eps=%g]" op epsilon
+  | Sketch_sample { k; _ } -> Printf.sprintf "%s [k=%d]" op k
 
 (* Indented plan tree in the style of Explain.expr_tree. *)
 let pp ppf plan =

@@ -48,6 +48,21 @@ type t =
       func : Aggregate.func;
       child : t;
     }
+  | Sketch_count of {
+      epsilon : float;
+      child : t;
+    }
+      (** [APPROX_COUNT(eps)]: folds the child into a bounded-memory
+          expiration-axis counter and answers with an estimate and its
+          error bound — the one physical operator with no logical
+          counterpart whose {e results} differ from exact evaluation,
+          by design and within an advertised [within] *)
+  | Sketch_sample of {
+      k : int;
+      child : t;
+    }
+      (** [SAMPLE(k)]: a uniform sample of [k] live child rows from a
+          priority sketch *)
 
 type compiled = {
   logical : Algebra.t;  (** kept for well-formedness checks and EXPLAIN *)
@@ -57,7 +72,8 @@ type compiled = {
 val operator_name : t -> string
 (** Canonical lower-case physical operator name ([seq-scan],
     [index-scan], [filter], [project], [nested-loop], [hash-join],
-    [merge-union], [merge-intersect], [merge-diff], [aggregate]) — the
+    [merge-union], [merge-intersect], [merge-diff], [aggregate],
+    [sketch-count], [sketch-sample]) — the
     vocabulary EXPLAIN plan lines and per-operator [op:<name>] trace
     spans share, replacing the logical {!Algebra.operator_name}s on the
     physical execution path. *)

@@ -32,6 +32,8 @@ let rec estimate_rows db = function
     min (estimate_rows db l) (estimate_rows db r)
   | Plan.Merge_diff (l, _) -> estimate_rows db l
   | Plan.Hash_aggregate { child; _ } -> estimate_rows db child
+  | Plan.Sketch_count _ -> 1
+  | Plan.Sketch_sample { k; _ } -> k
 
 let scan db name pred =
   let access =
@@ -71,4 +73,13 @@ let rec compile db = function
   | Algebra.Aggregate (group, func, e) ->
     Plan.Hash_aggregate { group; func; child = compile db e }
 
-let plan ~db expr = { Plan.logical = expr; physical = compile db expr }
+let plan ~db ?approx expr =
+  let physical = compile db expr in
+  let physical =
+    match approx with
+    | None -> physical
+    | Some (Approx.Count { epsilon }) ->
+      Plan.Sketch_count { epsilon; child = physical }
+    | Some (Approx.Sample { k }) -> Plan.Sketch_sample { k; child = physical }
+  in
+  { Plan.logical = expr; physical }

@@ -23,7 +23,11 @@
 open Expirel_core
 open Expirel_storage
 
-val plan : db:Database.t -> Algebra.t -> Plan.compiled
+val plan : db:Database.t -> ?approx:Approx.spec -> Algebra.t -> Plan.compiled
+(** [approx], when given, wraps the compiled physical tree in the
+    matching sketch operator ({!Plan.Sketch_count} /
+    {!Plan.Sketch_sample}); the logical expression stays the child's —
+    the sketch is a physical-only answer transform. *)
 
 val estimate_rows : Database.t -> Plan.t -> int
 (** The cardinality estimate used to cost alternatives (table stats at

@@ -5,6 +5,7 @@ type node = {
   mutable expired_dropped : int;
   mutable index_visited : int;
   mutable build_rows : int;
+  mutable sketch_bytes : int;
   mutable time_us : int;
   children : node list;
 }
@@ -13,6 +14,7 @@ let rec of_plan ~db plan =
   { op = Plan.operator_name plan;
     est_rows = Planner.estimate_rows db plan;
     rows = 0; expired_dropped = 0; index_visited = 0; build_rows = 0;
+    sketch_bytes = 0;
     time_us = 0;
     children = List.map (of_plan ~db) (Plan.children plan) }
 
@@ -34,6 +36,8 @@ let annotate n =
     Buffer.add_string buf (Printf.sprintf " visited=%d" n.index_visited);
   if n.op = "hash-join" then
     Buffer.add_string buf (Printf.sprintf " build=%d" n.build_rows);
+  if n.op = "sketch-count" || n.op = "sketch-sample" then
+    Buffer.add_string buf (Printf.sprintf " sketch=%dB" n.sketch_bytes);
   Buffer.add_string buf
     (Printf.sprintf " time=%.3fms)" (float_of_int n.time_us /. 1e3));
   Buffer.contents buf

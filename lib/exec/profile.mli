@@ -21,6 +21,8 @@ type node = {
   mutable index_visited : int;
       (** index nodes touched (index scans only) *)
   mutable build_rows : int;  (** hash-table build input (hash joins) *)
+  mutable sketch_bytes : int;
+      (** sketch memory footprint (sketch operators only) *)
   mutable time_us : int;
       (** inclusive wall time, µs — children included; subtract their
           [time_us] for self time *)

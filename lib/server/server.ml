@@ -244,6 +244,28 @@ let create ?(config = default_config) () =
   Obs.Registry.gauge_fun reg ~name:"expirel_plan_cache_entries"
     ~help:"Plans currently cached"
     (cache_stat (fun s -> s.Interp.entries));
+  (* Sketch observability: one sample per sketch the executor has
+     built, labelled by the sketch's display name (e.g.
+     "approx_count(0.01)").  The Observatory is process-global and
+     mutex-guarded, so polling it at exposition time is safe without
+     the database lock. *)
+  Obs.Registry.custom reg ~name:"expirel_sketch_memory_bytes"
+    ~help:"Resident bytes per sketch kind last built by an \
+           APPROX_COUNT/SAMPLE query"
+    ~kind:Obs.Registry.Gauge_kind (fun () ->
+      List.map
+        (fun (name, (bytes, _)) ->
+          ([ ("sketch", name) ],
+           Obs.Registry.Gauge_sample (float_of_int bytes)))
+        (Expirel_sketch.Observatory.snapshot ()));
+  Obs.Registry.custom reg ~name:"expirel_sketch_live_estimate"
+    ~help:"Estimated live cardinality per sketch kind at the time it \
+           was last queried"
+    ~kind:Obs.Registry.Gauge_kind (fun () ->
+      List.map
+        (fun (name, (_, est)) ->
+          ([ ("sketch", name) ], Obs.Registry.Gauge_sample est))
+        (Expirel_sketch.Observatory.snapshot ()));
   (* The last HEALTH verdict, as a gauge (0 ok / 1 degraded /
      2 critical).  It reads the cached level rather than re-evaluating:
      evaluation runs [Registry.collect], which must not re-enter from
@@ -654,6 +676,69 @@ let handle_shard_ping t =
         partition
       }
 
+(* A coordinator's request for a sketch partial: evaluate the
+   APPROX_COUNT/SAMPLE query's child over this shard's partition and
+   ship the folded sketch — constant-size on the wire however many rows
+   the partition holds.  Traced like any EXEC so the fan-out shows up
+   as one cross-node trace with a [sketch-query] span per shard. *)
+let handle_sketch_shard t ~sql ~ctx =
+  let tr =
+    match (ctx : Wire.trace_ctx option) with
+    | None -> Obs.Trace.create ()
+    | Some { trace_id; parent_span = 0 } -> Obs.Trace.create ~trace_id ()
+    | Some { trace_id; parent_span } ->
+      Obs.Trace.create ~trace_id ~parent_span ()
+  in
+  let trace = Some tr in
+  let response =
+    match
+      Obs.Trace.span trace "parse" (fun () -> Interp.parse t.interp sql)
+    with
+    | exception Parser.Error (message, off) ->
+      Wire.Err
+        { code = Wire.Parse_error;
+          message = Printf.sprintf "at offset %d: %s" off message
+        }
+    | Ast.Query { q; at = _; _ } ->
+      (* AT is irrelevant here: the shard always folds its current
+         snapshot, the partial covers the whole expiration axis, and
+         the coordinator owns the tau it queries the merged sketch at. *)
+      if not (acquire t ~write:false) then
+        Wire.Err
+          { code = Wire.Timeout;
+            message =
+              Printf.sprintf "no lock within %gs" t.config.request_timeout
+          }
+      else
+        Fun.protect
+          ~finally:(fun () -> release t ~write:false)
+          (fun () ->
+            match Interp.sketch_partial ?trace t.interp q with
+            | columns, sketch ->
+              Wire.Shard_sketch
+                { shard_id = shard_self t;
+                  partition = partition_summary t;
+                  columns;
+                  payload = Expirel_sketch.Any.to_string sketch
+                }
+            | exception Errors.Unknown_relation name ->
+              Wire.Err
+                { code = Wire.Exec_error;
+                  message = "unknown relation " ^ name
+                }
+            | exception Lower.Error message | exception Failure message ->
+              Wire.Err { code = Wire.Exec_error; message })
+    | _ ->
+      Wire.Err
+        { code = Wire.Exec_error;
+          message = "Sketch_shard expects an APPROX_COUNT/SAMPLE query"
+        }
+  in
+  Metrics.observe_trace t.metrics ~statement:sql
+    ~total_us:(Obs.Trace.elapsed_us tr) ~spans:(Obs.Trace.spans tr);
+  Obs.Trace_store.finish t.trace_store ~node:t.config.node_name ~name:sql tr;
+  response
+
 let first_column tuple =
   match Tuple.to_list tuple with
   | [] -> None
@@ -816,6 +901,7 @@ let handle_request t conn = function
   | Wire.Shard_map_req -> Wire.Shard_map_reply (shard_identity t)
   | Wire.Shard_install { map; self_id } -> handle_shard_install t ~map ~self_id
   | Wire.Exec_shard { sql; ctx } -> handle_exec_shard t ~sql ~ctx
+  | Wire.Sketch_shard { sql; ctx } -> handle_sketch_shard t ~sql ~ctx
   | Wire.Shard_ping -> handle_shard_ping t
   | Wire.Extract_moving table -> handle_extract_moving t table
   | Wire.Ingest_rows { table; ingest } -> handle_ingest_rows t ~table ~ingest

@@ -1,7 +1,7 @@
 open Expirel_core
 open Expirel_storage
 
-let version = 5
+let version = 6
 let max_frame = 16 * 1024 * 1024
 
 type error_code =
@@ -176,6 +176,9 @@ type request =
   | Extract_moving of string
   | Ingest_rows of { table : string; ingest : (Value.t list * Time.t) list }
   | Purge_moved of string
+  | Sketch_shard of { sql : string; ctx : trace_ctx option }
+      (* evaluate an APPROX_COUNT/SAMPLE query's child locally and reply
+         with the folded sketch partial instead of rows *)
 
 type response =
   | Ok_msg of string
@@ -218,6 +221,14 @@ type response =
       partition : partition_texp;
     }
   | Moved_rows of (int * (Value.t list * Time.t) list) list
+  | Shard_sketch of {
+      shard_id : int;
+      partition : partition_texp;
+      columns : string list;
+      payload : string;
+          (* an Expirel_sketch.Any.to_string encoding, opaque to the
+             wire layer: the coordinator decodes and merges partials *)
+    }
 
 (* ---------- writer ---------- *)
 
@@ -400,6 +411,10 @@ let encode_request = function
         put_str b table;
         put_list b put_row ingest)
   | Purge_moved table -> payload 19 (fun b -> put_str b table)
+  | Sketch_shard { sql; ctx } ->
+    payload 20 (fun b ->
+        put_str b sql;
+        put_ctx_opt b ctx)
 
 let put_span b s =
   put_str b s.span_name;
@@ -515,6 +530,12 @@ let encode_response = function
             put_i64 b owner;
             put_list b put_row rows)
           moves)
+  | Shard_sketch { shard_id; partition; columns; payload = sketch } ->
+    payload 20 (fun b ->
+        put_i64 b shard_id;
+        put_partition b partition;
+        put_list b put_str columns;
+        put_str b sketch)
 
 (* ---------- reader ---------- *)
 
@@ -778,6 +799,10 @@ let decode_request data =
       let ingest = get_list c get_row in
       Ingest_rows { table; ingest }
     | 19 -> Purge_moved (get_str c)
+    | 20 ->
+      let sql = get_str c in
+      let ctx = get_ctx_opt c in
+      Sketch_shard { sql; ctx }
     | n -> raise (Bad (Printf.sprintf "unknown request tag %d" n)))
 
 let get_span c =
@@ -898,6 +923,12 @@ let decode_response data =
              let owner = get_i64 c in
              let rows = get_list c get_row in
              (owner, rows)))
+    | 20 ->
+      let shard_id = get_i64 c in
+      let partition = get_partition c in
+      let columns = get_list c get_str in
+      let payload = get_str c in
+      Shard_sketch { shard_id; partition; columns; payload }
     | n -> raise (Bad (Printf.sprintf "unknown response tag %d" n)))
 
 (* ---------- framing ---------- *)
@@ -1095,5 +1126,14 @@ let rec pp_response ppf = function
       (fun (owner, rows) ->
         Format.fprintf ppf "@\n  shard %d: %d row(s)" owner (List.length rows))
       moves
+  | Shard_sketch { shard_id; partition; columns; payload } ->
+    Format.fprintf ppf
+      "sketch partial from shard %d (%d byte(s), columns %s)@\n\
+       [shard %d: %d live row(s), texp in [%s, %s]]"
+      shard_id (String.length payload)
+      (String.concat ", " columns)
+      shard_id partition.live_rows
+      (Time.to_string partition.min_texp)
+      (Time.to_string partition.max_texp)
 
 let render_response r = Format.asprintf "%a" pp_response r

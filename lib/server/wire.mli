@@ -67,6 +67,12 @@ val version : int
     (17) / [Ingest_rows] (18) / [Purge_moved] (19).  Responses:
     [Shard_map_reply] (15), [Shard_rows] (16), [Shard_ack] (17),
     [Shard_pong] (18) and [Moved_rows] (19).
+    v6 — distributed approximate aggregates.  New tags only, sent
+    unprompted by coordinators: request [Sketch_shard] (20, an
+    [Exec_shard] whose reply carries a serialised sketch partial
+    instead of rows) and response [Shard_sketch] (20, the shard's
+    partial: an opaque {!Expirel_sketch.Any} encoding plus the answer's
+    column labels and the usual partition summary).
 
     On decode failure, a peer should check {!payload_version}: when the
     sender speaks a different version, answer
@@ -286,6 +292,12 @@ type request =
       (** rebalance, step three: delete the named table's rows the
           installed map no longer assigns here — only after the new
           owners acknowledged their [Ingest_rows] *)
+  | Sketch_shard of { sql : string; ctx : trace_ctx option }
+      (** [Exec_shard] for an [APPROX_COUNT]/[SAMPLE] query: the shard
+          evaluates the query's child over its own partition, folds it
+          into a bounded-memory sketch and replies with the serialised
+          partial ([Shard_sketch]) instead of rows — constant-size on
+          the wire regardless of partition cardinality *)
 
 type response =
   | Ok_msg of string
@@ -348,6 +360,17 @@ type response =
     }
   | Moved_rows of (int * (Value.t list * Time.t) list) list
       (** rows leaving the answering shard, grouped by new owner id *)
+  | Shard_sketch of {
+      shard_id : int;
+      partition : partition_texp;
+      columns : string list;
+      payload : string;
+    }
+      (** a shard's sketch partial: [payload] is an opaque
+          {!Expirel_sketch.Any.to_string} encoding the coordinator
+          decodes, merges across shards (sketches are shard-
+          decomposable) and queries at its own tau; the merged answer's
+          [texp_e] is the merged sketch's horizon *)
 
 (** {1 Codecs} — payloads only (no length prefix) *)
 

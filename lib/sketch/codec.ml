@@ -1,0 +1,135 @@
+(* Binary encoding helpers shared by the sketch serializers.
+
+   Sketches ship between cluster nodes as opaque payloads inside the
+   wire protocol, so the encoding must be self-contained and portable:
+   fixed-width big-endian integers, IEEE doubles by bit pattern, and
+   tagged [Time.t]/[Value.t].  The wire layer frames and versions the
+   enclosing message; this layer only needs to round-trip. *)
+
+open Expirel_core
+
+exception Bad of string
+
+(* ---------- writing ---------- *)
+
+let put_u8 buffer n = Buffer.add_char buffer (Char.chr (n land 0xff))
+
+let put_i64 buffer n =
+  let v = Int64.of_int n in
+  for shift = 7 downto 0 do
+    put_u8 buffer (Int64.to_int (Int64.shift_right_logical v (shift * 8)))
+  done
+
+let put_f64 buffer x =
+  let v = Int64.bits_of_float x in
+  for shift = 7 downto 0 do
+    put_u8 buffer (Int64.to_int (Int64.shift_right_logical v (shift * 8)))
+  done
+
+let put_str buffer s =
+  put_i64 buffer (String.length s);
+  Buffer.add_string buffer s
+
+let put_time buffer = function
+  | Time.Fin n ->
+    put_u8 buffer 0;
+    put_i64 buffer n
+  | Time.Inf -> put_u8 buffer 1
+
+let put_value buffer = function
+  | Value.Int n ->
+    put_u8 buffer 0;
+    put_i64 buffer n
+  | Value.Str s ->
+    put_u8 buffer 1;
+    put_str buffer s
+  | Value.Float x ->
+    put_u8 buffer 2;
+    put_f64 buffer x
+  | Value.Bool b ->
+    put_u8 buffer 3;
+    put_u8 buffer (if b then 1 else 0)
+  | Value.Null -> put_u8 buffer 4
+
+let put_list buffer f xs =
+  put_i64 buffer (List.length xs);
+  List.iter (f buffer) xs
+
+(* ---------- reading ---------- *)
+
+type cursor = {
+  data : string;
+  mutable pos : int;
+}
+
+let cursor data = { data; pos = 0 }
+
+let need c n =
+  if c.pos + n > String.length c.data then raise (Bad "truncated sketch payload")
+
+let get_u8 c =
+  need c 1;
+  let n = Char.code c.data.[c.pos] in
+  c.pos <- c.pos + 1;
+  n
+
+let get_raw64 c =
+  need c 8;
+  let v = ref 0L in
+  for i = 0 to 7 do
+    v :=
+      Int64.logor (Int64.shift_left !v 8)
+        (Int64.of_int (Char.code c.data.[c.pos + i]))
+  done;
+  c.pos <- c.pos + 8;
+  !v
+
+let get_i64 c = Int64.to_int (get_raw64 c)
+let get_f64 c = Int64.float_of_bits (get_raw64 c)
+
+let get_str c =
+  let n = get_i64 c in
+  if n < 0 then raise (Bad "negative string length");
+  need c n;
+  let s = String.sub c.data c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let get_time c =
+  match get_u8 c with
+  | 0 -> Time.Fin (get_i64 c)
+  | 1 -> Time.Inf
+  | tag -> raise (Bad (Printf.sprintf "bad time tag %d" tag))
+
+let get_value c =
+  match get_u8 c with
+  | 0 -> Value.Int (get_i64 c)
+  | 1 -> Value.Str (get_str c)
+  | 2 -> Value.Float (get_f64 c)
+  | 3 -> Value.Bool (get_u8 c <> 0)
+  | 4 -> Value.Null
+  | tag -> raise (Bad (Printf.sprintf "bad value tag %d" tag))
+
+let get_list c f =
+  let n = get_i64 c in
+  if n < 0 then raise (Bad "negative list length");
+  List.init n (fun _ -> f c)
+
+let done_ c =
+  if c.pos <> String.length c.data then raise (Bad "trailing bytes")
+
+(* [decode ~what f s] runs a reader over [s], turning [Bad] into a
+   labelled [Error] and insisting the payload is fully consumed. *)
+let decode ~what f s =
+  let c = cursor s in
+  match
+    let v = f c in
+    done_ c;
+    v
+  with
+  | v -> Ok v
+  | exception Bad message -> Error (Printf.sprintf "%s: %s" what message)
+
+(* Heap footprint of a value, in bytes: what "keeping the sketch
+   resident" costs, comparable against materialising the relation. *)
+let memory_bytes v = Obj.reachable_words (Obj.repr v) * (Sys.word_size / 8)

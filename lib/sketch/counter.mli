@@ -1,0 +1,65 @@
+(** Expiration-aware approximate counter.
+
+    Maintains an ε-approximate count of the {e live} elements — those
+    with [texp > tau] — at any query time [tau], in O(ε⁻¹ log n) memory,
+    by bucketing insertions along the expiration axis (the
+    exponential-histogram construction of the general expiration
+    streaming model, transposed from arrival time to [texp]).
+
+    Buckets partition the [texp] axis; a query at [tau] charges every
+    bucket strictly above [tau] in full and the one straddling bucket
+    for half its count, so the answer is always within the {e reported}
+    [within] bound of the exact live count (a structural guarantee the
+    test suite pins), and compression keeps each bucket's count at most
+    [2ε] times the count above it, so [within ≤ ε·exact + 1] on
+    distinct-[texp] streams. *)
+
+open Expirel_core
+
+type t
+
+val create : epsilon:float -> t
+(** @raise Invalid_argument unless [0 < epsilon < 1]. *)
+
+val epsilon : t -> float
+
+val total : t -> int
+(** Elements ever added (live or not). *)
+
+val buckets : t -> int
+(** Current number of buckets (the memory knob). *)
+
+val add : t -> texp:Time.t -> unit
+(** Count one element that expires at [texp].  Arrival order along the
+    expiration axis is arbitrary. *)
+
+val compact : t -> unit
+(** Force compression now (it otherwise runs amortised, when the bucket
+    list outgrows twice its last compacted size). *)
+
+type answer = {
+  estimate : float;
+      (** the approximate live count at [tau] *)
+  within : float;
+      (** hard error bound: [|estimate - exact| <= within], always *)
+  horizon : Time.t;
+      (** the earliest time strictly after [tau] at which this answer
+          can change — the sketch's [texp]-horizon; [Inf] when nothing
+          remains to expire *)
+}
+
+val query : t -> tau:Time.t -> answer
+
+val merge : t -> t -> t
+(** Shard-decomposability: [query (merge a b)] answers for the
+    concatenation of the two input streams, within bounds.  The inputs
+    are not mutated.
+    @raise Invalid_argument when the epsilons differ. *)
+
+val memory_bytes : t -> int
+(** Resident heap bytes of the sketch. *)
+
+val to_string : t -> string
+(** Self-contained binary encoding, for shipping shard partials. *)
+
+val of_string : string -> (t, string) result

@@ -1,0 +1,17 @@
+let lock = Mutex.create ()
+let table : (string, int * float) Hashtbl.t = Hashtbl.create 16
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let record ~name ~memory_bytes ~estimate =
+  locked (fun () -> Hashtbl.replace table name (memory_bytes, estimate))
+
+let snapshot () =
+  locked (fun () ->
+      List.sort
+        (fun (a, _) (b, _) -> String.compare a b)
+        (Hashtbl.fold (fun name v acc -> (name, v) :: acc) table []))
+
+let reset () = locked (fun () -> Hashtbl.reset table)

@@ -1,0 +1,16 @@
+(** Process-wide sketch observability.
+
+    Executors record the memory footprint and live estimate of every
+    sketch they evaluate, keyed by the sketch's display name (e.g.
+    ["approx_count(0.05)"]); the server's Prometheus registry polls
+    {!snapshot} into the [expirel_sketch_memory_bytes] and
+    [expirel_sketch_live_estimate] gauge families.  Thread-safe. *)
+
+val record : name:string -> memory_bytes:int -> estimate:float -> unit
+(** Last-write-wins per name. *)
+
+val snapshot : unit -> (string * (int * float)) list
+(** [(name, (memory_bytes, live_estimate))], sorted by name. *)
+
+val reset : unit -> unit
+(** Forget everything (tests). *)

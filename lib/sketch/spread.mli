@@ -1,0 +1,45 @@
+(** ε-coreset for the diameter (spread) of expiring 1-d points.
+
+    Keeps two Pareto staircases over (value, texp): the points that can
+    still be the live maximum (resp. minimum) at some future [tau],
+    thinned so that consecutive survivors differ by more than
+    ε·(observed range).  Queries report the live min, max and diameter
+    within an additive [2ε·range] of exact — the geometric
+    representative of the sketch family. *)
+
+open Expirel_core
+
+type t
+
+val create : epsilon:float -> t
+(** @raise Invalid_argument unless [0 < epsilon < 1]. *)
+
+val epsilon : t -> float
+
+val total : t -> int
+(** Points ever added. *)
+
+val points : t -> int
+(** Staircase points currently resident (the memory knob). *)
+
+val add : t -> float -> texp:Time.t -> unit
+
+type answer = {
+  live_min : float;
+  live_max : float;
+  diameter : float;  (** [max 0 (live_max - live_min)] *)
+  within : float;
+      (** additive error bound on all three: [2ε·(observed range)] *)
+  horizon : Time.t;
+      (** earliest time strictly after [tau] the answer can change *)
+}
+
+val query : t -> tau:Time.t -> answer option
+(** [None] when no live points remain at [tau]. *)
+
+val merge : t -> t -> t
+(** @raise Invalid_argument when the epsilons differ. *)
+
+val memory_bytes : t -> int
+val to_string : t -> string
+val of_string : string -> (t, string) result

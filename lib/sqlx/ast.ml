@@ -36,6 +36,8 @@ type select_item =
   | Star
   | Column of column_ref
   | Agg of agg_name
+  | Approx_count of float
+  | Sample of int
 
 type source =
   | From_table of string

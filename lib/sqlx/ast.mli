@@ -42,6 +42,12 @@ type select_item =
   | Star
   | Column of column_ref
   | Agg of agg_name
+  | Approx_count of float
+      (** [APPROX_COUNT(eps)]: ε-approximate live count served by a
+          bounded-memory sketch; answers carry an explicit error bound *)
+  | Sample of int
+      (** [SAMPLE(k)]: a uniform random sample of [k] live rows served
+          by a priority sketch *)
 
 type source =
   | From_table of string

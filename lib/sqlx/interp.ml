@@ -27,6 +27,10 @@ type plan_entry = {
   p_generation : int;
   p_columns : string list;
   p_compiled : Plan.compiled;
+  p_approx : Approx.spec option;
+      (* present when the physical tree is wrapped in a sketch operator
+         (APPROX_COUNT/SAMPLE): evaluation runs under a [sketch-query]
+         trace span so profiles attribute the sketch fold *)
 }
 
 type plan_cache_stats = {
@@ -197,15 +201,19 @@ let planned_query ?trace ?text t q =
   match cached with
   | Some entry -> entry
   | None ->
-    let { Lower.expr; columns } =
+    let { Lower.expr; columns; approx } =
       Trace.span trace "lower" (fun () ->
           Lower.lower_query ~catalog:(catalog t) q)
     in
     let compiled =
-      Trace.span trace "plan" (fun () -> Planner.plan ~db:t.db expr)
+      Trace.span trace "plan" (fun () -> Planner.plan ~db:t.db ?approx expr)
     in
     let entry =
-      { p_generation = generation; p_columns = columns; p_compiled = compiled }
+      { p_generation = generation;
+        p_columns = columns;
+        p_compiled = compiled;
+        p_approx = approx
+      }
     in
     (match text with
      | Some key ->
@@ -224,9 +232,14 @@ let run_query ?trace ?text t { Ast.q; at; order_by; limit } =
   match at with
   | None ->
     let entry = planned_query ?trace ?text t q in
+    let eval () =
+      Executor.run ?probe:(probe_of trace) ~db:t.db entry.p_compiled
+    in
     let { Eval.relation; texp = texp_e } =
       Trace.span trace "eval" (fun () ->
-          Executor.run ?probe:(probe_of trace) ~db:t.db entry.p_compiled)
+          match entry.p_approx with
+          | None -> eval ()
+          | Some _ -> Trace.span trace "sketch-query" eval)
     in
     let columns = entry.p_columns in
     let listing = order_and_limit ~columns ~order_by ~limit relation in
@@ -237,7 +250,7 @@ let run_query ?trace ?text t { Ast.q; at; order_by; limit } =
        expiring data is known in advance.  Time travel stays on the
        naive evaluator: it is off the hot path and its per-snapshot
        environment defeats plan reuse anyway. *)
-    let { Lower.expr; columns } =
+    let { Lower.expr; columns; approx } =
       Trace.span trace "lower" (fun () ->
           Lower.lower_query ~catalog:(catalog t) q)
     in
@@ -252,10 +265,49 @@ let run_query ?trace ?text t { Ast.q; at; order_by; limit } =
                 (fun tbl -> Table.snapshot tbl ~tau)
                 (Database.table t.db name)
             in
-            Eval.run ?probe:(probe_of trace) ~env ~tau expr)
+            let child = Eval.run ?probe:(probe_of trace) ~env ~tau expr in
+            match approx with
+            | None -> child
+            | Some spec ->
+              (* Sketch over the future snapshot: fold the child at tau
+                 and answer from the sketch, exactly as the hot path
+                 does at now. *)
+              Trace.span trace "sketch-query" (fun () ->
+                  let sketch = Approx.build spec child.Eval.relation in
+                  let arity =
+                    match spec with
+                    | Approx.Count _ -> 2
+                    | Approx.Sample _ -> Relation.arity child.Eval.relation
+                  in
+                  Approx.result ~tau ~arity ~child_texp:child.Eval.texp
+                    sketch))
     in
     let listing = order_and_limit ~columns ~order_by ~limit relation in
     Rows { columns; relation; listing; texp_e; recomputed = false }
+
+(* Shard-side half of a distributed approximate aggregate: evaluate the
+   child locally and return the folded sketch (not rows) for the
+   coordinator to merge with other shards' partials. *)
+let sketch_partial ?trace t q =
+  let { Lower.expr; columns; approx } =
+    Trace.span trace "lower" (fun () ->
+        Lower.lower_query ~catalog:(catalog t) q)
+  in
+  match approx with
+  | None -> failwith "sketch_partial: query has no APPROX_COUNT/SAMPLE item"
+  | Some spec ->
+    Trace.span trace "sketch-query" (fun () ->
+        let compiled = Planner.plan ~db:t.db expr in
+        let child =
+          Executor.run ?probe:(probe_of trace) ~db:t.db compiled
+        in
+        let sketch = Approx.build spec child.Eval.relation in
+        Expirel_sketch.Observatory.record
+          ~name:(Approx.name spec)
+          ~memory_bytes:(Expirel_sketch.Any.memory_bytes sketch)
+          ~estimate:
+            (Expirel_sketch.Any.live_estimate ~tau:(Database.now t.db) sketch);
+        columns, sketch)
 
 let view_name_taken t name =
   Hashtbl.mem t.views name || Hashtbl.mem t.maintained_views name
@@ -431,7 +483,11 @@ let exec_statement ?trace ?text t = function
     if view_name_taken t name then
       failwith (Printf.sprintf "view %s exists" name)
     else begin
-      let { Lower.expr; columns } = Lower.lower_query ~catalog:(catalog t) query in
+      let { Lower.expr; columns; approx } =
+        Lower.lower_query ~catalog:(catalog t) query
+      in
+      if approx <> None then
+        failwith "APPROX_COUNT/SAMPLE cannot be materialised as a view";
       let now = Database.now t.db in
       if maintained then begin
         let m = Maintained.materialise ~env:(Database.env t.db) ~tau:now expr in
@@ -505,7 +561,11 @@ let exec_statement ?trace ?text t = function
     if Hashtbl.mem t.constraints name then
       failwith (Printf.sprintf "constraint %s exists" name)
     else begin
-      let { Lower.expr; _ } = Lower.lower_query ~catalog:(catalog t) query in
+      let { Lower.expr; approx; _ } =
+        Lower.lower_query ~catalog:(catalog t) query
+      in
+      if approx <> None then
+        failwith "APPROX_COUNT/SAMPLE cannot back a constraint";
       (match min_rows with
        | Some n -> Invariant.add t.invariants ~name:(name ^ "!min") ~expr
                      (Invariant.Min_cardinality n)
@@ -572,9 +632,11 @@ let exec_statement ?trace ?text t = function
      | names -> Msg (String.concat "\n" names))
   | Ast.Show_time -> Msg (Time.to_string (Database.now t.db))
   | Ast.Explain q ->
-    let { Lower.expr; columns } = Lower.lower_query ~catalog:(catalog t) q in
+    let { Lower.expr; columns; approx } =
+      Lower.lower_query ~catalog:(catalog t) q
+    in
     let { Eval.texp; _ } = Database.query t.db expr in
-    let { Plan.physical; _ } = Planner.plan ~db:t.db expr in
+    let { Plan.physical; _ } = Planner.plan ~db:t.db ?approx expr in
     Msg
       (Printf.sprintf
          "%scolumns: %s\nclass: %s\ntexp(e) now: %s\nphysical plan:\n%s"

@@ -88,6 +88,21 @@ val parse : t -> string -> Ast.statement
     texts carry distinct literals and would only churn the LRU.
     Raises [Parser.Error] like {!Parser.parse_statement}. *)
 
+val sketch_partial :
+  ?trace:Expirel_obs.Trace.t ->
+  t ->
+  Ast.query ->
+  string list * Expirel_sketch.Any.t
+(** Shard-side half of a distributed approximate aggregate: lowers the
+    query (which must carry [APPROX_COUNT] or [SAMPLE]), evaluates the
+    {e child} locally and folds it into a sketch — returned with the
+    answer's column labels so the coordinator can {!Expirel_sketch.Any.merge}
+    partials from every shard and render rows from the union.  The fold
+    runs under a [sketch-query] span on [trace] and records the
+    sketch's gauges in {!Expirel_sketch.Observatory}.
+    Raises [Failure] when the query has no approximate item, plus
+    whatever lowering and evaluation raise. *)
+
 val exec_sql : t -> string -> (outcome, string) result
 (** Parse and execute one statement, reusing both the statement cache
     and the plan cache for repeated texts. *)

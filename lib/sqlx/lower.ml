@@ -7,6 +7,7 @@ type catalog = string -> string list option
 type compiled = {
   expr : Algebra.t;
   columns : string list;
+  approx : Expirel_exec.Approx.spec option;
 }
 
 let error fmt = Printf.ksprintf (fun msg -> raise (Error msg)) fmt
@@ -110,11 +111,43 @@ let lower_select ~catalog (s : Ast.select) =
     | None -> source_expr
     | Some c -> Algebra.select (lower_cond scope c) source_expr
   in
+  let approxes =
+    List.filter_map
+      (function
+        | Ast.Approx_count epsilon ->
+          Some (Expirel_exec.Approx.Count { epsilon })
+        | Ast.Sample k -> Some (Expirel_exec.Approx.Sample { k })
+        | Ast.Star | Ast.Column _ | Ast.Agg _ -> None)
+      s.Ast.items
+  in
+  match approxes with
+  | [ spec ] ->
+    (* The sketch answers the whole select: the item must stand alone,
+       and grouping machinery has nothing to attach to. *)
+    (match spec with
+     | Expirel_exec.Approx.Count { epsilon } ->
+       if not (epsilon > 0. && epsilon < 1.) then
+         error "APPROX_COUNT epsilon must be in (0, 1)"
+     | Expirel_exec.Approx.Sample { k } ->
+       if k < 1 then error "SAMPLE needs k >= 1");
+    if List.length s.Ast.items > 1 then
+      error "APPROX_COUNT/SAMPLE cannot be mixed with other select items";
+    if s.Ast.group_by <> [] then
+      error "APPROX_COUNT/SAMPLE cannot be combined with GROUP BY";
+    if s.Ast.having <> None then
+      error "APPROX_COUNT/SAMPLE cannot be combined with HAVING";
+    let columns =
+      Expirel_exec.Approx.columns spec
+        ~child:(List.map (label scope) scope.attrs)
+    in
+    { expr = filtered; columns; approx = Some spec }
+  | _ :: _ :: _ -> error "at most one APPROX_COUNT/SAMPLE per select list"
+  | [] ->
   let aggs =
     List.filter_map
       (function
         | Ast.Agg a -> Some a
-        | Ast.Star | Ast.Column _ -> None)
+        | Ast.Star | Ast.Column _ | Ast.Approx_count _ | Ast.Sample _ -> None)
       s.Ast.items
   in
   match aggs with
@@ -125,26 +158,31 @@ let lower_select ~catalog (s : Ast.select) =
       error "HAVING requires GROUP BY and an aggregate"
     else if List.exists (fun i -> i = Ast.Star) s.Ast.items then begin
       if List.length s.Ast.items > 1 then error "* mixed with other items"
-      else { expr = filtered; columns = List.map (label scope) scope.attrs }
+      else
+        { expr = filtered;
+          columns = List.map (label scope) scope.attrs;
+          approx = None
+        }
     end
     else begin
       let refs =
         List.map
           (function
             | Ast.Column r -> r
-            | Ast.Star | Ast.Agg _ -> assert false)
+            | Ast.Star | Ast.Agg _ | Ast.Approx_count _ | Ast.Sample _ ->
+              assert false)
           s.Ast.items
       in
       let positions = List.map (resolve scope) refs in
       let columns =
         List.map (fun p -> label scope (List.nth scope.attrs (p - 1))) positions
       in
-      { expr = Algebra.project positions filtered; columns }
+      { expr = Algebra.project positions filtered; columns; approx = None }
     end
   | [ agg ] ->
+    (* An empty GROUP BY lowers to agg^exp over the single global
+       partition: COUNT/SUM/MIN/MAX/AVG over the whole live relation. *)
     let group_positions = List.map (resolve scope) s.Ast.group_by in
-    if group_positions = [] then
-      error "aggregate requires GROUP BY (global aggregates not supported)";
     let func, agg_label = agg_func scope agg in
     let inner_arity = List.length scope.attrs in
     let aggregated = Algebra.aggregate group_positions func filtered in
@@ -182,10 +220,12 @@ let lower_select ~catalog (s : Ast.select) =
           error "column %s is not in GROUP BY" r.Ast.column
         else p, label scope (List.nth scope.attrs (p - 1))
       | Ast.Star -> error "* cannot be mixed with aggregates"
+      | Ast.Approx_count _ | Ast.Sample _ -> assert false
     in
     let resolved = List.map item_position s.Ast.items in
     { expr = Algebra.project (List.map fst resolved) aggregated;
-      columns = List.map snd resolved
+      columns = List.map snd resolved;
+      approx = None
     }
   | _ :: _ :: _ -> error "at most one aggregate per select list"
 
@@ -197,7 +237,9 @@ let rec lower_query ~catalog = function
 
 and set_op ~catalog name make a b =
   let ca = lower_query ~catalog a and cb = lower_query ~catalog b in
-  if List.length ca.columns <> List.length cb.columns then
+  if ca.approx <> None || cb.approx <> None then
+    error "APPROX_COUNT/SAMPLE cannot appear under %s" name
+  else if List.length ca.columns <> List.length cb.columns then
     error "%s operands have different widths (%d vs %d)" name
       (List.length ca.columns) (List.length cb.columns)
-  else { expr = make ca.expr cb.expr; columns = ca.columns }
+  else { expr = make ca.expr cb.expr; columns = ca.columns; approx = None }

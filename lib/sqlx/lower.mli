@@ -16,12 +16,19 @@ type catalog = string -> string list option
 type compiled = {
   expr : Algebra.t;
   columns : string list;  (** output column labels, one per attribute *)
+  approx : Expirel_exec.Approx.spec option;
+      (** set for [APPROX_COUNT(eps)] / [SAMPLE(k)] selects: [expr] is
+          then the {e child} (the filtered source) and the planner wraps
+          it in the matching sketch operator; [columns] already describe
+          the sketch's output *)
 }
 
 val lower_query : catalog:catalog -> Ast.query -> compiled
 (** @raise Error on unknown tables/columns, ambiguous references,
     non-grouped plain columns mixed with aggregates, more than one
-    aggregate item, or set operations over different-width operands. *)
+    aggregate item, set operations over different-width operands, or
+    approximate items mixed with anything (other items, GROUP BY,
+    HAVING, set operations). *)
 
 val lower_cond_for_table :
   columns:string list -> table:string -> Ast.cond -> Predicate.t

@@ -131,6 +131,26 @@ let select_item st =
   | Token.Star, _ -> advance st; Ast.Star
   | Token.Keyword ("COUNT" | "SUM" | "MIN" | "MAX" | "AVG"), _ ->
     Ast.Agg (agg_name st)
+  | Token.Keyword "APPROX_COUNT", _ ->
+    advance st;
+    expect st Token.Lparen "(";
+    let epsilon =
+      match peek st with
+      | Token.Float_lit f, _ -> advance st; f
+      | Token.Int_lit n, _ -> advance st; float_of_int n
+      | _ -> fail st "expected error bound"
+    in
+    expect st Token.Rparen ")";
+    if not (epsilon > 0. && epsilon < 1.) then
+      fail st "APPROX_COUNT error bound must be in (0, 1)";
+    Ast.Approx_count epsilon
+  | Token.Keyword "SAMPLE", _ ->
+    advance st;
+    expect st Token.Lparen "(";
+    let k = int_lit st in
+    expect st Token.Rparen ")";
+    if k < 1 then fail st "SAMPLE size must be >= 1";
+    Ast.Sample k
   | _ -> Ast.Column (column_ref st)
 
 let rec comma_separated st parse =

@@ -56,6 +56,9 @@ let select_item = function
   | Ast.Star -> "*"
   | Ast.Column r -> column_ref r
   | Ast.Agg a -> agg a
+  | Ast.Approx_count epsilon ->
+    "APPROX_COUNT(" ^ value (Value.Float epsilon) ^ ")"
+  | Ast.Sample k -> Printf.sprintf "SAMPLE(%d)" k
 
 let source = function
   | Ast.From_table name -> name

@@ -27,7 +27,8 @@ let keywords =
     "AVG"; "VIEW"; "AS"; "SHOW"; "TABLES"; "VIEWS"; "REFRESH"; "EXPLAIN";
     "ANALYZE";
     "TRIGGER"; "TRIGGERS"; "NOW"; "AT"; "MAINTAINED"; "ORDER"; "ASC";
-    "DESC"; "LIMIT"; "HAVING"; "CONSTRAINT"; "CONSTRAINTS"; "INDEX" ]
+    "DESC"; "LIMIT"; "HAVING"; "CONSTRAINT"; "CONSTRAINTS"; "INDEX";
+    "APPROX_COUNT"; "SAMPLE" ]
 
 let equal a b =
   match a, b with

@@ -30,5 +30,20 @@ let stream ~rng ~sensors ~period ~horizon ~jitter =
       | c -> c)
     !samples
 
+let iter ~rng ~sensors ~period ~horizon ~jitter f =
+  if sensors < 1 || period < 1 || horizon < 1 || jitter < 0 then
+    invalid_arg "Sensors.iter: bad parameters";
+  for sensor = 1 to sensors do
+    let value = ref (Random.State.int rng 100) in
+    let t = ref 0 in
+    while !t < horizon do
+      let offset = if jitter = 0 then 0 else Random.State.int rng (jitter + 1) in
+      let at = min (horizon - 1) (!t + offset) in
+      f { sensor; value = !value; at };
+      value := max 0 (!value + Random.State.int rng 11 - 5);
+      t := !t + period
+    done
+  done
+
 let tuple_of { sensor; value; at = _ } = Tuple.ints [ sensor; value ]
 let texp_of ~period ~jitter s = Time.of_int (s.at + period + jitter)

@@ -25,6 +25,20 @@ val stream :
     [jitter], clamped to the horizon), with a random-walk value.
     Sorted by [(at, sensor)]. *)
 
+val iter :
+  rng:Random.State.t ->
+  sensors:int ->
+  period:int ->
+  horizon:int ->
+  jitter:int ->
+  (sample -> unit) ->
+  unit
+(** The same sample population as [stream] (identical given the same
+    [rng] state), delivered to a callback without materialising the
+    list — the generator for streams too large to hold.  Order is
+    sensor-major (each sensor's timeline in full, sensors ascending),
+    not [stream]'s global [(at, sensor)] sort. *)
+
 val tuple_of : sample -> Tuple.t
 val texp_of : period:int -> jitter:int -> sample -> Time.t
 (** [at + period + jitter]: a sample survives until its replacement,

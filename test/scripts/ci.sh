@@ -5,10 +5,12 @@
 # server smoke/concurrency tests.
 set -eux
 cd "$(dirname "$0")/../.."
-# lib/obs and lib/exec compile with -warn-error +a (their dunes say so);
-# build them alone first so a warning fails fast with a small log.
+# lib/obs, lib/exec and lib/sketch compile with -warn-error +a (their
+# dunes say so); build them alone first so a warning fails fast with a
+# small log.
 dune build lib/obs
 dune build lib/exec
+dune build lib/sketch
 dune build @all
 dune runtest
 # Smoke the observability experiment: a live server, a METRICS scrape
@@ -18,6 +20,10 @@ dune exec bench/main.exe -- obs
 # the O(1) live-scan fast path, and the plan cache; refreshes
 # BENCH_exec.json.
 dune exec bench/main.exe -- exec
+# Smoke the sketch experiment end to end (single-pass folds, memory
+# vs a materialized relation, 3-way merge, a live 3-shard cluster) at
+# a CI-sized event count; the full 10^7 run is for BENCH_sketch.json.
+EXPIREL_SKETCH_EVENTS=200000 dune exec bench/main.exe -- sketch
 
 # Observability end to end through the CLI: a live server, EXPLAIN
 # ANALYZE and HEALTH driven over the wire, and the Prometheus page
@@ -46,6 +52,15 @@ echo "$EXPLAIN_OUT" | grep -F "seq-scan pol"
 echo "$EXPLAIN_OUT" | grep -F "(est="
 echo "$EXPLAIN_OUT" | grep -F "rows=1"
 echo "$EXPLAIN_OUT" | grep -F "total:"
+# Approximate aggregates over the wire: APPROX_COUNT answers with an
+# error bound column, SAMPLE returns at most k live rows, and EXPLAIN
+# shows the sketch-backed physical operator.
+APPROX_OUT=$("$CLI" connect --port "$PORT" -e "SELECT APPROX_COUNT(0.1) FROM pol")
+echo "$APPROX_OUT" | grep -F "approx_count, within"
+echo "$APPROX_OUT" | grep -F "2, 0"
+"$CLI" connect --port "$PORT" -e "SELECT SAMPLE(2) FROM pol" | grep -F "2 row(s)"
+"$CLI" connect --port "$PORT" -e "EXPLAIN SELECT APPROX_COUNT(0.1) FROM pol" \
+  | grep -F "sketch-count"
 # HEALTH: a fresh server must answer ok (exit code 0).
 "$CLI" health --port "$PORT"
 "$CLI" connect --port "$PORT" -e "HEALTH" | grep -F "health: ok"
@@ -60,6 +75,10 @@ PROM=$(mktemp)
 grep -F "# TYPE expirel_plan_cache_hits_total counter" "$PROM"
 grep -F "expirel_plan_cache_requests_total" "$PROM"
 grep -F "expirel_health_status" "$PROM"
+# The sketch queries above left per-sketch memory and live-estimate
+# gauges behind.
+grep -F 'expirel_sketch_memory_bytes{sketch="approx_count(0.1)"}' "$PROM"
+grep -F 'expirel_sketch_live_estimate{sketch="sample(2)"}' "$PROM"
 awk '
   /^$/ || /^#/ { next }
   {
@@ -96,6 +115,9 @@ CLUSTER_OUT=$("$CLI" cluster connect $SHARD_ARGS -e "
   INSERT INTO pol VALUES (2, 25) EXPIRES 15;
   INSERT INTO pol VALUES (3, 35) EXPIRES 20;
   SELECT uid, deg FROM pol;
+  SELECT COUNT(*) FROM pol;
+  SELECT APPROX_COUNT(0.1) FROM pol;
+  SELECT SAMPLE(2) FROM pol;
   EXPLAIN ANALYZE SELECT uid FROM pol WHERE deg = 25;
   TRACE 30;
   SHARDS;
@@ -103,6 +125,12 @@ CLUSTER_OUT=$("$CLI" cluster connect $SHARD_ARGS -e "
 # DDL broadcast to all three shards, rows scatter-gathered back.
 echo "$CLUSTER_OUT" | grep -F "table pol created (on 3 shard(s))"
 echo "$CLUSTER_OUT" | grep -F "3 row(s)"
+# Global COUNT combines per-shard partials instead of refusing; the
+# sketch keywords answer from merged per-shard partial sketches.
+echo "$CLUSTER_OUT" | grep -F "texp | count"
+echo "$CLUSTER_OUT" | grep -E '10 \| 3$'
+echo "$CLUSTER_OUT" | grep -F "approx_count, within"
+echo "$CLUSTER_OUT" | grep -F "2 row(s)"
 # EXPLAIN ANALYZE fans out: one annotated plan per shard.
 test "$(echo "$CLUSTER_OUT" | grep -cF -- '--- shard ')" = 3
 echo "$CLUSTER_OUT" | grep -F "total:"

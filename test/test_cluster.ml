@@ -453,12 +453,110 @@ let test_refusals () =
             (Printf.sprintf "%s should be refused, got %s" sql
                (Wire.render_response r))
       in
-      refused "SELECT COUNT(*) FROM t";
+      refused "SELECT AVG(v) FROM t";  (* not combinable from bare partials *)
       refused "SELECT k, SUM(v) FROM t GROUP BY k";
       refused "SELECT * FROM t JOIN u ON t.k = u.k";
       refused "SELECT v FROM t EXCEPT SELECT w FROM u";
       refused "CREATE VIEW x AS SELECT * FROM t";
       refused "CHECKPOINT")
+
+(* ---------- global aggregates: combined from shard partials ---------- *)
+
+let test_aggregate_combine () =
+  with_cluster 3 (fun coord _servers _eps ->
+      let single = Server.create ~config:shard_config () in
+      Server.start single;
+      Fun.protect
+        ~finally:(fun () -> Server.stop single)
+        (fun () ->
+          let c =
+            Client.connect ~host:"127.0.0.1" ~port:(Server.port single) ()
+          in
+          Fun.protect
+            ~finally:(fun () -> Client.close c)
+            (fun () ->
+              List.iter
+                (fun sql ->
+                  ignore (exec coord sql);
+                  ignore (no_err sql (ok (Client.exec c sql))))
+                statements;
+              List.iter
+                (fun sql ->
+                  let cl_rows, cl_texp = rows_of sql (exec coord sql) in
+                  let sn_rows, sn_texp =
+                    rows_of sql (no_err sql (ok (Client.exec c sql)))
+                  in
+                  (* Identical aggregate values; texps are conservative
+                     on the cluster side — never later than the single
+                     node's exact analysis, which sees the whole
+                     partition at once. *)
+                  Alcotest.(check bool)
+                    (sql ^ ": same values") true
+                    (List.map fst cl_rows = List.map fst sn_rows);
+                  Alcotest.(check bool)
+                    (sql ^ ": row texp sound") true
+                    (List.for_all2
+                       (fun (_, cl) (_, sn) -> Time.(cl <= sn))
+                       cl_rows sn_rows);
+                  Alcotest.(check bool)
+                    (sql ^ ": texp(e) sound") true
+                    Time.(cl_texp <= sn_texp))
+                [ "SELECT COUNT(*) FROM pol";
+                  "SELECT SUM(deg) FROM pol";
+                  "SELECT MIN(deg) FROM pol";
+                  "SELECT MAX(deg) FROM pol";
+                  "SELECT COUNT(*) FROM pol AT 35";
+                  "SELECT MAX(tag) FROM aux AT 30" ])))
+
+(* ---------- approximate aggregates: merged sketch partials ---------- *)
+
+let test_sketch_merge () =
+  with_cluster 3 (fun coord _servers _eps ->
+      ignore (exec coord "CREATE TABLE t (k, v)");
+      let n = 90 in
+      for k = 1 to n do
+        (* A third expires at 10, the rest at 100 + k. *)
+        let texp = if k mod 3 = 0 then 10 else 100 + k in
+        ignore
+          (exec coord
+             (Printf.sprintf "INSERT INTO t VALUES (%d, %d) EXPIRES %d" k
+                (k * 2) texp))
+      done;
+      ignore (exec coord "ADVANCE TO 50");
+      let live = n - (n / 3) in
+      (match rows_of "approx" (exec coord "SELECT APPROX_COUNT(0.1) FROM t") with
+       | [ ([ Value.Int est; Value.Float within ], _) ], _ ->
+         Alcotest.(check bool) "estimate within the reported bound" true
+           (Float.abs (float_of_int (est - live)) <= within);
+         Alcotest.(check bool) "bound respects epsilon" true
+           (within <= (0.1 *. float_of_int live) +. 1.)
+       | rows, _ ->
+         Alcotest.failf "unexpected APPROX_COUNT result (%d rows)"
+           (List.length rows));
+      let sample_rows, _ =
+        rows_of "sample" (exec coord "SELECT SAMPLE(7) FROM t")
+      in
+      Alcotest.(check int) "sample has k rows" 7 (List.length sample_rows);
+      List.iter
+        (fun (row, texp) ->
+          Alcotest.(check bool) "sampled row is live" true
+            Time.(texp > Time.of_int 50);
+          match row with
+          | [ Value.Int k; Value.Int v ] ->
+            Alcotest.(check bool) "sampled row was inserted" true
+              (v = 2 * k && k mod 3 <> 0)
+          | _ -> Alcotest.fail "unexpected sampled row shape")
+        sample_rows;
+      (* AT is applied at the coordinator over the same partials: far
+         enough out, everything is dead. *)
+      (match
+         rows_of "approx at" (exec coord "SELECT APPROX_COUNT(0.1) FROM t AT 500")
+       with
+       | [ ([ Value.Int est; _ ], _) ], _ ->
+         Alcotest.(check int) "nothing live at 500" 0 est
+       | rows, _ ->
+         Alcotest.failf "unexpected APPROX_COUNT AT result (%d rows)"
+           (List.length rows)))
 
 let suite =
   [ Alcotest.test_case "scatter-gather == single node" `Quick
@@ -475,4 +573,8 @@ let suite =
     Alcotest.test_case "health: restarted shard reads stale" `Quick
       test_health_stale_map;
     Alcotest.test_case "non-distributable statements are refused" `Quick
-      test_refusals ]
+      test_refusals;
+    Alcotest.test_case "global aggregates combine from shard partials" `Quick
+      test_aggregate_combine;
+    Alcotest.test_case "APPROX_COUNT/SAMPLE merge sketch partials" `Quick
+      test_sketch_merge ]

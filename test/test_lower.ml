@@ -19,7 +19,7 @@ let test_plain_select () =
     "SELECT uid FROM pol WHERE deg > 30"
 
 let test_join () =
-  let { Lower.expr; columns } =
+  let { Lower.expr; columns; _ } =
     lower "SELECT pol.uid, s.sid FROM pol JOIN s ON pol.uid = s.uid"
   in
   Alcotest.(check string) "join lowering"
@@ -34,7 +34,7 @@ let test_join_star_labels () =
     [ "pol.uid"; "pol.deg"; "el.uid"; "el.deg" ] columns
 
 let test_aggregate () =
-  let { Lower.expr; columns } =
+  let { Lower.expr; columns; _ } =
     lower "SELECT deg, COUNT(*) FROM pol GROUP BY deg"
   in
   (* The Figure 3(a) shape: project over agg^exp. *)
@@ -73,10 +73,38 @@ let test_errors () =
   expect_error "SELECT uid, COUNT(*) FROM pol GROUP BY deg" "not in GROUP BY";
   expect_error "SELECT COUNT(*), SUM(deg) FROM pol GROUP BY deg"
     "at most one aggregate";
-  expect_error "SELECT COUNT(*) FROM pol" "requires GROUP BY";
   expect_error "SELECT uid FROM pol UNION SELECT uid, deg FROM el"
     "different widths";
-  expect_error "SELECT pol.uid FROM el" "unknown column pol.uid"
+  expect_error "SELECT pol.uid FROM el" "unknown column pol.uid";
+  expect_error "SELECT APPROX_COUNT(0.1), uid FROM pol" "cannot be mixed";
+  expect_error "SELECT APPROX_COUNT(0.1) FROM pol GROUP BY deg" "GROUP BY"
+
+(* A global aggregate lowers to agg^exp over the single empty-key
+   partition — no GROUP BY needed (this unlocks the coordinator's
+   per-shard combine). *)
+let test_global_aggregate () =
+  let { Lower.expr; columns; _ } = lower "SELECT COUNT(*) FROM pol" in
+  Alcotest.(check string) "global count"
+    "pi_(3)(agg_({},count)(pol))" (Algebra.to_string expr);
+  Alcotest.(check (list string)) "labels" [ "count" ] columns;
+  check_expr "global sum with where" "pi_(3)(agg_({},sum_2)(sigma_(#2 > 0)(pol)))"
+    "SELECT SUM(deg) FROM pol WHERE deg > 0"
+
+let test_approx () =
+  let { Lower.expr; columns; approx } = lower "SELECT APPROX_COUNT(0.05) FROM pol" in
+  Alcotest.(check string) "child is the filtered source" "pol"
+    (Algebra.to_string expr);
+  Alcotest.(check (list string)) "labels" [ "approx_count"; "within" ] columns;
+  (match approx with
+   | Some (Expirel_exec.Approx.Count { epsilon }) ->
+     Alcotest.(check (float 0.)) "epsilon" 0.05 epsilon
+   | _ -> Alcotest.fail "expected a Count spec");
+  let { Lower.columns; approx; _ } = lower "SELECT SAMPLE(3) FROM pol WHERE deg > 0" in
+  Alcotest.(check (list string)) "sample keeps child labels"
+    [ "uid"; "deg" ] columns;
+  (match approx with
+   | Some (Expirel_exec.Approx.Sample { k }) -> Alcotest.(check int) "k" 3 k
+   | _ -> Alcotest.fail "expected a Sample spec")
 
 let test_delete_cond () =
   let p =
@@ -95,4 +123,6 @@ let suite =
       test_aggregate;
     Alcotest.test_case "set operations" `Quick test_set_ops;
     Alcotest.test_case "resolution errors" `Quick test_errors;
+    Alcotest.test_case "global aggregates" `Quick test_global_aggregate;
+    Alcotest.test_case "approximate aggregates" `Quick test_approx;
     Alcotest.test_case "delete conditions" `Quick test_delete_cond ]

@@ -50,6 +50,8 @@ let () =
       "sim", Test_sim.suite;
       "sim-update", Test_sim_update.suite;
       "sim-unreliable", Test_sim_unreliable.suite;
+      (* bounded-memory sketches *)
+      "sketch", Test_sketch.suite;
       (* observability *)
       "obs", Test_obs.suite;
       (* networked server *)
