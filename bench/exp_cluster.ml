@@ -148,4 +148,80 @@ let run_all () =
       Bench_util.metric "bytes_saved_pct"
         (pct (broadcast_bytes - pruned_bytes) broadcast_bytes);
       Bench_util.metric_int "pruned_shard_contacts"
-        (Coordinator.traffic coord).Coordinator.pruned)
+        (Coordinator.traffic coord).Coordinator.pruned;
+
+      (* ---- distributed GROUP BY and joins vs gather-then-compute ----
+
+         The coordinator now has two ways to answer what it used to
+         refuse: decompose (per-shard slice partials for grouped
+         aggregates, broadcast hash joins for small build sides) or
+         gather the base tables and compute locally.  Measured head to
+         head: a GROUP BY combined from partials vs a query shipping the
+         same table wholesale through the fallback, and one broadcast
+         join routed both ways (an AT pinned to the cluster clock forces
+         the gather path without changing the answer). *)
+      Bench_util.subsection "distributed GROUP BY / joins vs gather";
+      List.iter
+        (fun sql -> ignore (no_err (Coordinator.exec coord sql)))
+        ([ "CREATE TABLE g (k, grp)";
+           "CREATE TABLE dim (tag, label)";
+           "CREATE TABLE none (tag, label)" ]
+        @ List.init keys (fun i ->
+              Printf.sprintf "INSERT INTO g VALUES (%d, %d) EXPIRES 1000"
+                (i + 1)
+                ((i + 1) mod 10))
+        @ List.init 10 (fun d ->
+              Printf.sprintf "INSERT INTO dim VALUES (%d, %d) EXPIRES 1000" d
+                (d * 2)));
+      let timed sql =
+        let before = Coordinator.traffic coord in
+        let (), s =
+          Bench_util.time_it (fun () ->
+              for _ = 1 to queries do
+                ignore (no_err (Coordinator.exec coord sql))
+              done)
+        in
+        let after = Coordinator.traffic coord in
+        let bytes =
+          (after.Coordinator.bytes_sent - before.Coordinator.bytes_sent
+          + after.Coordinator.bytes_received
+          - before.Coordinator.bytes_received)
+          / queries
+        in
+        (float_of_int queries /. s, bytes)
+      in
+      (* 10 groups straddling every shard, combined from slice partials
+         vs the fallback hauling all of g to the coordinator (a
+         projected EXCEPT against an empty table routes through it). *)
+      let group_rps, group_bytes =
+        timed "SELECT grp, COUNT(*) FROM g GROUP BY grp"
+      in
+      let gather_rps, gather_bytes =
+        timed "SELECT k, grp FROM g EXCEPT SELECT tag, label FROM none"
+      in
+      (* The same broadcast hash join (10-row build side shipped to the
+         shards) vs the identical join forced through gather-compute. *)
+      let bjoin_rps, bjoin_bytes =
+        timed "SELECT * FROM g JOIN dim ON g.grp = dim.tag"
+      in
+      let gjoin_rps, gjoin_bytes =
+        timed "SELECT * FROM g JOIN dim ON g.grp = dim.tag AT 100"
+      in
+      Bench_util.table
+        ~headers:[ "query"; "req/s"; "bytes/query" ]
+        [ [ "GROUP BY via slice partials"; Printf.sprintf "%.0f" group_rps;
+            string_of_int group_bytes ];
+          [ "gather the table (fallback)"; Printf.sprintf "%.0f" gather_rps;
+            string_of_int gather_bytes ];
+          [ "broadcast hash join"; Printf.sprintf "%.0f" bjoin_rps;
+            string_of_int bjoin_bytes ];
+          [ "same join, gather-compute"; Printf.sprintf "%.0f" gjoin_rps;
+            string_of_int gjoin_bytes ] ];
+      Bench_util.metric "groupby_partials_req_per_s" group_rps;
+      Bench_util.metric_int "groupby_partials_bytes_per_query" group_bytes;
+      Bench_util.metric "gather_table_req_per_s" gather_rps;
+      Bench_util.metric_int "gather_table_bytes_per_query" gather_bytes;
+      Bench_util.metric "broadcast_join_req_per_s" bjoin_rps;
+      Bench_util.metric_int "broadcast_join_bytes_per_query" bjoin_bytes;
+      Bench_util.metric "gather_join_req_per_s" gjoin_rps;
+      Bench_util.metric_int "gather_join_bytes_per_query" gjoin_bytes)

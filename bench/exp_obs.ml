@@ -18,14 +18,17 @@ let workload_requests = 400
    The same compiled plan runs in interleaved batches with the
    [?profile] sink absent (the executor's original path) and present
    (per-operator rows/drops/visits/build counts plus a wall-clock read
-   per operator).  Best-of-batches damps scheduler noise.  The
-   disabled path must stay within noise of itself and the enabled path
-   within a few percent — EXPLAIN ANALYZE is priced per statement, not
-   per deployment. *)
+   per operator).  Warmup runs retire the cold-start outliers, and the
+   median of the per-batch averages damps scheduler noise — a median
+   ignores one-sided spikes that both a mean and a best-of minimum let
+   through, which is what lets the budget sit at a tight 5%.  The
+   enabled path must stay within that budget — EXPLAIN ANALYZE is
+   priced per statement, not per deployment. *)
 
 let profile_rows = 10_000
-let profile_batches = 5
+let profile_batches = 9
 let profile_runs_per_batch = 40
+let profile_warmups = 3
 
 let bench_profiling_overhead () =
   Bench_util.subsection "profiling overhead (EXPLAIN ANALYZE sink)";
@@ -61,9 +64,12 @@ let bench_profiling_overhead () =
     let p = Exec.Profile.of_plan ~db compiled.Exec.Plan.physical in
     ignore (Exec.Executor.run ~profile:p ~db compiled : Core.Eval.result)
   in
-  (* warm both paths before timing *)
-  run_off ();
-  run_on ();
+  (* warm both paths before timing: allocator and cache state settle in
+     the first few runs, which would otherwise land in the first batch *)
+  for _ = 1 to profile_warmups do
+    run_off ();
+    run_on ()
+  done;
   let batch f =
     let (), s =
       Bench_util.time_it (fun () ->
@@ -73,12 +79,17 @@ let bench_profiling_overhead () =
     in
     s /. float_of_int profile_runs_per_batch
   in
-  let best = ref infinity and best_on = ref infinity in
+  let median samples =
+    match List.sort Float.compare samples with
+    | [] -> nan
+    | sorted -> List.nth sorted (List.length sorted / 2)
+  in
+  let offs = ref [] and ons = ref [] in
   for _ = 1 to profile_batches do
-    best := Float.min !best (batch run_off);
-    best_on := Float.min !best_on (batch run_on)
+    offs := batch run_off :: !offs;
+    ons := batch run_on :: !ons
   done;
-  let off_ms = !best *. 1e3 and on_ms = !best_on *. 1e3 in
+  let off_ms = median !offs *. 1e3 and on_ms = median !ons *. 1e3 in
   let overhead_pct = (on_ms -. off_ms) /. off_ms *. 100. in
   Bench_util.param_int "profile_rows" profile_rows;
   Bench_util.metric "exec_unprofiled_ms" off_ms;
@@ -88,13 +99,13 @@ let bench_profiling_overhead () =
     "plan over %d rows: %.3f ms unprofiled, %.3f ms profiled (%+.1f%%)\n"
     profile_rows off_ms on_ms overhead_pct;
   (* The budget gates regressions (a profiled run costing a multiple of
-     an unprofiled one), not scheduler luck: even the best-of-batches
-     minimum moves several points between processes on a shared
-     machine, so the line is drawn at 10%, comfortably above the noise
-     floor and far below any real regression. *)
-  if overhead_pct >= 10.0 then
+     an unprofiled one), not scheduler luck: warmup plus the median of
+     interleaved batches holds the measurement spread to low single
+     digits even on a shared machine, so the line sits at 5% — above
+     the remaining noise floor, far below any real regression. *)
+  if overhead_pct >= 5.0 then
     failwith
-      (Printf.sprintf "profiling overhead %.1f%% breaches the 10%% budget"
+      (Printf.sprintf "profiling overhead %.1f%% breaches the 5%% budget"
          overhead_pct)
 
 (* A sample line is `name{labels} value`; validate the value parses

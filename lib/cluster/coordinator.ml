@@ -39,7 +39,13 @@ type t = {
   messages_total : Obs.Instrument.Counter.t;
   bytes_sent_total : Obs.Instrument.Counter.t;
   bytes_received_total : Obs.Instrument.Counter.t;
-  state : Mutex.t;  (* guards map/slots/now *)
+  state : Mutex.t;  (* guards map/slots/now/tables *)
+  tables : (string, string list) Hashtbl.t;
+      (* the cluster catalog as this coordinator knows it: seeded from
+         the CREATE TABLEs it broadcasts, lazily recovered from a
+         zero-row describe scan otherwise (a coordinator can attach to
+         an already-populated cluster) — distributed aggregates and
+         joins need column names and arities before any shard replies *)
   mutable map : Wire.shard_map;
   mutable slots : slot list;  (* same order as [map.shards] *)
   mutable now : Time.t;  (* mirror of the cluster's logical clock *)
@@ -152,9 +158,15 @@ let exec_shard ?trace t slot sql =
    intersection partitions the global one.  A projected operand breaks
    this (equal projected rows can originate on different shards).
 
-   Joins and aggregates do not distribute shard-locally (join partners
-   and group fragments straddle shards); the coordinator refuses them
-   rather than return silently wrong answers. *)
+   Joins and aggregates are not shard-local in general (join partners
+   and group fragments straddle shards), but they still distribute
+   through other routes — see [route_complex] below: grouped aggregates
+   (GROUP BY, HAVING, AVG included) combine from per-shard
+   expiration-slice partials, joins run shard-locally when both sides
+   hash on the join key or via a broadcast of the small side, and the
+   non-distributable remainder falls back to gathering the base tables
+   and computing at the coordinator.  Only genuinely per-node features
+   (views, triggers, constraints, CHECKPOINT) stay refused. *)
 let rec tuple_preserving = function
   | Ast.Select
       { items = [ Ast.Star ];
@@ -180,25 +192,6 @@ let rec distributable = function
   | Ast.Union (a, b) -> distributable a && distributable b
   | Ast.Except (a, b) | Ast.Intersect (a, b) ->
     tuple_preserving a && tuple_preserving b
-
-(* A global exact aggregate the coordinator can combine from per-shard
-   partials: single table, no GROUP BY/HAVING, exactly one aggregate
-   item whose combine rule is algebraic over the disjoint hash
-   partitions — COUNT and SUM partials add, MIN/MAX take the extremum.
-   AVG is not recoverable from the bare per-shard averages (it would
-   need the counts shipped alongside), so it stays refused. *)
-let combinable_aggregate = function
-  | Ast.Select
-      { items = [ Ast.Agg a ];
-        source = Ast.From_table _;
-        group_by = [];
-        having = None;
-        _
-      } ->
-    (match a with
-     | Ast.Count_star | Ast.Sum_of _ | Ast.Min_of _ | Ast.Max_of _ -> Some a
-     | Ast.Avg_of _ -> None)
-  | _ -> None
 
 (* An approximate aggregate served by a sketch.  Shard-decomposability
    is the sketches' defining property: each shard folds its partition
@@ -238,7 +231,10 @@ let span_offset_us tr at =
    max texp (Eq (3) of the paper's union), overall texp(e) the min over
    partials — exact for disjoint hash partitions.  Presentation mirrors
    [Interp.order_and_limit]: ORDER BY keys first, full-tuple compare as
-   the deterministic tie-break, then LIMIT. *)
+   the deterministic tie-break, then LIMIT.  ORDER BY names resolve
+   through the same [Lower.order_by_position] the single-node
+   presentation path uses — qualified labels, suffix matches and
+   ambiguity all behave identically on both paths. *)
 let merge_partials ~columns ~order_by ~limit partials =
   let tbl = Hashtbl.create 64 in
   let order = ref [] in
@@ -254,33 +250,9 @@ let merge_partials ~columns ~order_by ~limit partials =
         rows)
     partials;
   let merged = List.rev_map (fun vs -> (vs, Hashtbl.find tbl vs)) !order in
-  let position_of { Ast.qualifier; column } =
-    let name =
-      match qualifier with
-      | Some q -> q ^ "." ^ column
-      | None -> column
-    in
-    let rec find i = function
-      | [] ->
-        let rec find_suffix i = function
-          | [] -> failwith (Printf.sprintf "unknown ORDER BY column %s" name)
-          | label :: rest ->
-            if
-              qualifier = None
-              && String.length label > String.length column
-              && String.sub label
-                   (String.length label - String.length column - 1)
-                   (String.length column + 1)
-                 = "." ^ column
-            then i
-            else find_suffix (i + 1) rest
-        in
-        find_suffix 1 columns
-      | label :: rest -> if String.equal label name then i else find (i + 1) rest
-    in
-    find 1 columns
+  let keys =
+    List.map (fun (r, d) -> (Lower.order_by_position ~columns r, d)) order_by
   in
-  let keys = List.map (fun (r, d) -> (position_of r, d)) order_by in
   let compare_rows (vs1, _) (vs2, _) =
     let attr vs pos = List.nth vs (pos - 1) in
     let rec go = function
@@ -349,8 +321,21 @@ let fan_out ?trace t contacted request =
     [] results
   |> List.rev
 
+(* A shard that died or answered garbage mid-gather: surface one typed
+   [Shard_failed] error naming the shard.  Partitions are disjoint, so
+   a missing partial means a missing slice of the answer — there is no
+   sound way to answer from the surviving shards. *)
+let shard_failed slot message =
+  Wire.Err
+    { code = Wire.Shard_failed;
+      message =
+        Printf.sprintf "shard %d: %s" slot.shard.Wire.shard_id message
+    }
+
 (* Collect [Shard_rows] partials, short-circuiting on the first shard
-   error. *)
+   error.  An [Err] the shard itself sent passes through untouched (it
+   is a statement-level verdict, e.g. a parse error); a transport
+   failure or an off-protocol reply becomes [Shard_failed]. *)
 let gather_rows partials =
   let rec gather acc = function
     | [] -> Ok (List.rev acc)
@@ -359,13 +344,8 @@ let gather_rows partials =
       gather ((columns, rows, texp_e, recomputed) :: acc) rest
     | (_, Ok (Wire.Err _ as e)) :: _ -> Error e
     | (slot, Ok _) :: _ ->
-      Error
-        (err
-           (Printf.sprintf "shard %d: unexpected reply to a query"
-              slot.shard.Wire.shard_id))
-    | (slot, Error msg) :: _ ->
-      Error
-        (err (Printf.sprintf "shard %d: %s" slot.shard.Wire.shard_id msg))
+      Error (shard_failed slot "unexpected reply to a query")
+    | (slot, Error msg) :: _ -> Error (shard_failed slot msg)
   in
   gather [] partials
 
@@ -406,81 +386,78 @@ let scatter_gather ?trace ~prune t (qs : Ast.query_stmt) sql =
            texp_e = Time.min_list (List.map (fun (_, _, te, _) -> te) parts);
            recomputed = List.exists (fun (_, _, _, r) -> r) parts
          }
-     | exception Failure message -> err message)
+     | exception Failure message | exception Lower.Error message ->
+       err message)
 
-(* A global exact aggregate, combined from per-shard partials.  Every
-   shard evaluates the same statement over its own partition (the empty
-   global GROUP BY yields at most one row per shard; an empty partition
-   yields none) and the coordinator folds the single-value partials
-   with the function's combine rule.  NULL partials — a shard whose
-   live rows are all NULL in the aggregated attribute — drop out,
-   exactly as NULL attrs drop out of a single-node aggregate; if every
-   shard with rows is NULL, the combined answer is NULL.  The combined
-   row's texp is the min over contributing partials' row texps, and the
-   answer's texp(e) folds in both the partials' texp(e)s and their row
-   texps: a shard whose own partition merely empties reports
-   [texp_e = Inf] (its row expiring is maintainable by expiration
-   alone), but in the combined result that same expiry changes a
-   still-live global value, which takes a recomputation.  Both bounds
-   are conservative — the exact change-point analysis lives with the
-   shards' full partitions — and sound: the combined answer cannot
-   outlive any partial it was built from. *)
-let scatter_aggregate ?trace t (qs : Ast.query_stmt) agg sql =
+(* A grouped (or global) exact aggregate, combined from per-shard
+   expiration-slice partials.  Every shard evaluates the decomposed
+   child over its own partition and condenses it with
+   [Partial_agg.of_relation]; the coordinator merges the partials —
+   groups unite by key, slices by expiration time, counts/sums add and
+   extrema extremise over the disjoint hash partitions — and runs the
+   {e same} finalisation a single node fusing the query would run.
+   Rows, per-row texps (the union-rule collapse of each group's member
+   expirations) and the answer's change point nu therefore come out
+   identical to a single node holding all rows.  AVG is exact because
+   it never travels as an average: the slices carry its SUM and COUNT
+   components and the quotient is taken once, here, at finalisation.
+   A shard whose summary proves its partition empty at tau contributes
+   a vacuous partial and is pruned from the fan-out entirely — the
+   coordinator knows the columns and the finalisation of the merged
+   rest is unaffected. *)
+let scatter_partial_agg ?trace ~prune t (qs : Ast.query_stmt)
+    (d : Lower.decomposed) ~columns ~child_arity sql =
   Obs.Instrument.Counter.incr t.fanouts_total;
-  let replies =
-    fan_out ?trace t (slots t) (Wire.Exec_shard { sql; ctx = ctx_of trace })
+  let tau = query_tau t qs in
+  let all = slots t in
+  let contacted, pruned =
+    if not prune then (all, [])
+    else List.partition (fun s -> not (prunable s tau)) all
   in
-  match gather_rows replies with
+  List.iter
+    (fun (_ : slot) -> Obs.Instrument.Counter.incr t.pruned_total)
+    pruned;
+  let replies =
+    fan_out ?trace t contacted (Wire.Agg_shard { sql; ctx = ctx_of trace })
+  in
+  let rec gather partials texps = function
+    | [] -> Ok (List.rev partials, texps)
+    | (_, Ok (Wire.Shard_agg { groups; child_texp; _ })) :: rest ->
+      gather (groups :: partials) (child_texp :: texps) rest
+    | (_, Ok (Wire.Err _ as e)) :: _ -> Error e
+    | (slot, Ok _) :: _ ->
+      Error (shard_failed slot "unexpected reply to an aggregate request")
+    | (slot, Error msg) :: _ -> Error (shard_failed slot msg)
+  in
+  match gather [] [] replies with
   | Error e -> e
-  | Ok [] -> err "no shards"
-  | Ok ((columns, _, _, _) :: _ as parts) ->
-    let values =
-      List.concat_map
-        (fun (_, rows, _, _) ->
-          List.filter_map
-            (function
-              | ([ v ], texp) -> Some (v, texp)
-              | _ -> None)
-            rows)
-        parts
-    in
-    let combine a b =
-      match agg with
-      | Ast.Count_star | Ast.Sum_of _ -> Value.add a b
-      | Ast.Min_of _ -> if Value.compare b a < 0 then b else a
-      | Ast.Max_of _ -> if Value.compare b a > 0 then b else a
-      | Ast.Avg_of _ -> assert false (* not combinable; never routed here *)
-    in
-    let rows =
-      match List.filter (fun (v, _) -> not (Value.is_null v)) values with
-      | [] ->
-        (match values with
-         | [] -> [] (* every partition empty: no row, like a single node *)
-         | (_, texp) :: rest ->
-           [ ([ Value.Null ],
-              List.fold_left (fun e (_, e') -> Time.min e e') texp rest) ])
-      | (v, texp) :: rest ->
-        let value, texp =
-          List.fold_left
-            (fun (v, e) (v', e') -> (combine v v', Time.min e e'))
-            (v, texp) rest
-        in
-        [ ([ value ], texp) ]
-    in
-    let rows =
-      match qs.Ast.limit with
-      | Some n -> List.filteri (fun i _ -> i < n) rows
-      | None -> rows
-    in
-    Wire.Rows
-      { columns;
-        rows;
-        texp_e =
-          Time.min_list
-            (List.map (fun (_, _, te, _) -> te) parts
-            @ List.map snd values);
-        recomputed = List.exists (fun (_, _, _, r) -> r) parts
-      }
+  | Ok (partials, child_texps) ->
+    (match
+       Expirel_exec.Partial_agg.finalize ~group:d.Lower.d_group
+         ~func:d.Lower.d_func ~child_arity ?having:d.Lower.d_having
+         ~projection:d.Lower.d_projection
+         (Expirel_exec.Partial_agg.merge_all partials)
+     with
+     | relation, invalidation ->
+       let rows =
+         List.map
+           (fun (tuple, e) -> (Tuple.to_list tuple, e))
+           (Relation.to_list relation)
+       in
+       (match
+          merge_partials ~columns ~order_by:qs.Ast.order_by
+            ~limit:qs.Ast.limit [ rows ]
+        with
+        | listing ->
+          Wire.Rows
+            { columns;
+              rows = listing;
+              texp_e = Time.min_list (invalidation :: child_texps);
+              recomputed = false
+            }
+        | exception Failure message | exception Lower.Error message ->
+          err message)
+     | exception Invalid_argument message -> err message)
 
 (* An approximate aggregate: every shard folds its partition into a
    bounded-memory sketch and ships the serialised partial; the
@@ -502,13 +479,8 @@ let scatter_sketch ?trace t (qs : Ast.query_stmt) sql =
       gather ((columns, payload) :: acc) rest
     | (_, Ok (Wire.Err _ as e)) :: _ -> Error e
     | (slot, Ok _) :: _ ->
-      Error
-        (err
-           (Printf.sprintf "shard %d: unexpected reply to a sketch request"
-              slot.shard.Wire.shard_id))
-    | (slot, Error msg) :: _ ->
-      Error
-        (err (Printf.sprintf "shard %d: %s" slot.shard.Wire.shard_id msg))
+      Error (shard_failed slot "unexpected reply to a sketch request")
+    | (slot, Error msg) :: _ -> Error (shard_failed slot msg)
   in
   match gather [] replies with
   | Error e -> e
@@ -548,7 +520,8 @@ let scatter_sketch ?trace t (qs : Ast.query_stmt) sql =
         | listing ->
           Wire.Rows
             { columns; rows = listing; texp_e = horizon; recomputed = false }
-        | exception Failure message -> err message))
+        | exception Failure message | exception Lower.Error message ->
+          err message))
 
 (* ---------- routed writes and broadcasts ---------- *)
 
@@ -619,6 +592,264 @@ let forward_to_any ?trace t sql =
   in
   go (slots t)
 
+(* ---------- distributed joins and the gather fallback ---------- *)
+
+(* The cluster catalog: cached CREATE TABLE columns, lazily recovered
+   from a zero-row describe scan (single-table scans label columns with
+   their bare DDL names, exactly what shard-side lowering sees) when
+   this coordinator did not create the table itself. *)
+let table_columns ?trace t name =
+  match locked t (fun () -> Hashtbl.find_opt t.tables name) with
+  | Some columns -> Some columns
+  | None ->
+    (match
+       forward_to_any ?trace t (Printf.sprintf "SELECT * FROM %s LIMIT 0" name)
+     with
+     | Wire.Rows { columns; _ } ->
+       locked t (fun () -> Hashtbl.replace t.tables name columns);
+       Some columns
+     | _ -> None)
+
+let coord_catalog ?trace t : Lower.catalog =
+ fun name -> table_columns ?trace t name
+
+let cluster_count ?trace t name =
+  let replies =
+    fan_out ?trace t (slots t)
+      (Wire.Exec_shard
+         { sql = Printf.sprintf "SELECT COUNT(*) FROM %s" name;
+           ctx = ctx_of trace
+         })
+  in
+  match gather_rows replies with
+  | Error e -> Error e
+  | Ok parts ->
+    Ok
+      (List.fold_left
+         (fun acc (_, rows, _, _) ->
+           List.fold_left
+             (fun acc (vs, _) ->
+               match vs with
+               | [ Value.Int n ] -> acc + n
+               | _ -> acc)
+             acc rows)
+         0 parts)
+
+(* A table's complete, cluster-wide contents with per-row texps —
+   partitions are disjoint, so plain concatenation is the union. *)
+let gather_table_rows ?trace t name =
+  let replies =
+    fan_out ?trace t (slots t)
+      (Wire.Exec_shard
+         { sql = Printf.sprintf "SELECT * FROM %s" name; ctx = ctx_of trace })
+  in
+  match gather_rows replies with
+  | Error e -> Error e
+  | Ok parts -> Ok (List.concat_map (fun (_, rows, _, _) -> rows) parts)
+
+(* The lowered two-table join under any Project/Select wrappers. *)
+let rec find_join = function
+  | Algebra.Project (_, e) | Algebra.Select (_, e) -> find_join e
+  | Algebra.Join (p, Algebra.Base l, Algebra.Base r) -> Some (p, l, r)
+  | _ -> None
+
+(* Rows route to shards by the hash of their first column, so a join
+   whose condition equates the two first columns is co-partitioned:
+   every pair of join partners shares a hash, hence a shard, and the
+   per-shard local joins partition the global one — the ordinary
+   scatter-gather of the original statement is exact. *)
+let co_partitioned p ~left_arity =
+  List.exists
+    (function
+      | Predicate.Cmp (Predicate.Eq, Predicate.Col 1, Predicate.Col c)
+      | Predicate.Cmp (Predicate.Eq, Predicate.Col c, Predicate.Col 1) ->
+        c = left_arity + 1
+      | _ -> false)
+    (Predicate.conjuncts p)
+
+(* Ship at most this many build-side rows to every shard; beyond it the
+   coordinator gathers and computes instead of multiplying the traffic
+   by the fleet size. *)
+let broadcast_limit = 4096
+
+(* Broadcast-side hash join: ship the small side's complete contents to
+   every shard, which joins them against its local fragment of the
+   other side.  Probe fragments are disjoint, so the union of per-shard
+   results is the exact join; a self-join (both sides the same table)
+   degenerates to every contacted shard computing the full join, which
+   the union-rule merge deduplicates. *)
+let scatter_broadcast_join ?trace ~prune t (qs : Ast.query_stmt) ~build_table
+    ~build_rows sql =
+  Obs.Instrument.Counter.incr t.fanouts_total;
+  let tau = query_tau t qs in
+  let all = slots t in
+  let contacted, pruned =
+    if not prune then (all, [])
+    else begin
+      match List.partition (fun s -> not (prunable s tau)) all with
+      | [], everyone -> ([ List.hd everyone ], List.tl everyone)
+      | split -> split
+    end
+  in
+  List.iter
+    (fun (_ : slot) -> Obs.Instrument.Counter.incr t.pruned_total)
+    pruned;
+  let replies =
+    fan_out ?trace t contacted
+      (Wire.Join_shard { sql; build_table; build_rows; ctx = ctx_of trace })
+  in
+  match gather_rows replies with
+  | Error e -> e
+  | Ok [] -> err "no shards"
+  | Ok ((columns, _, _, _) :: _ as parts) ->
+    (match
+       merge_partials ~columns ~order_by:qs.Ast.order_by ~limit:qs.Ast.limit
+         (List.map (fun (_, rows, _, _) -> rows) parts)
+     with
+     | listing ->
+       Wire.Rows
+         { columns;
+           rows = listing;
+           texp_e = Time.min_list (List.map (fun (_, _, te, _) -> te) parts);
+           recomputed = false
+         }
+     | exception Failure message | exception Lower.Error message ->
+       err message)
+
+(* The non-distributable remainder (projected EXCEPT/INTERSECT,
+   aggregates over joins, oversized broadcast joins, AT-joins): gather
+   every base table's rows, rebuild them in a throwaway single-node
+   session synchronised to the cluster clock, and let the full
+   single-node engine answer.  Correct for anything it can express —
+   the session holds exactly the cluster's live rows with their
+   original texps — at the cost of shipping the tables. *)
+let rec query_tables = function
+  | Ast.Select { Ast.source = Ast.From_table n; _ } -> [ n ]
+  | Ast.Select { Ast.source = Ast.From_join (l, r, _); _ } -> [ l; r ]
+  | Ast.Union (a, b) | Ast.Except (a, b) | Ast.Intersect (a, b) ->
+    query_tables a @ query_tables b
+
+let gather_compute ?trace t (qs : Ast.query_stmt) =
+  Obs.Instrument.Counter.incr t.fanouts_total;
+  let local = Interp.create () in
+  let tables = List.sort_uniq String.compare (query_tables qs.Ast.q) in
+  let load =
+    List.fold_left
+      (fun acc name ->
+        match acc with
+        | Error _ as e -> e
+        | Ok () ->
+          (match table_columns ?trace t name with
+           | None -> Error (err (Printf.sprintf "unknown table %s" name))
+           | Some columns ->
+             (match Interp.exec local (Ast.Create_table (name, columns)) with
+              | Error m -> Error (err m)
+              | Ok _ ->
+                (match gather_table_rows ?trace t name with
+                 | Error e -> Error e
+                 | Ok rows ->
+                   List.iter
+                     (fun (vs, texp) ->
+                       Expirel_storage.Database.insert_values
+                         (Interp.database local) name vs ~texp)
+                     rows;
+                   Ok ()))))
+      (Ok ()) tables
+  in
+  match load with
+  | Error e -> e
+  | Ok () ->
+    let clocked =
+      match Time.to_int_opt (locked t (fun () -> t.now)) with
+      | Some n when n > 0 ->
+        Result.map ignore (Interp.exec local (Ast.Advance_to n))
+      | _ -> Ok ()
+    in
+    (match clocked with
+     | Error m -> err m
+     | Ok () ->
+       (match Interp.exec local (Ast.Query qs) with
+        | Ok (Interp.Rows { columns; listing; texp_e; recomputed; _ }) ->
+          Wire.Rows
+            { columns;
+              rows =
+                List.map (fun (tp, e) -> (Tuple.to_list tp, e)) listing;
+              texp_e;
+              recomputed
+            }
+        | Ok (Interp.Msg m) -> Wire.Ok_msg m
+        | Error m -> err m))
+
+let broadcast_join ?trace ~prune t (qs : Ast.query_stmt)
+    (compiled : Lower.compiled) sql =
+  match find_join compiled.Lower.expr with
+  | None -> gather_compute ?trace t qs
+  | Some (_, l, r) ->
+    (match cluster_count ?trace t l, cluster_count ?trace t r with
+     | Error e, _ | _, Error e -> e
+     | Ok nl, Ok nr ->
+       if min nl nr > broadcast_limit then gather_compute ?trace t qs
+       else
+         let build = if nl <= nr then l else r in
+         (match gather_table_rows ?trace t build with
+          | Error e -> e
+          | Ok build_rows ->
+            scatter_broadcast_join ?trace ~prune t qs ~build_table:build
+              ~build_rows sql))
+
+(* Route a query none of the shard-local strategies covers.  In order:
+   grouped aggregates that decompose into per-shard slice partials;
+   two-table joins — shard-local scatter when co-partitioned on the
+   join key, broadcast of the small side otherwise; and the
+   gather-then-compute fallback for everything else. *)
+let route_complex ?trace ~prune t (qs : Ast.query_stmt) sql =
+  match Lower.lower_query ~catalog:(coord_catalog ?trace t) qs.Ast.q with
+  | exception Lower.Error message -> err message
+  | compiled ->
+    (match Lower.decompose compiled with
+     | Some d ->
+       let child_arity =
+         match d.Lower.d_child with
+         | Algebra.Base name | Algebra.Select (_, Algebra.Base name) ->
+           (match table_columns ?trace t name with
+            | Some columns -> List.length columns
+            | None -> 0)
+         | _ -> 0
+       in
+       scatter_partial_agg ?trace ~prune t qs d
+         ~columns:compiled.Lower.columns ~child_arity sql
+     | None ->
+       (match qs.Ast.q with
+        | Ast.Select
+            { source = Ast.From_join (l, _, _);
+              group_by = [];
+              having = None;
+              items;
+              _
+            }
+          when List.for_all
+                 (function
+                   | Ast.Star | Ast.Column _ -> true
+                   | Ast.Agg _ | Ast.Approx_count _ | Ast.Sample _ -> false)
+                 items ->
+          (match find_join compiled.Lower.expr with
+           | Some (p, _, _) ->
+             let left_arity =
+               match table_columns ?trace t l with
+               | Some columns -> List.length columns
+               | None -> 0
+             in
+             if left_arity > 0 && co_partitioned p ~left_arity then
+               scatter_gather ?trace ~prune t qs sql
+             else if qs.Ast.at <> None then
+               (* a broadcast join evaluates at the shards' now; a
+                  future AT needs the snapshot semantics only the
+                  gathered evaluation provides *)
+               gather_compute ?trace t qs
+             else broadcast_join ?trace ~prune t qs compiled sql
+           | None -> gather_compute ?trace t qs)
+        | _ -> gather_compute ?trace t qs))
+
 (* ---------- the statement entry point ---------- *)
 
 let advance_clock t target = locked t (fun () -> t.now <- Time.max t.now target)
@@ -628,14 +859,7 @@ let exec_parsed ?trace ~prune t stmt sql =
   | Ast.Query qs ->
     if distributable qs.Ast.q then scatter_gather ?trace ~prune t qs sql
     else if sketchable qs.Ast.q then scatter_sketch ?trace t qs sql
-    else
-      (match combinable_aggregate qs.Ast.q with
-       | Some agg -> scatter_aggregate ?trace t qs agg sql
-       | None ->
-         err
-           "not distributable: joins, GROUP BY, AVG and projected \
-            EXCEPT/INTERSECT need their partners on one shard; run them \
-            against a single node or restructure the query")
+    else route_complex ?trace ~prune t qs sql
   | Ast.Insert { values = key :: _; _ } -> route_insert ?trace t ~key sql
   | Ast.Insert { values = []; _ } -> err "INSERT needs at least one value"
   | Ast.Advance_to n ->
@@ -651,8 +875,20 @@ let exec_parsed ?trace ~prune t stmt sql =
        locked t (fun () -> t.now <- Time.add t.now (Time.of_int n))
      | _ -> ());
     r
-  | Ast.Create_table _ | Ast.Drop_table _ | Ast.Create_index _
-  | Ast.Drop_index _ | Ast.Delete _ | Ast.Vacuum ->
+  | Ast.Create_table (name, columns) ->
+    let r = broadcast ?trace t sql ~merge:merge_acks in
+    (match r with
+     | Wire.Ok_msg _ ->
+       locked t (fun () -> Hashtbl.replace t.tables name columns)
+     | _ -> ());
+    r
+  | Ast.Drop_table name ->
+    let r = broadcast ?trace t sql ~merge:merge_acks in
+    (match r with
+     | Wire.Ok_msg _ -> locked t (fun () -> Hashtbl.remove t.tables name)
+     | _ -> ());
+    r
+  | Ast.Create_index _ | Ast.Drop_index _ | Ast.Delete _ | Ast.Vacuum ->
     broadcast ?trace t sql ~merge:merge_acks
   | Ast.Explain _ | Ast.Explain_analyze _ ->
     broadcast ?trace t sql ~merge:merge_texts
@@ -789,6 +1025,7 @@ let create ?(node_name = "coordinator") ?health_rules
           ~help:"Bytes of encoded replies received from shards (framing \
                  included)";
       state = Mutex.create ();
+      tables = Hashtbl.create 16;
       map;
       slots = [];
       now = Time.zero;

@@ -61,12 +61,26 @@ val exec :
       of such, tuple-preserving EXCEPT/INTERSECT) scatter-gather with
       pruning (disable with [~prune:false] to force a full broadcast —
       results are identical, that is the pruning soundness contract).
+    - Grouped aggregates (GROUP BY, HAVING, COUNT/SUM/MIN/MAX/AVG) over
+      one table combine from per-shard expiration-slice partials
+      ({!Expirel_exec.Partial_agg}): rows {e and} texps identical to a
+      single node holding all rows.  AVG travels as SUM + COUNT, never
+      pre-averaged.
+    - Two-table joins run shard-locally when co-partitioned (the
+      condition equates both first columns, the hash key) and as
+      broadcast hash joins otherwise (the smaller side, up to 4096
+      rows, ships to every shard).  Oversized or [AT]-qualified
+      broadcast joins, projected EXCEPT/INTERSECT and aggregates over
+      joins fall back to gathering the base tables and computing at
+      the coordinator — exact, at shipping cost.
     - [INSERT] routes to the key's owner shard.
     - DDL, [DELETE], [ADVANCE]/[TICK], [VACUUM] broadcast to all
       shards; [EXPLAIN]/[EXPLAIN ANALYZE] broadcast and concatenate
       per-shard reports.
-    - Joins, aggregates, GROUP BY and projected EXCEPT/INTERSECT are
-      refused ([Err]) rather than answered wrongly.
+    - Only per-node features — views, triggers, constraints,
+      [CHECKPOINT] — are refused ([Err]).
+    - A shard that dies or answers garbage mid-gather surfaces as one
+      [Err] with code [Shard_failed] naming the shard.
 
     With [trace], spans record there and the context ships to every
     contacted shard ([rpc:shard-<id>] spans); without, a fresh trace is

@@ -232,6 +232,31 @@ let run ?(strategy = Aggregate.Exact) ?probe ?profile ~db compiled =
         Ops.aggregate strategy ~tau ~group func child.Eval.relation
       in
       { Eval.relation; texp = Time.min child.Eval.texp invalidation }
+    | Plan.Grouped_aggregate { group; func; having; projection; child = c } ->
+      let child = go c (child1 prof) in
+      (match strategy with
+       | Aggregate.Exact ->
+         let child_arity = Relation.arity child.Eval.relation in
+         let relation, invalidation =
+           Partial_agg.finalize ~group ~func ~child_arity ?having ~projection
+             (Partial_agg.of_relation ~group ~func child.Eval.relation)
+         in
+         { Eval.relation; texp = Time.min child.Eval.texp invalidation }
+       | Aggregate.Conservative | Aggregate.Neutral | Aggregate.Within _ ->
+         (* The non-exact strategies are not recomputable from slice
+            partials (neutral subsets need member identity); compose the
+            reference operators instead. *)
+         let grouped, invalidation =
+           Ops.aggregate strategy ~tau ~group func child.Eval.relation
+         in
+         let selected =
+           match having with
+           | None -> grouped
+           | Some p -> Ops.select p grouped
+         in
+         { Eval.relation = Ops.project projection selected;
+           texp = Time.min child.Eval.texp invalidation
+         })
     | Plan.Sketch_count { epsilon; child = c } ->
       sketch_node (Approx.Count { epsilon }) ~arity:2 c prof
     | Plan.Sketch_sample { k; child = c } ->

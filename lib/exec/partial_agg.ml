@@ -1,0 +1,290 @@
+open Expirel_core
+
+(* Decomposed (partial) aggregation — the distributable form of the
+   paper's agg^exp (Section 2.6.1).
+
+   A partial condenses one relation fragment into per-group *expiration
+   slices*: for every distinct finite expiration time one slice carrying
+   the counts/sums/extrema of the members expiring exactly then, plus an
+   immortal slice.  Slices merge componentwise across fragments (the
+   hash partitions are disjoint, so counts add and sums combine), and
+   every quantity the exact strategy needs — the value at tau, the
+   change point nu (Equation (9)), the partition's complete-expiration
+   time — is recomputable from the merged slices alone.  AVG never
+   travels as an average: a slice ships the float sum and the non-null
+   count, and the quotient is taken only at finalisation, which is what
+   makes AVG combinable where bare per-fragment averages are not.
+
+   The same machinery serves two callers: the executor's fused
+   aggregate node (build one partial, finalise it — bit-identical to
+   composing agg^exp with the having-selection and the projection), and
+   the cluster coordinator (merge one partial per shard, finalise the
+   union).  Single-node and distributed grouped queries therefore run
+   the very same finalisation code. *)
+
+type slice = {
+  s_texp : Time.t;  (* the instant these members expire; [Inf] = never *)
+  s_rows : int;  (* members in the slice *)
+  s_nonnull : int;  (* members with a non-null aggregated attribute *)
+  s_sum : Value.t;  (* SUM partial; [Null] when no non-null member *)
+  s_fsum : float;  (* AVG numerator (non-numeric attrs contribute 0) *)
+  s_min : Value.t;  (* MIN partial; [Null] when no non-null member *)
+  s_max : Value.t;  (* MAX partial *)
+}
+
+type group = {
+  key : Value.t list;  (* the GROUP BY attribute values *)
+  slices : slice list;  (* ascending [s_texp], the immortal slice last *)
+}
+
+type t = group list
+
+(* ---------- building a partial from one fragment ---------- *)
+
+let empty_slice texp =
+  { s_texp = texp;
+    s_rows = 0;
+    s_nonnull = 0;
+    s_sum = Value.Null;
+    s_fsum = 0.;
+    s_min = Value.Null;
+    s_max = Value.Null
+  }
+
+(* Componentwise accumulation.  The sum is null-aware ([Null] is the
+   unit, mirroring how null attributes never contribute to agg^exp) and
+   raises [Invalid_argument] on non-numeric operands exactly where
+   [Aggregate.apply Sum] would. *)
+let add_sum a b =
+  match a, b with
+  | Value.Null, v | v, Value.Null -> v
+  | a, b -> Value.add a b
+
+let pick keep a b =
+  match a, b with
+  | Value.Null, v | v, Value.Null -> v
+  | a, b -> if keep (Value.compare b a) then b else a
+
+let min_v = pick (fun c -> c < 0)
+let max_v = pick (fun c -> c > 0)
+
+let observe ~func slice value =
+  let nonnull = not (Value.is_null value) in
+  { slice with
+    s_rows = slice.s_rows + 1;
+    s_nonnull = (if nonnull then slice.s_nonnull + 1 else slice.s_nonnull);
+    s_sum =
+      (match func with
+       | Aggregate.Sum _ when nonnull -> add_sum slice.s_sum value
+       | _ -> slice.s_sum);
+    s_fsum =
+      (if nonnull then
+         slice.s_fsum +. Option.value ~default:0. (Value.to_float value)
+       else slice.s_fsum);
+    s_min = (if nonnull then min_v slice.s_min value else slice.s_min);
+    s_max = (if nonnull then max_v slice.s_max value else slice.s_max)
+  }
+
+module Key_map = Map.Make (struct
+  type t = Value.t list
+
+  let compare = List.compare Value.compare
+end)
+
+module Time_map = Map.Make (Time)
+
+let of_relation ~group ~func relation =
+  let attr_of t =
+    match Aggregate.func_attr func with
+    | Some i -> Tuple.attr t i
+    | None -> Value.Null  (* COUNT aggregates no attribute *)
+  in
+  let groups =
+    Relation.fold
+      (fun t texp acc ->
+        let key = List.map (Tuple.attr t) group in
+        let slices = Option.value ~default:Time_map.empty (Key_map.find_opt key acc) in
+        let slice =
+          Option.value ~default:(empty_slice texp) (Time_map.find_opt texp slices)
+        in
+        Key_map.add key
+          (Time_map.add texp (observe ~func slice (attr_of t)) slices)
+          acc)
+      relation Key_map.empty
+  in
+  Key_map.fold
+    (fun key slices acc ->
+      (* Time_map.bindings is ascending, and [Inf] is the greatest time,
+         so the immortal slice lands last by construction. *)
+      { key; slices = List.map snd (Time_map.bindings slices) } :: acc)
+    groups []
+  |> List.rev
+
+(* ---------- merging partials (disjoint fragments) ---------- *)
+
+let merge_slices a b =
+  { s_texp = a.s_texp;
+    s_rows = a.s_rows + b.s_rows;
+    s_nonnull = a.s_nonnull + b.s_nonnull;
+    s_sum = add_sum a.s_sum b.s_sum;
+    s_fsum = a.s_fsum +. b.s_fsum;
+    s_min = min_v a.s_min b.s_min;
+    s_max = max_v a.s_max b.s_max
+  }
+
+let merge_slice_lists xs ys =
+  let rec go xs ys =
+    match xs, ys with
+    | [], rest | rest, [] -> rest
+    | x :: xs', y :: ys' ->
+      let c = Time.compare x.s_texp y.s_texp in
+      if c < 0 then x :: go xs' ys
+      else if c > 0 then y :: go xs ys'
+      else merge_slices x y :: go xs' ys'
+  in
+  go xs ys
+
+let slices_map partial =
+  List.fold_left
+    (fun acc g ->
+      Key_map.update g.key
+        (function
+          | None -> Some g.slices
+          | Some slices -> Some (merge_slice_lists slices g.slices))
+        acc)
+    Key_map.empty partial
+
+let merge a b =
+  Key_map.fold
+    (fun key slices acc -> { key; slices } :: acc)
+    (slices_map (a @ b)) []
+  |> List.rev
+
+let merge_all = function
+  | [] -> []
+  | [ p ] -> p
+  | p :: rest -> List.fold_left merge p rest
+
+(* ---------- finalisation (the exact strategy) ---------- *)
+
+(* The aggregate value over a set of slices — [apply f] recomputed from
+   the condensed form. *)
+let value_of ~func total =
+  match (func : Aggregate.func) with
+  | Aggregate.Count -> Value.Int total.s_rows
+  | Aggregate.Sum _ -> total.s_sum
+  | Aggregate.Min _ -> total.s_min
+  | Aggregate.Max _ -> total.s_max
+  | Aggregate.Avg _ ->
+    if total.s_nonnull = 0 then Value.Null
+    else Value.Float (total.s_fsum /. float_of_int total.s_nonnull)
+
+(* Suffix totals: [suffix.(i)] condenses slices [i..]; the change-point
+   scan walks them without re-folding per expiry. *)
+let suffix_totals slices =
+  List.fold_right
+    (fun slice acc ->
+      match acc with
+      | [] -> [ slice ]
+      | total :: _ -> merge_slices slice total :: acc)
+    slices []
+
+type finalized = {
+  f_key : Value.t list;
+  f_value : Value.t;
+  f_nu : Time.t;  (* Equation (9)'s change point *)
+  f_empties : Time.t;  (* when the whole partition has expired *)
+}
+
+(* Exactly [Aggregate.nu]: the first finite expiry at which the value
+   over what remains differs from the value at tau (an emptied partition
+   always counts as a change), [Inf] when the value never changes. *)
+let finalize_group ~func { key; slices } =
+  match suffix_totals slices with
+  | [] -> None
+  | total :: _ as suffixes ->
+    if total.s_rows = 0 then None
+    else begin
+      let v0 = value_of ~func total in
+      (* [suffixes.(i)] condenses what is still live after the expiry of
+         slice [i-1]; the suffix after the *last* slice is empty, and an
+         emptying partition always counts as a change. *)
+      let rec change_point = function
+        | [] -> Time.Inf
+        | [ last ] ->
+          if Time.is_infinite last.s_texp then Time.Inf else last.s_texp
+        | slice :: (next :: _ as rest) ->
+          if Time.is_infinite slice.s_texp then Time.Inf
+          else if not (Value.equal v0 (value_of ~func next)) then slice.s_texp
+          else change_point rest
+      in
+      let nu = change_point suffixes in
+      let empties =
+        match List.rev slices with
+        | [] -> Time.Inf
+        | last :: _ -> last.s_texp  (* ascending order: the max *)
+      in
+      Some { f_key = key; f_value = v0; f_nu = nu; f_empties = empties }
+    end
+
+(* A row's expiration under the exact strategy, derived from the slice
+   form: agg^exp assigns each member row [min(nu, texp(member))]
+   (Equation (9) capped by the member, see Ops.aggregate); collapsing
+   the partition to one output row under the projection's union rule
+   takes the max over members, i.e. [min(nu, empties)]. *)
+let row_texp f = Time.min f.f_nu f.f_empties
+
+(* The group's values at the positions the HAVING predicate and the
+   projection may mention: a GROUP BY attribute (by its position in the
+   child) or the aggregate at [child_arity + 1].  Positions outside that
+   set have no single per-group value — the guard in the planner (and
+   the SQL lowering rules) exclude them. *)
+let position_value ~group ~child_arity f j =
+  if j = child_arity + 1 then f.f_value
+  else
+    let rec find gs ks =
+      match gs, ks with
+      | g :: _, k :: _ when g = j -> k
+      | _ :: gs', _ :: ks' -> find gs' ks'
+      | _, _ -> Value.Null
+    in
+    find group f.f_key
+
+let finalize ~group ~func ~child_arity ?having ~projection partial =
+  let finalized = List.filter_map (finalize_group ~func) partial in
+  (* The materialisation invalidates when some partition's rows vanish
+     (at nu) while members outlive them — computed over *every*
+     partition: the HAVING selection and the projection both preserve
+     their child's texp(e). *)
+  let invalidation =
+    List.fold_left
+      (fun acc f ->
+        if Time.(f.f_nu < f.f_empties) then Time.min acc f.f_nu else acc)
+      Time.Inf finalized
+  in
+  let kept =
+    match having with
+    | None -> finalized
+    | Some p ->
+      let full_arity = child_arity + 1 in
+      List.filter
+        (fun f ->
+          let row =
+            List.init full_arity (fun i ->
+                position_value ~group ~child_arity f (i + 1))
+          in
+          Predicate.eval p (Tuple.of_list row))
+        finalized
+  in
+  let relation =
+    List.fold_left
+      (fun acc f ->
+        let tuple =
+          Tuple.of_list
+            (List.map (position_value ~group ~child_arity f) projection)
+        in
+        Relation.add tuple ~texp:(row_texp f) acc)
+      (Relation.empty ~arity:(List.length projection))
+      kept
+  in
+  (relation, invalidation)

@@ -1,0 +1,66 @@
+(** Decomposed (partial) aggregation — the distributable form of the
+    paper's agg^exp (Section 2.6.1).
+
+    A partial condenses a relation fragment into per-group expiration
+    slices: per distinct finite expiration time the counts/sums/extrema
+    of the members expiring exactly then, plus an immortal slice.
+    Partials over disjoint fragments merge componentwise, and the exact
+    strategy's outputs — the value at tau, the change point nu of
+    Equation (9), the partition's complete-expiration time — are all
+    recomputable from the merged slices.  AVG travels as SUM + COUNT
+    (the [s_fsum]/[s_nonnull] components), never as an average, which
+    is what makes it combinable across fragments.
+
+    The executor's fused aggregate node and the cluster coordinator
+    share this module: a single-node grouped query builds one partial
+    and finalises it; a distributed one merges one partial per shard
+    and runs the very same finalisation. *)
+
+open Expirel_core
+
+type slice = {
+  s_texp : Time.t;  (** the instant these members expire; [Inf] = never *)
+  s_rows : int;  (** members in the slice *)
+  s_nonnull : int;  (** members with a non-null aggregated attribute *)
+  s_sum : Value.t;  (** SUM partial; [Null] when no non-null member *)
+  s_fsum : float;  (** AVG numerator (non-numeric attrs contribute 0) *)
+  s_min : Value.t;  (** MIN partial; [Null] when no non-null member *)
+  s_max : Value.t;  (** MAX partial *)
+}
+
+type group = {
+  key : Value.t list;  (** the GROUP BY attribute values *)
+  slices : slice list;  (** ascending [s_texp], the immortal slice last *)
+}
+
+type t = group list
+
+val of_relation : group:int list -> func:Aggregate.func -> Relation.t -> t
+(** Condense one (properly expired) fragment.  [group] are 1-based child
+    positions; the aggregated attribute comes from [func].
+    @raise Invalid_argument where [Aggregate.apply] would (a non-numeric
+    SUM operand). *)
+
+val merge : t -> t -> t
+(** Merge partials over disjoint fragments: groups unite by key, slices
+    by expiration time, components add/extremise.
+    @raise Invalid_argument on non-numeric SUM partials. *)
+
+val merge_all : t list -> t
+
+val finalize :
+  group:int list ->
+  func:Aggregate.func ->
+  child_arity:int ->
+  ?having:Predicate.t ->
+  projection:int list ->
+  t ->
+  Relation.t * Time.t
+(** [(rows, invalidation)]: the grouped query's result under the exact
+    strategy, identical to composing [Ops.aggregate Exact] with the
+    HAVING selection and the projection.  [projection] (and [having]'s
+    columns) may mention GROUP BY positions and [child_arity + 1] (the
+    aggregate); each output row carries [min (nu, empties)] — the
+    union-rule collapse of the member rows' capped expirations — and
+    [invalidation] is the earliest change point that outruns its
+    partition's own expiry, folded over every partition pre-HAVING. *)

@@ -28,6 +28,18 @@ type t =
       func : Aggregate.func;
       child : t;
     }
+  | Grouped_aggregate of {
+      (* The fused aggregate -> HAVING -> projection pipeline, executed
+         over expiration-slice partials (Partial_agg) — the same
+         condensed form shards ship to the cluster coordinator.  Only
+         planned when the projection and the HAVING predicate touch
+         nothing but GROUP BY positions and the aggregate. *)
+      group : int list;
+      func : Aggregate.func;
+      having : Predicate.t option;
+      projection : int list;
+      child : t;
+    }
   | Sketch_count of {
       epsilon : float;
       child : t;
@@ -53,7 +65,7 @@ let operator_name = function
   | Merge_union _ -> "merge-union"
   | Merge_intersect _ -> "merge-intersect"
   | Merge_diff _ -> "merge-diff"
-  | Hash_aggregate _ -> "aggregate"
+  | Hash_aggregate _ | Grouped_aggregate _ -> "aggregate"
   | Sketch_count _ -> "sketch-count"
   | Sketch_sample _ -> "sketch-sample"
 
@@ -62,6 +74,7 @@ let rec size = function
   | Filter (_, c)
   | Project (_, c)
   | Hash_aggregate { child = c; _ }
+  | Grouped_aggregate { child = c; _ }
   | Sketch_count { child = c; _ }
   | Sketch_sample { child = c; _ } ->
     1 + size c
@@ -77,6 +90,7 @@ let children = function
   | Filter (_, c)
   | Project (_, c)
   | Hash_aggregate { child = c; _ }
+  | Grouped_aggregate { child = c; _ }
   | Sketch_count { child = c; _ }
   | Sketch_sample { child = c; _ } ->
     [ c ]
@@ -118,6 +132,14 @@ let describe p =
   | Hash_aggregate { group; func; _ } ->
     Printf.sprintf "%s [group {%s}, %s]" op (positions group)
       (Aggregate.func_to_string func)
+  | Grouped_aggregate { group; func; having; projection; _ } ->
+    Printf.sprintf "%s [group {%s}, %s%s, partials -> (%s)]" op
+      (positions group)
+      (Aggregate.func_to_string func)
+      (match having with
+       | None -> ""
+       | Some p -> Printf.sprintf ", having [%s]" (Predicate.to_string p))
+      (positions projection)
   | Sketch_count { epsilon; _ } -> Printf.sprintf "%s [eps=%g]" op epsilon
   | Sketch_sample { k; _ } -> Printf.sprintf "%s [k=%d]" op k
 

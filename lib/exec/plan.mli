@@ -48,6 +48,18 @@ type t =
       func : Aggregate.func;
       child : t;
     }
+  | Grouped_aggregate of {
+      group : int list;
+      func : Aggregate.func;
+      having : Predicate.t option;
+      projection : int list;
+      child : t;
+    }
+      (** the fused aggregate → HAVING → projection pipeline, executed
+          over expiration-slice partials ({!Partial_agg}) — the same
+          condensed form shards ship to the cluster coordinator.  Only
+          planned when the projection and HAVING touch nothing but GROUP
+          BY positions and the aggregate at [child_arity + 1] *)
   | Sketch_count of {
       epsilon : float;
       child : t;

@@ -32,6 +32,7 @@ let rec estimate_rows db = function
     min (estimate_rows db l) (estimate_rows db r)
   | Plan.Merge_diff (l, _) -> estimate_rows db l
   | Plan.Hash_aggregate { child; _ } -> estimate_rows db child
+  | Plan.Grouped_aggregate { child; _ } -> estimate_rows db child
   | Plan.Sketch_count _ -> 1
   | Plan.Sketch_sample { k; _ } -> k
 
@@ -57,10 +58,38 @@ let join db p l pl pr =
      | Cost.Nested_loop -> Plan.Nested_loop { pred = p; left = pl; right = pr })
   | None -> Plan.Nested_loop { pred = p; left = pl; right = pr }
 
+(* A projection (and optional HAVING selection) directly over an
+   aggregate fuses into one Grouped_aggregate node — executed over
+   expiration-slice partials (Partial_agg), the same condensed form the
+   cluster coordinator merges across shards — provided both touch only
+   GROUP BY positions and the aggregate at [child_arity + 1].  Other
+   positions have no single per-group value, so those plans keep the
+   unfused operator composition. *)
+let fusible db ~projection ~having group child =
+  match Algebra.well_formed ~env:(arity_env db) child with
+  | Error _ -> false
+  | Ok child_arity ->
+    let allowed j = j = child_arity + 1 || List.mem j group in
+    List.for_all allowed projection
+    && (match having with
+        | None -> true
+        | Some p ->
+          Option.is_some
+            (Predicate.rename (fun c -> if allowed c then Some c else None) p))
+
 let rec compile db = function
   | Algebra.Base name -> scan db name None
   | Algebra.Select (p, Algebra.Base name) -> scan db name (Some p)
   | Algebra.Select (p, e) -> Plan.Filter (p, compile db e)
+  | Algebra.Project
+      (js, Algebra.Select (h, Algebra.Aggregate (group, func, e)))
+    when fusible db ~projection:js ~having:(Some h) group e ->
+    Plan.Grouped_aggregate
+      { group; func; having = Some h; projection = js; child = compile db e }
+  | Algebra.Project (js, Algebra.Aggregate (group, func, e))
+    when fusible db ~projection:js ~having:None group e ->
+    Plan.Grouped_aggregate
+      { group; func; having = None; projection = js; child = compile db e }
   | Algebra.Project (js, e) -> Plan.Project (js, compile db e)
   | Algebra.Product (l, r) ->
     Plan.Nested_loop

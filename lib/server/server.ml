@@ -739,6 +739,94 @@ let handle_sketch_shard t ~sql ~ctx =
   Obs.Trace_store.finish t.trace_store ~node:t.config.node_name ~name:sql tr;
   response
 
+(* The shard-side halves of distributed grouped aggregates and
+   broadcast joins.  Both mirror [handle_sketch_shard]: reconstruct the
+   coordinator's trace, parse, evaluate under the read lock, map the
+   interpreter's exceptions onto typed wire errors. *)
+let with_shard_trace t ~sql ~ctx body =
+  let tr =
+    match (ctx : Wire.trace_ctx option) with
+    | None -> Obs.Trace.create ()
+    | Some { trace_id; parent_span = 0 } -> Obs.Trace.create ~trace_id ()
+    | Some { trace_id; parent_span } ->
+      Obs.Trace.create ~trace_id ~parent_span ()
+  in
+  let trace = Some tr in
+  let response =
+    match
+      Obs.Trace.span trace "parse" (fun () -> Interp.parse t.interp sql)
+    with
+    | exception Parser.Error (message, off) ->
+      Wire.Err
+        { code = Wire.Parse_error;
+          message = Printf.sprintf "at offset %d: %s" off message
+        }
+    | statement ->
+      if not (acquire t ~write:false) then
+        Wire.Err
+          { code = Wire.Timeout;
+            message =
+              Printf.sprintf "no lock within %gs" t.config.request_timeout
+          }
+      else
+        Fun.protect
+          ~finally:(fun () -> release t ~write:false)
+          (fun () ->
+            match body trace statement with
+            | response -> response
+            | exception Errors.Unknown_relation name ->
+              Wire.Err
+                { code = Wire.Exec_error;
+                  message = "unknown relation " ^ name
+                }
+            | exception Lower.Error message | exception Failure message ->
+              Wire.Err { code = Wire.Exec_error; message })
+  in
+  Metrics.observe_trace t.metrics ~statement:sql
+    ~total_us:(Obs.Trace.elapsed_us tr) ~spans:(Obs.Trace.spans tr);
+  Obs.Trace_store.finish t.trace_store ~node:t.config.node_name ~name:sql tr;
+  response
+
+let handle_agg_shard t ~sql ~ctx =
+  with_shard_trace t ~sql ~ctx (fun trace -> function
+    | Ast.Query qs ->
+      let columns, partial, child_texp =
+        Interp.aggregate_partial ?trace t.interp qs
+      in
+      Wire.Shard_agg
+        { shard_id = shard_self t;
+          partition = partition_summary t;
+          columns;
+          child_texp;
+          groups = partial
+        }
+    | _ ->
+      Wire.Err
+        { code = Wire.Exec_error;
+          message = "Agg_shard expects a grouped aggregate query"
+        })
+
+let handle_join_shard t ~sql ~build_table ~build_rows ~ctx =
+  with_shard_trace t ~sql ~ctx (fun trace -> function
+    | Ast.Query qs ->
+      let columns, rows, texp_e =
+        Interp.join_broadcast ?trace t.interp qs ~table:build_table
+          ~rows:build_rows
+      in
+      Wire.Shard_rows
+        { shard_id = shard_self t;
+          partition = partition_summary t;
+          columns;
+          rows;
+          texp_e;
+          recomputed = false
+        }
+    | _ ->
+      Wire.Err
+        { code = Wire.Exec_error;
+          message = "Join_shard expects a query"
+        })
+
 let first_column tuple =
   match Tuple.to_list tuple with
   | [] -> None
@@ -902,6 +990,9 @@ let handle_request t conn = function
   | Wire.Shard_install { map; self_id } -> handle_shard_install t ~map ~self_id
   | Wire.Exec_shard { sql; ctx } -> handle_exec_shard t ~sql ~ctx
   | Wire.Sketch_shard { sql; ctx } -> handle_sketch_shard t ~sql ~ctx
+  | Wire.Agg_shard { sql; ctx } -> handle_agg_shard t ~sql ~ctx
+  | Wire.Join_shard { sql; build_table; build_rows; ctx } ->
+    handle_join_shard t ~sql ~build_table ~build_rows ~ctx
   | Wire.Shard_ping -> handle_shard_ping t
   | Wire.Extract_moving table -> handle_extract_moving t table
   | Wire.Ingest_rows { table; ingest } -> handle_ingest_rows t ~table ~ingest

@@ -1,7 +1,7 @@
 open Expirel_core
 open Expirel_storage
 
-let version = 6
+let version = 7
 let max_frame = 16 * 1024 * 1024
 
 type error_code =
@@ -12,6 +12,9 @@ type error_code =
   | Overloaded
   | Shutting_down
   | Version_mismatch
+  | Shard_failed
+      (* a shard died or answered garbage mid-scatter-gather: the
+         distributed query cannot be answered from the surviving rest *)
 
 type event =
   | Row_expired of { subscription : string; row : Value.t list; at : Time.t }
@@ -179,6 +182,19 @@ type request =
   | Sketch_shard of { sql : string; ctx : trace_ctx option }
       (* evaluate an APPROX_COUNT/SAMPLE query's child locally and reply
          with the folded sketch partial instead of rows *)
+  | Agg_shard of { sql : string; ctx : trace_ctx option }
+      (* evaluate a grouped aggregate's decomposed child locally and
+         reply with expiration-slice partials (Shard_agg) instead of
+         rows; AVG travels as SUM + COUNT inside the slices *)
+  | Join_shard of {
+      sql : string;
+      build_table : string;
+      build_rows : (Value.t list * Time.t) list;
+      ctx : trace_ctx option;
+    }
+      (* broadcast join: evaluate [sql] with [build_rows] standing in
+         for [build_table] (the small side's complete contents) and the
+         probe side read from local rows; reply with Shard_rows *)
 
 type response =
   | Ok_msg of string
@@ -228,6 +244,15 @@ type response =
       payload : string;
           (* an Expirel_sketch.Any.to_string encoding, opaque to the
              wire layer: the coordinator decodes and merges partials *)
+    }
+  | Shard_agg of {
+      shard_id : int;
+      partition : partition_texp;
+      columns : string list;
+      child_texp : Time.t;  (* texp(e) of the shard-local child *)
+      groups : Expirel_exec.Partial_agg.group list;
+          (* per-group expiration-slice partials; the coordinator
+             merges them across shards and finalises once *)
     }
 
 (* ---------- writer ---------- *)
@@ -283,6 +308,7 @@ let code_of_error = function
   | Overloaded -> 5
   | Shutting_down -> 6
   | Version_mismatch -> 7
+  | Shard_failed -> 8
 
 (* WAL records reuse their durable on-disk encoding (length checks and
    percent-escaping included), framed as an opaque string. *)
@@ -372,6 +398,19 @@ let put_partition b p =
   put_time b p.min_texp;
   put_time b p.max_texp
 
+let put_slice b (s : Expirel_exec.Partial_agg.slice) =
+  put_time b s.s_texp;
+  put_i64 b s.s_rows;
+  put_i64 b s.s_nonnull;
+  put_value b s.s_sum;
+  put_f64 b s.s_fsum;
+  put_value b s.s_min;
+  put_value b s.s_max
+
+let put_group b (g : Expirel_exec.Partial_agg.group) =
+  put_list b put_value g.key;
+  put_list b put_slice g.slices
+
 let encode_request = function
   | Exec sql -> payload 1 (fun b -> put_str b sql)
   | Subscribe { name; query } ->
@@ -414,6 +453,16 @@ let encode_request = function
   | Sketch_shard { sql; ctx } ->
     payload 20 (fun b ->
         put_str b sql;
+        put_ctx_opt b ctx)
+  | Agg_shard { sql; ctx } ->
+    payload 21 (fun b ->
+        put_str b sql;
+        put_ctx_opt b ctx)
+  | Join_shard { sql; build_table; build_rows; ctx } ->
+    payload 22 (fun b ->
+        put_str b sql;
+        put_str b build_table;
+        put_list b put_row build_rows;
         put_ctx_opt b ctx)
 
 let put_span b s =
@@ -536,6 +585,13 @@ let encode_response = function
         put_partition b partition;
         put_list b put_str columns;
         put_str b sketch)
+  | Shard_agg { shard_id; partition; columns; child_texp; groups } ->
+    payload 21 (fun b ->
+        put_i64 b shard_id;
+        put_partition b partition;
+        put_list b put_str columns;
+        put_time b child_texp;
+        put_list b put_group groups)
 
 (* ---------- reader ---------- *)
 
@@ -623,6 +679,7 @@ let error_of_code = function
   | 5 -> Overloaded
   | 6 -> Shutting_down
   | 7 -> Version_mismatch
+  | 8 -> Shard_failed
   | n -> raise (Bad (Printf.sprintf "bad error code %d" n))
 
 let get_record c =
@@ -759,6 +816,21 @@ let get_partition c =
   let max_texp = get_time c in
   { live_rows; min_texp; max_texp }
 
+let get_slice c : Expirel_exec.Partial_agg.slice =
+  let s_texp = get_time c in
+  let s_rows = get_i64 c in
+  let s_nonnull = get_i64 c in
+  let s_sum = get_value c in
+  let s_fsum = get_f64 c in
+  let s_min = get_value c in
+  let s_max = get_value c in
+  { s_texp; s_rows; s_nonnull; s_sum; s_fsum; s_min; s_max }
+
+let get_group c : Expirel_exec.Partial_agg.group =
+  let key = get_list c get_value in
+  let slices = get_list c get_slice in
+  { key; slices }
+
 let decode_request data =
   decode ~what:"request" data ~by:(fun c -> function
     | 1 -> Exec (get_str c)
@@ -803,6 +875,16 @@ let decode_request data =
       let sql = get_str c in
       let ctx = get_ctx_opt c in
       Sketch_shard { sql; ctx }
+    | 21 ->
+      let sql = get_str c in
+      let ctx = get_ctx_opt c in
+      Agg_shard { sql; ctx }
+    | 22 ->
+      let sql = get_str c in
+      let build_table = get_str c in
+      let build_rows = get_list c get_row in
+      let ctx = get_ctx_opt c in
+      Join_shard { sql; build_table; build_rows; ctx }
     | n -> raise (Bad (Printf.sprintf "unknown request tag %d" n)))
 
 let get_span c =
@@ -929,6 +1011,13 @@ let decode_response data =
       let columns = get_list c get_str in
       let payload = get_str c in
       Shard_sketch { shard_id; partition; columns; payload }
+    | 21 ->
+      let shard_id = get_i64 c in
+      let partition = get_partition c in
+      let columns = get_list c get_str in
+      let child_texp = get_time c in
+      let groups = get_list c get_group in
+      Shard_agg { shard_id; partition; columns; child_texp; groups }
     | n -> raise (Bad (Printf.sprintf "unknown response tag %d" n)))
 
 (* ---------- framing ---------- *)
@@ -967,6 +1056,7 @@ let error_code_label = function
   | Overloaded -> "overloaded"
   | Shutting_down -> "shutting down"
   | Version_mismatch -> "version mismatch"
+  | Shard_failed -> "shard failed"
 
 let row_string values =
   "<" ^ String.concat ", " (List.map Value.to_string values) ^ ">"
@@ -1132,6 +1222,17 @@ let rec pp_response ppf = function
        [shard %d: %d live row(s), texp in [%s, %s]]"
       shard_id (String.length payload)
       (String.concat ", " columns)
+      shard_id partition.live_rows
+      (Time.to_string partition.min_texp)
+      (Time.to_string partition.max_texp)
+  | Shard_agg { shard_id; partition; columns; child_texp; groups } ->
+    Format.fprintf ppf
+      "aggregate partial from shard %d (%d group(s), columns %s, child \
+       texp(e) = %s)@\n\
+       [shard %d: %d live row(s), texp in [%s, %s]]"
+      shard_id (List.length groups)
+      (String.concat ", " columns)
+      (Time.to_string child_texp)
       shard_id partition.live_rows
       (Time.to_string partition.min_texp)
       (Time.to_string partition.max_texp)

@@ -73,6 +73,18 @@ val version : int
     instead of rows) and response [Shard_sketch] (20, the shard's
     partial: an opaque {!Expirel_sketch.Any} encoding plus the answer's
     column labels and the usual partition summary).
+    v7 — distributed grouped aggregates and broadcast joins.  New tags
+    only, sent unprompted by coordinators: requests [Agg_shard] (21, an
+    [Exec_shard] for a decomposable GROUP BY/aggregate query whose
+    reply carries expiration-slice partials instead of rows — AVG
+    travels as SUM + COUNT inside the slices, never pre-averaged) and
+    [Join_shard] (22, a broadcast join: the small build side's complete
+    rows ride along and the shard joins them against its local probe
+    fragment, replying with ordinary [Shard_rows]); response
+    [Shard_agg] (21, the shard's per-group slice partials plus the
+    child's [texp(e)]).  Also adds error code 8, [Shard_failed]: the
+    single typed error a coordinator surfaces when a shard dies or
+    answers garbage mid-scatter-gather.
 
     On decode failure, a peer should check {!payload_version}: when the
     sender speaks a different version, answer
@@ -96,6 +108,11 @@ type error_code =
   | Version_mismatch
       (** the peer speaks a different protocol version (the error
           message names both) *)
+  | Shard_failed
+      (** a shard died or answered garbage mid-scatter-gather: the
+          distributed query cannot be answered from the surviving
+          shards (partitions are disjoint, so a missing partial means a
+          missing slice of the answer) *)
 
 type event =
   | Row_expired of { subscription : string; row : Value.t list; at : Time.t }
@@ -298,6 +315,26 @@ type request =
           into a bounded-memory sketch and replies with the serialised
           partial ([Shard_sketch]) instead of rows — constant-size on
           the wire regardless of partition cardinality *)
+  | Agg_shard of { sql : string; ctx : trace_ctx option }
+      (** [Exec_shard] for a decomposable GROUP BY/aggregate query: the
+          shard evaluates the aggregate's child over its own partition,
+          condenses it into per-group expiration-slice partials
+          ({!Expirel_exec.Partial_agg}) and replies with [Shard_agg] —
+          one slice per distinct expiration time per group on the wire,
+          regardless of member count, with AVG travelling as its SUM
+          and COUNT components *)
+  | Join_shard of {
+      sql : string;
+      build_table : string;
+      build_rows : (Value.t list * Time.t) list;
+      ctx : trace_ctx option;
+    }
+      (** broadcast join: the shard evaluates [sql] with [build_rows]
+          — the small side's complete, cluster-wide contents —
+          standing in for [build_table], probing its own fragment of
+          the other table, and replies with ordinary [Shard_rows];
+          probe fragments are disjoint, so the coordinator's union of
+          per-shard results is the exact join *)
 
 type response =
   | Ok_msg of string
@@ -371,6 +408,20 @@ type response =
           decodes, merges across shards (sketches are shard-
           decomposable) and queries at its own tau; the merged answer's
           [texp_e] is the merged sketch's horizon *)
+  | Shard_agg of {
+      shard_id : int;
+      partition : partition_texp;
+      columns : string list;
+      child_texp : Time.t;
+      groups : Expirel_exec.Partial_agg.group list;
+    }
+      (** a shard's grouped-aggregate partial: per-group expiration
+          slices the coordinator merges with
+          {!Expirel_exec.Partial_agg.merge_all} and finalises once —
+          the distributed query's rows and texps come out identical to
+          a single node holding all rows, because the slice components
+          (counts, sums, extrema) are partition-decomposable and the
+          finalisation is shared code, not a reimplementation *)
 
 (** {1 Codecs} — payloads only (no length prefix) *)
 

@@ -110,33 +110,9 @@ let time_of_expires t = function
 (* Presentation order: stable sort on the ORDER BY labels, then LIMIT. *)
 let order_and_limit ~columns ~order_by ~limit relation =
   let listing = Relation.to_list relation in
-  let position_of { Ast.qualifier; column } =
-    let name =
-      match qualifier with
-      | Some q -> q ^ "." ^ column
-      | None -> column
-    in
-    let rec find i = function
-      | [] ->
-        (* A bare name also matches a qualified output label. *)
-        let rec find_suffix i = function
-          | [] -> failwith (Printf.sprintf "unknown ORDER BY column %s" name)
-          | label :: rest ->
-            if qualifier = None
-               && (String.length label > String.length column
-                   && String.sub label
-                        (String.length label - String.length column - 1)
-                        (String.length column + 1)
-                      = "." ^ column)
-            then i
-            else find_suffix (i + 1) rest
-        in
-        find_suffix 1 columns
-      | label :: rest -> if String.equal label name then i else find (i + 1) rest
-    in
-    find 1 columns
+  let keys =
+    List.map (fun (r, d) -> Lower.order_by_position ~columns r, d) order_by
   in
-  let keys = List.map (fun (r, d) -> position_of r, d) order_by in
   let compare_rows (t1, _) (t2, _) =
     let rec go = function
       | [] -> Tuple.compare t1 t2 (* deterministic tie-break *)
@@ -308,6 +284,84 @@ let sketch_partial ?trace t q =
           ~estimate:
             (Expirel_sketch.Any.live_estimate ~tau:(Database.now t.db) sketch);
         columns, sketch)
+
+(* Shard-side half of a distributed grouped aggregate: evaluate the
+   decomposed child locally (at now, or at a future tau for AT queries)
+   and condense it into expiration-slice partials.  The coordinator
+   merges one such partial per shard and finalises — AVG travels as its
+   SUM and COUNT components inside the slices, never pre-averaged. *)
+let aggregate_partial ?trace t { Ast.q; at; order_by = _; limit = _ } =
+  let compiled =
+    Trace.span trace "lower" (fun () ->
+        Lower.lower_query ~catalog:(catalog t) q)
+  in
+  match Lower.decompose compiled with
+  | None -> failwith "aggregate_partial: query does not decompose"
+  | Some { Lower.d_group; d_func; d_child; _ } ->
+    let child =
+      Trace.span trace "eval" (fun () ->
+          match at with
+          | None ->
+            let planned = Planner.plan ~db:t.db d_child in
+            Executor.run ?probe:(probe_of trace) ~db:t.db planned
+          | Some n ->
+            let tau = Time.of_int n in
+            if Time.(tau < Database.now t.db) then
+              failwith "AT time is in the past (the past is not retained)"
+            else
+              let env name =
+                Option.map
+                  (fun tbl -> Table.snapshot tbl ~tau)
+                  (Database.table t.db name)
+              in
+              Eval.run ?probe:(probe_of trace) ~env ~tau d_child)
+    in
+    ( compiled.Lower.columns,
+      Partial_agg.of_relation ~group:d_group ~func:d_func child.Eval.relation,
+      child.Eval.texp )
+
+(* Shard-side half of a distributed broadcast join: evaluate the full
+   query over this shard's local rows, with the (small) build side's
+   complete table — shipped in [rows] — standing in for the local
+   fragment of [table].  Probe partitions are disjoint across shards, so
+   the union of the per-shard results is the exact join. *)
+let join_broadcast ?trace t { Ast.q; at; order_by = _; limit = _ } ~table
+    ~(rows : (Value.t list * Time.t) list) =
+  if at <> None then failwith "join_broadcast: AT not supported";
+  let { Lower.expr; columns; approx } =
+    Trace.span trace "lower" (fun () ->
+        Lower.lower_query ~catalog:(catalog t) q)
+  in
+  if approx <> None then failwith "join_broadcast: approximate query";
+  let build =
+    let arity =
+      match rows with
+      | (vs, _) :: _ -> List.length vs
+      | [] ->
+        (match catalog t table with
+         | Some cols -> List.length cols
+         | None -> 0)
+    in
+    List.fold_left
+      (fun acc (vs, texp) -> Relation.add (Tuple.of_list vs) ~texp acc)
+      (Relation.empty ~arity) rows
+  in
+  let tau = Database.now t.db in
+  let { Eval.relation; texp } =
+    Trace.span trace "eval" (fun () ->
+        let env name =
+          if String.equal name table then Some build
+          else
+            Option.map
+              (fun tbl -> Table.snapshot tbl ~tau)
+              (Database.table t.db name)
+        in
+        Eval.run ?probe:(probe_of trace) ~env ~tau expr)
+  in
+  ( columns,
+    List.map (fun (tuple, e) -> (Tuple.to_list tuple, e))
+      (Relation.to_list relation),
+    texp )
 
 let view_name_taken t name =
   Hashtbl.mem t.views name || Hashtbl.mem t.maintained_views name

@@ -229,6 +229,78 @@ let lower_select ~catalog (s : Ast.select) =
     }
   | _ :: _ :: _ -> error "at most one aggregate per select list"
 
+(* ---------- distributed decomposition ---------- *)
+
+type decomposed = {
+  d_group : int list;
+  d_func : Aggregate.func;
+  d_having : Predicate.t option;
+  d_projection : int list;
+  d_child : Algebra.t;
+}
+
+(* A shard can evaluate the aggregate's child locally only when it reads
+   a single base table (optionally filtered): joins or set operations
+   under the aggregate would need cross-shard rows before grouping. *)
+let shard_local = function
+  | Algebra.Base _ | Algebra.Select (_, Algebra.Base _) -> true
+  | _ -> false
+
+let decompose { expr; approx; _ } =
+  match approx with
+  | Some _ -> None
+  | None ->
+    (match expr with
+     | Algebra.Project
+         (ps, Algebra.Select (h, Algebra.Aggregate (g, f, child)))
+       when shard_local child ->
+       Some
+         { d_group = g; d_func = f; d_having = Some h; d_projection = ps;
+           d_child = child }
+     | Algebra.Project (ps, Algebra.Aggregate (g, f, child))
+       when shard_local child ->
+       Some
+         { d_group = g; d_func = f; d_having = None; d_projection = ps;
+           d_child = child }
+     | _ -> None)
+
+(* ---------- ORDER BY resolution ---------- *)
+
+(* Resolve an ORDER BY reference against the select's output column
+   labels (which the lowering above produced: bare names, qualified when
+   a bare name would be ambiguous, or aggregate labels like "sum(deg)").
+   An exact label match wins outright; failing that, a bare reference
+   also matches a qualified label by suffix — but only a unique one, so
+   [ORDER BY uid] over columns [pol.uid; geo.uid] is an error instead of
+   silently picking the first. *)
+let order_by_position ~columns { Ast.qualifier; column } =
+  let name =
+    match qualifier with
+    | Some q -> q ^ "." ^ column
+    | None -> column
+  in
+  let positions p =
+    List.concat
+      (List.mapi (fun i l -> if p l then [ i + 1 ] else []) columns)
+  in
+  match positions (String.equal name) with
+  | [ i ] -> i
+  | _ :: _ :: _ -> error "ambiguous ORDER BY column %s" name
+  | [] ->
+    let suffix = "." ^ column in
+    let has_suffix label =
+      qualifier = None
+      && String.length label > String.length suffix
+      && String.sub label
+           (String.length label - String.length suffix)
+           (String.length suffix)
+         = suffix
+    in
+    (match positions has_suffix with
+     | [ i ] -> i
+     | [] -> error "unknown ORDER BY column %s" name
+     | _ :: _ :: _ -> error "ambiguous ORDER BY column %s" name)
+
 let rec lower_query ~catalog = function
   | Ast.Select s -> lower_select ~catalog s
   | Ast.Union (a, b) -> set_op ~catalog "UNION" Algebra.union a b

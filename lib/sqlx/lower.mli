@@ -34,3 +34,34 @@ val lower_cond_for_table :
   columns:string list -> table:string -> Ast.cond -> Predicate.t
 (** Resolves a condition against a single table (used by [DELETE]).
     @raise Error on unknown/ambiguous columns *)
+
+type decomposed = {
+  d_group : int list;  (** GROUP BY positions in the child *)
+  d_func : Aggregate.func;
+  d_having : Predicate.t option;
+      (** over GROUP BY positions and the aggregate at child arity + 1 *)
+  d_projection : int list;  (** final output positions, same vocabulary *)
+  d_child : Algebra.t;  (** a base table, optionally filtered *)
+}
+(** A grouped-aggregate query split into the shard-local part (evaluate
+    [d_child], condense it into a {!Expirel_exec.Partial_agg.t}) and the
+    coordinator part (merge the partials, finalise with
+    [d_group]/[d_func]/[d_having]/[d_projection]).  AVG never appears
+    pre-averaged here: the partial carries SUM and COUNT separately, so
+    the decomposition is exact across any partitioning. *)
+
+val decompose : compiled -> decomposed option
+(** [Some] exactly when the compiled query is a (possibly HAVING-ed,
+    projected) aggregate over a single — optionally filtered — base
+    table: the shape shards can answer from local rows alone.  Joins or
+    set operations under the aggregate, approximate items, and
+    non-aggregate queries return [None]. *)
+
+val order_by_position : columns:string list -> Ast.column_ref -> int
+(** Resolve an ORDER BY reference against output column labels: exact
+    label match first, then a bare name matches a {e unique} qualified
+    label by [".column"] suffix.
+    @raise Error as ["unknown ORDER BY column c"] on no match and
+    ["ambiguous ORDER BY column c"] when several labels match — the
+    single resolver both the single-node presentation path and the
+    cluster coordinator's merge use. *)

@@ -116,6 +116,11 @@ CLUSTER_OUT=$("$CLI" cluster connect $SHARD_ARGS -e "
   INSERT INTO pol VALUES (3, 35) EXPIRES 20;
   SELECT uid, deg FROM pol;
   SELECT COUNT(*) FROM pol;
+  SELECT deg, COUNT(*) FROM pol GROUP BY deg ORDER BY deg;
+  SELECT AVG(deg) FROM pol;
+  CREATE TABLE tags (uid, tag);
+  INSERT INTO tags VALUES (9, 25) EXPIRES 30;
+  SELECT * FROM pol JOIN tags ON pol.deg = tags.tag;
   SELECT APPROX_COUNT(0.1) FROM pol;
   SELECT SAMPLE(2) FROM pol;
   EXPLAIN ANALYZE SELECT uid FROM pol WHERE deg = 25;
@@ -129,6 +134,20 @@ echo "$CLUSTER_OUT" | grep -F "3 row(s)"
 # sketch keywords answer from merged per-shard partial sketches.
 echo "$CLUSTER_OUT" | grep -F "texp | count"
 echo "$CLUSTER_OUT" | grep -E '10 \| 3$'
+# Distributed GROUP BY: per-shard expiration-slice partials combine at
+# the coordinator — groups straddling shards unify, per-row texps are
+# the groups' change points.
+echo "$CLUSTER_OUT" | grep -F "texp | deg, count"
+echo "$CLUSTER_OUT" | grep -E '10 \| 25, 2$'
+echo "$CLUSTER_OUT" | grep -E '20 \| 35, 1$'
+# AVG travels as SUM + COUNT and is divided once, at the coordinator.
+echo "$CLUSTER_OUT" | grep -F "texp | avg(deg)"
+echo "$CLUSTER_OUT" | grep -E '10 \| 28\.3333$'
+# The broadcast hash join ships the small side (tags) to every shard;
+# each joins it against its disjoint pol fragment.
+echo "$CLUSTER_OUT" | grep -F "texp | pol.uid, deg, tags.uid, tag"
+echo "$CLUSTER_OUT" | grep -E '10 \| 1, 25, 9, 25$'
+echo "$CLUSTER_OUT" | grep -E '15 \| 2, 25, 9, 25$'
 echo "$CLUSTER_OUT" | grep -F "approx_count, within"
 echo "$CLUSTER_OUT" | grep -F "2 row(s)"
 # EXPLAIN ANALYZE fans out: one annotated plan per shard.

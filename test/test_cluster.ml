@@ -439,26 +439,210 @@ let test_health_stale_map () =
               | Wire.Health_ok, _ ->
                 Alcotest.fail "restarted shard with no map read healthy")))
 
-(* ---------- refusals: never a silently wrong answer ---------- *)
+(* ---------- refusals: only per-node features are left ---------- *)
+
+let string_contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
 
 let test_refusals () =
   with_cluster 2 (fun coord _servers _eps ->
       ignore (exec coord "CREATE TABLE t (k, v)");
       ignore (exec coord "CREATE TABLE u (k, w)");
+      ignore (exec coord "INSERT INTO t VALUES (1, 10) EXPIRES 50");
+      ignore (exec coord "INSERT INTO u VALUES (1, 7) EXPIRES 50");
       let refused sql =
         match Coordinator.exec coord sql with
-        | Wire.Err _ -> ()
+        | Wire.Err { message; _ } ->
+          Alcotest.(check bool)
+            (sql ^ ": refusal names the per-node features") true
+            (string_contains message "per-node features")
         | r ->
           Alcotest.fail
             (Printf.sprintf "%s should be refused, got %s" sql
                (Wire.render_response r))
       in
-      refused "SELECT AVG(v) FROM t";  (* not combinable from bare partials *)
-      refused "SELECT k, SUM(v) FROM t GROUP BY k";
-      refused "SELECT * FROM t JOIN u ON t.k = u.k";
-      refused "SELECT v FROM t EXCEPT SELECT w FROM u";
+      let answers sql =
+        match Coordinator.exec coord sql with
+        | Wire.Rows _ -> ()
+        | r ->
+          Alcotest.fail
+            (Printf.sprintf "%s should answer, got %s" sql
+               (Wire.render_response r))
+      in
+      (* The former refusals — AVG, GROUP BY, joins, projected set
+         operations — now distribute (or gather-and-compute). *)
+      answers "SELECT AVG(v) FROM t";
+      answers "SELECT k, SUM(v) FROM t GROUP BY k";
+      answers "SELECT * FROM t JOIN u ON t.k = u.k";
+      answers "SELECT v FROM t EXCEPT SELECT w FROM u";
+      (* Only per-node features remain refused, saying exactly that. *)
       refused "CREATE VIEW x AS SELECT * FROM t";
+      refused "CREATE TRIGGER audit ON t";
+      refused "CREATE CONSTRAINT cover ON SELECT k FROM t MIN 1";
       refused "CHECKPOINT")
+
+(* ---------- GROUP BY / AVG / joins == single node ---------- *)
+
+(* Run [statements] on both a cluster and a single node, then assert each
+   of [qs] answers identically: same row set with identical per-row
+   texps, identical texp(e), and the same listing when ORDER BY fixes
+   the order.  These queries flow through the new routes: decomposed
+   slice partials, co-partitioned and broadcast joins, and the
+   gather-then-compute fallback. *)
+let check_against_single_node ~shards ~statements qs =
+  with_cluster shards (fun coord _servers _eps ->
+      let single = Server.create ~config:shard_config () in
+      Server.start single;
+      Fun.protect
+        ~finally:(fun () -> Server.stop single)
+        (fun () ->
+          let c =
+            Client.connect ~host:"127.0.0.1" ~port:(Server.port single) ()
+          in
+          Fun.protect
+            ~finally:(fun () -> Client.close c)
+            (fun () ->
+              List.iter
+                (fun sql ->
+                  ignore (exec coord sql);
+                  ignore (no_err sql (ok (Client.exec c sql))))
+                statements;
+              List.iter
+                (fun sql ->
+                  let cl_rows, cl_texp = rows_of sql (exec coord sql) in
+                  let sn_rows, sn_texp =
+                    rows_of sql (no_err sql (ok (Client.exec c sql)))
+                  in
+                  Alcotest.(check bool)
+                    (sql ^ ": same rows and texps") true
+                    (sorted cl_rows = sorted sn_rows);
+                  if string_contains sql "ORDER BY" then
+                    Alcotest.(check bool)
+                      (sql ^ ": same listing order") true (cl_rows = sn_rows);
+                  Alcotest.(check bool)
+                    (sql ^ ": same texp(e)") true
+                    (Time.equal cl_texp sn_texp))
+                qs)))
+
+let test_distributed_groupby_joins () =
+  check_against_single_node ~shards:3
+    ~statements:
+      (statements
+      @ [ (* a tag equal to a pol degree gives the broadcast join hits *)
+          "INSERT INTO aux VALUES (12, 30) EXPIRES 22" ])
+    [ (* grouped and global aggregates from slice partials *)
+      "SELECT deg, COUNT(*) FROM pol GROUP BY deg ORDER BY deg";
+      "SELECT deg, SUM(uid) FROM pol GROUP BY deg ORDER BY deg";
+      "SELECT deg, MIN(uid) FROM pol GROUP BY deg ORDER BY deg";
+      "SELECT deg, MAX(uid) FROM pol WHERE uid > 1 GROUP BY deg ORDER BY deg";
+      "SELECT deg, AVG(uid) FROM pol GROUP BY deg ORDER BY deg";
+      "SELECT AVG(deg) FROM pol";
+      "SELECT AVG(deg) FROM pol AT 25";
+      "SELECT deg, COUNT(*) FROM pol GROUP BY deg HAVING COUNT(*) > 1";
+      "SELECT deg, COUNT(*) FROM pol GROUP BY deg ORDER BY deg AT 15";
+      (* co-partitioned join: the condition equates both hash keys *)
+      "SELECT * FROM pol JOIN aux ON pol.uid = aux.uid";
+      (* broadcast join: join key is not the partitioning column *)
+      "SELECT * FROM pol JOIN aux ON pol.deg = aux.tag";
+      (* gather-then-compute fallback: projected EXCEPT, aggregate over
+         a join, AT-qualified broadcast join *)
+      "SELECT uid FROM pol EXCEPT SELECT uid FROM aux";
+      "SELECT COUNT(*) FROM pol JOIN aux ON pol.uid = aux.uid";
+      "SELECT * FROM pol JOIN aux ON pol.deg = aux.tag AT 15" ]
+
+(* ---------- fault injection: a dead shard is one typed error ---------- *)
+
+let test_shard_failed () =
+  with_cluster 3 (fun coord servers _eps ->
+      ignore (exec coord "CREATE TABLE t (k, v)");
+      ignore (exec coord "CREATE TABLE u (k, w)");
+      for k = 1 to 12 do
+        ignore
+          (exec coord
+             (Printf.sprintf "INSERT INTO t VALUES (%d, %d) EXPIRES 100" k k));
+        ignore
+          (exec coord
+             (Printf.sprintf "INSERT INTO u VALUES (%d, %d) EXPIRES 100" k k))
+      done;
+      (* Kill one shard after the inserts refreshed every summary: the
+         fan-out still contacts it (its partition is provably
+         non-empty), hits the dead socket mid-gather, and must surface
+         exactly one typed [Shard_failed] naming the shard — partitions
+         are disjoint, so answering from the survivors would silently
+         drop rows. *)
+      Server.stop (List.nth servers 1);
+      let expect_shard_failed sql =
+        match Coordinator.exec coord sql with
+        | Wire.Err { code = Wire.Shard_failed; message } ->
+          Alcotest.(check bool)
+            (sql ^ ": error names shard 1") true
+            (string_contains message "shard 1")
+        | Wire.Err { message; _ } ->
+          Alcotest.failf "%s: expected Shard_failed, got error %S" sql message
+        | r ->
+          Alcotest.failf "%s: expected Shard_failed, got %s" sql
+            (Wire.render_response r)
+      in
+      expect_shard_failed "SELECT * FROM t";
+      expect_shard_failed "SELECT k, SUM(v) FROM t GROUP BY k";
+      expect_shard_failed "SELECT AVG(v) FROM t";
+      expect_shard_failed "SELECT * FROM t JOIN u ON t.k = u.k";
+      expect_shard_failed "SELECT * FROM t JOIN u ON t.v = u.w";
+      (* A statement-level error is NOT a shard failure: the verdict of
+         a live shard passes through with its own code. *)
+      match Coordinator.exec coord "SELECT nope FROM t" with
+      | Wire.Err { code = Wire.Shard_failed; message } ->
+        Alcotest.failf "parse-level error misreported as Shard_failed: %s"
+          message
+      | Wire.Err _ -> ()
+      | r ->
+        Alcotest.failf "expected an error, got %s" (Wire.render_response r))
+
+(* ---------- qcheck: cluster == single node on random workloads ---------- *)
+
+(* The distributed-execution law: over random shard counts, workloads
+   (straddling groups, duplicate tuples, empty partitions, nulls via
+   expired rows) and clock advances, every aggregate and join answers
+   exactly — same row set, same per-row texps, same texp(e) — as one
+   node holding the union of the partitions. *)
+let qcheck_cluster_matches_single_node =
+  let gen =
+    let open QCheck2.Gen in
+    let row =
+      triple (int_range (-3) 4) (int_range (-3) 4) (int_range 1 24)
+    in
+    let* shards = int_range 2 3 in
+    let* t_rows = list_size (int_range 0 12) row in
+    let* u_rows = list_size (int_range 0 6) row in
+    let* adv = int_range 0 10 in
+    return (shards, t_rows, u_rows, adv)
+  in
+  Generators.qtest "cluster GROUP BY/AVG/join == single node" ~count:10 gen
+    (fun (shards, t_rows, u_rows, adv) ->
+      let statements =
+        [ "CREATE TABLE t (k, v)"; "CREATE TABLE u (k, w)" ]
+        @ List.map
+            (fun (k, v, e) ->
+              Printf.sprintf "INSERT INTO t VALUES (%d, %d) EXPIRES %d" k v e)
+            t_rows
+        @ List.map
+            (fun (k, w, e) ->
+              Printf.sprintf "INSERT INTO u VALUES (%d, %d) EXPIRES %d" k w e)
+            u_rows
+        @ (if adv > 0 then [ Printf.sprintf "ADVANCE TO %d" adv ] else [])
+      in
+      check_against_single_node ~shards ~statements
+        [ "SELECT k, COUNT(*) FROM t GROUP BY k";
+          "SELECT k, SUM(v) FROM t GROUP BY k";
+          "SELECT k, AVG(v) FROM t GROUP BY k";
+          "SELECT AVG(v) FROM t";
+          "SELECT k, COUNT(*) FROM t GROUP BY k HAVING COUNT(*) > 1";
+          "SELECT * FROM t JOIN u ON t.k = u.k";
+          "SELECT * FROM t JOIN u ON t.v = u.w";
+          "SELECT v FROM t EXCEPT SELECT w FROM u" ];
+      true)
 
 (* ---------- global aggregates: combined from shard partials ---------- *)
 
@@ -572,8 +756,13 @@ let suite =
       test_health_unreachable;
     Alcotest.test_case "health: restarted shard reads stale" `Quick
       test_health_stale_map;
-    Alcotest.test_case "non-distributable statements are refused" `Quick
+    Alcotest.test_case "only per-node features are refused" `Quick
       test_refusals;
+    Alcotest.test_case "GROUP BY/AVG/joins match a single node" `Quick
+      test_distributed_groupby_joins;
+    Alcotest.test_case "a dead shard surfaces as Shard_failed" `Quick
+      test_shard_failed;
+    qcheck_cluster_matches_single_node;
     Alcotest.test_case "global aggregates combine from shard partials" `Quick
       test_aggregate_combine;
     Alcotest.test_case "APPROX_COUNT/SAMPLE merge sketch partials" `Quick

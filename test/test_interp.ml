@@ -224,6 +224,54 @@ let test_order_limit_having () =
   expect_error t "SELECT deg, COUNT(*) FROM pol GROUP BY deg HAVING uid > 1";
   expect_error t "SELECT uid FROM pol ORDER BY nonsense"
 
+(* The shared ORDER BY column resolver (Lower.order_by_position): exact
+   labels first, then a UNIQUE ".column" suffix for bare names; anything
+   ambiguous or absent is an error, never a silent first-match pick. *)
+let test_order_by_resolver () =
+  let t = setup_figure1 () in
+  let expect_error_containing t sql needle =
+    match Interp.exec_sql t sql with
+    | Error msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: error mentions %S (got %S)" sql needle msg)
+        true
+        (string_contains msg needle)
+    | Ok _ -> Alcotest.failf "expected %S to fail" sql
+  in
+  let listing outcome =
+    match outcome with
+    | Interp.Rows { listing; _ } ->
+      List.map (fun (tuple, _) -> Tuple.to_string tuple) listing
+    | Interp.Msg m -> Alcotest.failf "expected rows, got %S" m
+  in
+  (* Join output labels are qualified (both tables expose uid and deg):
+     a qualified reference resolves, position-exactly. *)
+  Alcotest.(check (list string)) "qualified ORDER BY on a join"
+    [ "<2, 25, 2, 85>"; "<1, 25, 1, 75>" ]
+    (listing
+       (exec t
+          "SELECT * FROM pol JOIN el ON pol.uid = el.uid ORDER BY el.deg DESC"));
+  (* A bare name matching several qualified labels is ambiguous — the
+     old suffix matchers silently took the first hit. *)
+  expect_error_containing t
+    "SELECT * FROM pol JOIN el ON pol.uid = el.uid ORDER BY deg" "ambiguous";
+  expect_error_containing t
+    "SELECT * FROM pol JOIN el ON pol.uid = el.uid ORDER BY uid" "ambiguous";
+  (* A projected join keeps qualified labels; a bare name that suffixes
+     exactly one of them resolves (here only el.uid survives the
+     projection). *)
+  Alcotest.(check (list string)) "unique suffix match resolves"
+    [ "<25, 2>"; "<25, 1>" ]
+    (listing
+       (exec t
+          "SELECT pol.deg, el.uid FROM pol JOIN el ON pol.uid = el.uid \
+           ORDER BY uid DESC"));
+  expect_error_containing t "SELECT uid FROM pol ORDER BY nonsense" "unknown";
+  expect_error_containing t
+    "SELECT * FROM pol JOIN el ON pol.uid = el.uid ORDER BY missing" "unknown";
+  (* Qualified references to absent columns are unknown, not suffixed. *)
+  expect_error_containing t "SELECT * FROM pol ORDER BY el.deg" "unknown"
+
 let test_sql_constraints () =
   let t = setup_figure1 () in
   (match exec t "CREATE CONSTRAINT coverage ON SELECT uid FROM pol MIN 2" with
@@ -269,6 +317,7 @@ let suite =
     Alcotest.test_case "error handling" `Quick test_errors;
     Alcotest.test_case "AT: querying the known future" `Quick test_at_queries;
     Alcotest.test_case "ORDER BY / LIMIT / HAVING" `Quick test_order_limit_having;
+    Alcotest.test_case "ORDER BY column resolver" `Quick test_order_by_resolver;
     Alcotest.test_case "SQL constraints with prediction" `Quick test_sql_constraints;
     Alcotest.test_case "SQL-level expiration triggers" `Quick test_sql_triggers;
     Alcotest.test_case "maintained views track updates and time" `Quick

@@ -92,12 +92,26 @@ let request : Wire.request Gen.t =
       Gen.map2
         (fun table ingest -> Wire.Ingest_rows { table; ingest })
         name moved;
-      Gen.map (fun t -> Wire.Purge_moved t) name ]
+      Gen.map (fun t -> Wire.Purge_moved t) name;
+      (* v6/v7 shard-local evaluation requests *)
+      Gen.map2
+        (fun sql ctx -> Wire.Sketch_shard { sql; ctx })
+        name (Gen.option trace_ctx);
+      Gen.map2
+        (fun sql ctx -> Wire.Agg_shard { sql; ctx })
+        name (Gen.option trace_ctx);
+      (let open Gen in
+       let* sql = name in
+       let* build_table = name in
+       let* build_rows = moved in
+       let* ctx = option trace_ctx in
+       return (Wire.Join_shard { sql; build_table; build_rows; ctx })) ]
 
 let error_code : Wire.error_code Gen.t =
   Gen.oneofl
     [ Wire.Parse_error; Wire.Exec_error; Wire.Proto_error; Wire.Timeout;
-      Wire.Overloaded; Wire.Shutting_down; Wire.Version_mismatch ]
+      Wire.Overloaded; Wire.Shutting_down; Wire.Version_mismatch;
+      Wire.Shard_failed ]
 
 (* Shipped WAL records reuse the durable on-disk codec; the wire must
    carry any of them.  (CREATE TABLE needs >= 1 column and the clock
@@ -214,6 +228,28 @@ let health_firing : Wire.health_firing Gen.t =
   let* rule_help = name in
   return { Wire.rule_name; observed; firing_level; rule_help }
 
+(* v7 slice partials: the per-group expiration slices a shard condenses
+   a grouped aggregate into.  [s_fsum] travels as IEEE bits, so the
+   i/8 floats round-trip exactly. *)
+let slice : Expirel_exec.Partial_agg.slice Gen.t =
+  let open Gen in
+  let* s_texp = time in
+  let* s_rows = int_range 0 1_000_000 in
+  let* s_nonnull = int_range 0 1_000_000 in
+  let* s_sum = value in
+  let* s_fsum = map (fun i -> float_of_int i /. 8.) (int_range (-800) 800) in
+  let* s_min = value in
+  let* s_max = value in
+  return
+    { Expirel_exec.Partial_agg.s_texp; s_rows; s_nonnull; s_sum; s_fsum;
+      s_min; s_max }
+
+let agg_group : Expirel_exec.Partial_agg.group Gen.t =
+  Gen.map2
+    (fun key slices -> { Expirel_exec.Partial_agg.key; slices })
+    row
+    (Gen.list_size (Gen.int_range 0 4) slice)
+
 let response : Wire.response Gen.t =
   Gen.oneof
     [ Gen.map (fun m -> Wire.Ok_msg m) name;
@@ -279,7 +315,22 @@ let response : Wire.response Gen.t =
       Gen.map
         (fun groups -> Wire.Moved_rows groups)
         (Gen.list_size (Gen.int_range 0 4)
-           (Gen.pair (Gen.int_range 0 1_000) moved)) ]
+           (Gen.pair (Gen.int_range 0 1_000) moved));
+      (* v6: an opaque sketch payload, v7: merged slice partials *)
+      (let open Gen in
+       let* shard_id = int_range 0 1_000 in
+       let* partition = partition_texp in
+       let* columns = list_size (int_range 0 4) name in
+       let* payload = name in
+       return (Wire.Shard_sketch { shard_id; partition; columns; payload }));
+      (let open Gen in
+       let* shard_id = int_range 0 1_000 in
+       let* partition = partition_texp in
+       let* columns = list_size (int_range 0 4) name in
+       let* child_texp = time in
+       let* groups = list_size (int_range 0 4) agg_group in
+       return
+         (Wire.Shard_agg { shard_id; partition; columns; child_texp; groups })) ]
 
 (* ---------- round-trip properties ---------- *)
 
