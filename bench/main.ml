@@ -26,6 +26,8 @@ let experiments =
     "access", "secondary indexes on expiring tables", Exp_access.run_all;
     "exec", "physical plans: hash joins, live scans, the plan cache",
     Exp_exec.run_all;
+    "vexec", "vectorized execution over expiration-ordered batches",
+    Exp_vexec.run_all;
     "qos", "static validity guarantees", Exp_qos.run_all;
     "ttl", "choosing expiration times for caches", Exp_ttl.run_all;
     "server", "wire-protocol server under concurrent clients", Exp_server.run_all;

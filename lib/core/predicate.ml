@@ -54,6 +54,34 @@ let rec eval p t =
   | Or (a, b) -> eval a t || eval b t
   | Not a -> not (eval a t)
 
+(* Closure-compiled form for the batch executor: the predicate tree is
+   walked once, and the per-row work is a chain of direct closure calls
+   over a column accessor — no tuple is materialised per row.  Must
+   agree with [eval] on every input (the qcheck batch ≡ naive law pins
+   this), so each comparison goes through the same [cmp_holds]. *)
+let compile p =
+  let operand_fn = function
+    | Col j -> fun get -> get j
+    | Const v -> fun _ -> v
+  in
+  let rec go = function
+    | True -> fun _ -> true
+    | False -> fun _ -> false
+    | Cmp (op, x, y) ->
+      let fx = operand_fn x and fy = operand_fn y in
+      fun get -> cmp_holds op (fx get) (fy get)
+    | And (a, b) ->
+      let fa = go a and fb = go b in
+      fun get -> fa get && fb get
+    | Or (a, b) ->
+      let fa = go a and fb = go b in
+      fun get -> fa get || fb get
+    | Not a ->
+      let fa = go a in
+      fun get -> not (fa get)
+  in
+  go p
+
 let rec conjuncts = function
   | And (a, b) -> conjuncts a @ conjuncts b
   | True -> []

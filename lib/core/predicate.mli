@@ -62,6 +62,12 @@ val eval : t -> Tuple.t -> bool
     three-valued-collapsed boolean).
     @raise Invalid_argument when a column position exceeds the arity. *)
 
+val compile : t -> (int -> Value.t) -> bool
+(** [compile p] walks the predicate tree once and returns a kernel that
+    evaluates it against a 1-based column accessor — the batch
+    executor's per-row test, which never materialises a tuple.  For
+    every tuple [t], [compile p (Tuple.attr t) = eval p t]. *)
+
 val max_col : t -> int
 (** Largest attribute position mentioned; 0 when none. *)
 

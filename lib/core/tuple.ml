@@ -2,6 +2,7 @@ type t = Value.t array
 
 let of_list vs = Array.of_list vs
 let of_array a = Array.copy a
+let init ~arity f = Array.init arity (fun i -> f (i + 1))
 let to_list t = Array.to_list t
 let arity t = Array.length t
 

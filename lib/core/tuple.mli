@@ -9,6 +9,12 @@ val of_list : Value.t list -> t
 val of_array : Value.t array -> t
 (** The array is copied. *)
 
+val init : arity:int -> (int -> Value.t) -> t
+(** [init ~arity f] is [<f 1, ..., f arity>] — builds the tuple in one
+    pass from a 1-based attribute source (how the batch executor
+    materialises a row out of column arrays without an intermediate
+    list). *)
+
 val to_list : t -> Value.t list
 val arity : t -> int
 

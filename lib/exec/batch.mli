@@ -1,0 +1,78 @@
+(** Columnar batches: the unit of work of the vectorized executor.
+
+    A batch is one chunk of rows as flat column arrays plus a parallel
+    expiration-time array and an optional selection vector.  Scans
+    produce batches directly from a relation's memoised texp-sorted
+    chunks ({!Relation.sorted_chunks}), where the live-at-[tau] cut is
+    one binary search ({!cut_chunk}) and wholly-live / wholly-expired
+    chunks are accepted / skipped without touching a row.  Filters
+    narrow the selection vector; projections permute column pointers;
+    only the materialise boundary ({!to_relation}) builds tuples again.
+
+    Order contract: scan-leaf batches are texp-ascending (that is what
+    makes the cut a binary search); batches above the scan, including
+    {!of_relation} rebatches from the tuple-at-a-time fallback, carry
+    no order guarantee — every operator above the scan only ever sees
+    live rows, so nothing above needs one. *)
+
+open Expirel_core
+
+type t
+
+val arity : t -> int
+
+val length : t -> int
+(** Selected rows (the batch may hold more, deselected ones). *)
+
+val fold_rows : t -> init:'a -> f:('a -> (int -> Value.t) -> Time.t -> 'a) -> 'a
+(** Folds over the selected rows; [f] receives a 1-based attribute
+    accessor into the row and the row's expiration time.  How the fused
+    aggregate accumulates {!Partial_agg} slices without materialising
+    tuples. *)
+
+val cut_chunk : arity:int -> tau:Time.t -> Relation.chunk -> t option * int
+(** The live suffix of a texp-ascending chunk, and how many rows the
+    cut skipped: [(None, len)] for a wholly-expired chunk, a zero-copy
+    whole-chunk batch and [0] for a wholly-live one, and a
+    suffix-selected batch for a straddling chunk — the binary-search
+    cut. *)
+
+val of_rows : arity:int -> (Tuple.t * Time.t) list -> t option
+(** One batch holding exactly these rows ([None] when empty) — how
+    index-scan candidate lists enter batch form. *)
+
+val of_relation : Relation.t -> t list
+(** Rebatch a materialised relation (tuple order) — the boundary where
+    a tuple-at-a-time subtree feeds a vectorized parent. *)
+
+val filter : ((int -> Value.t) -> bool) -> t -> t option
+(** Apply a compiled predicate kernel ({!Predicate.compile}), narrowing
+    the selection vector; the columns are shared.  [None] when no row
+    passes. *)
+
+val project : int list -> t -> t
+(** Permutes / duplicates column pointers (1-based), zero-copy.
+    Coinciding output rows are deliberately {e not} merged here: the
+    projection rule's max-merge happens at {!to_relation}, with which
+    every vectorised operator commutes. *)
+
+val to_relation : arity:int -> t list -> Relation.t
+(** The materialise boundary: rows become tuples again, coinciding
+    tuples max-merge their expiration times (the same
+    {!Relation.add} rule the tuple-at-a-time kernels use). *)
+
+(** Accumulates operator output rows (joins, rebatches) into full
+    batches, flushing every {!Relation.chunk_rows} rows. *)
+module Builder : sig
+  type batch = t
+  type t
+
+  val create : arity:int -> t
+
+  val add : t -> (int -> Value.t) -> Time.t -> unit
+  (** Append one row from a 1-based attribute source. *)
+
+  val to_batches : t -> batch list
+  (** Flush and return everything appended, in append order.  The
+      builder must not be reused afterwards. *)
+end

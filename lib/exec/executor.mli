@@ -11,9 +11,18 @@
 open Expirel_core
 open Expirel_storage
 
+type probe = {
+  probe : 'a. string -> rows:('a -> int) -> (unit -> 'a) -> 'a;
+}
+(** The operator span hook, polymorphic over the node's result so the
+    same hook wraps materialised ({!Eval.result}) and vectorized (batch
+    list) operators alike; [rows] extracts the output cardinality from
+    whichever result the thunk produced — trace spans label rows
+    without the hook knowing the representation. *)
+
 val run :
   ?strategy:Aggregate.strategy ->
-  ?probe:(string -> (unit -> Eval.result) -> Eval.result) ->
+  ?probe:probe ->
   ?profile:Profile.node ->
   db:Database.t ->
   Plan.compiled ->
@@ -22,7 +31,9 @@ val run :
     [probe] wraps every physical operator node with its
     {!Plan.operator_name} — the hook observability layers use to emit
     per-operator [op:<name>] spans, exactly as {!Eval.run}'s probe does
-    for logical names on the naive path.
+    for logical names on the naive path.  Operators inside a
+    {!Plan.Batched} subtree are spanned too, their row counts summed
+    over batches.
     [profile] — a {!Profile.of_plan} tree for this plan's [physical] —
     accumulates per-operator rows, expired-drop counts, index visits,
     hash build sizes and wall time as the plan runs ([EXPLAIN

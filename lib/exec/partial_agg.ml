@@ -93,32 +93,41 @@ end)
 
 module Time_map = Map.Make (Time)
 
-let of_relation ~group ~func relation =
-  let attr_of t =
+(* The accumulation form: slices keyed by group key then expiration
+   time, fed one row at a time through an attribute accessor — so both
+   materialised relations and columnar batches condense through the
+   same code, without the batch path building tuples. *)
+type acc = slice Time_map.t Key_map.t
+
+let empty_acc : acc = Key_map.empty
+
+let observe_acc ~group ~func ~attr ~texp acc =
+  let value =
     match Aggregate.func_attr func with
-    | Some i -> Tuple.attr t i
+    | Some i -> attr i
     | None -> Value.Null  (* COUNT aggregates no attribute *)
   in
-  let groups =
-    Relation.fold
-      (fun t texp acc ->
-        let key = List.map (Tuple.attr t) group in
-        let slices = Option.value ~default:Time_map.empty (Key_map.find_opt key acc) in
-        let slice =
-          Option.value ~default:(empty_slice texp) (Time_map.find_opt texp slices)
-        in
-        Key_map.add key
-          (Time_map.add texp (observe ~func slice (attr_of t)) slices)
-          acc)
-      relation Key_map.empty
+  let key = List.map attr group in
+  let slices = Option.value ~default:Time_map.empty (Key_map.find_opt key acc) in
+  let slice =
+    Option.value ~default:(empty_slice texp) (Time_map.find_opt texp slices)
   in
+  Key_map.add key (Time_map.add texp (observe ~func slice value) slices) acc
+
+let of_acc (acc : acc) =
   Key_map.fold
-    (fun key slices acc ->
+    (fun key slices groups ->
       (* Time_map.bindings is ascending, and [Inf] is the greatest time,
          so the immortal slice lands last by construction. *)
-      { key; slices = List.map snd (Time_map.bindings slices) } :: acc)
-    groups []
+      { key; slices = List.map snd (Time_map.bindings slices) } :: groups)
+    acc []
   |> List.rev
+
+let of_relation ~group ~func relation =
+  Relation.fold
+    (fun t texp acc -> observe_acc ~group ~func ~attr:(Tuple.attr t) ~texp acc)
+    relation empty_acc
+  |> of_acc
 
 (* ---------- merging partials (disjoint fragments) ---------- *)
 

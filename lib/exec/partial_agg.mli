@@ -41,6 +41,30 @@ val of_relation : group:int list -> func:Aggregate.func -> Relation.t -> t
     @raise Invalid_argument where [Aggregate.apply] would (a non-numeric
     SUM operand). *)
 
+(** {2 Row-wise accumulation}
+
+    The form {!of_relation} folds through, exposed so the batch
+    executor can condense columnar batches row by row — through a
+    1-based attribute accessor, never materialising a tuple. *)
+
+type acc
+
+val empty_acc : acc
+
+val observe_acc :
+  group:int list ->
+  func:Aggregate.func ->
+  attr:(int -> Value.t) ->
+  texp:Time.t ->
+  acc ->
+  acc
+(** Fold one row in; [attr] is its 1-based attribute accessor.
+    @raise Invalid_argument on a non-numeric SUM operand. *)
+
+val of_acc : acc -> t
+(** [of_relation ~group ~func r] =
+    [of_acc (fold observe_acc over r's rows)]. *)
+
 val merge : t -> t -> t
 (** Merge partials over disjoint fragments: groups unite by key, slices
     by expiration time, components add/extremise.

@@ -75,6 +75,16 @@ type t =
     }
       (** [SAMPLE(k)]: a uniform sample of [k] live child rows from a
           priority sketch *)
+  | Batched of t
+      (** the materialise / rebatch boundary of a vectorized subtree:
+          below it, scans / filters / projections / hash joins run over
+          columnar {!Batch.t} chunks (live filtering at [tau] is a
+          binary-search cut over texp-sorted chunks instead of a
+          per-tuple predicate); operators not yet vectorized fall back
+          to the tuple kernels and are rebatched.  The boundary itself
+          materialises the surviving batches into a relation — unless
+          the parent is a fused aggregate, which accumulates
+          {!Partial_agg} slices straight from the batches *)
 
 type compiled = {
   logical : Algebra.t;  (** kept for well-formedness checks and EXPLAIN *)
@@ -85,10 +95,26 @@ val operator_name : t -> string
 (** Canonical lower-case physical operator name ([seq-scan],
     [index-scan], [filter], [project], [nested-loop], [hash-join],
     [merge-union], [merge-intersect], [merge-diff], [aggregate],
-    [sketch-count], [sketch-sample]) — the
+    [sketch-count], [sketch-sample], [batch]) — the
     vocabulary EXPLAIN plan lines and per-operator [op:<name>] trace
     spans share, replacing the logical {!Algebra.operator_name}s on the
     physical execution path. *)
+
+val vectorizable : t -> bool
+(** Does the batch executor have a columnar kernel for this node when
+    reached in batch context?  ([Scan], [Filter], [Project],
+    [Hash_join], [Batched]; everything else falls back to the tuple
+    kernels.) *)
+
+val batch_mode : in_batch:bool -> t -> bool
+(** Whether this node executes vectorized given the context it is
+    reached in — mirrors the executor's dispatch, and doubles as the
+    context its children see.  The root is reached with
+    [in_batch:false]. *)
+
+val mode_tag : in_batch:bool -> t -> string
+(** ["[batch]"] or ["[tuple]"] per {!batch_mode} — the execution-mode
+    annotation EXPLAIN and EXPLAIN ANALYZE print per operator. *)
 
 val size : t -> int
 (** Number of operator nodes. *)

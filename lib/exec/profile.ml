@@ -6,6 +6,8 @@ type node = {
   mutable index_visited : int;
   mutable build_rows : int;
   mutable sketch_bytes : int;
+  mutable batches : int;
+  mutable cut_skipped : int;
   mutable time_us : int;
   children : node list;
 }
@@ -15,6 +17,7 @@ let rec of_plan ~db plan =
     est_rows = Planner.estimate_rows db plan;
     rows = 0; expired_dropped = 0; index_visited = 0; build_rows = 0;
     sketch_bytes = 0;
+    batches = 0; cut_skipped = 0;
     time_us = 0;
     children = List.map (of_plan ~db) (Plan.children plan) }
 
@@ -23,9 +26,15 @@ let rec total_expired_dropped n =
     (fun acc c -> acc + total_expired_dropped c)
     n.expired_dropped n.children
 
+let rec total_cut_skipped n =
+  List.fold_left
+    (fun acc c -> acc + total_cut_skipped c)
+    n.cut_skipped n.children
+
 (* The annotation appended to each plan line.  Scan-only counters print
    only where they mean something: dropped on scans (the expiration
-   churn), visited on index scans, build on hash joins. *)
+   churn), visited on index scans, build on hash joins, batch counts and
+   chunk-pruning savings on vectorized operators. *)
 let annotate n =
   let buf = Buffer.create 64 in
   Buffer.add_string buf
@@ -38,19 +47,27 @@ let annotate n =
     Buffer.add_string buf (Printf.sprintf " build=%d" n.build_rows);
   if n.op = "sketch-count" || n.op = "sketch-sample" then
     Buffer.add_string buf (Printf.sprintf " sketch=%dB" n.sketch_bytes);
+  if n.batches > 0 then
+    Buffer.add_string buf (Printf.sprintf " batches=%d" n.batches);
+  if (n.op = "seq-scan" || n.op = "index-scan") && n.batches > 0 then
+    Buffer.add_string buf (Printf.sprintf " cut_skipped=%d" n.cut_skipped);
   Buffer.add_string buf
     (Printf.sprintf " time=%.3fms)" (float_of_int n.time_us /. 1e3));
   Buffer.contents buf
 
 let render plan node =
   let buf = Buffer.create 256 in
-  let rec go depth p n =
+  let rec go depth in_batch p n =
     Buffer.add_string buf (String.make (2 * depth) ' ');
     Buffer.add_string buf (Plan.describe p);
     Buffer.add_string buf "  ";
+    Buffer.add_string buf (Plan.mode_tag ~in_batch p);
+    Buffer.add_string buf "  ";
     Buffer.add_string buf (annotate n);
     Buffer.add_char buf '\n';
-    List.iter2 (go (depth + 1)) (Plan.children p) n.children
+    List.iter2
+      (go (depth + 1) (Plan.batch_mode ~in_batch p))
+      (Plan.children p) n.children
   in
-  go 0 plan node;
+  go 0 false plan node;
   Buffer.contents buf

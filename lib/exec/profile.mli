@@ -23,6 +23,14 @@ type node = {
   mutable build_rows : int;  (** hash-table build input (hash joins) *)
   mutable sketch_bytes : int;
       (** sketch memory footprint (sketch operators only) *)
+  mutable batches : int;
+      (** columnar batches this operator produced (batch mode only) *)
+  mutable cut_skipped : int;
+      (** expired rows a batch scan skipped {e without} per-row
+          comparisons: wholly-expired chunks dropped via their max texp
+          plus binary-search cut prefixes — the work the
+          expiration-ordered layout saves over a per-tuple [tau]
+          filter.  Also counted into [expired_dropped]. *)
   mutable time_us : int;
       (** inclusive wall time, µs — children included; subtract their
           [time_us] for self time *)
@@ -34,6 +42,10 @@ val of_plan : db:Database.t -> Plan.t -> node
 
 val total_expired_dropped : node -> int
 (** Sum of [expired_dropped] over the whole tree. *)
+
+val total_cut_skipped : node -> int
+(** Sum of [cut_skipped] over the whole tree — the rows chunk-level
+    texp pruning saved this execution. *)
 
 val annotate : node -> string
 (** One node's stats, e.g.

@@ -1,0 +1,48 @@
+(* Process-global counters for the vectorized executor, mirroring the
+   sketch Observatory's shape: the executor records once per batched
+   subtree (coarse — never per row or per batch), and the server's
+   Prometheus registry polls the totals through gauge callbacks. *)
+
+let lock = Mutex.create ()
+
+type totals = {
+  mutable batches : int;
+  mutable rows : int;
+  mutable cut_skipped : int;
+  mutable rebatches : int;
+}
+
+let totals = { batches = 0; rows = 0; cut_skipped = 0; rebatches = 0 }
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let record ~batches ~rows ~cut_skipped ~rebatches =
+  locked (fun () ->
+      totals.batches <- totals.batches + batches;
+      totals.rows <- totals.rows + rows;
+      totals.cut_skipped <- totals.cut_skipped + cut_skipped;
+      totals.rebatches <- totals.rebatches + rebatches)
+
+type snapshot = {
+  s_batches : int;
+  s_rows : int;
+  s_cut_skipped : int;
+  s_rebatches : int;
+}
+
+let snapshot () =
+  locked (fun () ->
+      { s_batches = totals.batches;
+        s_rows = totals.rows;
+        s_cut_skipped = totals.cut_skipped;
+        s_rebatches = totals.rebatches
+      })
+
+let reset () =
+  locked (fun () ->
+      totals.batches <- 0;
+      totals.rows <- 0;
+      totals.cut_skipped <- 0;
+      totals.rebatches <- 0)

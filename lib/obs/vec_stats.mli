@@ -1,0 +1,25 @@
+(** Process-global counters for the vectorized executor.
+
+    The executor calls {!record} once per batched-subtree execution
+    (coarse-grained: one mutex acquisition per [Plan.Batched] boundary,
+    never per batch or per row); the server exposes the totals as
+    Prometheus gauges.  [cut_skipped] is the cut's saving — expired
+    rows skipped by chunk-level texp pruning and binary-search cuts
+    without a single per-row comparison. *)
+
+type snapshot = {
+  s_batches : int;  (** columnar batches produced *)
+  s_rows : int;  (** rows that flowed through batched subtrees *)
+  s_cut_skipped : int;
+      (** expired rows skipped wholesale (chunk pruning + cut prefixes) *)
+  s_rebatches : int;
+      (** tuple-fallback results re-entered into batch form *)
+}
+
+val record :
+  batches:int -> rows:int -> cut_skipped:int -> rebatches:int -> unit
+
+val snapshot : unit -> snapshot
+
+val reset : unit -> unit
+(** Tests only. *)

@@ -150,6 +150,23 @@ let probe_of trace =
               (string_of_int (Relation.cardinal r.Eval.relation));
             r))
 
+(* The physical executor's probe is polymorphic over the node result
+   (vectorized operators yield batch lists, not relations): same span
+   names and row labels, cardinality through the executor-supplied
+   [rows] extractor. *)
+let xprobe_of trace =
+  match trace with
+  | None -> None
+  | Some _ ->
+    Some
+      { Executor.probe =
+          (fun op ~rows k ->
+            Trace.span trace ("op:" ^ op) (fun () ->
+                let r = k () in
+                Trace.label trace "rows" (string_of_int (rows r));
+                r))
+      }
+
 (* Lower + plan once per distinct statement text and catalog generation;
    the LRU is the server hot path's per-request saving.  [text] is the
    statement's source string — the cache key — threaded down from
@@ -209,7 +226,7 @@ let run_query ?trace ?text t { Ast.q; at; order_by; limit } =
   | None ->
     let entry = planned_query ?trace ?text t q in
     let eval () =
-      Executor.run ?probe:(probe_of trace) ~db:t.db entry.p_compiled
+      Executor.run ?probe:(xprobe_of trace) ~db:t.db entry.p_compiled
     in
     let { Eval.relation; texp = texp_e } =
       Trace.span trace "eval" (fun () ->
@@ -275,7 +292,7 @@ let sketch_partial ?trace t q =
     Trace.span trace "sketch-query" (fun () ->
         let compiled = Planner.plan ~db:t.db expr in
         let child =
-          Executor.run ?probe:(probe_of trace) ~db:t.db compiled
+          Executor.run ?probe:(xprobe_of trace) ~db:t.db compiled
         in
         let sketch = Approx.build spec child.Eval.relation in
         Expirel_sketch.Observatory.record
@@ -303,7 +320,7 @@ let aggregate_partial ?trace t { Ast.q; at; order_by = _; limit = _ } =
           match at with
           | None ->
             let planned = Planner.plan ~db:t.db d_child in
-            Executor.run ?probe:(probe_of trace) ~db:t.db planned
+            Executor.run ?probe:(xprobe_of trace) ~db:t.db planned
           | Some n ->
             let tau = Time.of_int n in
             if Time.(tau < Database.now t.db) then
@@ -710,7 +727,7 @@ let exec_statement ?trace ?text t = function
     let profile = Profile.of_plan ~db:t.db physical in
     let { Eval.relation; texp = texp_e } =
       Trace.span trace "eval" (fun () ->
-          Executor.run ?probe:(probe_of trace) ~profile ~db:t.db
+          Executor.run ?probe:(xprobe_of trace) ~profile ~db:t.db
             entry.p_compiled)
     in
     Msg

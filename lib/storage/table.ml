@@ -125,6 +125,16 @@ let full_snapshot t =
     t.cached_snapshot <- Some (t.generation, r);
     r
 
+let physical_relation t = full_snapshot t
+
+(* Live cardinality without the O(n) fold: O(1) when nothing expired,
+   otherwise a binary-search cut per chunk of the (generation-cached)
+   physical relation's texp-sorted columnar form — the same chunks the
+   batch executor scans, so planning warms execution's cache. *)
+let live_estimate t ~tau =
+  if all_live t ~tau then physical_count t
+  else Relation.live_count_at (full_snapshot t) ~tau
+
 let snapshot t ~tau =
   if all_live t ~tau then full_snapshot t
   else

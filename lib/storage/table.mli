@@ -40,6 +40,13 @@ val physical_count : t -> int
 
 val live_count : t -> tau:Time.t -> int
 
+val live_estimate : t -> tau:Time.t -> int
+(** Exactly [live_count], computed cheaply: O(1) when every physical row
+    is live, otherwise binary-search cuts over the cached
+    {!physical_relation}'s texp-sorted chunks — what the planner's
+    cardinality estimates use so a mostly-expired (churny, lazily
+    vacuumed) table costs by its live rows, not its physical ones. *)
+
 val pending_expirations : t -> int
 (** Entries currently held by the table's expiration index (heap /
     timer wheel / scan) — the backlog an advance or vacuum would have to
@@ -54,6 +61,13 @@ val snapshot : t -> tau:Time.t -> Relation.t
     [tau] (the common server-read case: nothing has expired since the
     last mutation) the snapshot is cached and reused until the table
     changes, making repeated reads O(1) instead of O(n). *)
+
+val physical_relation : t -> Relation.t
+(** Every physical row, expired-but-unvacuumed ones included — the
+    generation-cached relation batch scans cut at [tau] via its
+    texp-sorted chunks ({!Relation.sorted_chunks}), instead of paying
+    {!snapshot}'s O(n) filter per read on a churny table.  Callers are
+    responsible for liveness filtering. *)
 
 val expire_upto : t -> Time.t -> (Tuple.t * Time.t) list
 (** Physically removes every row with [texp <= tau] and returns them in

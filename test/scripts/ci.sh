@@ -24,6 +24,11 @@ dune exec bench/main.exe -- exec
 # vs a materialized relation, 3-way merge, a live 3-shard cluster) at
 # a CI-sized event count; the full 10^7 run is for BENCH_sketch.json.
 EXPIREL_SKETCH_EVENTS=200000 dune exec bench/main.exe -- sketch
+# Smoke the vectorized-executor experiment (live cut, filter kernel,
+# batched hash-join probe, chunk-cut accounting — the last fails hard
+# if the cut skips fewer rows than the expired half) at a CI-sized row
+# count; the full 10^5/10^6 sweep is for BENCH_vexec.json.
+EXPIREL_VEXEC_ROWS=20000 dune exec bench/main.exe -- vexec
 
 # Observability end to end through the CLI: a live server, EXPLAIN
 # ANALYZE and HEALTH driven over the wire, and the Prometheus page

@@ -73,6 +73,97 @@ let physical_equals_naive (e, bindings, tau) =
   Relation.equal naive.Eval.relation physical.Eval.relation
   && Time.equal naive.Eval.texp physical.Eval.texp
 
+(* ---------- vectorized ≡ tuple-at-a-time ---------- *)
+
+(* Wider taus than gen_case: generated finite texps top out at 24, so
+   taus in 20..30 exercise the all-expired cut (only Inf rows survive)
+   alongside all-live (tau 0) and straddling cuts; duplicate texps are
+   common at this density, so cut boundaries over coinciding expiration
+   times get hit constantly. *)
+let gen_batch_case =
+  let open Gen in
+  let* e, bindings = Generators.expr_and_env () in
+  let* tau = oneof [ return 0; int_range 0 8; int_range 20 30 ] in
+  return (e, bindings, tau)
+
+(* The tentpole law: a batchified plan returns exactly what the pure
+   tuple-at-a-time plan returns — rows AND per-row expiration times AND
+   the expression-level texp(e). *)
+let batched_equals_tuple (e, bindings, tau) =
+  let db = db_of_bindings bindings in
+  Database.advance_to db (Time.of_int tau);
+  let tuple = Executor.run ~db (Planner.plan ~db ~batch:false e) in
+  let batched = Executor.run ~db (Planner.plan ~db e) in
+  Relation.equal tuple.Eval.relation batched.Eval.relation
+  && Time.equal tuple.Eval.texp batched.Eval.texp
+
+(* exp_tau keeps texp > tau (strict): with texps {5,5,5,7} and tau = 5
+   the binary-search cut must land after the LAST of the coinciding 5s,
+   not the first — the classic lower/upper-bound off-by-one. *)
+let test_cut_duplicate_texp_boundary () =
+  let db = Database.create ~policy:Database.Lazy () in
+  let (_ : Table.t) = Database.create_table db ~name:"t" ~columns:[ "x" ] in
+  List.iter
+    (fun (x, texp) ->
+      Database.insert db "t"
+        (Tuple.of_list [ Value.int x ])
+        ~texp:(Time.of_int texp))
+    [ 1, 5; 2, 5; 3, 5; 4, 7 ];
+  Database.advance_to db (Time.of_int 5);
+  (* Project-over-base forces the batched scan (a bare scan would serve
+     the cached snapshot tuple-at-a-time). *)
+  let e = Algebra.Project ([ 1 ], Algebra.Base "t") in
+  let batched = Executor.run ~db (Planner.plan ~db e) in
+  let tuple = Executor.run ~db (Planner.plan ~db ~batch:false e) in
+  Alcotest.(check int) "only the texp-7 row survives tau=5" 1
+    (Relation.cardinal batched.Eval.relation);
+  Alcotest.check relation_t "batched = tuple at the boundary"
+    tuple.Eval.relation batched.Eval.relation;
+  Alcotest.(check int) "live_count_at agrees" 1
+    (Relation.live_count_at
+       (Table.physical_relation (Database.table_exn db "t"))
+       ~tau:(Time.of_int 5))
+
+(* Enough rows for several 1024-row chunks, cut mid-table: wholly
+   expired chunks are skipped, wholly live ones accepted, one chunk
+   straddles. *)
+let test_multi_chunk_cut () =
+  let db = Database.create ~policy:Database.Lazy () in
+  let (_ : Table.t) = Database.create_table db ~name:"t" ~columns:[ "x" ] in
+  let n = 3000 in
+  for i = 1 to n do
+    Database.insert db "t" (Tuple.of_list [ Value.int i ])
+      ~texp:(Time.of_int i)
+  done;
+  let tau = 1500 in
+  Database.advance_to db (Time.of_int tau);
+  let table = Database.table_exn db "t" in
+  Alcotest.(check int) "three chunks"
+    ((n + Relation.chunk_rows - 1) / Relation.chunk_rows)
+    (Array.length (Relation.sorted_chunks (Table.physical_relation table)));
+  let e = Algebra.Project ([ 1 ], Algebra.Base "t") in
+  let batched = Executor.run ~db (Planner.plan ~db e) in
+  Alcotest.(check int) "live suffix survives" (n - tau)
+    (Relation.cardinal batched.Eval.relation);
+  let tuple = Executor.run ~db (Planner.plan ~db ~batch:false e) in
+  Alcotest.check relation_t "batched = tuple across chunks"
+    tuple.Eval.relation batched.Eval.relation
+
+(* The cost model's scan estimates follow live rows, not physical ones:
+   a churny lazily-vacuumed table mostly full of corpses must not look
+   expensive to scan. *)
+let test_estimate_scales_by_live_rows () =
+  let db = Database.create ~policy:Database.Lazy () in
+  let (_ : Table.t) = Database.create_table db ~name:"t" ~columns:[ "x" ] in
+  for i = 1 to 100 do
+    Database.insert db "t" (Tuple.of_list [ Value.int i ])
+      ~texp:(Time.of_int (if i <= 90 then 5 else 50))
+  done;
+  Database.advance_to db (Time.of_int 10);
+  let { Plan.physical; _ } = Planner.plan ~db ~batch:false (Algebra.Base "t") in
+  Alcotest.(check int) "90 expired-unvacuumed rows don't count" 10
+    (Planner.estimate_rows db physical)
+
 (* ---------- hash-join kernel ---------- *)
 
 let rel arity rows =
@@ -328,6 +419,41 @@ let test_explain_analyze_dropped () =
     Alcotest.(check int) "plain run agrees" 1 (Relation.cardinal relation)
   | Interp.Msg m -> Alcotest.failf "expected rows, got %S" m
 
+(* EXPLAIN tags every operator with its execution mode; EXPLAIN ANALYZE
+   additionally reports batch counts and the chunk-level cut's savings
+   on scans. *)
+let test_explain_mode_tags () =
+  let t = setup_indexed () in
+  let sel = msg (exec t "EXPLAIN SELECT uid FROM pol WHERE deg = 25") in
+  List.iter
+    (fun sub ->
+      Alcotest.(check bool) ("select explain has: " ^ sub) true
+        (string_contains sel sub))
+    [ "batch [materialise boundary]"; "[batch]"; "seq-scan pol" ];
+  Alcotest.(check bool) "fully vectorized select has no tuple operator"
+    false
+    (string_contains sel "[tuple]");
+  let agg = msg (exec t "EXPLAIN SELECT deg, COUNT(*) FROM pol GROUP BY deg") in
+  Alcotest.(check bool) "aggregate node runs tuple-at-a-time" true
+    (string_contains agg "[tuple]");
+  Alcotest.(check bool) "its scan child is batched" true
+    (string_contains agg "[batch]")
+
+let test_explain_analyze_cut_skipped () =
+  let t = Interp.create ~policy:Database.Lazy () in
+  List.iter
+    (fun sql -> ignore (exec t sql))
+    [ "CREATE TABLE pol (uid, deg)";
+      "INSERT INTO pol VALUES (1, 25) EXPIRES 10";
+      "INSERT INTO pol VALUES (2, 25) EXPIRES 15";
+      "INSERT INTO pol VALUES (3, 35) EXPIRES 10";
+      "ADVANCE TO 12" ];
+  let text = msg (exec t "EXPLAIN ANALYZE SELECT uid FROM pol") in
+  List.iter
+    (fun sub ->
+      Alcotest.(check bool) ("reports: " ^ sub) true (string_contains text sub))
+    [ "batches="; "cut_skipped=2"; "rows=1" ]
+
 let test_explain_analyze_index_and_join () =
   let t = setup_indexed () in
   ignore (exec t "CREATE INDEX ON pol (deg)");
@@ -374,6 +500,17 @@ let test_lru_evicts_stalest () =
 let suite =
   [ Generators.qtest "physical plan ≡ naive eval (rows and texps)"
       ~count:300 gen_case physical_equals_naive;
+    Generators.qtest "batched plan ≡ tuple plan (rows and texps)"
+      ~count:300 gen_batch_case batched_equals_tuple;
+    Alcotest.test_case "cut boundary on duplicate texps" `Quick
+      test_cut_duplicate_texp_boundary;
+    Alcotest.test_case "multi-chunk live cut" `Quick test_multi_chunk_cut;
+    Alcotest.test_case "scan estimates scale by live rows" `Quick
+      test_estimate_scales_by_live_rows;
+    Alcotest.test_case "EXPLAIN: per-operator mode tags" `Quick
+      test_explain_mode_tags;
+    Alcotest.test_case "EXPLAIN ANALYZE: chunk-cut savings" `Quick
+      test_explain_analyze_cut_skipped;
     Generators.qtest "hash join ≡ nested loop" ~count:300 gen_join_inputs
       hash_equals_nested;
     Generators.qtest "merge union ≡ Ops.union" gen_set_inputs merge_union_law;
