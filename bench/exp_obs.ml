@@ -180,7 +180,13 @@ let run_all () =
       "expirel_eval_operator_duration_seconds_bucket";
       "expirel_request_stage_duration_seconds_bucket";
       "expirel_tuples_expired_total";
-      "expirel_expiration_index_depth" ]
+      "expirel_expiration_index_depth";
+      (* the forward-looking families, and the build identity *)
+      "expirel_horizon_rows_bucket";
+      "expirel_horizon_fanout_events";
+      "expirel_churn_rate";
+      "expirel_build_info";
+      "expirel_uptime_seconds" ]
   in
   List.iter
     (fun name ->
@@ -224,6 +230,91 @@ let run_all () =
 
   Client.close client;
   Server.stop server;
+
+  (* ---- the expiration horizon: scan cost, merge cost, exactness ---- *)
+  Bench_util.subsection "horizon forecast";
+  let hdb = Storage.Database.create () in
+  let (_ : Storage.Table.t) =
+    Storage.Database.create_table hdb ~name:"h" ~columns:[ "k"; "v" ]
+  in
+  let horizon_rows = 100_000 in
+  for i = 1 to horizon_rows do
+    Storage.Database.insert hdb "h"
+      (Core.Tuple.of_list [ Core.Value.Int i; Core.Value.Int 0 ])
+      ~texp:
+        (if i mod 7 = 0 then Core.Time.Inf
+         else Core.Time.of_int (1 + (i mod 20_000)))
+  done;
+  let bounds = Obs.Horizon.default_bounds in
+  (* the bucket cut rides the expiration order: O(log n + buckets), so
+     pricing it over 100k rows lands in microseconds, not milliseconds *)
+  let scan_iters = 500 in
+  let (), scan_s =
+    Bench_util.time_it (fun () ->
+        for _ = 1 to scan_iters do
+          ignore
+            (Storage.Database.expiring_within hdb ~bounds
+              : (string * int array) list)
+        done)
+  in
+  let scan_us = scan_s /. float_of_int scan_iters *. 1e6 in
+  Bench_util.param_int "horizon_bench_rows" horizon_rows;
+  Bench_util.metric "horizon_scan_us" scan_us;
+  (* bucket-wise merge of shard partials, as the coordinator runs it *)
+  let partial shard =
+    { Obs.Horizon.now = 40;
+      window = Obs.Horizon.default_window;
+      fanout_events = shard;
+      arrival_rate = 1.0;
+      expiration_rate = 1.0;
+      tables =
+        List.map
+          (fun name ->
+            { Obs.Horizon.name;
+              bounds;
+              counts = Array.mapi (fun i _ -> (shard + i) land 7) bounds })
+          [ "aux"; "pol"; "s" ]
+    }
+  in
+  let partials = List.init 8 partial in
+  let merge_iters = 2_000 in
+  let (), merge_s =
+    Bench_util.time_it (fun () ->
+        for _ = 1 to merge_iters do
+          ignore (Obs.Horizon.merge_reports partials : Obs.Horizon.report)
+        done)
+  in
+  let merge_us = merge_s /. float_of_int merge_iters *. 1e6 in
+  Bench_util.metric "horizon_merge_us" merge_us;
+  (* the forecast is exact: the 1024-tick bucket cut equals the rows the
+     ADVANCE to 1024 then drops *)
+  let profile = Storage.Database.expiring_within hdb ~bounds in
+  let d = 1024 in
+  let predicted =
+    List.fold_left
+      (fun acc (_, counts) ->
+        let t = ref acc in
+        Array.iteri
+          (fun i c -> if bounds.(i) <> max_int && bounds.(i) <= d then t := !t + c)
+          counts;
+        !t)
+      0 profile
+  in
+  let expired_before = Storage.Database.expired_total hdb in
+  Storage.Database.advance_to hdb (Core.Time.of_int d);
+  let dropped = Storage.Database.expired_total hdb - expired_before in
+  let exact = dropped = predicted in
+  Bench_util.metric_int "horizon_forecast_exact" (if exact then 1 else 0);
+  Printf.printf
+    "scan %.1f us over %d rows, 8-shard merge %.1f us, forecast %s \
+     (predicted %d = dropped %d)\n"
+    scan_us horizon_rows merge_us
+    (if exact then "exact" else "MISMATCH")
+    predicted dropped;
+  if not exact then
+    failwith
+      (Printf.sprintf "horizon forecast mismatch: predicted %d, dropped %d"
+         predicted dropped);
 
   (* ---- raw instrument costs ---- *)
   Bench_util.subsection "instrument micro-costs";

@@ -156,6 +156,11 @@ let print_health client =
     print_endline (Wire.render_response (Wire.Health_reply { level; firing }))
   | Error e -> Printf.printf "error: %s\n" e
 
+let print_horizon client table =
+  match Client.horizon ?table client with
+  | Ok report -> print_endline (Expirel_obs.Horizon.render report)
+  | Error e -> Printf.printf "error: %s\n" e
+
 let send_statement client text =
   let text = String.trim text in
   if text <> "" then begin
@@ -195,6 +200,13 @@ let send_statement client text =
        | Some _ | None -> print_endline "usage: TRACE [N];"
      end
      else if upper = "HEALTH" then print_health client
+     else if upper = "HORIZON" || starts "HORIZON " then begin
+       let table =
+         if upper = "HORIZON" then None
+         else Some (String.trim (String.sub text 8 (String.length text - 8)))
+       in
+       print_horizon client table
+     end
      else if upper = "PING" then
        match Client.ping client with
        | Ok () -> print_endline "pong"
@@ -214,7 +226,7 @@ let remote_banner host port =
     "connected to expirel_server at %s:%d\n\
      statements end with ';'.  Also: SUBSCRIBE name AS SELECT ...;\n\
     \  UNSUBSCRIBE name;  STATS;  METRICS;  SLOW [N];  TRACE [N];\n\
-    \  HEALTH;  PING;  ^D to quit."
+    \  HEALTH;  HORIZON [t];  PING;  ^D to quit."
     host port
 
 let remote_repl client host port =
@@ -405,6 +417,29 @@ let health_main host port =
         Printf.eprintf "error: %s\n" e;
         exit 1)
 
+(* ---------- horizon: one-shot expiration forecast against a server ---------- *)
+
+let horizon_main host port table prom =
+  let client =
+    try Client.connect ~host ~port ()
+    with Unix.Unix_error (err, _, _) ->
+      Printf.eprintf "error: cannot connect to %s:%d: %s\n" host port
+        (Unix.error_message err);
+      exit 1
+  in
+  Fun.protect
+    ~finally:(fun () -> Client.close client)
+    (fun () ->
+      match Client.horizon ?table client with
+      | Ok report ->
+        if prom then
+          print_string
+            (Expirel_obs.Prometheus.render (Expirel_obs.Horizon.metrics report))
+        else print_endline (Expirel_obs.Horizon.render report)
+      | Error e ->
+        Printf.eprintf "error: %s\n" e;
+        exit 1)
+
 let connect_main host port script =
   let client =
     try Client.connect ~host ~port ()
@@ -477,6 +512,16 @@ let cluster_statement coord text =
       print_endline (Wire.render_response (Wire.Health_reply { level; firing }))
     end
     else if upper = "SHARDS" then print_shard_summaries coord
+    else if upper = "HORIZON" || starts "HORIZON " then begin
+      let table =
+        if upper = "HORIZON" then None
+        else Some (String.trim (String.sub text 8 (String.length text - 8)))
+      in
+      match Coordinator.horizon ?table coord with
+      | Ok (report, per_shard) ->
+        print_endline (Expirel_obs.Horizon.render ~per_shard report)
+      | Error e -> Printf.printf "error: %s\n" e
+    end
     else if upper = "TRACE" || starts "TRACE " then begin
       let n =
         if upper = "TRACE" then Some 10
@@ -537,8 +582,8 @@ let cluster_connect shard_args script =
         Printf.printf
           "coordinator over %d shard(s) (map v%d)\n\
            statements end with ';'.  Also: METRICS;  HEALTH;  SHARDS;\n\
-          \  TRACE [N];  ADD SHARD HOST:PORT;  REMOVE SHARD ID;  ^D to \
-           quit.\n"
+          \  HORIZON [t];  TRACE [N];  ADD SHARD HOST:PORT;  REMOVE SHARD \
+           ID;  ^D to quit.\n"
           (List.length endpoints)
           (Coordinator.shard_map coord).Wire.map_version;
         let buffer = Buffer.create 256 in
@@ -701,6 +746,28 @@ let health_cmd =
     Term.(const health_main $ host_arg
           $ port_arg ~default:Expirel_server.Client.default_port)
 
+let horizon_cmd =
+  let doc =
+    "fetch a running server's expiration forecast (rows by ticks-to-expiry, \
+     subscription fan-out, churn)"
+  in
+  let table_arg =
+    Arg.(value & opt (some string) None
+         & info [ "table" ] ~docv:"TABLE"
+             ~doc:"Restrict the forecast to one table.")
+  in
+  let prom_flag =
+    Arg.(value & flag
+         & info [ "prom" ]
+             ~doc:"Emit the Prometheus text-format page instead of the \
+                   line-oriented summary.")
+  in
+  Cmd.v
+    (Cmd.info "horizon" ~doc)
+    Term.(const horizon_main $ host_arg
+          $ port_arg ~default:Expirel_server.Client.default_port $ table_arg
+          $ prom_flag)
+
 let connect_cmd =
   let doc = "connect to a running expirel server (remote REPL)" in
   Cmd.v
@@ -745,6 +812,6 @@ let cmd =
   let default = Term.(const main $ lazy_flag $ backend_arg $ script_arg $ file_arg) in
   Cmd.group ~default (Cmd.info "expirel_cli" ~doc)
     [ serve_cmd; replicate_cmd; connect_cmd; stats_cmd; trace_cmd; health_cmd;
-      cluster_cmd ]
+      horizon_cmd; cluster_cmd ]
 
 let () = exit (Cmd.eval cmd)

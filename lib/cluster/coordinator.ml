@@ -50,6 +50,10 @@ type t = {
   mutable slots : slot list;  (* same order as [map.shards] *)
   mutable now : Time.t;  (* mirror of the cluster's logical clock *)
   mutable last_health : Obs.Health.level;
+  mutable last_horizon : Obs.Horizon.report option;
+      (* the last merged cluster forecast; the registry's horizon
+         gauges read this cache so a scrape never fans out — HEALTH
+         and HORIZON requests refresh it *)
   mutable hb_thread : Thread.t option;
   mutable stopping : bool;
   heartbeat_interval : float;
@@ -83,6 +87,31 @@ let default_health_rules ~shards =
       help = "shards whose last heartbeat reported an older shard-map \
               version (a restarted shard reports v0 and has lost its \
               partition)"
+    };
+    (* Predictive, from the merged horizon cache: these fire before
+       the trouble, not after — the forecast is exact because every
+       tuple's expiration time is known today. *)
+    { Obs.Health.name = "cluster_expiration_storm";
+      source =
+        Obs.Health.Ratio
+          { num = "expirel_cluster_horizon_expiring_soon";
+            den = "expirel_cluster_live_rows";
+            min_den = 8.
+          };
+      op = Obs.Health.Above;
+      degraded = 0.5;
+      critical = 0.9;
+      help = "fraction of the cluster's live rows expiring within the \
+              next horizon window — the next ADVANCEs will drop them \
+              all at once"
+    };
+    { Obs.Health.name = "cluster_fanout_storm";
+      source = Obs.Health.Metric "expirel_cluster_horizon_fanout_events";
+      op = Obs.Health.Above;
+      degraded = 256.;
+      critical = 4096.;
+      help = "subscription events the next ADVANCE window delivers \
+              across the cluster"
     }
   ]
 
@@ -348,6 +377,57 @@ let gather_rows partials =
     | (slot, Error msg) :: _ -> Error (shard_failed slot msg)
   in
   gather [] partials
+
+(* ---------- cluster horizon ---------- *)
+
+(* Gather every shard's forward expiration forecast and roll it up.
+   Hash partitions are disjoint, so each bucket of the merged report is
+   a sum of disjoint row counts — bucket-wise addition is the exact
+   cluster forecast, not an approximation (the test suite pins
+   merged ≡ single-node as a qcheck law).  Never pruned: a shard whose
+   partition is empty contributes an all-zero (still correct) partial,
+   and the forecast must name every table.  Returns the merged report
+   plus the per-shard live-row breakdown. *)
+let gather_horizon ?trace ?table t =
+  let replies = fan_out ?trace t (slots t) (Wire.Horizon table) in
+  let rec gather acc = function
+    | [] -> Ok (List.rev acc)
+    | (slot, Ok (Wire.Horizon_reply r)) :: rest ->
+      gather ((slot, r) :: acc) rest
+    | (_, Ok (Wire.Err _ as e)) :: _ -> Error e
+    | (slot, Ok _) :: _ ->
+      Error (shard_failed slot "unexpected reply to a horizon request")
+    | (slot, Error msg) :: _ -> Error (shard_failed slot msg)
+  in
+  match gather [] replies with
+  | Error e -> Error e
+  | Ok [] -> Error (err "no shards")
+  | Ok parts ->
+    let merged = Obs.Horizon.merge_reports (List.map snd parts) in
+    (* Only the unfiltered forecast is the cluster-wide one the gauges
+       and storm rules should read. *)
+    if table = None then
+      locked t (fun () -> t.last_horizon <- Some merged);
+    let per_shard =
+      List.map
+        (fun (slot, (r : Obs.Horizon.report)) ->
+          ( string_of_int slot.shard.Wire.shard_id,
+            List.fold_left (fun acc tb -> acc + Obs.Horizon.live tb) 0
+              r.Obs.Horizon.tables ))
+        parts
+    in
+    Ok (merged, per_shard)
+
+let horizon ?table t =
+  match gather_horizon ?table t with
+  | Ok _ as ok -> ok
+  | Error (Wire.Err { message; _ }) -> Error message
+  | Error _ -> Error "unexpected reply to a horizon request"
+
+let horizon_page t =
+  Result.map
+    (fun (report, _) -> Obs.Prometheus.render (Obs.Horizon.metrics report))
+    (horizon t)
 
 (* Fan a query out to every shard whose partition can still hold live
    rows at the query's tau, in parallel, and merge.  With every shard
@@ -893,6 +973,11 @@ let exec_parsed ?trace ~prune t stmt sql =
   | Ast.Explain _ | Ast.Explain_analyze _ ->
     broadcast ?trace t sql ~merge:merge_texts
   | Ast.Show_tables | Ast.Show_time -> forward_to_any ?trace t sql
+  | Ast.Show_horizon table ->
+    (match gather_horizon ?trace ?table t with
+     | Error e -> e
+     | Ok (merged, per_shard) ->
+       Wire.Ok_msg (Obs.Horizon.render ~per_shard merged))
   | Ast.Checkpoint | Ast.Create_view _ | Ast.Show_view _ | Ast.Show_views
   | Ast.Refresh_view _ | Ast.Create_trigger _ | Ast.Drop_trigger _
   | Ast.Show_triggers | Ast.Create_constraint _ | Ast.Drop_constraint _
@@ -1030,6 +1115,7 @@ let create ?(node_name = "coordinator") ?health_rules
       slots = [];
       now = Time.zero;
       last_health = Obs.Health.Ok;
+      last_horizon = None;
       hb_thread = None;
       stopping = false;
       heartbeat_interval
@@ -1060,6 +1146,38 @@ let create ?(node_name = "coordinator") ?health_rules
       | Obs.Health.Ok -> 0.
       | Obs.Health.Degraded -> 1.
       | Obs.Health.Critical -> 2.);
+  (* Cluster-horizon gauges read the cached merged forecast — a scrape
+     never fans out.  While no forecast has been gathered yet the
+     callbacks raise, which the registry renders as an absent metric
+     (and the storm rules therefore skip, not fire). *)
+  let cached () =
+    match locked t (fun () -> t.last_horizon) with
+    | Some r -> r
+    | None -> raise Not_found
+  in
+  Obs.Registry.gauge_fun registry ~name:"expirel_cluster_live_rows"
+    ~help:"Live rows across the cluster at the last horizon gather"
+    (fun () ->
+      let r = cached () in
+      float_of_int
+        (List.fold_left (fun acc tb -> acc + Obs.Horizon.live tb) 0
+           r.Obs.Horizon.tables));
+  Obs.Registry.gauge_fun registry
+    ~name:"expirel_cluster_horizon_expiring_soon"
+    ~help:"Live rows across the cluster expiring within the forecast \
+           window, from the last horizon gather"
+    (fun () ->
+      let r = cached () in
+      float_of_int
+        (List.fold_left
+           (fun acc tb -> acc + Obs.Horizon.expiring_within tb r.Obs.Horizon.window)
+           0 r.Obs.Horizon.tables));
+  Obs.Registry.gauge_fun registry
+    ~name:"expirel_cluster_horizon_fanout_events"
+    ~help:"Subscription events the next ADVANCE window delivers across \
+           the cluster, from the last horizon gather"
+    (fun () -> float_of_int (cached ()).Obs.Horizon.fanout_events);
+  Metrics.register_build_info registry;
   t.slots <- List.map (make_slot t) map.Wire.shards;
   (* Nodes may carry a map from an earlier coordinator (a previous
      [cluster connect], a rebalance): claim with a version above
@@ -1107,6 +1225,11 @@ let wire_health_level = function
   | Obs.Health.Critical -> Wire.Health_critical
 
 let health t =
+  (* Refresh the horizon cache first so the predictive storm rules read
+     the present forecast, not a stale one; an unreachable fleet leaves
+     the cache as it was (the rules then skip or read old evidence,
+     while the reachability rules fire). *)
+  (match gather_horizon t with Ok _ | Error _ -> ());
   let report =
     Obs.Health.evaluate t.health_rules (Obs.Registry.collect t.registry)
   in

@@ -124,7 +124,27 @@ val metrics : t -> string
 val health : t -> Wire.health_level * Wire.health_firing list
 (** Evaluates the coordinator's health rules over its own metrics —
     with {!default_health_rules}: degraded from the first unreachable
-    or stale shard, critical from a majority. *)
+    or stale shard, critical from a majority; plus the predictive storm
+    rules over the merged horizon (refreshed by this call): degraded
+    when half the cluster's live rows expire within the next window,
+    or when the next ADVANCE window delivers hundreds of subscription
+    events. *)
+
+val horizon :
+  ?table:string -> t ->
+  (Expirel_obs.Horizon.report * (string * int) list, string) result
+(** The cluster-wide expiration forecast: every shard's bucketed
+    horizon gathered and merged bucket-wise — exact, because hash
+    partitions are disjoint row sets.  Also returns the per-shard
+    live-row breakdown (shard id as a string, live rows).  Refreshes
+    the cache behind the [expirel_cluster_horizon_*] gauges when
+    [table] is [None].  [table] restricts the forecast to one table. *)
+
+val horizon_page : t -> (string, string) result
+(** The merged cluster forecast rendered as a self-contained Prometheus
+    text-format page ([expirel_horizon_rows{table,le}] histogram
+    families plus fan-out, window and churn gauges) — gathered fresh on
+    each call. *)
 
 val default_health_rules : shards:int -> Expirel_obs.Health.rule list
 

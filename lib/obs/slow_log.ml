@@ -1,4 +1,9 @@
-type entry = { statement : string; total_us : int; spans : Trace.span list }
+type entry = {
+  statement : string;
+  trace_id : string;
+  total_us : int;
+  spans : Trace.span list;
+}
 
 (* [seq] is a recency stamp used only as a tie-break in [slowest]. *)
 type slot = { entry : entry; seq : int }
@@ -22,10 +27,10 @@ let locked t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
-let record t ~statement ~total_us ~spans =
+let record t ~statement ~trace_id ~total_us ~spans =
   if total_us >= t.threshold_us then
     locked t (fun () ->
-        t.ring.(t.next) <- Some { entry = { statement; total_us; spans };
+        t.ring.(t.next) <- Some { entry = { statement; trace_id; total_us; spans };
                                   seq = t.seq };
         t.next <- (t.next + 1) mod Array.length t.ring;
         t.seq <- t.seq + 1)

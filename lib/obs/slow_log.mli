@@ -9,6 +9,9 @@
 
 type entry = {
   statement : string;
+  trace_id : string;
+      (** the id of the request's {!Trace}, so slow-log entries join
+          against {!Trace_store} exports *)
   total_us : int;
   spans : Trace.span list;
 }
@@ -22,7 +25,9 @@ val create : ?capacity:int -> ?threshold_us:int -> unit -> t
 
 val threshold_us : t -> int
 
-val record : t -> statement:string -> total_us:int -> spans:Trace.span list -> unit
+val record :
+  t -> statement:string -> trace_id:string -> total_us:int ->
+  spans:Trace.span list -> unit
 (** No-op when [total_us < threshold_us t]. *)
 
 val slowest : t -> int -> entry list

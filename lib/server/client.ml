@@ -126,6 +126,13 @@ let traces t n =
   | Ok _ -> Error "unexpected response to TRACE"
   | Error _ as e -> e
 
+let horizon ?table t =
+  match request t (Wire.Horizon table) with
+  | Ok (Wire.Horizon_reply report) -> Ok report
+  | Ok (Wire.Err { message; _ }) -> Error message
+  | Ok _ -> Error "unexpected response to HORIZON"
+  | Error _ as e -> e
+
 let health t =
   match request t Wire.Health with
   | Ok (Wire.Health_reply { level; firing }) -> Ok (level, firing)

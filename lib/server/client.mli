@@ -59,6 +59,13 @@ val traces : t -> int -> (Wire.trace_entry list, string) result
     several nodes) to {!Expirel_obs.Trace_export} for one merged
     Chrome trace. *)
 
+val horizon :
+  ?table:string -> t -> (Expirel_obs.Horizon.report, string) result
+(** The server's forward expiration forecast: per-table bucketed counts
+    of live rows by ticks-to-expiry, the subscription fan-out forecast
+    and churn rates.  [table] restricts the profile to one table
+    (unknown tables answer [Error]). *)
+
 val health :
   t -> (Wire.health_level * Wire.health_firing list, string) result
 (** Evaluates the server's health rules: the overall verdict plus every

@@ -107,8 +107,8 @@ let op_prefix = "op:"
    double-counts the work its children already reported, so summing a
    family's buckets approximates real wall time.  Spans keep their
    inclusive durations everywhere else (slow log, wire). *)
-let observe_trace t ~statement ~total_us ~spans =
-  Slow_log.record t.slow_log ~statement ~total_us ~spans;
+let observe_trace t ~statement ~trace_id ~total_us ~spans =
+  Slow_log.record t.slow_log ~statement ~trace_id ~total_us ~spans;
   List.iter
     (fun (s : Trace.span) ->
       let self_us = Trace.self_us spans s in
@@ -139,6 +139,7 @@ let slowest t n =
   List.map
     (fun (e : Slow_log.entry) ->
       { Wire.statement = e.statement;
+        trace_id = e.trace_id;
         total_us = e.total_us;
         spans = wire_spans e.spans
       })
@@ -164,5 +165,24 @@ let snapshot t =
         (Array.mapi (fun i n -> (latency.bounds.(i), n)) latency.counts);
     repl
   }
+
+let build_version = "0.10.0"
+
+(* Registered on both the server's and the coordinator's registry, so
+   every Prometheus page in a deployment identifies the build that
+   produced it and how long it has been up. *)
+let register_build_info reg =
+  let started = Unix.gettimeofday () in
+  Registry.custom reg ~name:"expirel_build_info"
+    ~help:"Build identity (always 1; the labels carry the information)"
+    ~kind:Registry.Gauge_kind
+    (fun () ->
+      [ ( [ ("version", build_version);
+            ("wire_version", string_of_int Wire.version);
+            ("ocaml_version", Sys.ocaml_version) ],
+          Registry.Gauge_sample 1.0 ) ]);
+  Registry.gauge_fun reg ~name:"expirel_uptime_seconds"
+    ~help:"Seconds since this process registered its metrics"
+    (fun () -> Unix.gettimeofday () -. started)
 
 let prometheus t = Prometheus.render (Registry.collect t.reg)

@@ -51,8 +51,8 @@ val observe_latency : t -> seconds:float -> unit
     bounds including the 500 ms bucket, rendered in seconds). *)
 
 val observe_trace :
-  t -> statement:string -> total_us:int -> spans:Expirel_obs.Trace.span list ->
-  unit
+  t -> statement:string -> trace_id:string -> total_us:int ->
+  spans:Expirel_obs.Trace.span list -> unit
 (** Feeds one traced request into the per-stage and per-operator
     histograms ([op:<name>] spans go to the operator family, every
     other span to the stage family) and into the slow-query log.
@@ -80,6 +80,16 @@ val repl_source : t -> unit -> Wire.repl_stats option
     [None]) — the lag gauges poll replication state through this. *)
 
 val snapshot : t -> Wire.stats
+
+val build_version : string
+(** The build's version string, as exported on [expirel_build_info]. *)
+
+val register_build_info : Expirel_obs.Registry.t -> unit
+(** Registers [expirel_build_info] (value 1 with [version],
+    [wire_version] and [ocaml_version] labels) and
+    [expirel_uptime_seconds] (seconds since this call) on [reg].  Both
+    the server and the cluster coordinator call this on their own
+    registries so every scrape identifies its producer. *)
 
 val prometheus : t -> string
 (** The registry rendered as a Prometheus text-format page.  Polled

@@ -57,6 +57,32 @@ let default_health_rules =
       critical = 0.1;
       help = "plan-cache hit ratio collapsed (DDL churn or one-shot \
               query texts defeat the LRU)"
+    };
+    (* The predictive pair: both read the horizon — the forecast of the
+       next Δ ticks — so they fire {e before} the trouble, not after.
+       Expiration times make this sound: the storm is already written
+       into the data. *)
+    { Obs.Health.name = "expiration_storm";
+      source =
+        Obs.Health.Ratio
+          { num = "expirel_horizon_expiring_soon";
+            den = "expirel_live_rows";
+            (* a handful of short-lived rows is churn, not a storm *)
+            min_den = 8.
+          };
+      op = Obs.Health.Above;
+      degraded = 0.5;
+      critical = 0.9;
+      help = "expiration storm ahead: this fraction of live rows \
+              expires within the next horizon window"
+    };
+    { Obs.Health.name = "fanout_storm";
+      source = Obs.Health.Metric "expirel_horizon_fanout_events";
+      op = Obs.Health.Above;
+      degraded = 256.;
+      critical = 4096.;
+      help = "fan-out storm ahead: the next ADVANCE window delivers \
+              this many subscription events"
     }
   ]
 
@@ -104,6 +130,21 @@ type t = {
   mutable store_closed : bool;
   mutable next_id : int;
 }
+
+(* The full forward-looking report: the interpreter's per-table buckets
+   and churn rates, plus the subscription fan-out forecast only this
+   layer can see (the subscription manager lives here).  Callers hold
+   the read lock — the forecast walks live table and watch state. *)
+let horizon_of ~interp ~subs ?table () =
+  let r = Interp.horizon ?table interp in
+  let until =
+    Time.add
+      (Database.now (Interp.database interp))
+      (Time.of_int r.Obs.Horizon.window)
+  in
+  { r with
+    Obs.Horizon.fanout_events = Subscription.forecast_events subs ~until
+  }
 
 let create ?(config = default_config) () =
   let store =
@@ -303,6 +344,53 @@ let create ?(config = default_config) () =
       | Obs.Health.Ok -> 0.
       | Obs.Health.Degraded -> 1.
       | Obs.Health.Critical -> 2.);
+  (* The horizon: forward-looking expiration telemetry, polled at
+     exposition time like the other expiration-domain gauges (METRICS
+     runs as a reader).  Each bucket boundary is a binary-search cut
+     over texp-sorted chunks, so a scrape stays cheap on big tables. *)
+  Obs.Registry.custom reg ~name:"expirel_horizon_rows"
+    ~help:"Forecast: live rows by ticks-to-expiry, per table (+Inf \
+           also holds never-expiring rows)"
+    ~kind:Obs.Registry.Histogram_kind (fun () ->
+      List.map
+        (fun tb ->
+          ( [ ("table", tb.Obs.Horizon.name) ],
+            Obs.Registry.Histogram_sample (Obs.Horizon.snapshot tb) ))
+        (Interp.horizon t.interp).Obs.Horizon.tables);
+  Obs.Registry.gauge_fun reg ~name:"expirel_horizon_fanout_events"
+    ~help:"Subscription events the next ADVANCE window will deliver"
+    (fun () ->
+      let until =
+        Time.add (Database.now db) (Time.of_int Obs.Horizon.default_window)
+      in
+      float_of_int (Subscription.forecast_events t.subs ~until));
+  Obs.Registry.gauge_fun reg ~name:"expirel_horizon_window_ticks"
+    ~help:"The forecast window (ticks) used for fan-out and storm rules"
+    (fun () -> float_of_int Obs.Horizon.default_window);
+  Obs.Registry.custom reg ~name:"expirel_churn_rate"
+    ~help:"Arrival vs expiration velocity, rows per tick over a \
+           sliding window"
+    ~kind:Obs.Registry.Gauge_kind (fun () ->
+      let r = Interp.horizon t.interp in
+      [ ( [ ("kind", "arrival") ],
+          Obs.Registry.Gauge_sample r.Obs.Horizon.arrival_rate );
+        ( [ ("kind", "expiration") ],
+          Obs.Registry.Gauge_sample r.Obs.Horizon.expiration_rate )
+      ]);
+  (* The storm ratio's numerator and denominator, as plain gauges so
+     the predictive health rules read them off the same collection. *)
+  Obs.Registry.gauge_fun reg ~name:"expirel_horizon_expiring_soon"
+    ~help:"Live rows expiring within the next horizon window" (fun () ->
+      let r = Interp.horizon t.interp in
+      float_of_int
+        (List.fold_left
+           (fun acc tb ->
+             acc + Obs.Horizon.expiring_within tb r.Obs.Horizon.window)
+           0 r.Obs.Horizon.tables));
+  Obs.Registry.gauge_fun reg ~name:"expirel_live_rows"
+    ~help:"Live rows across all tables (the storm ratio's denominator)"
+    (fun () -> float_of_int (Database.live_rows db));
+  Metrics.register_build_info (Metrics.registry metrics);
   t
 
 let interp t = t.interp
@@ -365,8 +453,8 @@ let release t ~write =
    serialises. *)
 let is_read_only = function
   | Ast.Query _ | Ast.Show_tables | Ast.Show_views | Ast.Show_time
-  | Ast.Show_triggers | Ast.Show_constraints | Ast.Explain _
-  | Ast.Explain_analyze _ -> true
+  | Ast.Show_horizon _ | Ast.Show_triggers | Ast.Show_constraints
+  | Ast.Explain _ | Ast.Explain_analyze _ -> true
   | Ast.Create_table _ | Ast.Drop_table _ | Ast.Create_index _
   | Ast.Drop_index _ | Ast.Insert _ | Ast.Delete _
   | Ast.Advance_to _ | Ast.Tick _ | Ast.Vacuum | Ast.Checkpoint
@@ -434,7 +522,16 @@ let handle_statement ?trace ?text t stmt =
       (fun () ->
         match
           deliver_subscription_events t stmt;
-          Interp.exec ?trace ?text t.interp stmt
+          (* SHOW HORIZON is answered above the interpreter so the
+             fan-out forecast covers this server's subscriptions — the
+             interpreter alone would report 0. *)
+          match stmt with
+          | Ast.Show_horizon table ->
+            (match horizon_of ~interp:t.interp ~subs:t.subs ?table () with
+             | report -> Ok (Interp.Msg (Obs.Horizon.render report))
+             | exception Errors.Unknown_relation name ->
+               Error ("unknown relation " ^ name))
+          | _ -> Interp.exec ?trace ?text t.interp stmt
         with
         | Ok outcome -> response_of_outcome outcome
         | Error message -> Wire.Err { code = Wire.Exec_error; message }
@@ -475,7 +572,8 @@ let handle_exec ?ctx t sql =
         }
   in
   Metrics.observe_trace t.metrics ~statement:sql
-    ~total_us:(Obs.Trace.elapsed_us tr) ~spans:(Obs.Trace.spans tr);
+    ~trace_id:(Obs.Trace.trace_id tr) ~total_us:(Obs.Trace.elapsed_us tr)
+    ~spans:(Obs.Trace.spans tr);
   Obs.Trace_store.finish t.trace_store ~node:t.config.node_name ~name:sql tr;
   response
 
@@ -761,7 +859,8 @@ let handle_sketch_shard t ~sql ~ctx =
         }
   in
   Metrics.observe_trace t.metrics ~statement:sql
-    ~total_us:(Obs.Trace.elapsed_us tr) ~spans:(Obs.Trace.spans tr);
+    ~trace_id:(Obs.Trace.trace_id tr) ~total_us:(Obs.Trace.elapsed_us tr)
+    ~spans:(Obs.Trace.spans tr);
   Obs.Trace_store.finish t.trace_store ~node:t.config.node_name ~name:sql tr;
   response
 
@@ -809,7 +908,8 @@ let with_shard_trace t ~sql ~ctx body =
               Wire.Err { code = Wire.Exec_error; message })
   in
   Metrics.observe_trace t.metrics ~statement:sql
-    ~total_us:(Obs.Trace.elapsed_us tr) ~spans:(Obs.Trace.spans tr);
+    ~trace_id:(Obs.Trace.trace_id tr) ~total_us:(Obs.Trace.elapsed_us tr)
+    ~spans:(Obs.Trace.spans tr);
   Obs.Trace_store.finish t.trace_store ~node:t.config.node_name ~name:sql tr;
   response
 
@@ -1012,6 +1112,22 @@ let handle_request t conn = function
     Wire.Traces_reply
       (List.map wire_trace_entry (Obs.Trace_store.recent t.trace_store (max 0 n)))
   | Wire.Health -> handle_health t
+  | Wire.Horizon table ->
+    (* Like METRICS: the forecast walks live table and watch state, so
+       it runs as a reader. *)
+    if not (acquire t ~write:false) then
+      Wire.Err { code = Wire.Timeout; message = "no lock" }
+    else
+      Fun.protect
+        ~finally:(fun () -> release t ~write:false)
+        (fun () ->
+          match horizon_of ~interp:t.interp ~subs:t.subs ?table () with
+          | report -> Wire.Horizon_reply report
+          | exception Errors.Unknown_relation name ->
+            Wire.Err
+              { code = Wire.Exec_error;
+                message = "unknown relation " ^ name
+              })
   | Wire.Shard_map_req -> Wire.Shard_map_reply (shard_identity t)
   | Wire.Shard_install { map; self_id } -> handle_shard_install t ~map ~self_id
   | Wire.Exec_shard { sql; ctx } -> handle_exec_shard t ~sql ~ctx

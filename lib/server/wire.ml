@@ -1,7 +1,7 @@
 open Expirel_core
 open Expirel_storage
 
-let version = 7
+let version = 8
 let max_frame = 16 * 1024 * 1024
 
 type error_code =
@@ -66,6 +66,9 @@ type span = {
 
 type slow_query = {
   statement : string;
+  trace_id : string;
+      (* the request's trace id, so slow-log entries join against
+         TRACES exports *)
   total_us : int;
   spans : span list;
 }
@@ -195,6 +198,10 @@ type request =
       (* broadcast join: evaluate [sql] with [build_rows] standing in
          for [build_table] (the small side's complete contents) and the
          probe side read from local rows; reply with Shard_rows *)
+  | Horizon of string option
+      (* the forward expiration forecast — bucketed counts of rows
+         expiring within the next Δ ticks, fan-out forecast, churn
+         rates; [Some table] restricts to one table *)
 
 type response =
   | Ok_msg of string
@@ -254,6 +261,9 @@ type response =
           (* per-group expiration-slice partials; the coordinator
              merges them across shards and finalises once *)
     }
+  | Horizon_reply of Expirel_obs.Horizon.report
+      (* bucket counts are disjoint row sets, so the coordinator merges
+         per-shard replies by bucket-wise addition — exactly *)
 
 (* ---------- writer ---------- *)
 
@@ -464,6 +474,13 @@ let encode_request = function
         put_str b build_table;
         put_list b put_row build_rows;
         put_ctx_opt b ctx)
+  | Horizon table ->
+    payload 23 (fun b ->
+        match table with
+        | None -> put_u8 b 0
+        | Some t ->
+          put_u8 b 1;
+          put_str b t)
 
 let put_span b s =
   put_str b s.span_name;
@@ -483,8 +500,22 @@ let put_span b s =
 
 let put_slow_query b q =
   put_str b q.statement;
+  put_str b q.trace_id;
   put_i64 b q.total_us;
   put_list b put_span q.spans
+
+let put_horizon_table b (tb : Expirel_obs.Horizon.table) =
+  put_str b tb.name;
+  put_list b put_i64 (Array.to_list tb.bounds);
+  put_list b put_i64 (Array.to_list tb.counts)
+
+let put_horizon b (r : Expirel_obs.Horizon.report) =
+  put_i64 b r.now;
+  put_i64 b r.window;
+  put_i64 b r.fanout_events;
+  put_f64 b r.arrival_rate;
+  put_f64 b r.expiration_rate;
+  put_list b put_horizon_table r.tables
 
 let encode_response = function
   | Ok_msg m -> payload 1 (fun b -> put_str b m)
@@ -592,6 +623,7 @@ let encode_response = function
         put_list b put_str columns;
         put_time b child_texp;
         put_list b put_group groups)
+  | Horizon_reply report -> payload 22 (fun b -> put_horizon b report)
 
 (* ---------- reader ---------- *)
 
@@ -885,6 +917,11 @@ let decode_request data =
       let build_rows = get_list c get_row in
       let ctx = get_ctx_opt c in
       Join_shard { sql; build_table; build_rows; ctx }
+    | 23 ->
+      (match get_u8 c with
+       | 0 -> Horizon None
+       | 1 -> Horizon (Some (get_str c))
+       | n -> raise (Bad (Printf.sprintf "bad table presence byte %d" n)))
     | n -> raise (Bad (Printf.sprintf "unknown request tag %d" n)))
 
 let get_span c =
@@ -908,9 +945,27 @@ let get_span c =
 
 let get_slow_query c =
   let statement = get_str c in
+  let trace_id = get_str c in
   let total_us = get_i64 c in
   let spans = get_list c get_span in
-  { statement; total_us; spans }
+  { statement; trace_id; total_us; spans }
+
+let get_horizon_table c : Expirel_obs.Horizon.table =
+  let name = get_str c in
+  let bounds = Array.of_list (get_list c get_i64) in
+  let counts = Array.of_list (get_list c get_i64) in
+  if Array.length bounds <> Array.length counts then
+    raise (Bad "horizon bucket arrays differ in length");
+  { name; bounds; counts }
+
+let get_horizon c : Expirel_obs.Horizon.report =
+  let now = get_i64 c in
+  let window = get_i64 c in
+  let fanout_events = get_i64 c in
+  let arrival_rate = get_f64 c in
+  let expiration_rate = get_f64 c in
+  let tables = get_list c get_horizon_table in
+  { now; window; fanout_events; arrival_rate; expiration_rate; tables }
 
 let get_health_level c =
   match get_u8 c with
@@ -1018,6 +1073,7 @@ let decode_response data =
       let child_texp = get_time c in
       let groups = get_list c get_group in
       Shard_agg { shard_id; partition; columns; child_texp; groups }
+    | 22 -> Horizon_reply (get_horizon c)
     | n -> raise (Bad (Printf.sprintf "unknown response tag %d" n)))
 
 (* ---------- framing ---------- *)
@@ -1133,7 +1189,8 @@ let rec pp_response ppf = function
       (if List.length qs = 1 then "y" else "ies");
     List.iter
       (fun q ->
-        Format.fprintf ppf "@\n%8dus  %s" q.total_us q.statement;
+        Format.fprintf ppf "@\n%8dus  %s  [trace %s]" q.total_us q.statement
+          q.trace_id;
         List.iter
           (fun s ->
             Format.fprintf ppf "@\n            %s +%dus for %dus%s"
@@ -1236,5 +1293,7 @@ let rec pp_response ppf = function
       shard_id partition.live_rows
       (Time.to_string partition.min_texp)
       (Time.to_string partition.max_texp)
+  | Horizon_reply report ->
+    Format.pp_print_string ppf (Expirel_obs.Horizon.render report)
 
 let render_response r = Format.asprintf "%a" pp_response r

@@ -85,6 +85,15 @@ val version : int
     child's [texp(e)]).  Also adds error code 8, [Shard_failed]: the
     single typed error a coordinator surfaces when a shard dies or
     answers garbage mid-scatter-gather.
+    v8 — expiration-horizon telemetry.  This bump is {e required}: the
+    [slow_query] body changed — each entry now leads with the trace id
+    it was recorded under, so slow-log entries join against [TRACES]
+    exports; a v7 peer would misparse [Slow_queries_reply].  New tags:
+    request [Horizon] (23, the forward expiration forecast, optionally
+    restricted to one table — coordinators send it unprompted when
+    gathering cluster-wide horizons) and response [Horizon_reply] (22,
+    the per-table bucketed forecast plus fan-out and churn figures,
+    merged bucket-wise across shards).
 
     On decode failure, a peer should check {!payload_version}: when the
     sender speaks a different version, answer
@@ -173,6 +182,9 @@ type span = {
 
 type slow_query = {
   statement : string;
+  trace_id : string;
+      (** the id of the trace recorded for the same request, so slow-log
+          entries join against [Trace_recent] exports *)
   total_us : int;  (** wall-clock total for the request, µs *)
   spans : span list;  (** breakdown in recording order *)
 }
@@ -335,6 +347,12 @@ type request =
           the other table, and replies with ordinary [Shard_rows];
           probe fragments are disjoint, so the coordinator's union of
           per-shard results is the exact join *)
+  | Horizon of string option
+      (** the forward expiration forecast ([Horizon_reply]): per-table
+          bucketed counts of live rows by ticks-to-expiry, the
+          subscription fan-out forecast for the next window, and churn
+          rates.  [Some table] restricts the profile to one table
+          (unknown tables answer [Err]). *)
 
 type response =
   | Ok_msg of string
@@ -422,6 +440,11 @@ type response =
           a single node holding all rows, because the slice components
           (counts, sums, extrema) are partition-decomposable and the
           finalisation is shared code, not a reimplementation *)
+  | Horizon_reply of Expirel_obs.Horizon.report
+      (** the node's expiration forecast.  Buckets count disjoint row
+          sets, so a coordinator rolls per-shard replies up with
+          {!Expirel_obs.Horizon.merge_reports} — bucket-wise addition,
+          exact by construction *)
 
 (** {1 Codecs} — payloads only (no length prefix) *)
 

@@ -120,6 +120,7 @@ type statement =
   | Show_tables
   | Show_views
   | Show_time
+  | Show_horizon of string option
   | Explain of query
   | Explain_analyze of query
 
@@ -205,5 +206,7 @@ let pp_statement ppf = function
   | Show_tables -> Format.pp_print_string ppf "SHOW TABLES"
   | Show_views -> Format.pp_print_string ppf "SHOW VIEWS"
   | Show_time -> Format.pp_print_string ppf "SHOW NOW"
+  | Show_horizon None -> Format.pp_print_string ppf "SHOW HORIZON"
+  | Show_horizon (Some t) -> Format.fprintf ppf "SHOW HORIZON FOR %s" t
   | Explain _ -> Format.pp_print_string ppf "EXPLAIN ..."
   | Explain_analyze _ -> Format.pp_print_string ppf "EXPLAIN ANALYZE ..."

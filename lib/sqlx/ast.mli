@@ -137,6 +137,10 @@ type statement =
   | Show_tables
   | Show_views
   | Show_time
+  | Show_horizon of string option
+      (** [SHOW HORIZON [FOR t]]: the forward expiration profile —
+          bucketed counts of live rows by ticks-to-expiry, for one
+          table or all of them *)
   | Explain of query
   | Explain_analyze of query
       (** [EXPLAIN ANALYZE q]: plans {e and runs} [q], reporting the

@@ -2,6 +2,7 @@ open Expirel_core
 open Expirel_storage
 open Expirel_exec
 module Trace = Expirel_obs.Trace
+module Horizon = Expirel_obs.Horizon
 
 type stored_view = {
   mutable view : View.t;
@@ -65,6 +66,9 @@ type t = {
          own lock, never held across lowering or evaluation *)
   mutable plan_hits : int;
   mutable plan_misses : int;
+  churn : Horizon.Churn.t;
+      (* arrival vs expiration velocity, sampled whenever the logical
+         clock moves (ADVANCE/TICK/VACUUM) and on horizon reads *)
 }
 
 let create ?policy ?backend ?store () =
@@ -84,7 +88,8 @@ let create ?policy ?backend ?store () =
     parse_cache = Lru.create ~capacity:64;
     plan_mutex = Mutex.create ();
     plan_hits = 0;
-    plan_misses = 0
+    plan_misses = 0;
+    churn = Horizon.Churn.create ()
   }
 
 let database t = t.db
@@ -460,6 +465,42 @@ let constraint_status t name info =
      | None -> "")
     prediction
 
+let observe_churn t =
+  match Time.to_int_opt (Database.now t.db) with
+  | Some now ->
+    Horizon.Churn.observe t.churn ~now
+      ~arrivals:(Database.inserted_total t.db)
+      ~expirations:(Database.expired_total t.db)
+  | None -> ()
+
+(* The forward expiration profile at the current clock.  The fan-out
+   forecast is 0 here: subscriptions live above the interpreter (the
+   network server owns them) and fill that field in before export. *)
+let horizon ?table t =
+  let bounds = Horizon.default_bounds in
+  observe_churn t;
+  let arrival_rate, expiration_rate = Horizon.Churn.rates t.churn in
+  let profile =
+    match table with
+    | None -> Database.expiring_within t.db ~bounds
+    | Some name ->
+      [ (name,
+         Table.expiring_within (Database.table_exn t.db name)
+           ~now:(Database.now t.db) ~bounds)
+      ]
+  in
+  { Horizon.now =
+      (match Time.to_int_opt (Database.now t.db) with
+       | Some n -> n
+       | None -> 0);
+    window = Horizon.default_window;
+    fanout_events = 0;
+    arrival_rate;
+    expiration_rate;
+    tables =
+      List.map (fun (name, counts) -> { Horizon.name; bounds; counts }) profile
+  }
+
 let exec_statement ?trace ?text t = function
   | Ast.Create_table (name, columns) ->
     (match t.store with
@@ -702,6 +743,7 @@ let exec_statement ?trace ?text t = function
      | [] -> Msg "(no views)"
      | names -> Msg (String.concat "\n" names))
   | Ast.Show_time -> Msg (Time.to_string (Database.now t.db))
+  | Ast.Show_horizon table -> Msg (Horizon.render (horizon ?table t))
   | Ast.Explain q ->
     let { Lower.expr; columns; approx } =
       Lower.lower_query ~catalog:(catalog t) q
@@ -756,7 +798,13 @@ let view_horizons t =
 
 let exec ?trace ?text t statement =
   match exec_statement ?trace ?text t statement with
-  | outcome -> Ok outcome
+  | outcome ->
+    (* Clock movement is the churn tracker's sampling edge: rates are
+       per logical tick, so sample exactly when ticks happen. *)
+    (match statement with
+     | Ast.Advance_to _ | Ast.Tick _ | Ast.Vacuum -> observe_churn t
+     | _ -> ());
+    Ok outcome
   | exception Errors.Unknown_relation name ->
     Error (Printf.sprintf "unknown relation %s" name)
   | exception Errors.Arity_mismatch msg -> Error msg

@@ -63,6 +63,16 @@ val view_horizons : t -> (string * Time.t) list
     recomputes); plain views report their current [texp(e)].  The
     observability layer exposes these as gauges. *)
 
+val horizon : ?table:string -> t -> Expirel_obs.Horizon.report
+(** The forward expiration profile at the current clock — per-table
+    bucketed counts of live rows by ticks-to-expiry
+    ({!Database.expiring_within} over {!Expirel_obs.Horizon.default_bounds})
+    plus churn rates from the interpreter's sliding-window tracker.
+    [fanout_events] is [0]: subscriptions live above the interpreter and
+    the server fills that field in before export.  [table] restricts the
+    profile to one table.
+    @raise Errors.Unknown_relation for an unknown [table] *)
+
 val exec :
   ?trace:Expirel_obs.Trace.t ->
   ?text:string ->

@@ -333,6 +333,9 @@ let statement st =
     else if accept_kw st "TRIGGERS" then Ast.Show_triggers
     else if accept_kw st "CONSTRAINTS" then Ast.Show_constraints
     else if accept_kw st "NOW" then Ast.Show_time
+    else if accept_kw st "HORIZON" then
+      Ast.Show_horizon
+        (if accept_kw st "FOR" then Some (ident st) else None)
     else begin
       expect_kw st "VIEW";
       Ast.Show_view (ident st)

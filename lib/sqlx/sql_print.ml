@@ -166,5 +166,7 @@ let statement = function
   | Ast.Show_tables -> "SHOW TABLES"
   | Ast.Show_views -> "SHOW VIEWS"
   | Ast.Show_time -> "SHOW NOW"
+  | Ast.Show_horizon None -> "SHOW HORIZON"
+  | Ast.Show_horizon (Some t) -> "SHOW HORIZON FOR " ^ t
   | Ast.Explain q -> "EXPLAIN " ^ query q
   | Ast.Explain_analyze q -> "EXPLAIN ANALYZE " ^ query q

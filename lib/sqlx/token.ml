@@ -28,7 +28,7 @@ let keywords =
     "ANALYZE";
     "TRIGGER"; "TRIGGERS"; "NOW"; "AT"; "MAINTAINED"; "ORDER"; "ASC";
     "DESC"; "LIMIT"; "HAVING"; "CONSTRAINT"; "CONSTRAINTS"; "INDEX";
-    "APPROX_COUNT"; "SAMPLE" ]
+    "APPROX_COUNT"; "SAMPLE"; "HORIZON"; "FOR" ]
 
 let equal a b =
   match a, b with

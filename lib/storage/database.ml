@@ -14,6 +14,9 @@ type t = {
   mutable generation : int;
       (* catalog generation: bumped on DDL (table and index changes) so
          cached physical plans can be checked for staleness in O(1) *)
+  mutable inserted_total : int;  (* rows accepted since create *)
+  mutable expired_total : int;
+      (* expirations observed (eagerly at advance, lazily at vacuum) *)
 }
 
 let create ?(policy = Eager) ?(backend = `Heap) () =
@@ -22,7 +25,9 @@ let create ?(policy = Eager) ?(backend = `Heap) () =
     tables = Hashtbl.create 16;
     trigger_registry = Trigger.create ();
     clock = Time.zero;
-    generation = 0
+    generation = 0;
+    inserted_total = 0;
+    expired_total = 0
   }
 
 let policy db = db.policy
@@ -63,12 +68,29 @@ let table_names db =
 let pending_expirations db =
   Hashtbl.fold (fun _ t acc -> acc + Table.pending_expirations t) db.tables 0
 
+let live_rows db =
+  Hashtbl.fold
+    (fun _ t acc -> acc + Table.live_estimate t ~tau:db.clock)
+    db.tables 0
+
+let expiring_within db ~bounds =
+  List.map
+    (fun name ->
+      (name, Table.expiring_within (table_exn db name) ~now:db.clock ~bounds))
+    (table_names db)
+
+let inserted_total db = db.inserted_total
+let expired_total db = db.expired_total
+
 let insert db name tuple ~texp =
   if Time.(texp <= db.clock) then
     invalid_arg
       (Printf.sprintf "Database.insert: texp %s <= now %s" (Time.to_string texp)
          (Time.to_string db.clock))
-  else Table.insert (table_exn db name) tuple ~texp
+  else begin
+    Table.insert (table_exn db name) tuple ~texp;
+    db.inserted_total <- db.inserted_total + 1
+  end
 
 let insert_ttl db name tuple ~ttl =
   if ttl <= 0 then invalid_arg "Database.insert_ttl: ttl <= 0"
@@ -114,8 +136,9 @@ let advance_to db tau =
      | Eager ->
        (* A tuple with texp = e is last visible at e - 1, so everything
           with texp <= tau is due. *)
-       fire_expirations db ~fired_at_of:(fun texp -> texp)
-         (collect_expired db tau)
+       let expired = collect_expired db tau in
+       db.expired_total <- db.expired_total + List.length expired;
+       fire_expirations db ~fired_at_of:(fun texp -> texp) expired
      | Lazy -> ());
     db.clock <- tau
   end
@@ -127,6 +150,7 @@ let vacuum db =
   | Eager -> 0
   | Lazy ->
     let expired = collect_expired db db.clock in
+    db.expired_total <- db.expired_total + List.length expired;
     fire_expirations db ~fired_at_of:(fun _ -> db.clock) expired;
     List.length expired
 

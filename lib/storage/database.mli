@@ -50,6 +50,25 @@ val pending_expirations : t -> int
 (** Sum of {!Table.pending_expirations} over every table: the total
     expiration-index depth (heap entries / timer-wheel occupancy). *)
 
+val live_rows : t -> int
+(** Sum of {!Table.live_estimate} over every table — the denominator of
+    the "what fraction of the database expires soon?" storm ratio. *)
+
+val expiring_within : t -> bounds:int array -> (string * int array) list
+(** Per-table forward expiration profile at the current clock, in table
+    name order: {!Table.expiring_within} for every table.  [bounds] are
+    ascending tick deltas ([max_int] = +Inf); each table's array sums to
+    its live count. *)
+
+val inserted_total : t -> int
+(** Rows accepted by {!insert} (and its wrappers) since creation — a
+    monotone arrival counter for churn-rate telemetry. *)
+
+val expired_total : t -> int
+(** Expirations observed since creation: counted at {!advance_to} under
+    the eager policy, at {!vacuum} under the lazy one — monotone, for
+    churn-rate telemetry. *)
+
 val insert : t -> string -> Tuple.t -> texp:Time.t -> unit
 (** @raise Errors.Unknown_relation / [Invalid_argument] on arity issues.
     @raise Invalid_argument when [texp <= now] (the tuple would be born

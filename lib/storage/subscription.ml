@@ -68,37 +68,60 @@ let next_row_expiry ~after relation =
       else acc)
     relation Time.Inf
 
-let drive t name w ~from ~to_ =
+(* The change-time walk, parameterised over the event sink and over
+   where the materialisation state lives: [drive] commits the walk to
+   the watch, [forecast_events] replays the identical walk against a
+   local copy — the forecast is exact because the future is. *)
+let simulate t name w ~from ~to_ ~emit =
+  let result = ref w.result in
   let rec go now =
-    let live = Relation.exp now w.result.Eval.relation in
+    let live = Relation.exp now !result.Eval.relation in
     let next_expiry = next_row_expiry ~after:now live in
-    let next = Time.min next_expiry w.result.Eval.texp in
-    if Time.(next > to_) || Time.is_infinite next then ()
+    let next = Time.min next_expiry !result.Eval.texp in
+    if Time.(next > to_) || Time.is_infinite next then !result
     else begin
       let at = next in
       (* Expirations at this instant fire first. *)
       Relation.iter
         (fun tuple texp ->
           if Time.equal texp at then
-            w.handler (Row_expired { subscription = name; tuple; at }))
+            emit (Row_expired { subscription = name; tuple; at }))
         live;
       let survivors = Relation.exp at live in
-      if Time.(w.result.Eval.texp <= at) then begin
+      if Time.(!result.Eval.texp <= at) then begin
         (* The materialisation is invalid from here: refresh locally and
            report what (re)appeared. *)
         let refreshed = Eval.run ~env:(env_at t at) ~tau:at w.expr in
-        w.handler (Refreshed { subscription = name; at });
+        emit (Refreshed { subscription = name; at });
         Relation.iter
           (fun tuple texp ->
             if not (Relation.mem tuple survivors) then
-              w.handler (Row_appeared { subscription = name; tuple; texp; at }))
+              emit (Row_appeared { subscription = name; tuple; texp; at }))
           refreshed.Eval.relation;
-        w.result <- refreshed
+        result := refreshed
       end;
       go at
     end
   in
   go from
+
+let drive t name w ~from ~to_ =
+  w.result <- simulate t name w ~from ~to_ ~emit:w.handler
+
+let forecast_events t ~until =
+  let from = Database.now t.db in
+  if Time.is_infinite until || Time.(until <= from) then 0
+  else begin
+    let count = ref 0 in
+    List.iter
+      (fun name ->
+        let w = Hashtbl.find t.watches name in
+        ignore
+          (simulate t name w ~from ~to_:until ~emit:(fun _ -> incr count)
+            : Eval.result))
+      (names t);
+    !count
+  end
 
 let deliver_until t target =
   if Time.is_infinite target then

@@ -55,6 +55,15 @@ val advance : t -> Time.t -> unit
     the refresh, then appearances.
     @raise Invalid_argument when moving backwards or to [Inf] *)
 
+val forecast_events : t -> until:Time.t -> int
+(** How many events an {!advance} (or {!deliver_until}) to [until]
+    would fire, across every subscription — without firing handlers or
+    touching any watch or clock state.  Exact, not an estimate: the
+    change-time walk is replayed against a private copy of each watch's
+    materialisation, and logical time makes the future deterministic.
+    [0] when [until] is infinite or not beyond the current clock.  This
+    is the fan-out forecast the observability horizon exports. *)
+
 val deliver_until : t -> Time.t -> unit
 (** Exactly {!advance}'s event delivery — every change event in the
     interval from the current clock up to the target, same ordering —

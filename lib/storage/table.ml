@@ -135,6 +135,39 @@ let live_estimate t ~tau =
   if all_live t ~tau then physical_count t
   else Relation.live_count_at (full_snapshot t) ~tau
 
+(* The forward expiration profile: per-bucket counts of live rows by
+   ticks-to-expiry.  Like [live_estimate], this never scans rows: each
+   bucket boundary is a binary-search cut over the generation-cached
+   physical relation's texp-sorted chunks, so the whole histogram costs
+   O(chunks · buckets · log rows).  [bounds] must be ascending;
+   [max_int] means +Inf and its bucket also holds never-expiring rows. *)
+let expiring_within t ~now ~bounds =
+  let n = Array.length bounds in
+  let cum = Array.make n 0 in
+  (match now with
+   | Time.Inf -> ()  (* nothing is live at infinity *)
+   | Time.Fin v ->
+     let chunks = Relation.sorted_chunks (physical_relation t) in
+     Array.iter
+       (fun ch ->
+         let texps = Relation.chunk_texps ch in
+         let len = Relation.chunk_len ch in
+         let c0 = Relation.live_cut texps ~tau:now 0 len in
+         Array.iteri
+           (fun i bound ->
+             let upto =
+               (* [bound > max_int - v] saturates: the window reaches
+                  past every finite time, so every physical row beyond
+                  the [now] cut belongs to it. *)
+               if bound = max_int || bound > max_int - v then len
+               else Relation.live_cut texps ~tau:(Time.of_int (v + bound)) 0 len
+             in
+             cum.(i) <- cum.(i) + (upto - c0))
+           bounds)
+       chunks);
+  (* cumulative cuts -> per-bucket counts *)
+  Array.mapi (fun i c -> if i = 0 then c else c - cum.(i - 1)) cum
+
 let snapshot t ~tau =
   if all_live t ~tau then full_snapshot t
   else

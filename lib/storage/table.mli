@@ -47,6 +47,16 @@ val live_estimate : t -> tau:Time.t -> int
     cardinality estimates use so a mostly-expired (churny, lazily
     vacuumed) table costs by its live rows, not its physical ones. *)
 
+val expiring_within : t -> now:Time.t -> bounds:int array -> int array
+(** The table's forward expiration profile: element [i] counts live
+    rows whose expiration falls in [(now + bounds.(i-1), now + bounds.(i)]]
+    (with an implicit lower edge of [now] for the first bucket).
+    [bounds] must be ascending tick deltas; a [max_int] bound means
+    [+Inf] and its bucket also holds never-expiring rows, so the array
+    sums to the live count.  Never a full scan: each boundary is a
+    binary-search cut over the cached {!physical_relation}'s texp-sorted
+    chunks — O(chunks · buckets · log rows). *)
+
 val pending_expirations : t -> int
 (** Entries currently held by the table's expiration index (heap /
     timer wheel / scan) — the backlog an advance or vacuum would have to

@@ -69,6 +69,14 @@ echo "$APPROX_OUT" | grep -F "2, 0"
 # HEALTH: a fresh server must answer ok (exit code 0).
 "$CLI" health --port "$PORT"
 "$CLI" connect --port "$PORT" -e "HEALTH" | grep -F "health: ok"
+# HORIZON: the forward-looking forecast, over the wire keyword, as
+# SQL, and through the one-shot subcommand.  After ADVANCE TO 12 two
+# rows are live (texp 15 and 20), both inside the 16-tick window.
+"$CLI" connect --port "$PORT" -e "HORIZON" | grep -F "horizon now=12"
+"$CLI" connect --port "$PORT" -e "SHOW HORIZON" | grep -F "table pol: live=2 soon=2"
+"$CLI" horizon --port "$PORT" | grep -F "horizon now=12"
+"$CLI" horizon --port "$PORT" --table pol | grep -F "table pol: live=2"
+"$CLI" horizon --port "$PORT" --prom | grep -F "# TYPE expirel_horizon_rows histogram"
 # TRACE: the statements above left request traces behind, and they
 # export as Chrome trace-event JSON.
 "$CLI" connect --port "$PORT" -e "TRACE 5" | grep -F "ci-primary"
@@ -80,6 +88,13 @@ PROM=$(mktemp)
 grep -F "# TYPE expirel_plan_cache_hits_total counter" "$PROM"
 grep -F "expirel_plan_cache_requests_total" "$PROM"
 grep -F "expirel_health_status" "$PROM"
+# The forward-looking horizon families and the build identity.
+grep -F "# TYPE expirel_horizon_rows histogram" "$PROM"
+grep -F 'expirel_horizon_rows_bucket{table="pol"' "$PROM"
+grep -F "expirel_horizon_fanout_events" "$PROM"
+grep -F 'expirel_churn_rate{kind="arrival"}' "$PROM"
+grep -F 'expirel_build_info{version=' "$PROM"
+grep -F "expirel_uptime_seconds" "$PROM"
 # The sketch queries above left per-sketch memory and live-estimate
 # gauges behind.
 grep -F 'expirel_sketch_memory_bytes{sketch="approx_count(0.1)"}' "$PROM"
@@ -131,6 +146,8 @@ CLUSTER_OUT=$("$CLI" cluster connect $SHARD_ARGS -e "
   EXPLAIN ANALYZE SELECT uid FROM pol WHERE deg = 25;
   TRACE 30;
   SHARDS;
+  HORIZON;
+  SHOW HORIZON;
   METRICS")
 # DDL broadcast to all three shards, rows scatter-gathered back.
 echo "$CLUSTER_OUT" | grep -F "table pol created (on 3 shard(s))"
@@ -165,6 +182,16 @@ echo "$CLUSTER_OUT" | awk -v tid="$TID" '$1 == tid && $2 ~ /^shard-/ { found = 1
 echo "$CLUSTER_OUT" | grep -F "rpc:shard-"
 # Every shard reported a reachable partition summary.
 test "$(echo "$CLUSTER_OUT" | grep -c "^shard [0-9]: reachable")" = 3
+# The merged horizon names every table with its per-shard breakdown
+# (HORIZON keyword and SHOW HORIZON statement agree), and the
+# cluster-wide forecast gauges ride the coordinator's METRICS page.
+echo "$CLUSTER_OUT" | grep -F "shard 0: live="
+echo "$CLUSTER_OUT" | grep -F "table pol: live=3 soon=2"
+echo "$CLUSTER_OUT" | grep -F "table tags: live=1 soon=0"
+test "$(echo "$CLUSTER_OUT" | grep -cF "horizon now=0")" = 2
+echo "$CLUSTER_OUT" | grep -E 'expirel_cluster_live_rows 4'
+echo "$CLUSTER_OUT" | grep -E 'expirel_cluster_horizon_expiring_soon 2'
+echo "$CLUSTER_OUT" | grep -F 'expirel_build_info{version='
 # The cluster metric families are present, with per-shard routing
 # counters, and every sample line parses like the server's page does.
 CLUSTER_PROM=$(mktemp)

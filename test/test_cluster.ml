@@ -742,6 +742,104 @@ let test_sketch_merge () =
          Alcotest.failf "unexpected APPROX_COUNT AT result (%d rows)"
            (List.length rows)))
 
+(* ---------- the cluster-wide expiration forecast ---------- *)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let report_live (r : Obs.Horizon.report) =
+  List.fold_left
+    (fun acc tb -> acc + Obs.Horizon.live tb)
+    0 r.Obs.Horizon.tables
+
+(* Per-shard horizon partials merge bucket-wise into exactly the
+   profile of one node holding every row — hash partitions are
+   disjoint, so the addition is exact, not approximate. *)
+let test_horizon_cluster () =
+  with_cluster 3 (fun coord _servers _endpoints ->
+      List.iter (fun sql -> ignore (exec coord sql)) statements;
+      let union = Expirel_sqlx.Interp.create () in
+      List.iter
+        (fun sql ->
+          List.iter
+            (function
+              | Ok _ -> ()
+              | Error e -> Alcotest.failf "%s: %s" sql e)
+            (Expirel_sqlx.Interp.exec_script union (sql ^ ";")))
+        statements;
+      let merged, per_shard = ok (Coordinator.horizon coord) in
+      let single = Expirel_sqlx.Interp.horizon union in
+      Alcotest.(check bool) "merged tables equal the single-node profile"
+        true
+        (merged.Obs.Horizon.tables = single.Obs.Horizon.tables);
+      Alcotest.(check int) "now tracks the cluster clock"
+        single.Obs.Horizon.now merged.Obs.Horizon.now;
+      Alcotest.(check int) "three shards in the breakdown" 3
+        (List.length per_shard);
+      Alcotest.(check int) "per-shard live rows sum to the total"
+        (report_live merged)
+        (List.fold_left (fun acc (_, n) -> acc + n) 0 per_shard);
+      (* per-table restriction, and unknown tables answer Error *)
+      let only_pol, _ = ok (Coordinator.horizon ~table:"pol" coord) in
+      Alcotest.(check (list string)) "restricted to pol" [ "pol" ]
+        (List.map
+           (fun tb -> tb.Obs.Horizon.name)
+           only_pol.Obs.Horizon.tables);
+      (match Coordinator.horizon ~table:"ghost" coord with
+       | Error _ -> ()
+       | Ok _ -> Alcotest.fail "unknown table accepted");
+      (* the statement path renders the same forecast with the
+         per-shard breakdown *)
+      (match exec coord "SHOW HORIZON" with
+       | Wire.Ok_msg m ->
+         List.iter
+           (fun sub ->
+             Alcotest.(check bool) ("SHOW HORIZON mentions " ^ sub) true
+               (contains ~sub m))
+           [ "horizon now=9"; "shard 0: live="; "shard 2: live=";
+             "table aux:"; "table pol:" ]
+       | r -> Alcotest.fail ("SHOW HORIZON: " ^ Wire.render_response r));
+      (* both Prometheus surfaces pass the shared exposition lint *)
+      let page = ok (Coordinator.horizon_page coord) in
+      Test_obs.check_exposition ~what:"merged horizon page" page;
+      Alcotest.(check bool) "page exports the merged histogram" true
+        (contains ~sub:"# TYPE expirel_horizon_rows histogram" page);
+      let metrics = Coordinator.metrics coord in
+      Test_obs.check_exposition ~what:"coordinator metrics page" metrics;
+      List.iter
+        (fun sub ->
+          Alcotest.(check bool) ("coordinator exposes " ^ sub) true
+            (contains ~sub metrics))
+        [ "expirel_cluster_live_rows";
+          "expirel_cluster_horizon_expiring_soon";
+          "expirel_cluster_horizon_fanout_events";
+          "expirel_build_info{version=\"" ^ Metrics.build_version ^ "\"";
+          "expirel_uptime_seconds" ])
+
+(* The predictive storm rule fires on the coordinator *before* any
+   clock movement — the merged forecast sees the drop coming — and
+   clears once the storm has passed. *)
+let test_cluster_storm_rule () =
+  with_cluster 2 (fun coord _servers _endpoints ->
+      ignore (exec coord "CREATE TABLE s (k, v)");
+      for i = 1 to 10 do
+        ignore
+          (exec coord (Printf.sprintf "INSERT INTO s VALUES (%d, 0) EXPIRES 5" i))
+      done;
+      (match Coordinator.health coord with
+       | Wire.Health_critical, firing ->
+         Alcotest.(check bool) "cluster_expiration_storm names itself" true
+           (List.exists
+              (fun f -> f.Wire.rule_name = "cluster_expiration_storm")
+              firing)
+       | _ -> Alcotest.fail "storm not predicted before the drop");
+      ignore (exec coord "ADVANCE TO 6");
+      match Coordinator.health coord with
+      | Wire.Health_ok, _ -> ()
+      | _ -> Alcotest.fail "health still firing after the storm passed")
+
 let suite =
   [ Alcotest.test_case "scatter-gather == single node" `Quick
       test_matches_single_node;
@@ -766,4 +864,8 @@ let suite =
     Alcotest.test_case "global aggregates combine from shard partials" `Quick
       test_aggregate_combine;
     Alcotest.test_case "APPROX_COUNT/SAMPLE merge sketch partials" `Quick
-      test_sketch_merge ]
+      test_sketch_merge;
+    Alcotest.test_case "horizon: shard partials merge to the union profile"
+      `Quick test_horizon_cluster;
+    Alcotest.test_case "horizon: storm rule fires before the drop" `Quick
+      test_cluster_storm_rule ]

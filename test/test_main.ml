@@ -54,6 +54,7 @@ let () =
       "sketch", Test_sketch.suite;
       (* observability *)
       "obs", Test_obs.suite;
+      "horizon", Test_horizon.suite;
       (* networked server *)
       "wire", Test_wire.suite;
       "server", Test_server.suite;

@@ -506,7 +506,7 @@ let test_slow_log_ranking () =
     (fun i us ->
       Slow_log.record log
         ~statement:(Printf.sprintf "q%d" i)
-        ~total_us:us ~spans:[])
+        ~trace_id:(Printf.sprintf "t%d" i) ~total_us:us ~spans:[])
     [ 30; 100; 10; 100; 50 ];
   let top = Slow_log.slowest log 3 in
   Alcotest.(check (list string)) "slowest first, ties newest first"
@@ -517,11 +517,13 @@ let test_slow_log_ranking () =
 
 let test_slow_log_threshold_and_eviction () =
   let log = Slow_log.create ~capacity:2 ~threshold_us:20 () in
-  Slow_log.record log ~statement:"fast" ~total_us:19 ~spans:[];
+  Slow_log.record log ~statement:"fast" ~trace_id:"tf" ~total_us:19 ~spans:[];
   Alcotest.(check int) "below threshold skipped" 0
     (List.length (Slow_log.slowest log 10));
   List.iter
-    (fun (s, us) -> Slow_log.record log ~statement:s ~total_us:us ~spans:[])
+    (fun (s, us) ->
+      Slow_log.record log ~statement:s ~trace_id:("t-" ^ s) ~total_us:us
+        ~spans:[])
     [ ("a", 100); ("b", 30); ("c", 40) ];
   Alcotest.(check (list string)) "ring evicts oldest, not slowest"
     [ "c"; "b" ]
@@ -573,6 +575,186 @@ let test_prometheus_render () =
             -. 0.400999 < 1e-6)
        (String.split_on_char '\n' text))
 
+(* ---------- exposition hygiene ----------
+
+   A reusable lint over Prometheus text pages, shared with the server
+   and cluster suites: every sample's family must be declared with
+   [# HELP] and [# TYPE] before it, no family may be declared twice,
+   and histogram [le] buckets must be strictly ascending and end at
+   [+Inf]. *)
+
+let lint_exposition text =
+  let exception Bad of string in
+  let bad fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt in
+  try
+    let help = Hashtbl.create 16 in
+    let ty = Hashtbl.create 16 in
+    (* per bucket series (family + labels sans le): le values seen *)
+    let buckets = Hashtbl.create 16 in
+    let strip_suffix name =
+      List.find_map
+        (fun suffix ->
+          let n = String.length name and k = String.length suffix in
+          if n > k && String.sub name (n - k) k = suffix then
+            Some (String.sub name 0 (n - k))
+          else None)
+        [ "_bucket"; "_sum"; "_count" ]
+    in
+    let family_of name =
+      match strip_suffix name with
+      | Some base when Hashtbl.find_opt ty base = Some "histogram" -> base
+      | _ -> name
+    in
+    let le_of labels =
+      (* labels is the "{...}" section; pull out le="...", return the
+         bound and the labels with the le pair removed (series key) *)
+      let marker = "le=\"" in
+      let n = String.length labels and k = String.length marker in
+      let rec find i =
+        if i + k > n then None
+        else if
+          String.sub labels i k = marker
+          && i > 0
+          && (labels.[i - 1] = '{' || labels.[i - 1] = ',')
+        then Some i
+        else find (i + 1)
+      in
+      match find 0 with
+      | None -> None
+      | Some i ->
+        (match String.index_from_opt labels (i + k) '"' with
+         | None -> bad "unterminated le label in %s" labels
+         | Some j ->
+           let v = String.sub labels (i + k) (j - i - k) in
+           let rest =
+             String.sub labels 0 i
+             ^ String.sub labels (j + 1) (n - j - 1)
+           in
+           let bound =
+             if v = "+Inf" then infinity
+             else
+               match float_of_string_opt v with
+               | Some f -> f
+               | None -> bad "unparsable le bound %S" v
+           in
+           Some (bound, rest))
+    in
+    List.iter
+      (fun line ->
+        if line = "" then ()
+        else if String.length line > 7 && String.sub line 0 7 = "# HELP " then begin
+          let name =
+            match String.index_from_opt line 7 ' ' with
+            | Some i -> String.sub line 7 (i - 7)
+            | None -> String.sub line 7 (String.length line - 7)
+          in
+          if Hashtbl.mem help name then bad "duplicate # HELP for %s" name;
+          Hashtbl.replace help name ()
+        end
+        else if String.length line > 7 && String.sub line 0 7 = "# TYPE " then begin
+          match String.split_on_char ' ' line with
+          | [ _; _; name; kind ] ->
+            if Hashtbl.mem ty name then bad "duplicate # TYPE for %s" name;
+            Hashtbl.replace ty name kind
+          | _ -> bad "malformed TYPE line %S" line
+        end
+        else if line.[0] = '#' then ()
+        else begin
+          (* a sample: name{labels} value | name value *)
+          let name, labels =
+            match String.index_opt line '{' with
+            | Some i ->
+              (match String.rindex_opt line '}' with
+               | Some j when j > i ->
+                 String.sub line 0 i, String.sub line i (j - i + 1)
+               | _ -> bad "unbalanced labels in %S" line)
+            | None ->
+              (match String.index_opt line ' ' with
+               | Some i -> String.sub line 0 i, ""
+               | None -> bad "malformed sample line %S" line)
+          in
+          let family = family_of name in
+          if not (Hashtbl.mem ty family) then
+            bad "sample %s before its # TYPE" name;
+          if not (Hashtbl.mem help family) then
+            bad "sample %s before its # HELP" name;
+          match le_of labels with
+          | None -> ()
+          | Some (bound, series) ->
+            let key = family ^ series in
+            let seen =
+              Option.value ~default:[] (Hashtbl.find_opt buckets key)
+            in
+            (match seen with
+             | prev :: _ when bound <= prev ->
+               bad "unsorted le buckets for %s" family
+             | _ -> ());
+            Hashtbl.replace buckets key (bound :: seen)
+        end)
+      (String.split_on_char '\n' text);
+    Hashtbl.iter
+      (fun key -> function
+        | last :: _ when last <> infinity ->
+          bad "bucket series %s does not end at +Inf" key
+        | _ -> ())
+      buckets;
+    Ok ()
+  with Bad m -> Error m
+
+let check_exposition ~what text =
+  match lint_exposition text with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "%s: %s" what m
+
+let test_exposition_hygiene () =
+  (* a real page passes... *)
+  let reg = Registry.create () in
+  let h =
+    Registry.histogram reg ~bounds:[| 10; 100 |] ~name:"expirel_h"
+      ~help:"hist" ()
+  in
+  Instrument.Histogram.observe h 42;
+  Instrument.Counter.incr (Registry.counter reg ~name:"expirel_c" ~help:"c");
+  check_exposition ~what:"registry page" (Prometheus.render (Registry.collect reg));
+  (* ...and each hygiene violation is caught *)
+  let rejects what page =
+    match lint_exposition page with
+    | Error _ -> ()
+    | Ok () -> Alcotest.failf "lint accepted %s" what
+  in
+  rejects "a duplicate family"
+    "# HELP a x\n# TYPE a counter\na 1\n# HELP a x\n# TYPE a counter\n";
+  rejects "a sample without HELP" "# TYPE a counter\na 1\n";
+  rejects "a sample without TYPE" "# HELP a x\na 1\n";
+  rejects "unsorted le buckets"
+    "# HELP a x\n# TYPE a histogram\n\
+     a_bucket{le=\"5\"} 1\na_bucket{le=\"1\"} 1\na_bucket{le=\"+Inf\"} 2\n\
+     a_sum 3\na_count 2\n";
+  rejects "a bucket series without +Inf"
+    "# HELP a x\n# TYPE a histogram\n\
+     a_bucket{le=\"1\"} 1\na_bucket{le=\"5\"} 2\na_sum 3\na_count 2\n"
+
+(* The slow log stamps each entry with its request's trace id, so slow
+   entries join against the trace store's export. *)
+let test_slow_log_joins_traces () =
+  let log = Slow_log.create () in
+  let store = Trace_store.create ~capacity:8 () in
+  let tr = Trace.create () in
+  Trace.span (Some tr) "eval" (fun () -> ());
+  Trace_store.finish store ~node:"n1" ~name:"SELECT 1" tr;
+  Slow_log.record log ~statement:"SELECT 1" ~trace_id:(Trace.trace_id tr)
+    ~total_us:123 ~spans:(Trace.spans tr);
+  match Slow_log.slowest log 1 with
+  | [ e ] ->
+    Alcotest.(check string) "trace id stamped" (Trace.trace_id tr) e.trace_id;
+    let joined =
+      List.filter
+        (fun (entry : Trace_store.entry) -> entry.trace_id = e.trace_id)
+        (Trace_store.recent store 8)
+    in
+    Alcotest.(check int) "joins one stored trace" 1 (List.length joined)
+  | es -> Alcotest.failf "expected one entry, got %d" (List.length es)
+
 let suite =
   [ Alcotest.test_case "counter" `Quick test_counter;
     Alcotest.test_case "gauge" `Quick test_gauge;
@@ -611,4 +793,8 @@ let suite =
     Alcotest.test_case "slow log ranking" `Quick test_slow_log_ranking;
     Alcotest.test_case "slow log threshold + eviction" `Quick
       test_slow_log_threshold_and_eviction;
-    Alcotest.test_case "prometheus rendering" `Quick test_prometheus_render ]
+    Alcotest.test_case "prometheus rendering" `Quick test_prometheus_render;
+    Alcotest.test_case "exposition hygiene lint" `Quick
+      test_exposition_hygiene;
+    Alcotest.test_case "slow log joins trace store" `Quick
+      test_slow_log_joins_traces ]

@@ -391,7 +391,22 @@ let test_slow_queries_e2e () =
               Alcotest.(check bool) "span within request" true
                 (s.start_us >= 0
                  && s.start_us + s.duration_us <= sel.Wire.total_us))
-            sel.Wire.spans))
+            sel.Wire.spans;
+          (* every slow entry is stamped with its request's trace id,
+             so it joins against the TRACE export *)
+          Alcotest.(check bool) "trace id stamped" true
+            (String.length sel.Wire.trace_id > 0);
+          let traces = ok (Client.traces client 100) in
+          match
+            List.find_opt
+              (fun (e : Wire.trace_entry) ->
+                e.entry_trace_id = sel.Wire.trace_id)
+              traces
+          with
+          | Some e ->
+            Alcotest.(check string) "joined trace is the same statement"
+              sel.Wire.statement e.Wire.entry_name
+          | None -> Alcotest.fail "slow entry's trace id not in TRACE"))
 
 (* EXPLAIN ANALYZE travels as a plain Exec: the server runs the profiled
    execution and ships the annotated plan as a message. *)
@@ -528,6 +543,106 @@ let test_health_e2e () =
           Alcotest.(check bool) "health gauge exported" true
             (contains ~sub:"expirel_health_status 1" text)))
 
+(* HORIZON over the wire: the forecast carries the subscription
+   fan-out, its buckets verify against the ADVANCE that follows, and
+   the expiration-storm rule fires *before* the drop — the whole point
+   of a forward-looking page. *)
+let test_horizon_e2e () =
+  let module Horizon = Expirel_obs.Horizon in
+  let total_live (r : Horizon.report) =
+    List.fold_left (fun acc tb -> acc + Horizon.live tb) 0 r.Horizon.tables
+  in
+  let soon (r : Horizon.report) =
+    List.fold_left
+      (fun acc tb -> acc + Horizon.expiring_within tb r.Horizon.window)
+      0 r.Horizon.tables
+  in
+  with_server (fun _server port ->
+      with_client port (fun client ->
+          load_profiles client;
+          ok (Client.subscribe client ~name:"watch" ~query:"SELECT uid FROM pol");
+          let r = ok (Client.horizon client) in
+          Alcotest.(check int) "three live rows" 3 (total_live r);
+          (* texps 10, 10, 15 all sit inside the default 16-tick window *)
+          Alcotest.(check int) "all three expire soon" 3 (soon r);
+          Alcotest.(check int) "fan-out forecast: one event per drop" 3
+            r.Horizon.fanout_events;
+          (* the textual SHOW HORIZON goes through the same fan-out-aware
+             path, so both surfaces agree *)
+          (match exec client "SHOW HORIZON" with
+           | Wire.Ok_msg m ->
+             Alcotest.(check bool) "SHOW HORIZON reports the fan-out" true
+               (contains ~sub:"fanout=3" m)
+           | resp ->
+             Alcotest.fail ("SHOW HORIZON: " ^ Wire.render_response resp));
+          (* per-table restriction, and unknown tables answer Err *)
+          let rp = ok (Client.horizon ~table:"pol" client) in
+          Alcotest.(check int) "restricted report names one table" 1
+            (List.length rp.Horizon.tables);
+          (match Client.horizon ~table:"ghost" client with
+           | Error _ -> ()
+           | Ok _ -> Alcotest.fail "unknown table accepted");
+          (* grow the storm: 8 more rows all expiring inside the window *)
+          for i = 10 to 17 do
+            ok
+              (Client.exec_ok client
+                 (Printf.sprintf "INSERT INTO pol VALUES (%d, 50) EXPIRES 10" i))
+          done;
+          (* the rule fires NOW — the clock has not moved, nothing has
+             expired yet, the page predicts the storm *)
+          (match ok (Client.health client) with
+           | Wire.Health_critical, firing ->
+             Alcotest.(check bool) "expiration_storm names itself" true
+               (List.exists
+                  (fun f -> f.Wire.rule_name = "expiration_storm")
+                  firing)
+           | _ -> Alcotest.fail "storm not predicted before the drop");
+          (* the forecast verifies: the ADVANCE drops exactly the
+             predicted rows and delivers exactly the forecast events *)
+          let before = ok (Client.horizon client) in
+          let stats_before = ok (Client.stats client) in
+          ok (Client.exec_ok client "ADVANCE TO 20");
+          let stats_after = ok (Client.stats client) in
+          Alcotest.(check int) "every predicted row dropped" (soon before)
+            (stats_after.Wire.tuples_expired - stats_before.Wire.tuples_expired);
+          let delivered =
+            List.length
+              (List.filter
+                 (function Wire.Row_expired _ -> true | _ -> false)
+                 (Client.events client))
+          in
+          Alcotest.(check int) "delivered events match the forecast"
+            before.Horizon.fanout_events delivered;
+          let after = ok (Client.horizon client) in
+          Alcotest.(check int) "nothing left in the window" 0 (soon after);
+          (* and with the storm behind us, health reads ok again *)
+          match ok (Client.health client) with
+          | Wire.Health_ok, _ -> ()
+          | _ -> Alcotest.fail "health still firing after the storm passed"))
+
+(* The horizon families, build identity and uptime ride the Prometheus
+   page, and the whole page passes the shared exposition lint. *)
+let test_metrics_horizon_families () =
+  with_server (fun _server port ->
+      with_client port (fun client ->
+          run_observable_workload client;
+          let text = ok (Client.metrics client) in
+          Test_obs.check_exposition ~what:"server metrics page" text;
+          List.iter
+            (fun sub ->
+              Alcotest.(check bool) ("exposes: " ^ sub) true
+                (contains ~sub text))
+            [ "# TYPE expirel_horizon_rows histogram";
+              "expirel_horizon_rows_bucket{table=\"pol\",le=\"+Inf\"}";
+              "expirel_horizon_fanout_events";
+              "expirel_horizon_window_ticks 16";
+              "expirel_churn_rate{kind=\"arrival\"}";
+              "expirel_churn_rate{kind=\"expiration\"}";
+              "expirel_horizon_expiring_soon";
+              "expirel_build_info{version=\"" ^ Metrics.build_version
+              ^ "\",wire_version=\"" ^ string_of_int Wire.version ^ "\"";
+              "expirel_uptime_seconds" ]))
+
 (* The plan cache's counters ride the Prometheus page (not only the
    stats record), including the requests_total denominator the
    hit-ratio health rule divides by. *)
@@ -596,5 +711,9 @@ let suite =
       test_trace_e2e;
     Alcotest.test_case "HEALTH: verdicts, firing rules, status gauge" `Quick
       test_health_e2e;
+    Alcotest.test_case "HORIZON: forecast, fan-out, storm rule" `Quick
+      test_horizon_e2e;
+    Alcotest.test_case "METRICS: horizon families, build info, hygiene"
+      `Quick test_metrics_horizon_families;
     Alcotest.test_case "METRICS: plan-cache counters" `Quick
       test_plan_cache_metrics ]

@@ -105,7 +105,9 @@ let request : Wire.request Gen.t =
        let* build_table = name in
        let* build_rows = moved in
        let* ctx = option trace_ctx in
-       return (Wire.Join_shard { sql; build_table; build_rows; ctx })) ]
+       return (Wire.Join_shard { sql; build_table; build_rows; ctx }));
+      (* v8: the forward-looking expiration forecast *)
+      Gen.map (fun t -> Wire.Horizon t) (Gen.option name) ]
 
 let error_code : Wire.error_code Gen.t =
   Gen.oneofl
@@ -199,9 +201,36 @@ let span : Wire.span Gen.t =
 let slow_query : Wire.slow_query Gen.t =
   let open Gen in
   let* statement = name in
+  let* trace_id = name in
   let* total_us = counter in
   let* spans = list_size (int_range 0 5) span in
-  return { Wire.statement; total_us; spans }
+  return { Wire.statement; trace_id; total_us; spans }
+
+(* v8 horizon payloads: the bucketed forecast travels verbatim, so any
+   well-formed report (bounds and counts arrays of equal length) must
+   round-trip.  Rates are i/8 floats — IEEE bits, exact. *)
+let horizon_table : Expirel_obs.Horizon.table Gen.t =
+  let open Gen in
+  let* tname = name in
+  let* n = int_range 0 5 in
+  let* bounds = list_size (return n) (int_range 1 100_000) in
+  let* counts = list_size (return n) (int_range 0 1_000) in
+  return
+    { Expirel_obs.Horizon.name = tname;
+      bounds = Array.of_list bounds;
+      counts = Array.of_list counts }
+
+let horizon_report : Expirel_obs.Horizon.report Gen.t =
+  let open Gen in
+  let* now = counter in
+  let* window = int_range 0 1_000 in
+  let* fanout_events = counter in
+  let* arrival_rate = map (fun i -> float_of_int i /. 8.) (int_range 0 800) in
+  let* expiration_rate = map (fun i -> float_of_int i /. 8.) (int_range 0 800) in
+  let* tables = list_size (int_range 0 4) horizon_table in
+  return
+    { Expirel_obs.Horizon.now; window; fanout_events; arrival_rate;
+      expiration_rate; tables }
 
 (* started_at travels as IEEE-754 bits, so any non-nan float round-trips
    exactly. *)
@@ -330,7 +359,9 @@ let response : Wire.response Gen.t =
        let* child_texp = time in
        let* groups = list_size (int_range 0 4) agg_group in
        return
-         (Wire.Shard_agg { shard_id; partition; columns; child_texp; groups })) ]
+         (Wire.Shard_agg { shard_id; partition; columns; child_texp; groups }));
+      (* v8: the forecast reply carries the report verbatim *)
+      Gen.map (fun r -> Wire.Horizon_reply r) horizon_report ]
 
 (* ---------- round-trip properties ---------- *)
 
